@@ -1,0 +1,93 @@
+//! Concrete values for symbolic constants and the processor count.
+
+use ir::{AffAtom, Affine, SymId};
+use std::collections::BTreeMap;
+
+/// Binds symbolic program constants to concrete values and fixes the
+/// number of processors `P`.
+///
+/// The analysis works symbolically for everything *additive* (offsets,
+/// bounds); block/cyclic ownership arithmetic multiplies the processor
+/// variable by the block size, which must be a known integer, so the
+/// decomposition-related symbolics must be bound. Unbound symbolics
+/// degrade specific tests to the conservative answer, never to an unsound
+/// one.
+#[derive(Clone, Debug)]
+pub struct Bindings {
+    /// Number of processors.
+    pub nprocs: i64,
+    syms: BTreeMap<SymId, i64>,
+}
+
+impl Bindings {
+    /// New bindings for `nprocs` processors, no symbolics bound.
+    pub fn new(nprocs: i64) -> Self {
+        assert!(nprocs >= 1, "need at least one processor");
+        Bindings {
+            nprocs,
+            syms: BTreeMap::new(),
+        }
+    }
+
+    /// Bind a symbolic constant.
+    pub fn set(mut self, s: SymId, v: i64) -> Self {
+        self.syms.insert(s, v);
+        self
+    }
+
+    /// Bind a symbolic constant (in-place).
+    pub fn bind(&mut self, s: SymId, v: i64) {
+        self.syms.insert(s, v);
+    }
+
+    /// Value of a symbolic constant, if bound.
+    pub fn get(&self, s: SymId) -> Option<i64> {
+        self.syms.get(&s).copied()
+    }
+
+    /// Evaluate an affine expression whose loop atoms are supplied by
+    /// `loop_val`; returns `None` when an unbound symbolic occurs.
+    pub fn eval_affine(
+        &self,
+        e: &Affine,
+        loop_val: &dyn Fn(ir::LoopId) -> Option<i64>,
+    ) -> Option<i64> {
+        let mut acc = e.constant_term();
+        for (a, c) in e.terms() {
+            let v = match a {
+                AffAtom::Sym(s) => self.get(s)?,
+                AffAtom::Loop(l) => loop_val(l)?,
+            };
+            acc = acc.checked_add(c.checked_mul(v)?)?;
+        }
+        Some(acc)
+    }
+
+    /// Evaluate an affine expression that must not mention loop indices
+    /// (extents, symbolic-only bounds).
+    pub fn eval_const(&self, e: &Affine) -> Option<i64> {
+        self.eval_affine(e, &|_| None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::build::*;
+
+    #[test]
+    fn eval_const_uses_bound_syms() {
+        let mut p = ProgramBuilder::new("t");
+        let n = p.sym("n");
+        let b = Bindings::new(4).set(n, 100);
+        assert_eq!(b.eval_const(&(sym(n) * 2 + 1)), Some(201));
+        let m = SymId(99);
+        assert_eq!(b.eval_const(&sym(m)), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_processors_rejected() {
+        let _ = Bindings::new(0);
+    }
+}

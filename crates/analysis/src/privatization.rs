@@ -1,0 +1,213 @@
+//! Coarse safety diagnostics for privatizable arrays.
+//!
+//! The front end (Tu & Padua's analysis, which the paper lists as the
+//! complementary technique) is assumed to have *proved* that every read
+//! of a privatizable array is preceded by a write of the same element in
+//! the same region instance. This module cannot reproduce that proof,
+//! but it catches the two mistakes that actually break the per-processor
+//! copy model at run time:
+//!
+//! 1. a privatizable array read before any textual write;
+//! 2. a privatizable array written by a *distributed* loop (each
+//!    processor fills only its owned part of its own copy) and then read
+//!    by a phase with a *different* partition — the reader would see the
+//!    unfilled parts of its copy.
+//!
+//! Writes from replicated phases (the §2.3 pattern) fill every copy
+//! completely and are always safe to read afterwards.
+
+use crate::bindings::Bindings;
+use crate::partition::{stmt_partition, LoopPartition, StmtPartition};
+use ir::{AffAtom, ArrayId, LhsRef, Node, Program};
+use std::collections::HashMap;
+
+/// What last defined each privatizable array, in textual order.
+#[derive(Clone, PartialEq, Debug)]
+enum DefState {
+    /// Not yet written.
+    Undefined,
+    /// Filled completely on every processor (replicated/master writer).
+    Complete,
+    /// Filled partially per processor by a distributed phase with this
+    /// partition signature.
+    Partial(String),
+}
+
+/// A canonical description of *which elements of the iteration space a
+/// processor owns*, independent of loop identities: two phases with the
+/// same signature assign index `x` to the same processor.
+fn partition_signature(p: &StmtPartition) -> String {
+    let sub_sig = |loop_id: &ir::LoopId, sub: &ir::Affine| -> String {
+        let coef = sub.coeff(AffAtom::Loop(*loop_id));
+        let mut rest = sub.clone();
+        rest.set_coeff(AffAtom::Loop(*loop_id), 0);
+        if rest.is_constant() {
+            format!("{coef}x+{}", rest.constant_term())
+        } else {
+            // Owner varies with outer loops: keep the full shape.
+            format!("{sub:?}")
+        }
+    };
+    match p {
+        StmtPartition::Master => "master".to_string(),
+        StmtPartition::Replicated => "replicated".to_string(),
+        StmtPartition::Distributed(l, lp) => match lp {
+            LoopPartition::BlockOwner { block, sub, .. } => {
+                format!("block({block},{})", sub_sig(l, sub))
+            }
+            LoopPartition::CyclicOwner { sub, .. } => {
+                format!("cyclic({})", sub_sig(l, sub))
+            }
+            LoopPartition::BlockCyclicOwner { block, sub, .. } => {
+                format!("blockcyclic({block},{})", sub_sig(l, sub))
+            }
+            LoopPartition::BlockIndex { lo, block, .. } => {
+                format!("blockindex({lo},{block})")
+            }
+            LoopPartition::SymbolicBlockOwner { extent, sub, .. } => {
+                format!("symblock({extent:?},{})", sub_sig(l, sub))
+            }
+            LoopPartition::Unknown => "unknown".to_string(),
+        },
+    }
+}
+
+/// Check the privatizable arrays of a program; returns human-readable
+/// warnings (empty = no problems found by this coarse analysis).
+pub fn check_privatizable(prog: &Program, bind: &Bindings) -> Vec<String> {
+    let mut warnings = Vec::new();
+    let mut state: HashMap<ArrayId, DefState> = prog
+        .arrays
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.privatizable)
+        .map(|(k, _)| (ArrayId(k as u32), DefState::Undefined))
+        .collect();
+    if state.is_empty() {
+        return warnings;
+    }
+
+    for stmt in prog.all_statements() {
+        let Node::Assign(a) = prog.node(stmt.node) else {
+            continue;
+        };
+        let part = stmt_partition(prog, bind, &stmt);
+        let sig = partition_signature(&part);
+
+        // Reads first (the RHS executes before the write lands).
+        for (arr, _) in a.rhs.array_reads() {
+            let Some(st) = state.get(&arr) else { continue };
+            let name = &prog.array(arr).name;
+            match st {
+                DefState::Undefined => warnings.push(format!(
+                    "private array {name} read before any write"
+                )),
+                DefState::Complete => {}
+                DefState::Partial(wsig) => {
+                    if *wsig != sig {
+                        warnings.push(format!(
+                            "private array {name} written by a distributed phase \
+                             ({wsig}) but read under a different partition ({sig}); \
+                             readers would see unfilled parts of their copy"
+                        ));
+                    }
+                }
+            }
+        }
+
+        if let LhsRef::Elem(arr, _) = &a.lhs {
+            if let Some(st) = state.get_mut(arr) {
+                *st = match part {
+                    StmtPartition::Replicated => DefState::Complete,
+                    StmtPartition::Master => DefState::Partial("master".into()),
+                    StmtPartition::Distributed(..) => DefState::Partial(sig.clone()),
+                };
+            }
+        }
+    }
+    warnings.sort();
+    warnings.dedup();
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::build::*;
+
+    #[test]
+    fn replicated_writer_then_distributed_reader_is_clean() {
+        let mut pb = ProgramBuilder::new("ok");
+        let n = pb.sym("n");
+        let a = pb.array("A", &[sym(n)], dist_block());
+        let d = pb.private_array("D", &[sym(n)]);
+        let j = pb.begin_par("j", con(0), sym(n) - 1);
+        pb.assign(elem(d, [idx(j)]), ival(idx(j)).sin());
+        pb.end();
+        let i = pb.begin_par("i", con(0), sym(n) - 1);
+        pb.assign(elem(a, [idx(i)]), arr(d, [idx(i)]));
+        pb.end();
+        let prog = pb.finish();
+        let bind = Bindings::new(4).set(n, 16);
+        assert!(check_privatizable(&prog, &bind).is_empty());
+    }
+
+    #[test]
+    fn read_before_write_warns() {
+        let mut pb = ProgramBuilder::new("rbw");
+        let n = pb.sym("n");
+        let a = pb.array("A", &[sym(n)], dist_block());
+        let d = pb.private_array("D", &[sym(n)]);
+        let i = pb.begin_par("i", con(0), sym(n) - 1);
+        pb.assign(elem(a, [idx(i)]), arr(d, [idx(i)]));
+        pb.end();
+        let prog = pb.finish();
+        let bind = Bindings::new(4).set(n, 16);
+        let w = check_privatizable(&prog, &bind);
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert!(w[0].contains("before any write"));
+    }
+
+    #[test]
+    fn distributed_writer_with_mismatched_reader_warns() {
+        let mut pb = ProgramBuilder::new("mis");
+        let n = pb.sym("n");
+        let a = pb.array("A", &[sym(n)], dist_block());
+        let b = pb.array("B", &[sym(n)], dist_cyclic());
+        let d = pb.private_array("D", &[sym(n)]);
+        // Writer distributed by A's block partition (D gets partially
+        // filled per processor)…
+        let i = pb.begin_par("i", con(0), sym(n) - 1);
+        pb.assign(elem(a, [idx(i)]), ival(idx(i)).sin());
+        pb.assign(elem(d, [idx(i)]), arr(a, [idx(i)]));
+        pb.end();
+        // …reader distributed cyclically: different elements.
+        let j = pb.begin_par("j", con(0), sym(n) - 1);
+        pb.assign(elem(b, [idx(j)]), arr(d, [idx(j)]));
+        pb.end();
+        let prog = pb.finish();
+        let bind = Bindings::new(4).set(n, 16);
+        let w = check_privatizable(&prog, &bind);
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert!(w[0].contains("different partition"), "{w:?}");
+    }
+
+    #[test]
+    fn matching_distributed_writer_and_reader_is_clean() {
+        let mut pb = ProgramBuilder::new("match");
+        let n = pb.sym("n");
+        let a = pb.array("A", &[sym(n)], dist_block());
+        let b = pb.array("B", &[sym(n)], dist_block());
+        let d = pb.private_array("D", &[sym(n)]);
+        let i = pb.begin_par("i", con(0), sym(n) - 1);
+        pb.assign(elem(a, [idx(i)]), ival(idx(i)).sin());
+        pb.assign(elem(d, [idx(i)]), arr(a, [idx(i)]));
+        pb.end();
+        let j = pb.begin_par("j", con(0), sym(n) - 1);
+        pb.assign(elem(b, [idx(j)]), arr(d, [idx(j)]) + arr(a, [idx(j)]));
+        pb.end();
+        let prog = pb.finish();
+        let bind = Bindings::new(4).set(n, 16);
+        assert!(check_privatizable(&prog, &bind).is_empty());
+    }
+}

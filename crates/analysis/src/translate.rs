@@ -1,0 +1,434 @@
+//! Translation from IR objects to inequality systems over two statement
+//! instances (the "producer" and "consumer" of a potential communication).
+
+use crate::bindings::Bindings;
+use crate::partition::{stmt_partition, LoopPartition, StmtPartition};
+use ineq::{LinExpr, System, VarId, VarKind, VarTable};
+use ir::{AffAtom, Affine, CmpOp, GuardCond, LoopId, NodeId, Program, StmtPath, SymId};
+use std::collections::BTreeMap;
+
+/// How the loops shared by the two statements relate in the query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SharedLoopMode {
+    /// Same iteration of every shared loop (loop-independent test).
+    SameIteration,
+    /// The dependence is carried by the given shared loop: iterations of
+    /// loops outer to it coincide, the carried loop satisfies
+    /// `i2 >= i1 + 1`, shared loops inner to it are unrelated.
+    CarriedBy(NodeId),
+    /// As `CarriedBy` but with distance exactly one.
+    CarriedExactlyOne(NodeId),
+}
+
+/// A fully built two-instance system: variables for both statements'
+/// loop nests, their processors `p` and `q`, bounds, guards, and
+/// partition constraints. Communication queries clone `sys`, add the
+/// array-element equality plus a processor relation, and test
+/// feasibility.
+pub struct PairSystem {
+    /// Variable table for the query.
+    pub vt: VarTable,
+    /// Base system (bounds + guards + partitions + shared-loop mode).
+    pub sys: System,
+    /// Producer processor variable.
+    pub p: VarId,
+    /// Consumer processor variable.
+    pub q: VarId,
+    /// Producer loop-index variables.
+    pub map1: BTreeMap<LoopId, VarId>,
+    /// Consumer loop-index variables.
+    pub map2: BTreeMap<LoopId, VarId>,
+    /// Carried-loop iteration variables `(i1_at, i2_at)` when the mode is
+    /// carried; `None` for loop-independent queries.
+    pub carried_vars: Option<(VarId, VarId)>,
+    sym_vars: BTreeMap<SymId, VarId>,
+    free_loops: BTreeMap<LoopId, VarId>,
+    aux: u32,
+}
+
+impl PairSystem {
+    /// Translate an IR affine expression under a loop-variable map.
+    pub fn tr(&mut self, bind: &Bindings, e: &Affine, map: &BTreeMap<LoopId, VarId>) -> LinExpr {
+        let mut out = LinExpr::constant(e.constant_term() as i128);
+        for (a, c) in e.terms() {
+            match a {
+                AffAtom::Loop(l) => {
+                    // Loops outside the instance's recorded path (e.g.
+                    // when a caller analyzes a nested loop in isolation)
+                    // become unconstrained shared variables — the
+                    // conservative "some fixed but unknown iteration".
+                    let v = *map.get(&l).unwrap_or_else(|| {
+                        self.free_loops.entry(l).or_insert_with(|| {
+                            self.vt.fresh(format!("free{}", l.0), VarKind::LoopIndex)
+                        })
+                    });
+                    out = out + LinExpr::term(v, c as i128);
+                }
+                AffAtom::Sym(s) => match bind.get(s) {
+                    Some(v) => {
+                        out = out + LinExpr::constant((c as i128) * (v as i128));
+                    }
+                    None => {
+                        let v = *self.sym_vars.entry(s).or_insert_with(|| {
+                            self.vt.fresh(format!("sym{}", s.0), VarKind::Symbolic)
+                        });
+                        out = out + LinExpr::term(v, c as i128);
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    /// A fresh auxiliary variable (eliminated first in the scan order).
+    pub fn fresh_aux(&mut self, name: &str) -> VarId {
+        self.aux += 1;
+        self.vt.fresh(format!("{name}{}", self.aux), VarKind::ArrayIndex)
+    }
+
+    /// Add the element-equality constraints `subs1 == subs2`, dimension
+    /// by dimension (both accesses refer to the same array).
+    pub fn add_elem_equality(
+        &mut self,
+        bind: &Bindings,
+        subs1: &[Affine],
+        subs2: &[Affine],
+    ) {
+        debug_assert_eq!(subs1.len(), subs2.len());
+        for (a, b) in subs1.iter().zip(subs2) {
+            let m1 = self.map1.clone();
+            let m2 = self.map2.clone();
+            let ea = self.tr(bind, a, &m1);
+            let eb = self.tr(bind, b, &m2);
+            self.sys.add_eq(ea - eb);
+        }
+    }
+
+    /// Feasibility of the base system with extra constraints installed by
+    /// `extra` (the system is cloned, so queries are independent).
+    pub fn feasible_with(&self, extra: impl FnOnce(&mut System)) -> bool {
+        let mut sys = self.sys.clone();
+        extra(&mut sys);
+        sys.is_consistent(&self.vt)
+    }
+}
+
+/// Build the two-instance system for statements `s1` (producer side) and
+/// `s2` (consumer side) under the given shared-loop mode.
+pub fn build_pair_system(
+    prog: &Program,
+    bind: &Bindings,
+    s1: &StmtPath,
+    s2: &StmtPath,
+    mode: SharedLoopMode,
+) -> PairSystem {
+    let mut ps = PairSystem {
+        vt: VarTable::new(),
+        sys: System::new(),
+        p: VarId(0),
+        q: VarId(0),
+        map1: BTreeMap::new(),
+        map2: BTreeMap::new(),
+        carried_vars: None,
+        sym_vars: BTreeMap::new(),
+        free_loops: BTreeMap::new(),
+        aux: 0,
+    };
+    ps.p = ps.vt.fresh("p", VarKind::Processor);
+    ps.q = ps.vt.fresh("q", VarKind::Processor);
+    let pr = bind.nprocs as i128;
+    ps.sys.add_range(
+        LinExpr::var(ps.p),
+        LinExpr::constant(0),
+        LinExpr::constant(pr - 1),
+    );
+    ps.sys.add_range(
+        LinExpr::var(ps.q),
+        LinExpr::constant(0),
+        LinExpr::constant(pr - 1),
+    );
+
+    // Shared prefix of the two loop paths.
+    let shared: Vec<NodeId> = s1
+        .loops
+        .iter()
+        .zip(&s2.loops)
+        .take_while(|(a, b)| a == b)
+        .map(|(a, _)| *a)
+        .collect();
+    let carried_at = match mode {
+        SharedLoopMode::SameIteration => None,
+        SharedLoopMode::CarriedBy(at) | SharedLoopMode::CarriedExactlyOne(at) => {
+            let pos = shared
+                .iter()
+                .position(|&n| n == at)
+                .expect("carried loop must be shared by both statements");
+            Some(pos)
+        }
+    };
+
+    // Create loop variables. Shared loops outside the carried level use a
+    // single variable for both instances; the carried loop gets two
+    // related variables; everything else gets independent variables.
+    for (k, &node) in s1.loops.iter().enumerate() {
+        let l = prog.expect_loop(node);
+        let is_shared = k < shared.len();
+        let same_var = match carried_at {
+            None => is_shared,
+            Some(pos) => is_shared && k < pos,
+        };
+        let v1 = ps.vt.fresh(format!("{}1", l.name), VarKind::LoopIndex);
+        ps.map1.insert(l.id, v1);
+        if same_var {
+            ps.map2.insert(l.id, v1);
+        }
+    }
+    for (k, &node) in s2.loops.iter().enumerate() {
+        let l = prog.expect_loop(node);
+        if ps.map2.contains_key(&l.id) {
+            continue;
+        }
+        let _ = k;
+        let v2 = ps.vt.fresh(format!("{}2", l.name), VarKind::LoopIndex);
+        ps.map2.insert(l.id, v2);
+    }
+
+    // Carried-loop relation.
+    if let Some(pos) = carried_at {
+        let l = prog.expect_loop(shared[pos]);
+        let i1 = ps.map1[&l.id];
+        let i2 = ps.map2[&l.id];
+        ps.carried_vars = Some((i1, i2));
+        match mode {
+            SharedLoopMode::CarriedBy(_) => {
+                // i2 >= i1 + 1
+                ps.sys
+                    .add_ge(LinExpr::var(i2) - LinExpr::var(i1) - LinExpr::constant(1));
+            }
+            SharedLoopMode::CarriedExactlyOne(_) => {
+                ps.sys
+                    .add_eq(LinExpr::var(i2) - LinExpr::var(i1) - LinExpr::constant(1));
+            }
+            SharedLoopMode::SameIteration => unreachable!(),
+        }
+    }
+
+    // Loop bounds for both instances (bounds may mention outer loop vars,
+    // which are already in the maps since paths are outermost-first).
+    let m1 = ps.map1.clone();
+    for &node in &s1.loops {
+        let l = prog.expect_loop(node);
+        let v = m1[&l.id];
+        let lo = ps.tr(bind, &l.lo, &m1);
+        let hi = ps.tr(bind, &l.hi, &m1);
+        ps.sys.add_range(LinExpr::var(v), lo, hi);
+    }
+    let m2 = ps.map2.clone();
+    for &node in &s2.loops {
+        let l = prog.expect_loop(node);
+        let v = m2[&l.id];
+        // Skip re-adding identical bounds for unified variables.
+        if m1.get(&l.id) == Some(&v) {
+            continue;
+        }
+        let lo = ps.tr(bind, &l.lo, &m2);
+        let hi = ps.tr(bind, &l.hi, &m2);
+        ps.sys.add_range(LinExpr::var(v), lo, hi);
+    }
+
+    // Guards.
+    add_guards(&mut ps, bind, &s1.guards, true);
+    add_guards(&mut ps, bind, &s2.guards, false);
+
+    // Computation partitions.
+    let p = ps.p;
+    let q = ps.q;
+    let part1 = stmt_partition(prog, bind, s1);
+    let part2 = stmt_partition(prog, bind, s2);
+    add_partition(&mut ps, bind, &part1, p, true);
+    add_partition(&mut ps, bind, &part2, q, false);
+
+    ps
+}
+
+fn add_guards(ps: &mut PairSystem, bind: &Bindings, guards: &[GuardCond], first: bool) {
+    let map = if first {
+        ps.map1.clone()
+    } else {
+        ps.map2.clone()
+    };
+    for g in guards {
+        let e = ps.tr(bind, &g.expr, &map);
+        match g.op {
+            CmpOp::Eq => ps.sys.add_eq(e),
+            CmpOp::Ge => ps.sys.add_ge(e),
+            CmpOp::Le => ps.sys.add_ge(-e),
+        }
+    }
+}
+
+fn add_partition(
+    ps: &mut PairSystem,
+    bind: &Bindings,
+    part: &StmtPartition,
+    proc_var: VarId,
+    first: bool,
+) {
+    let map = if first {
+        ps.map1.clone()
+    } else {
+        ps.map2.clone()
+    };
+    match part {
+        StmtPartition::Master => {
+            ps.sys.add_eq(LinExpr::var(proc_var));
+        }
+        StmtPartition::Replicated => {
+            // Every processor executes: no constraint beyond 0..P-1.
+        }
+        StmtPartition::Distributed(loop_id, lp) => match lp {
+            LoopPartition::BlockOwner { block, sub, .. } => {
+                let x = ps.tr(bind, sub, &map);
+                let b = *block as i128;
+                // p*b <= x <= p*b + b - 1
+                ps.sys
+                    .add_ge(x.clone() - LinExpr::term(proc_var, b));
+                ps.sys.add_ge(
+                    LinExpr::term(proc_var, b) + LinExpr::constant(b - 1) - x,
+                );
+            }
+            LoopPartition::CyclicOwner { sub, .. } => {
+                let x = ps.tr(bind, sub, &map);
+                let k = ps.fresh_aux("k");
+                // x == k*P + p
+                ps.sys.add_eq(
+                    x - LinExpr::term(k, bind.nprocs as i128) - LinExpr::var(proc_var),
+                );
+            }
+            LoopPartition::BlockCyclicOwner { block, sub, .. } => {
+                let x = ps.tr(bind, sub, &map);
+                let k = ps.fresh_aux("k");
+                let o = ps.fresh_aux("o");
+                let b = *block as i128;
+                // x == (k*P + p)*b + o, 0 <= o < b
+                ps.sys.add_eq(
+                    x - LinExpr::term(k, bind.nprocs as i128 * b)
+                        - LinExpr::term(proc_var, b)
+                        - LinExpr::var(o),
+                );
+                ps.sys.add_range(
+                    LinExpr::var(o),
+                    LinExpr::constant(0),
+                    LinExpr::constant(b - 1),
+                );
+            }
+            LoopPartition::BlockIndex { lo, block, .. } => {
+                let i = map
+                    .get(loop_id)
+                    .copied()
+                    .expect("distributed loop must be in the instance map");
+                let b = *block as i128;
+                // p*b <= i - lo <= p*b + b - 1
+                ps.sys.add_ge(
+                    LinExpr::var(i) - LinExpr::constant(*lo as i128)
+                        - LinExpr::term(proc_var, b),
+                );
+                ps.sys.add_ge(
+                    LinExpr::term(proc_var, b) + LinExpr::constant(b - 1 + *lo as i128)
+                        - LinExpr::var(i),
+                );
+            }
+            LoopPartition::SymbolicBlockOwner { .. } | LoopPartition::Unknown => {
+                // No linear constraint exists (the block size is a
+                // quotient of symbolics); the processor variable stays
+                // free and the structural symbolic path in `comm` takes
+                // over where it applies.
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::build::*;
+
+    /// Two adjacent DOALLs over block-distributed arrays:
+    ///   DOALL i: B(i) = A(i)        (copy, aligned)
+    ///   DOALL j: C(j) = B(j)        (aligned read)
+    fn aligned_prog() -> (Program, ir::SymId) {
+        let mut p = ProgramBuilder::new("aligned");
+        let n = p.sym("n");
+        let a = p.array("A", &[sym(n)], dist_block());
+        let b = p.array("B", &[sym(n)], dist_block());
+        let c = p.array("C", &[sym(n)], dist_block());
+        let i = p.begin_par("i", con(0), sym(n) - 1);
+        p.assign(elem(b, [idx(i)]), arr(a, [idx(i)]));
+        p.end();
+        let j = p.begin_par("j", con(0), sym(n) - 1);
+        p.assign(elem(c, [idx(j)]), arr(b, [idx(j)]));
+        p.end();
+        (p.finish(), n)
+    }
+
+    #[test]
+    fn aligned_access_stays_on_processor() {
+        let (prog, n) = aligned_prog();
+        let bind = Bindings::new(4).set(n, 64);
+        let stmts = prog.all_statements();
+        let (s1, s2) = (&stmts[0], &stmts[1]);
+        let mut ps = build_pair_system(&prog, &bind, s1, s2, SharedLoopMode::SameIteration);
+        // Producer writes B(i); consumer reads B(j); same element.
+        let i = idx(prog.expect_loop(s1.loops[0]).id);
+        let j = idx(prog.expect_loop(s2.loops[0]).id);
+        ps.add_elem_equality(&bind, &[i], &[j]);
+        // p != q must be infeasible in both directions.
+        let p = ps.p;
+        let q = ps.q;
+        assert!(!ps.feasible_with(|s| {
+            s.add_ge(LinExpr::var(q) - LinExpr::var(p) - LinExpr::constant(1))
+        }));
+        assert!(!ps.feasible_with(|s| {
+            s.add_ge(LinExpr::var(p) - LinExpr::var(q) - LinExpr::constant(1))
+        }));
+    }
+
+    #[test]
+    fn shifted_access_crosses_processors() {
+        // DOALL i: B(i) = A(i); DOALL j: C(j) = B(j-1)
+        let mut pb = ProgramBuilder::new("shift");
+        let n = pb.sym("n");
+        let a = pb.array("A", &[sym(n)], dist_block());
+        let b = pb.array("B", &[sym(n)], dist_block());
+        let c = pb.array("C", &[sym(n)], dist_block());
+        let i = pb.begin_par("i", con(0), sym(n) - 1);
+        pb.assign(elem(b, [idx(i)]), arr(a, [idx(i)]));
+        pb.end();
+        let j = pb.begin_par("j", con(1), sym(n) - 1);
+        pb.assign(elem(c, [idx(j)]), arr(b, [idx(j) - 1]));
+        pb.end();
+        let prog = pb.finish();
+        let bind = Bindings::new(4).set(n, 64);
+        let stmts = prog.all_statements();
+        let mut ps = build_pair_system(
+            &prog,
+            &bind,
+            &stmts[0],
+            &stmts[1],
+            SharedLoopMode::SameIteration,
+        );
+        ps.add_elem_equality(&bind, &[idx(i)], &[idx(j) - 1]);
+        let (p, q) = (ps.p, ps.q);
+        // forward neighbor communication exists (q = p + 1)…
+        assert!(ps.feasible_with(|s| {
+            s.add_eq(LinExpr::var(q) - LinExpr::var(p) - LinExpr::constant(1))
+        }));
+        // …but nothing farther than one processor away.
+        assert!(!ps.feasible_with(|s| {
+            s.add_ge(LinExpr::var(q) - LinExpr::var(p) - LinExpr::constant(2))
+        }));
+        assert!(!ps.feasible_with(|s| {
+            s.add_ge(LinExpr::var(p) - LinExpr::var(q) - LinExpr::constant(1))
+        }));
+    }
+}

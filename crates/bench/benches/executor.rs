@@ -1,0 +1,61 @@
+//! Criterion benches for the execution backends: virtual simulation and
+//! real-thread execution of the two schedules (the per-figure speedup
+//! binaries do the full sweeps; this tracks regressions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interp::{run_parallel, run_virtual, Mem, ScheduleOrder};
+use runtime::Team;
+use std::sync::Arc;
+use suite::Scale;
+
+fn bench_virtual(c: &mut Criterion) {
+    let def = suite::by_name("jacobi2d").unwrap();
+    let built = (def.build)(Scale::Test);
+    let bind = built.bindings(4);
+    let fj = spmd_opt::fork_join(&built.prog, &bind);
+    let opt = spmd_opt::optimize(&built.prog, &bind);
+    c.bench_function("virtual_jacobi_fork_join", |b| {
+        b.iter(|| {
+            let mem = Mem::new(&built.prog, &bind);
+            run_virtual(&built.prog, &bind, &fj, &mem, ScheduleOrder::RoundRobin)
+        })
+    });
+    c.bench_function("virtual_jacobi_optimized", |b| {
+        b.iter(|| {
+            let mem = Mem::new(&built.prog, &bind);
+            run_virtual(&built.prog, &bind, &opt, &mem, ScheduleOrder::RoundRobin)
+        })
+    });
+}
+
+fn bench_real(c: &mut Criterion) {
+    let p = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(4);
+    let def = suite::by_name("jacobi2d").unwrap();
+    let built = (def.build)(Scale::Small);
+    let bind = Arc::new(built.bindings(p as i64));
+    let prog = Arc::new(built.prog);
+    let team = Team::new(p);
+    let fj = spmd_opt::fork_join(&prog, &bind);
+    let opt = spmd_opt::optimize(&prog, &bind);
+    c.bench_function("real_jacobi_fork_join", |b| {
+        b.iter(|| {
+            let mem = Arc::new(Mem::new(&prog, &bind));
+            run_parallel(&prog, &bind, &fj, &mem, &team)
+        })
+    });
+    c.bench_function("real_jacobi_optimized", |b| {
+        b.iter(|| {
+            let mem = Arc::new(Mem::new(&prog, &bind));
+            run_parallel(&prog, &bind, &opt, &mem, &team)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_virtual, bench_real
+}
+criterion_main!(benches);

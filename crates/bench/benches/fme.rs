@@ -1,0 +1,102 @@
+//! Criterion benches for the Fourier-Motzkin core: feasibility queries
+//! of the three shapes the communication analysis issues most.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ineq::{LinExpr, System, VarKind, VarTable};
+
+/// Aligned-access query: block partitions of producer and consumer with
+/// identical subscripts plus p != q — infeasible.
+fn aligned_query() -> (VarTable, System) {
+    let mut vt = VarTable::new();
+    let p = vt.fresh("p", VarKind::Processor);
+    let q = vt.fresh("q", VarKind::Processor);
+    let i = vt.fresh("i", VarKind::LoopIndex);
+    let j = vt.fresh("j", VarKind::LoopIndex);
+    let mut s = System::new();
+    let b = 16i128; // block size
+    for v in [p, q] {
+        s.add_range(LinExpr::var(v), LinExpr::constant(0), LinExpr::constant(7));
+    }
+    for v in [i, j] {
+        s.add_range(LinExpr::var(v), LinExpr::constant(0), LinExpr::constant(127));
+    }
+    // p*b <= i <= p*b + b - 1 ; q*b <= j <= q*b + b - 1 ; i == j ; q >= p+1
+    s.add_ge(LinExpr::var(i) - LinExpr::term(p, b));
+    s.add_ge(LinExpr::term(p, b) + LinExpr::constant(b - 1) - LinExpr::var(i));
+    s.add_ge(LinExpr::var(j) - LinExpr::term(q, b));
+    s.add_ge(LinExpr::term(q, b) + LinExpr::constant(b - 1) - LinExpr::var(j));
+    s.add_eq(LinExpr::var(i) - LinExpr::var(j));
+    s.add_ge(LinExpr::var(q) - LinExpr::var(p) - LinExpr::constant(1));
+    (vt, s)
+}
+
+/// Neighbor query: same but the consumer reads `j - 1` and we ask for
+/// far communication (infeasible) — the workhorse classification test.
+fn neighbor_far_query() -> (VarTable, System) {
+    let (vt, mut s) = {
+        let mut vt = VarTable::new();
+        let p = vt.fresh("p", VarKind::Processor);
+        let q = vt.fresh("q", VarKind::Processor);
+        let i = vt.fresh("i", VarKind::LoopIndex);
+        let j = vt.fresh("j", VarKind::LoopIndex);
+        let mut s = System::new();
+        let b = 16i128;
+        for v in [p, q] {
+            s.add_range(LinExpr::var(v), LinExpr::constant(0), LinExpr::constant(7));
+        }
+        for v in [i, j] {
+            s.add_range(LinExpr::var(v), LinExpr::constant(1), LinExpr::constant(127));
+        }
+        s.add_ge(LinExpr::var(i) - LinExpr::term(p, b));
+        s.add_ge(LinExpr::term(p, b) + LinExpr::constant(b - 1) - LinExpr::var(i));
+        s.add_ge(LinExpr::var(j) - LinExpr::term(q, b));
+        s.add_ge(LinExpr::term(q, b) + LinExpr::constant(b - 1) - LinExpr::var(j));
+        // element equality with shift: i == j - 1
+        s.add_eq(LinExpr::var(i) - LinExpr::var(j) + LinExpr::constant(1));
+        // far: q - p >= 2
+        s.add_ge(LinExpr::var(q) - LinExpr::var(p) - LinExpr::constant(2));
+        (vt, s)
+    };
+    s.dedup();
+    (vt, s)
+}
+
+fn bench_fme(c: &mut Criterion) {
+    let (vt1, s1) = aligned_query();
+    c.bench_function("fme_aligned_infeasible", |b| {
+        b.iter(|| {
+            assert!(!s1.is_consistent(&vt1));
+        })
+    });
+    let (vt2, s2) = neighbor_far_query();
+    c.bench_function("fme_neighbor_far_infeasible", |b| {
+        b.iter(|| {
+            assert!(!s2.is_consistent(&vt2));
+        })
+    });
+}
+
+fn bench_comm_query(c: &mut Criterion) {
+    // A full end-to-end communication classification on the jacobi pair.
+    let def = suite::by_name("jacobi2d").unwrap();
+    let built = (def.build)(suite::Scale::Small);
+    let bind = built.bindings(8);
+    let query = analysis::CommQuery::new(&built.prog, bind);
+    let stmts = built.prog.all_statements();
+    c.bench_function("comm_classify_stencil_pair", |b| {
+        b.iter(|| {
+            query.comm_stmts(
+                &stmts[stmts.len() - 2],
+                &stmts[stmts.len() - 1],
+                analysis::CommMode::LoopIndependent,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fme, bench_comm_query
+}
+criterion_main!(benches);

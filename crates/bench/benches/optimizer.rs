@@ -1,0 +1,35 @@
+//! Criterion benches for the optimizer itself: how long the greedy
+//! elimination takes per kernel (the paper notes its incremental greedy
+//! algorithm is cheaper than all-pairs approaches).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use suite::Scale;
+
+fn bench_optimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize");
+    for name in ["jacobi2d", "shallow", "lu", "tred2", "adi"] {
+        let def = suite::by_name(name).unwrap();
+        let built = (def.build)(Scale::Small);
+        let bind = built.bindings(8);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| spmd_opt::optimize(&built.prog, &bind))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dependence_check(c: &mut Criterion) {
+    let def = suite::by_name("shallow").unwrap();
+    let built = (def.build)(Scale::Small);
+    let bind = built.bindings(8);
+    c.bench_function("check_parallel_loops_shallow", |b| {
+        b.iter(|| analysis::check_parallel_loops(&built.prog, &bind))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_optimize, bench_dependence_check
+}
+criterion_main!(benches);

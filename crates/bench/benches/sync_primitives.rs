@@ -1,0 +1,87 @@
+//! Criterion benches for the synchronization primitives (feeds the
+//! barrier-cost motivation figure): central barrier, tree barrier,
+//! counter handoff, neighbor post/wait, at several team sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use runtime::{CentralBarrier, Counters, NeighborFlags, Team, TreeBarrier};
+use std::sync::Arc;
+
+const ROUNDS: u64 = 1000;
+
+fn bench_barriers(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut group = c.benchmark_group("barrier");
+    for p in [2usize, 4, cores.min(8)] {
+        let team = Team::new(p);
+        let central = Arc::new(CentralBarrier::new(p));
+        group.bench_with_input(BenchmarkId::new("central", p), &p, |b, _| {
+            b.iter(|| {
+                let bb = Arc::clone(&central);
+                team.run(move |_| {
+                    let mut sense = false;
+                    for _ in 0..ROUNDS {
+                        bb.wait(&mut sense);
+                    }
+                });
+            })
+        });
+        let tree = Arc::new(TreeBarrier::new(p));
+        group.bench_with_input(BenchmarkId::new("tree", p), &p, |b, _| {
+            b.iter(|| {
+                let bb = Arc::clone(&tree);
+                team.run(move |pid| {
+                    let mut epoch = 0usize;
+                    for _ in 0..ROUNDS {
+                        bb.wait(pid, &mut epoch);
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_counter_and_neighbor(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let p = cores.min(8);
+    let team = Team::new(p);
+    let mut group = c.benchmark_group("replacement");
+    group.bench_function(format!("counter_p{p}"), |b| {
+        b.iter(|| {
+            let ctr = Arc::new(Counters::new(1));
+            team.run(move |pid| {
+                for k in 1..=ROUNDS {
+                    if pid == 0 {
+                        ctr.increment(0);
+                    } else {
+                        ctr.wait_ge(0, k);
+                    }
+                }
+            });
+        })
+    });
+    group.bench_function(format!("neighbor_p{p}"), |b| {
+        b.iter(|| {
+            let flags = Arc::new(NeighborFlags::new(p));
+            team.run(move |pid| {
+                for k in 1..=ROUNDS {
+                    flags.post(pid);
+                    flags.wait(pid as isize - 1, k);
+                    flags.wait(pid as isize + 1, k);
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_barriers, bench_counter_and_neighbor
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation A3 — how the data decomposition interacts with the
+//! synchronization optimizer: LU with block, cyclic, and block-cyclic
+//! column distributions. Block columns keep the trailing update local
+//! longer (fewer counters) but serialize the tail; cyclic balances load
+//! but every step communicates; block-cyclic interpolates.
+
+use interp::{run_sequential, run_virtual, Mem, ScheduleOrder};
+use ir::build::{dist_block_cyclic_dim, dist_block_dim, dist_cyclic_dim, DistSpec};
+use spmd_bench::{dyn_counts, Table};
+use suite::kernels::lu;
+use suite::Scale;
+
+fn main() {
+    let nprocs = 8;
+    println!("Ablation: LU column distribution vs synchronization (P = {nprocs})\n");
+    let dists: [(&str, DistSpec); 4] = [
+        ("block", dist_block_dim(1)),
+        ("cyclic", dist_cyclic_dim(1)),
+        ("cyclic(2)", dist_block_cyclic_dim(1, 2)),
+        ("cyclic(4)", dist_block_cyclic_dim(1, 4)),
+    ];
+    let mut t = Table::new(&[
+        "distribution",
+        "barriers base",
+        "barriers opt",
+        "counters",
+        "% barriers removed",
+    ]);
+    for (label, dist) in dists {
+        let built = lu::build_with_dist(Scale::Small, dist);
+        let bind = built.bindings(nprocs);
+        let base = dyn_counts(
+            &built.prog,
+            &bind,
+            &spmd_opt::fork_join(&built.prog, &bind),
+        );
+        let plan = spmd_opt::optimize(&built.prog, &bind);
+        let opt = dyn_counts(&built.prog, &bind, &plan);
+        // Correctness for each distribution.
+        let oracle = Mem::new(&built.prog, &bind);
+        run_sequential(&built.prog, &bind, &oracle);
+        let mem = Mem::new(&built.prog, &bind);
+        run_virtual(&built.prog, &bind, &plan, &mem, ScheduleOrder::Reverse);
+        assert!(mem.max_abs_diff(&oracle) < 1e-9, "{label} diverged");
+        t.row(vec![
+            label.to_string(),
+            base.barriers.to_string(),
+            opt.barriers.to_string(),
+            opt.counter_increments.to_string(),
+            format!(
+                "{:.0}%",
+                spmd_bench::pct_reduction(base.barriers, opt.barriers)
+            ),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nExpected shape: every distribution keeps the counter broadcast; the");
+    println!("optimizer's reductions are distribution-robust (same schedule shape).");
+}

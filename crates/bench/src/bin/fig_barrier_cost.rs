@@ -1,0 +1,85 @@
+//! Figure: barrier cost versus processor count (the motivation after
+//! Chen/Su/Yew [10] — "run-time overhead typically grows quickly as the
+//! number of processors increases"). Measures the central
+//! sense-reversing barrier, the dissemination tree barrier, and, for
+//! contrast, a counter handoff, on real threads.
+
+use runtime::{CentralBarrier, Counters, Team, TreeBarrier};
+use spmd_bench::Table;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ITERS: u64 = 5_000;
+
+fn time_central(p: usize) -> f64 {
+    let team = Team::new(p);
+    let b = Arc::new(CentralBarrier::new(p));
+    let t0 = Instant::now();
+    let bb = Arc::clone(&b);
+    team.run(move |_pid| {
+        let mut sense = false;
+        for _ in 0..ITERS {
+            bb.wait(&mut sense);
+        }
+    });
+    t0.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+fn time_tree(p: usize) -> f64 {
+    let team = Team::new(p);
+    let b = Arc::new(TreeBarrier::new(p));
+    let t0 = Instant::now();
+    let bb = Arc::clone(&b);
+    team.run(move |pid| {
+        let mut epoch = 0usize;
+        for _ in 0..ITERS {
+            bb.wait(pid, &mut epoch);
+        }
+    });
+    t0.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+/// One producer increments, everyone else waits — the cost of the
+/// counter synchronization the optimizer substitutes for barriers.
+fn time_counter(p: usize) -> f64 {
+    let team = Team::new(p);
+    let c = Arc::new(Counters::new(1));
+    let t0 = Instant::now();
+    let cc = Arc::clone(&c);
+    team.run(move |pid| {
+        for k in 1..=ITERS {
+            if pid == 0 {
+                cc.increment(0);
+            } else {
+                cc.wait_ge(0, k);
+            }
+        }
+    });
+    t0.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    // With fewer cores than processors the spin-yield path dominates and
+    // the growth trend is still visible; BE_MAX_P overrides the sweep.
+    let max_p = std::env::var("BE_MAX_P")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| cores.max(4).min(8));
+    println!("Figure: synchronization cost vs processors ({cores} cores available)\n");
+    let mut t = Table::new(&["P", "central barrier ns", "tree barrier ns", "counter ns"]);
+    let mut p = 1;
+    while p <= max_p {
+        t.row(vec![
+            p.to_string(),
+            format!("{:.0}", time_central(p)),
+            format!("{:.0}", time_tree(p)),
+            format!("{:.0}", time_counter(p)),
+        ]);
+        p *= 2;
+    }
+    print!("{}", t.render());
+    println!("\nExpected shape: barrier cost grows with P; the counter handoff stays flat.");
+}

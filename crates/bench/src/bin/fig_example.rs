@@ -1,0 +1,32 @@
+//! Figure: example transformations — prints the source, the fork-join
+//! schedule, and the optimized SPMD schedule for the stencil
+//! (`jacobi2d`) and the pipelined (`adi`) kernels, mirroring the paper's
+//! code-transformation figures.
+
+use spmd_bench::instance;
+use spmd_opt::render_plan;
+use suite::Scale;
+
+fn show(name: &str) {
+    let def = suite::by_name(name).expect("kernel exists");
+    let (built, bind) = instance(&def, Scale::Test, 4);
+    println!("==================================================================");
+    println!("{} — {}", def.name, def.desc);
+    println!("==================================================================\n");
+    println!("--- source ---\n{}", ir::pretty::pretty(&built.prog));
+    let fj = spmd_opt::fork_join(&built.prog, &bind);
+    println!("--- fork-join schedule ---\n{}", render_plan(&built.prog, &fj));
+    let (opt, log) = spmd_opt::optimize_logged(&built.prog, &bind);
+    println!("--- optimized SPMD schedule ---\n{}", render_plan(&built.prog, &opt));
+    println!("--- greedy decisions ---");
+    for d in log {
+        println!("  {:<28} analysis: {:<28} placed: {}", d.site, format!("{:?}", d.outcome), d.placed);
+    }
+    println!();
+}
+
+fn main() {
+    show("jacobi2d");
+    show("adi");
+    show("lu");
+}

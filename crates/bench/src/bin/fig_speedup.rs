@@ -1,0 +1,88 @@
+//! Figure: parallel speedup, fork-join versus optimized, on real
+//! threads, for representative programs. Elapsed time excludes thread
+//! creation (the team is persistent), matching the paper's measurement
+//! protocol. Speedups are relative to the sequential interpreter.
+
+use interp::{run_parallel, run_sequential, Mem};
+use runtime::Team;
+use spmd_bench::Table;
+use std::sync::Arc;
+use std::time::Instant;
+use suite::Scale;
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let max_p = std::env::var("BE_MAX_P")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| cores.min(8));
+    if cores < 2 {
+        println!("NOTE: only {cores} core(s) available — speedups will be flat; the");
+        println!("dynamic-count tables (table3) are the primary metric on this host.\n");
+    }
+    let programs = ["jacobi2d", "shallow", "adi", "erlebacher", "copy_chain"];
+    println!("Figure: speedup vs processors (cores available: {cores})\n");
+    for name in programs {
+        let def = suite::by_name(name).unwrap();
+        let built = (def.build)(Scale::Full);
+        let prog = Arc::new(built.prog);
+
+        // Sequential reference time (median of 3).
+        let bind1 = Arc::new({
+            let mut b = analysis::Bindings::new(1);
+            for &(s, v) in &built.values {
+                b.bind(s, v);
+            }
+            b
+        });
+        let mut seq_times = Vec::new();
+        for _ in 0..3 {
+            let mem = Mem::new(&prog, &bind1);
+            let t0 = Instant::now();
+            run_sequential(&prog, &bind1, &mem);
+            seq_times.push(t0.elapsed().as_secs_f64());
+        }
+        seq_times.sort_by(f64::total_cmp);
+        let t_seq = seq_times[1];
+
+        let mut t = Table::new(&["P", "fork-join s", "optimized s", "speedup fj", "speedup opt"]);
+        let mut p = 1usize;
+        while p <= max_p {
+            let bind = Arc::new({
+                let mut b = analysis::Bindings::new(p as i64);
+                for &(s, v) in &built.values {
+                    b.bind(s, v);
+                }
+                b
+            });
+            let team = Team::new(p);
+            let fj = spmd_opt::fork_join(&prog, &bind);
+            let opt = spmd_opt::optimize(&prog, &bind);
+            let time_plan = |plan: &spmd_opt::SpmdProgram| -> f64 {
+                let mut best = f64::INFINITY;
+                for _ in 0..2 {
+                    let mem = Arc::new(Mem::new(&prog, &bind));
+                    let out = run_parallel(&prog, &bind, plan, &mem, &team);
+                    best = best.min(out.elapsed.as_secs_f64());
+                }
+                best
+            };
+            let t_fj = time_plan(&fj);
+            let t_opt = time_plan(&opt);
+            t.row(vec![
+                p.to_string(),
+                format!("{t_fj:.3}"),
+                format!("{t_opt:.3}"),
+                format!("{:.2}", t_seq / t_fj),
+                format!("{:.2}", t_seq / t_opt),
+            ]);
+            p *= 2;
+        }
+        println!("{name}  (sequential: {t_seq:.3} s)");
+        print!("{}", t.render());
+        println!();
+    }
+    println!("Expected shape: optimized ≥ fork-join at every P, gap widening with P.");
+}

@@ -1,0 +1,60 @@
+//! Figure: synchronization wait-time breakdown per program — how much
+//! time processors spend blocked in barriers versus the cheaper
+//! replacements, on real threads.
+
+use interp::{run_parallel, Mem};
+use runtime::Team;
+use spmd_bench::Table;
+use std::sync::Arc;
+use suite::Scale;
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    // At least 4 logical processors so the sync structure is exercised;
+    // on smaller hosts the threads are oversubscribed (counts stay
+    // exact, wait times are inflated). BE_MAX_P overrides.
+    let p = std::env::var("BE_MAX_P")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| cores.clamp(4, 8));
+    let team = Team::new(p);
+    println!("Figure: per-kind synchronization wait time (P = {p}, Small scale)\n");
+    let mut t = Table::new(&[
+        "program",
+        "plan",
+        "barrier ms",
+        "counter ms",
+        "neighbor ms",
+        "total sync ops",
+    ]);
+    for def in suite::all() {
+        let built = (def.build)(Scale::Small);
+        let prog = Arc::new(built.prog);
+        let bind = Arc::new({
+            let mut b = analysis::Bindings::new(p as i64);
+            for &(s, v) in &built.values {
+                b.bind(s, v);
+            }
+            b
+        });
+        for (label, plan) in [
+            ("base", spmd_opt::fork_join(&prog, &bind)),
+            ("opt", spmd_opt::optimize(&prog, &bind)),
+        ] {
+            let mem = Arc::new(Mem::new(&prog, &bind));
+            let out = run_parallel(&prog, &bind, &plan, &mem, &team);
+            t.row(vec![
+                def.name.to_string(),
+                label.to_string(),
+                format!("{:.2}", out.stats.barrier_wait_ns as f64 / 1e6),
+                format!("{:.2}", out.stats.counter_wait_ns as f64 / 1e6),
+                format!("{:.2}", out.stats.neighbor_wait_ns as f64 / 1e6),
+                out.stats.total_sync_ops().to_string(),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!("\nExpected shape: optimized runs shift wait time out of barriers.");
+}

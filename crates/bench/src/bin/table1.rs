@@ -1,0 +1,33 @@
+//! Table 1 — benchmark characteristics: suite stand-in, statements,
+//! arrays, parallel loops, and SPMD regions formed.
+
+use spmd_bench::{instance, Table};
+use suite::Scale;
+
+fn main() {
+    let mut t = Table::new(&[
+        "program",
+        "stands in for",
+        "stmts",
+        "arrays",
+        "par loops",
+        "regions (opt)",
+        "expected",
+    ]);
+    for def in suite::all() {
+        let (built, bind) = instance(&def, Scale::Small, 8);
+        let plan = spmd_opt::optimize(&built.prog, &bind);
+        let st = plan.static_stats();
+        t.row(vec![
+            def.name.to_string(),
+            def.stands_in_for.to_string(),
+            built.prog.num_statements().to_string(),
+            built.prog.arrays.len().to_string(),
+            built.prog.parallel_loops().len().to_string(),
+            st.regions.to_string(),
+            format!("{:?}", def.expect),
+        ]);
+    }
+    println!("Table 1: benchmark characteristics (P = 8, Small scale)\n");
+    print!("{}", t.render());
+}

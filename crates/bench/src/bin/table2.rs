@@ -1,0 +1,43 @@
+//! Table 2 — static synchronization points: fork-join baseline versus
+//! the optimized schedule, with the replacement kinds.
+
+use spmd_bench::{instance, pct_reduction, Table};
+use suite::Scale;
+
+fn main() {
+    let mut t = Table::new(&[
+        "program",
+        "barriers (base)",
+        "barriers (opt)",
+        "eliminated",
+        "neighbor",
+        "counter",
+        "% barriers removed",
+    ]);
+    let (mut sum_base, mut sum_opt) = (0u64, 0u64);
+    for def in suite::all() {
+        let (built, bind) = instance(&def, Scale::Small, 8);
+        let base = spmd_opt::fork_join(&built.prog, &bind).static_stats();
+        let opt = spmd_opt::optimize(&built.prog, &bind).static_stats();
+        sum_base += base.barriers as u64;
+        sum_opt += opt.barriers as u64;
+        t.row(vec![
+            def.name.to_string(),
+            base.barriers.to_string(),
+            opt.barriers.to_string(),
+            opt.eliminated.to_string(),
+            opt.neighbor_syncs.to_string(),
+            opt.counter_syncs.to_string(),
+            format!(
+                "{:.0}%",
+                pct_reduction(base.barriers as u64, opt.barriers as u64)
+            ),
+        ]);
+    }
+    println!("Table 2: static synchronization (P = 8, Small scale)\n");
+    print!("{}", t.render());
+    println!(
+        "\ntotal static barriers: base {sum_base}, optimized {sum_opt} ({:.0}% removed)",
+        pct_reduction(sum_base, sum_opt)
+    );
+}

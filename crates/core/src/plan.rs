@@ -1,0 +1,260 @@
+//! The optimized SPMD schedule produced by the optimizer.
+
+use analysis::{LoopPartition, ProducerSpec};
+use ir::NodeId;
+
+/// Synchronization placed at one point of the schedule.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub enum SyncOp {
+    /// No synchronization — the barrier was **eliminated**.
+    #[default]
+    None,
+    /// A full team barrier.
+    Barrier,
+    /// Nearest-neighbor post/wait flags: every processor posts its flag,
+    /// then waits for the producing neighbor(s).
+    Neighbor {
+        /// Data flows toward higher processor ids (wait on `p-1`).
+        fwd: bool,
+        /// Data flows toward lower processor ids (wait on `p+1`).
+        bwd: bool,
+    },
+    /// Producer-consumer counter: the unique producer increments, every
+    /// other processor waits for the visit count.
+    Counter {
+        /// Counter index in the region's counter bank.
+        id: usize,
+        /// Who increments.
+        producer: ProducerSpec,
+    },
+}
+
+impl SyncOp {
+    /// True for [`SyncOp::Barrier`].
+    pub fn is_barrier(&self) -> bool {
+        matches!(self, SyncOp::Barrier)
+    }
+
+    /// True for anything other than [`SyncOp::None`].
+    pub fn is_some(&self) -> bool {
+        !matches!(self, SyncOp::None)
+    }
+}
+
+/// How the work of one phase is divided among processors.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PhaseKind {
+    /// A parallel loop whose iterations are distributed by `partition`.
+    Par {
+        /// The computation partition of the loop.
+        partition: LoopPartition,
+    },
+    /// A serial statement guarded to execute on the master only.
+    Master,
+    /// A privatizable (replicated) computation executed by every
+    /// processor.
+    Replicated,
+}
+
+/// One phase of an SPMD region: a parallel loop nest or a serial
+/// statement, followed by the synchronization guarding the next phase.
+#[derive(Clone, Debug)]
+pub struct Phase {
+    /// The IR node (parallel loop, assignment, or guard subtree).
+    pub node: NodeId,
+    /// Work division.
+    pub kind: PhaseKind,
+    /// Synchronization *after* this phase (before the next item).
+    pub after: SyncOp,
+}
+
+/// An item inside an SPMD region.
+#[derive(Clone, Debug)]
+pub enum RItem {
+    /// A phase.
+    Phase(Phase),
+    /// A sequential loop executed (redundantly) by every processor, whose
+    /// body items run per iteration.
+    Seq {
+        /// The sequential loop node.
+        node: NodeId,
+        /// Body items, executed each iteration.
+        body: Vec<RItem>,
+        /// Per-iteration synchronization at the bottom of the loop
+        /// (covers loop-carried communication).
+        bottom: SyncOp,
+        /// Synchronization after the loop completes.
+        after: SyncOp,
+    },
+}
+
+impl RItem {
+    /// The sync placed after this item (before the next).
+    pub fn after(&self) -> &SyncOp {
+        match self {
+            RItem::Phase(p) => &p.after,
+            RItem::Seq { after, .. } => after,
+        }
+    }
+
+    /// Set the sync placed after this item.
+    pub fn set_after(&mut self, s: SyncOp) {
+        match self {
+            RItem::Phase(p) => p.after = s,
+            RItem::Seq { after, .. } => *after = s,
+        }
+    }
+}
+
+/// An SPMD region: dispatched to the worker team once, then executed by
+/// all processors with the placed synchronization.
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// Items in program order.
+    pub items: Vec<RItem>,
+    /// Synchronization at region exit (the master resumes after it).
+    pub end: SyncOp,
+    /// Number of counters this region uses.
+    pub num_counters: usize,
+}
+
+/// A top-level schedule item.
+#[derive(Clone, Debug)]
+pub enum TopItem {
+    /// A statement subtree executed by the master thread alone (fork-join
+    /// serial section).
+    SerialStmt(NodeId),
+    /// A sequential loop driven by the master whose body re-dispatches
+    /// regions every iteration (the fork-join baseline shape).
+    MasterLoop {
+        /// The loop node.
+        node: NodeId,
+        /// Items executed per iteration.
+        body: Vec<TopItem>,
+    },
+    /// An SPMD region.
+    Region(Region),
+}
+
+/// A complete schedule for a program under a fixed processor count.
+#[derive(Clone, Debug)]
+pub struct SpmdProgram {
+    /// Program name (copied for reports).
+    pub name: String,
+    /// Top-level items in program order.
+    pub items: Vec<TopItem>,
+}
+
+/// Static synchronization statistics of a schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StaticStats {
+    /// SPMD regions (dispatch points).
+    pub regions: usize,
+    /// Phases (parallel loops + guarded/replicated statements).
+    pub phases: usize,
+    /// Static barrier sync points.
+    pub barriers: usize,
+    /// Static neighbor sync points.
+    pub neighbor_syncs: usize,
+    /// Static counter sync points.
+    pub counter_syncs: usize,
+    /// Sync points eliminated outright.
+    pub eliminated: usize,
+}
+
+impl SpmdProgram {
+    /// Count the static synchronization points of the schedule.
+    pub fn static_stats(&self) -> StaticStats {
+        let mut st = StaticStats::default();
+        fn count_sync(s: &SyncOp, st: &mut StaticStats) {
+            match s {
+                SyncOp::None => st.eliminated += 1,
+                SyncOp::Barrier => st.barriers += 1,
+                SyncOp::Neighbor { .. } => st.neighbor_syncs += 1,
+                SyncOp::Counter { .. } => st.counter_syncs += 1,
+            }
+        }
+        fn walk_items(items: &[RItem], st: &mut StaticStats) {
+            for (k, it) in items.iter().enumerate() {
+                // The slot after the last item of a level is not a sync
+                // point (the enclosing bottom/end sync follows directly),
+                // so an untouched `None` there is not an elimination.
+                let last = k + 1 == items.len();
+                match it {
+                    RItem::Phase(p) => {
+                        st.phases += 1;
+                        if !last {
+                            count_sync(&p.after, st);
+                        }
+                    }
+                    RItem::Seq { body, bottom, after, .. } => {
+                        walk_items(body, st);
+                        count_sync(bottom, st);
+                        if !last {
+                            count_sync(after, st);
+                        }
+                    }
+                }
+            }
+        }
+        fn walk_top(items: &[TopItem], st: &mut StaticStats) {
+            for it in items {
+                match it {
+                    TopItem::SerialStmt(_) => {}
+                    TopItem::MasterLoop { body, .. } => walk_top(body, st),
+                    TopItem::Region(r) => {
+                        st.regions += 1;
+                        walk_items(&r.items, st);
+                        count_sync(&r.end, st);
+                    }
+                }
+            }
+        }
+        walk_top(&self.items, &mut st);
+        st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_stats_count_each_kind() {
+        let prog = SpmdProgram {
+            name: "t".into(),
+            items: vec![TopItem::Region(Region {
+                items: vec![
+                    RItem::Phase(Phase {
+                        node: NodeId(0),
+                        kind: PhaseKind::Master,
+                        after: SyncOp::Neighbor {
+                            fwd: true,
+                            bwd: false,
+                        },
+                    }),
+                    RItem::Seq {
+                        node: NodeId(1),
+                        body: vec![RItem::Phase(Phase {
+                            node: NodeId(2),
+                            kind: PhaseKind::Replicated,
+                            after: SyncOp::None,
+                        })],
+                        bottom: SyncOp::Barrier,
+                        after: SyncOp::None,
+                    },
+                ],
+                end: SyncOp::Barrier,
+                num_counters: 0,
+            })],
+        };
+        let st = prog.static_stats();
+        assert_eq!(st.regions, 1);
+        assert_eq!(st.phases, 2);
+        // bottom barrier + end barrier; the inner phase and the seq item
+        // are last at their levels, so their `after` slots do not count.
+        assert_eq!(st.barriers, 2);
+        assert_eq!(st.neighbor_syncs, 1);
+        assert_eq!(st.eliminated, 0);
+    }
+}

@@ -1,0 +1,515 @@
+//! Conjunctive systems of affine constraints and Fourier-Motzkin
+//! elimination in the paper's scan order.
+
+use crate::constraint::{Constraint, ConstraintKind};
+use crate::linexpr::LinExpr;
+use crate::var::{VarId, VarTable};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A conjunction of affine constraints.
+///
+/// The `contradictory` flag records that normalization discovered an
+/// outright contradiction (e.g. `-1 >= 0` or `2i == 5`); such a system is
+/// inconsistent regardless of its remaining constraints.
+#[derive(Clone, Default)]
+pub struct System {
+    constraints: Vec<Constraint>,
+    contradictory: bool,
+}
+
+impl System {
+    /// The empty (always-true) system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A system that is unsatisfiable by construction.
+    pub fn contradiction() -> Self {
+        System {
+            constraints: Vec::new(),
+            contradictory: true,
+        }
+    }
+
+    /// Add `expr >= 0`.
+    pub fn add_ge(&mut self, expr: LinExpr) {
+        self.push(Constraint::ge_zero(expr));
+    }
+
+    /// Add `expr == 0`.
+    pub fn add_eq(&mut self, expr: LinExpr) {
+        self.push(Constraint::eq_zero(expr));
+    }
+
+    /// Add `lo <= e` i.e. `e - lo >= 0`.
+    pub fn add_le(&mut self, lo: LinExpr, e: LinExpr) {
+        self.add_ge(e - lo);
+    }
+
+    /// Add a lower and an upper bound: `lo <= e <= hi`.
+    pub fn add_range(&mut self, e: LinExpr, lo: LinExpr, hi: LinExpr) {
+        self.add_ge(e.clone() - lo);
+        self.add_ge(hi - e);
+    }
+
+    /// Add a constraint, normalizing it first.
+    pub fn push(&mut self, mut c: Constraint) {
+        if self.contradictory {
+            return;
+        }
+        if !c.normalize() {
+            self.contradictory = true;
+            self.constraints.clear();
+            return;
+        }
+        if !c.is_trivially_true() {
+            self.constraints.push(c);
+        }
+    }
+
+    /// Conjoin all constraints of `other` into `self`.
+    pub fn conjoin(&mut self, other: &System) {
+        if other.contradictory {
+            self.contradictory = true;
+            self.constraints.clear();
+            return;
+        }
+        for c in &other.constraints {
+            self.push(c.clone());
+        }
+    }
+
+    /// The constraints currently in the system.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True if the system has no constraints (and is not contradictory).
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty() && !self.contradictory
+    }
+
+    /// True if normalization already discovered a contradiction.
+    pub fn is_contradictory(&self) -> bool {
+        self.contradictory
+    }
+
+    /// All variables mentioned by the system.
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        let mut s = BTreeSet::new();
+        for c in &self.constraints {
+            for (v, _) in c.expr.terms() {
+                s.insert(v);
+            }
+        }
+        s
+    }
+
+    /// Substitute `replacement` for `v` in every constraint.
+    pub fn substitute(&mut self, v: VarId, replacement: &LinExpr) {
+        if self.contradictory {
+            return;
+        }
+        let old = std::mem::take(&mut self.constraints);
+        for c in old {
+            let expr = c.expr.substituted(v, replacement);
+            self.push(Constraint { expr, kind: c.kind });
+        }
+    }
+
+    /// Remove exact duplicates (after normalization they compare equal).
+    pub fn dedup(&mut self) {
+        let mut seen: BTreeSet<(u8, Vec<(VarId, i128)>, i128)> = BTreeSet::new();
+        self.constraints.retain(|c| {
+            let key = (
+                match c.kind {
+                    ConstraintKind::GeZero => 0u8,
+                    ConstraintKind::EqZero => 1u8,
+                },
+                c.expr.terms().collect::<Vec<_>>(),
+                c.expr.constant_term(),
+            );
+            seen.insert(key)
+        });
+    }
+
+    /// Use equalities with a ±1 coefficient to substitute variables away.
+    /// This is exact over the integers and keeps FME cheap.
+    pub fn propagate_unit_equalities(&mut self) {
+        loop {
+            if self.contradictory {
+                return;
+            }
+            let mut target: Option<(usize, VarId, LinExpr)> = None;
+            'outer: for (idx, c) in self.constraints.iter().enumerate() {
+                if c.kind != ConstraintKind::EqZero {
+                    continue;
+                }
+                for (v, coef) in c.expr.terms() {
+                    if coef == 1 || coef == -1 {
+                        // coef*v + rest == 0  =>  v = -rest/coef = -coef*rest
+                        let mut rest = c.expr.clone();
+                        rest.set_coeff(v, 0);
+                        let replacement = rest.scaled(-coef);
+                        target = Some((idx, v, replacement));
+                        break 'outer;
+                    }
+                }
+            }
+            match target {
+                None => return,
+                Some((idx, v, replacement)) => {
+                    self.constraints.remove(idx);
+                    self.substitute(v, &replacement);
+                }
+            }
+        }
+    }
+
+    /// Fourier-Motzkin elimination of a single variable.
+    ///
+    /// If an equality mentions `v` it is used as the pivot (exact integer
+    /// combination); otherwise all lower/upper inequality pairs are
+    /// cross-combined. With gcd+floor normalization the result
+    /// over-approximates the integer projection, which is the safe
+    /// direction for communication tests (never misses communication).
+    pub fn eliminate(&self, v: VarId) -> System {
+        if self.contradictory {
+            return System::contradiction();
+        }
+        // Prefer an equality pivot with the smallest |coefficient|.
+        let mut pivot: Option<(usize, i128)> = None;
+        for (idx, c) in self.constraints.iter().enumerate() {
+            if c.kind == ConstraintKind::EqZero {
+                let coef = c.expr.coeff(v);
+                if coef != 0 && pivot.map_or(true, |(_, pc)| coef.abs() < pc.abs()) {
+                    pivot = Some((idx, coef));
+                }
+            }
+        }
+        let mut out = System::new();
+        if let Some((pidx, b)) = pivot {
+            let eq = self.constraints[pidx].expr.clone();
+            for (idx, c) in self.constraints.iter().enumerate() {
+                if idx == pidx {
+                    continue;
+                }
+                let a = c.expr.coeff(v);
+                if a == 0 {
+                    out.push(c.clone());
+                    continue;
+                }
+                // t*|b| + eq*(-a*sign(b)) cancels v exactly and preserves
+                // the comparison direction since |b| > 0.
+                let expr = c.expr.scaled(b.abs()) + eq.scaled(-a * b.signum());
+                debug_assert_eq!(expr.coeff(v), 0);
+                out.push(Constraint { expr, kind: c.kind });
+            }
+            out.dedup();
+            return out;
+        }
+        // No equality pivot: classic lower/upper pairing.
+        let mut lowers: Vec<&Constraint> = Vec::new();
+        let mut uppers: Vec<&Constraint> = Vec::new();
+        for c in &self.constraints {
+            let coef = c.expr.coeff(v);
+            if coef == 0 {
+                out.push(c.clone());
+            } else if coef > 0 {
+                lowers.push(c);
+            } else {
+                uppers.push(c);
+            }
+        }
+        for l in &lowers {
+            let a = l.expr.coeff(v);
+            for u in &uppers {
+                let b = -u.expr.coeff(v);
+                debug_assert!(a > 0 && b > 0);
+                // a*v + e >= 0 and -b*v + f >= 0  =>  b*e + a*f >= 0
+                let expr = l.expr.scaled(b) + u.expr.scaled(a);
+                debug_assert_eq!(expr.coeff(v), 0);
+                out.push(Constraint::ge_zero(expr));
+            }
+        }
+        out.dedup();
+        out
+    }
+
+    /// Project the system onto `keep`, eliminating every other variable
+    /// (inner classes first, per the scan order of `vt`).
+    pub fn project_onto(&self, vt: &VarTable, keep: &[VarId]) -> System {
+        let keep: BTreeSet<VarId> = keep.iter().copied().collect();
+        let mut sys = self.clone();
+        for v in vt.elimination_order() {
+            if keep.contains(&v) {
+                continue;
+            }
+            if sys.vars().contains(&v) {
+                sys = sys.eliminate(v);
+                if sys.contradictory {
+                    return System::contradiction();
+                }
+            }
+        }
+        sys
+    }
+
+    /// Feasibility test: eliminate every variable in the paper's scan
+    /// order (array indices first, symbolics last) and check what remains.
+    ///
+    /// Returns `false` only when the system has **no** integer solution;
+    /// `true` means a rational solution exists (and usually an integer
+    /// one) — the conservative answer for communication analysis.
+    pub fn is_consistent(&self, vt: &VarTable) -> bool {
+        if self.contradictory {
+            return false;
+        }
+        let mut sys = self.clone();
+        sys.propagate_unit_equalities();
+        sys.dedup();
+        for v in vt.elimination_order() {
+            if sys.contradictory {
+                return false;
+            }
+            if sys.constraints.is_empty() {
+                return true;
+            }
+            if sys.vars().contains(&v) {
+                sys = sys.eliminate(v);
+            }
+        }
+        if sys.contradictory {
+            return false;
+        }
+        // Whatever is left mentions no variables; push() has already
+        // filtered trivially-true constraints and flagged false ones.
+        sys.constraints.is_empty()
+    }
+
+    /// Exhaustively search an integer box for a satisfying assignment —
+    /// exponential, only for tests and oracles. `bounds` pairs each
+    /// variable with an inclusive range; variables outside `bounds` must
+    /// not occur in the system.
+    pub fn find_integer_solution(
+        &self,
+        bounds: &[(VarId, i128, i128)],
+    ) -> Option<Vec<(VarId, i128)>> {
+        if self.contradictory {
+            return None;
+        }
+        fn rec(
+            sys: &System,
+            bounds: &[(VarId, i128, i128)],
+            idx: usize,
+            assign: &mut Vec<(VarId, i128)>,
+        ) -> bool {
+            if idx == bounds.len() {
+                let lookup = |v: VarId| -> i128 {
+                    assign
+                        .iter()
+                        .find(|(av, _)| *av == v)
+                        .map(|(_, x)| *x)
+                        .expect("unbound variable in system")
+                };
+                return sys.constraints.iter().all(|c| c.holds_int(&lookup));
+            }
+            let (v, lo, hi) = bounds[idx];
+            for x in lo..=hi {
+                assign.push((v, x));
+                if rec(sys, bounds, idx + 1, assign) {
+                    return true;
+                }
+                assign.pop();
+            }
+            false
+        }
+        let mut assign = Vec::new();
+        if rec(self, bounds, 0, &mut assign) {
+            Some(assign)
+        } else {
+            None
+        }
+    }
+
+    /// Render with variable names, one constraint per line.
+    pub fn display<'a>(&'a self, vt: &'a VarTable) -> impl fmt::Display + 'a {
+        DisplaySystem { s: self, vt }
+    }
+}
+
+struct DisplaySystem<'a> {
+    s: &'a System,
+    vt: &'a VarTable,
+}
+
+impl fmt::Display for DisplaySystem<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.s.contradictory {
+            return writeln!(f, "<contradiction>");
+        }
+        for c in &self.s.constraints {
+            writeln!(f, "{}", c.display(self.vt))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.contradictory {
+            return write!(f, "System<contradiction>");
+        }
+        f.debug_list().entries(&self.constraints).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarKind;
+
+    fn table() -> (VarTable, VarId, VarId, VarId) {
+        let mut vt = VarTable::new();
+        let n = vt.fresh("n", VarKind::Symbolic);
+        let i = vt.fresh("i", VarKind::LoopIndex);
+        let j = vt.fresh("j", VarKind::LoopIndex);
+        (vt, n, i, j)
+    }
+
+    #[test]
+    fn empty_system_is_consistent() {
+        let (vt, ..) = table();
+        assert!(System::new().is_consistent(&vt));
+    }
+
+    #[test]
+    fn contradiction_is_inconsistent() {
+        let (vt, ..) = table();
+        assert!(!System::contradiction().is_consistent(&vt));
+        let mut s = System::new();
+        s.add_ge(LinExpr::constant(-1));
+        assert!(!s.is_consistent(&vt));
+    }
+
+    #[test]
+    fn box_with_point_inside() {
+        let (vt, _, i, _) = table();
+        let mut s = System::new();
+        s.add_range(LinExpr::var(i), LinExpr::constant(1), LinExpr::constant(10));
+        s.add_eq(LinExpr::var(i) - LinExpr::constant(7));
+        assert!(s.is_consistent(&vt));
+    }
+
+    #[test]
+    fn box_with_point_outside() {
+        let (vt, _, i, _) = table();
+        let mut s = System::new();
+        s.add_range(LinExpr::var(i), LinExpr::constant(1), LinExpr::constant(10));
+        s.add_eq(LinExpr::var(i) - LinExpr::constant(42));
+        assert!(!s.is_consistent(&vt));
+    }
+
+    #[test]
+    fn two_var_chain() {
+        let (vt, _, i, j) = table();
+        // 0 <= i <= 5, j == i + 10, j <= 12  => i <= 2, feasible
+        let mut s = System::new();
+        s.add_range(LinExpr::var(i), LinExpr::constant(0), LinExpr::constant(5));
+        s.add_eq(LinExpr::var(j) - LinExpr::var(i) - LinExpr::constant(10));
+        s.add_ge(LinExpr::constant(12) - LinExpr::var(j));
+        assert!(s.is_consistent(&vt));
+        // tighten: j <= 9 makes it infeasible (j >= 10 always)
+        s.add_ge(LinExpr::constant(9) - LinExpr::var(j));
+        assert!(!s.is_consistent(&vt));
+    }
+
+    #[test]
+    fn symbolic_bound_consistency() {
+        let (vt, n, i, _) = table();
+        // 1 <= i <= n and n >= 1 is consistent; adding n <= 0 kills it.
+        let mut s = System::new();
+        s.add_range(LinExpr::var(i), LinExpr::constant(1), LinExpr::var(n));
+        s.add_ge(LinExpr::var(n) - LinExpr::constant(1));
+        assert!(s.is_consistent(&vt));
+        s.add_ge(-LinExpr::var(n));
+        assert!(!s.is_consistent(&vt));
+    }
+
+    #[test]
+    fn integer_tightening_catches_parity_gap() {
+        let (vt, _, i, _) = table();
+        // 2i == 1 infeasible over the integers (feasible over rationals).
+        let mut s = System::new();
+        s.add_eq(LinExpr::term(i, 2) - LinExpr::constant(1));
+        assert!(!s.is_consistent(&vt));
+    }
+
+    #[test]
+    fn eliminate_pairs_bounds() {
+        let (vt, _, i, j) = table();
+        // i <= j and j <= i - 1 => infeasible after eliminating j.
+        let mut s = System::new();
+        s.add_ge(LinExpr::var(j) - LinExpr::var(i));
+        s.add_ge(LinExpr::var(i) - LinExpr::constant(1) - LinExpr::var(j));
+        let e = s.eliminate(j);
+        assert!(e.is_contradictory() || !e.is_consistent(&vt));
+    }
+
+    #[test]
+    fn propagate_unit_equalities_substitutes() {
+        let (vt, _, i, j) = table();
+        let mut s = System::new();
+        s.add_eq(LinExpr::var(j) - LinExpr::var(i) - LinExpr::constant(1)); // j = i+1
+        s.add_range(LinExpr::var(i), LinExpr::constant(0), LinExpr::constant(3));
+        s.add_eq(LinExpr::var(j) - LinExpr::constant(10)); // j = 10 -> i = 9, out of range
+        s.propagate_unit_equalities();
+        assert!(!s.is_consistent(&vt));
+    }
+
+    #[test]
+    fn find_integer_solution_oracle() {
+        let (_, _, i, j) = table();
+        let mut s = System::new();
+        s.add_eq(LinExpr::var(i) + LinExpr::var(j) - LinExpr::constant(5));
+        s.add_ge(LinExpr::var(i) - LinExpr::var(j)); // i >= j
+        let sol = s
+            .find_integer_solution(&[(i, 0, 5), (j, 0, 5)])
+            .expect("solution exists");
+        let get = |v: VarId| sol.iter().find(|(a, _)| *a == v).unwrap().1;
+        assert_eq!(get(i) + get(j), 5);
+        assert!(get(i) >= get(j));
+    }
+
+    #[test]
+    fn projection_keeps_only_requested_vars() {
+        let (vt, n, i, _) = table();
+        let mut s = System::new();
+        s.add_range(LinExpr::var(i), LinExpr::constant(1), LinExpr::var(n));
+        let p = s.project_onto(&vt, &[n]);
+        // Projection of 1 <= i <= n onto n is n >= 1.
+        assert!(p.constraints().iter().all(|c| c.expr.coeff(i) == 0));
+        let mut feas = p.clone();
+        feas.add_eq(LinExpr::var(n) - LinExpr::constant(3));
+        assert!(feas.is_consistent(&vt));
+        let mut infeas = p.clone();
+        infeas.add_eq(LinExpr::var(n)); // n == 0 contradicts n >= 1
+        assert!(!infeas.is_consistent(&vt));
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let (_, _, i, _) = table();
+        let mut s = System::new();
+        s.add_ge(LinExpr::var(i));
+        s.add_ge(LinExpr::var(i));
+        s.dedup();
+        assert_eq!(s.len(), 1);
+    }
+}

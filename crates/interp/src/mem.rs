@@ -1,0 +1,314 @@
+//! Shared program memory: arrays and scalars as relaxed atomic `f64`
+//! cells.
+
+use analysis::Bindings;
+use ir::{ArrayId, Program, ScalarId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One array's storage (row-major).
+pub struct ArrayStore {
+    /// Extent of each dimension.
+    pub extents: Vec<i64>,
+    /// Row-major strides.
+    pub strides: Vec<i64>,
+    data: Vec<AtomicU64>,
+}
+
+impl ArrayStore {
+    fn new(extents: Vec<i64>) -> Self {
+        let mut strides = vec![1i64; extents.len()];
+        for k in (0..extents.len().saturating_sub(1)).rev() {
+            strides[k] = strides[k + 1] * extents[k + 1].max(0);
+        }
+        let len: i64 = extents.iter().product::<i64>().max(0);
+        let data = (0..len).map(|_| AtomicU64::new(0)).collect();
+        ArrayStore {
+            extents,
+            strides,
+            data,
+        }
+    }
+
+    #[inline]
+    fn offset(&self, subs: &[i64]) -> usize {
+        debug_assert_eq!(subs.len(), self.extents.len());
+        let mut off = 0i64;
+        for (k, &s) in subs.iter().enumerate() {
+            assert!(
+                s >= 0 && s < self.extents[k],
+                "subscript {s} out of bounds 0..{} in dim {k}",
+                self.extents[k]
+            );
+            off += s * self.strides[k];
+        }
+        off as usize
+    }
+
+    /// Read element `subs`.
+    #[inline]
+    pub fn get(&self, subs: &[i64]) -> f64 {
+        f64::from_bits(self.data[self.offset(subs)].load(Ordering::Relaxed))
+    }
+
+    /// Write element `subs`.
+    #[inline]
+    pub fn set(&self, subs: &[i64], v: f64) {
+        self.data[self.offset(subs)].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Linear read (for checksums).
+    pub fn get_linear(&self, k: usize) -> f64 {
+        f64::from_bits(self.data[k].load(Ordering::Relaxed))
+    }
+}
+
+enum Slot {
+    /// One shared store (distributed / replicated arrays).
+    Shared(ArrayStore),
+    /// One store per processor (privatizable work arrays).
+    Private(Vec<ArrayStore>),
+}
+
+/// Program memory: one [`ArrayStore`] per array (or one per processor
+/// for privatizable arrays) plus atomic scalars.
+pub struct Mem {
+    slots: Vec<Slot>,
+    scalars: Vec<AtomicU64>,
+}
+
+impl Mem {
+    /// Allocate memory for a program under concrete bindings (array
+    /// extents must evaluate). Scalars take their declared initial
+    /// values; array elements start at zero.
+    pub fn new(prog: &Program, bind: &Bindings) -> Self {
+        let slots = prog
+            .arrays
+            .iter()
+            .map(|a| {
+                let extents: Vec<i64> = a
+                    .extents
+                    .iter()
+                    .map(|e| {
+                        bind.eval_const(e)
+                            .unwrap_or_else(|| panic!("unbound extent for array {}", a.name))
+                    })
+                    .collect();
+                if a.privatizable {
+                    Slot::Private(
+                        (0..bind.nprocs)
+                            .map(|_| ArrayStore::new(extents.clone()))
+                            .collect(),
+                    )
+                } else {
+                    Slot::Shared(ArrayStore::new(extents))
+                }
+            })
+            .collect();
+        let scalars = prog
+            .scalars
+            .iter()
+            .map(|s| AtomicU64::new(s.init.to_bits()))
+            .collect();
+        Mem { slots, scalars }
+    }
+
+    /// The storage of one array as seen by processor 0 (tests / oracle).
+    #[inline]
+    pub fn array(&self, a: ArrayId) -> &ArrayStore {
+        self.array_view(a, 0)
+    }
+
+    /// The storage of one array as seen by processor `pid` (private
+    /// arrays route to the processor's own copy).
+    #[inline]
+    pub fn array_view(&self, a: ArrayId, pid: usize) -> &ArrayStore {
+        match &self.slots[a.0 as usize] {
+            Slot::Shared(st) => st,
+            Slot::Private(copies) => &copies[pid],
+        }
+    }
+
+    /// True for privatizable (per-processor) arrays.
+    #[inline]
+    pub fn is_private(&self, a: ArrayId) -> bool {
+        matches!(self.slots[a.0 as usize], Slot::Private(_))
+    }
+
+    /// Number of arrays.
+    pub fn num_arrays(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Read a scalar.
+    #[inline]
+    pub fn get_scalar(&self, s: ScalarId) -> f64 {
+        f64::from_bits(self.scalars[s.0 as usize].load(Ordering::Relaxed))
+    }
+
+    /// Write a scalar.
+    #[inline]
+    pub fn set_scalar(&self, s: ScalarId, v: f64) {
+        self.scalars[s.0 as usize].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomically apply a reduction to a scalar (used when flushing
+    /// per-processor partials).
+    pub fn reduce_scalar(&self, s: ScalarId, op: ir::RedOp, v: f64) {
+        let cell = &self.scalars[s.0 as usize];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = op.apply(f64::from_bits(cur), v).to_bits();
+            match cell.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Fill an array with a function of its indices (test setup; private
+    /// arrays have every copy filled identically).
+    pub fn fill(&self, a: ArrayId, f: impl Fn(&[i64]) -> f64) {
+        let stores: Vec<&ArrayStore> = match &self.slots[a.0 as usize] {
+            Slot::Shared(st) => vec![st],
+            Slot::Private(copies) => copies.iter().collect(),
+        };
+        for st in stores {
+            let rank = st.extents.len();
+            let mut subs = vec![0i64; rank];
+            if st.extents.iter().any(|&e| e <= 0) {
+                continue;
+            }
+            'odo: loop {
+                st.set(&subs, f(&subs));
+                let mut k = rank;
+                loop {
+                    if k == 0 {
+                        break 'odo;
+                    }
+                    k -= 1;
+                    subs[k] += 1;
+                    if subs[k] < st.extents[k] {
+                        break;
+                    }
+                    subs[k] = 0;
+                }
+            }
+        }
+    }
+
+    /// A position-weighted checksum over all *shared* arrays and all
+    /// scalars (private arrays are scratch storage whose final contents
+    /// are unspecified — the paper's finalization concern applies only
+    /// when they are live-out, which the suite avoids).
+    pub fn checksum(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for slot in &self.slots {
+            let Slot::Shared(st) = slot else { continue };
+            for k in 0..st.len() {
+                acc += st.get_linear(k) * (1.0 + (k % 97) as f64 * 1e-3);
+            }
+        }
+        for k in 0..self.scalars.len() {
+            acc += f64::from_bits(self.scalars[k].load(Ordering::Relaxed))
+                * (1.0 + k as f64 * 1e-2);
+        }
+        acc
+    }
+
+    /// Maximum absolute difference of all *shared* cells between two
+    /// memories of identical shape (private scratch is excluded).
+    pub fn max_abs_diff(&self, other: &Mem) -> f64 {
+        let mut m: f64 = 0.0;
+        for (sa, sb) in self.slots.iter().zip(&other.slots) {
+            let (Slot::Shared(a), Slot::Shared(b)) = (sa, sb) else {
+                continue;
+            };
+            assert_eq!(a.len(), b.len(), "memory shapes differ");
+            for k in 0..a.len() {
+                m = m.max((a.get_linear(k) - b.get_linear(k)).abs());
+            }
+        }
+        for (a, b) in self.scalars.iter().zip(&other.scalars) {
+            m = m.max(
+                (f64::from_bits(a.load(Ordering::Relaxed))
+                    - f64::from_bits(b.load(Ordering::Relaxed)))
+                .abs(),
+            );
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::build::*;
+
+    fn mem1d(n: i64) -> (ir::Program, Mem, ArrayId) {
+        let mut pb = ProgramBuilder::new("m");
+        let s = pb.sym("n");
+        let a = pb.array("A", &[sym(s)], dist_block());
+        let prog = pb.finish();
+        let bind = Bindings::new(2).set(s, n);
+        let mem = Mem::new(&prog, &bind);
+        (prog, mem, a)
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let (_, mem, a) = mem1d(10);
+        mem.array(a).set(&[3], 1.5);
+        assert_eq!(mem.array(a).get(&[3]), 1.5);
+        assert_eq!(mem.array(a).get(&[4]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let (_, mem, a) = mem1d(10);
+        mem.array(a).get(&[10]);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let mut pb = ProgramBuilder::new("m2");
+        let a = pb.array("A", &[con(3), con(4)], dist_block());
+        let prog = pb.finish();
+        let mem = Mem::new(&prog, &Bindings::new(2));
+        mem.array(a).set(&[1, 2], 7.0);
+        assert_eq!(mem.array(a).get_linear(6), 7.0);
+    }
+
+    #[test]
+    fn fill_and_checksum_depend_on_position() {
+        let (_, mem, a) = mem1d(8);
+        mem.fill(a, |s| s[0] as f64);
+        let c1 = mem.checksum();
+        // Swap two values; plain sum would be identical.
+        mem.array(a).set(&[0], 7.0);
+        mem.array(a).set(&[7], 0.0);
+        assert_ne!(c1, mem.checksum());
+    }
+
+    #[test]
+    fn reduce_scalar_applies_op() {
+        let mut pb = ProgramBuilder::new("r");
+        let s = pb.scalar("s", 10.0);
+        let prog = pb.finish();
+        let mem = Mem::new(&prog, &Bindings::new(2));
+        mem.reduce_scalar(s, ir::RedOp::Add, 5.0);
+        assert_eq!(mem.get_scalar(s), 15.0);
+        mem.reduce_scalar(s, ir::RedOp::Max, 100.0);
+        assert_eq!(mem.get_scalar(s), 100.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Real-thread execution of a schedule on the `runtime` worker team.
+
+use crate::events::{exec_work, producer_pid, unroll, DynCounts, Event};
+use crate::mem::Mem;
+use analysis::Bindings;
+use ir::Program;
+use runtime::{CentralBarrier, Counters, NeighborFlags, SyncStats, Team, TreeBarrier};
+use spmd_opt::{SpmdProgram, SyncOp};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which barrier implementation the executor uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BarrierKind {
+    /// Sense-reversing central barrier (single hot cache line).
+    #[default]
+    Central,
+    /// Dissemination tree barrier (log-depth, contention-free).
+    Tree,
+}
+
+enum AnyBarrier {
+    Central(CentralBarrier),
+    Tree(TreeBarrier),
+}
+
+/// Per-thread barrier state.
+#[derive(Default)]
+struct BarrierLocal {
+    sense: bool,
+    epoch: usize,
+}
+
+impl AnyBarrier {
+    fn wait(&self, pid: usize, local: &mut BarrierLocal) {
+        match self {
+            AnyBarrier::Central(b) => b.wait(&mut local.sense),
+            AnyBarrier::Tree(b) => b.wait(pid, &mut local.epoch),
+        }
+    }
+}
+
+/// Result of a parallel run.
+#[derive(Clone, Debug)]
+pub struct ParallelOutcome {
+    /// Instrumented dynamic synchronization (from the runtime
+    /// primitives).
+    pub stats: runtime::stats::StatsSnapshot,
+    /// Schedule-derived dynamic counts (identical to what `run_virtual`
+    /// reports for the same plan).
+    pub counts: DynCounts,
+    /// Wall-clock time of the traversal (thread startup excluded — the
+    /// team is persistent, matching the paper's measurement protocol).
+    pub elapsed: Duration,
+}
+
+fn max_counter_id(events: &[Event]) -> usize {
+    let mut n = 0;
+    for ev in events {
+        if let Event::Sync {
+            op: SyncOp::Counter { id, .. },
+            ..
+        } = ev
+        {
+            n = n.max(*id + 1);
+        }
+    }
+    n
+}
+
+/// Execute the schedule on `team` with the default (central) barrier.
+pub fn run_parallel(
+    prog: &Arc<Program>,
+    bind: &Arc<Bindings>,
+    plan: &SpmdProgram,
+    mem: &Arc<Mem>,
+    team: &Team,
+) -> ParallelOutcome {
+    run_parallel_with(prog, bind, plan, mem, team, BarrierKind::Central)
+}
+
+/// Execute the schedule on `team` (whose size must match
+/// `bind.nprocs`) with an explicit barrier implementation.
+/// Arrays/scalars are read and written in `mem`.
+pub fn run_parallel_with(
+    prog: &Arc<Program>,
+    bind: &Arc<Bindings>,
+    plan: &SpmdProgram,
+    mem: &Arc<Mem>,
+    team: &Team,
+    barrier_kind: BarrierKind,
+) -> ParallelOutcome {
+    let nprocs = team.nprocs();
+    assert_eq!(
+        nprocs as i64, bind.nprocs,
+        "team size must match the bindings' processor count"
+    );
+    let events = Arc::new(unroll(prog, bind, plan));
+    let counts = DynCounts::from_events(&events, nprocs);
+    let stats = Arc::new(SyncStats::new());
+    let barrier = Arc::new(match barrier_kind {
+        BarrierKind::Central => {
+            AnyBarrier::Central(CentralBarrier::new(nprocs).with_stats(Arc::clone(&stats)))
+        }
+        BarrierKind::Tree => {
+            AnyBarrier::Tree(TreeBarrier::new(nprocs).with_stats(Arc::clone(&stats)))
+        }
+    });
+    let counters = Arc::new(
+        Counters::new(max_counter_id(&events)).with_stats(Arc::clone(&stats)),
+    );
+    let flags = Arc::new(NeighborFlags::new(nprocs).with_stats(Arc::clone(&stats)));
+    let dispatch = Arc::new(Counters::new(1));
+
+    let prog2 = Arc::clone(prog);
+    let bind2 = Arc::clone(bind);
+    let mem2 = Arc::clone(mem);
+    let events2 = Arc::clone(&events);
+    let barrier2 = Arc::clone(&barrier);
+    let counters2 = Arc::clone(&counters);
+    let flags2 = Arc::clone(&flags);
+    let dispatch2 = Arc::clone(&dispatch);
+
+    let t0 = Instant::now();
+    team.run(move |pid| {
+        let prog = &prog2;
+        let bind = &bind2;
+        let mem = &mem2;
+        let mut blocal = BarrierLocal::default();
+        let mut nposts = 0u64;
+        let mut visits = vec![0u64; counters2.len()];
+        let mut dispatch_visits = 0u64;
+        for ev in events2.iter() {
+            match ev {
+                Event::Work { .. } | Event::SerialWork { .. } => {
+                    exec_work(prog, bind, mem, pid, bind.nprocs as usize, ev);
+                }
+                Event::Dispatch => {
+                    dispatch_visits += 1;
+                    if pid == 0 {
+                        dispatch2.increment(0);
+                    } else {
+                        dispatch2.wait_ge(0, dispatch_visits);
+                    }
+                }
+                Event::Sync { op, env } => match op {
+                    SyncOp::None => {}
+                    SyncOp::Barrier => barrier2.wait(pid, &mut blocal),
+                    SyncOp::Neighbor { fwd, bwd } => {
+                        flags2.post(pid);
+                        nposts += 1;
+                        if *fwd {
+                            flags2.wait(pid as isize - 1, nposts);
+                        }
+                        if *bwd {
+                            flags2.wait(pid as isize + 1, nposts);
+                        }
+                    }
+                    SyncOp::Counter { id, producer } => {
+                        visits[*id] += 1;
+                        let prod = producer_pid(bind, prog, producer, env);
+                        if pid as i64 == prod {
+                            counters2.increment(*id);
+                        } else {
+                            counters2.wait_ge(*id, visits[*id]);
+                        }
+                    }
+                },
+            }
+        }
+    });
+    let elapsed = t0.elapsed();
+    ParallelOutcome {
+        stats: stats.snapshot(),
+        counts,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::build::*;
+    use spmd_opt::{fork_join, optimize};
+
+    fn sweep(n_val: i64, steps: i64, nprocs: i64) -> (Arc<Program>, Arc<Bindings>) {
+        let mut pb = ProgramBuilder::new("sweep");
+        let n = pb.sym("n");
+        let a = pb.array("A", &[sym(n)], dist_block());
+        let b = pb.array("B", &[sym(n)], dist_block());
+        let _t = pb.begin_seq("t", con(0), con(steps - 1));
+        let i = pb.begin_par("i", con(1), sym(n) - 2);
+        pb.assign(
+            elem(b, [idx(i)]),
+            ex(0.5) * (arr(a, [idx(i) - 1]) + arr(a, [idx(i) + 1])),
+        );
+        pb.end();
+        let j = pb.begin_par("j", con(1), sym(n) - 2);
+        pb.assign(elem(a, [idx(j)]), arr(b, [idx(j)]));
+        pb.end();
+        pb.end();
+        let prog = Arc::new(pb.finish());
+        let bind = Arc::new(Bindings::new(nprocs).set(n, n_val));
+        (prog, bind)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_both_plans() {
+        let (prog, bind) = sweep(64, 8, 4);
+        let team = Team::new(4);
+        let oracle = Mem::new(&prog, &bind);
+        oracle.fill(ir::ArrayId(0), |s| (s[0] % 5) as f64);
+        crate::run_sequential(&prog, &bind, &oracle);
+
+        for plan in [fork_join(&prog, &bind), optimize(&prog, &bind)] {
+            let mem = Arc::new(Mem::new(&prog, &bind));
+            mem.fill(ir::ArrayId(0), |s| (s[0] % 5) as f64);
+            let out = run_parallel(&prog, &bind, &plan, &mem, &team);
+            assert_eq!(mem.max_abs_diff(&oracle), 0.0);
+            assert_eq!(out.stats.barrier_episodes, out.counts.barriers);
+        }
+    }
+
+    #[test]
+    fn instrumentation_matches_schedule_counts() {
+        let (prog, bind) = sweep(64, 10, 4);
+        let team = Team::new(4);
+        let plan = optimize(&prog, &bind);
+        let mem = Arc::new(Mem::new(&prog, &bind));
+        let out = run_parallel(&prog, &bind, &plan, &mem, &team);
+        assert_eq!(out.stats.barrier_episodes, out.counts.barriers);
+        assert_eq!(out.stats.neighbor_posts, out.counts.neighbor_posts);
+        assert_eq!(out.stats.counter_increments, out.counts.counter_increments);
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic_in_value() {
+        let (prog, bind) = sweep(48, 6, 4);
+        let team = Team::new(4);
+        let plan = optimize(&prog, &bind);
+        let mut checks = Vec::new();
+        for _ in 0..3 {
+            let mem = Arc::new(Mem::new(&prog, &bind));
+            mem.fill(ir::ArrayId(0), |s| (s[0] * 3 % 11) as f64);
+            run_parallel(&prog, &bind, &plan, &mem, &team);
+            checks.push(mem.checksum());
+        }
+        assert!(checks.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,259 @@
+//! The virtual-processor simulator.
+//!
+//! Executes a schedule with `P` logical processors on one thread, by
+//! interleaving their event streams in any order the placed
+//! synchronization permits. Because the interleaving policy is explicit
+//! and adversarial orders are available, this doubles as a soundness
+//! oracle for the optimizer: a missing synchronization lets some legal
+//! order produce results that differ from the sequential semantics.
+
+use crate::events::{exec_work, producer_pid, unroll, DynCounts, Event};
+use crate::mem::Mem;
+use analysis::Bindings;
+use ir::Program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spmd_opt::{SpmdProgram, SyncOp};
+
+/// How the simulator picks the next virtual processor to advance.
+#[derive(Clone, Copy, Debug)]
+pub enum ScheduleOrder {
+    /// Cycle 0, 1, …, P-1 — the "natural" order.
+    RoundRobin,
+    /// Cycle P-1, …, 0 — adversarial for forward-flowing dependences.
+    Reverse,
+    /// Seeded random choices — adversarial for everything on average.
+    Random(u64),
+}
+
+/// The result of a virtual run.
+#[derive(Clone, Copy, Debug)]
+pub struct VirtualOutcome {
+    /// Dynamic synchronization counts of the traversal.
+    pub counts: DynCounts,
+    /// Number of events in the unrolled schedule.
+    pub num_events: usize,
+}
+
+/// Can processor `pid` cross the event at its current position?
+fn can_advance(
+    events: &[Event],
+    ptrs: &[usize],
+    pid: usize,
+    prog: &Program,
+    bind: &Bindings,
+) -> bool {
+    let i = ptrs[pid];
+    if i >= events.len() {
+        return false;
+    }
+    let nprocs = ptrs.len();
+    match &events[i] {
+        Event::Work { .. } | Event::SerialWork { .. } => true,
+        // Workers wait until the master has performed the dispatch.
+        Event::Dispatch => pid == 0 || ptrs[0] > i,
+        Event::Sync { op, env } => match op {
+            SyncOp::None => true,
+            SyncOp::Barrier => (0..nprocs).all(|q| ptrs[q] >= i),
+            SyncOp::Neighbor { fwd, bwd } => {
+                let fwd_ok = !*fwd || pid == 0 || ptrs[pid - 1] >= i;
+                let bwd_ok = !*bwd || pid + 1 == nprocs || ptrs[pid + 1] >= i;
+                fwd_ok && bwd_ok
+            }
+            SyncOp::Counter { producer, .. } => {
+                let prod = producer_pid(bind, prog, producer, env) as usize;
+                pid == prod || ptrs[prod] > i
+            }
+        },
+    }
+}
+
+/// Run the schedule with `nprocs` virtual processors in the given
+/// interleaving order. Panics on deadlock (which would indicate a bug in
+/// the scheduler or simulator, not a property of valid plans).
+pub fn run_virtual(
+    prog: &Program,
+    bind: &Bindings,
+    plan: &SpmdProgram,
+    mem: &Mem,
+    order: ScheduleOrder,
+) -> VirtualOutcome {
+    let nprocs = bind.nprocs as usize;
+    let events = unroll(prog, bind, plan);
+    let m = events.len();
+    let mut ptrs = vec![0usize; nprocs];
+    let mut rng = match order {
+        ScheduleOrder::Random(seed) => Some(StdRng::seed_from_u64(seed)),
+        _ => None,
+    };
+    let mut cursor = 0usize;
+    loop {
+        if ptrs.iter().all(|&p| p == m) {
+            break;
+        }
+        // Pick a processor that can advance: scan all processors once,
+        // starting from a policy-chosen point.
+        let start = match order {
+            ScheduleOrder::RoundRobin | ScheduleOrder::Reverse => cursor,
+            ScheduleOrder::Random(_) => rng.as_mut().unwrap().gen_range(0..nprocs),
+        };
+        let mut advanced = false;
+        for k in 0..nprocs {
+            let pid = match order {
+                ScheduleOrder::Reverse => (nprocs - 1) - ((start + k) % nprocs),
+                _ => (start + k) % nprocs,
+            };
+            if can_advance(&events, &ptrs, pid, prog, bind) {
+                let i = ptrs[pid];
+                if matches!(events[i], Event::Work { .. } | Event::SerialWork { .. }) {
+                    exec_work(prog, bind, mem, pid, nprocs, &events[i]);
+                }
+                ptrs[pid] = i + 1;
+                advanced = true;
+                cursor = cursor.wrapping_add(1);
+                break;
+            }
+        }
+        if !advanced {
+            for (q, &p) in ptrs.iter().enumerate() {
+                eprintln!("proc {q} at {p}/{m}: {:?}", events.get(p));
+            }
+            panic!("virtual schedule deadlocked (simulator bug)");
+        }
+    }
+    VirtualOutcome {
+        counts: DynCounts::from_events(&events, nprocs),
+        num_events: m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::build::*;
+    use spmd_opt::{fork_join, optimize};
+
+    /// Build the jacobi time-sweep program.
+    fn sweep(n_val: i64, steps: i64, nprocs: i64) -> (Program, Bindings) {
+        let mut pb = ProgramBuilder::new("sweep");
+        let n = pb.sym("n");
+        let a = pb.array("A", &[sym(n)], dist_block());
+        let b = pb.array("B", &[sym(n)], dist_block());
+        let _t = pb.begin_seq("t", con(0), con(steps - 1));
+        let i = pb.begin_par("i", con(1), sym(n) - 2);
+        pb.assign(
+            elem(b, [idx(i)]),
+            ex(0.5) * (arr(a, [idx(i) - 1]) + arr(a, [idx(i) + 1])),
+        );
+        pb.end();
+        let j = pb.begin_par("j", con(1), sym(n) - 2);
+        pb.assign(elem(a, [idx(j)]), arr(b, [idx(j)]));
+        pb.end();
+        pb.end();
+        let prog = pb.finish();
+        let bind = Bindings::new(nprocs).set(n, n_val);
+        (prog, bind)
+    }
+
+    fn check_all_orders(prog: &Program, bind: &Bindings, plan: &spmd_opt::SpmdProgram) {
+        // Sequential oracle.
+        let oracle = Mem::new(prog, bind);
+        oracle.fill(ir::ArrayId(0), |s| (s[0] % 7) as f64);
+        crate::run_sequential(prog, bind, &oracle);
+
+        for order in [
+            ScheduleOrder::RoundRobin,
+            ScheduleOrder::Reverse,
+            ScheduleOrder::Random(1),
+            ScheduleOrder::Random(42),
+        ] {
+            let mem = Mem::new(prog, bind);
+            mem.fill(ir::ArrayId(0), |s| (s[0] % 7) as f64);
+            run_virtual(prog, bind, plan, &mem, order);
+            assert_eq!(
+                mem.max_abs_diff(&oracle),
+                0.0,
+                "virtual execution diverged under {order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_sweep_is_correct_under_adversarial_orders() {
+        let (prog, bind) = sweep(32, 5, 4);
+        let plan = optimize(&prog, &bind);
+        check_all_orders(&prog, &bind, &plan);
+    }
+
+    #[test]
+    fn fork_join_sweep_is_correct() {
+        let (prog, bind) = sweep(32, 5, 4);
+        let plan = fork_join(&prog, &bind);
+        check_all_orders(&prog, &bind, &plan);
+    }
+
+    #[test]
+    fn optimized_counts_far_fewer_barriers() {
+        let (prog, bind) = sweep(32, 50, 4);
+        let mem_a = Mem::new(&prog, &bind);
+        let fj =
+            run_virtual(&prog, &bind, &fork_join(&prog, &bind), &mem_a, ScheduleOrder::RoundRobin);
+        let mem_b = Mem::new(&prog, &bind);
+        let opt =
+            run_virtual(&prog, &bind, &optimize(&prog, &bind), &mem_b, ScheduleOrder::RoundRobin);
+        assert_eq!(fj.counts.barriers, 100);
+        assert_eq!(opt.counts.barriers, 1);
+        assert!(opt.counts.neighbor_posts > 0);
+    }
+
+    /// Deliberately broken plan: removing a needed neighbor sync must be
+    /// caught by some adversarial order.
+    #[test]
+    fn missing_sync_is_detected_by_adversarial_order() {
+        let (prog, bind) = sweep(32, 5, 4);
+        let mut plan = optimize(&prog, &bind);
+        // Strip every non-barrier sync from the plan.
+        fn strip(items: &mut Vec<spmd_opt::RItem>) {
+            for it in items.iter_mut() {
+                match it {
+                    spmd_opt::RItem::Phase(p) => {
+                        if !p.after.is_barrier() {
+                            p.after = SyncOp::None;
+                        }
+                    }
+                    spmd_opt::RItem::Seq { body, bottom, after, .. } => {
+                        strip(body);
+                        if !bottom.is_barrier() {
+                            *bottom = SyncOp::None;
+                        }
+                        if !after.is_barrier() {
+                            *after = SyncOp::None;
+                        }
+                    }
+                }
+            }
+        }
+        for item in plan.items.iter_mut() {
+            if let spmd_opt::TopItem::Region(r) = item {
+                strip(&mut r.items);
+            }
+        }
+        let oracle = Mem::new(&prog, &bind);
+        oracle.fill(ir::ArrayId(0), |s| (s[0] % 7) as f64);
+        crate::run_sequential(&prog, &bind, &oracle);
+
+        let mut diverged = false;
+        for order in [ScheduleOrder::Reverse, ScheduleOrder::Random(3)] {
+            let mem = Mem::new(&prog, &bind);
+            mem.fill(ir::ArrayId(0), |s| (s[0] % 7) as f64);
+            run_virtual(&prog, &bind, &plan, &mem, order);
+            if mem.max_abs_diff(&oracle) != 0.0 {
+                diverged = true;
+            }
+        }
+        assert!(
+            diverged,
+            "stripping required synchronization should corrupt some order"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Declarations: symbolic constants, scalars, arrays, and data
+//! decompositions.
+
+use crate::expr::Affine;
+use std::fmt;
+
+/// Handle for a symbolic program constant (problem size, etc.).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SymId(pub u32);
+
+/// Handle for a scalar variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ScalarId(pub u32);
+
+/// Handle for an array.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ArrayId(pub u32);
+
+/// A symbolic constant declaration. Its value is provided when the
+/// program is analyzed or executed.
+#[derive(Clone, Debug)]
+pub struct SymDecl {
+    /// Display name.
+    pub name: String,
+}
+
+/// A scalar variable declaration.
+#[derive(Clone, Debug)]
+pub struct ScalarDecl {
+    /// Display name.
+    pub name: String,
+    /// Initial value.
+    pub init: f64,
+    /// True if the parallelizer proved the scalar privatizable: each
+    /// iteration (or processor) can own a private copy, so assignments to
+    /// it can be *replicated* inside an SPMD region (paper §2.3).
+    pub privatizable: bool,
+}
+
+/// How one array dimension is distributed across the 1-D processor grid.
+///
+/// The paper's decomposition pass (Anderson-Lam) produces block/cyclic
+/// distributions; at most one dimension of an array is distributed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DimDist {
+    /// Contiguous blocks of `ceil(extent / P)` elements per processor.
+    Block,
+    /// Element `i` lives on processor `i mod P`.
+    Cyclic,
+    /// Element `i` lives on processor `(i / b) mod P` (blocks of `b`
+    /// dealt round-robin — the load-balance/locality compromise).
+    BlockCyclic(i64),
+    /// The dimension is not distributed (every processor sees all of it).
+    Replicated,
+}
+
+/// The distribution of a whole array (one entry per dimension).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Distribution {
+    /// Per-dimension distribution; empty means fully replicated.
+    pub dims: Vec<DimDist>,
+}
+
+impl Distribution {
+    /// Fully replicated array.
+    pub fn replicated(rank: usize) -> Self {
+        Distribution {
+            dims: vec![DimDist::Replicated; rank],
+        }
+    }
+
+    /// The index of the distributed dimension, if any.
+    pub fn distributed_dim(&self) -> Option<(usize, DimDist)> {
+        self.dims
+            .iter()
+            .enumerate()
+            .find(|(_, d)| !matches!(d, DimDist::Replicated))
+            .map(|(k, d)| (k, *d))
+    }
+
+    /// True if no dimension is distributed.
+    pub fn is_replicated(&self) -> bool {
+        self.distributed_dim().is_none()
+    }
+}
+
+impl fmt::Display for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (k, d) in self.dims.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            match d {
+                DimDist::Block => write!(f, "BLOCK")?,
+                DimDist::Cyclic => write!(f, "CYCLIC")?,
+                DimDist::BlockCyclic(b) => write!(f, "CYCLIC({b})")?,
+                DimDist::Replicated => write!(f, "*")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// An array declaration.
+#[derive(Clone, Debug)]
+pub struct ArrayDecl {
+    /// Display name.
+    pub name: String,
+    /// Extent of each dimension (affine in the symbolic constants;
+    /// dimension `k` is indexed `0 .. extent_k`).
+    pub extents: Vec<Affine>,
+    /// Data decomposition.
+    pub dist: Distribution,
+    /// True if the (assumed) privatization analysis (Tu & Padua) proved
+    /// every read is preceded by a write in the same region instance:
+    /// each processor works on its own copy, accesses never communicate,
+    /// and defining loops may be *replicated* (paper §2.3).
+    pub privatizable: bool,
+}
+
+impl ArrayDecl {
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.extents.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_queries() {
+        let d = Distribution {
+            dims: vec![DimDist::Replicated, DimDist::Block],
+        };
+        assert_eq!(d.distributed_dim(), Some((1, DimDist::Block)));
+        assert!(!d.is_replicated());
+        assert!(Distribution::replicated(3).is_replicated());
+        assert_eq!(format!("{d}"), "(*, BLOCK)");
+    }
+}

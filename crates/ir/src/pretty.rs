@@ -1,0 +1,214 @@
+//! Fortran-flavoured pretty printer for programs (used by the example
+//! figures and debugging output).
+
+use crate::decl::ScalarId;
+use crate::expr::{AffAtom, Affine, BinOp, Expr, UnOp};
+use crate::node::{CmpOp, LhsRef, LoopKind, Node};
+use crate::program::{NodeId, Program};
+use std::fmt::Write;
+
+/// Render an affine expression with program names.
+pub fn affine_str(p: &Program, e: &Affine) -> String {
+    let mut s = String::new();
+    let mut first = true;
+    for (a, c) in e.terms() {
+        let name = match a {
+            AffAtom::Loop(l) => p.loop_name(l).to_string(),
+            AffAtom::Sym(sy) => p.sym(sy).name.clone(),
+        };
+        if first {
+            match c {
+                1 => write!(s, "{name}").unwrap(),
+                -1 => write!(s, "-{name}").unwrap(),
+                _ => write!(s, "{c}*{name}").unwrap(),
+            }
+            first = false;
+        } else if c > 0 {
+            if c == 1 {
+                write!(s, "+{name}").unwrap();
+            } else {
+                write!(s, "+{c}*{name}").unwrap();
+            }
+        } else if c == -1 {
+            write!(s, "-{name}").unwrap();
+        } else {
+            write!(s, "{c}*{name}").unwrap();
+        }
+    }
+    let k = e.constant_term();
+    if first {
+        write!(s, "{k}").unwrap();
+    } else if k > 0 {
+        write!(s, "+{k}").unwrap();
+    } else if k < 0 {
+        write!(s, "{k}").unwrap();
+    }
+    s
+}
+
+fn scalar_name(p: &Program, s: ScalarId) -> &str {
+    &p.scalar(s).name
+}
+
+/// Render a value expression.
+pub fn expr_str(p: &Program, e: &Expr) -> String {
+    match e {
+        Expr::Lit(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{:.1}", v)
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::Idx(a) => affine_str(p, a),
+        Expr::Scalar(s) => scalar_name(p, *s).to_string(),
+        Expr::Elem(a, subs) => {
+            let subs: Vec<String> = subs.iter().map(|s| affine_str(p, s)).collect();
+            format!("{}({})", p.array(*a).name, subs.join(","))
+        }
+        Expr::Bin(op, l, r) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Min => return format!("MIN({}, {})", expr_str(p, l), expr_str(p, r)),
+                BinOp::Max => return format!("MAX({}, {})", expr_str(p, l), expr_str(p, r)),
+            };
+            format!("({} {} {})", expr_str(p, l), sym, expr_str(p, r))
+        }
+        Expr::Un(op, a) => {
+            let f = match op {
+                UnOp::Neg => return format!("(-{})", expr_str(p, a)),
+                UnOp::Sqrt => "SQRT",
+                UnOp::Abs => "ABS",
+                UnOp::Exp => "EXP",
+                UnOp::Sin => "SIN",
+                UnOp::Cos => "COS",
+            };
+            format!("{}({})", f, expr_str(p, a))
+        }
+    }
+}
+
+fn node_str(p: &Program, id: NodeId, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match p.node(id) {
+        Node::Loop(l) => {
+            let kw = match l.kind {
+                LoopKind::Seq => "DO",
+                LoopKind::Par => "DOALL",
+            };
+            writeln!(
+                out,
+                "{pad}{kw} {} = {}, {}",
+                l.name,
+                affine_str(p, &l.lo),
+                affine_str(p, &l.hi)
+            )
+            .unwrap();
+            for &c in &l.body {
+                node_str(p, c, indent + 1, out);
+            }
+            writeln!(out, "{pad}ENDDO").unwrap();
+        }
+        Node::Guard(g) => {
+            let conds: Vec<String> = g
+                .conds
+                .iter()
+                .map(|c| {
+                    let op = match c.op {
+                        CmpOp::Eq => "==",
+                        CmpOp::Ge => ">=",
+                        CmpOp::Le => "<=",
+                    };
+                    format!("{} {} 0", affine_str(p, &c.expr), op)
+                })
+                .collect();
+            writeln!(out, "{pad}IF ({}) THEN", conds.join(" .AND. ")).unwrap();
+            for &c in &g.body {
+                node_str(p, c, indent + 1, out);
+            }
+            writeln!(out, "{pad}ENDIF").unwrap();
+        }
+        Node::Assign(a) => {
+            let lhs = match &a.lhs {
+                LhsRef::Elem(arr, subs) => {
+                    let subs: Vec<String> = subs.iter().map(|s| affine_str(p, s)).collect();
+                    format!("{}({})", p.array(*arr).name, subs.join(","))
+                }
+                LhsRef::Scalar(s) => scalar_name(p, *s).to_string(),
+            };
+            match a.reduction {
+                None => writeln!(out, "{pad}{lhs} = {}", expr_str(p, &a.rhs)).unwrap(),
+                Some(op) => {
+                    let f = match op {
+                        crate::node::RedOp::Add => format!("{lhs} + {}", expr_str(p, &a.rhs)),
+                        crate::node::RedOp::Max => {
+                            format!("MAX({lhs}, {})", expr_str(p, &a.rhs))
+                        }
+                        crate::node::RedOp::Min => {
+                            format!("MIN({lhs}, {})", expr_str(p, &a.rhs))
+                        }
+                    };
+                    writeln!(out, "{pad}{lhs} = {f}").unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// Render the whole program in a Fortran-like syntax.
+pub fn pretty(p: &Program) -> String {
+    let mut out = String::new();
+    writeln!(out, "PROGRAM {}", p.name).unwrap();
+    for a in &p.arrays {
+        let exts: Vec<String> = a.extents.iter().map(|e| affine_str(p, e)).collect();
+        writeln!(out, "  REAL {}({})  ! dist {}", a.name, exts.join(","), a.dist).unwrap();
+    }
+    for s in &p.scalars {
+        writeln!(
+            out,
+            "  REAL {}{}",
+            s.name,
+            if s.privatizable { "  ! private" } else { "" }
+        )
+        .unwrap();
+    }
+    for &id in &p.body {
+        node_str(p, id, 1, &mut out);
+    }
+    writeln!(out, "END").unwrap();
+    out
+}
+
+/// Render a single subtree (used when printing SPMD regions).
+pub fn pretty_node(p: &Program, id: NodeId, indent: usize) -> String {
+    let mut out = String::new();
+    node_str(p, id, indent, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::*;
+
+    #[test]
+    fn prints_jacobi_like_source() {
+        let mut p = ProgramBuilder::new("jacobi");
+        let n = p.sym("n");
+        let a = p.array("A", &[sym(n) + 2], dist_block());
+        let b = p.array("B", &[sym(n) + 2], dist_block());
+        let i = p.begin_par("i", con(1), sym(n));
+        p.assign(
+            elem(b, [idx(i)]),
+            ex(0.5) * (arr(a, [idx(i) - 1]) + arr(a, [idx(i) + 1])),
+        );
+        p.end();
+        let prog = p.finish();
+        let s = super::pretty(&prog);
+        assert!(s.contains("DOALL i = 1, n"), "got:\n{s}");
+        assert!(s.contains("B(i) = (0.5 * (A(i-1) + A(i+1)))"), "got:\n{s}");
+        assert!(s.contains("REAL A(n+2)"), "got:\n{s}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the affine-expression algebra: the subscripts the
+//! whole analysis stack trusts.
+
+use ir::{AffAtom, Affine, LoopId, SymId};
+use proptest::prelude::*;
+
+const NATOMS: usize = 4;
+
+fn atom(k: usize) -> AffAtom {
+    if k % 2 == 0 {
+        AffAtom::Loop(LoopId((k / 2) as u32))
+    } else {
+        AffAtom::Sym(SymId((k / 2) as u32))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RandAffine {
+    coeffs: Vec<i16>,
+    constant: i16,
+}
+
+impl RandAffine {
+    fn build(&self) -> Affine {
+        let mut e = Affine::constant(self.constant as i64);
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            e.add_term(atom(k), c as i64);
+        }
+        e
+    }
+}
+
+fn rand_affine() -> impl Strategy<Value = RandAffine> {
+    (
+        proptest::collection::vec(-20i16..=20, NATOMS),
+        -100i16..=100,
+    )
+        .prop_map(|(coeffs, constant)| RandAffine { coeffs, constant })
+}
+
+fn rand_assign() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-50i64..=50, NATOMS)
+}
+
+fn eval(e: &Affine, vals: &[i64]) -> i64 {
+    e.eval(&|a| {
+        let k = match a {
+            AffAtom::Loop(l) => 2 * l.0 as usize,
+            AffAtom::Sym(s) => 2 * s.0 as usize + 1,
+        };
+        vals[k]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Addition is evaluated pointwise.
+    #[test]
+    fn addition_is_pointwise(a in rand_affine(), b in rand_affine(), vals in rand_assign()) {
+        let (ea, eb) = (a.build(), b.build());
+        let sum = ea.clone() + eb.clone();
+        prop_assert_eq!(eval(&sum, &vals), eval(&ea, &vals) + eval(&eb, &vals));
+    }
+
+    /// Subtraction and scaling are evaluated pointwise.
+    #[test]
+    fn sub_and_scale_are_pointwise(a in rand_affine(), b in rand_affine(), k in -9i64..=9, vals in rand_assign()) {
+        let (ea, eb) = (a.build(), b.build());
+        prop_assert_eq!(eval(&(ea.clone() - eb.clone()), &vals), eval(&ea, &vals) - eval(&eb, &vals));
+        prop_assert_eq!(eval(&ea.scaled(k), &vals), k * eval(&ea, &vals));
+    }
+
+    /// `a - a` is structurally zero (zero coefficients never linger).
+    #[test]
+    fn self_subtraction_is_structurally_zero(a in rand_affine()) {
+        let ea = a.build();
+        let z = ea.clone() - ea;
+        prop_assert!(z.is_constant());
+        prop_assert_eq!(z.constant_term(), 0);
+    }
+
+    /// Substitution agrees with evaluation: e[l := r] at v equals e at
+    /// the assignment where l takes r's value.
+    #[test]
+    fn substitution_agrees_with_evaluation(a in rand_affine(), r in rand_affine(), vals in rand_assign()) {
+        let ea = a.build();
+        let target = LoopId(0);
+        // r must not mention the substituted loop.
+        let mut er = r.build();
+        er.set_coeff(AffAtom::Loop(target), 0);
+        let substituted = ea.substituted(target, &er);
+        let rv = eval(&er, &vals);
+        let mut vals2 = vals.clone();
+        vals2[0] = rv; // slot of Loop(0)
+        prop_assert_eq!(eval(&substituted, &vals), eval(&ea, &vals2));
+    }
+
+    /// Structural equality is extensional on this atom set: equal
+    /// structure ⇒ equal values, and differing structure differs
+    /// somewhere on the sampled grid (coefficient extraction is exact).
+    #[test]
+    fn coefficients_roundtrip(a in rand_affine()) {
+        let ea = a.build();
+        for (k, &c) in a.coeffs.iter().enumerate() {
+            prop_assert_eq!(ea.coeff(atom(k)), c as i64);
+        }
+        prop_assert_eq!(ea.constant_term(), a.constant as i64);
+    }
+}

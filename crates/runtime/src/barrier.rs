@@ -1,0 +1,256 @@
+//! Barrier implementations: sense-reversing central barrier and a
+//! combining-tree barrier.
+//!
+//! The central barrier is the classic shared-memory barrier whose cost
+//! grows with the processor count (the motivation figure of the paper,
+//! after Chen/Su/Yew); the tree barrier trades single-atomic contention
+//! for logarithmic depth.
+
+use crate::stats::SyncStats;
+use crossbeam::utils::{Backoff, CachePadded};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sense-reversing centralized barrier.
+///
+/// Each processor keeps a thread-local sense; `wait` flips it. The last
+/// arriving processor resets the count and releases everyone by flipping
+/// the global sense.
+pub struct CentralBarrier {
+    n: usize,
+    count: CachePadded<AtomicUsize>,
+    sense: CachePadded<AtomicBool>,
+    stats: Option<Arc<SyncStats>>,
+}
+
+impl CentralBarrier {
+    /// A barrier for `n` processors.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        CentralBarrier {
+            n,
+            count: CachePadded::new(AtomicUsize::new(0)),
+            sense: CachePadded::new(AtomicBool::new(false)),
+            stats: None,
+        }
+    }
+
+    /// Attach instrumentation.
+    pub fn with_stats(mut self, stats: Arc<SyncStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Number of participating processors.
+    pub fn nprocs(&self) -> usize {
+        self.n
+    }
+
+    /// Block until all `n` processors have arrived. `local_sense` is the
+    /// caller's thread-local sense flag (start with `false`, pass the
+    /// same variable every time).
+    pub fn wait(&self, local_sense: &mut bool) {
+        let t0 = self.stats.as_ref().map(|_| Instant::now());
+        let my_sense = !*local_sense;
+        *local_sense = my_sense;
+        if self.count.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
+            // Last arrival: reset and release.
+            self.count.store(0, Ordering::Release);
+            if let Some(s) = &self.stats {
+                s.barrier_episode();
+            }
+            self.sense.store(my_sense, Ordering::Release);
+        } else {
+            let backoff = Backoff::new();
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                if backoff.is_completed() {
+                    std::thread::yield_now();
+                } else {
+                    backoff.snooze();
+                }
+            }
+        }
+        if let (Some(s), Some(t0)) = (&self.stats, t0) {
+            s.barrier_arrival(t0.elapsed());
+        }
+    }
+}
+
+/// A combining-tree barrier built from two-party sense barriers.
+///
+/// Arrival propagates up a binary tree; release propagates down. Depth is
+/// `ceil(log2 n)`, so hot-spot contention on a single cache line is
+/// avoided at large `n`.
+pub struct TreeBarrier {
+    n: usize,
+    // One flag per (round, processor): processor p in round r waits for
+    // partner p + 2^r.
+    flags: Vec<Vec<CachePadded<AtomicUsize>>>,
+    rounds: usize,
+    stats: Option<Arc<SyncStats>>,
+}
+
+impl TreeBarrier {
+    /// A tree barrier for `n` processors.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        let mut rounds = 0;
+        while (1usize << rounds) < n {
+            rounds += 1;
+        }
+        let flags = (0..rounds)
+            .map(|_| (0..n).map(|_| CachePadded::new(AtomicUsize::new(0))).collect())
+            .collect();
+        TreeBarrier {
+            n,
+            flags,
+            rounds,
+            stats: None,
+        }
+    }
+
+    /// Attach instrumentation.
+    pub fn with_stats(mut self, stats: Arc<SyncStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Number of participating processors.
+    pub fn nprocs(&self) -> usize {
+        self.n
+    }
+
+    /// Block processor `pid` until all processors arrive. `epoch` is the
+    /// caller's thread-local episode counter (start at 0, pass the same
+    /// variable every time).
+    ///
+    /// This is a dissemination-style barrier: in round `r` processor `p`
+    /// signals `(p + 2^r) mod n` and waits for a signal from
+    /// `(p - 2^r) mod n`; after all rounds every processor has
+    /// transitively heard from every other.
+    pub fn wait(&self, pid: usize, epoch: &mut usize) {
+        let t0 = self.stats.as_ref().map(|_| Instant::now());
+        *epoch += 1;
+        let target = *epoch;
+        for r in 0..self.rounds {
+            let dist = 1usize << r;
+            let to = (pid + dist) % self.n;
+            self.flags[r][to].fetch_add(1, Ordering::AcqRel);
+            let backoff = Backoff::new();
+            while self.flags[r][pid].load(Ordering::Acquire) < target {
+                if backoff.is_completed() {
+                    std::thread::yield_now();
+                } else {
+                    backoff.snooze();
+                }
+            }
+        }
+        if let Some(s) = &self.stats {
+            if pid == 0 {
+                s.barrier_episode();
+            }
+            if let Some(t0) = t0 {
+                s.barrier_arrival(t0.elapsed());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn hammer_central(n: usize, iters: usize) {
+        let b = Arc::new(CentralBarrier::new(n));
+        let phase = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let phase = Arc::clone(&phase);
+                std::thread::spawn(move || {
+                    let mut sense = false;
+                    for k in 0..iters {
+                        // Everyone must observe the same phase before and
+                        // after each barrier.
+                        let before = phase.load(Ordering::SeqCst);
+                        assert!(before >= k as u64);
+                        b.wait(&mut sense);
+                        phase.fetch_max(k as u64 + 1, Ordering::SeqCst);
+                        b.wait(&mut sense);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(phase.load(Ordering::SeqCst), iters as u64);
+    }
+
+    #[test]
+    fn central_barrier_synchronizes() {
+        hammer_central(4, 200);
+    }
+
+    #[test]
+    fn central_barrier_single_processor() {
+        let b = CentralBarrier::new(1);
+        let mut sense = false;
+        for _ in 0..10 {
+            b.wait(&mut sense);
+        }
+    }
+
+    #[test]
+    fn central_barrier_counts_episodes() {
+        let stats = Arc::new(SyncStats::new());
+        let b = Arc::new(CentralBarrier::new(3).with_stats(Arc::clone(&stats)));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let mut sense = false;
+                    for _ in 0..50 {
+                        b.wait(&mut sense);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(stats.barrier_episodes_count(), 50);
+        assert_eq!(stats.barrier_arrivals_count(), 150);
+    }
+
+    #[test]
+    fn tree_barrier_synchronizes() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let b = Arc::new(TreeBarrier::new(n));
+            let counter = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..n)
+                .map(|pid| {
+                    let b = Arc::clone(&b);
+                    let counter = Arc::clone(&counter);
+                    std::thread::spawn(move || {
+                        let mut epoch = 0;
+                        for k in 0..100u64 {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                            b.wait(pid, &mut epoch);
+                            // After the barrier all n increments of this
+                            // round are visible.
+                            assert!(counter.load(Ordering::SeqCst) >= (k + 1) * n as u64);
+                            b.wait(pid, &mut epoch);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 100 * n as u64);
+        }
+    }
+}

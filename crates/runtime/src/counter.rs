@@ -1,0 +1,145 @@
+//! Counter synchronization — the paper's flexible event variables.
+//!
+//! "Processors defining (producing) values can increment a counter, and
+//! processors accessing (consuming) the values wait until the counter is
+//! incremented to the proper value." Unlike full barriers, only the
+//! processors actually involved in the communication pay for the
+//! synchronization, and only one synchronization happens per pair of
+//! communicating processors.
+
+use crate::stats::SyncStats;
+use crossbeam::utils::{Backoff, CachePadded};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A bank of monotonically increasing synchronization counters.
+pub struct Counters {
+    c: Vec<CachePadded<AtomicU64>>,
+    stats: Option<Arc<SyncStats>>,
+}
+
+impl Counters {
+    /// A bank of `n` counters, all starting at zero.
+    pub fn new(n: usize) -> Self {
+        Counters {
+            c: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            stats: None,
+        }
+    }
+
+    /// Attach instrumentation.
+    pub fn with_stats(mut self, stats: Arc<SyncStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Number of counters in the bank.
+    pub fn len(&self) -> usize {
+        self.c.len()
+    }
+
+    /// True if the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.c.is_empty()
+    }
+
+    /// Producer side: increment counter `id` (release ordering — the
+    /// produced data becomes visible to waiters).
+    pub fn increment(&self, id: usize) {
+        self.c[id].fetch_add(1, Ordering::Release);
+        if let Some(s) = &self.stats {
+            s.counter_increment();
+        }
+    }
+
+    /// Consumer side: block until counter `id` reaches at least `v`
+    /// (acquire ordering).
+    pub fn wait_ge(&self, id: usize, v: u64) {
+        let t0 = self.stats.as_ref().map(|_| Instant::now());
+        let backoff = Backoff::new();
+        while self.c[id].load(Ordering::Acquire) < v {
+            if backoff.is_completed() {
+                std::thread::yield_now();
+            } else {
+                backoff.snooze();
+            }
+        }
+        if let (Some(s), Some(t0)) = (&self.stats, t0) {
+            s.counter_wait(t0.elapsed());
+        }
+    }
+
+    /// Current value of counter `id`.
+    pub fn value(&self, id: usize) -> u64 {
+        self.c[id].load(Ordering::Acquire)
+    }
+
+    /// Reset every counter to zero (only between regions, never while
+    /// other processors may be waiting).
+    pub fn reset(&self) {
+        for c in &self.c {
+            c.store(0, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn producer_consumer_ordering() {
+        let c = Arc::new(Counters::new(1));
+        let data = Arc::new(AtomicU64::new(0));
+        let consumer = {
+            let c = Arc::clone(&c);
+            let data = Arc::clone(&data);
+            std::thread::spawn(move || {
+                c.wait_ge(0, 1);
+                // Release/acquire on the counter publishes the data.
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            })
+        };
+        data.store(42, Ordering::Relaxed);
+        c.increment(0);
+        consumer.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_multiple_increments() {
+        let c = Arc::new(Counters::new(2));
+        let n_producers = 4;
+        let handles: Vec<_> = (0..n_producers)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    c.increment(1);
+                })
+            })
+            .collect();
+        c.wait_ge(1, n_producers as u64);
+        assert_eq!(c.value(1), n_producers as u64);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let stats = Arc::new(SyncStats::new());
+        let c = Counters::new(1).with_stats(Arc::clone(&stats));
+        c.increment(0);
+        c.wait_ge(0, 1);
+        assert_eq!(stats.counter_increments_count(), 1);
+        assert_eq!(stats.counter_waits_count(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = Counters::new(3);
+        c.increment(2);
+        c.reset();
+        assert_eq!(c.value(2), 0);
+    }
+}

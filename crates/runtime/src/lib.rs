@@ -1,0 +1,49 @@
+//! Shared-memory SPMD runtime.
+//!
+//! This crate stands in for the multiprocessor runtime (ANL-macro style)
+//! that the SUIF-generated code of Tseng (PPoPP'95) ran on. It provides
+//! exactly the synchronization repertoire the paper's optimizer targets:
+//!
+//! * **barriers** — a sense-reversing central barrier and a combining
+//!   tree barrier ([`barrier`]);
+//! * **counters** — the paper's flexible event synchronization: producers
+//!   increment, consumers wait for a value ([`counter`]);
+//! * **neighbor flags** — post/wait between adjacent processors for
+//!   stencil and pipeline patterns ([`neighbor`]);
+//! * a persistent **worker team** that executes SPMD regions without
+//!   re-spawning threads ([`team`]);
+//! * **instrumentation** counting every dynamic synchronization event and
+//!   the time spent waiting ([`stats`]) — the source of the "barriers
+//!   executed at run time" numbers in the reproduction of Table 3.
+
+//! ```
+//! use runtime::{Team, Counters};
+//! use std::sync::Arc;
+//!
+//! // One producer hands a value chain to three consumers.
+//! let team = Team::new(4);
+//! let ctr = Arc::new(Counters::new(1));
+//! let c = Arc::clone(&ctr);
+//! team.run(move |pid| {
+//!     for round in 1..=10 {
+//!         if pid == 0 {
+//!             c.increment(0);
+//!         } else {
+//!             c.wait_ge(0, round);
+//!         }
+//!     }
+//! });
+//! assert_eq!(ctr.value(0), 10);
+//! ```
+
+pub mod barrier;
+pub mod counter;
+pub mod neighbor;
+pub mod stats;
+pub mod team;
+
+pub use barrier::{CentralBarrier, TreeBarrier};
+pub use counter::Counters;
+pub use neighbor::NeighborFlags;
+pub use stats::{SyncKind, SyncStats};
+pub use team::Team;

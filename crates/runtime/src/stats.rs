@@ -1,0 +1,212 @@
+//! Dynamic synchronization instrumentation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The kinds of synchronization the optimizer can emit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncKind {
+    /// Full barrier across the team.
+    Barrier,
+    /// Counter increment / wait (producer-consumer).
+    Counter,
+    /// Neighbor post / wait flags.
+    Neighbor,
+}
+
+/// Shared, lock-free synchronization counters.
+///
+/// A *barrier episode* is one full barrier (all processors arriving
+/// once); *arrivals* count per-processor participations. Counter and
+/// neighbor events are counted per operation. Wait nanoseconds accumulate
+/// the time processors spent blocked per kind.
+#[derive(Debug, Default)]
+pub struct SyncStats {
+    barrier_episodes: AtomicU64,
+    barrier_arrivals: AtomicU64,
+    barrier_wait_ns: AtomicU64,
+    counter_increments: AtomicU64,
+    counter_waits: AtomicU64,
+    counter_wait_ns: AtomicU64,
+    neighbor_posts: AtomicU64,
+    neighbor_waits: AtomicU64,
+    neighbor_wait_ns: AtomicU64,
+}
+
+impl SyncStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed barrier episode.
+    pub fn barrier_episode(&self) {
+        self.barrier_episodes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one processor arriving at a barrier, with its wait time.
+    pub fn barrier_arrival(&self, waited: Duration) {
+        self.barrier_arrivals.fetch_add(1, Ordering::Relaxed);
+        self.barrier_wait_ns
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record a counter increment.
+    pub fn counter_increment(&self) {
+        self.counter_increments.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a counter wait, with the time spent blocked.
+    pub fn counter_wait(&self, waited: Duration) {
+        self.counter_waits.fetch_add(1, Ordering::Relaxed);
+        self.counter_wait_ns
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record a neighbor post.
+    pub fn neighbor_post(&self) {
+        self.neighbor_posts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a neighbor wait, with the time spent blocked.
+    pub fn neighbor_wait(&self, waited: Duration) {
+        self.neighbor_waits.fetch_add(1, Ordering::Relaxed);
+        self.neighbor_wait_ns
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Completed barrier episodes.
+    pub fn barrier_episodes_count(&self) -> u64 {
+        self.barrier_episodes.load(Ordering::Relaxed)
+    }
+
+    /// Per-processor barrier arrivals.
+    pub fn barrier_arrivals_count(&self) -> u64 {
+        self.barrier_arrivals.load(Ordering::Relaxed)
+    }
+
+    /// Counter increments.
+    pub fn counter_increments_count(&self) -> u64 {
+        self.counter_increments.load(Ordering::Relaxed)
+    }
+
+    /// Counter waits.
+    pub fn counter_waits_count(&self) -> u64 {
+        self.counter_waits.load(Ordering::Relaxed)
+    }
+
+    /// Neighbor posts.
+    pub fn neighbor_posts_count(&self) -> u64 {
+        self.neighbor_posts.load(Ordering::Relaxed)
+    }
+
+    /// Neighbor waits.
+    pub fn neighbor_waits_count(&self) -> u64 {
+        self.neighbor_waits.load(Ordering::Relaxed)
+    }
+
+    /// Total time spent blocked, per kind.
+    pub fn wait_ns(&self, kind: SyncKind) -> u64 {
+        match kind {
+            SyncKind::Barrier => self.barrier_wait_ns.load(Ordering::Relaxed),
+            SyncKind::Counter => self.counter_wait_ns.load(Ordering::Relaxed),
+            SyncKind::Neighbor => self.neighbor_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset everything to zero.
+    pub fn reset(&self) {
+        for a in [
+            &self.barrier_episodes,
+            &self.barrier_arrivals,
+            &self.barrier_wait_ns,
+            &self.counter_increments,
+            &self.counter_waits,
+            &self.counter_wait_ns,
+            &self.neighbor_posts,
+            &self.neighbor_waits,
+            &self.neighbor_wait_ns,
+        ] {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot as a plain struct (for reports).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            barrier_episodes: self.barrier_episodes_count(),
+            barrier_arrivals: self.barrier_arrivals_count(),
+            barrier_wait_ns: self.wait_ns(SyncKind::Barrier),
+            counter_increments: self.counter_increments_count(),
+            counter_waits: self.counter_waits_count(),
+            counter_wait_ns: self.wait_ns(SyncKind::Counter),
+            neighbor_posts: self.neighbor_posts_count(),
+            neighbor_waits: self.neighbor_waits_count(),
+            neighbor_wait_ns: self.wait_ns(SyncKind::Neighbor),
+        }
+    }
+}
+
+/// A point-in-time copy of [`SyncStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Completed barrier episodes.
+    pub barrier_episodes: u64,
+    /// Per-processor barrier arrivals.
+    pub barrier_arrivals: u64,
+    /// Nanoseconds blocked in barriers.
+    pub barrier_wait_ns: u64,
+    /// Counter increments.
+    pub counter_increments: u64,
+    /// Counter waits.
+    pub counter_waits: u64,
+    /// Nanoseconds blocked on counters.
+    pub counter_wait_ns: u64,
+    /// Neighbor posts.
+    pub neighbor_posts: u64,
+    /// Neighbor waits.
+    pub neighbor_waits: u64,
+    /// Nanoseconds blocked on neighbor flags.
+    pub neighbor_wait_ns: u64,
+}
+
+impl StatsSnapshot {
+    /// Total synchronization *operations* of any kind (the paper's
+    /// headline metric counts barriers; this is the broader total used in
+    /// the wait-time figure).
+    pub fn total_sync_ops(&self) -> u64 {
+        self.barrier_episodes
+            + self.counter_increments
+            + self.counter_waits
+            + self.neighbor_posts
+            + self.neighbor_waits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_and_reset() {
+        let s = SyncStats::new();
+        s.barrier_episode();
+        s.barrier_arrival(Duration::from_nanos(50));
+        s.barrier_arrival(Duration::from_nanos(70));
+        s.counter_increment();
+        s.counter_wait(Duration::from_nanos(10));
+        s.neighbor_post();
+        s.neighbor_wait(Duration::from_nanos(5));
+        let snap = s.snapshot();
+        assert_eq!(snap.barrier_episodes, 1);
+        assert_eq!(snap.barrier_arrivals, 2);
+        assert_eq!(snap.barrier_wait_ns, 120);
+        assert_eq!(snap.counter_increments, 1);
+        assert_eq!(snap.counter_waits, 1);
+        assert_eq!(snap.neighbor_posts, 1);
+        assert_eq!(snap.neighbor_waits, 1);
+        assert_eq!(snap.total_sync_ops(), 5);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

@@ -1,0 +1,185 @@
+//! A persistent worker team for SPMD execution.
+//!
+//! Threads are created once (like the paper's measured programs, whose
+//! timings exclude thread startup) and then repeatedly execute SPMD
+//! regions: `run` hands every worker the same closure, which receives its
+//! processor id.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+type Job = Arc<dyn Fn(usize) + Send + Sync>;
+
+struct State {
+    gen: u64,
+    job: Option<Job>,
+    done: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    m: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    n: usize,
+}
+
+/// A fixed-size team of persistent worker threads.
+pub struct Team {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Team {
+    /// Spawn a team of `n` workers (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        let shared = Arc::new(Shared {
+            m: Mutex::new(State {
+                gen: 0,
+                job: None,
+                done: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            n,
+        });
+        let handles = (0..n)
+            .map(|pid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("spmd-worker-{pid}"))
+                    .spawn(move || worker_loop(pid, shared))
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        Team { shared, handles }
+    }
+
+    /// Number of processors in the team.
+    pub fn nprocs(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Execute `f(pid)` on every worker and block until all finish.
+    ///
+    /// Panics in workers propagate on [`Team::drop`] (join); the region
+    /// closure must therefore not panic in normal operation.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        self.run_arc(Arc::new(f));
+    }
+
+    /// As [`Team::run`] with a pre-wrapped job (avoids re-allocating when
+    /// dispatching the same region repeatedly).
+    pub fn run_arc(&self, job: Job) {
+        let mut st = self.shared.m.lock();
+        st.job = Some(job);
+        st.done = 0;
+        st.gen += 1;
+        let gen = st.gen;
+        self.shared.work_cv.notify_all();
+        while !(st.gen == gen && st.done == self.shared.n) {
+            self.shared.done_cv.wait(&mut st);
+        }
+        st.job = None;
+    }
+}
+
+fn worker_loop(pid: usize, shared: Arc<Shared>) {
+    let mut seen_gen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.m.lock();
+            while !st.shutdown && (st.gen == seen_gen || st.job.is_none()) {
+                shared.work_cv.wait(&mut st);
+            }
+            if st.shutdown {
+                return;
+            }
+            seen_gen = st.gen;
+            Arc::clone(st.job.as_ref().unwrap())
+        };
+        job(pid);
+        let mut st = shared.m.lock();
+        st.done += 1;
+        if st.done == shared.n {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+impl Drop for Team {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.m.lock();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn all_workers_run_each_region() {
+        let team = Team::new(4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let hits = Arc::clone(&hits);
+            team.run(move |_pid| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn workers_receive_distinct_pids() {
+        let team = Team::new(8);
+        let mask = Arc::new(AtomicU64::new(0));
+        {
+            let mask = Arc::clone(&mask);
+            team.run(move |pid| {
+                mask.fetch_or(1 << pid, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(mask.load(Ordering::SeqCst), 0xFF);
+    }
+
+    #[test]
+    fn run_blocks_until_completion() {
+        let team = Team::new(3);
+        let v = Arc::new(AtomicUsize::new(0));
+        {
+            let v = Arc::clone(&v);
+            team.run(move |_| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                v.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // run() returned, so every worker finished.
+        assert_eq!(v.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn single_worker_team() {
+        let team = Team::new(1);
+        let v = Arc::new(AtomicUsize::new(0));
+        let vv = Arc::clone(&v);
+        team.run(move |pid| {
+            assert_eq!(pid, 0);
+            vv.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(v.load(Ordering::SeqCst), 1);
+    }
+}

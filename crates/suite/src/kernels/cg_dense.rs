@@ -1,0 +1,119 @@
+//! Dense conjugate-gradient-style iteration (NAS CG class, dense
+//! stand-in): matvec (row-local), two dot-product reductions, and an
+//! axpy update chain per iteration.
+//!
+//! The mixed profile: the axpy chain's barriers are eliminated (aligned)
+//! and the matvec is local, but each dot product reduces into a shared
+//! scalar and keeps a barrier — the realistic "reduction-bound" middle
+//! of the paper's Table 3.
+
+use crate::{Built, Scale};
+use ir::build::*;
+use ir::RedOp;
+
+/// Build at the given scale.
+pub fn build(scale: Scale) -> Built {
+    let (nv, tv) = match scale {
+        Scale::Test => (12, 2),
+        Scale::Small => (48, 6),
+        Scale::Full => (256, 10),
+    };
+    let mut pb = ProgramBuilder::new("cg_dense");
+    let n = pb.sym("n");
+    let tmax = pb.sym("tmax");
+    let a = pb.array("A", &[sym(n), sym(n)], dist_block());
+    let x = pb.array("X", &[sym(n)], dist_block());
+    let r = pb.array("R", &[sym(n)], dist_block());
+    let p = pb.array("P", &[sym(n)], dist_block());
+    let q = pb.array("Q", &[sym(n)], dist_block());
+    let rho = pb.scalar("rho", 0.0);
+    let pq = pb.scalar("pq", 0.0);
+
+    // Symmetric-ish diagonally dominant matrix + initial residual.
+    let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
+    let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
+    pb.begin_guard(vec![eq0(idx(i0) - idx(j0))]);
+    pb.assign(elem(a, [idx(i0), idx(j0)]), ex(4.0));
+    pb.end();
+    pb.begin_guard(vec![ge0(idx(i0) - idx(j0) - 1)]);
+    pb.assign(
+        elem(a, [idx(i0), idx(j0)]),
+        ival(idx(i0) + idx(j0)).sin() * ex(0.02),
+    );
+    pb.end();
+    pb.begin_guard(vec![ge0(idx(j0) - idx(i0) - 1)]);
+    pb.assign(
+        elem(a, [idx(i0), idx(j0)]),
+        ival(idx(i0) + idx(j0)).sin() * ex(0.02),
+    );
+    pb.end();
+    pb.end();
+    pb.assign(elem(x, [idx(i0)]), ex(0.0));
+    pb.assign(elem(r, [idx(i0)]), ival(idx(i0) * 7).cos());
+    pb.assign(elem(p, [idx(i0)]), arr(r, [idx(i0)]));
+    pb.end();
+
+    let _t = pb.begin_seq("t", con(0), sym(tmax) - 1);
+
+    // q = A p  (rows local; P read fully — replicated reads of a
+    // distributed vector cross processors, so a barrier guards it).
+    let i1 = pb.begin_par("i1", con(0), sym(n) - 1);
+    let j1 = pb.begin_seq("j1", con(0), sym(n) - 1);
+    pb.reduce(
+        elem(q, [idx(i1)]),
+        RedOp::Add,
+        arr(a, [idx(i1), idx(j1)]) * arr(p, [idx(j1)]),
+    );
+    pb.end();
+    pb.end();
+
+    // rho = r·r and pq = p·q (reductions — barriers stay).
+    let i2 = pb.begin_par("i2", con(0), sym(n) - 1);
+    pb.reduce(svar(rho), RedOp::Add, arr(r, [idx(i2)]) * arr(r, [idx(i2)]));
+    pb.reduce(svar(pq), RedOp::Add, arr(p, [idx(i2)]) * arr(q, [idx(i2)]));
+    pb.end();
+
+    // x += alpha p ; r -= alpha q  (aligned axpy chain — eliminated).
+    let i3 = pb.begin_par("i3", con(0), sym(n) - 1);
+    pb.assign(
+        elem(x, [idx(i3)]),
+        arr(x, [idx(i3)])
+            + arr(p, [idx(i3)]) * (sca(rho) / (ex(1.0) + sca(pq).abs())),
+    );
+    pb.assign(
+        elem(r, [idx(i3)]),
+        arr(r, [idx(i3)])
+            - arr(q, [idx(i3)]) * (sca(rho) / (ex(1.0) + sca(pq).abs())),
+    );
+    pb.end();
+    // p = r + beta p  (aligned with the previous phase — eliminated).
+    let i4 = pb.begin_par("i4", con(0), sym(n) - 1);
+    pb.assign(
+        elem(p, [idx(i4)]),
+        arr(r, [idx(i4)]) + arr(p, [idx(i4)]) * ex(0.5),
+    );
+    pb.end();
+
+    pb.end(); // t
+
+    Built {
+        prog: pb.finish(),
+        values: vec![(n, nv), (tmax, tv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_chain_barriers_eliminated_reductions_kept() {
+        let built = build(Scale::Test);
+        let bind = built.bindings(4);
+        let opt = spmd_opt::optimize(&built.prog, &bind).static_stats();
+        let fj = spmd_opt::fork_join(&built.prog, &bind).static_stats();
+        assert!(opt.eliminated >= 1, "{opt:?}");
+        assert!(opt.barriers >= 2, "reductions keep barriers: {opt:?}");
+        assert!(opt.barriers < fj.barriers, "{opt:?} vs {fj:?}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Aligned element-wise chain — the best case for barrier elimination.
+//!
+//! A sequence of parallel loops each consuming exactly the elements the
+//! same processor produced in the previous loop. Every inter-loop
+//! barrier is eliminated; the region keeps its single end barrier.
+
+use crate::{Built, Scale};
+use ir::build::*;
+
+/// Build at the given scale.
+pub fn build(scale: Scale) -> Built {
+    let (nv, tv) = match scale {
+        Scale::Test => (32, 3),
+        Scale::Small => (512, 20),
+        Scale::Full => (1 << 17, 60),
+    };
+    let mut pb = ProgramBuilder::new("copy_chain");
+    let n = pb.sym("n");
+    let tmax = pb.sym("tmax");
+    let a = pb.array("A", &[sym(n)], dist_block());
+    let b = pb.array("B", &[sym(n)], dist_block());
+    let c = pb.array("C", &[sym(n)], dist_block());
+    let d = pb.array("D", &[sym(n)], dist_block());
+
+    let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
+    pb.assign(elem(a, [idx(i0)]), ival(idx(i0)).cos());
+    pb.end();
+
+    let _t = pb.begin_seq("t", con(0), sym(tmax) - 1);
+    let i1 = pb.begin_par("i1", con(0), sym(n) - 1);
+    pb.assign(elem(b, [idx(i1)]), arr(a, [idx(i1)]) * ex(1.5) + ex(0.5));
+    pb.end();
+    let i2 = pb.begin_par("i2", con(0), sym(n) - 1);
+    pb.assign(elem(c, [idx(i2)]), arr(b, [idx(i2)]) - arr(a, [idx(i2)]));
+    pb.end();
+    let i3 = pb.begin_par("i3", con(0), sym(n) - 1);
+    pb.assign(
+        elem(d, [idx(i3)]),
+        arr(c, [idx(i3)]) * arr(b, [idx(i3)]),
+    );
+    pb.end();
+    let i4 = pb.begin_par("i4", con(0), sym(n) - 1);
+    pb.assign(
+        elem(a, [idx(i4)]),
+        arr(d, [idx(i4)]) * ex(0.25) + arr(a, [idx(i4)]) * ex(0.75),
+    );
+    pb.end();
+    pb.end(); // t
+
+    Built {
+        prog: pb.finish(),
+        values: vec![(n, nv), (tmax, tv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_interior_barriers_are_eliminated() {
+        let built = build(Scale::Test);
+        let bind = built.bindings(4);
+        let plan = spmd_opt::optimize(&built.prog, &bind);
+        let st = plan.static_stats();
+        assert_eq!(st.regions, 1);
+        assert_eq!(st.barriers, 1, "{st:?}");
+        assert_eq!(st.neighbor_syncs, 0, "{st:?}");
+        assert_eq!(st.counter_syncs, 0, "{st:?}");
+        // 4 loops in the time step: 3 interior slots + bottom + the
+        // init->sweep slot, all eliminated.
+        assert!(st.eliminated >= 4, "{st:?}");
+    }
+}

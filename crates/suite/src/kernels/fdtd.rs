@@ -1,0 +1,89 @@
+//! 2-D FDTD (finite-difference time-domain) fragment: the staggered-grid
+//! E/H update pattern of electromagnetic kernels (a Perfect-Club-style
+//! physics code shape). Per step: update `HZ` from curl(E), then update
+//! `EX`/`EY` from grad(HZ) — opposite-direction one-element shifts in
+//! both dimensions, all within neighbor reach over block rows.
+
+use crate::{Built, Scale};
+use ir::build::*;
+
+/// Build at the given scale.
+pub fn build(scale: Scale) -> Built {
+    let (nv, tv) = match scale {
+        Scale::Test => (10, 2),
+        Scale::Small => (48, 8),
+        Scale::Full => (384, 24),
+    };
+    let mut pb = ProgramBuilder::new("fdtd");
+    let n = pb.sym("n");
+    let tmax = pb.sym("tmax");
+    let ex_ = pb.array("EX", &[sym(n), sym(n)], dist_block());
+    let ey = pb.array("EY", &[sym(n), sym(n)], dist_block());
+    let hz = pb.array("HZ", &[sym(n), sym(n)], dist_block());
+
+    let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
+    let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
+    pb.assign(elem(ex_, [idx(i0), idx(j0)]), ival(idx(i0) + idx(j0) * 3).sin());
+    pb.assign(elem(ey, [idx(i0), idx(j0)]), ival(idx(i0) * 2 - idx(j0)).cos());
+    pb.assign(elem(hz, [idx(i0), idx(j0)]), ex(0.0));
+    pb.end();
+    pb.end();
+
+    let _t = pb.begin_seq("t", con(0), sym(tmax) - 1);
+
+    // HZ update from the curl of E (reads at +1).
+    let i1 = pb.begin_par("i1", con(0), sym(n) - 2);
+    let j1 = pb.begin_seq("j1", con(0), sym(n) - 2);
+    pb.assign(
+        elem(hz, [idx(i1), idx(j1)]),
+        arr(hz, [idx(i1), idx(j1)])
+            - ex(0.7)
+                * (arr(ey, [idx(i1) + 1, idx(j1)]) - arr(ey, [idx(i1), idx(j1)])
+                    - arr(ex_, [idx(i1), idx(j1) + 1])
+                    + arr(ex_, [idx(i1), idx(j1)])),
+    );
+    pb.end();
+    pb.end();
+
+    // E updates from the gradient of HZ (reads at -1).
+    let i2 = pb.begin_par("i2", con(0), sym(n) - 1);
+    let j2 = pb.begin_seq("j2", con(1), sym(n) - 1);
+    pb.assign(
+        elem(ex_, [idx(i2), idx(j2)]),
+        arr(ex_, [idx(i2), idx(j2)])
+            - ex(0.5) * (arr(hz, [idx(i2), idx(j2)]) - arr(hz, [idx(i2), idx(j2) - 1])),
+    );
+    pb.end();
+    pb.end();
+    let i3 = pb.begin_par("i3", con(1), sym(n) - 1);
+    let j3 = pb.begin_seq("j3", con(0), sym(n) - 1);
+    pb.assign(
+        elem(ey, [idx(i3), idx(j3)]),
+        arr(ey, [idx(i3), idx(j3)])
+            - ex(0.5) * (arr(hz, [idx(i3), idx(j3)]) - arr(hz, [idx(i3) - 1, idx(j3)])),
+    );
+    pb.end();
+    pb.end();
+
+    pb.end(); // t
+
+    Built {
+        prog: pb.finish(),
+        values: vec![(n, nv), (tmax, tv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staggered_updates_become_neighbor_flags() {
+        let built = build(Scale::Test);
+        let bind = built.bindings(4);
+        let st = spmd_opt::optimize(&built.prog, &bind).static_stats();
+        assert_eq!(st.regions, 1, "{st:?}");
+        assert_eq!(st.barriers, 1, "{st:?}");
+        assert!(st.neighbor_syncs >= 2, "{st:?}");
+    }
+}

@@ -1,0 +1,80 @@
+//! 2-D Jacobi relaxation — the paper's motivating stencil class.
+//!
+//! Structure per time step: a 5-point stencil phase `B <- avg(A)` and a
+//! copy-back phase `A <- B`, both parallel over block-distributed rows.
+//!
+//! Expected optimization: the two phases merge into one SPMD region with
+//! the enclosing time loop; the inter-phase barrier is *eliminated*
+//! (aligned), and the loop-carried barrier is replaced by *neighbor*
+//! post/wait flags (±1 row reads). Exactly one barrier remains (region
+//! end) per run instead of `2 × tmax`.
+
+use crate::{Built, Scale};
+use ir::build::*;
+
+/// Build at the given scale.
+pub fn build(scale: Scale) -> Built {
+    let (nv, tv) = match scale {
+        Scale::Test => (12, 3),
+        Scale::Small => (64, 10),
+        Scale::Full => (512, 30),
+    };
+    let mut pb = ProgramBuilder::new("jacobi2d");
+    let n = pb.sym("n");
+    let tmax = pb.sym("tmax");
+    let a = pb.array("A", &[sym(n), sym(n)], dist_block());
+    let b = pb.array("B", &[sym(n), sym(n)], dist_block());
+
+    // Initialization (parallel, contributes fork-join barriers too).
+    let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
+    let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
+    pb.assign(
+        elem(a, [idx(i0), idx(j0)]),
+        ival(idx(i0) * 31 + idx(j0)).sin(),
+    );
+    pb.assign(elem(b, [idx(i0), idx(j0)]), ex(0.0));
+    pb.end();
+    pb.end();
+
+    // Time sweep.
+    let _t = pb.begin_seq("t", con(0), sym(tmax) - 1);
+    let i = pb.begin_par("i", con(1), sym(n) - 2);
+    let j = pb.begin_seq("j", con(1), sym(n) - 2);
+    pb.assign(
+        elem(b, [idx(i), idx(j)]),
+        ex(0.25)
+            * (arr(a, [idx(i) - 1, idx(j)])
+                + arr(a, [idx(i) + 1, idx(j)])
+                + arr(a, [idx(i), idx(j) - 1])
+                + arr(a, [idx(i), idx(j) + 1])),
+    );
+    pb.end();
+    pb.end();
+    let i2 = pb.begin_par("i2", con(1), sym(n) - 2);
+    let j2 = pb.begin_seq("j2", con(1), sym(n) - 2);
+    pb.assign(elem(a, [idx(i2), idx(j2)]), arr(b, [idx(i2), idx(j2)]));
+    pb.end();
+    pb.end();
+    pb.end(); // t
+
+    Built {
+        prog: pb.finish(),
+        values: vec![(n, nv), (tmax, tv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimizer_leaves_one_barrier_and_uses_neighbor_flags() {
+        let built = build(Scale::Test);
+        let bind = built.bindings(4);
+        let plan = spmd_opt::optimize(&built.prog, &bind);
+        let st = plan.static_stats();
+        assert_eq!(st.regions, 1, "{st:?}");
+        assert_eq!(st.barriers, 1, "{st:?}");
+        assert!(st.neighbor_syncs >= 1, "{st:?}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Livermore kernel 18 (explicit 2-D hydrodynamics fragment): three
+//! stencil phases per time step over block-distributed rows, with ±1
+//! reads in both dimensions — the classic multi-phase neighbor pattern.
+
+use crate::{Built, Scale};
+use ir::build::*;
+
+/// Build at the given scale.
+pub fn build(scale: Scale) -> Built {
+    let (nv, tv) = match scale {
+        Scale::Test => (10, 2),
+        Scale::Small => (48, 8),
+        Scale::Full => (384, 24),
+    };
+    let mut pb = ProgramBuilder::new("livermore18");
+    let n = pb.sym("n");
+    let tmax = pb.sym("tmax");
+    let za = pb.array("ZA", &[sym(n), sym(n)], dist_block());
+    let zb = pb.array("ZB", &[sym(n), sym(n)], dist_block());
+    let zp = pb.array("ZP", &[sym(n), sym(n)], dist_block());
+    let zq = pb.array("ZQ", &[sym(n), sym(n)], dist_block());
+    let zr = pb.array("ZR", &[sym(n), sym(n)], dist_block());
+    let zu = pb.array("ZU", &[sym(n), sym(n)], dist_block());
+
+    let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
+    let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
+    pb.assign(elem(zp, [idx(i0), idx(j0)]), ival(idx(i0) + idx(j0)).sin());
+    pb.assign(elem(zq, [idx(i0), idx(j0)]), ival(idx(i0) * 2 + idx(j0)).cos());
+    pb.assign(elem(zr, [idx(i0), idx(j0)]), ival(idx(i0) - idx(j0)).sin());
+    pb.assign(elem(zu, [idx(i0), idx(j0)]), ex(0.0));
+    pb.end();
+    pb.end();
+
+    let _t = pb.begin_seq("t", con(0), sym(tmax) - 1);
+
+    // Phase 1: ZA from ZP/ZQ (reads at -1/+1).
+    let i1 = pb.begin_par("i1", con(1), sym(n) - 2);
+    let j1 = pb.begin_seq("j1", con(1), sym(n) - 2);
+    pb.assign(
+        elem(za, [idx(i1), idx(j1)]),
+        (arr(zp, [idx(i1), idx(j1) - 1]) + arr(zq, [idx(i1), idx(j1) - 1])
+            - arr(zp, [idx(i1) - 1, idx(j1)])
+            - arr(zq, [idx(i1) - 1, idx(j1)]))
+            * ex(0.5),
+    );
+    pb.end();
+    pb.end();
+
+    // Phase 2: ZB from ZA and ZR (reads at ±1).
+    let i2 = pb.begin_par("i2", con(1), sym(n) - 2);
+    let j2 = pb.begin_seq("j2", con(1), sym(n) - 2);
+    pb.assign(
+        elem(zb, [idx(i2), idx(j2)]),
+        (arr(za, [idx(i2), idx(j2)]) - arr(za, [idx(i2) - 1, idx(j2)]))
+            * arr(zr, [idx(i2), idx(j2)])
+            + (arr(za, [idx(i2), idx(j2)]) - arr(za, [idx(i2), idx(j2) - 1]))
+                * ex(0.25),
+    );
+    pb.end();
+    pb.end();
+
+    // Phase 3: velocity update feeding the next iteration.
+    let i3 = pb.begin_par("i3", con(1), sym(n) - 2);
+    let j3 = pb.begin_seq("j3", con(1), sym(n) - 2);
+    pb.assign(
+        elem(zu, [idx(i3), idx(j3)]),
+        arr(zu, [idx(i3), idx(j3)])
+            + arr(zb, [idx(i3), idx(j3)]) * ex(0.1)
+            - arr(za, [idx(i3) + 1, idx(j3)]) * ex(0.05),
+    );
+    pb.assign(
+        elem(zp, [idx(i3), idx(j3)]),
+        arr(zp, [idx(i3), idx(j3)]) + arr(zu, [idx(i3), idx(j3)]) * ex(0.01),
+    );
+    pb.end();
+    pb.end();
+
+    pb.end(); // t
+
+    Built {
+        prog: pb.finish(),
+        values: vec![(n, nv), (tmax, tv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hydro_phases_use_neighbor_sync() {
+        let built = build(Scale::Test);
+        let bind = built.bindings(4);
+        let st = spmd_opt::optimize(&built.prog, &bind).static_stats();
+        assert_eq!(st.regions, 1);
+        assert_eq!(st.barriers, 1, "{st:?}");
+        assert!(st.neighbor_syncs >= 2, "{st:?}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Livermore kernel 7 (equation-of-state fragment): one wide
+//! element-wise parallel loop with short forward-shifted reads, iterated
+//! in a time loop. The shifts (up to +6) stay far below the block size,
+//! so all carried communication is neighbor-reachable.
+
+use crate::{Built, Scale};
+use ir::build::*;
+
+/// Build at the given scale.
+pub fn build(scale: Scale) -> Built {
+    let (nv, tv) = match scale {
+        Scale::Test => (64, 3),
+        Scale::Small => (1024, 15),
+        Scale::Full => (1 << 17, 60),
+    };
+    let mut pb = ProgramBuilder::new("livermore7");
+    let n = pb.sym("n");
+    let tmax = pb.sym("tmax");
+    let x = pb.array("X", &[sym(n) + 6], dist_block());
+    let u = pb.array("U", &[sym(n) + 6], dist_block());
+    let y = pb.array("Y", &[sym(n) + 6], dist_block());
+    let z = pb.array("Z", &[sym(n) + 6], dist_block());
+
+    let i0 = pb.begin_par("i0", con(0), sym(n) + 5);
+    pb.assign(elem(u, [idx(i0)]), ival(idx(i0) * 5).sin());
+    pb.assign(elem(y, [idx(i0)]), ival(idx(i0) * 3).cos());
+    pb.assign(elem(z, [idx(i0)]), ival(idx(i0)).sin() * ex(0.5));
+    pb.end();
+
+    let (r, tq) = (0.5, 0.25);
+    let _t = pb.begin_seq("t", con(0), sym(tmax) - 1);
+    let i = pb.begin_par("i", con(0), sym(n) - 1);
+    pb.assign(
+        elem(x, [idx(i)]),
+        arr(u, [idx(i)])
+            + ex(r)
+                * (arr(z, [idx(i)])
+                    + ex(r) * arr(y, [idx(i)]))
+            + ex(tq)
+                * (arr(u, [idx(i) + 3])
+                    + ex(r) * (arr(u, [idx(i) + 2]) + ex(r) * arr(u, [idx(i) + 1])))
+            + ex(tq * tq)
+                * (arr(u, [idx(i) + 6])
+                    + ex(r) * (arr(u, [idx(i) + 5]) + ex(r) * arr(u, [idx(i) + 4]))),
+    );
+    pb.end();
+    // Feed X back into U so the time loop carries communication.
+    let i2 = pb.begin_par("i2", con(0), sym(n) - 1);
+    pb.assign(
+        elem(u, [idx(i2)]),
+        arr(x, [idx(i2)]) * ex(0.01) + arr(u, [idx(i2)]) * ex(0.99),
+    );
+    pb.end();
+    pb.end(); // t
+
+    Built {
+        prog: pb.finish(),
+        values: vec![(n, nv), (tmax, tv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shifted_reads_stay_within_neighbor_reach() {
+        let built = build(Scale::Test);
+        let bind = built.bindings(4);
+        let st = spmd_opt::optimize(&built.prog, &bind).static_stats();
+        assert_eq!(st.regions, 1);
+        assert_eq!(st.barriers, 1, "{st:?}");
+        assert!(st.neighbor_syncs >= 1, "{st:?}");
+    }
+}

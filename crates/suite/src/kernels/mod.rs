@@ -1,0 +1,21 @@
+//! The individual benchmark kernels.
+
+pub mod adi;
+pub mod cg_dense;
+pub mod copy_chain;
+pub mod fdtd;
+pub mod erlebacher;
+pub mod jacobi2d;
+pub mod livermore18;
+pub mod livermore7;
+pub mod lu;
+pub mod matmul;
+pub mod mgrid;
+pub mod redblack;
+pub mod seidel_pipe;
+pub mod shallow;
+pub mod stencil3d;
+pub mod tomcatv_mesh;
+pub mod transpose;
+pub mod tred2;
+pub mod workvec;

@@ -1,0 +1,68 @@
+//! 1-D red-black Gauss-Seidel relaxation.
+//!
+//! The two color half-sweeps are expressed with doubled indices
+//! (`x(2·ii+1)` / `x(2·ii+2)`) so both loops are genuinely parallel and
+//! the subscripts stay affine. Reads reach ±1 element, so the red→black
+//! barrier and the carried barrier both become neighbor flags.
+
+use crate::{Built, Scale};
+use ir::build::*;
+
+/// Build at the given scale. The array length is `2·half + 2`.
+pub fn build(scale: Scale) -> Built {
+    let (half_v, tv) = match scale {
+        Scale::Test => (8, 3),
+        Scale::Small => (256, 12),
+        Scale::Full => (1 << 16, 50),
+    };
+    let mut pb = ProgramBuilder::new("redblack");
+    let half = pb.sym("half");
+    let tmax = pb.sym("tmax");
+    // extent 2*half + 2
+    let x = pb.array("X", &[sym(half) * 2 + 2], dist_block());
+    let f = pb.array("F", &[sym(half) * 2 + 2], dist_block());
+
+    let i0 = pb.begin_par("i0", con(0), sym(half) * 2 + 1);
+    pb.assign(elem(x, [idx(i0)]), ival(idx(i0) * 13).cos());
+    pb.assign(elem(f, [idx(i0)]), ival(idx(i0)).sin() * ex(0.1));
+    pb.end();
+
+    let _t = pb.begin_seq("t", con(0), sym(tmax) - 1);
+    // Red points: odd indices 1, 3, …, 2·half-1.
+    let r = pb.begin_par("r", con(0), sym(half) - 1);
+    pb.assign(
+        elem(x, [idx(r) * 2 + 1]),
+        ex(0.5) * (arr(x, [idx(r) * 2]) + arr(x, [idx(r) * 2 + 2]))
+            + arr(f, [idx(r) * 2 + 1]),
+    );
+    pb.end();
+    // Black points: even indices 2, 4, …, 2·half.
+    let bl = pb.begin_par("b", con(0), sym(half) - 1);
+    pb.assign(
+        elem(x, [idx(bl) * 2 + 2]),
+        ex(0.5) * (arr(x, [idx(bl) * 2 + 1]) + arr(x, [idx(bl) * 2 + 3]))
+            + arr(f, [idx(bl) * 2 + 2]),
+    );
+    pb.end();
+    pb.end(); // t
+
+    Built {
+        prog: pb.finish(),
+        values: vec![(half, half_v), (tmax, tv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barriers_become_neighbor_flags() {
+        let built = build(Scale::Test);
+        let bind = built.bindings(4);
+        let st = spmd_opt::optimize(&built.prog, &bind).static_stats();
+        assert_eq!(st.regions, 1);
+        assert_eq!(st.barriers, 1, "{st:?}");
+        assert!(st.neighbor_syncs >= 2, "{st:?}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Shallow-water model time step (stands in for RiCEPS `shallow` /
+//! SPEC `swm256` — one of the programs the paper's related work also
+//! reports dramatic reductions for).
+//!
+//! Per step: three flux/height phases with +1 stencil reads, three
+//! update phases with -1 stencil reads, and three copy-back phases — a
+//! long chain of parallel loops over block-distributed rows where every
+//! inter-phase barrier is aligned-or-neighbor.
+
+use crate::{Built, Scale};
+use ir::build::*;
+
+/// Build at the given scale.
+pub fn build(scale: Scale) -> Built {
+    let (nv, tv) = match scale {
+        Scale::Test => (10, 2),
+        Scale::Small => (48, 8),
+        Scale::Full => (384, 24),
+    };
+    let mut pb = ProgramBuilder::new("shallow");
+    let n = pb.sym("n");
+    let tmax = pb.sym("tmax");
+    let u = pb.array("U", &[sym(n), sym(n)], dist_block());
+    let v = pb.array("V", &[sym(n), sym(n)], dist_block());
+    let p = pb.array("P", &[sym(n), sym(n)], dist_block());
+    let cu = pb.array("CU", &[sym(n), sym(n)], dist_block());
+    let cv = pb.array("CV", &[sym(n), sym(n)], dist_block());
+    let h = pb.array("H", &[sym(n), sym(n)], dist_block());
+    let unew = pb.array("UNEW", &[sym(n), sym(n)], dist_block());
+    let vnew = pb.array("VNEW", &[sym(n), sym(n)], dist_block());
+    let pnew = pb.array("PNEW", &[sym(n), sym(n)], dist_block());
+
+    // Init.
+    let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
+    let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
+    pb.assign(elem(u, [idx(i0), idx(j0)]), ival(idx(i0) + idx(j0) * 2).sin());
+    pb.assign(elem(v, [idx(i0), idx(j0)]), ival(idx(i0) * 2 - idx(j0)).cos());
+    pb.assign(
+        elem(p, [idx(i0), idx(j0)]),
+        ex(50.0) + ival(idx(i0)).sin() * ival(idx(j0)).cos(),
+    );
+    pb.end();
+    pb.end();
+
+    let _t = pb.begin_seq("t", con(0), sym(tmax) - 1);
+
+    // Phase 1: mass fluxes and height (reads at +1).
+    let i1 = pb.begin_par("i1", con(0), sym(n) - 2);
+    let j1 = pb.begin_seq("j1", con(0), sym(n) - 2);
+    pb.assign(
+        elem(cu, [idx(i1), idx(j1)]),
+        ex(0.5) * (arr(p, [idx(i1) + 1, idx(j1)]) + arr(p, [idx(i1), idx(j1)]))
+            * arr(u, [idx(i1), idx(j1)]),
+    );
+    pb.assign(
+        elem(cv, [idx(i1), idx(j1)]),
+        ex(0.5) * (arr(p, [idx(i1), idx(j1) + 1]) + arr(p, [idx(i1), idx(j1)]))
+            * arr(v, [idx(i1), idx(j1)]),
+    );
+    pb.assign(
+        elem(h, [idx(i1), idx(j1)]),
+        arr(p, [idx(i1), idx(j1)])
+            + ex(0.25)
+                * (arr(u, [idx(i1), idx(j1)]) * arr(u, [idx(i1), idx(j1)])
+                    + arr(v, [idx(i1), idx(j1)]) * arr(v, [idx(i1), idx(j1)])),
+    );
+    pb.end();
+    pb.end();
+
+    // Phase 2: updates (reads at -1).
+    let i2 = pb.begin_par("i2", con(1), sym(n) - 2);
+    let j2 = pb.begin_seq("j2", con(1), sym(n) - 2);
+    pb.assign(
+        elem(unew, [idx(i2), idx(j2)]),
+        arr(u, [idx(i2), idx(j2)])
+            + ex(0.1) * (arr(h, [idx(i2) - 1, idx(j2)]) - arr(h, [idx(i2), idx(j2)])),
+    );
+    pb.assign(
+        elem(vnew, [idx(i2), idx(j2)]),
+        arr(v, [idx(i2), idx(j2)])
+            + ex(0.1) * (arr(h, [idx(i2), idx(j2) - 1]) - arr(h, [idx(i2), idx(j2)])),
+    );
+    pb.assign(
+        elem(pnew, [idx(i2), idx(j2)]),
+        arr(p, [idx(i2), idx(j2)])
+            - ex(0.1)
+                * (arr(cu, [idx(i2), idx(j2)]) - arr(cu, [idx(i2) - 1, idx(j2)])
+                    + arr(cv, [idx(i2), idx(j2)])
+                    - arr(cv, [idx(i2), idx(j2) - 1])),
+    );
+    pb.end();
+    pb.end();
+
+    // Phase 3: copy back.
+    let i3 = pb.begin_par("i3", con(1), sym(n) - 2);
+    let j3 = pb.begin_seq("j3", con(1), sym(n) - 2);
+    pb.assign(elem(u, [idx(i3), idx(j3)]), arr(unew, [idx(i3), idx(j3)]));
+    pb.assign(elem(v, [idx(i3), idx(j3)]), arr(vnew, [idx(i3), idx(j3)]));
+    pb.assign(elem(p, [idx(i3), idx(j3)]), arr(pnew, [idx(i3), idx(j3)]));
+    pb.end();
+    pb.end();
+
+    pb.end(); // t
+
+    Built {
+        prog: pb.finish(),
+        values: vec![(n, nv), (tmax, tv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_time_step_becomes_one_region_with_neighbor_sync() {
+        let built = build(Scale::Test);
+        let bind = built.bindings(4);
+        let st = spmd_opt::optimize(&built.prog, &bind).static_stats();
+        assert_eq!(st.regions, 1, "{st:?}");
+        assert_eq!(st.barriers, 1, "{st:?}");
+        assert!(st.neighbor_syncs >= 2, "{st:?}");
+        // Baseline: 3 barriers per step + init.
+        let fj = spmd_opt::fork_join(&built.prog, &bind).static_stats();
+        assert_eq!(fj.barriers, 4);
+    }
+}

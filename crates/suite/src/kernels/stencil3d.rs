@@ -1,0 +1,84 @@
+//! 7-point 3-D stencil sweep (NAS MG smoothing class), block-distributed
+//! along the outermost dimension. Same optimization shape as
+//! `jacobi2d`: eliminated copy barrier, neighbor flags for the carried
+//! ±1-plane reads.
+
+use crate::{Built, Scale};
+use ir::build::*;
+
+/// Build at the given scale.
+pub fn build(scale: Scale) -> Built {
+    let (nv, tv) = match scale {
+        Scale::Test => (8, 2),
+        Scale::Small => (24, 6),
+        Scale::Full => (96, 12),
+    };
+    let mut pb = ProgramBuilder::new("stencil3d");
+    let n = pb.sym("n");
+    let tmax = pb.sym("tmax");
+    let u = pb.array("U", &[sym(n), sym(n), sym(n)], dist_block());
+    let v = pb.array("V", &[sym(n), sym(n), sym(n)], dist_block());
+
+    let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
+    let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
+    let k0 = pb.begin_seq("k0", con(0), sym(n) - 1);
+    pb.assign(
+        elem(u, [idx(i0), idx(j0), idx(k0)]),
+        ival(idx(i0) * 7 + idx(j0) * 3 + idx(k0)).sin(),
+    );
+    pb.assign(elem(v, [idx(i0), idx(j0), idx(k0)]), ex(0.0));
+    pb.end();
+    pb.end();
+    pb.end();
+
+    let _t = pb.begin_seq("t", con(0), sym(tmax) - 1);
+    let i = pb.begin_par("i", con(1), sym(n) - 2);
+    let j = pb.begin_seq("j", con(1), sym(n) - 2);
+    let k = pb.begin_seq("k", con(1), sym(n) - 2);
+    pb.assign(
+        elem(v, [idx(i), idx(j), idx(k)]),
+        (arr(u, [idx(i) - 1, idx(j), idx(k)])
+            + arr(u, [idx(i) + 1, idx(j), idx(k)])
+            + arr(u, [idx(i), idx(j) - 1, idx(k)])
+            + arr(u, [idx(i), idx(j) + 1, idx(k)])
+            + arr(u, [idx(i), idx(j), idx(k) - 1])
+            + arr(u, [idx(i), idx(j), idx(k) + 1])
+            - ex(6.0) * arr(u, [idx(i), idx(j), idx(k)]))
+            * ex(0.125)
+            + arr(u, [idx(i), idx(j), idx(k)]),
+    );
+    pb.end();
+    pb.end();
+    pb.end();
+    let i2 = pb.begin_par("i2", con(1), sym(n) - 2);
+    let j2 = pb.begin_seq("j2", con(1), sym(n) - 2);
+    let k2 = pb.begin_seq("k2", con(1), sym(n) - 2);
+    pb.assign(
+        elem(u, [idx(i2), idx(j2), idx(k2)]),
+        arr(v, [idx(i2), idx(j2), idx(k2)]),
+    );
+    pb.end();
+    pb.end();
+    pb.end();
+    pb.end(); // t
+
+    Built {
+        prog: pb.finish(),
+        values: vec![(n, nv), (tmax, tv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_region_one_barrier_neighbor_bottom() {
+        let built = build(Scale::Test);
+        let bind = built.bindings(4);
+        let st = spmd_opt::optimize(&built.prog, &bind).static_stats();
+        assert_eq!(st.regions, 1);
+        assert_eq!(st.barriers, 1, "{st:?}");
+        assert!(st.neighbor_syncs >= 1, "{st:?}");
+    }
+}

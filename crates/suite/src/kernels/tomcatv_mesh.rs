@@ -1,0 +1,107 @@
+//! Mesh relaxation with a max-residual convergence test (stands in for
+//! SPEC92 `tomcatv`).
+//!
+//! The residual phases are neighbor-communicating stencils, but the
+//! max-reduction into a shared scalar forces a real barrier every
+//! iteration — this kernel shows the *partial*-win profile (the paper's
+//! average program, not its best case).
+
+use crate::{Built, Scale};
+use ir::build::*;
+use ir::RedOp;
+
+/// Build at the given scale.
+pub fn build(scale: Scale) -> Built {
+    let (nv, tv) = match scale {
+        Scale::Test => (10, 2),
+        Scale::Small => (48, 8),
+        Scale::Full => (384, 24),
+    };
+    let mut pb = ProgramBuilder::new("tomcatv_mesh");
+    let n = pb.sym("n");
+    let tmax = pb.sym("tmax");
+    let x = pb.array("X", &[sym(n), sym(n)], dist_block());
+    let y = pb.array("Y", &[sym(n), sym(n)], dist_block());
+    let rx = pb.array("RX", &[sym(n), sym(n)], dist_block());
+    let ry = pb.array("RY", &[sym(n), sym(n)], dist_block());
+    let rmax = pb.scalar("rmax", 0.0);
+
+    let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
+    let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
+    pb.assign(elem(x, [idx(i0), idx(j0)]), ival(idx(i0) * 3 + idx(j0)).sin());
+    pb.assign(elem(y, [idx(i0), idx(j0)]), ival(idx(i0) - idx(j0) * 2).cos());
+    pb.end();
+    pb.end();
+
+    let _t = pb.begin_seq("t", con(0), sym(tmax) - 1);
+
+    // Residuals (stencil).
+    let i1 = pb.begin_par("i1", con(1), sym(n) - 2);
+    let j1 = pb.begin_seq("j1", con(1), sym(n) - 2);
+    pb.assign(
+        elem(rx, [idx(i1), idx(j1)]),
+        arr(x, [idx(i1) - 1, idx(j1)]) + arr(x, [idx(i1) + 1, idx(j1)])
+            + arr(x, [idx(i1), idx(j1) - 1])
+            + arr(x, [idx(i1), idx(j1) + 1])
+            - ex(4.0) * arr(x, [idx(i1), idx(j1)]),
+    );
+    pb.assign(
+        elem(ry, [idx(i1), idx(j1)]),
+        arr(y, [idx(i1) - 1, idx(j1)]) + arr(y, [idx(i1) + 1, idx(j1)])
+            + arr(y, [idx(i1), idx(j1) - 1])
+            + arr(y, [idx(i1), idx(j1) + 1])
+            - ex(4.0) * arr(y, [idx(i1), idx(j1)]),
+    );
+    pb.end();
+    pb.end();
+
+    // Max residual (reduction into a shared scalar — keeps a barrier).
+    let i2 = pb.begin_par("i2", con(1), sym(n) - 2);
+    let j2 = pb.begin_seq("j2", con(1), sym(n) - 2);
+    pb.reduce(
+        svar(rmax),
+        RedOp::Max,
+        arr(rx, [idx(i2), idx(j2)]).abs() + arr(ry, [idx(i2), idx(j2)]).abs(),
+    );
+    pb.end();
+    pb.end();
+
+    // Update.
+    let i3 = pb.begin_par("i3", con(1), sym(n) - 2);
+    let j3 = pb.begin_seq("j3", con(1), sym(n) - 2);
+    pb.assign(
+        elem(x, [idx(i3), idx(j3)]),
+        arr(x, [idx(i3), idx(j3)]) + ex(0.2) * arr(rx, [idx(i3), idx(j3)]),
+    );
+    pb.assign(
+        elem(y, [idx(i3), idx(j3)]),
+        arr(y, [idx(i3), idx(j3)]) + ex(0.2) * arr(ry, [idx(i3), idx(j3)]),
+    );
+    pb.end();
+    pb.end();
+
+    pb.end(); // t
+
+    Built {
+        prog: pb.finish(),
+        values: vec![(n, nv), (tmax, tv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_keeps_some_barriers_but_not_all() {
+        let built = build(Scale::Test);
+        let bind = built.bindings(4);
+        let opt = spmd_opt::optimize(&built.prog, &bind).static_stats();
+        let fj = spmd_opt::fork_join(&built.prog, &bind).static_stats();
+        assert!(opt.barriers >= 1, "{opt:?}");
+        assert!(
+            opt.barriers < fj.barriers,
+            "optimized {opt:?} vs fork-join {fj:?}"
+        );
+    }
+}

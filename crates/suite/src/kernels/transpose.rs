@@ -1,0 +1,66 @@
+//! Repeated out-of-place matrix transpose — the worst case. The access
+//! `B(i,j) = A(j,i)` moves every element across the processor grid
+//! (all-to-all), so communication analysis correctly finds general
+//! communication and keeps every barrier: the optimizer's win here is
+//! only the merged dispatch. This is the "no improvement" control row of
+//! the evaluation (cf. FFT transpose phases).
+
+use crate::{Built, Scale};
+use ir::build::*;
+
+/// Build at the given scale.
+pub fn build(scale: Scale) -> Built {
+    let (nv, tv) = match scale {
+        Scale::Test => (10, 3),
+        Scale::Small => (48, 10),
+        Scale::Full => (384, 20),
+    };
+    let mut pb = ProgramBuilder::new("transpose");
+    let n = pb.sym("n");
+    let tmax = pb.sym("tmax");
+    let a = pb.array("A", &[sym(n), sym(n)], dist_block());
+    let b = pb.array("B", &[sym(n), sym(n)], dist_block());
+
+    let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
+    let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
+    pb.assign(elem(a, [idx(i0), idx(j0)]), ival(idx(i0) * 41 + idx(j0)).sin());
+    pb.end();
+    pb.end();
+
+    let _t = pb.begin_seq("t", con(0), sym(tmax) - 1);
+    let i1 = pb.begin_par("i1", con(0), sym(n) - 1);
+    let j1 = pb.begin_seq("j1", con(0), sym(n) - 1);
+    pb.assign(elem(b, [idx(i1), idx(j1)]), arr(a, [idx(j1), idx(i1)]));
+    pb.end();
+    pb.end();
+    let i2 = pb.begin_par("i2", con(0), sym(n) - 1);
+    let j2 = pb.begin_seq("j2", con(0), sym(n) - 1);
+    pb.assign(
+        elem(a, [idx(i2), idx(j2)]),
+        arr(b, [idx(i2), idx(j2)]) * ex(0.999),
+    );
+    pb.end();
+    pb.end();
+    pb.end(); // t
+
+    Built {
+        prog: pb.finish(),
+        values: vec![(n, nv), (tmax, tv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn general_communication_keeps_barriers() {
+        let built = build(Scale::Test);
+        let bind = built.bindings(4);
+        let st = spmd_opt::optimize(&built.prog, &bind).static_stats();
+        // The transpose → scale barrier and the carried barrier must
+        // survive (all-to-all movement).
+        assert!(st.barriers >= 2, "{st:?}");
+        assert_eq!(st.neighbor_syncs, 0, "{st:?}");
+    }
+}

@@ -1,0 +1,48 @@
+//! The pipelining payoff: run the ADI column sweep fork-join versus
+//! optimized on real threads and watch the barrier count collapse while
+//! the results stay identical.
+//!
+//! ```sh
+//! cargo run --release --example pipeline
+//! ```
+
+use barrier_elim::interp::{run_parallel, run_sequential, Mem};
+use barrier_elim::runtime::Team;
+use barrier_elim::spmd_opt::{fork_join, optimize};
+use barrier_elim::suite::{self, Scale};
+use std::sync::Arc;
+
+fn main() {
+    let def = suite::by_name("adi").unwrap();
+    let built = (def.build)(Scale::Small);
+    let nprocs = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+    let bind = Arc::new(built.bindings(nprocs as i64));
+    let prog = Arc::new(built.prog);
+    let team = Team::new(nprocs);
+
+    let oracle = Mem::new(&prog, &bind);
+    run_sequential(&prog, &bind, &oracle);
+
+    println!("ADI integration, P = {nprocs} (real threads)\n");
+    for (label, plan) in [
+        ("fork-join", fork_join(&prog, &bind)),
+        ("optimized", optimize(&prog, &bind)),
+    ] {
+        let mem = Arc::new(Mem::new(&prog, &bind));
+        let out = run_parallel(&prog, &bind, &plan, &mem, &team);
+        assert!(mem.max_abs_diff(&oracle) < 1e-9, "{label} diverged");
+        println!(
+            "{label:>10}: {:>6} barriers  {:>6} neighbor posts  {:>5} dispatches  {:>8.2} ms  (barrier wait {:.2} ms)",
+            out.counts.barriers,
+            out.counts.neighbor_posts,
+            out.counts.dispatches,
+            out.elapsed.as_secs_f64() * 1e3,
+            out.stats.barrier_wait_ns as f64 / 1e6,
+        );
+    }
+    println!("\nThe optimized schedule replaces the per-row barrier of the column");
+    println!("sweep with neighbor flags: processor p+1 starts its block as soon as");
+    println!("processor p finishes the boundary row — a software pipeline.");
+}

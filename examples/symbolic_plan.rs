@@ -1,0 +1,44 @@
+//! Optimize with *unbound* problem sizes: the symbolic-inequality
+//! machinery classifies block-distributed communication without knowing
+//! `n` at all, so one compile serves every problem size.
+//!
+//! ```sh
+//! cargo run --example symbolic_plan
+//! ```
+
+use barrier_elim::analysis::Bindings;
+use barrier_elim::spmd_opt::{optimize_logged, render_plan};
+use barrier_elim::suite::{self, Scale};
+
+fn main() {
+    let def = suite::by_name("shallow").unwrap();
+    let built = (def.build)(Scale::Test);
+
+    // No `--set n=...`: nothing is bound except the processor count.
+    let symbolic = Bindings::new(8);
+    let (plan, log) = optimize_logged(&built.prog, &symbolic);
+    println!(
+        "shallow optimized with n, tmax UNBOUND (P = 8):\n\n{}",
+        render_plan(&built.prog, &plan)
+    );
+    println!("decisions:");
+    for d in &log {
+        println!(
+            "  {:<24} {:<30} -> {}",
+            d.site,
+            format!("{:?}", d.outcome),
+            d.placed
+        );
+    }
+
+    // The concrete plan has the same shape.
+    let concrete = built.bindings(8);
+    let st_s = plan.static_stats();
+    let st_c = barrier_elim::spmd_opt::optimize(&built.prog, &concrete).static_stats();
+    assert_eq!(st_s, st_c);
+    println!(
+        "\nstatic stats match the concrete-size plan exactly: {} barrier(s), \
+         {} neighbor sync(s), {} eliminated",
+        st_s.barriers, st_s.neighbor_syncs, st_s.eliminated
+    );
+}

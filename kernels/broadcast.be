@@ -1,0 +1,28 @@
+! Pivot-column broadcast: unique producer per step -> counter sync.
+program broadcast
+sym n
+array A(n, n) cyclic@1
+
+doall i0 = 0, n-1
+  do j0 = 0, n-1
+    A(i0, j0) = 0.25 * sin(i0 + 2 * j0)
+    if i0 - j0 == 0 then
+      A(i0, j0) = 8.0 + sin(i0)
+    end
+  end
+end
+
+do k = 0, n-2
+  doall i1 = 1, n-1
+    if i1 - k >= 1 then
+      A(i1, k) = A(i1, k) / A(k, k)
+    end
+  end
+  doall j2 = 1, n-1
+    do i2 = 1, n-1
+      if j2 - k >= 1 and i2 - k >= 1 then
+        A(i2, j2) = A(i2, j2) - A(i2, k) * A(k, j2)
+      end
+    end
+  end
+end

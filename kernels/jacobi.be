@@ -1,0 +1,18 @@
+! 1-D Jacobi relaxation: the motivating stencil.
+program jacobi
+sym n, tmax
+array A(n) block
+array B(n) block
+
+doall i0 = 0, n-1
+  A(i0) = sin(i0)
+end
+
+do t = 0, tmax-1
+  doall i = 1, n-2
+    B(i) = 0.5 * (A(i-1) + A(i+1))
+  end
+  doall j = 1, n-2
+    A(j) = B(j)
+  end
+end

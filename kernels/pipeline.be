@@ -1,0 +1,21 @@
+! Column sweep along the distributed dimension: the optimizer replaces
+! the per-row barrier with neighbor flags (software pipelining).
+program pipeline
+sym n, tmax
+array X(n, n) block
+array L(n, n) block
+
+doall i0 = 0, n-1
+  do j0 = 0, n-1
+    X(i0, j0) = sin(i0 * 11 + j0)
+    L(i0, j0) = 0.2 + 0.05 * cos(i0 * 3 - j0)
+  end
+end
+
+do t = 0, tmax-1
+  do i = 1, n-1
+    doall j = 0, n-1
+      X(i, j) = 0.75 * X(i, j) + L(i, j) * X(i-1, j)
+    end
+  end
+end

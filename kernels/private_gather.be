@@ -1,0 +1,25 @@
+! Array privatization: the gather loop writes only the private work
+! vector, so it is replicated and the gather -> update barrier vanishes.
+program private_gather
+sym n
+array A(n, n) block
+array D(n) private
+
+doall i0 = 0, n-1
+  do j0 = 0, n-1
+    A(i0, j0) = sin(3 * i0 + j0)
+  end
+end
+
+do k = 0, n-2
+  doall j1 = 0, n-1
+    D(j1) = A(k, j1) * 0.5
+  end
+  doall i2 = 0, n-1
+    do j2 = 0, n-1
+      if i2 - k >= 1 then
+        A(i2, j2) = A(i2, j2) * 0.9 + D(i2) * D(j2) * 0.01
+      end
+    end
+  end
+end

@@ -1,0 +1,45 @@
+! Shallow-water time step (RiCEPS shallow / SPEC swm256 class):
+! three stencil phases plus copy-back, all barriers replaced.
+program shallow
+sym n, tmax
+array U(n, n) block
+array V(n, n) block
+array P(n, n) block
+array CU(n, n) block
+array CV(n, n) block
+array H(n, n) block
+array UNEW(n, n) block
+array VNEW(n, n) block
+array PNEW(n, n) block
+
+doall i0 = 0, n-1
+  do j0 = 0, n-1
+    U(i0, j0) = sin(i0 + 2 * j0)
+    V(i0, j0) = cos(2 * i0 - j0)
+    P(i0, j0) = 50.0 + sin(i0) * cos(j0)
+  end
+end
+
+do t = 0, tmax-1
+  doall i1 = 0, n-2
+    do j1 = 0, n-2
+      CU(i1, j1) = 0.5 * (P(i1+1, j1) + P(i1, j1)) * U(i1, j1)
+      CV(i1, j1) = 0.5 * (P(i1, j1+1) + P(i1, j1)) * V(i1, j1)
+      H(i1, j1) = P(i1, j1) + 0.25 * (U(i1, j1) * U(i1, j1) + V(i1, j1) * V(i1, j1))
+    end
+  end
+  doall i2 = 1, n-2
+    do j2 = 1, n-2
+      UNEW(i2, j2) = U(i2, j2) + 0.1 * (H(i2-1, j2) - H(i2, j2))
+      VNEW(i2, j2) = V(i2, j2) + 0.1 * (H(i2, j2-1) - H(i2, j2))
+      PNEW(i2, j2) = P(i2, j2) - 0.1 * (CU(i2, j2) - CU(i2-1, j2) + CV(i2, j2) - CV(i2, j2-1))
+    end
+  end
+  doall i3 = 1, n-2
+    do j3 = 1, n-2
+      U(i3, j3) = UNEW(i3, j3)
+      V(i3, j3) = VNEW(i3, j3)
+      P(i3, j3) = PNEW(i3, j3)
+    end
+  end
+end

@@ -1,0 +1,181 @@
+//! `beopt` — the barrier-elimination driver.
+//!
+//! Reads a kernel in the text dialect (see `kernels/*.be` and the
+//! `frontend` crate docs), runs the synchronization optimizer, and
+//! reports the schedule. With `--run` it also executes both schedules
+//! with virtual processors, verifies the optimized results against the
+//! sequential semantics, and prints dynamic synchronization counts.
+//!
+//! ```sh
+//! beopt kernels/jacobi.be --nprocs 8 --set n=64 --set tmax=10 --run
+//! ```
+
+use barrier_elim::analysis::Bindings;
+use barrier_elim::frontend;
+use barrier_elim::interp::{run_sequential, run_virtual, Mem, ScheduleOrder};
+use barrier_elim::ir::Program;
+use barrier_elim::spmd_opt::{fork_join, optimize_logged, render_plan};
+use std::process::ExitCode;
+
+struct Args {
+    path: String,
+    nprocs: i64,
+    sets: Vec<(String, i64)>,
+    run: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: beopt <file.be> [--nprocs P] [--set sym=value]... [--run] [--quiet]\n\
+         \n\
+         --nprocs P      number of processors for analysis/execution (default 4)\n\
+         --set sym=v     bind a symbolic constant (required for --run)\n\
+         --run           execute baseline + optimized schedules and verify\n\
+         --quiet         suppress the schedule listing (stats only)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        path: String::new(),
+        nprocs: 4,
+        sets: Vec::new(),
+        run: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nprocs" => {
+                args.nprocs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--set" => {
+                let kv = it.next().unwrap_or_else(|| usage());
+                let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
+                let v: i64 = v.parse().unwrap_or_else(|_| usage());
+                args.sets.push((k.to_string(), v));
+            }
+            "--run" => args.run = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            _ if args.path.is_empty() && !a.starts_with('-') => args.path = a,
+            _ => usage(),
+        }
+    }
+    if args.path.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn bindings_for(prog: &Program, args: &Args) -> Result<Bindings, String> {
+    let mut bind = Bindings::new(args.nprocs);
+    for (name, value) in &args.sets {
+        let Some(pos) = prog.syms.iter().position(|s| &s.name == name) else {
+            return Err(format!("--set {name}: no such sym in the program"));
+        };
+        bind.bind(barrier_elim::ir::SymId(pos as u32), *value);
+    }
+    Ok(bind)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let src = match std::fs::read_to_string(&args.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("beopt: cannot read {}: {e}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let prog = match frontend::parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("beopt: {}: {e}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let bind = match bindings_for(&prog, &args) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("beopt: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Verify the DOALL markings before trusting them.
+    let bad = barrier_elim::analysis::check_parallel_loops(&prog, &bind);
+    if !bad.is_empty() {
+        for node in &bad {
+            let l = prog.expect_loop(*node);
+            eprintln!(
+                "beopt: warning: `doall {}` carries a dependence (treating results cautiously)",
+                l.name
+            );
+        }
+    }
+    for w in barrier_elim::analysis::check_privatizable(&prog, &bind) {
+        eprintln!("beopt: warning: {w}");
+    }
+
+    let (plan, log) = optimize_logged(&prog, &bind);
+    let base = fork_join(&prog, &bind);
+
+    if !args.quiet {
+        println!("--- optimized SPMD schedule ---");
+        print!("{}", render_plan(&prog, &plan));
+        println!("--- greedy decisions ---");
+        for d in &log {
+            println!(
+                "  {:<26} analysis: {:<30} placed: {}",
+                d.site,
+                format!("{:?}", d.outcome),
+                d.placed
+            );
+        }
+        println!();
+    }
+
+    let st_b = base.static_stats();
+    let st_o = plan.static_stats();
+    println!(
+        "static: fork-join {} barriers | optimized {} barriers, {} neighbor, {} counter, {} eliminated",
+        st_b.barriers, st_o.barriers, st_o.neighbor_syncs, st_o.counter_syncs, st_o.eliminated
+    );
+
+    if args.run {
+        // Need every sym bound.
+        for (k, s) in prog.syms.iter().enumerate() {
+            if bind.get(barrier_elim::ir::SymId(k as u32)).is_none() {
+                eprintln!("beopt: --run needs --set {}=<value>", s.name);
+                return ExitCode::FAILURE;
+            }
+        }
+        let oracle = Mem::new(&prog, &bind);
+        run_sequential(&prog, &bind, &oracle);
+        let mem_b = Mem::new(&prog, &bind);
+        let out_b = run_virtual(&prog, &bind, &base, &mem_b, ScheduleOrder::RoundRobin);
+        let mem_o = Mem::new(&prog, &bind);
+        let out_o = run_virtual(&prog, &bind, &plan, &mem_o, ScheduleOrder::Reverse);
+        let diff = mem_o.max_abs_diff(&oracle);
+        println!(
+            "dynamic: fork-join {} barriers, {} dispatches | optimized {} barriers, {} counters, {} neighbor posts",
+            out_b.counts.barriers,
+            out_b.counts.dispatches,
+            out_o.counts.barriers,
+            out_o.counts.counter_increments,
+            out_o.counts.neighbor_posts,
+        );
+        if diff > 1e-9 {
+            eprintln!("beopt: VERIFICATION FAILED: optimized results diverge by {diff:e}");
+            return ExitCode::FAILURE;
+        }
+        println!("verify: optimized results match sequential execution (max diff {diff:e})");
+    }
+    ExitCode::SUCCESS
+}

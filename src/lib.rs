@@ -1,0 +1,14 @@
+//! Facade crate for the barrier-elimination workspace.
+//!
+//! Re-exports every subsystem so examples and integration tests can use a
+//! single dependency. See `README.md` for the architecture overview and
+//! `DESIGN.md` for the paper-to-module map.
+
+pub use analysis;
+pub use frontend;
+pub use ineq;
+pub use interp;
+pub use ir;
+pub use runtime;
+pub use spmd_opt;
+pub use suite;

@@ -1,0 +1,78 @@
+//! End-to-end soundness: for every benchmark kernel and several
+//! processor counts, the optimized SPMD schedule must reproduce the
+//! sequential semantics under adversarial virtual interleavings.
+
+use barrier_elim::interp::{run_sequential, run_virtual, Mem, ScheduleOrder};
+use barrier_elim::spmd_opt::{fork_join, optimize};
+use barrier_elim::suite::{self, Scale};
+
+/// Maximum tolerated divergence: reductions may reassociate, everything
+/// else must match exactly.
+const TOL: f64 = 1e-9;
+
+fn check_kernel(name: &str, nprocs: i64) {
+    let def = suite::by_name(name).unwrap();
+    let built = (def.build)(Scale::Test);
+    let bind = built.bindings(nprocs);
+    let oracle = Mem::new(&built.prog, &bind);
+    run_sequential(&built.prog, &bind, &oracle);
+
+    for (label, plan) in [
+        ("fork-join", fork_join(&built.prog, &bind)),
+        ("optimized", optimize(&built.prog, &bind)),
+    ] {
+        for order in [
+            ScheduleOrder::RoundRobin,
+            ScheduleOrder::Reverse,
+            ScheduleOrder::Random(7),
+            ScheduleOrder::Random(1234),
+        ] {
+            let mem = Mem::new(&built.prog, &bind);
+            run_virtual(&built.prog, &bind, &plan, &mem, order);
+            let diff = mem.max_abs_diff(&oracle);
+            assert!(
+                diff <= TOL,
+                "{name} ({label}, P={nprocs}, {order:?}): diverged by {diff:e}"
+            );
+        }
+    }
+}
+
+macro_rules! kernel_tests {
+    ($($name:ident),* $(,)?) => {
+        $(
+            mod $name {
+                #[test]
+                fn p1() { super::check_kernel(stringify!($name), 1); }
+                #[test]
+                fn p3() { super::check_kernel(stringify!($name), 3); }
+                #[test]
+                fn p4() { super::check_kernel(stringify!($name), 4); }
+                #[test]
+                fn p8() { super::check_kernel(stringify!($name), 8); }
+            }
+        )*
+    };
+}
+
+kernel_tests!(
+    jacobi2d,
+    copy_chain,
+    stencil3d,
+    redblack,
+    shallow,
+    fdtd,
+    cg_dense,
+    tomcatv_mesh,
+    livermore7,
+    livermore18,
+    adi,
+    erlebacher,
+    lu,
+    tred2,
+    matmul,
+    mgrid,
+    seidel_pipe,
+    workvec,
+    transpose,
+);

@@ -1,0 +1,153 @@
+//! Edge cases: more processors than iterations, zero-trip loops, unit
+//! problem sizes, and processor counts that do not divide extents.
+
+use barrier_elim::analysis::Bindings;
+use barrier_elim::interp::{run_sequential, run_virtual, Mem, ScheduleOrder};
+use barrier_elim::ir::build::*;
+use barrier_elim::ir::Program;
+use barrier_elim::spmd_opt::{fork_join, optimize};
+
+fn check_all(prog: &Program, bind: &Bindings) {
+    let oracle = Mem::new(prog, bind);
+    run_sequential(prog, bind, &oracle);
+    for plan in [fork_join(prog, bind), optimize(prog, bind)] {
+        for order in [
+            ScheduleOrder::RoundRobin,
+            ScheduleOrder::Reverse,
+            ScheduleOrder::Random(13),
+        ] {
+            let mem = Mem::new(prog, bind);
+            run_virtual(prog, bind, &plan, &mem, order);
+            assert_eq!(mem.max_abs_diff(&oracle), 0.0, "P={} {order:?}", bind.nprocs);
+        }
+    }
+}
+
+fn stencil_prog() -> (Program, barrier_elim::ir::SymId, barrier_elim::ir::SymId) {
+    let mut pb = ProgramBuilder::new("edge");
+    let n = pb.sym("n");
+    let tmax = pb.sym("tmax");
+    let a = pb.array("A", &[sym(n) + 2], dist_block());
+    let b = pb.array("B", &[sym(n) + 2], dist_block());
+    let i0 = pb.begin_par("i0", con(0), sym(n) + 1);
+    pb.assign(elem(a, [idx(i0)]), ival(idx(i0)).sin());
+    pb.end();
+    let _t = pb.begin_seq("t", con(0), sym(tmax) - 1);
+    let i = pb.begin_par("i", con(1), sym(n));
+    pb.assign(
+        elem(b, [idx(i)]),
+        ex(0.5) * (arr(a, [idx(i) - 1]) + arr(a, [idx(i) + 1])),
+    );
+    pb.end();
+    let j = pb.begin_par("j", con(1), sym(n));
+    pb.assign(elem(a, [idx(j)]), arr(b, [idx(j)]));
+    pb.end();
+    pb.end();
+    (pb.finish(), n, tmax)
+}
+
+#[test]
+fn more_processors_than_iterations() {
+    let (prog, n, tmax) = stencil_prog();
+    // 3 interior points, 8 processors.
+    let bind = Bindings::new(8).set(n, 3).set(tmax, 4);
+    check_all(&prog, &bind);
+}
+
+#[test]
+fn single_interior_point() {
+    let (prog, n, tmax) = stencil_prog();
+    let bind = Bindings::new(4).set(n, 1).set(tmax, 3);
+    check_all(&prog, &bind);
+}
+
+#[test]
+fn zero_trip_time_loop() {
+    let (prog, n, tmax) = stencil_prog();
+    let bind = Bindings::new(4).set(n, 8).set(tmax, 0);
+    let oracle = Mem::new(&prog, &bind);
+    run_sequential(&prog, &bind, &oracle);
+    let plan = optimize(&prog, &bind);
+    let mem = Mem::new(&prog, &bind);
+    let out = run_virtual(&prog, &bind, &plan, &mem, ScheduleOrder::Reverse);
+    assert_eq!(mem.max_abs_diff(&oracle), 0.0);
+    // Only the init phase ran; the region end barrier still fires once.
+    assert!(out.counts.barriers <= 1);
+}
+
+#[test]
+fn non_dividing_processor_counts() {
+    let (prog, n, tmax) = stencil_prog();
+    for p in [3i64, 5, 7] {
+        let bind = Bindings::new(p).set(n, 29).set(tmax, 3);
+        check_all(&prog, &bind);
+    }
+}
+
+#[test]
+fn single_processor_degenerates_gracefully() {
+    let (prog, n, tmax) = stencil_prog();
+    let bind = Bindings::new(1).set(n, 16).set(tmax, 3);
+    check_all(&prog, &bind);
+    // With one processor every pattern is local: all interior syncs can
+    // be eliminated or trivially satisfied — still sound either way.
+    let st = optimize(&prog, &bind).static_stats();
+    assert!(st.barriers >= 1);
+}
+
+#[test]
+fn cyclic_with_more_processors_than_elements() {
+    let mut pb = ProgramBuilder::new("tinycyc");
+    let n = pb.sym("n");
+    let a = pb.array("A", &[sym(n)], dist_cyclic());
+    let b = pb.array("B", &[sym(n)], dist_cyclic());
+    let i = pb.begin_par("i", con(0), sym(n) - 1);
+    pb.assign(elem(a, [idx(i)]), ival(idx(i) * 2).cos());
+    pb.end();
+    let j = pb.begin_par("j", con(0), sym(n) - 1);
+    pb.assign(elem(b, [idx(j)]), arr(a, [idx(j)]) * ex(3.0));
+    pb.end();
+    let prog = pb.finish();
+    let bind = Bindings::new(8).set(n, 3);
+    check_all(&prog, &bind);
+}
+
+#[test]
+fn guard_that_never_fires() {
+    let mut pb = ProgramBuilder::new("deadguard");
+    let n = pb.sym("n");
+    let a = pb.array("A", &[sym(n)], dist_block());
+    let i = pb.begin_par("i", con(0), sym(n) - 1);
+    pb.begin_guard(vec![ge0(idx(i) - sym(n))]); // i >= n: never
+    pb.assign(elem(a, [idx(i)]), ex(99.0));
+    pb.end();
+    pb.assign(elem(a, [idx(i)]), ival(idx(i)));
+    pb.end();
+    let prog = pb.finish();
+    let bind = Bindings::new(4).set(n, 8);
+    check_all(&prog, &bind);
+    let mem = Mem::new(&prog, &bind);
+    run_sequential(&prog, &bind, &mem);
+    assert_eq!(mem.array(a).get(&[5]), 5.0);
+}
+
+#[test]
+fn empty_parallel_loop_body_range() {
+    // Parallel loop with an empty range (lo > hi) sandwiched between
+    // phases: no work, no crash, syncs still line up.
+    let mut pb = ProgramBuilder::new("emptyrange");
+    let n = pb.sym("n");
+    let a = pb.array("A", &[sym(n)], dist_block());
+    let i = pb.begin_par("i", con(0), sym(n) - 1);
+    pb.assign(elem(a, [idx(i)]), ex(1.0));
+    pb.end();
+    let j = pb.begin_par("j", con(5), con(2)); // empty
+    pb.assign(elem(a, [idx(j)]), ex(2.0));
+    pb.end();
+    let k = pb.begin_par("k", con(0), sym(n) - 1);
+    pb.assign(elem(a, [idx(k)]), arr(a, [idx(k)]) + ex(1.0));
+    pb.end();
+    let prog = pb.finish();
+    let bind = Bindings::new(4).set(n, 8);
+    check_all(&prog, &bind);
+}

@@ -1,0 +1,131 @@
+//! Real-thread execution of every kernel matches the sequential oracle,
+//! and the runtime instrumentation agrees with the schedule-derived
+//! dynamic counts.
+
+use barrier_elim::interp::{run_parallel, run_sequential, Mem};
+use barrier_elim::runtime::Team;
+use barrier_elim::spmd_opt::{fork_join, optimize};
+use barrier_elim::suite::{self, Scale};
+use std::sync::Arc;
+
+const TOL: f64 = 1e-9;
+
+#[test]
+fn every_kernel_runs_correctly_on_real_threads() {
+    let nprocs = 4;
+    let team = Team::new(nprocs);
+    for def in suite::all() {
+        let built = (def.build)(Scale::Test);
+        let bind = Arc::new(built.bindings(nprocs as i64));
+        let prog = Arc::new(built.prog);
+        let oracle = Mem::new(&prog, &bind);
+        run_sequential(&prog, &bind, &oracle);
+
+        for (label, plan) in [
+            ("fork-join", fork_join(&prog, &bind)),
+            ("optimized", optimize(&prog, &bind)),
+        ] {
+            let mem = Arc::new(Mem::new(&prog, &bind));
+            let out = run_parallel(&prog, &bind, &plan, &mem, &team);
+            let diff = mem.max_abs_diff(&oracle);
+            assert!(
+                diff <= TOL,
+                "{} ({label}): diverged by {diff:e}",
+                def.name
+            );
+            assert_eq!(
+                out.stats.barrier_episodes, out.counts.barriers,
+                "{} ({label}): instrumented barrier count mismatch",
+                def.name
+            );
+            assert_eq!(
+                out.stats.counter_increments, out.counts.counter_increments,
+                "{} ({label}): instrumented counter count mismatch",
+                def.name
+            );
+            assert_eq!(
+                out.stats.neighbor_posts, out.counts.neighbor_posts,
+                "{} ({label}): instrumented neighbor count mismatch",
+                def.name
+            );
+        }
+    }
+}
+
+#[test]
+fn optimized_never_executes_more_barriers_than_fork_join() {
+    let nprocs = 4;
+    let team = Team::new(nprocs);
+    for def in suite::all() {
+        // `transpose` gains a loop-bottom barrier from region merging; it
+        // is the documented worst case.
+        if def.name == "transpose" {
+            continue;
+        }
+        let built = (def.build)(Scale::Test);
+        let bind = Arc::new(built.bindings(nprocs as i64));
+        let prog = Arc::new(built.prog);
+        let run = |plan| {
+            let mem = Arc::new(Mem::new(&prog, &bind));
+            run_parallel(&prog, &bind, &plan, &mem, &team)
+        };
+        let base = run(fork_join(&prog, &bind));
+        let opt = run(optimize(&prog, &bind));
+        assert!(
+            opt.counts.barriers <= base.counts.barriers,
+            "{}: {} vs {}",
+            def.name,
+            opt.counts.barriers,
+            base.counts.barriers
+        );
+    }
+}
+
+#[test]
+fn virtual_and_real_dynamic_counts_agree() {
+    let nprocs = 4;
+    let team = Team::new(nprocs);
+    for name in ["jacobi2d", "adi", "lu", "tomcatv_mesh"] {
+        let def = suite::by_name(name).unwrap();
+        let built = (def.build)(Scale::Test);
+        let bind = Arc::new(built.bindings(nprocs as i64));
+        let prog = Arc::new(built.prog);
+        let plan = optimize(&prog, &bind);
+        let mem = Arc::new(Mem::new(&prog, &bind));
+        let real = run_parallel(&prog, &bind, &plan, &mem, &team);
+        let vmem = Mem::new(&prog, &bind);
+        let virt = barrier_elim::interp::run_virtual(
+            &prog,
+            &bind,
+            &plan,
+            &vmem,
+            barrier_elim::interp::ScheduleOrder::RoundRobin,
+        );
+        assert_eq!(real.counts, virt.counts, "{name}");
+    }
+}
+
+#[test]
+fn tree_barrier_executor_matches_central() {
+    use barrier_elim::interp::{run_parallel_with, BarrierKind};
+    let nprocs = 4;
+    let team = Team::new(nprocs);
+    for name in ["jacobi2d", "lu", "shallow"] {
+        let def = suite::by_name(name).unwrap();
+        let built = (def.build)(Scale::Test);
+        let bind = Arc::new(built.bindings(nprocs as i64));
+        let prog = Arc::new(built.prog);
+        let plan = optimize(&prog, &bind);
+        let oracle = Mem::new(&prog, &bind);
+        run_sequential(&prog, &bind, &oracle);
+        for kind in [BarrierKind::Central, BarrierKind::Tree] {
+            let mem = Arc::new(Mem::new(&prog, &bind));
+            let out = run_parallel_with(&prog, &bind, &plan, &mem, &team, kind);
+            assert!(
+                mem.max_abs_diff(&oracle) < 1e-9,
+                "{name} with {kind:?} diverged"
+            );
+            assert_eq!(out.stats.barrier_episodes, out.counts.barriers);
+        }
+    }
+}
