@@ -128,8 +128,22 @@ pub fn scan_owned_range(
     let mut sys = System::new();
 
     // Loop bounds.
-    let lo = tr(&l.lo, &mut vt, &mut vars, &mut atom_of, bind, Some((l.id, i)));
-    let hi = tr(&l.hi, &mut vt, &mut vars, &mut atom_of, bind, Some((l.id, i)));
+    let lo = tr(
+        &l.lo,
+        &mut vt,
+        &mut vars,
+        &mut atom_of,
+        bind,
+        Some((l.id, i)),
+    );
+    let hi = tr(
+        &l.hi,
+        &mut vt,
+        &mut vars,
+        &mut atom_of,
+        bind,
+        Some((l.id, i)),
+    );
     sys.add_range(LinExpr::var(i), lo, hi);
     // Processor bounds.
     sys.add_range(
@@ -275,7 +289,10 @@ mod tests {
         assert_eq!(scanned.range(&bind, 1, &outer), Some((0, 15)));
         for pid in [0i64, 2, 3] {
             let r = scanned.range(&bind, pid, &outer);
-            assert!(r.is_none() || r.unwrap().0 > r.unwrap().1, "pid {pid}: {r:?}");
+            assert!(
+                r.is_none() || r.unwrap().0 > r.unwrap().1,
+                "pid {pid}: {r:?}"
+            );
         }
     }
 }

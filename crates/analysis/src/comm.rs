@@ -204,15 +204,22 @@ fn same_owner_inputs(
 ) -> Option<(ineq::LinExpr, ineq::LinExpr)> {
     use LoopPartition::*;
     let (sub1, sub2) = match (lp1, lp2) {
-        (BlockOwner { block: b1, sub: s1, .. }, BlockOwner { block: b2, sub: s2, .. })
-            if b1 == b2 =>
-        {
-            (s1.clone(), s2.clone())
-        }
+        (
+            BlockOwner {
+                block: b1, sub: s1, ..
+            },
+            BlockOwner {
+                block: b2, sub: s2, ..
+            },
+        ) if b1 == b2 => (s1.clone(), s2.clone()),
         (CyclicOwner { sub: s1, .. }, CyclicOwner { sub: s2, .. }) => (s1.clone(), s2.clone()),
         (
-            BlockCyclicOwner { block: b1, sub: s1, .. },
-            BlockCyclicOwner { block: b2, sub: s2, .. },
+            BlockCyclicOwner {
+                block: b1, sub: s1, ..
+            },
+            BlockCyclicOwner {
+                block: b2, sub: s2, ..
+            },
         ) if b1 == b2 => (s1.clone(), s2.clone()),
         _ => return None,
     };
@@ -330,12 +337,7 @@ impl<'p> CommQuery<'p> {
     }
 
     /// Communication pattern between two groups of statements.
-    pub fn comm_groups(
-        &self,
-        g1: &[StmtPath],
-        g2: &[StmtPath],
-        mode: CommMode,
-    ) -> CommPattern {
+    pub fn comm_groups(&self, g1: &[StmtPath], g2: &[StmtPath], mode: CommMode) -> CommPattern {
         self.comm_groups_detailed(g1, g2, mode).pattern
     }
 
@@ -432,8 +434,22 @@ impl<'p> CommQuery<'p> {
         //     forced to 0 is local and a difference within the carried
         //     reach is neighbor-safe — all provable without knowing n.
         if let (
-            StmtPartition::Distributed(_, LoopPartition::SymbolicBlockOwner { extent: e1, sub: sb1, .. }),
-            StmtPartition::Distributed(_, LoopPartition::SymbolicBlockOwner { extent: e2, sub: sb2, .. }),
+            StmtPartition::Distributed(
+                _,
+                LoopPartition::SymbolicBlockOwner {
+                    extent: e1,
+                    sub: sb1,
+                    ..
+                },
+            ),
+            StmtPartition::Distributed(
+                _,
+                LoopPartition::SymbolicBlockOwner {
+                    extent: e2,
+                    sub: sb2,
+                    ..
+                },
+            ),
         ) = (&part1, &part2)
         {
             if e1 == e2 {
@@ -461,7 +477,8 @@ impl<'p> CommQuery<'p> {
                         match ps.carried_vars {
                             None => e = e - LinExpr::constant(2),
                             Some((i1, i2)) => {
-                                e = e - (LinExpr::var(i2) - LinExpr::var(i1))
+                                e = e
+                                    - (LinExpr::var(i2) - LinExpr::var(i1))
                                     - LinExpr::constant(1);
                             }
                         }
@@ -501,12 +518,10 @@ impl<'p> CommQuery<'p> {
         }
 
         // 1. Any cross-processor pair at all?
-        let fwd = ps.feasible_with(|s| {
-            s.add_ge(LinExpr::var(q) - LinExpr::var(p) - LinExpr::constant(1))
-        });
-        let bwd = ps.feasible_with(|s| {
-            s.add_ge(LinExpr::var(p) - LinExpr::var(q) - LinExpr::constant(1))
-        });
+        let fwd = ps
+            .feasible_with(|s| s.add_ge(LinExpr::var(q) - LinExpr::var(p) - LinExpr::constant(1)));
+        let bwd = ps
+            .feasible_with(|s| s.add_ge(LinExpr::var(p) - LinExpr::var(q) - LinExpr::constant(1)));
         if !fwd && !bwd {
             return CommOutcome::none();
         }
@@ -570,10 +585,9 @@ impl<'p> CommQuery<'p> {
                             sub: sub.clone(),
                         },
                     ),
-                    LoopPartition::CyclicOwner { sub, .. } => (
-                        sub,
-                        ProducerSpec::CyclicOwner { sub: sub.clone() },
-                    ),
+                    LoopPartition::CyclicOwner { sub, .. } => {
+                        (sub, ProducerSpec::CyclicOwner { sub: sub.clone() })
+                    }
                     LoopPartition::BlockCyclicOwner { sub, block, .. } => (
                         sub,
                         ProducerSpec::BlockCyclicOwner {
@@ -665,7 +679,10 @@ mod tests {
         pb.assign(elem(b, [idx(i)]), arr(a, [idx(i)]));
         pb.end();
         let j = pb.begin_par("j", con(1), sym(n) - 2);
-        pb.assign(elem(c, [idx(j)]), arr(b, [idx(j) - 1]) + arr(b, [idx(j) + 1]));
+        pb.assign(
+            elem(c, [idx(j)]),
+            arr(b, [idx(j) - 1]) + arr(b, [idx(j) + 1]),
+        );
         pb.end();
         let prog = pb.finish();
         let q = CommQuery::new(&prog, Bindings::new(4).set(n, 64));

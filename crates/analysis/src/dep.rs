@@ -50,13 +50,8 @@ pub fn loop_carries_dependence(prog: &Program, bind: &Bindings, loop_node: NodeI
                     if prog.array(a1.array).privatizable {
                         continue;
                     }
-                    let mut ps = build_pair_system(
-                        prog,
-                        bind,
-                        s1,
-                        s2,
-                        SharedLoopMode::CarriedBy(loop_node),
-                    );
+                    let mut ps =
+                        build_pair_system(prog, bind, s1, s2, SharedLoopMode::CarriedBy(loop_node));
                     // Drop the partition constraints' effect by not
                     // constraining processors: the pair system already
                     // has them, but a dependence between different

@@ -56,5 +56,7 @@ pub use bindings::Bindings;
 pub use codegen::{scan_owned_range, ScannedBounds};
 pub use comm::{CommMode, CommOutcome, CommPattern, CommQuery, ProducerSpec};
 pub use dep::{check_parallel_loops, loop_carries_dependence};
-pub use partition::{loop_is_replicated, loop_partition, stmt_partition, LoopPartition, StmtPartition};
+pub use partition::{
+    loop_is_replicated, loop_partition, stmt_partition, LoopPartition, StmtPartition,
+};
 pub use privatization::check_privatizable;

@@ -131,11 +131,7 @@ pub fn loop_is_replicated(prog: &Program, loop_node: NodeId) -> bool {
 /// which is what enables cross-iteration pipelining). When no write to a
 /// distributed array exists (reductions, replicated arrays) the
 /// iteration space itself is block-partitioned.
-pub fn loop_partition(
-    prog: &Program,
-    bind: &Bindings,
-    loop_node: NodeId,
-) -> LoopPartition {
+pub fn loop_partition(prog: &Program, bind: &Bindings, loop_node: NodeId) -> LoopPartition {
     let lp = prog.expect_loop(loop_node);
     debug_assert_eq!(lp.kind, LoopKind::Par);
     let mut found: Option<LoopPartition> = None;
@@ -364,8 +360,14 @@ mod tests {
         let prog = p.finish();
         let bind = Bindings::new(4).set(n, 64);
         let stmts = prog.all_statements();
-        assert_eq!(stmt_partition(&prog, &bind, &stmts[0]), StmtPartition::Replicated);
-        assert_eq!(stmt_partition(&prog, &bind, &stmts[1]), StmtPartition::Master);
+        assert_eq!(
+            stmt_partition(&prog, &bind, &stmts[0]),
+            StmtPartition::Replicated
+        );
+        assert_eq!(
+            stmt_partition(&prog, &bind, &stmts[1]),
+            StmtPartition::Master
+        );
         assert!(matches!(
             stmt_partition(&prog, &bind, &stmts[2]),
             StmtPartition::Distributed(..)

@@ -99,9 +99,9 @@ pub fn check_privatizable(prog: &Program, bind: &Bindings) -> Vec<String> {
             let Some(st) = state.get(&arr) else { continue };
             let name = &prog.array(arr).name;
             match st {
-                DefState::Undefined => warnings.push(format!(
-                    "private array {name} read before any write"
-                )),
+                DefState::Undefined => {
+                    warnings.push(format!("private array {name} read before any write"))
+                }
                 DefState::Complete => {}
                 DefState::Partial(wsig) => {
                     if *wsig != sig {

@@ -83,17 +83,13 @@ impl PairSystem {
     /// A fresh auxiliary variable (eliminated first in the scan order).
     pub fn fresh_aux(&mut self, name: &str) -> VarId {
         self.aux += 1;
-        self.vt.fresh(format!("{name}{}", self.aux), VarKind::ArrayIndex)
+        self.vt
+            .fresh(format!("{name}{}", self.aux), VarKind::ArrayIndex)
     }
 
     /// Add the element-equality constraints `subs1 == subs2`, dimension
     /// by dimension (both accesses refer to the same array).
-    pub fn add_elem_equality(
-        &mut self,
-        bind: &Bindings,
-        subs1: &[Affine],
-        subs2: &[Affine],
-    ) {
+    pub fn add_elem_equality(&mut self, bind: &Bindings, subs1: &[Affine], subs2: &[Affine]) {
         debug_assert_eq!(subs1.len(), subs2.len());
         for (a, b) in subs1.iter().zip(subs2) {
             let m1 = self.map1.clone();
@@ -291,19 +287,16 @@ fn add_partition(
                 let x = ps.tr(bind, sub, &map);
                 let b = *block as i128;
                 // p*b <= x <= p*b + b - 1
+                ps.sys.add_ge(x.clone() - LinExpr::term(proc_var, b));
                 ps.sys
-                    .add_ge(x.clone() - LinExpr::term(proc_var, b));
-                ps.sys.add_ge(
-                    LinExpr::term(proc_var, b) + LinExpr::constant(b - 1) - x,
-                );
+                    .add_ge(LinExpr::term(proc_var, b) + LinExpr::constant(b - 1) - x);
             }
             LoopPartition::CyclicOwner { sub, .. } => {
                 let x = ps.tr(bind, sub, &map);
                 let k = ps.fresh_aux("k");
                 // x == k*P + p
-                ps.sys.add_eq(
-                    x - LinExpr::term(k, bind.nprocs as i128) - LinExpr::var(proc_var),
-                );
+                ps.sys
+                    .add_eq(x - LinExpr::term(k, bind.nprocs as i128) - LinExpr::var(proc_var));
             }
             LoopPartition::BlockCyclicOwner { block, sub, .. } => {
                 let x = ps.tr(bind, sub, &map);
@@ -330,8 +323,7 @@ fn add_partition(
                 let b = *block as i128;
                 // p*b <= i - lo <= p*b + b - 1
                 ps.sys.add_ge(
-                    LinExpr::var(i) - LinExpr::constant(*lo as i128)
-                        - LinExpr::term(proc_var, b),
+                    LinExpr::var(i) - LinExpr::constant(*lo as i128) - LinExpr::term(proc_var, b),
                 );
                 ps.sys.add_ge(
                     LinExpr::term(proc_var, b) + LinExpr::constant(b - 1 + *lo as i128)

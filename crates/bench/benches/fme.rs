@@ -18,7 +18,11 @@ fn aligned_query() -> (VarTable, System) {
         s.add_range(LinExpr::var(v), LinExpr::constant(0), LinExpr::constant(7));
     }
     for v in [i, j] {
-        s.add_range(LinExpr::var(v), LinExpr::constant(0), LinExpr::constant(127));
+        s.add_range(
+            LinExpr::var(v),
+            LinExpr::constant(0),
+            LinExpr::constant(127),
+        );
     }
     // p*b <= i <= p*b + b - 1 ; q*b <= j <= q*b + b - 1 ; i == j ; q >= p+1
     s.add_ge(LinExpr::var(i) - LinExpr::term(p, b));
@@ -45,7 +49,11 @@ fn neighbor_far_query() -> (VarTable, System) {
             s.add_range(LinExpr::var(v), LinExpr::constant(0), LinExpr::constant(7));
         }
         for v in [i, j] {
-            s.add_range(LinExpr::var(v), LinExpr::constant(1), LinExpr::constant(127));
+            s.add_range(
+                LinExpr::var(v),
+                LinExpr::constant(1),
+                LinExpr::constant(127),
+            );
         }
         s.add_ge(LinExpr::var(i) - LinExpr::term(p, b));
         s.add_ge(LinExpr::term(p, b) + LinExpr::constant(b - 1) - LinExpr::var(i));

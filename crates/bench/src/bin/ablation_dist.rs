@@ -29,11 +29,7 @@ fn main() {
     for (label, dist) in dists {
         let built = lu::build_with_dist(Scale::Small, dist);
         let bind = built.bindings(nprocs);
-        let base = dyn_counts(
-            &built.prog,
-            &bind,
-            &spmd_opt::fork_join(&built.prog, &bind),
-        );
+        let base = dyn_counts(&built.prog, &bind, &spmd_opt::fork_join(&built.prog, &bind));
         let plan = spmd_opt::optimize(&built.prog, &bind);
         let opt = dyn_counts(&built.prog, &bind, &plan);
         // Correctness for each distribution.

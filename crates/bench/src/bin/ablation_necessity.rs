@@ -82,7 +82,12 @@ fn main() {
     println!("A sync is counted necessary when stripping it makes some of 6 adversarial");
     println!("virtual orders diverge from the sequential semantics. Syncs not caught are");
     println!("either schedule-lucky or genuinely conservative placements.\n");
-    let mut t = Table::new(&["program", "placed syncs", "demonstrably necessary", "fraction"]);
+    let mut t = Table::new(&[
+        "program",
+        "placed syncs",
+        "demonstrably necessary",
+        "fraction",
+    ]);
     let orders = [
         ScheduleOrder::Reverse,
         ScheduleOrder::RoundRobin,

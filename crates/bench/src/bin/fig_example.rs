@@ -15,12 +15,23 @@ fn show(name: &str) {
     println!("==================================================================\n");
     println!("--- source ---\n{}", ir::pretty::pretty(&built.prog));
     let fj = spmd_opt::fork_join(&built.prog, &bind);
-    println!("--- fork-join schedule ---\n{}", render_plan(&built.prog, &fj));
+    println!(
+        "--- fork-join schedule ---\n{}",
+        render_plan(&built.prog, &fj)
+    );
     let (opt, log) = spmd_opt::optimize_logged(&built.prog, &bind);
-    println!("--- optimized SPMD schedule ---\n{}", render_plan(&built.prog, &opt));
+    println!(
+        "--- optimized SPMD schedule ---\n{}",
+        render_plan(&built.prog, &opt)
+    );
     println!("--- greedy decisions ---");
     for d in log {
-        println!("  {:<28} analysis: {:<28} placed: {}", d.site, format!("{:?}", d.outcome), d.placed);
+        println!(
+            "  {:<28} analysis: {:<28} placed: {}",
+            d.site,
+            format!("{:?}", d.outcome),
+            d.placed
+        );
     }
     println!();
 }

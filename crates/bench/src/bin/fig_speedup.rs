@@ -47,7 +47,13 @@ fn main() {
         seq_times.sort_by(f64::total_cmp);
         let t_seq = seq_times[1];
 
-        let mut t = Table::new(&["P", "fork-join s", "optimized s", "speedup fj", "speedup opt"]);
+        let mut t = Table::new(&[
+            "P",
+            "fork-join s",
+            "optimized s",
+            "speedup fj",
+            "speedup opt",
+        ]);
         let mut p = 1usize;
         while p <= max_p {
             let bind = Arc::new({

@@ -2,7 +2,9 @@
 //! baseline (fork-join) lowering.
 
 use crate::plan::{Phase, PhaseKind, RItem, Region, SpmdProgram, SyncOp, TopItem};
-use analysis::{loop_is_replicated, loop_partition, Bindings, CommMode, CommOutcome, CommPattern, CommQuery};
+use analysis::{
+    loop_is_replicated, loop_partition, Bindings, CommMode, CommOutcome, CommPattern, CommQuery,
+};
 use ir::{LhsRef, LoopKind, Node, NodeId, Program, StmtPath};
 
 /// Does the subtree contain a parallel loop?
@@ -99,7 +101,11 @@ impl<'p> Optimizer<'p> {
         match self.prog.node(node) {
             Node::Loop(l) => format!(
                 "{} {}",
-                if l.kind == LoopKind::Par { "DOALL" } else { "DO" },
+                if l.kind == LoopKind::Par {
+                    "DOALL"
+                } else {
+                    "DO"
+                },
                 l.name
             ),
             Node::Assign(_) => "statement".to_string(),
@@ -178,11 +184,9 @@ impl<'p> Optimizer<'p> {
                 let (sync, outcome_pat) = if group.is_empty() || stmts.is_empty() {
                     (SyncOp::None, CommPattern::NoComm)
                 } else {
-                    let outcome = self.query.comm_groups_detailed(
-                        &group,
-                        &stmts,
-                        CommMode::LoopIndependent,
-                    );
+                    let outcome =
+                        self.query
+                            .comm_groups_detailed(&group, &stmts, CommMode::LoopIndependent);
                     let pat = outcome.pattern;
                     (self.sync_from(outcome), pat)
                 };
@@ -356,11 +360,7 @@ pub fn optimize(prog: &Program, bind: &Bindings) -> SpmdProgram {
 }
 
 /// As [`optimize`] with explicit mechanism switches (for the ablations).
-pub fn optimize_with(
-    prog: &Program,
-    bind: &Bindings,
-    opts: OptimizeOptions,
-) -> SpmdProgram {
+pub fn optimize_with(prog: &Program, bind: &Bindings, opts: OptimizeOptions) -> SpmdProgram {
     optimize_impl(prog, bind, opts).0
 }
 
@@ -495,7 +495,10 @@ mod tests {
         assert_eq!(body.len(), 2);
         // After the stencil phase: neighbor sync (B read at ±1 by copy?
         // no — copy is aligned; the carried dep A->stencil is ±1).
-        assert!(matches!(bottom, SyncOp::Neighbor { .. }), "bottom={bottom:?}");
+        assert!(
+            matches!(bottom, SyncOp::Neighbor { .. }),
+            "bottom={bottom:?}"
+        );
     }
 
     /// Aligned copy chain: all barriers eliminated except the region end.
@@ -546,7 +549,9 @@ mod tests {
             panic!()
         };
         assert_eq!(r.items.len(), 3);
-        let RItem::Phase(p) = &r.items[1] else { panic!() };
+        let RItem::Phase(p) = &r.items[1] else {
+            panic!()
+        };
         assert_eq!(p.kind, PhaseKind::Master);
         // Master-produced scalar consumed by the distributed loop: the
         // barrier is replaced by a counter.

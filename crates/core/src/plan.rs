@@ -187,7 +187,12 @@ impl SpmdProgram {
                             count_sync(&p.after, st);
                         }
                     }
-                    RItem::Seq { body, bottom, after, .. } => {
+                    RItem::Seq {
+                        body,
+                        bottom,
+                        after,
+                        ..
+                    } => {
                         walk_items(body, st);
                         count_sync(bottom, st);
                         if !last {

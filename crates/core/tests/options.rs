@@ -103,10 +103,26 @@ fn degraded_plans_stay_sound() {
     let oracle = Mem::new(&prog, &bind);
     run_sequential(&prog, &bind, &oracle);
     for opts in [
-        OptimizeOptions { eliminate: false, use_neighbor: true, use_counters: true },
-        OptimizeOptions { eliminate: true, use_neighbor: false, use_counters: true },
-        OptimizeOptions { eliminate: true, use_neighbor: true, use_counters: false },
-        OptimizeOptions { eliminate: false, use_neighbor: false, use_counters: false },
+        OptimizeOptions {
+            eliminate: false,
+            use_neighbor: true,
+            use_counters: true,
+        },
+        OptimizeOptions {
+            eliminate: true,
+            use_neighbor: false,
+            use_counters: true,
+        },
+        OptimizeOptions {
+            eliminate: true,
+            use_neighbor: true,
+            use_counters: false,
+        },
+        OptimizeOptions {
+            eliminate: false,
+            use_neighbor: false,
+            use_counters: false,
+        },
     ] {
         let plan = optimize_with(&prog, &bind, opts);
         let mem = Mem::new(&prog, &bind);

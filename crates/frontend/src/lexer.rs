@@ -125,10 +125,7 @@ impl<'a> Lexer<'a> {
                 }
                 Some(b'\n') => {
                     self.bump();
-                    if !matches!(
-                        out.last().map(|t| &t.kind),
-                        None | Some(TokenKind::Newline)
-                    ) {
+                    if !matches!(out.last().map(|t| &t.kind), None | Some(TokenKind::Newline)) {
                         out.push(Token {
                             kind: TokenKind::Newline,
                             line: self.line,
@@ -168,9 +165,10 @@ impl<'a> Lexer<'a> {
                             is_float = true;
                             self.bump();
                         } else if (c == b'e' || c == b'E')
-                            && self.src.get(self.pos + 1).map_or(false, |d| {
-                                d.is_ascii_digit() || *d == b'-' || *d == b'+'
-                            })
+                            && self
+                                .src
+                                .get(self.pos + 1)
+                                .map_or(false, |d| d.is_ascii_digit() || *d == b'-' || *d == b'+')
                         {
                             is_float = true;
                             self.bump();

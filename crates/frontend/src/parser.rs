@@ -2,7 +2,9 @@
 
 use crate::lexer::{Lexer, Token, TokenKind};
 use ir::build::{DistSpec, ProgramBuilder};
-use ir::{Affine, ArrayId, CmpOp, Expr, GuardCond, LhsRef, LoopId, Program, RedOp, ScalarId, SymId};
+use ir::{
+    Affine, ArrayId, CmpOp, Expr, GuardCond, LhsRef, LoopId, Program, RedOp, ScalarId, SymId,
+};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -141,10 +143,7 @@ impl Parser {
         if self.eat(&TokenKind::Newline) || self.peek().kind == TokenKind::Eof {
             Ok(())
         } else {
-            self.err(format!(
-                "expected end of line, found {}",
-                self.peek().kind
-            ))
+            self.err(format!("expected end of line, found {}", self.peek().kind))
         }
     }
 
@@ -677,19 +676,12 @@ end
     // The frontend crate doesn't depend on spmd-opt; integration tests at
     // the workspace root exercise the full pipeline. This shim keeps a
     // semantic check here without the dependency.
-    fn spmd_opt_optimize_shim(
-        prog: &Program,
-        bind: &analysis::Bindings,
-    ) -> (usize, usize) {
+    fn spmd_opt_optimize_shim(prog: &Program, bind: &analysis::Bindings) -> (usize, usize) {
         // Use analysis only: the parsed stencil pair must classify as
         // neighbor communication.
         let q = analysis::CommQuery::new(prog, bind.clone());
         let st = prog.all_statements();
-        let pat = q.comm_stmts(
-            &st[1],
-            &st[2],
-            analysis::CommMode::LoopIndependent,
-        );
+        let pat = q.comm_stmts(&st[1], &st[2], analysis::CommMode::LoopIndependent);
         match pat {
             analysis::CommPattern::NoComm => (1, 1),
             analysis::CommPattern::Neighbor { .. } => (1, 1),
@@ -723,10 +715,7 @@ end
         assert!(prog.validate().is_empty());
         assert!(prog.arrays[1].privatizable);
         assert!(prog.scalars[1].privatizable);
-        assert_eq!(
-            prog.arrays[0].dist.dims[1],
-            ir::DimDist::BlockCyclic(2)
-        );
+        assert_eq!(prog.arrays[0].dist.dims[1], ir::DimDist::BlockCyclic(2));
     }
 
     #[test]

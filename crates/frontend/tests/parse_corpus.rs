@@ -96,9 +96,7 @@ fn undeclared_sym_in_bound() {
 
 #[test]
 fn wrong_rank_subscript_rejected() {
-    let e = err(
-        "\nprogram p\nsym n\narray A(n, n) block\ndoall i = 0, n-1\n  A(i) = 1.0\nend\n",
-    );
+    let e = err("\nprogram p\nsym n\narray A(n, n) block\ndoall i = 0, n-1\n  A(i) = 1.0\nend\n");
     assert!(e.msg.contains("rank"), "{e}");
 }
 

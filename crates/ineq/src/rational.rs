@@ -173,7 +173,10 @@ impl Add for Rational {
             .checked_mul(rhs.den)
             .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
             .expect("rational add overflow");
-        let den = self.den.checked_mul(rhs.den).expect("rational add overflow");
+        let den = self
+            .den
+            .checked_mul(rhs.den)
+            .expect("rational add overflow");
         Rational::new(num, den)
     }
 }
@@ -227,8 +230,14 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b vs c/d with b,d > 0  <=>  a*d vs c*b
-        let lhs = self.num.checked_mul(other.den).expect("rational cmp overflow");
-        let rhs = other.num.checked_mul(self.den).expect("rational cmp overflow");
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational cmp overflow");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational cmp overflow");
         lhs.cmp(&rhs)
     }
 }

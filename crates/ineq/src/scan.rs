@@ -92,7 +92,10 @@ pub fn bounds_of(sys: &System, v: VarId) -> VarBounds {
                 div: a,
             }),
             // a*v + rest >= 0, a < 0  =>  v <= rest/(-a)
-            (GeZero, false) => uppers.push(BoundExpr { expr: rest, div: -a }),
+            (GeZero, false) => uppers.push(BoundExpr {
+                expr: rest,
+                div: -a,
+            }),
             (EqZero, up) => {
                 let (abs, sign) = (a.abs(), if up { 1 } else { -1 });
                 let e = rest.scaled(-sign);

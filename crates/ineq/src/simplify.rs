@@ -118,9 +118,8 @@ impl System {
                 // a*v + rest ⋈ 0 with rest evaluated at the assignment.
                 let mut rest = c.expr.clone();
                 rest.set_coeff(v, 0);
-                let val = rest.eval_rat(&|x| {
-                    lookup(x).expect("inner variable leaked into projected system")
-                });
+                let val = rest
+                    .eval_rat(&|x| lookup(x).expect("inner variable leaked into projected system"));
                 let bound = -val / Rational::int(a as i128);
                 match (c.kind, a > 0) {
                     (ConstraintKind::GeZero, true) => {
@@ -177,12 +176,21 @@ mod tests {
         let (vt, i, _) = table2();
         let mut s = System::new();
         s.add_ge(LinExpr::var(i) - LinExpr::constant(5)); // i >= 5
-        // implies i >= 3
-        assert!(s.implies(&vt, &Constraint::ge_zero(LinExpr::var(i) - LinExpr::constant(3))));
+                                                          // implies i >= 3
+        assert!(s.implies(
+            &vt,
+            &Constraint::ge_zero(LinExpr::var(i) - LinExpr::constant(3))
+        ));
         // does not imply i >= 6
-        assert!(!s.implies(&vt, &Constraint::ge_zero(LinExpr::var(i) - LinExpr::constant(6))));
+        assert!(!s.implies(
+            &vt,
+            &Constraint::ge_zero(LinExpr::var(i) - LinExpr::constant(6))
+        ));
         // i == 5 not implied (i could be larger)
-        assert!(!s.implies(&vt, &Constraint::eq_zero(LinExpr::var(i) - LinExpr::constant(5))));
+        assert!(!s.implies(
+            &vt,
+            &Constraint::eq_zero(LinExpr::var(i) - LinExpr::constant(5))
+        ));
     }
 
     #[test]
@@ -191,7 +199,10 @@ mod tests {
         let mut s = System::new();
         s.add_ge(LinExpr::var(i) - LinExpr::constant(5));
         s.add_ge(LinExpr::constant(5) - LinExpr::var(i));
-        assert!(s.implies(&vt, &Constraint::eq_zero(LinExpr::var(i) - LinExpr::constant(5))));
+        assert!(s.implies(
+            &vt,
+            &Constraint::eq_zero(LinExpr::var(i) - LinExpr::constant(5))
+        ));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Expression evaluation and (filtered) subtree execution.
 
 use crate::mem::Mem;
+use crate::trace::{AccessKind, Target};
 use analysis::Bindings;
 use ir::{AffAtom, Affine, Assign, Expr, LhsRef, LoopId, Node, NodeId, Program, RedOp, ScalarId};
 
@@ -91,10 +92,23 @@ pub fn eval_expr(
     match e {
         Expr::Lit(v) => *v,
         Expr::Idx(a) => eval_affine(bind, env, a) as f64,
-        Expr::Scalar(s) => mem.get_scalar(*s),
+        Expr::Scalar(s) => {
+            if !prog.scalar(*s).privatizable {
+                mem.trace(pid, Target::Scalar(*s), AccessKind::Read);
+            }
+            mem.get_scalar(*s)
+        }
         Expr::Elem(a, subs) => {
             let idx: Vec<i64> = subs.iter().map(|s| eval_affine(bind, env, s)).collect();
-            mem.array_view(*a, pid).get(&idx)
+            let st = mem.array_view(*a, pid);
+            if !mem.is_private(*a) {
+                mem.trace(
+                    pid,
+                    Target::Elem(*a, st.flat_offset(&idx) as u64),
+                    AccessKind::Read,
+                );
+            }
+            st.get(&idx)
         }
         Expr::Bin(op, l, r) => op.apply(
             eval_expr(prog, bind, mem, env, l, pid),
@@ -138,9 +152,11 @@ impl RedAcc {
         }
     }
 
-    /// Flush partials into shared memory (atomic per scalar).
-    pub fn flush(&mut self, mem: &Mem) {
+    /// Flush processor `pid`'s partials into shared memory (atomic per
+    /// scalar).
+    pub fn flush(&mut self, mem: &Mem, pid: usize) {
         for (s, op, v) in self.parts.drain(..) {
+            mem.trace(pid, Target::Scalar(s), AccessKind::Reduce);
             mem.reduce_scalar(s, op, v);
         }
     }
@@ -156,21 +172,46 @@ fn exec_assign(
     pid: usize,
 ) {
     let v = eval_expr(prog, bind, mem, env, &a.rhs, pid);
+    let trace_scalar = |s: ScalarId, kind: AccessKind| {
+        if !prog.scalar(s).privatizable {
+            mem.trace(pid, Target::Scalar(s), kind);
+        }
+    };
     match (&a.lhs, a.reduction) {
-        (LhsRef::Scalar(s), None) => mem.set_scalar(*s, v),
+        (LhsRef::Scalar(s), None) => {
+            trace_scalar(*s, AccessKind::Write);
+            mem.set_scalar(*s, v);
+        }
         (LhsRef::Scalar(s), Some(op)) => {
             if red.active {
                 red.accumulate(*s, op, v);
             } else {
+                // Non-atomic read-modify-write (serial / master context).
+                trace_scalar(*s, AccessKind::Read);
+                trace_scalar(*s, AccessKind::Write);
                 mem.set_scalar(*s, op.apply(mem.get_scalar(*s), v));
             }
         }
         (LhsRef::Elem(arr, subs), redop) => {
             let idx: Vec<i64> = subs.iter().map(|s| eval_affine(bind, env, s)).collect();
             let st = mem.array_view(*arr, pid);
+            let shared = !mem.is_private(*arr);
+            let target = Target::Elem(*arr, st.flat_offset(&idx) as u64);
             match redop {
-                None => st.set(&idx, v),
-                Some(op) => st.set(&idx, op.apply(st.get(&idx), v)),
+                None => {
+                    if shared {
+                        mem.trace(pid, target, AccessKind::Write);
+                    }
+                    st.set(&idx, v);
+                }
+                Some(op) => {
+                    if shared {
+                        // Element reductions are a non-atomic RMW.
+                        mem.trace(pid, target, AccessKind::Read);
+                        mem.trace(pid, target, AccessKind::Write);
+                    }
+                    st.set(&idx, op.apply(st.get(&idx), v));
+                }
             }
         }
     }
@@ -308,9 +349,18 @@ mod tests {
         mem2.fill(a, |sub| sub[0] as f64);
         let mut env = Env::new(&prog);
         let mut red = RedAcc::active();
-        exec_node(&prog, &bind, &mem2, &mut env, prog.body[0], None, &mut red, 0);
+        exec_node(
+            &prog,
+            &bind,
+            &mem2,
+            &mut env,
+            prog.body[0],
+            None,
+            &mut red,
+            0,
+        );
         assert_eq!(mem2.get_scalar(s), 0.0, "not flushed yet");
-        red.flush(&mem2);
+        red.flush(&mem2, 0);
         assert_eq!(mem2.get_scalar(s), 45.0);
     }
 
@@ -329,7 +379,16 @@ mod tests {
         let mut red = RedAcc::inactive();
         let il = prog.expect_loop(prog.body[0]).id;
         let filter = |env: &Env| env.get(il).unwrap() % 2 == 0;
-        exec_node(&prog, &bind, &mem, &mut env, prog.body[0], Some(&filter), &mut red, 0);
+        exec_node(
+            &prog,
+            &bind,
+            &mem,
+            &mut env,
+            prog.body[0],
+            Some(&filter),
+            &mut red,
+            0,
+        );
         for k in 0..8i64 {
             assert_eq!(mem.array(a).get(&[k]), if k % 2 == 0 { 1.0 } else { 0.0 });
         }

@@ -225,9 +225,15 @@ fn owned_fast_path(
             let lo_own = pid * block - r;
             let hi_own = pid * block + block - 1 - r;
             let (mut ilo, mut ihi) = if a > 0 {
-                (div_ceil(lo_own as i128, a as i128), div_floor(hi_own as i128, a as i128))
+                (
+                    div_ceil(lo_own as i128, a as i128),
+                    div_floor(hi_own as i128, a as i128),
+                )
             } else {
-                (div_ceil(hi_own as i128, a as i128), div_floor(lo_own as i128, a as i128))
+                (
+                    div_ceil(hi_own as i128, a as i128),
+                    div_floor(lo_own as i128, a as i128),
+                )
             };
             ilo = ilo.max(lo as i128);
             ihi = ihi.min(hi as i128);
@@ -300,9 +306,7 @@ fn exec_par_phase(
                 run_iter(i, env, &mut red);
             }
         }
-    } else if let Some(iter) =
-        owned_fast_path(bind, env, partition, l.id, lo, hi, pid as i64)
-    {
+    } else if let Some(iter) = owned_fast_path(bind, env, partition, l.id, lo, hi, pid as i64) {
         match iter {
             OwnedIter::Range(a, b) => {
                 for i in a..=b {
@@ -330,11 +334,8 @@ fn exec_par_phase(
                 LoopPartition::BlockCyclicOwner { sub, .. } => Some(sub),
                 _ => None,
             };
-            sub.map(|s| {
-                s.loops()
-                    .all(|lid| lid == l.id || env.get(lid).is_some())
-            })
-            .unwrap_or(true)
+            sub.map(|s| s.loops().all(|lid| lid == l.id || env.get(lid).is_some()))
+                .unwrap_or(true)
         };
         if loop_level_ok {
             for i in lo..=hi {
@@ -367,7 +368,7 @@ fn exec_par_phase(
         }
     }
     env.clear(l.id);
-    red.flush(mem);
+    red.flush(mem, pid);
 }
 
 /// Dynamic synchronization counts extracted from an event walk (shared
@@ -397,12 +398,21 @@ impl DynCounts {
         for ev in events {
             match ev {
                 Event::Dispatch => c.dispatches += 1,
-                Event::Sync { op: SyncOp::Barrier, .. } => c.barriers += 1,
-                Event::Sync { op: SyncOp::Counter { .. }, .. } => {
+                Event::Sync {
+                    op: SyncOp::Barrier,
+                    ..
+                } => c.barriers += 1,
+                Event::Sync {
+                    op: SyncOp::Counter { .. },
+                    ..
+                } => {
                     c.counter_increments += 1;
                     c.counter_waits += p - 1;
                 }
-                Event::Sync { op: SyncOp::Neighbor { fwd, bwd }, .. } => {
+                Event::Sync {
+                    op: SyncOp::Neighbor { fwd, bwd },
+                    ..
+                } => {
                     c.neighbor_posts += p;
                     // Each processor waits for each existing producing
                     // neighbor.

@@ -48,11 +48,13 @@ pub mod eval;
 pub mod events;
 pub mod mem;
 pub mod par;
+pub mod trace;
 pub mod virt;
 
 pub use events::{render_events, unroll, Event};
 pub use mem::Mem;
 pub use par::{run_parallel, run_parallel_with, BarrierKind, ParallelOutcome};
+pub use trace::{Access, AccessKind, Target, TraceBuffer};
 pub use virt::{run_virtual, ScheduleOrder, VirtualOutcome};
 
 use analysis::Bindings;

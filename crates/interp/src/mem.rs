@@ -1,9 +1,11 @@
 //! Shared program memory: arrays and scalars as relaxed atomic `f64`
 //! cells.
 
+use crate::trace::{AccessKind, Target, TraceBuffer};
 use analysis::Bindings;
 use ir::{ArrayId, Program, ScalarId};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One array's storage (row-major).
 pub struct ArrayStore {
@@ -27,6 +29,13 @@ impl ArrayStore {
             strides,
             data,
         }
+    }
+
+    /// Row-major flat offset of element `subs` (panics when out of
+    /// bounds, like `get`/`set`).
+    #[inline]
+    pub fn flat_offset(&self, subs: &[i64]) -> usize {
+        self.offset(subs)
     }
 
     #[inline]
@@ -84,6 +93,7 @@ enum Slot {
 pub struct Mem {
     slots: Vec<Slot>,
     scalars: Vec<AtomicU64>,
+    tracer: Option<Arc<TraceBuffer>>,
 }
 
 impl Mem {
@@ -119,7 +129,27 @@ impl Mem {
             .iter()
             .map(|s| AtomicU64::new(s.init.to_bits()))
             .collect();
-        Mem { slots, scalars }
+        Mem {
+            slots,
+            scalars,
+            tracer: None,
+        }
+    }
+
+    /// Attach an access tracer: the evaluator records every shared
+    /// array-element and non-privatizable scalar access into it.
+    pub fn with_tracer(mut self, t: Arc<TraceBuffer>) -> Self {
+        self.tracer = Some(t);
+        self
+    }
+
+    /// Record one access if a tracer is attached (called by the
+    /// evaluator at every shared memory touch).
+    #[inline]
+    pub(crate) fn trace(&self, pid: usize, target: Target, kind: AccessKind) {
+        if let Some(t) = &self.tracer {
+            t.record(pid, target, kind);
+        }
     }
 
     /// The storage of one array as seen by processor 0 (tests / oracle).
@@ -219,8 +249,8 @@ impl Mem {
             }
         }
         for k in 0..self.scalars.len() {
-            acc += f64::from_bits(self.scalars[k].load(Ordering::Relaxed))
-                * (1.0 + k as f64 * 1e-2);
+            acc +=
+                f64::from_bits(self.scalars[k].load(Ordering::Relaxed)) * (1.0 + k as f64 * 1e-2);
         }
         acc
     }

@@ -106,9 +106,7 @@ pub fn run_parallel_with(
             AnyBarrier::Tree(TreeBarrier::new(nprocs).with_stats(Arc::clone(&stats)))
         }
     });
-    let counters = Arc::new(
-        Counters::new(max_counter_id(&events)).with_stats(Arc::clone(&stats)),
-    );
+    let counters = Arc::new(Counters::new(max_counter_id(&events)).with_stats(Arc::clone(&stats)));
     let flags = Arc::new(NeighborFlags::new(nprocs).with_stats(Arc::clone(&stats)));
     let dispatch = Arc::new(Counters::new(1));
 

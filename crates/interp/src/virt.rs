@@ -196,11 +196,21 @@ mod tests {
     fn optimized_counts_far_fewer_barriers() {
         let (prog, bind) = sweep(32, 50, 4);
         let mem_a = Mem::new(&prog, &bind);
-        let fj =
-            run_virtual(&prog, &bind, &fork_join(&prog, &bind), &mem_a, ScheduleOrder::RoundRobin);
+        let fj = run_virtual(
+            &prog,
+            &bind,
+            &fork_join(&prog, &bind),
+            &mem_a,
+            ScheduleOrder::RoundRobin,
+        );
         let mem_b = Mem::new(&prog, &bind);
-        let opt =
-            run_virtual(&prog, &bind, &optimize(&prog, &bind), &mem_b, ScheduleOrder::RoundRobin);
+        let opt = run_virtual(
+            &prog,
+            &bind,
+            &optimize(&prog, &bind),
+            &mem_b,
+            ScheduleOrder::RoundRobin,
+        );
         assert_eq!(fj.counts.barriers, 100);
         assert_eq!(opt.counts.barriers, 1);
         assert!(opt.counts.neighbor_posts > 0);
@@ -221,7 +231,12 @@ mod tests {
                             p.after = SyncOp::None;
                         }
                     }
-                    spmd_opt::RItem::Seq { body, bottom, after, .. } => {
+                    spmd_opt::RItem::Seq {
+                        body,
+                        bottom,
+                        after,
+                        ..
+                    } => {
                         strip(body);
                         if !bottom.is_barrier() {
                             *bottom = SyncOp::None;

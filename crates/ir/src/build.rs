@@ -9,9 +9,7 @@ use crate::decl::{
     ArrayDecl, ArrayId, DimDist, Distribution, ScalarDecl, ScalarId, SymDecl, SymId,
 };
 use crate::expr::{Affine, Expr};
-use crate::node::{
-    Assign, CmpOp, Guard, GuardCond, LhsRef, Loop, LoopId, LoopKind, Node, RedOp,
-};
+use crate::node::{Assign, CmpOp, Guard, GuardCond, LhsRef, Loop, LoopId, LoopKind, Node, RedOp};
 use crate::program::{NodeId, Program};
 
 /// Constant affine expression.
@@ -181,7 +179,12 @@ impl ProgramBuilder {
     }
 
     /// Declare an array with per-dimension extents and a distribution.
-    pub fn array(&mut self, name: impl Into<String>, extents: &[Affine], dist: DistSpec) -> ArrayId {
+    pub fn array(
+        &mut self,
+        name: impl Into<String>,
+        extents: &[Affine],
+        dist: DistSpec,
+    ) -> ArrayId {
         let rank = extents.len();
         let mut dims = vec![DimDist::Replicated; rank];
         match dist {

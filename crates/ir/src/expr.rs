@@ -158,7 +158,10 @@ impl From<i64> for Affine {
 impl Add for Affine {
     type Output = Affine;
     fn add(mut self, rhs: Affine) -> Affine {
-        self.constant = self.constant.checked_add(rhs.constant).expect("affine overflow");
+        self.constant = self
+            .constant
+            .checked_add(rhs.constant)
+            .expect("affine overflow");
         for (a, c) in rhs.terms() {
             self.add_term(a, c);
         }

@@ -164,7 +164,14 @@ pub fn pretty(p: &Program) -> String {
     writeln!(out, "PROGRAM {}", p.name).unwrap();
     for a in &p.arrays {
         let exts: Vec<String> = a.extents.iter().map(|e| affine_str(p, e)).collect();
-        writeln!(out, "  REAL {}({})  ! dist {}", a.name, exts.join(","), a.dist).unwrap();
+        writeln!(
+            out,
+            "  REAL {}({})  ! dist {}",
+            a.name,
+            exts.join(","),
+            a.dist
+        )
+        .unwrap();
     }
     for s in &p.scalars {
         writeln!(

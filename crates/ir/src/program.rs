@@ -291,12 +291,7 @@ impl Program {
     /// The loop nodes enclosing `target` (outermost first), or `None`
     /// when `target` is not in the program tree.
     pub fn enclosing_loops(&self, target: NodeId) -> Option<Vec<NodeId>> {
-        fn rec(
-            p: &Program,
-            id: NodeId,
-            target: NodeId,
-            stack: &mut Vec<NodeId>,
-        ) -> bool {
+        fn rec(p: &Program, id: NodeId, target: NodeId, stack: &mut Vec<NodeId>) -> bool {
             if id == target {
                 return true;
             }
@@ -396,7 +391,10 @@ mod tests {
         let a = p.array("A", &[sym(n)], dist_block());
         let b = p.array("B", &[sym(n)], dist_block());
         let i = p.begin_par("i", con(1), sym(n) - 2);
-        p.assign(elem(b, [idx(i)]), arr(a, [idx(i) - 1]) + arr(a, [idx(i) + 1]));
+        p.assign(
+            elem(b, [idx(i)]),
+            arr(a, [idx(i) - 1]) + arr(a, [idx(i) + 1]),
+        );
         p.end();
         let prog = p.finish();
         let root = prog.body[0];

@@ -1,0 +1,82 @@
+//! Correctness tooling for the barrier-elimination optimizer: a seeded
+//! random program generator, a differential execution oracle, a static
+//! schedule race validator, and a sync-deletion mutation tester.
+//!
+//! The pieces compose into two campaigns:
+//!
+//! * **Fuzzing** ([`fuzz_campaign`]): generate programs with
+//!   cross-processor dependences ([`gen`]), run each through the
+//!   sequential interpreter, the fork-join schedule, and the optimized
+//!   schedule under adversarial virtual interleavings and (optionally)
+//!   real threads, diffing final memory and dynamic sync counts
+//!   ([`diff`]), and validate every schedule race-free ([`validate`]).
+//! * **Mutation testing** ([`mutate`]): delete single sync ops from
+//!   known-good schedules and prove the validator flags the hole —
+//!   including every hole the differential oracle can observe.
+//!
+//! The `beoracle` binary in the workspace root drives both from the
+//! command line.
+
+pub mod diff;
+pub mod gen;
+pub mod mutate;
+pub mod validate;
+
+pub use diff::{check_program, plan_diverges, CaseResult, DiffConfig};
+pub use gen::{generate, GenProgram, Shape};
+pub use mutate::{delete, mutation_teeth, sites, MutationSite, TeethReport};
+pub use validate::{validate, Race, RaceReport};
+
+/// Outcome of a seeded fuzz campaign.
+#[derive(Debug, Default)]
+pub struct CampaignSummary {
+    /// Programs checked.
+    pub cases: usize,
+    /// `(seed, shape, failures)` for every failing program.
+    pub failures: Vec<(u64, Shape, Vec<String>)>,
+    /// How many programs of each shape were drawn.
+    pub shape_counts: Vec<(Shape, usize)>,
+}
+
+impl CampaignSummary {
+    /// True when every program passed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run the differential oracle over `count` generated programs
+/// starting at `seed0`.
+pub fn fuzz_campaign(seed0: u64, count: u64, cfg: &DiffConfig) -> CampaignSummary {
+    let mut summary = CampaignSummary::default();
+    for seed in seed0..seed0 + count {
+        let g = generate(seed);
+        summary.cases += 1;
+        match summary.shape_counts.iter_mut().find(|(s, _)| *s == g.shape) {
+            Some((_, n)) => *n += 1,
+            None => summary.shape_counts.push((g.shape, 1)),
+        }
+        let r = check_program(&g.prog, &|p| g.bindings(p), cfg);
+        if !r.ok() {
+            summary.failures.push((seed, g.shape, r.failures));
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_campaign_is_clean() {
+        let cfg = DiffConfig {
+            nprocs: vec![3],
+            random_orders: 1,
+            ..DiffConfig::default()
+        };
+        let s = fuzz_campaign(0, 6, &cfg);
+        assert_eq!(s.cases, 6);
+        assert!(s.ok(), "{:?}", s.failures);
+    }
+}

@@ -1,0 +1,327 @@
+//! Static schedule race validator: a happens-before checker over the
+//! unrolled event stream of a schedule.
+//!
+//! Every processor traverses the same event list (SPMD replicated
+//! control flow), so the validator works in two passes over that list:
+//!
+//! 1. **Access collection.** Each work event is executed per processor
+//!    against a scratch memory with a recording
+//!    [`TraceBuffer`](interp::TraceBuffer) attached, yielding the set
+//!    of shared cells each `(event, pid)` touches. Subscripts and
+//!    guards are affine in loop indices and symbolic constants — never
+//!    data-dependent — so the access sets do not depend on the order
+//!    (or the garbage values) of this replay.
+//!
+//! 2. **Vector clocks.** A single in-order walk computes each
+//!    processor's vector clock at every event. Work events tick the
+//!    processor's own component; sync events join clocks exactly as
+//!    the operation's blocking rule (mirrored from the virtual
+//!    executor's `can_advance`) permits: a barrier joins everyone with
+//!    everyone, a neighbor sync joins a processor with its producing
+//!    neighbors' arrival clocks, a counter sync joins consumers with
+//!    the producer, and the region dispatch joins workers with the
+//!    master.
+//!
+//! Two accesses race when they touch the same cell from different
+//! processors, at least one is a write (atomic reductions conflict
+//! with reads and writes but commute with each other), and neither
+//! happens-before the other. A sound schedule — one whose syncs order
+//! every cross-processor def/use pair — validates race-free.
+
+use analysis::Bindings;
+use interp::events::{exec_work, producer_pid, unroll};
+use interp::{AccessKind, Event, Mem, Target, TraceBuffer};
+use ir::Program;
+use spmd_opt::{SpmdProgram, SyncOp};
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// One side of a race.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessAt {
+    /// Index into the unrolled event list.
+    pub event: usize,
+    /// The processor.
+    pub pid: usize,
+    /// Read, write, or reduction.
+    pub kind: AccessKind,
+}
+
+/// A pair of conflicting, unordered accesses.
+#[derive(Clone, Copy, Debug)]
+pub struct Race {
+    /// The cell both sides touch.
+    pub target: Target,
+    /// One side.
+    pub a: AccessAt,
+    /// The other side.
+    pub b: AccessAt,
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?}: p{} {:?} at event {} unordered with p{} {:?} at event {}",
+            self.target,
+            self.a.pid,
+            self.a.kind,
+            self.a.event,
+            self.b.pid,
+            self.b.kind,
+            self.b.event
+        )
+    }
+}
+
+/// Outcome of validating one schedule under concrete bindings.
+#[derive(Debug, Default)]
+pub struct RaceReport {
+    /// Unordered conflicting pairs (capped at [`MAX_REPORTED`]).
+    pub races: Vec<Race>,
+    /// Total number of racing pairs found (uncapped).
+    pub num_racing_pairs: usize,
+    /// Events in the unrolled schedule.
+    pub num_events: usize,
+    /// Distinct `(event, pid, cell, kind)` accesses examined.
+    pub num_accesses: usize,
+}
+
+/// Cap on materialized [`Race`] records (the count keeps going).
+pub const MAX_REPORTED: usize = 64;
+
+impl RaceReport {
+    /// True when no unordered conflicting pair exists.
+    pub fn is_race_free(&self) -> bool {
+        self.num_racing_pairs == 0
+    }
+}
+
+fn conflicts(a: AccessKind, b: AccessKind) -> bool {
+    use AccessKind::*;
+    !matches!((a, b), (Read, Read) | (Reduce, Reduce))
+}
+
+fn join(into: &mut [u64], other: &[u64]) {
+    for (a, b) in into.iter_mut().zip(other) {
+        *a = (*a).max(*b);
+    }
+}
+
+/// One collected access with the owning processor's clock snapshot.
+struct Acc {
+    pid: usize,
+    event: usize,
+    kind: AccessKind,
+    clock: Rc<Vec<u64>>,
+}
+
+/// `a` happens-before `b`: everything `a`'s processor had done at `a`
+/// (including `a` itself) is visible in `b`'s snapshot.
+fn hb(a: &Acc, b: &Acc) -> bool {
+    a.clock[a.pid] <= b.clock[a.pid]
+}
+
+/// Validate a schedule: race-free means every cross-processor
+/// conflicting access pair is ordered by the placed synchronization.
+pub fn validate(prog: &Program, bind: &Bindings, plan: &SpmdProgram) -> RaceReport {
+    let nprocs = bind.nprocs as usize;
+    let events = unroll(prog, bind, plan);
+
+    // Pass 1: per-(event, pid) access sets from a traced replay.
+    let tracer = Arc::new(TraceBuffer::new());
+    let scratch = Mem::new(prog, bind).with_tracer(Arc::clone(&tracer));
+    let mut access_sets: Vec<Vec<(usize, Vec<(Target, AccessKind)>)>> =
+        Vec::with_capacity(events.len());
+    for ev in &events {
+        let mut per_event = Vec::new();
+        if matches!(ev, Event::Work { .. } | Event::SerialWork { .. }) {
+            for pid in 0..nprocs {
+                exec_work(prog, bind, &scratch, pid, nprocs, ev);
+                let drained = tracer.drain();
+                if !drained.is_empty() {
+                    let set: BTreeSet<(Target, AccessKind)> =
+                        drained.into_iter().map(|a| (a.target, a.kind)).collect();
+                    per_event.push((pid, set.into_iter().collect()));
+                }
+            }
+        }
+        access_sets.push(per_event);
+    }
+
+    // Pass 2: vector clocks, in event order.
+    let mut clocks: Vec<Vec<u64>> = vec![vec![0; nprocs]; nprocs];
+    let mut by_target: HashMap<Target, Vec<Acc>> = HashMap::new();
+    let mut num_accesses = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        match ev {
+            Event::Work { .. } | Event::SerialWork { .. } => {
+                for (pid, set) in &access_sets[i] {
+                    clocks[*pid][*pid] += 1;
+                    let snap = Rc::new(clocks[*pid].clone());
+                    for &(target, kind) in set {
+                        num_accesses += 1;
+                        by_target.entry(target).or_default().push(Acc {
+                            pid: *pid,
+                            event: i,
+                            kind,
+                            clock: Rc::clone(&snap),
+                        });
+                    }
+                }
+            }
+            Event::Dispatch => {
+                let master = clocks[0].clone();
+                for p in 1..nprocs {
+                    join(&mut clocks[p], &master);
+                }
+            }
+            Event::Sync { op, env } => match op {
+                SyncOp::None => {}
+                SyncOp::Barrier => {
+                    let mut all = vec![0u64; nprocs];
+                    for c in &clocks {
+                        join(&mut all, c);
+                    }
+                    for c in clocks.iter_mut() {
+                        c.copy_from_slice(&all);
+                    }
+                }
+                SyncOp::Neighbor { fwd, bwd } => {
+                    let pre = clocks.clone();
+                    for (p, c) in clocks.iter_mut().enumerate() {
+                        if *fwd && p > 0 {
+                            join(c, &pre[p - 1]);
+                        }
+                        if *bwd && p + 1 < nprocs {
+                            join(c, &pre[p + 1]);
+                        }
+                    }
+                }
+                SyncOp::Counter { producer, .. } => {
+                    let prod = producer_pid(bind, prog, producer, env).clamp(0, nprocs as i64 - 1)
+                        as usize;
+                    let pre = clocks[prod].clone();
+                    for (p, c) in clocks.iter_mut().enumerate() {
+                        if p != prod {
+                            join(c, &pre);
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    // Race scan: pairwise within each cell's access list.
+    let mut report = RaceReport {
+        num_events: events.len(),
+        num_accesses,
+        ..RaceReport::default()
+    };
+    for (target, accs) in &by_target {
+        for (x, a) in accs.iter().enumerate() {
+            for b in &accs[x + 1..] {
+                if a.pid == b.pid || !conflicts(a.kind, b.kind) {
+                    continue;
+                }
+                if hb(a, b) || hb(b, a) {
+                    continue;
+                }
+                report.num_racing_pairs += 1;
+                if report.races.len() < MAX_REPORTED {
+                    report.races.push(Race {
+                        target: *target,
+                        a: AccessAt {
+                            event: a.event,
+                            pid: a.pid,
+                            kind: a.kind,
+                        },
+                        b: AccessAt {
+                            event: b.event,
+                            pid: b.pid,
+                            kind: b.kind,
+                        },
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::build::*;
+    use spmd_opt::{fork_join, optimize};
+
+    fn sweep() -> (Program, Bindings) {
+        let mut pb = ProgramBuilder::new("sweep");
+        let n = pb.sym("n");
+        let a = pb.array("A", &[sym(n)], dist_block());
+        let b = pb.array("B", &[sym(n)], dist_block());
+        let _t = pb.begin_seq("t", con(0), con(3));
+        let i = pb.begin_par("i", con(1), sym(n) - 2);
+        pb.assign(
+            elem(b, [idx(i)]),
+            ex(0.5) * (arr(a, [idx(i) - 1]) + arr(a, [idx(i) + 1])),
+        );
+        pb.end();
+        let j = pb.begin_par("j", con(1), sym(n) - 2);
+        pb.assign(elem(a, [idx(j)]), arr(b, [idx(j)]));
+        pb.end();
+        pb.end();
+        let prog = pb.finish();
+        let bind = Bindings::new(4).set(n, 32);
+        (prog, bind)
+    }
+
+    #[test]
+    fn optimized_and_fork_join_sweeps_are_race_free() {
+        let (prog, bind) = sweep();
+        for plan in [optimize(&prog, &bind), fork_join(&prog, &bind)] {
+            let r = validate(&prog, &bind, &plan);
+            assert!(r.is_race_free(), "races: {:?}", r.races);
+            assert!(r.num_accesses > 0);
+        }
+    }
+
+    #[test]
+    fn stripping_neighbor_syncs_is_flagged() {
+        let (prog, bind) = sweep();
+        let mut plan = optimize(&prog, &bind);
+        fn strip(items: &mut Vec<spmd_opt::RItem>) {
+            for it in items.iter_mut() {
+                match it {
+                    spmd_opt::RItem::Phase(p) => {
+                        if !p.after.is_barrier() {
+                            p.after = SyncOp::None;
+                        }
+                    }
+                    spmd_opt::RItem::Seq {
+                        body,
+                        bottom,
+                        after,
+                        ..
+                    } => {
+                        strip(body);
+                        if !bottom.is_barrier() {
+                            *bottom = SyncOp::None;
+                        }
+                        if !after.is_barrier() {
+                            *after = SyncOp::None;
+                        }
+                    }
+                }
+            }
+        }
+        for item in plan.items.iter_mut() {
+            if let spmd_opt::TopItem::Region(r) = item {
+                strip(&mut r.items);
+            }
+        }
+        let r = validate(&prog, &bind, &plan);
+        assert!(!r.is_race_free(), "stripped schedule must race");
+    }
+}

@@ -100,7 +100,11 @@ impl TreeBarrier {
             rounds += 1;
         }
         let flags = (0..rounds)
-            .map(|_| (0..n).map(|_| CachePadded::new(AtomicUsize::new(0))).collect())
+            .map(|_| {
+                (0..n)
+                    .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                    .collect()
+            })
             .collect();
         TreeBarrier {
             n,

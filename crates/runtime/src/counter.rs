@@ -23,7 +23,9 @@ impl Counters {
     /// A bank of `n` counters, all starting at zero.
     pub fn new(n: usize) -> Self {
         Counters {
-            c: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            c: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             stats: None,
         }
     }

@@ -23,7 +23,9 @@ impl NeighborFlags {
     /// Flags for `n` processors, all at epoch zero.
     pub fn new(n: usize) -> Self {
         NeighborFlags {
-            flags: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            flags: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             stats: None,
         }
     }

@@ -25,7 +25,10 @@ pub fn build(scale: Scale) -> Built {
 
     let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
     let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
-    pb.assign(elem(x, [idx(i0), idx(j0)]), ival(idx(i0) * 17 + idx(j0)).sin());
+    pb.assign(
+        elem(x, [idx(i0), idx(j0)]),
+        ival(idx(i0) * 17 + idx(j0)).sin(),
+    );
     pb.assign(
         elem(a, [idx(i0), idx(j0)]),
         ex(0.25) + ival(idx(i0) + idx(j0) * 7).cos() * ex(0.05),
@@ -97,9 +100,7 @@ mod tests {
             }
         }
         assert!(
-            bottoms
-                .iter()
-                .any(|b| matches!(b, SyncOp::Neighbor { .. })),
+            bottoms.iter().any(|b| matches!(b, SyncOp::Neighbor { .. })),
             "expected a pipelined bottom sync, got {bottoms:?}"
         );
     }

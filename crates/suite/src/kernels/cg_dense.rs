@@ -77,13 +77,11 @@ pub fn build(scale: Scale) -> Built {
     let i3 = pb.begin_par("i3", con(0), sym(n) - 1);
     pb.assign(
         elem(x, [idx(i3)]),
-        arr(x, [idx(i3)])
-            + arr(p, [idx(i3)]) * (sca(rho) / (ex(1.0) + sca(pq).abs())),
+        arr(x, [idx(i3)]) + arr(p, [idx(i3)]) * (sca(rho) / (ex(1.0) + sca(pq).abs())),
     );
     pb.assign(
         elem(r, [idx(i3)]),
-        arr(r, [idx(i3)])
-            - arr(q, [idx(i3)]) * (sca(rho) / (ex(1.0) + sca(pq).abs())),
+        arr(r, [idx(i3)]) - arr(q, [idx(i3)]) * (sca(rho) / (ex(1.0) + sca(pq).abs())),
     );
     pb.end();
     // p = r + beta p  (aligned with the previous phase — eliminated).

@@ -34,10 +34,7 @@ pub fn build(scale: Scale) -> Built {
     pb.assign(elem(c, [idx(i2)]), arr(b, [idx(i2)]) - arr(a, [idx(i2)]));
     pb.end();
     let i3 = pb.begin_par("i3", con(0), sym(n) - 1);
-    pb.assign(
-        elem(d, [idx(i3)]),
-        arr(c, [idx(i3)]) * arr(b, [idx(i3)]),
-    );
+    pb.assign(elem(d, [idx(i3)]), arr(c, [idx(i3)]) * arr(b, [idx(i3)]));
     pb.end();
     let i4 = pb.begin_par("i4", con(0), sym(n) - 1);
     pb.assign(

@@ -22,7 +22,10 @@ pub fn build(scale: Scale) -> Built {
 
     let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
     let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
-    pb.assign(elem(x, [idx(i0), idx(j0)]), ival(idx(i0) * 11 + idx(j0)).sin());
+    pb.assign(
+        elem(x, [idx(i0), idx(j0)]),
+        ival(idx(i0) * 11 + idx(j0)).sin(),
+    );
     pb.assign(
         elem(l, [idx(i0), idx(j0)]),
         ex(0.2) + ival(idx(i0) * 3 - idx(j0)).cos() * ex(0.05),
@@ -52,8 +55,7 @@ pub fn build(scale: Scale) -> Built {
     pb.assign(
         elem(x, [sym(n) - 1 - idx(i2), idx(j2)]),
         ex(0.75) * arr(x, [sym(n) - 1 - idx(i2), idx(j2)])
-            + arr(l, [sym(n) - 1 - idx(i2), idx(j2)])
-                * arr(x, [sym(n) - idx(i2), idx(j2)]),
+            + arr(l, [sym(n) - 1 - idx(i2), idx(j2)]) * arr(x, [sym(n) - idx(i2), idx(j2)]),
     );
     pb.end();
     pb.end();

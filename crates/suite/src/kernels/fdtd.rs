@@ -23,8 +23,14 @@ pub fn build(scale: Scale) -> Built {
 
     let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
     let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
-    pb.assign(elem(ex_, [idx(i0), idx(j0)]), ival(idx(i0) + idx(j0) * 3).sin());
-    pb.assign(elem(ey, [idx(i0), idx(j0)]), ival(idx(i0) * 2 - idx(j0)).cos());
+    pb.assign(
+        elem(ex_, [idx(i0), idx(j0)]),
+        ival(idx(i0) + idx(j0) * 3).sin(),
+    );
+    pb.assign(
+        elem(ey, [idx(i0), idx(j0)]),
+        ival(idx(i0) * 2 - idx(j0)).cos(),
+    );
     pb.assign(elem(hz, [idx(i0), idx(j0)]), ex(0.0));
     pb.end();
     pb.end();
@@ -38,7 +44,8 @@ pub fn build(scale: Scale) -> Built {
         elem(hz, [idx(i1), idx(j1)]),
         arr(hz, [idx(i1), idx(j1)])
             - ex(0.7)
-                * (arr(ey, [idx(i1) + 1, idx(j1)]) - arr(ey, [idx(i1), idx(j1)])
+                * (arr(ey, [idx(i1) + 1, idx(j1)])
+                    - arr(ey, [idx(i1), idx(j1)])
                     - arr(ex_, [idx(i1), idx(j1) + 1])
                     + arr(ex_, [idx(i1), idx(j1)])),
     );

@@ -25,7 +25,10 @@ pub fn build(scale: Scale) -> Built {
     let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
     let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
     pb.assign(elem(zp, [idx(i0), idx(j0)]), ival(idx(i0) + idx(j0)).sin());
-    pb.assign(elem(zq, [idx(i0), idx(j0)]), ival(idx(i0) * 2 + idx(j0)).cos());
+    pb.assign(
+        elem(zq, [idx(i0), idx(j0)]),
+        ival(idx(i0) * 2 + idx(j0)).cos(),
+    );
     pb.assign(elem(zr, [idx(i0), idx(j0)]), ival(idx(i0) - idx(j0)).sin());
     pb.assign(elem(zu, [idx(i0), idx(j0)]), ex(0.0));
     pb.end();
@@ -53,8 +56,7 @@ pub fn build(scale: Scale) -> Built {
         elem(zb, [idx(i2), idx(j2)]),
         (arr(za, [idx(i2), idx(j2)]) - arr(za, [idx(i2) - 1, idx(j2)]))
             * arr(zr, [idx(i2), idx(j2)])
-            + (arr(za, [idx(i2), idx(j2)]) - arr(za, [idx(i2), idx(j2) - 1]))
-                * ex(0.25),
+            + (arr(za, [idx(i2), idx(j2)]) - arr(za, [idx(i2), idx(j2) - 1])) * ex(0.25),
     );
     pb.end();
     pb.end();
@@ -64,8 +66,7 @@ pub fn build(scale: Scale) -> Built {
     let j3 = pb.begin_seq("j3", con(1), sym(n) - 2);
     pb.assign(
         elem(zu, [idx(i3), idx(j3)]),
-        arr(zu, [idx(i3), idx(j3)])
-            + arr(zb, [idx(i3), idx(j3)]) * ex(0.1)
+        arr(zu, [idx(i3), idx(j3)]) + arr(zb, [idx(i3), idx(j3)]) * ex(0.1)
             - arr(za, [idx(i3) + 1, idx(j3)]) * ex(0.05),
     );
     pb.assign(

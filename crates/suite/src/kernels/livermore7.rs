@@ -33,9 +33,7 @@ pub fn build(scale: Scale) -> Built {
     pb.assign(
         elem(x, [idx(i)]),
         arr(u, [idx(i)])
-            + ex(r)
-                * (arr(z, [idx(i)])
-                    + ex(r) * arr(y, [idx(i)]))
+            + ex(r) * (arr(z, [idx(i)]) + ex(r) * arr(y, [idx(i)]))
             + ex(tq)
                 * (arr(u, [idx(i) + 3])
                     + ex(r) * (arr(u, [idx(i) + 2]) + ex(r) * arr(u, [idx(i) + 1])))

@@ -64,14 +64,10 @@ pub fn build_with_dist(scale: Scale, dist: DistSpec) -> Built {
     // Trailing update (each column owned cyclically).
     let j2 = pb.begin_par("j2", con(1), sym(n) - 1);
     let i2 = pb.begin_seq("i2", con(1), sym(n) - 1);
-    pb.begin_guard(vec![
-        ge0(idx(j2) - idx(k) - 1),
-        ge0(idx(i2) - idx(k) - 1),
-    ]);
+    pb.begin_guard(vec![ge0(idx(j2) - idx(k) - 1), ge0(idx(i2) - idx(k) - 1)]);
     pb.assign(
         elem(a, [idx(i2), idx(j2)]),
-        arr(a, [idx(i2), idx(j2)])
-            - arr(a, [idx(i2), idx(k)]) * arr(a, [idx(k), idx(j2)]),
+        arr(a, [idx(i2), idx(j2)]) - arr(a, [idx(i2), idx(k)]) * arr(a, [idx(k), idx(j2)]),
     );
     pb.end();
     pb.end();

@@ -25,7 +25,10 @@ pub fn build(scale: Scale) -> Built {
     // analysis treats as a replicated computation).
     let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
     let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
-    pb.assign(elem(a, [idx(i0), idx(j0)]), ival(idx(i0) + idx(j0) * 2).sin());
+    pb.assign(
+        elem(a, [idx(i0), idx(j0)]),
+        ival(idx(i0) + idx(j0) * 2).sin(),
+    );
     pb.assign(elem(c, [idx(i0), idx(j0)]), ex(0.0));
     pb.end();
     pb.end();
@@ -35,7 +38,10 @@ pub fn build(scale: Scale) -> Built {
     // aligned here because the compute loop is also row-partitioned by C.
     let i0b = pb.begin_par("i0b", con(0), sym(n) - 1);
     let j0b = pb.begin_seq("j0b", con(0), sym(n) - 1);
-    pb.assign(elem(b, [idx(i0b), idx(j0b)]), ival(idx(i0b) * 2 - idx(j0b)).cos());
+    pb.assign(
+        elem(b, [idx(i0b), idx(j0b)]),
+        ival(idx(i0b) * 2 - idx(j0b)).cos(),
+    );
     pb.end();
     pb.end();
 

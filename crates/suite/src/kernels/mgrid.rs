@@ -37,8 +37,7 @@ pub fn build(scale: Scale) -> Built {
     let i1 = pb.begin_par("i1", con(1), sym(n) * 2);
     pb.assign(
         elem(fs, [idx(i1)]),
-        ex(0.25) * (arr(f, [idx(i1) - 1]) + arr(f, [idx(i1) + 1]))
-            + ex(0.5) * arr(f, [idx(i1)]),
+        ex(0.25) * (arr(f, [idx(i1) - 1]) + arr(f, [idx(i1) + 1])) + ex(0.5) * arr(f, [idx(i1)]),
     );
     pb.end();
 
@@ -56,8 +55,7 @@ pub fn build(scale: Scale) -> Built {
     let i3 = pb.begin_par("i3", con(1), sym(n));
     pb.assign(
         elem(cs, [idx(i3)]),
-        ex(0.25) * (arr(c, [idx(i3) - 1]) + arr(c, [idx(i3) + 1]))
-            + ex(0.5) * arr(c, [idx(i3)]),
+        ex(0.25) * (arr(c, [idx(i3) - 1]) + arr(c, [idx(i3) + 1])) + ex(0.5) * arr(c, [idx(i3)]),
     );
     pb.end();
 

@@ -3,8 +3,8 @@
 pub mod adi;
 pub mod cg_dense;
 pub mod copy_chain;
-pub mod fdtd;
 pub mod erlebacher;
+pub mod fdtd;
 pub mod jacobi2d;
 pub mod livermore18;
 pub mod livermore7;

@@ -32,8 +32,7 @@ pub fn build(scale: Scale) -> Built {
     let r = pb.begin_par("r", con(0), sym(half) - 1);
     pb.assign(
         elem(x, [idx(r) * 2 + 1]),
-        ex(0.5) * (arr(x, [idx(r) * 2]) + arr(x, [idx(r) * 2 + 2]))
-            + arr(f, [idx(r) * 2 + 1]),
+        ex(0.5) * (arr(x, [idx(r) * 2]) + arr(x, [idx(r) * 2 + 2])) + arr(f, [idx(r) * 2 + 1]),
     );
     pb.end();
     // Black points: even indices 2, 4, …, 2·half.

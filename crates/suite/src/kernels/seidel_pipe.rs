@@ -20,7 +20,10 @@ pub fn build(scale: Scale) -> Built {
 
     let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
     let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
-    pb.assign(elem(x, [idx(i0), idx(j0)]), ival(idx(i0) * 23 + idx(j0)).sin());
+    pb.assign(
+        elem(x, [idx(i0), idx(j0)]),
+        ival(idx(i0) * 23 + idx(j0)).sin(),
+    );
     pb.end();
     pb.end();
 

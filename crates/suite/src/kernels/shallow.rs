@@ -33,8 +33,14 @@ pub fn build(scale: Scale) -> Built {
     // Init.
     let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
     let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
-    pb.assign(elem(u, [idx(i0), idx(j0)]), ival(idx(i0) + idx(j0) * 2).sin());
-    pb.assign(elem(v, [idx(i0), idx(j0)]), ival(idx(i0) * 2 - idx(j0)).cos());
+    pb.assign(
+        elem(u, [idx(i0), idx(j0)]),
+        ival(idx(i0) + idx(j0) * 2).sin(),
+    );
+    pb.assign(
+        elem(v, [idx(i0), idx(j0)]),
+        ival(idx(i0) * 2 - idx(j0)).cos(),
+    );
     pb.assign(
         elem(p, [idx(i0), idx(j0)]),
         ex(50.0) + ival(idx(i0)).sin() * ival(idx(j0)).cos(),
@@ -49,12 +55,14 @@ pub fn build(scale: Scale) -> Built {
     let j1 = pb.begin_seq("j1", con(0), sym(n) - 2);
     pb.assign(
         elem(cu, [idx(i1), idx(j1)]),
-        ex(0.5) * (arr(p, [idx(i1) + 1, idx(j1)]) + arr(p, [idx(i1), idx(j1)]))
+        ex(0.5)
+            * (arr(p, [idx(i1) + 1, idx(j1)]) + arr(p, [idx(i1), idx(j1)]))
             * arr(u, [idx(i1), idx(j1)]),
     );
     pb.assign(
         elem(cv, [idx(i1), idx(j1)]),
-        ex(0.5) * (arr(p, [idx(i1), idx(j1) + 1]) + arr(p, [idx(i1), idx(j1)]))
+        ex(0.5)
+            * (arr(p, [idx(i1), idx(j1) + 1]) + arr(p, [idx(i1), idx(j1)]))
             * arr(v, [idx(i1), idx(j1)]),
     );
     pb.assign(

@@ -28,8 +28,14 @@ pub fn build(scale: Scale) -> Built {
 
     let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
     let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
-    pb.assign(elem(x, [idx(i0), idx(j0)]), ival(idx(i0) * 3 + idx(j0)).sin());
-    pb.assign(elem(y, [idx(i0), idx(j0)]), ival(idx(i0) - idx(j0) * 2).cos());
+    pb.assign(
+        elem(x, [idx(i0), idx(j0)]),
+        ival(idx(i0) * 3 + idx(j0)).sin(),
+    );
+    pb.assign(
+        elem(y, [idx(i0), idx(j0)]),
+        ival(idx(i0) - idx(j0) * 2).cos(),
+    );
     pb.end();
     pb.end();
 
@@ -40,14 +46,16 @@ pub fn build(scale: Scale) -> Built {
     let j1 = pb.begin_seq("j1", con(1), sym(n) - 2);
     pb.assign(
         elem(rx, [idx(i1), idx(j1)]),
-        arr(x, [idx(i1) - 1, idx(j1)]) + arr(x, [idx(i1) + 1, idx(j1)])
+        arr(x, [idx(i1) - 1, idx(j1)])
+            + arr(x, [idx(i1) + 1, idx(j1)])
             + arr(x, [idx(i1), idx(j1) - 1])
             + arr(x, [idx(i1), idx(j1) + 1])
             - ex(4.0) * arr(x, [idx(i1), idx(j1)]),
     );
     pb.assign(
         elem(ry, [idx(i1), idx(j1)]),
-        arr(y, [idx(i1) - 1, idx(j1)]) + arr(y, [idx(i1) + 1, idx(j1)])
+        arr(y, [idx(i1) - 1, idx(j1)])
+            + arr(y, [idx(i1) + 1, idx(j1)])
             + arr(y, [idx(i1), idx(j1) - 1])
             + arr(y, [idx(i1), idx(j1) + 1])
             - ex(4.0) * arr(y, [idx(i1), idx(j1)]),

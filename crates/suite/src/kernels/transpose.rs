@@ -23,7 +23,10 @@ pub fn build(scale: Scale) -> Built {
 
     let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
     let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
-    pb.assign(elem(a, [idx(i0), idx(j0)]), ival(idx(i0) * 41 + idx(j0)).sin());
+    pb.assign(
+        elem(a, [idx(i0), idx(j0)]),
+        ival(idx(i0) * 41 + idx(j0)).sin(),
+    );
     pb.end();
     pb.end();
 

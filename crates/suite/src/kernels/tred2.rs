@@ -43,7 +43,11 @@ pub fn build(scale: Scale) -> Built {
 
     // Dot product of the work vector (reduction into a shared scalar).
     let j2 = pb.begin_par("j2", con(0), sym(n) - 1);
-    pb.reduce(svar(sigma), RedOp::Add, arr(d, [idx(j2)]) * arr(d, [idx(j2)]));
+    pb.reduce(
+        svar(sigma),
+        RedOp::Add,
+        arr(d, [idx(j2)]) * arr(d, [idx(j2)]),
+    );
     pb.end();
 
     // Rank-1-style update of the trailing rows.

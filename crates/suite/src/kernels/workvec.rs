@@ -47,8 +47,7 @@ fn build_impl(scale: Scale, private: bool) -> Built {
     pb.begin_guard(vec![ge0(idx(i2) - idx(k) - 1)]);
     pb.assign(
         elem(a, [idx(i2), idx(j2)]),
-        arr(a, [idx(i2), idx(j2)]) * ex(0.9)
-            + arr(d, [idx(i2)]) * arr(d, [idx(j2)]) * ex(0.01),
+        arr(a, [idx(i2), idx(j2)]) * ex(0.9) + arr(d, [idx(i2)]) * arr(d, [idx(j2)]) * ex(0.01),
     );
     pb.end();
     pb.end();

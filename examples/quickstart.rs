@@ -35,7 +35,10 @@ fn main() {
     pb.end();
     let prog = pb.finish();
 
-    println!("--- source ---\n{}", barrier_elim::ir::pretty::pretty(&prog));
+    println!(
+        "--- source ---\n{}",
+        barrier_elim::ir::pretty::pretty(&prog)
+    );
 
     // Bind the problem size and processor count.
     let bind = Bindings::new(4).set(n, 64).set(tmax, 10);

@@ -34,12 +34,7 @@ fn main() {
         reds.push(red);
         println!(
             "{:<14} {:>12} {:>12} {:>10} {:>10} {:>7.1}%",
-            def.name,
-            base.barriers,
-            opt.barriers,
-            opt.counter_increments,
-            opt.neighbor_posts,
-            red
+            def.name, base.barriers, opt.barriers, opt.counter_increments, opt.neighbor_posts, red
         );
     }
     println!(

@@ -1,0 +1,186 @@
+//! Fuzz-campaign driver for the barrier-elimination correctness
+//! tooling.
+//!
+//! ```text
+//! beoracle fuzz    [--count N] [--seed S] [--threads] [--nprocs 1,3,4]
+//! beoracle mutate  [--count N] [--seed S]
+//! beoracle kernels [--threads]
+//! ```
+//!
+//! * `fuzz` — generate `N` random programs and differentially execute
+//!   each (sequential vs fork-join vs optimized; virtual interleavings
+//!   and, with `--threads`, real threads with both barrier kinds),
+//!   validating every schedule race-free.
+//! * `mutate` — for `N` generated programs, delete each sync op of the
+//!   optimized schedule in turn and report what the race validator and
+//!   the differential oracle caught.
+//! * `kernels` — run the differential oracle over every suite kernel.
+//!
+//! Exits nonzero on any mismatch, race, or uncaught mutant.
+
+use barrier_elim::oracle::{self, DiffConfig};
+use barrier_elim::suite::{self, Scale};
+
+fn parse_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_opt(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|k| args.get(k + 1))
+        .cloned()
+}
+
+fn parse_u64(args: &[String], name: &str, default: u64) -> u64 {
+    parse_opt(args, name)
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad {name}: {v}")))
+        .unwrap_or(default)
+}
+
+fn parse_nprocs(args: &[String]) -> Vec<i64> {
+    parse_opt(args, "--nprocs")
+        .map(|v| {
+            v.split(',')
+                .map(|p| p.parse().unwrap_or_else(|_| panic!("bad --nprocs: {v}")))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 3, 4])
+}
+
+fn cmd_fuzz(args: &[String]) -> i32 {
+    let count = parse_u64(args, "--count", 200);
+    let seed = parse_u64(args, "--seed", 0);
+    let cfg = DiffConfig {
+        nprocs: parse_nprocs(args),
+        threads: parse_flag(args, "--threads"),
+        ..DiffConfig::default()
+    };
+    println!(
+        "fuzzing {count} programs from seed {seed} (nprocs {:?}, threads {})",
+        cfg.nprocs, cfg.threads
+    );
+    let s = oracle::fuzz_campaign(seed, count, &cfg);
+    for (shape, n) in &s.shape_counts {
+        println!("  {shape:?}: {n} programs");
+    }
+    for (seed, shape, failures) in &s.failures {
+        println!("FAIL seed {seed} ({shape:?}):");
+        for f in failures {
+            println!("  {f}");
+        }
+    }
+    println!("{}/{} programs passed", s.cases - s.failures.len(), s.cases);
+    if s.ok() {
+        0
+    } else {
+        1
+    }
+}
+
+fn mutate_one(
+    label: &str,
+    prog: &barrier_elim::ir::Program,
+    bind: &barrier_elim::analysis::Bindings,
+    tol: f64,
+) -> u32 {
+    let plan = barrier_elim::spmd_opt::optimize(prog, bind);
+    let teeth = oracle::mutation_teeth(prog, bind, &plan, tol);
+    let flagged = teeth.flagged();
+    let diverged = teeth.sites.iter().filter(|t| t.diverged.is_some()).count();
+    println!(
+        "{label}: {} sites, {flagged} flagged by validator, {diverged} diverged dynamically",
+        teeth.sites.len()
+    );
+    let mut bad = 0;
+    for t in &teeth.sites {
+        let mark = if t.flagged() { "caught " } else { "MISSED " };
+        let dyn_mark = match t.diverged {
+            Some(d) => format!("diverged {d:.2e}"),
+            None => "no divergence".to_string(),
+        };
+        println!(
+            "  {mark} {:40} {} racing pairs, {dyn_mark}",
+            t.site.desc, t.racing_pairs
+        );
+        if !t.flagged() && t.diverged.is_some() {
+            bad += 1;
+        }
+    }
+    if teeth.clean_racing_pairs > 0 {
+        println!(
+            "  BAD: unmutated plan reports {} races",
+            teeth.clean_racing_pairs
+        );
+        bad += 1;
+    }
+    bad
+}
+
+fn cmd_mutate(args: &[String]) -> i32 {
+    let mut bad = 0;
+    if parse_flag(args, "--kernels") {
+        for def in suite::all() {
+            let built = (def.build)(Scale::Test);
+            let bind = built.bindings(4);
+            bad += mutate_one(def.name, &built.prog, &bind, 1e-9);
+        }
+    } else {
+        let count = parse_u64(args, "--count", 10);
+        let seed = parse_u64(args, "--seed", 0);
+        for s in seed..seed + count {
+            let g = oracle::generate(s);
+            let bind = g.bindings(4);
+            bad += mutate_one(&format!("seed {s} ({:?})", g.shape), &g.prog, &bind, 0.0);
+        }
+    }
+    if bad == 0 {
+        0
+    } else {
+        println!("{bad} mutants escaped the validator");
+        1
+    }
+}
+
+fn cmd_kernels(args: &[String]) -> i32 {
+    let cfg = DiffConfig {
+        threads: parse_flag(args, "--threads"),
+        tol: 1e-9, // suite reductions reassociate
+        ..DiffConfig::default()
+    };
+    let mut failed = 0;
+    for def in suite::all() {
+        let built = (def.build)(Scale::Test);
+        let r = oracle::check_program(&built.prog, &|p| built.bindings(p), &cfg);
+        if r.ok() {
+            println!("ok   {}", def.name);
+        } else {
+            failed += 1;
+            println!("FAIL {}:", def.name);
+            for f in &r.failures {
+                println!("  {f}");
+            }
+        }
+    }
+    if failed == 0 {
+        0
+    } else {
+        1
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("mutate") => cmd_mutate(&args[1..]),
+        Some("kernels") => cmd_kernels(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: beoracle fuzz [--count N] [--seed S] [--threads] [--nprocs 1,3,4]\n       beoracle mutate [--count N] [--seed S]\n       beoracle kernels [--threads]"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}

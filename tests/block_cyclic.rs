@@ -83,11 +83,7 @@ fn block_cyclic_execution_matches_sequential() {
         ] {
             let mem = Mem::new(&prog, &bind);
             run_virtual(&prog, &bind, &plan, &mem, order);
-            assert_eq!(
-                mem.max_abs_diff(&oracle),
-                0.0,
-                "P={nprocs} order {order:?}"
-            );
+            assert_eq!(mem.max_abs_diff(&oracle), 0.0, "P={nprocs} order {order:?}");
         }
     }
 }

@@ -18,7 +18,12 @@ fn check_all(prog: &Program, bind: &Bindings) {
         ] {
             let mem = Mem::new(prog, bind);
             run_virtual(prog, bind, &plan, &mem, order);
-            assert_eq!(mem.max_abs_diff(&oracle), 0.0, "P={} {order:?}", bind.nprocs);
+            assert_eq!(
+                mem.max_abs_diff(&oracle),
+                0.0,
+                "P={} {order:?}",
+                bind.nprocs
+            );
         }
     }
 }

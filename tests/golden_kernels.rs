@@ -1,0 +1,101 @@
+//! Golden-file tests for the `.be` kernels: parse each shipped kernel,
+//! build the fork-join and optimized schedules, and snapshot their
+//! static sync points and dynamic sync counts at several processor
+//! counts. Any optimizer change that shifts what gets eliminated (or
+//! what synchronization replaces it) shows up as a golden diff.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test --test golden_kernels`.
+
+use barrier_elim::analysis::Bindings;
+use barrier_elim::frontend;
+use barrier_elim::interp::{run_virtual, Mem, ScheduleOrder};
+use barrier_elim::ir::SymId;
+use barrier_elim::spmd_opt::{fork_join, optimize};
+use std::fmt::Write as _;
+
+fn bind_by_name(prog: &barrier_elim::ir::Program, nprocs: i64, sets: &[(&str, i64)]) -> Bindings {
+    let mut b = Bindings::new(nprocs);
+    for (name, v) in sets {
+        let pos = prog
+            .syms
+            .iter()
+            .position(|s| &s.name == name)
+            .unwrap_or_else(|| panic!("sym {name} missing"));
+        b.bind(SymId(pos as u32), *v);
+    }
+    b
+}
+
+fn render(kernel: &str, sets: &[(&str, i64)]) -> String {
+    let src = std::fs::read_to_string(format!("kernels/{kernel}")).unwrap();
+    let prog = frontend::parse(&src).unwrap_or_else(|e| panic!("{kernel}: {e}"));
+    let params: Vec<String> = sets.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    let mut out = format!("kernel {kernel} ({})\n", params.join(", "));
+    for nprocs in [2i64, 4, 8] {
+        let bind = bind_by_name(&prog, nprocs, sets);
+        writeln!(out, "P={nprocs}").unwrap();
+        for (label, plan) in [
+            ("fork-join", fork_join(&prog, &bind)),
+            ("optimized", optimize(&prog, &bind)),
+        ] {
+            let st = plan.static_stats();
+            let mem = Mem::new(&prog, &bind);
+            let dy = run_virtual(&prog, &bind, &plan, &mem, ScheduleOrder::RoundRobin).counts;
+            writeln!(
+                out,
+                "  {label:9} static : regions={} phases={} barriers={} neighbors={} counters={} eliminated={}",
+                st.regions, st.phases, st.barriers, st.neighbor_syncs, st.counter_syncs, st.eliminated
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "  {label:9} dynamic: dispatches={} barriers={} counter_incs={} counter_waits={} posts={} waits={}",
+                dy.dispatches, dy.barriers, dy.counter_increments, dy.counter_waits,
+                dy.neighbor_posts, dy.neighbor_waits
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+fn check_golden(kernel: &str, sets: &[(&str, i64)]) {
+    let actual = render(kernel, sets);
+    let path = format!("tests/golden/{}.golden", kernel.trim_end_matches(".be"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all("tests/golden").unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{path}: {e} (run with UPDATE_GOLDEN=1 to create)"));
+    assert_eq!(
+        actual, expected,
+        "{kernel}: sync counts drifted from {path}; rerun with UPDATE_GOLDEN=1 if intended"
+    );
+}
+
+#[test]
+fn jacobi_golden() {
+    check_golden("jacobi.be", &[("n", 48), ("tmax", 4)]);
+}
+
+#[test]
+fn pipeline_golden() {
+    check_golden("pipeline.be", &[("n", 16), ("tmax", 3)]);
+}
+
+#[test]
+fn broadcast_golden() {
+    check_golden("broadcast.be", &[("n", 12)]);
+}
+
+#[test]
+fn shallow_golden() {
+    check_golden("shallow.be", &[("n", 12), ("tmax", 2)]);
+}
+
+#[test]
+fn private_gather_golden() {
+    check_golden("private_gather.be", &[("n", 10)]);
+}

@@ -40,7 +40,11 @@ fn spec_strategy() -> impl Strategy<Value = ProgSpec> {
         -2i8..=2,
         proptest::collection::vec((0u8..4, -2i8..=2), 1..3),
     )
-        .prop_map(|(writes, woff, reads)| LoopSpec { writes, woff, reads });
+        .prop_map(|(writes, woff, reads)| LoopSpec {
+            writes,
+            woff,
+            reads,
+        });
     (
         2u8..4,
         proptest::collection::vec(0u8..3, 4),
@@ -171,6 +175,35 @@ proptest! {
                 opt.counts.barriers <= base.counts.barriers + spec.timesteps as u64,
                 "opt {} vs base {}",
                 opt.counts.barriers, base.counts.barriers
+            );
+        }
+    }
+
+    /// The optimizer never increases the number of dynamic sync points
+    /// vs the fork-join baseline on the oracle's generated programs
+    /// (which, unlike the specs above, include pipelines, broadcasts,
+    /// and guarded serial sections). A sync point is one dispatch, one
+    /// barrier episode, one counter increment, or one all-processor
+    /// neighbor post round (`posts / P` — every processor posts exactly
+    /// once per neighbor sync point).
+    #[test]
+    fn optimizer_never_adds_dynamic_sync_points(seed in 0u64..u64::MAX) {
+        let g = barrier_elim::oracle::generate(seed);
+        for nprocs in [1u64, 3, 4, 8] {
+            let bind = g.bindings(nprocs as i64);
+            let sync_points = |plan| {
+                let mem = Mem::new(&g.prog, &bind);
+                let c = run_virtual(&g.prog, &bind, &plan, &mem, ScheduleOrder::RoundRobin)
+                    .counts;
+                assert_eq!(c.neighbor_posts % nprocs, 0);
+                c.dispatches + c.barriers + c.counter_increments + c.neighbor_posts / nprocs
+            };
+            let base = sync_points(barrier_elim::spmd_opt::fork_join(&g.prog, &bind));
+            let opt = sync_points(optimize(&g.prog, &bind));
+            prop_assert!(
+                opt <= base,
+                "seed {seed} ({:?}, P={nprocs}): optimized {opt} sync points vs fork-join {base}",
+                g.shape
             );
         }
     }

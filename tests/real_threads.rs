@@ -28,11 +28,7 @@ fn every_kernel_runs_correctly_on_real_threads() {
             let mem = Arc::new(Mem::new(&prog, &bind));
             let out = run_parallel(&prog, &bind, &plan, &mem, &team);
             let diff = mem.max_abs_diff(&oracle);
-            assert!(
-                diff <= TOL,
-                "{} ({label}): diverged by {diff:e}",
-                def.name
-            );
+            assert!(diff <= TOL, "{} ({label}): diverged by {diff:e}", def.name);
             assert_eq!(
                 out.stats.barrier_episodes, out.counts.barriers,
                 "{} ({label}): instrumented barrier count mismatch",
@@ -102,6 +98,217 @@ fn virtual_and_real_dynamic_counts_agree() {
             barrier_elim::interp::ScheduleOrder::RoundRobin,
         );
         assert_eq!(real.counts, virt.counts, "{name}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive stress hammers: many epochs, odd team sizes, team of one.
+// Each hammer asserts an ordering property that fails if the primitive
+// ever releases a waiter early.
+// ---------------------------------------------------------------------------
+
+mod hammer {
+    use barrier_elim::runtime::{CentralBarrier, Counters, NeighborFlags, TreeBarrier};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const EPOCHS: u64 = 800;
+
+    /// Every thread bumps its own slot, crosses the barrier, and then
+    /// observes everyone else's slot at the same epoch. A second barrier
+    /// keeps fast threads from bumping again while slow ones still read.
+    fn barrier_hammer(n: usize, wait: impl Fn(usize, &mut (bool, usize)) + Send + Sync + 'static) {
+        let wait = Arc::new(wait);
+        let slots: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let handles: Vec<_> = (0..n)
+            .map(|pid| {
+                let wait = Arc::clone(&wait);
+                let slots = Arc::clone(&slots);
+                std::thread::spawn(move || {
+                    let mut state = (false, 0usize);
+                    for k in 1..=EPOCHS {
+                        slots[pid].store(k, Ordering::Release);
+                        wait(pid, &mut state);
+                        for (q, s) in slots.iter().enumerate() {
+                            let v = s.load(Ordering::Acquire);
+                            assert_eq!(v, k, "epoch {k}: pid {pid} saw slot {q} at {v}");
+                        }
+                        wait(pid, &mut state);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn central_barrier_epochs_odd_teams() {
+        for n in [1usize, 3, 5, 7] {
+            let b = Arc::new(CentralBarrier::new(n));
+            barrier_hammer(n, move |_pid, state| b.wait(&mut state.0));
+        }
+    }
+
+    #[test]
+    fn tree_barrier_epochs_odd_teams() {
+        // Non-power-of-two sizes exercise the wrap-around dissemination
+        // partners; 1 and 8 cover the degenerate and full-tree cases.
+        for n in [1usize, 3, 5, 6, 7, 8] {
+            let b = Arc::new(TreeBarrier::new(n));
+            barrier_hammer(n, move |pid, state| b.wait(pid, &mut state.1));
+        }
+    }
+
+    /// Chained producer/consumer line: thread `p` may take step `k` only
+    /// after thread `p - 1` has. Any early release breaks the per-step
+    /// total order.
+    #[test]
+    fn counter_chain_orders_steps() {
+        for n in [1usize, 3, 5] {
+            let c = Arc::new(Counters::new(n));
+            let steps: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+            let handles: Vec<_> = (0..n)
+                .map(|pid| {
+                    let c = Arc::clone(&c);
+                    let steps = Arc::clone(&steps);
+                    std::thread::spawn(move || {
+                        for k in 1..=EPOCHS {
+                            if pid > 0 {
+                                c.wait_ge(pid - 1, k);
+                                assert!(
+                                    steps[pid - 1].load(Ordering::Acquire) >= k,
+                                    "pid {pid} released before upstream step {k}"
+                                );
+                            }
+                            steps[pid].store(k, Ordering::Release);
+                            c.increment(pid);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            for p in 0..n {
+                assert_eq!(c.value(p), EPOCHS);
+            }
+        }
+    }
+
+    /// Many producers, one consumer, many rounds: the consumer waits for
+    /// all of round `k`'s increments, checks every producer's cell, and
+    /// acks on a second counter before producers may start round `k + 1`.
+    #[test]
+    fn counter_fan_in_rounds() {
+        let producers = 4usize;
+        let rounds = 300u64;
+        let c = Arc::new(Counters::new(2));
+        let cells: Arc<Vec<AtomicU64>> =
+            Arc::new((0..producers).map(|_| AtomicU64::new(0)).collect());
+        let mut handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let c = Arc::clone(&c);
+                let cells = Arc::clone(&cells);
+                std::thread::spawn(move || {
+                    for k in 1..=rounds {
+                        cells[p].store(k, Ordering::Release);
+                        c.increment(0);
+                        c.wait_ge(1, k);
+                    }
+                })
+            })
+            .collect();
+        handles.push({
+            let c = Arc::clone(&c);
+            let cells = Arc::clone(&cells);
+            std::thread::spawn(move || {
+                for k in 1..=rounds {
+                    c.wait_ge(0, k * producers as u64);
+                    for (p, cell) in cells.iter().enumerate() {
+                        assert_eq!(cell.load(Ordering::Acquire), k, "producer {p}, round {k}");
+                    }
+                    c.increment(1);
+                }
+            })
+        });
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    /// Stencil-style relaxation: each thread waits for both neighbors to
+    /// reach its epoch before advancing, so no two adjacent threads are
+    /// ever more than one epoch apart.
+    #[test]
+    fn neighbor_flags_bounded_skew() {
+        for n in [1usize, 3, 5, 7] {
+            let f = Arc::new(NeighborFlags::new(n));
+            let epochs_done: Arc<Vec<AtomicU64>> =
+                Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+            let handles: Vec<_> = (0..n)
+                .map(|pid| {
+                    let f = Arc::clone(&f);
+                    let done = Arc::clone(&epochs_done);
+                    std::thread::spawn(move || {
+                        for k in 1..=EPOCHS {
+                            f.post(pid);
+                            f.wait(pid as isize - 1, k);
+                            f.wait(pid as isize + 1, k);
+                            if pid > 0 {
+                                assert!(done[pid - 1].load(Ordering::Acquire) + 1 >= k);
+                            }
+                            if pid + 1 < n {
+                                assert!(done[pid + 1].load(Ordering::Acquire) + 1 >= k);
+                            }
+                            done[pid].store(k, Ordering::Release);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            for p in 0..n {
+                assert_eq!(f.epoch(p), EPOCHS);
+            }
+        }
+    }
+
+    /// Forward pipeline across odd team sizes: within every step the
+    /// processors must log in strictly increasing pid order.
+    #[test]
+    fn neighbor_flags_pipeline_odd_teams() {
+        for n in [1usize, 3, 5] {
+            let f = Arc::new(NeighborFlags::new(n));
+            let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+            let handles: Vec<_> = (0..n)
+                .map(|pid| {
+                    let f = Arc::clone(&f);
+                    let log = Arc::clone(&log);
+                    std::thread::spawn(move || {
+                        for step in 1..=200u64 {
+                            f.wait(pid as isize - 1, step);
+                            log.lock().unwrap().push((step, pid));
+                            f.post(pid);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let log = log.lock().unwrap();
+            for step in 1..=200u64 {
+                let order: Vec<usize> = log
+                    .iter()
+                    .filter(|(s, _)| *s == step)
+                    .map(|(_, p)| *p)
+                    .collect();
+                assert_eq!(order, (0..n).collect::<Vec<_>>(), "n={n}, step {step}");
+            }
+        }
     }
 }
 
