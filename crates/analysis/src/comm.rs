@@ -66,6 +66,40 @@ impl CommPattern {
     pub fn needs_barrier(self) -> bool {
         matches!(self, CommPattern::General)
     }
+
+    /// Stable lower-case name (used in JSON output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CommPattern::NoComm => "no-comm",
+            CommPattern::Neighbor { .. } => "neighbor",
+            CommPattern::Producer1 => "producer-1",
+            CommPattern::General => "general",
+        }
+    }
+
+    /// One-line description of the inequality-system evidence behind the
+    /// classification (what the Fourier-Motzkin scans proved or failed to
+    /// prove — the paper's §4 elimination conditions).
+    pub fn evidence(self) -> &'static str {
+        match self {
+            CommPattern::NoComm => {
+                "the inequality system with p != q is infeasible for every dependent access pair \
+                 (no inter-processor data movement)"
+            }
+            CommPattern::Neighbor { .. } => {
+                "every cross-processor pair stays within the reach of per-sync-point neighbor \
+                 flags (|q - p| bounded by the synchronization chain)"
+            }
+            CommPattern::Producer1 => {
+                "all consumed values originate from one identifiable processor (owner subscripts \
+                 fixed within a sync instance)"
+            }
+            CommPattern::General => {
+                "a dependent pair with |q - p| beyond neighbor reach is feasible and no unique \
+                 producer exists"
+            }
+        }
+    }
 }
 
 /// Identifies the unique producer processor for [`CommPattern::Producer1`]

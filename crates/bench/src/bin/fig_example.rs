@@ -27,10 +27,11 @@ fn show(name: &str) {
     println!("--- greedy decisions ---");
     for d in log {
         println!(
-            "  {:<28} analysis: {:<28} placed: {}",
+            "  s{:<3} {:<28} placed: {:<14} {}",
             d.site,
-            format!("{:?}", d.outcome),
-            d.placed
+            d.label,
+            d.placed_str(),
+            d.reason
         );
     }
     println!();

@@ -27,6 +27,7 @@ fn main() {
         "barrier ms",
         "counter ms",
         "neighbor ms",
+        "max wait us",
         "total sync ops",
     ]);
     for def in suite::all() {
@@ -51,6 +52,14 @@ fn main() {
                 format!("{:.2}", out.stats.barrier_wait_ns as f64 / 1e6),
                 format!("{:.2}", out.stats.counter_wait_ns as f64 / 1e6),
                 format!("{:.2}", out.stats.neighbor_wait_ns as f64 / 1e6),
+                format!(
+                    "{:.1}",
+                    out.stats
+                        .barrier_max_wait_ns
+                        .max(out.stats.counter_max_wait_ns)
+                        .max(out.stats.neighbor_max_wait_ns) as f64
+                        / 1e3
+                ),
                 out.stats.total_sync_ops().to_string(),
             ]);
         }

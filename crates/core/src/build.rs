@@ -2,8 +2,12 @@
 //! baseline (fork-join) lowering.
 
 use crate::plan::{Phase, PhaseKind, RItem, Region, SpmdProgram, SyncOp, TopItem};
+use crate::sites::{
+    loop_after_label, loop_bottom_label, phase_after_label, region_end_label, SlotKind,
+};
 use analysis::{
     loop_is_replicated, loop_partition, Bindings, CommMode, CommOutcome, CommPattern, CommQuery,
+    ProducerSpec,
 };
 use ir::{LhsRef, LoopKind, Node, NodeId, Program, StmtPath};
 
@@ -69,17 +73,44 @@ impl Default for OptimizeOptions {
 }
 
 /// One decision of the greedy algorithm, for explanation output.
+///
+/// Every sync slot the optimizer examined gets one record: the
+/// canonical site id (matching [`crate::sites::sync_sites`]), the
+/// communication classification with its inequality-system evidence,
+/// and what synchronization was placed and why.
 #[derive(Clone, Debug)]
 pub struct Decision {
-    /// Where the sync slot sits (human-readable).
-    pub site: String,
-    /// What communication analysis concluded.
-    pub outcome: CommPattern,
-    /// What was placed ("eliminated", "neighbor", "counter", "barrier").
-    pub placed: &'static str,
+    /// Canonical slot id in the plan's site walk.
+    pub site: usize,
+    /// Human-readable slot location (same string as the site walk).
+    pub label: String,
+    /// Structural slot kind.
+    pub kind: SlotKind,
+    /// What communication analysis concluded; `None` when no analysis
+    /// ran (empty statement group, or the unconditional region end).
+    pub outcome: Option<CommPattern>,
+    /// Producer identity when the outcome was `Producer1`.
+    pub producer: Option<ProducerSpec>,
+    /// The synchronization placed in the slot.
+    pub placed: SyncOp,
+    /// Statements in the producing (earlier) group fed to the analysis.
+    pub src_stmts: usize,
+    /// Statements in the consuming (later) group fed to the analysis.
+    pub dst_stmts: usize,
+    /// Why: the classification evidence plus the mechanism choice.
+    pub reason: String,
 }
 
-fn placed_str(s: &SyncOp) -> &'static str {
+impl Decision {
+    /// Short name of the placed synchronization ("eliminated",
+    /// "barrier", "neighbor flags", "counter").
+    pub fn placed_str(&self) -> &'static str {
+        placed_str(&self.placed)
+    }
+}
+
+/// Short name for a placed sync op.
+pub fn placed_str(s: &SyncOp) -> &'static str {
     match s {
         SyncOp::None => "eliminated",
         SyncOp::Barrier => "barrier",
@@ -88,31 +119,63 @@ fn placed_str(s: &SyncOp) -> &'static str {
     }
 }
 
+/// Compose the human-readable `reason` for a decision from the
+/// classification, what was placed, and the enabled mechanisms.
+fn reason_for(outcome: Option<CommPattern>, placed: &SyncOp, opts: &OptimizeOptions) -> String {
+    let Some(pat) = outcome else {
+        return "no statements on one side of the boundary — nothing to synchronize".into();
+    };
+    let ev = pat.evidence();
+    match (pat, placed) {
+        (CommPattern::NoComm, SyncOp::None) => format!("eliminated: {ev}"),
+        (CommPattern::NoComm, _) if !opts.eliminate => {
+            format!("barrier kept: elimination disabled by ablation options, though {ev}")
+        }
+        (CommPattern::Neighbor { fwd, bwd }, SyncOp::Neighbor { .. }) => {
+            let dir = match (fwd, bwd) {
+                (true, true) => "both directions",
+                (true, false) => "forward",
+                (false, true) => "backward",
+                (false, false) => "no direction",
+            };
+            format!("replaced with neighbor post/wait flags ({dir}): {ev}")
+        }
+        (CommPattern::Neighbor { .. }, _) if !opts.use_neighbor => {
+            format!("barrier kept: neighbor flags disabled by ablation options, though {ev}")
+        }
+        (CommPattern::Producer1, SyncOp::Counter { id, .. }) => {
+            format!("replaced with counter #{id}: {ev}")
+        }
+        (CommPattern::Producer1, _) if !opts.use_counters => {
+            format!("barrier kept: counters disabled by ablation options, though {ev}")
+        }
+        (CommPattern::General, _) => format!("barrier kept: {ev}"),
+        (p, s) => format!("{} for {p:?}: {ev}", placed_str(s)),
+    }
+}
+
 struct Optimizer<'p> {
     prog: &'p Program,
     query: CommQuery<'p>,
     next_counter: usize,
+    /// Running canonical slot id, mirroring the site walk of
+    /// [`crate::sites::sync_sites`] (construction order == walk order).
+    next_slot: usize,
+    /// Running region index (for region-end labels).
+    next_region: usize,
     log: Vec<Decision>,
     opts: OptimizeOptions,
 }
 
-impl<'p> Optimizer<'p> {
-    fn node_label(&self, node: NodeId) -> String {
-        match self.prog.node(node) {
-            Node::Loop(l) => format!(
-                "{} {}",
-                if l.kind == LoopKind::Par {
-                    "DOALL"
-                } else {
-                    "DO"
-                },
-                l.name
-            ),
-            Node::Assign(_) => "statement".to_string(),
-            Node::Guard(_) => "guarded block".to_string(),
-        }
-    }
+/// The previously constructed item's `after` slot: id, label, kind.
+#[derive(Clone)]
+struct AfterSlot {
+    id: usize,
+    label: String,
+    kind: SlotKind,
+}
 
+impl<'p> Optimizer<'p> {
     fn sync_from(&mut self, outcome: CommOutcome) -> SyncOp {
         match outcome.pattern {
             CommPattern::NoComm => {
@@ -173,6 +236,7 @@ impl<'p> Optimizer<'p> {
         let mut items: Vec<RItem> = Vec::new();
         let mut group: Vec<StmtPath> = Vec::new();
         let mut saw_barrier = false;
+        let mut last_after: Option<AfterSlot> = None;
 
         for &node in nodes {
             let stmts = self.prog.statements_under(node, prefix);
@@ -181,19 +245,27 @@ impl<'p> Optimizer<'p> {
             // this item (the paper's step 2-4: test loop-independent
             // communication; eliminate, replace, or keep the barrier).
             if !items.is_empty() {
-                let (sync, outcome_pat) = if group.is_empty() || stmts.is_empty() {
-                    (SyncOp::None, CommPattern::NoComm)
+                let slot = last_after.clone().expect("previous item records its slot");
+                let (sync, outcome_pat, producer) = if group.is_empty() || stmts.is_empty() {
+                    (SyncOp::None, None, None)
                 } else {
                     let outcome =
                         self.query
                             .comm_groups_detailed(&group, &stmts, CommMode::LoopIndependent);
                     let pat = outcome.pattern;
-                    (self.sync_from(outcome), pat)
+                    let producer = outcome.producer.clone();
+                    (self.sync_from(outcome), Some(pat), producer)
                 };
                 self.log.push(Decision {
-                    site: format!("before {}", self.node_label(node)),
+                    site: slot.id,
+                    label: slot.label,
+                    kind: slot.kind,
                     outcome: outcome_pat,
-                    placed: placed_str(&sync),
+                    producer,
+                    placed: sync.clone(),
+                    src_stmts: group.len(),
+                    dst_stmts: stmts.len(),
+                    reason: reason_for(outcome_pat, &sync, &self.opts),
                 });
                 if sync.is_barrier() {
                     group.clear();
@@ -208,7 +280,12 @@ impl<'p> Optimizer<'p> {
                     inner_prefix.push(node);
                     let body_nodes = l.body.clone();
                     let sub = self.schedule_level(&body_nodes, &inner_prefix);
-                    let bottom = self.carried_sync(node, &inner_prefix, &body_nodes, &sub);
+                    // Reserve the loop's bottom and after slots (body
+                    // slots were consumed by the recursion).
+                    let bottom_id = self.next_slot;
+                    self.next_slot += 2;
+                    let bottom =
+                        self.carried_sync(node, &inner_prefix, &body_nodes, &sub, bottom_id);
                     let bottom_is_barrier = bottom.is_barrier();
                     if bottom_is_barrier || sub.saw_barrier {
                         saw_barrier = true;
@@ -225,13 +302,25 @@ impl<'p> Optimizer<'p> {
                         bottom,
                         after: SyncOp::None,
                     });
+                    last_after = Some(AfterSlot {
+                        id: bottom_id + 1,
+                        label: loop_after_label(self.prog, node),
+                        kind: SlotKind::LoopAfter,
+                    });
                 }
                 _ => {
+                    let slot_id = self.next_slot;
+                    self.next_slot += 1;
                     items.push(RItem::Phase(Phase {
                         node,
                         kind: self.phase_kind_for(node),
                         after: SyncOp::None,
                     }));
+                    last_after = Some(AfterSlot {
+                        id: slot_id,
+                        label: phase_after_label(self.prog, node),
+                        kind: SlotKind::PhaseAfter,
+                    });
                     group.extend(stmts.iter().cloned());
                 }
             }
@@ -254,11 +343,13 @@ impl<'p> Optimizer<'p> {
         inner_prefix: &[NodeId],
         body_nodes: &[NodeId],
         sub: &LevelResult,
+        bottom_id: usize,
     ) -> SyncOp {
         let per_item: Vec<Vec<StmtPath>> = body_nodes
             .iter()
             .map(|&n| self.prog.statements_under(n, inner_prefix))
             .collect();
+        let total_stmts: usize = per_item.iter().map(Vec::len).sum();
         let crossings: Vec<usize> = sub
             .items
             .iter()
@@ -286,20 +377,37 @@ impl<'p> Optimizer<'p> {
                 ));
                 if outcome.pattern == CommPattern::General {
                     self.log.push(Decision {
-                        site: format!("bottom of {}", self.node_label(loop_node)),
-                        outcome: CommPattern::General,
-                        placed: "barrier",
+                        site: bottom_id,
+                        label: loop_bottom_label(self.prog, loop_node),
+                        kind: SlotKind::LoopBottom,
+                        outcome: Some(CommPattern::General),
+                        producer: None,
+                        placed: SyncOp::Barrier,
+                        src_stmts: total_stmts,
+                        dst_stmts: total_stmts,
+                        reason: reason_for(
+                            Some(CommPattern::General),
+                            &SyncOp::Barrier,
+                            &self.opts,
+                        ),
                     });
                     return SyncOp::Barrier;
                 }
             }
         }
         let pat = outcome.pattern;
+        let producer = outcome.producer.clone();
         let sync = self.sync_from(outcome);
         self.log.push(Decision {
-            site: format!("bottom of {}", self.node_label(loop_node)),
-            outcome: pat,
-            placed: placed_str(&sync),
+            site: bottom_id,
+            label: loop_bottom_label(self.prog, loop_node),
+            kind: SlotKind::LoopBottom,
+            outcome: Some(pat),
+            producer,
+            placed: sync.clone(),
+            src_stmts: total_stmts,
+            dst_stmts: total_stmts,
+            reason: reason_for(Some(pat), &sync, &self.opts),
         });
         sync
     }
@@ -307,6 +415,23 @@ impl<'p> Optimizer<'p> {
     fn build_region(&mut self, nodes: &[NodeId]) -> Region {
         self.next_counter = 0;
         let lr = self.schedule_level(nodes, &[]);
+        let end_id = self.next_slot;
+        self.next_slot += 1;
+        let region_ix = self.next_region;
+        self.next_region += 1;
+        self.log.push(Decision {
+            site: end_id,
+            label: region_end_label(region_ix),
+            kind: SlotKind::RegionEnd,
+            outcome: None,
+            producer: None,
+            placed: SyncOp::Barrier,
+            src_stmts: lr.residual.len(),
+            dst_stmts: 0,
+            reason: "barrier kept: region end is the fork-join join point — code after the \
+                     region may run serially and must see all region effects"
+                .into(),
+        });
         Region {
             items: lr.items,
             end: SyncOp::Barrier,
@@ -379,6 +504,8 @@ fn optimize_impl(
         prog,
         query: CommQuery::new(prog, bind.clone()),
         next_counter: 0,
+        next_slot: 0,
+        next_region: 0,
         log: Vec::new(),
         opts,
     };

@@ -11,7 +11,7 @@ use crate::mem::Mem;
 use analysis::{Bindings, LoopPartition};
 use ineq::rational::{div_ceil, div_floor};
 use ir::{AffAtom, LoopId, NodeId, Program};
-use spmd_opt::{PhaseKind, RItem, SpmdProgram, SyncOp, TopItem};
+use spmd_opt::{slot_count_items, slot_count_top, PhaseKind, RItem, SpmdProgram, SyncOp, TopItem};
 
 /// One step of the SPMD event sequence.
 #[derive(Clone, Debug)]
@@ -38,6 +38,11 @@ pub enum Event {
     Sync {
         /// The operation.
         op: SyncOp,
+        /// Canonical sync-site id (the plan's slot-walk numbering —
+        /// see [`spmd_opt::sync_sites`]); loop iterations of the same
+        /// slot share one id, so runtime telemetry aggregates per
+        /// static site.
+        site: usize,
         /// Enclosing loop indices (needed to evaluate counter
         /// producers such as pivot-row owners).
         env: Vec<(LoopId, i64)>,
@@ -50,17 +55,22 @@ pub enum Event {
 pub fn unroll(prog: &Program, bind: &Bindings, plan: &SpmdProgram) -> Vec<Event> {
     let mut out = Vec::new();
     let mut env = Env::new(prog);
-    unroll_top(prog, bind, &plan.items, &mut env, &mut out);
+    unroll_top(prog, bind, &plan.items, &mut env, 0, &mut out);
     out
 }
 
+/// Unroll top-level items. `slot` is the canonical site id of the first
+/// slot under `items`; each master-loop iteration reuses the same static
+/// ids (the numbering is structural, mirroring
+/// [`spmd_opt::sync_sites`]). Returns the id past the last slot.
 fn unroll_top(
     prog: &Program,
     bind: &Bindings,
     items: &[TopItem],
     env: &mut Env,
+    mut slot: usize,
     out: &mut Vec<Event>,
-) {
+) -> usize {
     for it in items {
         match it {
             TopItem::SerialStmt(n) => out.push(Event::SerialWork {
@@ -73,31 +83,39 @@ fn unroll_top(
                 let hi = crate::eval::eval_affine(bind, env, &l.hi);
                 for i in lo..=hi {
                     env.set(l.id, i);
-                    unroll_top(prog, bind, body, env, out);
+                    unroll_top(prog, bind, body, env, slot, out);
                 }
                 env.clear(l.id);
+                slot += slot_count_top(body);
             }
             TopItem::Region(r) => {
                 out.push(Event::Dispatch);
-                unroll_items(prog, bind, &r.items, env, out);
+                unroll_items(prog, bind, &r.items, env, slot, out);
+                let end_site = slot + slot_count_items(&r.items);
                 if r.end.is_some() {
                     out.push(Event::Sync {
                         op: r.end.clone(),
+                        site: end_site,
                         env: env.snapshot(),
                     });
                 }
+                slot = end_site + 1;
             }
         }
     }
+    slot
 }
 
+/// Unroll region items starting at canonical site id `slot`; returns the
+/// id past the items' last slot.
 fn unroll_items(
     prog: &Program,
     bind: &Bindings,
     items: &[RItem],
     env: &mut Env,
+    mut slot: usize,
     out: &mut Vec<Event>,
-) {
+) -> usize {
     for it in items {
         match it {
             RItem::Phase(p) => {
@@ -109,9 +127,11 @@ fn unroll_items(
                 if p.after.is_some() {
                     out.push(Event::Sync {
                         op: p.after.clone(),
+                        site: slot,
                         env: env.snapshot(),
                     });
                 }
+                slot += 1;
             }
             RItem::Seq {
                 node,
@@ -122,12 +142,14 @@ fn unroll_items(
                 let l = prog.expect_loop(*node);
                 let lo = crate::eval::eval_affine(bind, env, &l.lo);
                 let hi = crate::eval::eval_affine(bind, env, &l.hi);
+                let bottom_site = slot + slot_count_items(body);
                 for i in lo..=hi {
                     env.set(l.id, i);
-                    unroll_items(prog, bind, body, env, out);
+                    unroll_items(prog, bind, body, env, slot, out);
                     if bottom.is_some() {
                         out.push(Event::Sync {
                             op: bottom.clone(),
+                            site: bottom_site,
                             env: env.snapshot(),
                         });
                     }
@@ -136,12 +158,15 @@ fn unroll_items(
                 if after.is_some() {
                     out.push(Event::Sync {
                         op: after.clone(),
+                        site: bottom_site + 1,
                         env: env.snapshot(),
                     });
                 }
+                slot = bottom_site + 2;
             }
         }
     }
+    slot
 }
 
 /// Execute one work event as processor `pid` of `nprocs`.
@@ -460,14 +485,14 @@ pub fn render_events(prog: &Program, events: &[Event]) -> String {
                 };
                 writeln!(out, "{k:4}  work({kd}) node {}{}", node.0, env_str(env)).unwrap()
             }
-            Event::Sync { op, env } => {
+            Event::Sync { op, site, env } => {
                 let s = match op {
                     SyncOp::None => "none".to_string(),
                     SyncOp::Barrier => "barrier".to_string(),
                     SyncOp::Neighbor { fwd, bwd } => format!("neighbor(fwd={fwd},bwd={bwd})"),
                     SyncOp::Counter { id, .. } => format!("counter#{id}"),
                 };
-                writeln!(out, "{k:4}  sync {s}{}", env_str(env)).unwrap()
+                writeln!(out, "{k:4}  sync s{site} {s}{}", env_str(env)).unwrap()
             }
         }
     }

@@ -53,9 +53,12 @@ pub mod virt;
 
 pub use events::{render_events, unroll, Event};
 pub use mem::Mem;
-pub use par::{run_parallel, run_parallel_with, BarrierKind, ParallelOutcome};
+pub use par::{
+    run_parallel, run_parallel_observed, run_parallel_with, BarrierKind, ObserveOptions,
+    ParallelOutcome,
+};
 pub use trace::{Access, AccessKind, Target, TraceBuffer};
-pub use virt::{run_virtual, ScheduleOrder, VirtualOutcome};
+pub use virt::{run_virtual, run_virtual_traced, ScheduleOrder, VirtualOutcome};
 
 use analysis::Bindings;
 use ir::Program;

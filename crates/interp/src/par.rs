@@ -4,9 +4,11 @@ use crate::events::{exec_work, producer_pid, unroll, DynCounts, Event};
 use crate::mem::Mem;
 use analysis::Bindings;
 use ir::Program;
+use obs::{Span, SpanCat};
+use runtime::telemetry::{SiteSnapshot, SiteTelemetry};
 use runtime::{CentralBarrier, Counters, NeighborFlags, SyncStats, Team, TreeBarrier};
 use spmd_opt::{SpmdProgram, SyncOp};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Which barrier implementation the executor uses.
@@ -52,6 +54,25 @@ pub struct ParallelOutcome {
     /// Wall-clock time of the traversal (thread startup excluded — the
     /// team is persistent, matching the paper's measurement protocol).
     pub elapsed: Duration,
+    /// Per-sync-site wait telemetry (empty unless requested via
+    /// [`ObserveOptions::telemetry`]).
+    pub sites: Vec<SiteSnapshot>,
+    /// Per-processor timeline spans (empty unless requested via
+    /// [`ObserveOptions::trace`]).
+    pub spans: Vec<Span>,
+}
+
+/// What the real-thread executor records beyond aggregate stats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ObserveOptions {
+    /// Barrier implementation.
+    pub barrier: BarrierKind,
+    /// Attribute every sync wait to its canonical site (per-processor
+    /// histograms in [`ParallelOutcome::sites`]).
+    pub telemetry: bool,
+    /// Capture per-processor timeline spans (work, dispatch, sync
+    /// waits) in [`ParallelOutcome::spans`].
+    pub trace: bool,
 }
 
 fn max_counter_id(events: &[Event]) -> usize {
@@ -90,6 +111,67 @@ pub fn run_parallel_with(
     team: &Team,
     barrier_kind: BarrierKind,
 ) -> ParallelOutcome {
+    run_parallel_observed(
+        prog,
+        bind,
+        plan,
+        mem,
+        team,
+        &ObserveOptions {
+            barrier: barrier_kind,
+            ..ObserveOptions::default()
+        },
+    )
+}
+
+/// Per-thread span buffer: spans are pushed locally and drained once
+/// after the run (one mutex lock per processor per recording, but the
+/// mutex is uncontended — each processor owns its own slot).
+struct SpanBuffers(Vec<Mutex<Vec<Span>>>);
+
+impl SpanBuffers {
+    fn new(nprocs: usize) -> Self {
+        SpanBuffers((0..nprocs).map(|_| Mutex::new(Vec::new())).collect())
+    }
+
+    fn push(&self, pid: usize, span: Span) {
+        self.0[pid].lock().unwrap().push(span);
+    }
+
+    fn drain(&self) -> Vec<Span> {
+        let mut out = Vec::new();
+        for buf in &self.0 {
+            out.append(&mut buf.lock().unwrap());
+        }
+        out
+    }
+}
+
+pub(crate) fn span_name(prog: &Program, ev: &Event) -> String {
+    match ev {
+        Event::Work { node, .. } | Event::SerialWork { node, .. } => {
+            spmd_opt::node_label(prog, *node)
+        }
+        Event::Dispatch => "dispatch".to_string(),
+        Event::Sync { op, site, .. } => match op {
+            SyncOp::None => format!("nop @s{site}"),
+            SyncOp::Barrier => format!("barrier wait @s{site}"),
+            SyncOp::Neighbor { .. } => format!("neighbor wait @s{site}"),
+            SyncOp::Counter { id, .. } => format!("counter#{id} wait @s{site}"),
+        },
+    }
+}
+
+/// As [`run_parallel_with`], optionally recording per-site telemetry
+/// and per-processor timeline spans.
+pub fn run_parallel_observed(
+    prog: &Arc<Program>,
+    bind: &Arc<Bindings>,
+    plan: &SpmdProgram,
+    mem: &Arc<Mem>,
+    team: &Team,
+    opts: &ObserveOptions,
+) -> ParallelOutcome {
     let nprocs = team.nprocs();
     assert_eq!(
         nprocs as i64, bind.nprocs,
@@ -98,7 +180,11 @@ pub fn run_parallel_with(
     let events = Arc::new(unroll(prog, bind, plan));
     let counts = DynCounts::from_events(&events, nprocs);
     let stats = Arc::new(SyncStats::new());
-    let barrier = Arc::new(match barrier_kind {
+    let telemetry = opts
+        .telemetry
+        .then(|| Arc::new(SiteTelemetry::new(obs::site_metas(prog, plan), nprocs)));
+    let spans = opts.trace.then(|| Arc::new(SpanBuffers::new(nprocs)));
+    let barrier = Arc::new(match opts.barrier {
         BarrierKind::Central => {
             AnyBarrier::Central(CentralBarrier::new(nprocs).with_stats(Arc::clone(&stats)))
         }
@@ -118,6 +204,8 @@ pub fn run_parallel_with(
     let counters2 = Arc::clone(&counters);
     let flags2 = Arc::clone(&flags);
     let dispatch2 = Arc::clone(&dispatch);
+    let telemetry2 = telemetry.clone();
+    let spans2 = spans.clone();
 
     let t0 = Instant::now();
     team.run(move |pid| {
@@ -128,7 +216,14 @@ pub fn run_parallel_with(
         let mut nposts = 0u64;
         let mut visits = vec![0u64; counters2.len()];
         let mut dispatch_visits = 0u64;
+        let us_of = |t: Instant| t.duration_since(t0).as_micros() as u64;
         for ev in events2.iter() {
+            let started = Instant::now();
+            let cat = match ev {
+                Event::Work { .. } | Event::SerialWork { .. } => SpanCat::Work,
+                Event::Dispatch => SpanCat::Dispatch,
+                Event::Sync { .. } => SpanCat::Sync,
+            };
             match ev {
                 Event::Work { .. } | Event::SerialWork { .. } => {
                     exec_work(prog, bind, mem, pid, bind.nprocs as usize, ev);
@@ -141,29 +236,60 @@ pub fn run_parallel_with(
                         dispatch2.wait_ge(0, dispatch_visits);
                     }
                 }
-                Event::Sync { op, env } => match op {
-                    SyncOp::None => {}
-                    SyncOp::Barrier => barrier2.wait(pid, &mut blocal),
-                    SyncOp::Neighbor { fwd, bwd } => {
-                        flags2.post(pid);
-                        nposts += 1;
-                        if *fwd {
-                            flags2.wait(pid as isize - 1, nposts);
+                Event::Sync { op, site, env } => {
+                    match op {
+                        SyncOp::None => {}
+                        SyncOp::Barrier => barrier2.wait(pid, &mut blocal),
+                        SyncOp::Neighbor { fwd, bwd } => {
+                            flags2.post(pid);
+                            nposts += 1;
+                            if *fwd {
+                                flags2.wait(pid as isize - 1, nposts);
+                            }
+                            if *bwd {
+                                flags2.wait(pid as isize + 1, nposts);
+                            }
                         }
-                        if *bwd {
-                            flags2.wait(pid as isize + 1, nposts);
+                        SyncOp::Counter { id, producer } => {
+                            visits[*id] += 1;
+                            let prod = producer_pid(bind, prog, producer, env);
+                            if pid as i64 == prod {
+                                counters2.increment(*id);
+                            } else {
+                                counters2.wait_ge(*id, visits[*id]);
+                            }
                         }
                     }
-                    SyncOp::Counter { id, producer } => {
-                        visits[*id] += 1;
-                        let prod = producer_pid(bind, prog, producer, env);
-                        if pid as i64 == prod {
-                            counters2.increment(*id);
-                        } else {
-                            counters2.wait_ge(*id, visits[*id]);
+                    if let Some(t) = &telemetry2 {
+                        if !matches!(op, SyncOp::None) {
+                            let cell = t.cell(*site, pid);
+                            cell.op();
+                            cell.wait(started.elapsed().as_nanos() as u64);
                         }
                     }
-                },
+                }
+            }
+            if let Some(s) = &spans2 {
+                // Skip eliminated slots: they cost nothing and would
+                // clutter the timeline.
+                if !matches!(
+                    ev,
+                    Event::Sync {
+                        op: SyncOp::None,
+                        ..
+                    }
+                ) {
+                    s.push(
+                        pid,
+                        Span {
+                            pid,
+                            name: span_name(prog, ev),
+                            cat,
+                            start_us: us_of(started),
+                            end_us: us_of(Instant::now()),
+                        },
+                    );
+                }
             }
         }
     });
@@ -172,6 +298,8 @@ pub fn run_parallel_with(
         stats: stats.snapshot(),
         counts,
         elapsed,
+        sites: telemetry.map(|t| t.snapshot()).unwrap_or_default(),
+        spans: spans.map(|s| s.drain()).unwrap_or_default(),
     }
 }
 

@@ -52,7 +52,7 @@ fn can_advance(
         Event::Work { .. } | Event::SerialWork { .. } => true,
         // Workers wait until the master has performed the dispatch.
         Event::Dispatch => pid == 0 || ptrs[0] > i,
-        Event::Sync { op, env } => match op {
+        Event::Sync { op, env, .. } => match op {
             SyncOp::None => true,
             SyncOp::Barrier => (0..nprocs).all(|q| ptrs[q] >= i),
             SyncOp::Neighbor { fwd, bwd } => {
@@ -78,6 +78,35 @@ pub fn run_virtual(
     mem: &Mem,
     order: ScheduleOrder,
 ) -> VirtualOutcome {
+    run_virtual_impl(prog, bind, plan, mem, order, None)
+}
+
+/// As [`run_virtual`], additionally building a timeline on a logical
+/// clock: every scheduler step is one microsecond, each executed event
+/// is a one-step span, and a sync crossed after blocking spans the whole
+/// interval from the processor's arrival at the sync to its crossing —
+/// so the trace shows exactly which processors a barrier convoyed under
+/// this interleaving.
+pub fn run_virtual_traced(
+    prog: &Program,
+    bind: &Bindings,
+    plan: &SpmdProgram,
+    mem: &Mem,
+    order: ScheduleOrder,
+) -> (VirtualOutcome, Vec<obs::Span>) {
+    let mut spans = Vec::new();
+    let out = run_virtual_impl(prog, bind, plan, mem, order, Some(&mut spans));
+    (out, spans)
+}
+
+fn run_virtual_impl(
+    prog: &Program,
+    bind: &Bindings,
+    plan: &SpmdProgram,
+    mem: &Mem,
+    order: ScheduleOrder,
+    mut spans: Option<&mut Vec<obs::Span>>,
+) -> VirtualOutcome {
     let nprocs = bind.nprocs as usize;
     let events = unroll(prog, bind, plan);
     let m = events.len();
@@ -87,9 +116,24 @@ pub fn run_virtual(
         _ => None,
     };
     let mut cursor = 0usize;
+    // Logical clock: one scheduler step = 1µs. `arrived_at[pid]` is the
+    // step at which the processor was first seen blocked at its current
+    // event (None while running freely).
+    let mut step = 0u64;
+    let mut arrived_at: Vec<Option<u64>> = vec![None; nprocs];
     loop {
         if ptrs.iter().all(|&p| p == m) {
             break;
+        }
+        if spans.is_some() {
+            for pid in 0..nprocs {
+                if ptrs[pid] < m
+                    && arrived_at[pid].is_none()
+                    && !can_advance(&events, &ptrs, pid, prog, bind)
+                {
+                    arrived_at[pid] = Some(step);
+                }
+            }
         }
         // Pick a processor that can advance: scan all processors once,
         // starting from a policy-chosen point.
@@ -108,6 +152,30 @@ pub fn run_virtual(
                 if matches!(events[i], Event::Work { .. } | Event::SerialWork { .. }) {
                     exec_work(prog, bind, mem, pid, nprocs, &events[i]);
                 }
+                if let Some(buf) = spans.as_deref_mut() {
+                    if !matches!(
+                        events[i],
+                        Event::Sync {
+                            op: SyncOp::None,
+                            ..
+                        }
+                    ) {
+                        let start_us = arrived_at[pid].take().unwrap_or(step);
+                        buf.push(obs::Span {
+                            pid,
+                            name: crate::par::span_name(prog, &events[i]),
+                            cat: match &events[i] {
+                                Event::Work { .. } | Event::SerialWork { .. } => obs::SpanCat::Work,
+                                Event::Dispatch => obs::SpanCat::Dispatch,
+                                Event::Sync { .. } => obs::SpanCat::Sync,
+                            },
+                            start_us,
+                            end_us: step + 1,
+                        });
+                    } else {
+                        arrived_at[pid] = None;
+                    }
+                }
                 ptrs[pid] = i + 1;
                 advanced = true;
                 cursor = cursor.wrapping_add(1);
@@ -120,6 +188,7 @@ pub fn run_virtual(
             }
             panic!("virtual schedule deadlocked (simulator bug)");
         }
+        step += 1;
     }
     VirtualOutcome {
         counts: DynCounts::from_events(&events, nprocs),
@@ -214,6 +283,30 @@ mod tests {
         assert_eq!(fj.counts.barriers, 100);
         assert_eq!(opt.counts.barriers, 1);
         assert!(opt.counts.neighbor_posts > 0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_spans_are_well_formed() {
+        let (prog, bind) = sweep(16, 3, 4);
+        let plan = optimize(&prog, &bind);
+        let mem = Mem::new(&prog, &bind);
+        let (out, spans) = run_virtual_traced(&prog, &bind, &plan, &mem, ScheduleOrder::Reverse);
+        let mem2 = Mem::new(&prog, &bind);
+        let plain = run_virtual(&prog, &bind, &plan, &mem2, ScheduleOrder::Reverse);
+        assert_eq!(out.counts, plain.counts);
+        assert!(!spans.is_empty());
+        // Every processor has work spans, spans never run backwards, and a
+        // processor's spans are disjoint in logical time.
+        for pid in 0..4 {
+            let mine: Vec<_> = spans.iter().filter(|s| s.pid == pid).collect();
+            assert!(mine.iter().any(|s| matches!(s.cat, obs::SpanCat::Work)));
+            let mut last_end = 0;
+            for s in &mine {
+                assert!(s.start_us < s.end_us, "empty or inverted span {s:?}");
+                assert!(s.start_us >= last_end, "overlapping spans on proc {pid}");
+                last_end = s.end_us;
+            }
+        }
     }
 
     /// Deliberately broken plan: removing a needed neighbor sync must be

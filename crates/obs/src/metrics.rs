@@ -1,0 +1,176 @@
+//! Per-sync-site metrics: the JSON document behind
+//! `beopt --run --metrics-json` and the human-readable per-site table.
+
+use crate::json::Json;
+use runtime::stats::StatsSnapshot;
+use runtime::telemetry::{SiteSnapshot, WaitHistogram, HIST_BUCKETS};
+
+fn hist_json(hist: &[u64; HIST_BUCKETS]) -> Json {
+    // Sparse: only non-empty buckets, as {"floor_ns": count} pairs in
+    // bucket order (deterministic).
+    let mut j = Json::obj();
+    for (k, &c) in hist.iter().enumerate() {
+        if c > 0 {
+            j = j.set(&WaitHistogram::bucket_floor(k).to_string(), c);
+        }
+    }
+    j
+}
+
+fn cell_json(c: &runtime::telemetry::CellSnapshot) -> Json {
+    Json::obj()
+        .set("ops", c.ops)
+        .set("waits", c.waits)
+        .set("wait_ns", c.wait_ns)
+        .set("max_wait_ns", c.max_wait_ns)
+        .set("hist", hist_json(&c.hist))
+}
+
+fn totals_json(s: &StatsSnapshot) -> Json {
+    Json::obj()
+        .set(
+            "barrier",
+            Json::obj()
+                .set("episodes", s.barrier_episodes)
+                .set("arrivals", s.barrier_arrivals)
+                .set("wait_ns", s.barrier_wait_ns)
+                .set("max_wait_ns", s.barrier_max_wait_ns),
+        )
+        .set(
+            "counter",
+            Json::obj()
+                .set("increments", s.counter_increments)
+                .set("waits", s.counter_waits)
+                .set("wait_ns", s.counter_wait_ns)
+                .set("max_wait_ns", s.counter_max_wait_ns),
+        )
+        .set(
+            "neighbor",
+            Json::obj()
+                .set("posts", s.neighbor_posts)
+                .set("waits", s.neighbor_waits)
+                .set("wait_ns", s.neighbor_wait_ns)
+                .set("max_wait_ns", s.neighbor_max_wait_ns),
+        )
+}
+
+/// The metrics document: per-site per-processor wait telemetry plus the
+/// run's aggregate [`StatsSnapshot`].
+pub fn metrics_json(
+    program: &str,
+    nprocs: usize,
+    sites: &[SiteSnapshot],
+    totals: &StatsSnapshot,
+) -> Json {
+    let site_arr: Vec<Json> = sites
+        .iter()
+        .map(|s| {
+            Json::obj()
+                .set("site", s.meta.id)
+                .set("slot", s.meta.kind.as_str())
+                .set("label", s.meta.label.as_str())
+                .set("sync", s.meta.op.as_str())
+                .set("total", cell_json(&s.total))
+                .set(
+                    "per_proc",
+                    Json::Arr(s.per_proc.iter().map(cell_json).collect()),
+                )
+        })
+        .collect();
+    Json::obj()
+        .set("program", program)
+        .set("nprocs", nprocs)
+        .set("sites", Json::Arr(site_arr))
+        .set("totals", totals_json(totals))
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Human-readable per-site wait table (what `beopt --run` prints when
+/// metrics are enabled). Sites with no activity are listed with zeros so
+/// eliminated slots are visibly free.
+pub fn render_site_table(sites: &[SiteSnapshot]) -> String {
+    let mut out = String::new();
+    out.push_str("--- per-sync-site telemetry ---\n");
+    out.push_str(&format!(
+        "{:<5} {:<14} {:<34} {:>8} {:>8} {:>12} {:>12}\n",
+        "site", "sync", "label", "ops", "waits", "wait", "max-wait"
+    ));
+    for s in sites {
+        out.push_str(&format!(
+            "s{:<4} {:<14} {:<34} {:>8} {:>8} {:>12} {:>12}\n",
+            s.meta.id,
+            s.meta.op,
+            s.meta.label,
+            s.total.ops,
+            s.total.waits,
+            fmt_ns(s.total.wait_ns),
+            fmt_ns(s.total.max_wait_ns),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use runtime::telemetry::{SiteMeta, SiteTelemetry};
+
+    fn sample() -> Vec<SiteSnapshot> {
+        let t = SiteTelemetry::new(
+            vec![
+                SiteMeta {
+                    id: 0,
+                    kind: "phase-after".into(),
+                    label: "after DOALL i [n1]".into(),
+                    op: "neighbor flags".into(),
+                },
+                SiteMeta {
+                    id: 1,
+                    kind: "region-end".into(),
+                    label: "end of region r0".into(),
+                    op: "barrier".into(),
+                },
+            ],
+            2,
+        );
+        t.cell(0, 0).op();
+        t.cell(0, 0).wait(1500);
+        t.cell(1, 1).op();
+        t.cell(1, 1).wait(3_000_000);
+        t.snapshot()
+    }
+
+    #[test]
+    fn metrics_document_carries_histograms() {
+        let sites = sample();
+        let doc = metrics_json("jacobi", 2, &sites, &StatsSnapshot::default());
+        let arr = doc.get("sites").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        let hist = arr[0].get("total").unwrap().get("hist").unwrap();
+        // 1500ns lands in the [1024, 2048) bucket.
+        assert_eq!(hist.get("1024").unwrap().as_u64(), Some(1));
+        let pp = arr[0].get("per_proc").unwrap().as_arr().unwrap();
+        assert_eq!(pp.len(), 2);
+        assert_eq!(pp[0].get("waits").unwrap().as_u64(), Some(1));
+        assert_eq!(pp[1].get("waits").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn table_lists_every_site() {
+        let sites = sample();
+        let table = render_site_table(&sites);
+        assert!(table.contains("after DOALL i [n1]"));
+        assert!(table.contains("end of region r0"));
+        assert!(table.contains("3.00ms"));
+        assert!(table.contains("1.50us"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Chrome-trace (chrome://tracing / Perfetto) timeline writer.
+//!
+//! Executors record [`Span`]s — one per work phase, dispatch, or sync
+//! wait, per processor — and this module lowers them to the Trace Event
+//! Format: a `traceEvents` array of `B`/`E` duration events with
+//! microsecond timestamps, one track (`tid`) per processor, plus
+//! `thread_name` metadata so Perfetto labels the tracks `proc 0..P-1`.
+//!
+//! Within one track, events are emitted in timestamp order with `E`
+//! before `B` at equal timestamps, so adjacent spans (a wait ending
+//! exactly where the next phase begins) nest correctly.
+
+use crate::json::Json;
+
+/// Span categories (the trace viewer colors by category).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpanCat {
+    /// Executing a work phase (parallel/replicated/master).
+    Work,
+    /// Blocked in a synchronization operation.
+    Sync,
+    /// Master-to-worker dispatch of a fork-join region.
+    Dispatch,
+}
+
+impl SpanCat {
+    /// Stable category name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanCat::Work => "work",
+            SpanCat::Sync => "sync",
+            SpanCat::Dispatch => "dispatch",
+        }
+    }
+}
+
+/// One closed interval of one processor's timeline.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Processor (trace track).
+    pub pid: usize,
+    /// Displayed name, e.g. `DOALL i` or `barrier wait @s3`.
+    pub name: String,
+    /// Category.
+    pub cat: SpanCat,
+    /// Start, microseconds from run start.
+    pub start_us: u64,
+    /// End, microseconds from run start (clamped to `start_us + 1` when
+    /// equal, so zero-length spans stay visible and well-nested).
+    pub end_us: u64,
+}
+
+/// Collects spans and emits the Chrome-trace JSON document.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    process_name: String,
+    nprocs: usize,
+    spans: Vec<Span>,
+}
+
+impl TraceBuilder {
+    /// A trace for `nprocs` processor tracks.
+    pub fn new(process_name: impl Into<String>, nprocs: usize) -> Self {
+        TraceBuilder {
+            process_name: process_name.into(),
+            nprocs,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Record one span.
+    pub fn push(&mut self, span: Span) {
+        debug_assert!(span.pid < self.nprocs);
+        debug_assert!(span.start_us <= span.end_us);
+        self.spans.push(span);
+    }
+
+    /// Record a span from raw parts.
+    pub fn span(
+        &mut self,
+        pid: usize,
+        name: impl Into<String>,
+        cat: SpanCat,
+        start_us: u64,
+        end_us: u64,
+    ) {
+        self.push(Span {
+            pid,
+            name: name.into(),
+            cat,
+            start_us,
+            end_us,
+        });
+    }
+
+    /// Merge the spans of another builder (used to combine per-thread
+    /// buffers after a real-thread run).
+    pub fn extend(&mut self, spans: impl IntoIterator<Item = Span>) {
+        self.spans.extend(spans);
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if no span was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Lower to the Trace Event Format document.
+    pub fn to_json(&self) -> Json {
+        let mut events: Vec<Json> = Vec::new();
+        for pid in 0..self.nprocs {
+            events.push(
+                Json::obj()
+                    .set("name", "thread_name")
+                    .set("ph", "M")
+                    .set("pid", 1u64)
+                    .set("tid", pid)
+                    .set("args", Json::obj().set("name", format!("proc {pid}"))),
+            );
+        }
+        // (tid, ts, is_begin, insertion index): E sorts before B at equal
+        // timestamps so back-to-back spans close before the next opens.
+        let mut points: Vec<(usize, u64, bool, usize)> = Vec::new();
+        for (k, s) in self.spans.iter().enumerate() {
+            let end = s.end_us.max(s.start_us + 1);
+            points.push((s.pid, s.start_us, true, k));
+            points.push((s.pid, end, false, k));
+        }
+        points.sort_by_key(|&(tid, ts, is_begin, k)| (tid, ts, is_begin, k));
+        for (tid, ts, is_begin, k) in points {
+            let s = &self.spans[k];
+            events.push(
+                Json::obj()
+                    .set("name", s.name.as_str())
+                    .set("cat", s.cat.as_str())
+                    .set("ph", if is_begin { "B" } else { "E" })
+                    .set("ts", ts)
+                    .set("pid", 1u64)
+                    .set("tid", tid),
+            );
+        }
+        Json::obj()
+            .set("traceEvents", Json::Arr(events))
+            .set("displayTimeUnit", "ms")
+            .set(
+                "otherData",
+                Json::obj().set("process", self.process_name.as_str()),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_metadata_and_balanced_spans() {
+        let mut tb = TraceBuilder::new("test", 2);
+        tb.span(0, "DOALL i", SpanCat::Work, 0, 5);
+        tb.span(0, "barrier wait @s0", SpanCat::Sync, 5, 7);
+        tb.span(1, "DOALL i", SpanCat::Work, 0, 7);
+        let doc = tb.to_json();
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let meta = evs
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .count();
+        assert_eq!(meta, 2);
+        let b = evs
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("B"))
+            .count();
+        let e = evs
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("E"))
+            .count();
+        assert_eq!(b, 3);
+        assert_eq!(e, 3);
+    }
+
+    #[test]
+    fn per_track_timestamps_are_monotone_and_nested() {
+        let mut tb = TraceBuilder::new("test", 2);
+        tb.span(0, "a", SpanCat::Work, 0, 3);
+        tb.span(0, "b", SpanCat::Sync, 3, 3); // zero-length, clamps to 4
+        tb.span(0, "c", SpanCat::Work, 4, 9);
+        tb.span(1, "d", SpanCat::Work, 1, 2);
+        let doc = tb.to_json();
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let mut last_ts = std::collections::HashMap::new();
+        let mut depth = std::collections::HashMap::new();
+        for e in evs {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            if ph == "M" {
+                continue;
+            }
+            let tid = e.get("tid").unwrap().as_u64().unwrap();
+            let ts = e.get("ts").unwrap().as_u64().unwrap();
+            let prev = last_ts.entry(tid).or_insert(0);
+            assert!(ts >= *prev, "non-monotone ts on track {tid}");
+            *prev = ts;
+            let d = depth.entry(tid).or_insert(0i64);
+            *d += if ph == "B" { 1 } else { -1 };
+            assert!(*d >= 0, "E without B on track {tid}");
+        }
+        for (tid, d) in depth {
+            assert_eq!(d, 0, "unbalanced spans on track {tid}");
+        }
+    }
+}

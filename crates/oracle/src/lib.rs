@@ -20,11 +20,13 @@
 pub mod diff;
 pub mod gen;
 pub mod mutate;
+pub mod repro;
 pub mod validate;
 
 pub use diff::{check_program, plan_diverges, CaseResult, DiffConfig};
 pub use gen::{generate, GenProgram, Shape};
 pub use mutate::{delete, mutation_teeth, sites, MutationSite, TeethReport};
+pub use repro::dump_repro;
 pub use validate::{validate, Race, RaceReport};
 
 /// Outcome of a seeded fuzz campaign.

@@ -177,7 +177,7 @@ pub fn validate(prog: &Program, bind: &Bindings, plan: &SpmdProgram) -> RaceRepo
                     join(&mut clocks[p], &master);
                 }
             }
-            Event::Sync { op, env } => match op {
+            Event::Sync { op, env, .. } => match op {
                 SyncOp::None => {}
                 SyncOp::Barrier => {
                     let mut all = vec![0u64; nprocs];

@@ -41,9 +41,13 @@ pub mod counter;
 pub mod neighbor;
 pub mod stats;
 pub mod team;
+pub mod telemetry;
 
 pub use barrier::{CentralBarrier, TreeBarrier};
 pub use counter::Counters;
 pub use neighbor::NeighborFlags;
 pub use stats::{SyncKind, SyncStats};
 pub use team::Team;
+pub use telemetry::{
+    CellSnapshot, SiteCell, SiteMeta, SiteSnapshot, SiteTelemetry, WaitHistogram, HIST_BUCKETS,
+};

@@ -14,120 +14,148 @@ pub enum SyncKind {
     Neighbor,
 }
 
+impl SyncKind {
+    fn ix(self) -> usize {
+        match self {
+            SyncKind::Barrier => 0,
+            SyncKind::Counter => 1,
+            SyncKind::Neighbor => 2,
+        }
+    }
+}
+
+/// Lock-free counters for one synchronization kind: primary operations
+/// (barrier episodes / counter increments / neighbor posts), waits
+/// (barrier arrivals / counter waits / neighbor waits), total and
+/// maximum blocked time.
+#[derive(Debug, Default)]
+struct KindCell {
+    ops: AtomicU64,
+    waits: AtomicU64,
+    wait_ns: AtomicU64,
+    max_wait_ns: AtomicU64,
+}
+
+impl KindCell {
+    fn wait(&self, waited: Duration) {
+        let ns = waited.as_nanos() as u64;
+        self.waits.fetch_add(1, Ordering::Relaxed);
+        self.wait_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_wait_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        for a in [&self.ops, &self.waits, &self.wait_ns, &self.max_wait_ns] {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Shared, lock-free synchronization counters.
 ///
 /// A *barrier episode* is one full barrier (all processors arriving
 /// once); *arrivals* count per-processor participations. Counter and
 /// neighbor events are counted per operation. Wait nanoseconds accumulate
-/// the time processors spent blocked per kind.
+/// the time processors spent blocked per kind; the maximum single wait is
+/// kept alongside (totals alone hide convoy outliers).
+///
+/// All state lives in kind-indexed [`KindCell`]s, so [`Default`] is
+/// derived and [`SyncStats::new`] simply delegates to it.
 #[derive(Debug, Default)]
 pub struct SyncStats {
-    barrier_episodes: AtomicU64,
-    barrier_arrivals: AtomicU64,
-    barrier_wait_ns: AtomicU64,
-    counter_increments: AtomicU64,
-    counter_waits: AtomicU64,
-    counter_wait_ns: AtomicU64,
-    neighbor_posts: AtomicU64,
-    neighbor_waits: AtomicU64,
-    neighbor_wait_ns: AtomicU64,
+    cells: [KindCell; 3],
 }
 
 impl SyncStats {
-    /// Fresh zeroed stats.
+    /// Fresh zeroed stats (same as [`Default`]).
     pub fn new() -> Self {
         Self::default()
     }
 
+    fn cell(&self, kind: SyncKind) -> &KindCell {
+        &self.cells[kind.ix()]
+    }
+
     /// Record one completed barrier episode.
     pub fn barrier_episode(&self) {
-        self.barrier_episodes.fetch_add(1, Ordering::Relaxed);
+        self.cell(SyncKind::Barrier)
+            .ops
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one processor arriving at a barrier, with its wait time.
     pub fn barrier_arrival(&self, waited: Duration) {
-        self.barrier_arrivals.fetch_add(1, Ordering::Relaxed);
-        self.barrier_wait_ns
-            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        self.cell(SyncKind::Barrier).wait(waited);
     }
 
     /// Record a counter increment.
     pub fn counter_increment(&self) {
-        self.counter_increments.fetch_add(1, Ordering::Relaxed);
+        self.cell(SyncKind::Counter)
+            .ops
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a counter wait, with the time spent blocked.
     pub fn counter_wait(&self, waited: Duration) {
-        self.counter_waits.fetch_add(1, Ordering::Relaxed);
-        self.counter_wait_ns
-            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        self.cell(SyncKind::Counter).wait(waited);
     }
 
     /// Record a neighbor post.
     pub fn neighbor_post(&self) {
-        self.neighbor_posts.fetch_add(1, Ordering::Relaxed);
+        self.cell(SyncKind::Neighbor)
+            .ops
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a neighbor wait, with the time spent blocked.
     pub fn neighbor_wait(&self, waited: Duration) {
-        self.neighbor_waits.fetch_add(1, Ordering::Relaxed);
-        self.neighbor_wait_ns
-            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        self.cell(SyncKind::Neighbor).wait(waited);
     }
 
     /// Completed barrier episodes.
     pub fn barrier_episodes_count(&self) -> u64 {
-        self.barrier_episodes.load(Ordering::Relaxed)
+        self.cell(SyncKind::Barrier).ops.load(Ordering::Relaxed)
     }
 
     /// Per-processor barrier arrivals.
     pub fn barrier_arrivals_count(&self) -> u64 {
-        self.barrier_arrivals.load(Ordering::Relaxed)
+        self.cell(SyncKind::Barrier).waits.load(Ordering::Relaxed)
     }
 
     /// Counter increments.
     pub fn counter_increments_count(&self) -> u64 {
-        self.counter_increments.load(Ordering::Relaxed)
+        self.cell(SyncKind::Counter).ops.load(Ordering::Relaxed)
     }
 
     /// Counter waits.
     pub fn counter_waits_count(&self) -> u64 {
-        self.counter_waits.load(Ordering::Relaxed)
+        self.cell(SyncKind::Counter).waits.load(Ordering::Relaxed)
     }
 
     /// Neighbor posts.
     pub fn neighbor_posts_count(&self) -> u64 {
-        self.neighbor_posts.load(Ordering::Relaxed)
+        self.cell(SyncKind::Neighbor).ops.load(Ordering::Relaxed)
     }
 
     /// Neighbor waits.
     pub fn neighbor_waits_count(&self) -> u64 {
-        self.neighbor_waits.load(Ordering::Relaxed)
+        self.cell(SyncKind::Neighbor).waits.load(Ordering::Relaxed)
     }
 
     /// Total time spent blocked, per kind.
     pub fn wait_ns(&self, kind: SyncKind) -> u64 {
-        match kind {
-            SyncKind::Barrier => self.barrier_wait_ns.load(Ordering::Relaxed),
-            SyncKind::Counter => self.counter_wait_ns.load(Ordering::Relaxed),
-            SyncKind::Neighbor => self.neighbor_wait_ns.load(Ordering::Relaxed),
-        }
+        self.cell(kind).wait_ns.load(Ordering::Relaxed)
+    }
+
+    /// Longest single blocked interval, per kind.
+    pub fn max_wait_ns(&self, kind: SyncKind) -> u64 {
+        self.cell(kind).max_wait_ns.load(Ordering::Relaxed)
     }
 
     /// Reset everything to zero.
     pub fn reset(&self) {
-        for a in [
-            &self.barrier_episodes,
-            &self.barrier_arrivals,
-            &self.barrier_wait_ns,
-            &self.counter_increments,
-            &self.counter_waits,
-            &self.counter_wait_ns,
-            &self.neighbor_posts,
-            &self.neighbor_waits,
-            &self.neighbor_wait_ns,
-        ] {
-            a.store(0, Ordering::Relaxed);
+        for c in &self.cells {
+            c.reset();
         }
     }
 
@@ -137,12 +165,15 @@ impl SyncStats {
             barrier_episodes: self.barrier_episodes_count(),
             barrier_arrivals: self.barrier_arrivals_count(),
             barrier_wait_ns: self.wait_ns(SyncKind::Barrier),
+            barrier_max_wait_ns: self.max_wait_ns(SyncKind::Barrier),
             counter_increments: self.counter_increments_count(),
             counter_waits: self.counter_waits_count(),
             counter_wait_ns: self.wait_ns(SyncKind::Counter),
+            counter_max_wait_ns: self.max_wait_ns(SyncKind::Counter),
             neighbor_posts: self.neighbor_posts_count(),
             neighbor_waits: self.neighbor_waits_count(),
             neighbor_wait_ns: self.wait_ns(SyncKind::Neighbor),
+            neighbor_max_wait_ns: self.max_wait_ns(SyncKind::Neighbor),
         }
     }
 }
@@ -156,18 +187,24 @@ pub struct StatsSnapshot {
     pub barrier_arrivals: u64,
     /// Nanoseconds blocked in barriers.
     pub barrier_wait_ns: u64,
+    /// Longest single barrier wait in nanoseconds.
+    pub barrier_max_wait_ns: u64,
     /// Counter increments.
     pub counter_increments: u64,
     /// Counter waits.
     pub counter_waits: u64,
     /// Nanoseconds blocked on counters.
     pub counter_wait_ns: u64,
+    /// Longest single counter wait in nanoseconds.
+    pub counter_max_wait_ns: u64,
     /// Neighbor posts.
     pub neighbor_posts: u64,
     /// Neighbor waits.
     pub neighbor_waits: u64,
     /// Nanoseconds blocked on neighbor flags.
     pub neighbor_wait_ns: u64,
+    /// Longest single neighbor wait in nanoseconds.
+    pub neighbor_max_wait_ns: u64,
 }
 
 impl StatsSnapshot {
@@ -208,5 +245,18 @@ mod tests {
         assert_eq!(snap.total_sync_ops(), 5);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn max_wait_tracks_the_largest_single_wait() {
+        let s = SyncStats::new();
+        s.barrier_arrival(Duration::from_nanos(50));
+        s.barrier_arrival(Duration::from_nanos(700));
+        s.barrier_arrival(Duration::from_nanos(70));
+        assert_eq!(s.max_wait_ns(SyncKind::Barrier), 700);
+        assert_eq!(s.wait_ns(SyncKind::Barrier), 820);
+        assert_eq!(s.max_wait_ns(SyncKind::Counter), 0);
+        let snap = s.snapshot();
+        assert_eq!(snap.barrier_max_wait_ns, 700);
     }
 }

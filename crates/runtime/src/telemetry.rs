@@ -1,0 +1,309 @@
+//! Per-sync-site, per-processor wait telemetry.
+//!
+//! [`crate::stats::SyncStats`] aggregates over the whole run; this module
+//! attributes every synchronization operation to its *site* — a slot in
+//! the optimized schedule, identified by the canonical site id the
+//! optimizer assigns — and to the processor executing it. Each
+//! (site, processor) cell holds lock-free counters plus a log2-bucket
+//! wait-time histogram, so a per-site table can show which sync points
+//! convoy and which are free (after the per-barrier breakdowns of
+//! Chen/Su/Yew that the paper's cost model cites).
+//!
+//! The executor is handed an `Arc<SiteTelemetry>` sized from the plan's
+//! site walk; recording is a few relaxed atomic RMWs, safe to call
+//! concurrently from every worker.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets (covers 1ns .. ~2s and beyond; the last bucket
+/// absorbs everything larger).
+pub const HIST_BUCKETS: usize = 32;
+
+/// Lock-free log2-bucket histogram of wait times in nanoseconds.
+///
+/// Bucket `k` counts waits with `ns` in `[2^k, 2^(k+1))` (bucket 0 also
+/// takes zero-length waits); the final bucket absorbs the overflow.
+#[derive(Debug)]
+pub struct WaitHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for WaitHistogram {
+    fn default() -> Self {
+        WaitHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl WaitHistogram {
+    /// Bucket index for a wait of `ns` nanoseconds.
+    pub fn bucket_of(ns: u64) -> usize {
+        if ns <= 1 {
+            0
+        } else {
+            ((63 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Lower bound (inclusive) of bucket `k` in nanoseconds.
+    pub fn bucket_floor(k: usize) -> u64 {
+        1u64 << k
+    }
+
+    /// Record one wait.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot all bucket counts.
+    pub fn counts(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|k| self.buckets[k].load(Ordering::Relaxed))
+    }
+}
+
+/// Static description of one sync site (plain strings — the runtime does
+/// not know the optimizer's types; the caller renders them).
+#[derive(Clone, Debug)]
+pub struct SiteMeta {
+    /// Canonical site id (index into the telemetry).
+    pub id: usize,
+    /// Structural slot kind ("phase-after", "loop-bottom", ...).
+    pub kind: String,
+    /// Human-readable slot location.
+    pub label: String,
+    /// The synchronization placed there ("barrier", "counter", ...).
+    pub op: String,
+}
+
+/// One (site, processor) telemetry cell.
+#[derive(Debug, Default)]
+pub struct SiteCell {
+    ops: AtomicU64,
+    waits: AtomicU64,
+    wait_ns: AtomicU64,
+    max_wait_ns: AtomicU64,
+    hist: WaitHistogram,
+}
+
+impl SiteCell {
+    /// Record a primary operation (barrier arrival counts as one, as do
+    /// counter increments and neighbor posts).
+    pub fn op(&self) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one blocked interval of `ns` nanoseconds.
+    pub fn wait(&self, ns: u64) {
+        self.waits.fetch_add(1, Ordering::Relaxed);
+        self.wait_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_wait_ns.fetch_max(ns, Ordering::Relaxed);
+        self.hist.record(ns);
+    }
+
+    /// Plain-struct copy.
+    pub fn snapshot(&self) -> CellSnapshot {
+        CellSnapshot {
+            ops: self.ops.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            wait_ns: self.wait_ns.load(Ordering::Relaxed),
+            max_wait_ns: self.max_wait_ns.load(Ordering::Relaxed),
+            hist: self.hist.counts(),
+        }
+    }
+}
+
+/// A point-in-time copy of one telemetry cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellSnapshot {
+    /// Primary operations executed at the site by the processor.
+    pub ops: u64,
+    /// Blocked intervals.
+    pub waits: u64,
+    /// Total nanoseconds blocked.
+    pub wait_ns: u64,
+    /// Longest single blocked interval.
+    pub max_wait_ns: u64,
+    /// Log2-bucket wait histogram.
+    pub hist: [u64; HIST_BUCKETS],
+}
+
+impl Default for CellSnapshot {
+    fn default() -> Self {
+        CellSnapshot {
+            ops: 0,
+            waits: 0,
+            wait_ns: 0,
+            max_wait_ns: 0,
+            hist: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl CellSnapshot {
+    /// Merge another cell into this one (bucket-wise sum, max of maxes).
+    pub fn merge(&mut self, other: &CellSnapshot) {
+        self.ops += other.ops;
+        self.waits += other.waits;
+        self.wait_ns += other.wait_ns;
+        self.max_wait_ns = self.max_wait_ns.max(other.max_wait_ns);
+        for (a, b) in self.hist.iter_mut().zip(other.hist.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Per-site, per-processor telemetry for one run.
+#[derive(Debug)]
+pub struct SiteTelemetry {
+    nprocs: usize,
+    sites: Vec<SiteMeta>,
+    cells: Vec<SiteCell>,
+}
+
+/// Snapshot of one site across the team.
+#[derive(Clone, Debug)]
+pub struct SiteSnapshot {
+    /// The site's static description.
+    pub meta: SiteMeta,
+    /// One cell per processor.
+    pub per_proc: Vec<CellSnapshot>,
+    /// All processors merged.
+    pub total: CellSnapshot,
+}
+
+impl SiteTelemetry {
+    /// Telemetry for `sites` over a team of `nprocs` processors.
+    pub fn new(sites: Vec<SiteMeta>, nprocs: usize) -> Self {
+        let cells = (0..sites.len() * nprocs)
+            .map(|_| SiteCell::default())
+            .collect();
+        SiteTelemetry {
+            nprocs,
+            sites,
+            cells,
+        }
+    }
+
+    /// Team size.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The static site descriptions.
+    pub fn sites(&self) -> &[SiteMeta] {
+        &self.sites
+    }
+
+    /// The cell for (site, processor).
+    pub fn cell(&self, site: usize, pid: usize) -> &SiteCell {
+        debug_assert!(pid < self.nprocs);
+        &self.cells[site * self.nprocs + pid]
+    }
+
+    /// Snapshot every site.
+    pub fn snapshot(&self) -> Vec<SiteSnapshot> {
+        self.sites
+            .iter()
+            .map(|meta| {
+                let per_proc: Vec<CellSnapshot> = (0..self.nprocs)
+                    .map(|pid| self.cell(meta.id, pid).snapshot())
+                    .collect();
+                let mut total = CellSnapshot::default();
+                for c in &per_proc {
+                    total.merge(c);
+                }
+                SiteSnapshot {
+                    meta: meta.clone(),
+                    per_proc,
+                    total,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(WaitHistogram::bucket_of(0), 0);
+        assert_eq!(WaitHistogram::bucket_of(1), 0);
+        assert_eq!(WaitHistogram::bucket_of(2), 1);
+        assert_eq!(WaitHistogram::bucket_of(3), 1);
+        assert_eq!(WaitHistogram::bucket_of(4), 2);
+        assert_eq!(WaitHistogram::bucket_of(1023), 9);
+        assert_eq!(WaitHistogram::bucket_of(1024), 10);
+        assert_eq!(WaitHistogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        let h = WaitHistogram::default();
+        h.record(3);
+        h.record(3);
+        h.record(1024);
+        let c = h.counts();
+        assert_eq!(c[1], 2);
+        assert_eq!(c[10], 1);
+        assert_eq!(c.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn cells_attribute_by_site_and_processor() {
+        let sites = (0..3)
+            .map(|id| SiteMeta {
+                id,
+                kind: "phase-after".into(),
+                label: format!("site {id}"),
+                op: "barrier".into(),
+            })
+            .collect();
+        let t = SiteTelemetry::new(sites, 2);
+        t.cell(0, 0).op();
+        t.cell(0, 0).wait(100);
+        t.cell(0, 1).wait(900);
+        t.cell(2, 1).op();
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].per_proc[0].ops, 1);
+        assert_eq!(snap[0].per_proc[0].waits, 1);
+        assert_eq!(snap[0].total.waits, 2);
+        assert_eq!(snap[0].total.wait_ns, 1000);
+        assert_eq!(snap[0].total.max_wait_ns, 900);
+        assert_eq!(snap[1].total, CellSnapshot::default());
+        assert_eq!(snap[2].per_proc[1].ops, 1);
+        assert_eq!(snap[2].total.hist.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let t = Arc::new(SiteTelemetry::new(
+            vec![SiteMeta {
+                id: 0,
+                kind: "region-end".into(),
+                label: "end".into(),
+                op: "barrier".into(),
+            }],
+            4,
+        ));
+        let handles: Vec<_> = (0..4)
+            .map(|pid| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for k in 0..1000u64 {
+                        t.cell(0, pid).op();
+                        t.cell(0, pid).wait(k);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap[0].total.ops, 4000);
+        assert_eq!(snap[0].total.waits, 4000);
+        assert_eq!(snap[0].total.hist.iter().sum::<u64>(), 4000);
+        assert_eq!(snap[0].total.max_wait_ns, 999);
+    }
+}

@@ -24,10 +24,11 @@ fn main() {
     println!("decisions:");
     for d in &log {
         println!(
-            "  {:<24} {:<30} -> {}",
+            "  s{:<3} {:<28} {:<14} {}",
             d.site,
-            format!("{:?}", d.outcome),
-            d.placed
+            d.label,
+            d.placed_str(),
+            d.reason
         );
     }
 

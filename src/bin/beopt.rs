@@ -6,16 +6,38 @@
 //! with virtual processors, verifies the optimized results against the
 //! sequential semantics, and prints dynamic synchronization counts.
 //!
+//! Observability flags:
+//!
+//! * `--explain` renders the optimizer's per-sync-slot decision log —
+//!   which elimination condition fired (or failed) at every phase
+//!   boundary, loop bottom, and region end.
+//! * `--explain-json <path>` writes the same log as deterministic JSON
+//!   (`-` for stdout).
+//! * `--metrics-json <path>` (with `--run`) executes the optimized
+//!   schedule on real threads, prints a per-sync-site wait table, and
+//!   writes per-site/per-processor histograms as JSON.
+//! * `--trace-out <path>` writes a Chrome-trace (chrome://tracing /
+//!   Perfetto) timeline with one track per processor — from the real
+//!   threads when `--metrics-json` ran them, otherwise from the virtual
+//!   interleaver's logical clock.
+//!
 //! ```sh
-//! beopt kernels/jacobi.be --nprocs 8 --set n=64 --set tmax=10 --run
+//! beopt kernels/jacobi.be --nprocs 4 --set n=64 --set tmax=10 \
+//!     --run --explain --metrics-json out.json --trace-out trace.json
 //! ```
 
 use barrier_elim::analysis::Bindings;
 use barrier_elim::frontend;
-use barrier_elim::interp::{run_sequential, run_virtual, Mem, ScheduleOrder};
+use barrier_elim::interp::{
+    run_parallel_observed, run_sequential, run_virtual, run_virtual_traced, Mem, ObserveOptions,
+    ScheduleOrder,
+};
 use barrier_elim::ir::Program;
+use barrier_elim::obs::{self, TraceBuilder};
+use barrier_elim::runtime::Team;
 use barrier_elim::spmd_opt::{fork_join, optimize_logged, render_plan};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     path: String,
@@ -23,16 +45,27 @@ struct Args {
     sets: Vec<(String, i64)>,
     run: bool,
     quiet: bool,
+    explain: bool,
+    explain_json: Option<String>,
+    metrics_json: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: beopt <file.be> [--nprocs P] [--set sym=value]... [--run] [--quiet]\n\
+         \x20            [--explain] [--explain-json PATH] [--metrics-json PATH] [--trace-out PATH]\n\
          \n\
-         --nprocs P      number of processors for analysis/execution (default 4)\n\
-         --set sym=v     bind a symbolic constant (required for --run)\n\
-         --run           execute baseline + optimized schedules and verify\n\
-         --quiet         suppress the schedule listing (stats only)"
+         --nprocs P          number of processors for analysis/execution (default 4)\n\
+         --set sym=v         bind a symbolic constant (required for --run)\n\
+         --run               execute baseline + optimized schedules and verify\n\
+         --quiet             suppress the schedule listing (stats only)\n\
+         --explain           print the per-sync-point decision log (why each\n\
+         \x20                    barrier was kept, downgraded, or eliminated)\n\
+         --explain-json P    write the decision log as JSON to P (- for stdout)\n\
+         --metrics-json P    with --run: execute on real threads, print the\n\
+         \x20                    per-sync-site wait table, write histograms to P\n\
+         --trace-out P       write a chrome://tracing timeline JSON to P"
     );
     std::process::exit(2);
 }
@@ -44,6 +77,10 @@ fn parse_args() -> Args {
         sets: Vec::new(),
         run: false,
         quiet: false,
+        explain: false,
+        explain_json: None,
+        metrics_json: None,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -62,6 +99,10 @@ fn parse_args() -> Args {
             }
             "--run" => args.run = true,
             "--quiet" => args.quiet = true,
+            "--explain" => args.explain = true,
+            "--explain-json" => args.explain_json = Some(it.next().unwrap_or_else(|| usage())),
+            "--metrics-json" => args.metrics_json = Some(it.next().unwrap_or_else(|| usage())),
+            "--trace-out" => args.trace_out = Some(it.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             _ if args.path.is_empty() && !a.starts_with('-') => args.path = a,
             _ => usage(),
@@ -82,6 +123,18 @@ fn bindings_for(prog: &Program, args: &Args) -> Result<Bindings, String> {
         bind.bind(barrier_elim::ir::SymId(pos as u32), *value);
     }
     Ok(bind)
+}
+
+fn write_output(path: &str, what: &str, content: &str) -> Result<(), ExitCode> {
+    if path == "-" {
+        print!("{content}");
+        return Ok(());
+    }
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("beopt: cannot write {what} to {path}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -129,16 +182,22 @@ fn main() -> ExitCode {
     if !args.quiet {
         println!("--- optimized SPMD schedule ---");
         print!("{}", render_plan(&prog, &plan));
-        println!("--- greedy decisions ---");
-        for d in &log {
-            println!(
-                "  {:<26} analysis: {:<30} placed: {}",
-                d.site,
-                format!("{:?}", d.outcome),
-                d.placed
-            );
-        }
         println!();
+    }
+
+    if args.explain {
+        print!("{}", obs::render_decisions(&prog, &log));
+        println!();
+    }
+
+    if let Some(path) = &args.explain_json {
+        let doc = obs::explain_json(&prog, args.nprocs, &plan, &base, &log);
+        if write_output(path, "explain JSON", &doc.to_string_pretty()).is_err() {
+            return ExitCode::FAILURE;
+        }
+        if path != "-" {
+            println!("explain: decision log written to {path}");
+        }
     }
 
     let st_b = base.static_stats();
@@ -148,34 +207,117 @@ fn main() -> ExitCode {
         st_b.barriers, st_o.barriers, st_o.neighbor_syncs, st_o.counter_syncs, st_o.eliminated
     );
 
-    if args.run {
-        // Need every sym bound.
-        for (k, s) in prog.syms.iter().enumerate() {
-            if bind.get(barrier_elim::ir::SymId(k as u32)).is_none() {
-                eprintln!("beopt: --run needs --set {}=<value>", s.name);
-                return ExitCode::FAILURE;
-            }
-        }
-        let oracle = Mem::new(&prog, &bind);
-        run_sequential(&prog, &bind, &oracle);
-        let mem_b = Mem::new(&prog, &bind);
-        let out_b = run_virtual(&prog, &bind, &base, &mem_b, ScheduleOrder::RoundRobin);
-        let mem_o = Mem::new(&prog, &bind);
-        let out_o = run_virtual(&prog, &bind, &plan, &mem_o, ScheduleOrder::Reverse);
-        let diff = mem_o.max_abs_diff(&oracle);
-        println!(
-            "dynamic: fork-join {} barriers, {} dispatches | optimized {} barriers, {} counters, {} neighbor posts",
-            out_b.counts.barriers,
-            out_b.counts.dispatches,
-            out_o.counts.barriers,
-            out_o.counts.counter_increments,
-            out_o.counts.neighbor_posts,
-        );
-        if diff > 1e-9 {
-            eprintln!("beopt: VERIFICATION FAILED: optimized results diverge by {diff:e}");
+    if !args.run {
+        if args.metrics_json.is_some() {
+            eprintln!("beopt: --metrics-json needs --run");
             return ExitCode::FAILURE;
         }
-        println!("verify: optimized results match sequential execution (max diff {diff:e})");
+        if let Some(path) = &args.trace_out {
+            eprintln!("beopt: --trace-out needs --run (the timeline comes from an execution)");
+            let _ = path;
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
     }
+
+    // Need every sym bound.
+    for (k, s) in prog.syms.iter().enumerate() {
+        if bind.get(barrier_elim::ir::SymId(k as u32)).is_none() {
+            eprintln!("beopt: --run needs --set {}=<value>", s.name);
+            return ExitCode::FAILURE;
+        }
+    }
+    let oracle = Mem::new(&prog, &bind);
+    run_sequential(&prog, &bind, &oracle);
+    let mem_b = Mem::new(&prog, &bind);
+    let out_b = run_virtual(&prog, &bind, &base, &mem_b, ScheduleOrder::RoundRobin);
+
+    // Optimized run: traced-virtual when a timeline is wanted (and real
+    // threads are not providing one), plain-virtual otherwise.
+    let mem_o = Mem::new(&prog, &bind);
+    let want_virtual_trace = args.trace_out.is_some() && args.metrics_json.is_none();
+    let (out_o, virt_spans) = if want_virtual_trace {
+        let (o, s) = run_virtual_traced(&prog, &bind, &plan, &mem_o, ScheduleOrder::Reverse);
+        (o, Some(s))
+    } else {
+        (
+            run_virtual(&prog, &bind, &plan, &mem_o, ScheduleOrder::Reverse),
+            None,
+        )
+    };
+    let diff = mem_o.max_abs_diff(&oracle);
+    println!(
+        "dynamic: fork-join {} barriers, {} dispatches | optimized {} barriers, {} counters, {} neighbor posts",
+        out_b.counts.barriers,
+        out_b.counts.dispatches,
+        out_o.counts.barriers,
+        out_o.counts.counter_increments,
+        out_o.counts.neighbor_posts,
+    );
+    if diff > 1e-9 {
+        eprintln!("beopt: VERIFICATION FAILED: optimized results diverge by {diff:e}");
+        return ExitCode::FAILURE;
+    }
+    println!("verify: optimized results match sequential execution (max diff {diff:e})");
+
+    let mut spans: Option<Vec<obs::Span>> = virt_spans;
+    let mut trace_source = "virtual interleaver (1 step = 1µs logical clock)";
+
+    if let Some(path) = &args.metrics_json {
+        // Real-thread execution with per-site telemetry (and a timeline
+        // if one was requested).
+        let prog_a = Arc::new(prog.clone());
+        let bind_a = Arc::new(bind.clone());
+        let mem_p = Arc::new(Mem::new(&prog, &bind));
+        let team = Team::new(args.nprocs as usize);
+        let out_p = run_parallel_observed(
+            &prog_a,
+            &bind_a,
+            &plan,
+            &mem_p,
+            &team,
+            &ObserveOptions {
+                telemetry: true,
+                trace: args.trace_out.is_some(),
+                ..ObserveOptions::default()
+            },
+        );
+        let diff_p = mem_p.max_abs_diff(&oracle);
+        if diff_p > 1e-9 {
+            eprintln!("beopt: VERIFICATION FAILED: real-thread results diverge by {diff_p:e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "threads: optimized schedule on {} real threads in {:.3} ms",
+            args.nprocs,
+            out_p.elapsed.as_secs_f64() * 1e3
+        );
+        println!();
+        print!("{}", obs::render_site_table(&out_p.sites));
+        let doc = obs::metrics_json(&prog.name, args.nprocs as usize, &out_p.sites, &out_p.stats);
+        if write_output(path, "metrics JSON", &doc.to_string_pretty()).is_err() {
+            return ExitCode::FAILURE;
+        }
+        if path != "-" {
+            println!("metrics: per-sync-site telemetry written to {path}");
+        }
+        if args.trace_out.is_some() {
+            spans = Some(out_p.spans);
+            trace_source = "real threads (wall-clock µs)";
+        }
+    }
+
+    if let Some(path) = &args.trace_out {
+        let mut tb = TraceBuilder::new(&prog.name, args.nprocs as usize);
+        tb.extend(spans.unwrap_or_default());
+        if write_output(path, "trace JSON", &tb.to_json().to_string_compact()).is_err() {
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "trace: {} spans from {trace_source} written to {path} (load in chrome://tracing or ui.perfetto.dev)",
+            tb.len()
+        );
+    }
+
     ExitCode::SUCCESS
 }

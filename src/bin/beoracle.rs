@@ -2,7 +2,7 @@
 //! tooling.
 //!
 //! ```text
-//! beoracle fuzz    [--count N] [--seed S] [--threads] [--nprocs 1,3,4]
+//! beoracle fuzz    [--count N] [--seed S] [--threads] [--nprocs 1,3,4] [--repro-dir DIR]
 //! beoracle mutate  [--count N] [--seed S]
 //! beoracle kernels [--threads]
 //! ```
@@ -10,7 +10,9 @@
 //! * `fuzz` — generate `N` random programs and differentially execute
 //!   each (sequential vs fork-join vs optimized; virtual interleavings
 //!   and, with `--threads`, real threads with both barrier kinds),
-//!   validating every schedule race-free.
+//!   validating every schedule race-free. Each failure is dumped as a
+//!   repro bundle (program text, explain-pass decision log, timeline
+//!   trace) under `--repro-dir` (default `beoracle-repro/`).
 //! * `mutate` — for `N` generated programs, delete each sync op of the
 //!   optimized schedule in turn and report what the race validator and
 //!   the differential oracle caught.
@@ -51,6 +53,9 @@ fn parse_nprocs(args: &[String]) -> Vec<i64> {
 fn cmd_fuzz(args: &[String]) -> i32 {
     let count = parse_u64(args, "--count", 200);
     let seed = parse_u64(args, "--seed", 0);
+    let repro_dir = std::path::PathBuf::from(
+        parse_opt(args, "--repro-dir").unwrap_or_else(|| "beoracle-repro".to_string()),
+    );
     let cfg = DiffConfig {
         nprocs: parse_nprocs(args),
         threads: parse_flag(args, "--threads"),
@@ -64,10 +69,18 @@ fn cmd_fuzz(args: &[String]) -> i32 {
     for (shape, n) in &s.shape_counts {
         println!("  {shape:?}: {n} programs");
     }
+    let repro_nprocs = cfg.nprocs.iter().copied().max().unwrap_or(4);
     for (seed, shape, failures) in &s.failures {
         println!("FAIL seed {seed} ({shape:?}):");
         for f in failures {
             println!("  {f}");
+        }
+        // Bundle everything a triager needs: program text, the explain
+        // pass's decision log, and an adversarial-order timeline.
+        let g = oracle::generate(*seed);
+        match oracle::dump_repro(&repro_dir, &g, repro_nprocs, failures) {
+            Ok(bundle) => println!("  repro bundle: {}", bundle.display()),
+            Err(e) => eprintln!("  cannot write repro bundle: {e}"),
         }
     }
     println!("{}/{} programs passed", s.cases - s.failures.len(), s.cases);
@@ -177,7 +190,7 @@ fn main() {
         Some("kernels") => cmd_kernels(&args[1..]),
         _ => {
             eprintln!(
-                "usage: beoracle fuzz [--count N] [--seed S] [--threads] [--nprocs 1,3,4]\n       beoracle mutate [--count N] [--seed S]\n       beoracle kernels [--threads]"
+                "usage: beoracle fuzz [--count N] [--seed S] [--threads] [--nprocs 1,3,4] [--repro-dir DIR]\n       beoracle mutate [--count N] [--seed S]\n       beoracle kernels [--threads]"
             );
             2
         }

@@ -9,6 +9,7 @@ pub use frontend;
 pub use ineq;
 pub use interp;
 pub use ir;
+pub use obs;
 pub use oracle;
 pub use runtime;
 pub use spmd_opt;

@@ -1,0 +1,272 @@
+//! End-to-end tests for the observability subsystem: golden snapshots
+//! of the explain pass for every shipped kernel, Chrome-trace shape
+//! checks, per-site telemetry attribution, and byte-level determinism
+//! of the decision log.
+//!
+//! Regenerate the goldens with
+//! `UPDATE_GOLDEN=1 cargo test --test observability`.
+
+use barrier_elim::analysis::Bindings;
+use barrier_elim::frontend;
+use barrier_elim::interp::{
+    run_parallel_observed, run_virtual_traced, Mem, ObserveOptions, ScheduleOrder,
+};
+use barrier_elim::ir::{Program, SymId};
+use barrier_elim::obs::{self, Json, TraceBuilder};
+use barrier_elim::runtime::Team;
+use barrier_elim::spmd_opt::{fork_join, optimize_logged, placed_str, sync_sites};
+use std::sync::Arc;
+
+fn load(kernel: &str) -> Program {
+    let src = std::fs::read_to_string(format!("kernels/{kernel}")).unwrap();
+    frontend::parse(&src).unwrap_or_else(|e| panic!("{kernel}: {e}"))
+}
+
+fn bind_by_name(prog: &Program, nprocs: i64, sets: &[(&str, i64)]) -> Bindings {
+    let mut b = Bindings::new(nprocs);
+    for (name, v) in sets {
+        let pos = prog
+            .syms
+            .iter()
+            .position(|s| &s.name == name)
+            .unwrap_or_else(|| panic!("sym {name} missing"));
+        b.bind(SymId(pos as u32), *v);
+    }
+    b
+}
+
+const KERNELS: &[(&str, &[(&str, i64)])] = &[
+    ("jacobi.be", &[("n", 48), ("tmax", 4)]),
+    ("pipeline.be", &[("n", 16), ("tmax", 3)]),
+    ("broadcast.be", &[("n", 12)]),
+    ("shallow.be", &[("n", 12), ("tmax", 2)]),
+    ("private_gather.be", &[("n", 10)]),
+];
+
+fn explain_doc(kernel: &str, sets: &[(&str, i64)], nprocs: i64) -> (Program, Json) {
+    let prog = load(kernel);
+    let bind = bind_by_name(&prog, nprocs, sets);
+    let (plan, log) = optimize_logged(&prog, &bind);
+    let base = fork_join(&prog, &bind);
+    let doc = obs::explain_json(&prog, nprocs, &plan, &base, &log);
+    (prog, doc)
+}
+
+// --- golden snapshots of the explain pass -------------------------------
+
+fn check_explain_golden(kernel: &str, sets: &[(&str, i64)]) {
+    let (_, doc) = explain_doc(kernel, sets, 4);
+    let actual = doc.to_string_pretty();
+    let path = format!(
+        "tests/golden/explain_{}.json",
+        kernel.trim_end_matches(".be")
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all("tests/golden").unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{path}: {e} (run with UPDATE_GOLDEN=1 to create)"));
+    assert_eq!(
+        actual, expected,
+        "{kernel}: explain output drifted from {path}; rerun with UPDATE_GOLDEN=1 if intended"
+    );
+}
+
+#[test]
+fn explain_golden_jacobi() {
+    check_explain_golden("jacobi.be", &[("n", 48), ("tmax", 4)]);
+}
+
+#[test]
+fn explain_golden_pipeline() {
+    check_explain_golden("pipeline.be", &[("n", 16), ("tmax", 3)]);
+}
+
+#[test]
+fn explain_golden_broadcast() {
+    check_explain_golden("broadcast.be", &[("n", 12)]);
+}
+
+#[test]
+fn explain_golden_shallow() {
+    check_explain_golden("shallow.be", &[("n", 12), ("tmax", 2)]);
+}
+
+#[test]
+fn explain_golden_private_gather() {
+    check_explain_golden("private_gather.be", &[("n", 10)]);
+}
+
+// --- decision-log structure and determinism -----------------------------
+
+/// Every sync the optimizer actually placed is explained by a decision
+/// whose `placed` matches the plan, and every baseline barrier has at
+/// least as many decisions accounting for it.
+#[test]
+fn decisions_account_for_every_placed_sync_and_baseline_barrier() {
+    for (kernel, sets) in KERNELS {
+        let prog = load(kernel);
+        let bind = bind_by_name(&prog, 4, sets);
+        let (plan, log) = optimize_logged(&prog, &bind);
+        let sites = sync_sites(&prog, &plan);
+        for d in &log {
+            let site = &sites[d.site];
+            assert_eq!(site.label, d.label, "{kernel}: site label mismatch");
+            assert_eq!(
+                placed_str(&site.op),
+                d.placed_str(),
+                "{kernel}: decision at s{} disagrees with the plan",
+                d.site
+            );
+        }
+        // A decision may explain an eliminated slot, but every slot that
+        // kept some sync must be explained.
+        let explained: Vec<usize> = log.iter().map(|d| d.site).collect();
+        for s in &sites {
+            if !matches!(s.op, barrier_elim::spmd_opt::SyncOp::None) {
+                assert!(
+                    explained.contains(&s.id),
+                    "{kernel}: sync at s{} ({}) placed without a decision",
+                    s.id,
+                    s.label
+                );
+            }
+        }
+        let base_barriers = fork_join(&prog, &bind).static_stats().barriers;
+        assert!(
+            log.len() >= base_barriers,
+            "{kernel}: {} decisions cannot cover {base_barriers} baseline barriers",
+            log.len()
+        );
+    }
+}
+
+#[test]
+fn explain_json_is_byte_identical_across_runs() {
+    for (kernel, sets) in KERNELS {
+        let (_, a) = explain_doc(kernel, sets, 4);
+        let (_, b) = explain_doc(kernel, sets, 4);
+        assert_eq!(
+            a.to_string_pretty(),
+            b.to_string_pretty(),
+            "{kernel}: decision log is not deterministic"
+        );
+    }
+}
+
+// --- Chrome-trace shape -------------------------------------------------
+
+/// The trace document must be parseable JSON with, per processor track:
+/// one thread-name metadata record, non-decreasing timestamps, and
+/// strictly balanced B/E span nesting.
+#[test]
+fn virtual_trace_is_valid_chrome_trace_json() {
+    let prog = load("jacobi.be");
+    let bind = bind_by_name(&prog, 4, &[("n", 48), ("tmax", 4)]);
+    let (plan, _) = optimize_logged(&prog, &bind);
+    let mem = Mem::new(&prog, &bind);
+    let (_, spans) = run_virtual_traced(&prog, &bind, &plan, &mem, ScheduleOrder::Reverse);
+    assert!(!spans.is_empty());
+    let mut tb = TraceBuilder::new(&prog.name, 4);
+    tb.extend(spans);
+    let text = tb.to_json().to_string_compact();
+
+    let doc = obs::parse(&text).expect("trace must round-trip through the JSON parser");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let mut meta_tracks = Vec::new();
+    let mut last_ts = vec![0u64; 4];
+    let mut depth = vec![0i64; 4];
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        let tid = ev.get("tid").and_then(Json::as_u64).expect("tid") as usize;
+        assert!(tid < 4, "unknown track {tid}");
+        match ph {
+            "M" => meta_tracks.push(tid),
+            "B" | "E" => {
+                let ts = ev.get("ts").and_then(Json::as_u64).expect("ts");
+                assert!(
+                    ts >= last_ts[tid],
+                    "timestamps must be non-decreasing per track"
+                );
+                last_ts[tid] = ts;
+                depth[tid] += if ph == "B" { 1 } else { -1 };
+                assert!(depth[tid] >= 0, "E without a matching B on track {tid}");
+                assert!(
+                    ev.get("name").and_then(Json::as_str).is_some(),
+                    "span without a name"
+                );
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    meta_tracks.sort_unstable();
+    assert_eq!(meta_tracks, vec![0, 1, 2, 3], "one thread name per track");
+    assert!(depth.iter().all(|&d| d == 0), "unbalanced spans");
+}
+
+// --- per-site telemetry -------------------------------------------------
+
+/// Real-thread telemetry cells line up with the canonical site walk:
+/// ids are dense, labels match, eliminated slots record nothing, and
+/// sync work is attributed where the plan placed it.
+#[test]
+fn real_thread_telemetry_attributes_waits_to_canonical_sites() {
+    let prog = Arc::new(load("jacobi.be"));
+    let bind = Arc::new(bind_by_name(&prog, 4, &[("n", 48), ("tmax", 4)]));
+    let (plan, _) = optimize_logged(&prog, &bind);
+    let sites = sync_sites(&prog, &plan);
+    let mem = Arc::new(Mem::new(&prog, &bind));
+    let team = Team::new(4);
+    let out = run_parallel_observed(
+        &prog,
+        &bind,
+        &plan,
+        &mem,
+        &team,
+        &ObserveOptions {
+            telemetry: true,
+            ..ObserveOptions::default()
+        },
+    );
+    assert_eq!(out.sites.len(), sites.len());
+    for (snap, site) in out.sites.iter().zip(&sites) {
+        assert_eq!(snap.meta.id, site.id);
+        assert_eq!(snap.meta.label, site.label);
+        assert_eq!(snap.meta.op, placed_str(&site.op));
+        if matches!(site.op, barrier_elim::spmd_opt::SyncOp::None) {
+            assert_eq!(
+                snap.total.ops, 0,
+                "eliminated slot s{} recorded ops",
+                site.id
+            );
+        } else {
+            assert!(
+                snap.total.ops > 0,
+                "live sync s{} recorded nothing",
+                site.id
+            );
+            // The histogram must account for every recorded wait.
+            let hist_total: u64 = snap.total.hist.iter().sum();
+            assert_eq!(hist_total, snap.total.waits);
+            assert!(snap.total.max_wait_ns <= snap.total.wait_ns);
+        }
+    }
+    // The metrics document built from these snapshots parses and keeps
+    // the site ordering.
+    let doc = obs::metrics_json(&prog.name, 4, &out.sites, &out.stats);
+    let text = doc.to_string_pretty();
+    let parsed = obs::parse(&text).expect("metrics JSON must parse");
+    let ids: Vec<u64> = parsed
+        .get("sites")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|s| s.get("site").and_then(Json::as_u64).unwrap())
+        .collect();
+    assert_eq!(ids, (0..sites.len() as u64).collect::<Vec<_>>());
+}
