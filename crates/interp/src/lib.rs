@@ -54,8 +54,8 @@ pub mod virt;
 pub use events::{render_events, unroll, Event};
 pub use mem::Mem;
 pub use par::{
-    run_parallel, run_parallel_observed, run_parallel_with, BarrierKind, ObserveOptions,
-    ParallelOutcome,
+    run_parallel, run_parallel_observed, run_parallel_with, BarrierKind, ChaosAction,
+    ObserveOptions, ParallelOutcome, SyncChaos,
 };
 pub use trace::{Access, AccessKind, Target, TraceBuffer};
 pub use virt::{run_virtual, run_virtual_traced, ScheduleOrder, VirtualOutcome};

@@ -1,13 +1,25 @@
 //! Real-thread execution of a schedule on the `runtime` worker team.
+//!
+//! With [`ObserveOptions::deadline`] set, execution is *fault-guarded*:
+//! every blocking wait goes through the runtime [`Watchdog`]
+//! (spin → yield → park, deadline-bounded), worker panics poison the
+//! region and wake parked peers, and any failure is returned as a
+//! structured [`obs::FailureReport`] attributing the fault to a
+//! canonical sync site and processor instead of hanging the process.
+//! A [`SyncChaos`] injector can additionally perturb every sync event
+//! (delays, stalls, spurious wakeups, dropped posts) to prove the
+//! guards catch what they claim to catch.
 
 use crate::events::{exec_work, producer_pid, unroll, DynCounts, Event};
 use crate::mem::Mem;
 use analysis::Bindings;
 use ir::Program;
-use obs::{Span, SpanCat};
+use obs::{FailureCause, FailureReport, Span, SpanCat};
+use runtime::fault::{SyncError, Watchdog, DISPATCH_SITE};
 use runtime::telemetry::{SiteSnapshot, SiteTelemetry};
 use runtime::{CentralBarrier, Counters, NeighborFlags, SyncStats, Team, TreeBarrier};
 use spmd_opt::{SpmdProgram, SyncOp};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -40,6 +52,52 @@ impl AnyBarrier {
             AnyBarrier::Tree(b) => b.wait(pid, &mut local.epoch),
         }
     }
+
+    fn wait_until(
+        &self,
+        pid: usize,
+        local: &mut BarrierLocal,
+        wd: &Watchdog,
+        site: usize,
+    ) -> Result<(), SyncError> {
+        match self {
+            AnyBarrier::Central(b) => b.wait_until(&mut local.sense, wd, site, pid),
+            AnyBarrier::Tree(b) => b.wait_until(pid, &mut local.epoch, wd, site),
+        }
+    }
+}
+
+/// What a chaos injector may do to one sync event (see
+/// [`SyncChaos::at_sync`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ChaosAction {
+    /// Leave the event alone.
+    #[default]
+    None,
+    /// Sleep before executing the event (perturbs arrival order).
+    Delay(Duration),
+    /// Sleep — a long, thread-stall-sized interval. Semantically the
+    /// same as [`ChaosAction::Delay`]; kept distinct so injection
+    /// policies and logs can tell jitter from stalls.
+    Stall(Duration),
+    /// Wake every guarded waiter parked on the watchdog without making
+    /// any condition true (a correct waiter re-checks and re-parks).
+    SpuriousWake,
+    /// Drop the event's *post* half: a counter producer skips its
+    /// increment, a neighbor sync skips its post, a barrier arrival is
+    /// skipped entirely. Consumers of the dropped post can only be
+    /// released by the watchdog — this is the oracle's "teeth".
+    Drop,
+}
+
+/// A deterministic fault-injection policy consulted at every sync
+/// event of a guarded execution. Implementations must be pure
+/// functions of their inputs (plus construction-time seed) so the same
+/// seed injects the same schedule of faults on every run.
+pub trait SyncChaos: Send + Sync {
+    /// Decide the action for dynamic visit `visit` (0-based, counted
+    /// per processor) of sync site `site` on processor `pid`.
+    fn at_sync(&self, site: usize, pid: usize, visit: u64) -> ChaosAction;
 }
 
 /// Result of a parallel run.
@@ -60,10 +118,22 @@ pub struct ParallelOutcome {
     /// Per-processor timeline spans (empty unless requested via
     /// [`ObserveOptions::trace`]).
     pub spans: Vec<Span>,
+    /// The detected region failure, when a watchdog was armed
+    /// ([`ObserveOptions::deadline`]) and the run timed out, was
+    /// poisoned, or lost a worker to a panic. `None` means the region
+    /// completed; results in `mem` are only meaningful then.
+    pub failure: Option<FailureReport>,
+}
+
+impl ParallelOutcome {
+    /// True when the region completed without a detected fault.
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
 }
 
 /// What the real-thread executor records beyond aggregate stats.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct ObserveOptions {
     /// Barrier implementation.
     pub barrier: BarrierKind,
@@ -73,6 +143,28 @@ pub struct ObserveOptions {
     /// Capture per-processor timeline spans (work, dispatch, sync
     /// waits) in [`ParallelOutcome::spans`].
     pub trace: bool,
+    /// Arm a [`Watchdog`]: every blocking wait is bounded by this
+    /// deadline, worker panics poison the region instead of hanging
+    /// the master, and failures come back as
+    /// [`ParallelOutcome::failure`]. Telemetry is implicitly enabled
+    /// so the report can show who was blocked where.
+    pub deadline: Option<Duration>,
+    /// Fault injector consulted at every sync event. Dropping posts
+    /// ([`ChaosAction::Drop`]) without an armed deadline hangs by
+    /// design — always pair chaos with [`ObserveOptions::deadline`].
+    pub chaos: Option<Arc<dyn SyncChaos>>,
+}
+
+impl std::fmt::Debug for ObserveOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserveOptions")
+            .field("barrier", &self.barrier)
+            .field("telemetry", &self.telemetry)
+            .field("trace", &self.trace)
+            .field("deadline", &self.deadline)
+            .field("chaos", &self.chaos.as_ref().map(|_| "<injector>"))
+            .finish()
+    }
 }
 
 fn max_counter_id(events: &[Event]) -> usize {
@@ -162,8 +254,33 @@ pub(crate) fn span_name(prog: &Program, ev: &Event) -> String {
     }
 }
 
+/// The panic message, when the payload is a string.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    }
+}
+
+/// Record `e` as the region's primary failure unless a primary error
+/// is already there (a poison observation never displaces the fault
+/// that caused the poisoning).
+fn record_failure(slot: &Mutex<Option<SyncError>>, e: &SyncError) {
+    let mut s = slot.lock().unwrap();
+    match &*s {
+        None => *s = Some(e.clone()),
+        Some(prev) if !prev.is_primary() && e.is_primary() => *s = Some(e.clone()),
+        _ => {}
+    }
+}
+
 /// As [`run_parallel_with`], optionally recording per-site telemetry
-/// and per-processor timeline spans.
+/// and per-processor timeline spans, arming a deadline watchdog, and
+/// injecting chaos (see [`ObserveOptions`]).
 pub fn run_parallel_observed(
     prog: &Arc<Program>,
     bind: &Arc<Bindings>,
@@ -180,10 +297,21 @@ pub fn run_parallel_observed(
     let events = Arc::new(unroll(prog, bind, plan));
     let counts = DynCounts::from_events(&events, nprocs);
     let stats = Arc::new(SyncStats::new());
-    let telemetry = opts
-        .telemetry
+    let watchdog = opts.deadline.map(|d| Arc::new(Watchdog::new(d)));
+    let telemetry = (opts.telemetry || watchdog.is_some())
         .then(|| Arc::new(SiteTelemetry::new(obs::site_metas(prog, plan), nprocs)));
     let spans = opts.trace.then(|| Arc::new(SpanBuffers::new(nprocs)));
+    // Per-processor chaos visit counters are indexed by site id.
+    let n_sites = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Sync { site, .. } => Some(*site + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let failure_slot = Arc::new(Mutex::new(None::<SyncError>));
+    let proc_state = Arc::new(Mutex::new(vec!["ok".to_string(); nprocs]));
     let barrier = Arc::new(match opts.barrier {
         BarrierKind::Central => {
             AnyBarrier::Central(CentralBarrier::new(nprocs).with_stats(Arc::clone(&stats)))
@@ -206,100 +334,255 @@ pub fn run_parallel_observed(
     let dispatch2 = Arc::clone(&dispatch);
     let telemetry2 = telemetry.clone();
     let spans2 = spans.clone();
+    let watchdog2 = watchdog.clone();
+    let chaos2 = opts.chaos.clone();
+    let failure2 = Arc::clone(&failure_slot);
+    let proc_state2 = Arc::clone(&proc_state);
 
     let t0 = Instant::now();
-    team.run(move |pid| {
+    let team_result = team.try_run(move |pid| {
         let prog = &prog2;
         let bind = &bind2;
         let mem = &mem2;
-        let mut blocal = BarrierLocal::default();
-        let mut nposts = 0u64;
-        let mut visits = vec![0u64; counters2.len()];
-        let mut dispatch_visits = 0u64;
-        let us_of = |t: Instant| t.duration_since(t0).as_micros() as u64;
-        for ev in events2.iter() {
-            let started = Instant::now();
-            let cat = match ev {
-                Event::Work { .. } | Event::SerialWork { .. } => SpanCat::Work,
-                Event::Dispatch => SpanCat::Dispatch,
-                Event::Sync { .. } => SpanCat::Sync,
-            };
-            match ev {
-                Event::Work { .. } | Event::SerialWork { .. } => {
-                    exec_work(prog, bind, mem, pid, bind.nprocs as usize, ev);
-                }
-                Event::Dispatch => {
-                    dispatch_visits += 1;
-                    if pid == 0 {
-                        dispatch2.increment(0);
-                    } else {
-                        dispatch2.wait_ge(0, dispatch_visits);
+        let wd = watchdog2.as_deref();
+        let traverse = || -> Result<(), SyncError> {
+            let mut blocal = BarrierLocal::default();
+            let mut nposts = 0u64;
+            let mut visits = vec![0u64; counters2.len()];
+            let mut dispatch_visits = 0u64;
+            let mut site_visits = vec![0u64; n_sites];
+            let us_of = |t: Instant| t.duration_since(t0).as_micros() as u64;
+            for ev in events2.iter() {
+                let started = Instant::now();
+                let cat = match ev {
+                    Event::Work { .. } | Event::SerialWork { .. } => SpanCat::Work,
+                    Event::Dispatch => SpanCat::Dispatch,
+                    Event::Sync { .. } => SpanCat::Sync,
+                };
+                match ev {
+                    Event::Work { .. } | Event::SerialWork { .. } => {
+                        exec_work(prog, bind, mem, pid, bind.nprocs as usize, ev);
                     }
-                }
-                Event::Sync { op, site, env } => {
-                    match op {
-                        SyncOp::None => {}
-                        SyncOp::Barrier => barrier2.wait(pid, &mut blocal),
-                        SyncOp::Neighbor { fwd, bwd } => {
-                            flags2.post(pid);
-                            nposts += 1;
-                            if *fwd {
-                                flags2.wait(pid as isize - 1, nposts);
-                            }
-                            if *bwd {
-                                flags2.wait(pid as isize + 1, nposts);
-                            }
-                        }
-                        SyncOp::Counter { id, producer } => {
-                            visits[*id] += 1;
-                            let prod = producer_pid(bind, prog, producer, env);
-                            if pid as i64 == prod {
-                                counters2.increment(*id);
-                            } else {
-                                counters2.wait_ge(*id, visits[*id]);
-                            }
+                    Event::Dispatch => {
+                        dispatch_visits += 1;
+                        if pid == 0 {
+                            dispatch2.increment(0);
+                        } else if let Some(wd) = wd {
+                            dispatch2.wait_ge_until(0, dispatch_visits, wd, DISPATCH_SITE, pid)?;
+                        } else {
+                            dispatch2.wait_ge(0, dispatch_visits);
                         }
                     }
-                    if let Some(t) = &telemetry2 {
-                        if !matches!(op, SyncOp::None) {
-                            let cell = t.cell(*site, pid);
-                            cell.op();
-                            cell.wait(started.elapsed().as_nanos() as u64);
+                    Event::Sync { op, site, env } => {
+                        let mut dropped = false;
+                        if let Some(ch) = &chaos2 {
+                            if !matches!(op, SyncOp::None) {
+                                let visit = site_visits[*site];
+                                site_visits[*site] += 1;
+                                match ch.at_sync(*site, pid, visit) {
+                                    ChaosAction::None => {}
+                                    ChaosAction::Delay(d) | ChaosAction::Stall(d) => {
+                                        std::thread::sleep(d)
+                                    }
+                                    ChaosAction::SpuriousWake => {
+                                        if let Some(wd) = wd {
+                                            wd.spurious_wake();
+                                        }
+                                    }
+                                    ChaosAction::Drop => dropped = true,
+                                }
+                            }
                         }
+                        let r: Result<(), SyncError> = match op {
+                            SyncOp::None => Ok(()),
+                            SyncOp::Barrier => {
+                                if dropped {
+                                    Ok(())
+                                } else if let Some(wd) = wd {
+                                    barrier2.wait_until(pid, &mut blocal, wd, *site)
+                                } else {
+                                    barrier2.wait(pid, &mut blocal);
+                                    Ok(())
+                                }
+                            }
+                            SyncOp::Neighbor { fwd, bwd } => {
+                                if !dropped {
+                                    flags2.post(pid);
+                                }
+                                nposts += 1;
+                                let mut r = Ok(());
+                                if *fwd {
+                                    r = match wd {
+                                        Some(wd) => flags2.wait_until(
+                                            pid as isize - 1,
+                                            nposts,
+                                            wd,
+                                            *site,
+                                            pid,
+                                        ),
+                                        None => {
+                                            flags2.wait(pid as isize - 1, nposts);
+                                            Ok(())
+                                        }
+                                    };
+                                }
+                                if r.is_ok() && *bwd {
+                                    r = match wd {
+                                        Some(wd) => flags2.wait_until(
+                                            pid as isize + 1,
+                                            nposts,
+                                            wd,
+                                            *site,
+                                            pid,
+                                        ),
+                                        None => {
+                                            flags2.wait(pid as isize + 1, nposts);
+                                            Ok(())
+                                        }
+                                    };
+                                }
+                                r
+                            }
+                            SyncOp::Counter { id, producer } => {
+                                visits[*id] += 1;
+                                let prod = producer_pid(bind, prog, producer, env);
+                                if pid as i64 == prod {
+                                    if !dropped {
+                                        counters2.increment(*id);
+                                    }
+                                    Ok(())
+                                } else if let Some(wd) = wd {
+                                    counters2.wait_ge_until(*id, visits[*id], wd, *site, pid)
+                                } else {
+                                    counters2.wait_ge(*id, visits[*id]);
+                                    Ok(())
+                                }
+                            }
+                        };
+                        if let Some(t) = &telemetry2 {
+                            // Record even a failing wait: the report's
+                            // telemetry then shows the deadline-length
+                            // block at the faulty site.
+                            if !matches!(op, SyncOp::None) {
+                                let cell = t.cell(*site, pid);
+                                cell.op();
+                                cell.wait(started.elapsed().as_nanos() as u64);
+                            }
+                        }
+                        r?;
+                    }
+                }
+                if let Some(s) = &spans2 {
+                    // Skip eliminated slots: they cost nothing and would
+                    // clutter the timeline.
+                    if !matches!(
+                        ev,
+                        Event::Sync {
+                            op: SyncOp::None,
+                            ..
+                        }
+                    ) {
+                        s.push(
+                            pid,
+                            Span {
+                                pid,
+                                name: span_name(prog, ev),
+                                cat,
+                                start_us: us_of(started),
+                                end_us: us_of(Instant::now()),
+                            },
+                        );
                     }
                 }
             }
-            if let Some(s) = &spans2 {
-                // Skip eliminated slots: they cost nothing and would
-                // clutter the timeline.
-                if !matches!(
-                    ev,
-                    Event::Sync {
-                        op: SyncOp::None,
-                        ..
+            Ok(())
+        };
+        match catch_unwind(AssertUnwindSafe(traverse)) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                // A sync fault: remember it, mark this processor, and
+                // poison the region so peers parked in guarded waits
+                // tear down instead of waiting out their own deadline.
+                proc_state2.lock().unwrap()[pid] = e.to_string();
+                record_failure(&failure2, &e);
+                if e.is_primary() {
+                    if let Some(wd) = wd {
+                        wd.poison(e.to_string());
                     }
-                ) {
-                    s.push(
-                        pid,
-                        Span {
-                            pid,
-                            name: span_name(prog, ev),
-                            cat,
-                            start_us: us_of(started),
-                            end_us: us_of(Instant::now()),
-                        },
-                    );
                 }
+            }
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                proc_state2.lock().unwrap()[pid] = format!("panicked: {msg}");
+                if let Some(wd) = wd {
+                    wd.poison(format!("P{pid} panicked: {msg}"));
+                }
+                std::panic::resume_unwind(payload);
             }
         }
     });
     let elapsed = t0.elapsed();
+
+    let sites = telemetry.as_ref().map(|t| t.snapshot()).unwrap_or_default();
+    let failure = match (&watchdog, team_result) {
+        // No watchdog: preserve `Team::run` semantics (a worker panic
+        // propagates to the caller; it can no longer hang the join).
+        (None, Err(e)) => e.resume(),
+        (None, Ok(())) => None,
+        (Some(wd), team_result) => {
+            let first_sync_error = failure_slot.lock().unwrap().take();
+            let cause = match (team_result, first_sync_error) {
+                (Err(e), _) => Some(FailureCause::Panic {
+                    pid: e.pid,
+                    message: e.message(),
+                }),
+                (Ok(()), Some(e)) => Some(FailureCause::from_sync_error(&e)),
+                (Ok(()), None) => {
+                    // Belt and braces: a poisoned region with no
+                    // recorded error still must not report success.
+                    wd.is_poisoned().then(|| FailureCause::Panic {
+                        pid: 0,
+                        message: wd.poison_cause().unwrap_or_default(),
+                    })
+                }
+            };
+            cause.map(|cause| {
+                let site_label = match cause.site() {
+                    Some(DISPATCH_SITE) => "dispatch".to_string(),
+                    Some(site) => telemetry
+                        .as_ref()
+                        .and_then(|t| t.sites().get(site))
+                        .map(|m| m.label.clone())
+                        .unwrap_or_else(|| format!("s{site}")),
+                    None => String::new(),
+                };
+                FailureReport {
+                    program: prog.name.clone(),
+                    nprocs,
+                    deadline_ms: wd.deadline().as_secs_f64() * 1e3,
+                    cause,
+                    site_label,
+                    per_proc: proc_state.lock().unwrap().clone(),
+                    chaos_seed: None,
+                    sites: sites.clone(),
+                }
+            })
+        }
+    };
+
     ParallelOutcome {
         stats: stats.snapshot(),
         counts,
         elapsed,
-        sites: telemetry.map(|t| t.snapshot()).unwrap_or_default(),
+        // Telemetry was implicitly enabled for the watchdog; only
+        // surface it when the caller asked for it or the run failed.
+        sites: if opts.telemetry || failure.is_some() {
+            sites
+        } else {
+            Vec::new()
+        },
         spans: spans.map(|s| s.drain()).unwrap_or_default(),
+        failure,
     }
 }
 
@@ -357,6 +640,182 @@ mod tests {
         assert_eq!(out.stats.barrier_episodes, out.counts.barriers);
         assert_eq!(out.stats.neighbor_posts, out.counts.neighbor_posts);
         assert_eq!(out.stats.counter_increments, out.counts.counter_increments);
+    }
+
+    /// Drops every sync post made by one processor (a model of a
+    /// crashed/stuck peer), leaving everyone else to the watchdog.
+    struct StuckProcessor(usize);
+
+    impl SyncChaos for StuckProcessor {
+        fn at_sync(&self, _site: usize, pid: usize, _visit: u64) -> ChaosAction {
+            if pid == self.0 {
+                ChaosAction::Drop
+            } else {
+                ChaosAction::None
+            }
+        }
+    }
+
+    /// Panics on one processor's first sync event (exercises the
+    /// panic → poison → report path without touching program code).
+    struct PanicAt(usize);
+
+    impl SyncChaos for PanicAt {
+        fn at_sync(&self, _site: usize, pid: usize, _visit: u64) -> ChaosAction {
+            if pid == self.0 {
+                panic!("chaos-injected panic on P{pid}");
+            }
+            ChaosAction::None
+        }
+    }
+
+    /// Benign jitter: a short delay on every third visit plus a
+    /// spurious wakeup on every fifth — must never change results.
+    struct Jitter;
+
+    impl SyncChaos for Jitter {
+        fn at_sync(&self, site: usize, pid: usize, visit: u64) -> ChaosAction {
+            match (site + pid + visit as usize) % 5 {
+                0 => ChaosAction::Delay(Duration::from_micros(200)),
+                3 => ChaosAction::SpuriousWake,
+                _ => ChaosAction::None,
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_processor_times_out_with_site_attribution() {
+        let (prog, bind) = sweep(32, 3, 4);
+        let team = Team::new(4);
+        let plan = fork_join(&prog, &bind);
+        let mem = Arc::new(Mem::new(&prog, &bind));
+        let t0 = Instant::now();
+        let out = run_parallel_observed(
+            &prog,
+            &bind,
+            &plan,
+            &mem,
+            &team,
+            &ObserveOptions {
+                deadline: Some(Duration::from_millis(100)),
+                chaos: Some(Arc::new(StuckProcessor(0))),
+                ..ObserveOptions::default()
+            },
+        );
+        // Guarded waits bound the hang: everything returns well within
+        // a few deadlines, not forever.
+        assert!(t0.elapsed() < Duration::from_secs(20));
+        let failure = out
+            .failure
+            .expect("dropped barrier arrivals must be detected");
+        match &failure.cause {
+            FailureCause::Deadline {
+                pid,
+                kind,
+                expected,
+                observed,
+                ..
+            } => {
+                // P0 never arrives, so a *waiter* times out seeing 3 of
+                // 4 arrivals at the first barrier it reaches.
+                assert_ne!(*pid, 0);
+                assert_eq!(kind, "barrier");
+                assert_eq!(*expected, 4);
+                assert!(*observed < 4);
+            }
+            other => panic!("expected a deadline cause, got {other:?}"),
+        }
+        assert!(!failure.site_label.is_empty());
+        // The stuck processor itself finished its (post-free) traversal
+        // or died poisoned; everyone else reports an error.
+        assert_eq!(failure.per_proc.len(), 4);
+        assert!(failure.per_proc.iter().skip(1).all(|s| s != "ok"));
+        // Telemetry rode along even though the caller didn't ask.
+        assert!(!failure.sites.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_becomes_a_report_when_guarded() {
+        let (prog, bind) = sweep(32, 2, 4);
+        let team = Team::new(4);
+        let plan = fork_join(&prog, &bind);
+        let mem = Arc::new(Mem::new(&prog, &bind));
+        let out = run_parallel_observed(
+            &prog,
+            &bind,
+            &plan,
+            &mem,
+            &team,
+            &ObserveOptions {
+                deadline: Some(Duration::from_millis(200)),
+                chaos: Some(Arc::new(PanicAt(2))),
+                ..ObserveOptions::default()
+            },
+        );
+        let failure = out.failure.expect("a panicked worker is a failure");
+        match &failure.cause {
+            FailureCause::Panic { pid, message } => {
+                assert_eq!(*pid, 2);
+                assert!(message.contains("chaos-injected panic"));
+            }
+            other => panic!("expected a panic cause, got {other:?}"),
+        }
+        assert!(failure.per_proc[2].contains("panicked"));
+        // The team survives for later (clean) regions.
+        let mem2 = Arc::new(Mem::new(&prog, &bind));
+        let out2 = run_parallel(&prog, &bind, &plan, &mem2, &team);
+        assert!(out2.ok());
+    }
+
+    #[test]
+    fn benign_chaos_preserves_results_under_deadline() {
+        let (prog, bind) = sweep(48, 4, 4);
+        let team = Team::new(4);
+        let oracle = Mem::new(&prog, &bind);
+        oracle.fill(ir::ArrayId(0), |s| (s[0] % 7) as f64);
+        crate::run_sequential(&prog, &bind, &oracle);
+
+        for plan in [fork_join(&prog, &bind), optimize(&prog, &bind)] {
+            let mem = Arc::new(Mem::new(&prog, &bind));
+            mem.fill(ir::ArrayId(0), |s| (s[0] % 7) as f64);
+            let out = run_parallel_observed(
+                &prog,
+                &bind,
+                &plan,
+                &mem,
+                &team,
+                &ObserveOptions {
+                    deadline: Some(Duration::from_secs(5)),
+                    chaos: Some(Arc::new(Jitter)),
+                    ..ObserveOptions::default()
+                },
+            );
+            assert!(out.ok(), "benign chaos failed: {:?}", out.failure);
+            assert_eq!(mem.max_abs_diff(&oracle), 0.0);
+        }
+    }
+
+    #[test]
+    fn guarded_clean_run_reports_no_failure() {
+        let (prog, bind) = sweep(48, 4, 4);
+        let team = Team::new(4);
+        let plan = optimize(&prog, &bind);
+        let mem = Arc::new(Mem::new(&prog, &bind));
+        let out = run_parallel_observed(
+            &prog,
+            &bind,
+            &plan,
+            &mem,
+            &team,
+            &ObserveOptions {
+                deadline: Some(Duration::from_secs(5)),
+                ..ObserveOptions::default()
+            },
+        );
+        assert!(out.ok());
+        // Without opts.telemetry, a clean guarded run keeps its output
+        // shape identical to an unguarded one.
+        assert!(out.sites.is_empty());
     }
 
     #[test]

@@ -20,11 +20,13 @@
 //! timeline spans all cross-reference the same sites.
 
 pub mod explain;
+pub mod failure;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
 pub use explain::{explain_json, producer_str, render_decisions};
+pub use failure::{failure_json, render_failure, FailureCause, FailureReport};
 pub use json::{parse, Json};
 pub use metrics::{metrics_json, render_site_table};
 pub use trace::{Span, SpanCat, TraceBuilder};

@@ -1,0 +1,505 @@
+//! Seeded, deterministic chaos fault injection for guarded executions.
+//!
+//! The injector perturbs the real-thread executor at every sync event
+//! through the [`interp::SyncChaos`] hook: benign faults (bounded
+//! delays, thread-stall-sized sleeps, spurious wakeups) that a correct
+//! schedule must absorb without changing results, and one targeted
+//! *dropped post* ([`DropSpec`]) that models a crashed or miscompiled
+//! producer — the oracle's teeth. Every action is a pure function of
+//! `(seed, site, pid, visit)` (splitmix64 mixing), so a chaos seed
+//! reproduces the exact same fault schedule on every run and can ride
+//! inside a repro bundle.
+//!
+//! [`chaos_check`] packages the campaign for one program: a benign run
+//! (must pass and match the sequential oracle) plus one teeth run per
+//! droppable post (each must terminate within the deadline with a
+//! [`FailureReport`] naming the dropped site).
+
+use analysis::Bindings;
+use interp::events::producer_pid;
+use interp::{
+    run_parallel_observed, run_sequential, unroll, ChaosAction, Event, Mem, ObserveOptions,
+    SyncChaos,
+};
+use ir::Program;
+use obs::FailureReport;
+use runtime::Team;
+use spmd_opt::{SpmdProgram, SyncOp};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One 64-bit draw per (seed, site, pid, visit) coordinate.
+fn mix(seed: u64, site: usize, pid: usize, visit: u64) -> u64 {
+    splitmix64(
+        seed ^ splitmix64(
+            (site as u64).wrapping_mul(0x9E37) ^ splitmix64(((pid as u64) << 40) ^ visit),
+        ),
+    )
+}
+
+/// A targeted dropped post: processor `pid` skips the *post* half of
+/// every visit `>= from_visit` of sync site `site` (a counter producer
+/// skips its increment, a neighbor skips its flag post, a barrier
+/// arrival is skipped). Consumers of the dropped post can only be
+/// released by the watchdog.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DropSpec {
+    /// Canonical sync-site id to sabotage.
+    pub site: usize,
+    /// Processor whose posts are dropped.
+    pub pid: usize,
+    /// First dynamic visit (0-based, per the executor's per-site visit
+    /// counter) affected; every later visit is dropped too.
+    pub from_visit: u64,
+}
+
+/// Injection rates and shapes. All probabilities are per-mille per
+/// sync event; the partition `delay | stall | spurious | nothing` is
+/// drawn from one hash, so the rates must sum to at most 1000.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Rate of short scheduling-jitter delays.
+    pub delay_permille: u64,
+    /// Rate of long (descheduled-thread-sized) stalls.
+    pub stall_permille: u64,
+    /// Rate of spurious wakeups of all parked guarded waiters.
+    pub spurious_permille: u64,
+    /// Upper bound on jitter delays, in microseconds.
+    pub max_delay_us: u64,
+    /// Length of a stall, in milliseconds.
+    pub stall_ms: u64,
+    /// Targeted dropped post, if any (the teeth).
+    pub drop: Option<DropSpec>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            delay_permille: 120,
+            stall_permille: 10,
+            spurious_permille: 40,
+            max_delay_us: 200,
+            stall_ms: 2,
+            drop: None,
+        }
+    }
+}
+
+/// The deterministic injector handed to the executor via
+/// [`ObserveOptions::chaos`].
+pub struct ChaosInjector {
+    seed: u64,
+    cfg: ChaosConfig,
+}
+
+impl ChaosInjector {
+    /// Benign injector (default rates, no drop) for `seed`.
+    pub fn new(seed: u64) -> Self {
+        ChaosInjector {
+            seed,
+            cfg: ChaosConfig::default(),
+        }
+    }
+
+    /// Injector with explicit rates and/or a targeted drop.
+    pub fn with_config(seed: u64, cfg: ChaosConfig) -> Self {
+        assert!(
+            cfg.delay_permille + cfg.stall_permille + cfg.spurious_permille <= 1000,
+            "chaos rates exceed 1000 permille"
+        );
+        ChaosInjector { seed, cfg }
+    }
+
+    /// The seed the schedule is derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl SyncChaos for ChaosInjector {
+    fn at_sync(&self, site: usize, pid: usize, visit: u64) -> ChaosAction {
+        if let Some(d) = self.cfg.drop {
+            if site == d.site && pid == d.pid && visit >= d.from_visit {
+                return ChaosAction::Drop;
+            }
+        }
+        let h = mix(self.seed, site, pid, visit);
+        let draw = h % 1000;
+        let c = &self.cfg;
+        if draw < c.delay_permille {
+            ChaosAction::Delay(Duration::from_micros(
+                1 + splitmix64(h) % c.max_delay_us.max(1),
+            ))
+        } else if draw < c.delay_permille + c.stall_permille {
+            ChaosAction::Stall(Duration::from_millis(c.stall_ms))
+        } else if draw < c.delay_permille + c.stall_permille + c.spurious_permille {
+            ChaosAction::SpuriousWake
+        } else {
+            ChaosAction::None
+        }
+    }
+}
+
+/// Materialize an injector's non-trivial actions over a visit grid —
+/// the "fault schedule" used to check determinism and to log what a
+/// seed does.
+pub fn injection_schedule(
+    inj: &dyn SyncChaos,
+    n_sites: usize,
+    nprocs: usize,
+    visits: u64,
+) -> Vec<(usize, usize, u64, ChaosAction)> {
+    let mut out = Vec::new();
+    for site in 0..n_sites {
+        for pid in 0..nprocs {
+            for visit in 0..visits {
+                let a = inj.at_sync(site, pid, visit);
+                if a != ChaosAction::None {
+                    out.push((site, pid, visit, a));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A droppable post with its provenance (for logs and reports).
+#[derive(Clone, Debug)]
+pub struct DropCandidate {
+    /// The drop to inject.
+    pub spec: DropSpec,
+    /// Primitive kind at the site ("counter", "neighbor", "barrier").
+    pub kind: &'static str,
+}
+
+/// Enumerate the posts whose loss is *precisely attributable*: for
+/// each counter site, the producer's final increment; for the last
+/// neighbor site of the schedule, the final post an adjacent waiter
+/// depends on; for the last barrier, one processor's final arrival.
+/// Earlier posts are poor targets — the shared counters are reused
+/// across visits, so a later legitimate post would release the stalled
+/// waiter and shift the hang to an unrelated site.
+pub fn droppable_posts(prog: &Program, bind: &Bindings, plan: &SpmdProgram) -> Vec<DropCandidate> {
+    let nprocs = bind.nprocs;
+    if nprocs < 2 {
+        return Vec::new(); // a lone processor waits on nobody
+    }
+    let events = unroll(prog, bind, plan);
+    let mut visit = std::collections::HashMap::<usize, u64>::new();
+    // (site, from_visit, producer) of the last visit of each counter
+    // site, and the overall-last neighbor / barrier events.
+    let mut counters = Vec::<(usize, u64, i64)>::new();
+    let mut last_neighbor: Option<(usize, u64, bool, bool)> = None;
+    let mut last_barrier: Option<(usize, u64)> = None;
+    for ev in &events {
+        if let Event::Sync { op, site, env } = ev {
+            if matches!(op, SyncOp::None) {
+                continue;
+            }
+            let v = visit.entry(*site).or_insert(0);
+            let this = *v;
+            *v += 1;
+            match op {
+                SyncOp::Counter { producer, .. } => {
+                    let prod = producer_pid(bind, prog, producer, env);
+                    match counters.iter_mut().find(|(s, ..)| s == site) {
+                        Some(slot) => *slot = (*site, this, prod),
+                        None => counters.push((*site, this, prod)),
+                    }
+                }
+                SyncOp::Neighbor { fwd, bwd } => last_neighbor = Some((*site, this, *fwd, *bwd)),
+                SyncOp::Barrier => last_barrier = Some((*site, this)),
+                SyncOp::None => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (site, from_visit, prod) in counters {
+        if (0..nprocs).contains(&prod) {
+            out.push(DropCandidate {
+                spec: DropSpec {
+                    site,
+                    pid: prod as usize,
+                    from_visit,
+                },
+                kind: "counter",
+            });
+        }
+    }
+    if let Some((site, from_visit, fwd, bwd)) = last_neighbor {
+        // `fwd` waits on pid-1, so P0's post is awaited by P1; `bwd`
+        // waits on pid+1, so the last processor's post is awaited.
+        let pid = if fwd {
+            0
+        } else if bwd {
+            nprocs as usize - 1
+        } else {
+            usize::MAX
+        };
+        if pid != usize::MAX {
+            out.push(DropCandidate {
+                spec: DropSpec {
+                    site,
+                    pid,
+                    from_visit,
+                },
+                kind: "neighbor",
+            });
+        }
+    }
+    if let Some((site, from_visit)) = last_barrier {
+        out.push(DropCandidate {
+            spec: DropSpec {
+                site,
+                pid: 0,
+                from_visit,
+            },
+            kind: "barrier",
+        });
+    }
+    out
+}
+
+/// One teeth run's verdict.
+#[derive(Debug)]
+pub struct ToothOutcome {
+    /// What was dropped.
+    pub spec: DropSpec,
+    /// Primitive kind at the dropped site.
+    pub kind: &'static str,
+    /// The executor produced a [`FailureReport`] (instead of hanging
+    /// or silently succeeding).
+    pub detected: bool,
+    /// Site the report's headline cause is attributed to.
+    pub attributed_site: Option<usize>,
+    /// The report names the dropped site — in the headline or in any
+    /// processor's terminal error (a consumer stuck at the dropped
+    /// site always records it, even when a downstream casualty's
+    /// timeout won the race to be the headline).
+    pub named_site: bool,
+    /// Wall-clock of the teeth run (bounded by a few deadlines).
+    pub elapsed: Duration,
+    /// The report itself (for bundles and logs).
+    pub failure: Option<FailureReport>,
+}
+
+/// Chaos campaign verdict for one (program, plan).
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Program name.
+    pub program: String,
+    /// Chaos seed used throughout.
+    pub seed: u64,
+    /// The benign run completed without a detected failure.
+    pub benign_ok: bool,
+    /// Divergence of the benign run from the sequential oracle.
+    pub benign_diff: f64,
+    /// One verdict per droppable post.
+    pub teeth: Vec<ToothOutcome>,
+}
+
+impl ChaosReport {
+    /// True when the benign run passed and every tooth bit.
+    pub fn ok(&self) -> bool {
+        self.benign_ok && self.teeth.iter().all(|t| t.detected && t.named_site)
+    }
+
+    /// Human-readable failure lines (empty when [`ChaosReport::ok`]).
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if !self.benign_ok {
+            out.push(format!(
+                "benign chaos run failed (seed {}, diff {:e})",
+                self.seed, self.benign_diff
+            ));
+        }
+        for t in &self.teeth {
+            if !t.detected {
+                out.push(format!(
+                    "dropped {} post at s{} (P{}) was not detected",
+                    t.kind, t.spec.site, t.spec.pid
+                ));
+            } else if !t.named_site {
+                out.push(format!(
+                    "dropped {} post at s{} (P{}) was misattributed to {:?}",
+                    t.kind, t.spec.site, t.spec.pid, t.attributed_site
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn report_names_site(r: &FailureReport, site: usize) -> bool {
+    if r.cause.site() == Some(site) {
+        return true;
+    }
+    let at = format!("at s{site}");
+    r.per_proc.iter().any(|s| {
+        // Match "at s3 on…" / "at s3:…" but not "at s30".
+        s[..].match_indices(&at).any(|(k, _)| {
+            s[k + at.len()..]
+                .chars()
+                .next()
+                .map(|c| !c.is_ascii_digit())
+                .unwrap_or(true)
+        })
+    })
+}
+
+/// Run the chaos campaign for one program and plan: a benign seeded
+/// run that must pass, then one targeted drop per droppable post, each
+/// of which must terminate within the deadline with a report naming
+/// the dropped site. `team.nprocs()` must match `bind.nprocs`.
+pub fn chaos_check(
+    prog: &Arc<Program>,
+    bind: &Arc<Bindings>,
+    plan: &SpmdProgram,
+    team: &Team,
+    seed: u64,
+    deadline: Duration,
+    tol: f64,
+) -> ChaosReport {
+    let oracle = Mem::new(prog, bind);
+    run_sequential(prog, bind, &oracle);
+
+    let mem = Arc::new(Mem::new(prog, bind));
+    let benign = run_parallel_observed(
+        prog,
+        bind,
+        plan,
+        &mem,
+        team,
+        &ObserveOptions {
+            deadline: Some(deadline),
+            chaos: Some(Arc::new(ChaosInjector::new(seed))),
+            ..ObserveOptions::default()
+        },
+    );
+    let benign_diff = mem.max_abs_diff(&oracle);
+    let benign_ok = benign.ok() && benign_diff <= tol;
+
+    let mut teeth = Vec::new();
+    for cand in droppable_posts(prog, bind, plan) {
+        let inj = ChaosInjector::with_config(
+            seed,
+            ChaosConfig {
+                drop: Some(cand.spec),
+                ..ChaosConfig::default()
+            },
+        );
+        let mem = Arc::new(Mem::new(prog, bind));
+        let t0 = Instant::now();
+        let out = run_parallel_observed(
+            prog,
+            bind,
+            plan,
+            &mem,
+            team,
+            &ObserveOptions {
+                deadline: Some(deadline),
+                chaos: Some(Arc::new(inj)),
+                ..ObserveOptions::default()
+            },
+        );
+        let elapsed = t0.elapsed();
+        let failure = out.failure.map(|mut f| {
+            f.chaos_seed = Some(seed);
+            f
+        });
+        teeth.push(ToothOutcome {
+            spec: cand.spec,
+            kind: cand.kind,
+            detected: failure.is_some(),
+            attributed_site: failure.as_ref().and_then(|f| f.cause.site()),
+            named_site: failure
+                .as_ref()
+                .map(|f| report_names_site(f, cand.spec.site))
+                .unwrap_or(false),
+            elapsed,
+            failure,
+        });
+    }
+
+    ChaosReport {
+        program: prog.name.clone(),
+        seed,
+        benign_ok,
+        benign_diff,
+        teeth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn same_seed_same_schedule_different_seed_differs() {
+        let a = ChaosInjector::new(7);
+        let b = ChaosInjector::new(7);
+        let c = ChaosInjector::new(8);
+        let sa = injection_schedule(&a, 6, 4, 32);
+        let sb = injection_schedule(&b, 6, 4, 32);
+        let sc = injection_schedule(&c, 6, 4, 32);
+        assert!(!sa.is_empty(), "default rates must inject something");
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn drop_spec_overrides_the_draw() {
+        let inj = ChaosInjector::with_config(
+            3,
+            ChaosConfig {
+                drop: Some(DropSpec {
+                    site: 2,
+                    pid: 1,
+                    from_visit: 4,
+                }),
+                ..ChaosConfig::default()
+            },
+        );
+        assert_eq!(inj.at_sync(2, 1, 4), ChaosAction::Drop);
+        assert_eq!(inj.at_sync(2, 1, 9), ChaosAction::Drop);
+        assert_ne!(inj.at_sync(2, 1, 3), ChaosAction::Drop);
+        assert_ne!(inj.at_sync(2, 0, 4), ChaosAction::Drop);
+    }
+
+    #[test]
+    fn generated_program_survives_benign_and_fails_teeth() {
+        use spmd_opt::optimize;
+        let g = gen::generate(5);
+        let bind = Arc::new(g.bindings(4));
+        let prog = Arc::new(g.prog.clone());
+        let plan = optimize(&prog, &bind);
+        let team = Team::new(4);
+        let r = chaos_check(
+            &prog,
+            &bind,
+            &plan,
+            &team,
+            11,
+            Duration::from_millis(150),
+            0.0,
+        );
+        assert!(r.benign_ok, "benign run failed: diff {:e}", r.benign_diff);
+        for t in &r.teeth {
+            assert!(t.detected, "{} drop at s{} undetected", t.kind, t.spec.site);
+            assert!(
+                t.named_site,
+                "{} drop at s{} attributed to {:?}",
+                t.kind, t.spec.site, t.attributed_site
+            );
+            assert!(t.elapsed < Duration::from_secs(30));
+        }
+    }
+}

@@ -16,14 +16,20 @@
 //! reported as a human-readable failure string carrying the plan,
 //! order, processor count, and divergence magnitude.
 
+use crate::chaos::ChaosInjector;
 use crate::validate;
 use analysis::Bindings;
 use interp::events::DynCounts;
-use interp::{run_parallel_with, run_sequential, run_virtual, BarrierKind, Mem, ScheduleOrder};
+use interp::{
+    run_parallel_observed, run_sequential, run_virtual, BarrierKind, Mem, ObserveOptions,
+    ScheduleOrder, SyncChaos,
+};
 use ir::Program;
+use obs::FailureReport;
 use runtime::Team;
 use spmd_opt::{fork_join, optimize, SpmdProgram};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// What the differential check runs.
 #[derive(Clone, Debug)]
@@ -44,6 +50,13 @@ pub struct DiffConfig {
     /// generated programs, whose reductions are order-independent;
     /// `1e-9` for suite kernels with reassociating sum reductions).
     pub tol: f64,
+    /// Per-wait deadline armed on every real-thread run. A correct
+    /// schedule never comes near it; a deadlocking one becomes a
+    /// structured failure instead of a hung campaign.
+    pub deadline: Option<Duration>,
+    /// Inject benign seeded chaos (delays, stalls, spurious wakeups)
+    /// into the real-thread runs. Requires `deadline`.
+    pub chaos_seed: Option<u64>,
 }
 
 impl Default for DiffConfig {
@@ -55,6 +68,8 @@ impl Default for DiffConfig {
             thread_nprocs: 4,
             validate: true,
             tol: 0.0,
+            deadline: Some(Duration::from_secs(10)),
+            chaos_seed: None,
         }
     }
 }
@@ -69,6 +84,10 @@ pub struct CaseResult {
     pub fj_counts: DynCounts,
     /// Optimized dynamic sync counts at the largest virtual `nprocs`.
     pub opt_counts: DynCounts,
+    /// Structured reports for real-thread runs that timed out, were
+    /// poisoned, or lost a worker (one per failing run; rides into the
+    /// repro bundle as `failure.json`).
+    pub failure_reports: Vec<FailureReport>,
 }
 
 impl CaseResult {
@@ -163,7 +182,28 @@ pub fn check_program(
         ] {
             for kind in [BarrierKind::Central, BarrierKind::Tree] {
                 let mem = Arc::new(Mem::new(&prog, &bind));
-                let po = run_parallel_with(&prog, &bind, &plan, &mem, &team, kind);
+                let po = run_parallel_observed(
+                    &prog,
+                    &bind,
+                    &plan,
+                    &mem,
+                    &team,
+                    &ObserveOptions {
+                        barrier: kind,
+                        deadline: cfg.deadline,
+                        chaos: cfg
+                            .chaos_seed
+                            .map(|s| Arc::new(ChaosInjector::new(s)) as Arc<dyn SyncChaos>),
+                        ..ObserveOptions::default()
+                    },
+                );
+                if let Some(mut f) = po.failure.clone() {
+                    f.chaos_seed = cfg.chaos_seed;
+                    out.failures
+                        .push(format!("P={p} {label} threads {kind:?}: {}", f.headline()));
+                    out.failure_reports.push(f);
+                    continue; // memory/counts are meaningless after a fault
+                }
                 let diff = mem.max_abs_diff(&oracle);
                 if diff > cfg.tol {
                     out.failures.push(format!(

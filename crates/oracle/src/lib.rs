@@ -17,12 +17,17 @@
 //! The `beoracle` binary in the workspace root drives both from the
 //! command line.
 
+pub mod chaos;
 pub mod diff;
 pub mod gen;
 pub mod mutate;
 pub mod repro;
 pub mod validate;
 
+pub use chaos::{
+    chaos_check, droppable_posts, injection_schedule, ChaosConfig, ChaosInjector, ChaosReport,
+    DropCandidate, DropSpec, ToothOutcome,
+};
 pub use diff::{check_program, plan_diverges, CaseResult, DiffConfig};
 pub use gen::{generate, GenProgram, Shape};
 pub use mutate::{delete, mutation_teeth, sites, MutationSite, TeethReport};

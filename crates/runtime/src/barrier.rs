@@ -6,7 +6,8 @@
 //! after Chen/Su/Yew); the tree barrier trades single-atomic contention
 //! for logarithmic depth.
 
-use crate::stats::SyncStats;
+use crate::fault::{SyncError, WaitPoll, Watchdog};
+use crate::stats::{SyncKind, SyncStats};
 use crossbeam::utils::{Backoff, CachePadded};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -74,6 +75,46 @@ impl CentralBarrier {
         if let (Some(s), Some(t0)) = (&self.stats, t0) {
             s.barrier_arrival(t0.elapsed());
         }
+    }
+
+    /// As [`CentralBarrier::wait`], but guarded: returns
+    /// [`SyncError::DeadlineExceeded`] (attributed to `site`/`pid`)
+    /// instead of hanging when a peer never arrives, and bails out on
+    /// region poison. A failed episode leaves the barrier state
+    /// unusable — the region must be torn down, never retried.
+    pub fn wait_until(
+        &self,
+        local_sense: &mut bool,
+        wd: &Watchdog,
+        site: usize,
+        pid: usize,
+    ) -> Result<(), SyncError> {
+        let t0 = self.stats.as_ref().map(|_| Instant::now());
+        let my_sense = !*local_sense;
+        *local_sense = my_sense;
+        if self.count.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
+            self.count.store(0, Ordering::Release);
+            if let Some(s) = &self.stats {
+                s.barrier_episode();
+            }
+            self.sense.store(my_sense, Ordering::Release);
+        } else {
+            // Progress is the arrival count: `expected` is full
+            // attendance, `observed` how many had arrived (the release
+            // may reset it to 0 concurrently; the sense check is the
+            // real exit condition).
+            wd.guarded_wait(site, pid, SyncKind::Barrier, self.n as u64, || {
+                if self.sense.load(Ordering::Acquire) == my_sense {
+                    WaitPoll::Ready
+                } else {
+                    WaitPoll::Pending(self.count.load(Ordering::Acquire) as u64)
+                }
+            })?;
+        }
+        if let (Some(s), Some(t0)) = (&self.stats, t0) {
+            s.barrier_arrival(t0.elapsed());
+        }
+        Ok(())
     }
 }
 
@@ -159,6 +200,46 @@ impl TreeBarrier {
             }
         }
     }
+
+    /// As [`TreeBarrier::wait`], but guarded: each dissemination round
+    /// is deadline-bounded, returning [`SyncError::DeadlineExceeded`]
+    /// (attributed to `site`/`pid`) instead of hanging, and bailing out
+    /// on region poison. A failed episode leaves the barrier state
+    /// unusable — the region must be torn down, never retried.
+    pub fn wait_until(
+        &self,
+        pid: usize,
+        epoch: &mut usize,
+        wd: &Watchdog,
+        site: usize,
+    ) -> Result<(), SyncError> {
+        let t0 = self.stats.as_ref().map(|_| Instant::now());
+        *epoch += 1;
+        let target = *epoch as u64;
+        for r in 0..self.rounds {
+            let dist = 1usize << r;
+            let to = (pid + dist) % self.n;
+            self.flags[r][to].fetch_add(1, Ordering::AcqRel);
+            let flag = &self.flags[r][pid];
+            wd.guarded_wait(site, pid, SyncKind::Barrier, target, || {
+                let cur = flag.load(Ordering::Acquire) as u64;
+                if cur >= target {
+                    WaitPoll::Ready
+                } else {
+                    WaitPoll::Pending(cur)
+                }
+            })?;
+        }
+        if let Some(s) = &self.stats {
+            if pid == 0 {
+                s.barrier_episode();
+            }
+            if let Some(t0) = t0 {
+                s.barrier_arrival(t0.elapsed());
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +308,64 @@ mod tests {
         }
         assert_eq!(stats.barrier_episodes_count(), 50);
         assert_eq!(stats.barrier_arrivals_count(), 150);
+    }
+
+    #[test]
+    fn guarded_barriers_bound_a_missing_arrival() {
+        use crate::fault::{SyncError, Watchdog};
+        use std::time::Duration;
+        // Only 1 of 2 processors ever arrives: both barrier kinds must
+        // report a deadline at the right site instead of hanging.
+        let wd = Watchdog::new(Duration::from_millis(40));
+        let b = CentralBarrier::new(2);
+        let mut sense = false;
+        match b.wait_until(&mut sense, &wd, 9, 0).unwrap_err() {
+            SyncError::DeadlineExceeded {
+                site: 9,
+                pid: 0,
+                kind: SyncKind::Barrier,
+                ..
+            } => {}
+            other => panic!("central: {other:?}"),
+        }
+        let t = TreeBarrier::new(2);
+        let mut epoch = 0;
+        match t.wait_until(0, &mut epoch, &wd, 11).unwrap_err() {
+            SyncError::DeadlineExceeded {
+                site: 11,
+                pid: 0,
+                kind: SyncKind::Barrier,
+                ..
+            } => {}
+            other => panic!("tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_barriers_complete_when_all_arrive() {
+        use crate::fault::Watchdog;
+        use std::time::Duration;
+        let wd = Arc::new(Watchdog::new(Duration::from_secs(30)));
+        for n in [1usize, 3, 4] {
+            let b = Arc::new(CentralBarrier::new(n));
+            let t = Arc::new(TreeBarrier::new(n));
+            let handles: Vec<_> = (0..n)
+                .map(|pid| {
+                    let (b, t, wd) = (Arc::clone(&b), Arc::clone(&t), Arc::clone(&wd));
+                    std::thread::spawn(move || {
+                        let mut sense = false;
+                        let mut epoch = 0;
+                        for _ in 0..50 {
+                            b.wait_until(&mut sense, &wd, 0, pid).unwrap();
+                            t.wait_until(pid, &mut epoch, &wd, 1).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! synchronization, and only one synchronization happens per pair of
 //! communicating processors.
 
-use crate::stats::SyncStats;
+use crate::fault::{SyncError, WaitPoll, Watchdog};
+use crate::stats::{SyncKind, SyncStats};
 use crossbeam::utils::{Backoff, CachePadded};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -17,6 +18,29 @@ use std::time::Instant;
 pub struct Counters {
     c: Vec<CachePadded<AtomicU64>>,
     stats: Option<Arc<SyncStats>>,
+    /// Bumped by every [`Counters::reset`]; guarded waits capture it on
+    /// entry and fail if it moves mid-wait (a reset raced the wait).
+    generation: CachePadded<AtomicU64>,
+    /// Consumers currently blocked in a wait; [`Counters::reset`]
+    /// refuses to run while nonzero.
+    waiting: CachePadded<AtomicUsize>,
+}
+
+/// RAII registration of one blocked consumer (keeps the waiter count
+/// correct on every exit path, including deadline errors).
+struct WaitingGuard<'a>(&'a AtomicUsize);
+
+impl<'a> WaitingGuard<'a> {
+    fn enter(w: &'a AtomicUsize) -> Self {
+        w.fetch_add(1, Ordering::AcqRel);
+        WaitingGuard(w)
+    }
+}
+
+impl Drop for WaitingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 impl Counters {
@@ -27,6 +51,8 @@ impl Counters {
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
             stats: None,
+            generation: CachePadded::new(AtomicU64::new(0)),
+            waiting: CachePadded::new(AtomicUsize::new(0)),
         }
     }
 
@@ -59,6 +85,7 @@ impl Counters {
     /// (acquire ordering).
     pub fn wait_ge(&self, id: usize, v: u64) {
         let t0 = self.stats.as_ref().map(|_| Instant::now());
+        let _w = WaitingGuard::enter(&self.waiting);
         let backoff = Backoff::new();
         while self.c[id].load(Ordering::Acquire) < v {
             if backoff.is_completed() {
@@ -72,6 +99,42 @@ impl Counters {
         }
     }
 
+    /// As [`Counters::wait_ge`], but guarded: returns
+    /// [`SyncError::DeadlineExceeded`] (attributed to `site`/`pid`)
+    /// instead of hanging when the counter never arrives, bails out on
+    /// region poison, and detects a concurrent [`Counters::reset`]
+    /// (stale generation) instead of waiting for a value that will
+    /// never be reached again.
+    pub fn wait_ge_until(
+        &self,
+        id: usize,
+        v: u64,
+        wd: &Watchdog,
+        site: usize,
+        pid: usize,
+    ) -> Result<(), SyncError> {
+        let t0 = self.stats.as_ref().map(|_| Instant::now());
+        let _w = WaitingGuard::enter(&self.waiting);
+        let gen0 = self.generation.load(Ordering::Acquire);
+        let r = wd.guarded_wait(site, pid, SyncKind::Counter, v, || {
+            if self.generation.load(Ordering::Acquire) != gen0 {
+                return WaitPoll::Failed(SyncError::StaleGeneration { site, pid });
+            }
+            let cur = self.c[id].load(Ordering::Acquire);
+            if cur >= v {
+                WaitPoll::Ready
+            } else {
+                WaitPoll::Pending(cur)
+            }
+        });
+        if r.is_ok() {
+            if let (Some(s), Some(t0)) = (&self.stats, t0) {
+                s.counter_wait(t0.elapsed());
+            }
+        }
+        r
+    }
+
     /// Current value of counter `id`.
     pub fn value(&self, id: usize) -> u64 {
         self.c[id].load(Ordering::Acquire)
@@ -79,10 +142,36 @@ impl Counters {
 
     /// Reset every counter to zero (only between regions, never while
     /// other processors may be waiting).
+    ///
+    /// A reset racing a waiter is a lost-wakeup factory: the waiter's
+    /// target can become unreachable and it spins forever. The bank
+    /// therefore tracks blocked consumers and panics here if any are
+    /// still waiting — a detected error at the reset site instead of a
+    /// silent hang at the wait site. Guarded waits additionally carry a
+    /// generation stamp, so even a reset that slips past this check
+    /// (the waiter registers just after it) surfaces as
+    /// [`SyncError::StaleGeneration`] rather than a hang.
     pub fn reset(&self) {
+        let waiting = self.waiting.load(Ordering::Acquire);
+        assert!(
+            waiting == 0,
+            "Counters::reset while {waiting} consumer(s) are blocked in wait_ge \
+             (reset is only legal between regions)"
+        );
+        self.generation.fetch_add(1, Ordering::AcqRel);
         for c in &self.c {
             c.store(0, Ordering::Release);
         }
+    }
+
+    /// Number of consumers currently blocked in a wait (diagnostics).
+    pub fn waiting(&self) -> usize {
+        self.waiting.load(Ordering::Acquire)
+    }
+
+    /// Current reset generation (bumped by every [`Counters::reset`]).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 }
 
@@ -143,5 +232,70 @@ mod tests {
         c.increment(2);
         c.reset();
         assert_eq!(c.value(2), 0);
+        assert_eq!(c.generation(), 1);
+    }
+
+    #[test]
+    fn guarded_wait_succeeds_and_times_out() {
+        use crate::fault::{SyncError, Watchdog};
+        use std::time::Duration;
+        let wd = Watchdog::new(Duration::from_millis(40));
+        let c = Counters::new(1);
+        c.increment(0);
+        assert_eq!(c.wait_ge_until(0, 1, &wd, 5, 2), Ok(()));
+        let err = c.wait_ge_until(0, 3, &wd, 5, 2).unwrap_err();
+        assert_eq!(
+            err,
+            SyncError::DeadlineExceeded {
+                site: 5,
+                pid: 2,
+                kind: SyncKind::Counter,
+                expected: 3,
+                observed: 1,
+            }
+        );
+        assert_eq!(c.waiting(), 0, "waiter count must unwind on error");
+    }
+
+    #[test]
+    #[should_panic(expected = "Counters::reset while")]
+    fn reset_with_blocked_waiter_is_detected() {
+        let c = Arc::new(Counters::new(1));
+        let waiter = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || c.wait_ge(0, 1))
+        };
+        // Wait for the consumer to register.
+        while c.waiting() == 0 {
+            std::thread::yield_now();
+        }
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.reset()));
+        // Unblock the waiter before re-raising so the test thread is
+        // not left with a dangling spinner.
+        c.increment(0);
+        waiter.join().unwrap();
+        if let Err(p) = r {
+            std::panic::resume_unwind(p);
+        }
+    }
+
+    #[test]
+    fn guarded_wait_detects_stale_generation() {
+        use crate::fault::{SyncError, Watchdog};
+        use std::time::Duration;
+        let wd = Arc::new(Watchdog::new(Duration::from_secs(30)));
+        let c = Arc::new(Counters::new(1));
+        let waiter = {
+            let (wd, c) = (Arc::clone(&wd), Arc::clone(&c));
+            std::thread::spawn(move || c.wait_ge_until(0, 1, &wd, 2, 1))
+        };
+        while c.waiting() == 0 {
+            std::thread::yield_now();
+        }
+        // Bypass the reset assertion to model a reset that raced past
+        // it: bump the generation directly.
+        c.generation.fetch_add(1, Ordering::AcqRel);
+        let err = waiter.join().unwrap().unwrap_err();
+        assert_eq!(err, SyncError::StaleGeneration { site: 2, pid: 1 });
     }
 }

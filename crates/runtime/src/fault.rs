@@ -1,0 +1,398 @@
+//! Fault detection for the blocking primitives: deadline-guarded waits
+//! and region poisoning.
+//!
+//! Every blocking primitive in this crate spins forever in its plain
+//! form — correct when the optimizer placed enough synchronization,
+//! fatal when it did not (an eliminated-sync miscompile, a dropped
+//! increment, a panicked producer). This module turns those silent
+//! hangs into *detected* failures:
+//!
+//! * a [`Watchdog`] holds the team-wide wait deadline and the region's
+//!   poison flag;
+//! * [`Watchdog::guarded_wait`] is the single escalating wait loop
+//!   (spin → yield → park in bounded slices) every `*_until` primitive
+//!   variant delegates to, returning [`SyncError::DeadlineExceeded`]
+//!   with the sync site, processor, and expected/observed progress
+//!   instead of hanging;
+//! * [`Watchdog::poison`] marks the region failed (first cause wins)
+//!   and unparks every guarded waiter, so one processor's panic or
+//!   timeout tears the whole region down within one park slice instead
+//!   of leaving peers wedged at the next barrier.
+//!
+//! Producers never touch the watchdog (increments stay two atomic
+//! instructions), so parked waiters re-check their condition on a
+//! bounded slice (≤ [`PARK_SLICE`]) rather than being woken eagerly —
+//! progress latency degrades to at most one slice once a wait
+//! escalates past spinning, which only happens on waits that are
+//! already multiple OS quanta long.
+
+use crate::stats::SyncKind;
+use crossbeam::utils::Backoff;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread::Thread;
+use std::time::{Duration, Instant};
+
+/// Sentinel site id for the fork-join dispatch broadcast, which is not
+/// part of the canonical sync-site walk.
+pub const DISPATCH_SITE: usize = usize::MAX;
+
+/// Longest interval a guarded waiter stays parked before re-checking
+/// its condition, the deadline, and the poison flag.
+pub const PARK_SLICE: Duration = Duration::from_millis(1);
+
+/// Yield-phase length between pure spinning and parking.
+const YIELD_ROUNDS: u32 = 64;
+
+/// Why a guarded wait returned without its condition becoming true.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyncError {
+    /// The wait outlived the watchdog deadline: at sync site `site`,
+    /// processor `pid` needed the observed progress value to reach
+    /// `expected` but last saw `observed`.
+    DeadlineExceeded {
+        /// Canonical sync-site id ([`DISPATCH_SITE`] for the dispatch
+        /// broadcast, which is outside the site walk).
+        site: usize,
+        /// Processor that timed out.
+        pid: usize,
+        /// Which primitive was blocked.
+        kind: SyncKind,
+        /// Progress value the wait needed.
+        expected: u64,
+        /// Progress value last observed.
+        observed: u64,
+    },
+    /// Another processor poisoned the region (panic or earlier
+    /// timeout) while this one was waiting.
+    Poisoned {
+        /// Site this processor was waiting at when it saw the poison.
+        site: usize,
+        /// Processor that observed the poison.
+        pid: usize,
+        /// First poison cause, as recorded by [`Watchdog::poison`].
+        cause: String,
+    },
+    /// A counter bank was reset out from under this waiter (the
+    /// generation guard of `Counters::reset` fired).
+    StaleGeneration {
+        /// Site the waiter was blocked at.
+        site: usize,
+        /// Processor whose wait went stale.
+        pid: usize,
+    },
+}
+
+impl SyncError {
+    /// The sync site the error is attributed to.
+    pub fn site(&self) -> usize {
+        match self {
+            SyncError::DeadlineExceeded { site, .. }
+            | SyncError::Poisoned { site, .. }
+            | SyncError::StaleGeneration { site, .. } => *site,
+        }
+    }
+
+    /// The processor the error occurred on.
+    pub fn pid(&self) -> usize {
+        match self {
+            SyncError::DeadlineExceeded { pid, .. }
+            | SyncError::Poisoned { pid, .. }
+            | SyncError::StaleGeneration { pid, .. } => *pid,
+        }
+    }
+
+    /// True for the variants that *initiate* a region failure (poison
+    /// observations are secondary — some peer failed first).
+    pub fn is_primary(&self) -> bool {
+        !matches!(self, SyncError::Poisoned { .. })
+    }
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let site_str = |s: usize| {
+            if s == DISPATCH_SITE {
+                "dispatch".to_string()
+            } else {
+                format!("s{s}")
+            }
+        };
+        match self {
+            SyncError::DeadlineExceeded {
+                site,
+                pid,
+                kind,
+                expected,
+                observed,
+            } => write!(
+                f,
+                "deadline exceeded at {} on P{pid}: {kind:?} wait needed {expected}, observed {observed}",
+                site_str(*site)
+            ),
+            SyncError::Poisoned { site, pid, cause } => write!(
+                f,
+                "region poisoned while P{pid} waited at {}: {cause}",
+                site_str(*site)
+            ),
+            SyncError::StaleGeneration { site, pid } => write!(
+                f,
+                "counter bank reset under P{pid} waiting at {}",
+                site_str(*site)
+            ),
+        }
+    }
+}
+
+/// What a guarded wait's observation closure reports each poll.
+#[derive(Debug)]
+pub enum WaitPoll {
+    /// The condition holds; the wait succeeds.
+    Ready,
+    /// Still blocked; the payload is the progress value observed (for
+    /// the eventual [`SyncError::DeadlineExceeded`]).
+    Pending(u64),
+    /// The wait can never succeed (e.g. a stale counter generation).
+    Failed(SyncError),
+}
+
+/// Team-level deadline and poison state shared by every guarded wait
+/// of one region execution.
+///
+/// Construction is cheap; executors build one per observed run. The
+/// deadline bounds each *individual* blocked interval, which is the
+/// quantity a lost wakeup makes unbounded — a healthy region never
+/// blocks longer than its slowest peer's work chunk.
+pub struct Watchdog {
+    deadline: Duration,
+    poisoned: AtomicBool,
+    cause: Mutex<Option<String>>,
+    parked: Mutex<Vec<Thread>>,
+}
+
+impl Watchdog {
+    /// A watchdog allowing each blocking wait up to `deadline`.
+    pub fn new(deadline: Duration) -> Self {
+        Watchdog {
+            deadline,
+            poisoned: AtomicBool::new(false),
+            cause: Mutex::new(None),
+            parked: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The per-wait deadline.
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+
+    /// True once any processor poisoned the region.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// The first recorded poison cause, if any.
+    pub fn poison_cause(&self) -> Option<String> {
+        self.cause.lock().clone()
+    }
+
+    /// Mark the region failed and wake every parked guarded waiter.
+    /// The first cause is kept; later calls only re-wake waiters.
+    pub fn poison(&self, cause: impl Into<String>) {
+        {
+            let mut c = self.cause.lock();
+            if c.is_none() {
+                *c = Some(cause.into());
+            }
+        }
+        self.poisoned.store(true, Ordering::Release);
+        for t in self.parked.lock().drain(..) {
+            t.unpark();
+        }
+    }
+
+    /// Wake every parked guarded waiter without poisoning (used by the
+    /// chaos layer to inject spurious wakeups — a correct waiter must
+    /// re-check its condition and go back to sleep).
+    pub fn spurious_wake(&self) {
+        for t in self.parked.lock().drain(..) {
+            t.unpark();
+        }
+    }
+
+    /// The escalating guarded wait every `*_until` primitive delegates
+    /// to: poll `observe`, spinning briefly, then yielding, then
+    /// parking in [`PARK_SLICE`] slices until `Ready`, poison, a
+    /// `Failed` poll, or the deadline.
+    pub fn guarded_wait(
+        &self,
+        site: usize,
+        pid: usize,
+        kind: SyncKind,
+        expected: u64,
+        mut observe: impl FnMut() -> WaitPoll,
+    ) -> Result<(), SyncError> {
+        let deadline = Instant::now() + self.deadline;
+        let backoff = Backoff::new();
+        let mut yields = 0u32;
+        loop {
+            match observe() {
+                WaitPoll::Ready => return Ok(()),
+                WaitPoll::Pending(_) => {}
+                WaitPoll::Failed(e) => return Err(e),
+            }
+            if self.is_poisoned() {
+                return Err(SyncError::Poisoned {
+                    site,
+                    pid,
+                    cause: self.poison_cause().unwrap_or_default(),
+                });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                // One final check: the condition may have become true
+                // between the poll above and here.
+                let observed = match observe() {
+                    WaitPoll::Ready => return Ok(()),
+                    WaitPoll::Pending(v) => v,
+                    WaitPoll::Failed(e) => return Err(e),
+                };
+                return Err(SyncError::DeadlineExceeded {
+                    site,
+                    pid,
+                    kind,
+                    expected,
+                    observed,
+                });
+            }
+            if !backoff.is_completed() {
+                backoff.snooze();
+            } else if yields < YIELD_ROUNDS {
+                yields += 1;
+                std::thread::yield_now();
+            } else {
+                // Park phase: register, re-check (a poison between the
+                // check above and parking would otherwise be a lost
+                // wakeup), then sleep one bounded slice.
+                self.parked.lock().push(std::thread::current());
+                let recheck_ready = matches!(observe(), WaitPoll::Ready);
+                if recheck_ready || self.is_poisoned() {
+                    let me = std::thread::current().id();
+                    self.parked.lock().retain(|t| t.id() != me);
+                    if recheck_ready {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                std::thread::park_timeout(PARK_SLICE.min(deadline - now));
+                let me = std::thread::current().id();
+                self.parked.lock().retain(|t| t.id() != me);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    fn wait_on(
+        wd: &Watchdog,
+        c: &AtomicU64,
+        target: u64,
+        site: usize,
+        pid: usize,
+    ) -> Result<(), SyncError> {
+        wd.guarded_wait(site, pid, SyncKind::Counter, target, || {
+            let v = c.load(Ordering::Acquire);
+            if v >= target {
+                WaitPoll::Ready
+            } else {
+                WaitPoll::Pending(v)
+            }
+        })
+    }
+
+    #[test]
+    fn satisfied_wait_returns_ok() {
+        let wd = Watchdog::new(Duration::from_secs(5));
+        let c = AtomicU64::new(3);
+        assert_eq!(wait_on(&wd, &c, 3, 0, 0), Ok(()));
+    }
+
+    #[test]
+    fn deadline_fires_with_attribution() {
+        let wd = Watchdog::new(Duration::from_millis(30));
+        let c = AtomicU64::new(1);
+        let t0 = Instant::now();
+        let err = wait_on(&wd, &c, 4, 7, 2).unwrap_err();
+        assert!(t0.elapsed() < Duration::from_secs(5), "wait did not bound");
+        assert_eq!(
+            err,
+            SyncError::DeadlineExceeded {
+                site: 7,
+                pid: 2,
+                kind: SyncKind::Counter,
+                expected: 4,
+                observed: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn poison_wakes_parked_waiter_promptly() {
+        let wd = Arc::new(Watchdog::new(Duration::from_secs(30)));
+        let c = Arc::new(AtomicU64::new(0));
+        let h = {
+            let wd = Arc::clone(&wd);
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || wait_on(&wd, &c, 1, 3, 1))
+        };
+        // Let the waiter escalate to parking, then poison.
+        std::thread::sleep(Duration::from_millis(20));
+        let t0 = Instant::now();
+        wd.poison("P0 panicked: boom");
+        let err = h.join().unwrap().unwrap_err();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "poison took {:?} to propagate",
+            t0.elapsed()
+        );
+        match err {
+            SyncError::Poisoned {
+                site: 3,
+                pid: 1,
+                cause,
+            } => {
+                assert!(cause.contains("boom"), "{cause}");
+            }
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_poison_cause_wins() {
+        let wd = Watchdog::new(Duration::from_secs(1));
+        wd.poison("first");
+        wd.poison("second");
+        assert_eq!(wd.poison_cause().as_deref(), Some("first"));
+    }
+
+    #[test]
+    fn spurious_wake_does_not_fail_the_wait() {
+        let wd = Arc::new(Watchdog::new(Duration::from_secs(30)));
+        let c = Arc::new(AtomicU64::new(0));
+        let h = {
+            let wd = Arc::clone(&wd);
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || wait_on(&wd, &c, 1, 0, 1))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        wd.spurious_wake();
+        std::thread::sleep(Duration::from_millis(10));
+        c.store(1, Ordering::Release);
+        assert_eq!(h.join().unwrap(), Ok(()));
+    }
+}

@@ -14,7 +14,12 @@
 //!   re-spawning threads ([`team`]);
 //! * **instrumentation** counting every dynamic synchronization event and
 //!   the time spent waiting ([`stats`]) — the source of the "barriers
-//!   executed at run time" numbers in the reproduction of Table 3.
+//!   executed at run time" numbers in the reproduction of Table 3;
+//! * **fault detection** ([`fault`]) — deadline-guarded variants of every
+//!   blocking wait (spin → yield → park), a team-level [`Watchdog`] with
+//!   region poisoning, and panic-safe joins ([`Team::try_run`]), so a
+//!   miscompiled schedule or a panicking worker is a diagnosed error
+//!   instead of a hang.
 
 //! ```
 //! use runtime::{Team, Counters};
@@ -38,6 +43,7 @@
 
 pub mod barrier;
 pub mod counter;
+pub mod fault;
 pub mod neighbor;
 pub mod stats;
 pub mod team;
@@ -45,9 +51,10 @@ pub mod telemetry;
 
 pub use barrier::{CentralBarrier, TreeBarrier};
 pub use counter::Counters;
+pub use fault::{SyncError, WaitPoll, Watchdog, DISPATCH_SITE};
 pub use neighbor::NeighborFlags;
 pub use stats::{SyncKind, SyncStats};
-pub use team::Team;
+pub use team::{RegionError, Team};
 pub use telemetry::{
     CellSnapshot, SiteCell, SiteMeta, SiteSnapshot, SiteTelemetry, WaitHistogram, HIST_BUCKETS,
 };

@@ -7,7 +7,8 @@
 //! Only adjacent processors touch each other's cache lines, so the cost
 //! is independent of the team size — the property the paper exploits.
 
-use crate::stats::SyncStats;
+use crate::fault::{SyncError, WaitPoll, Watchdog};
+use crate::stats::{SyncKind, SyncStats};
 use crossbeam::utils::{Backoff, CachePadded};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -71,6 +72,37 @@ impl NeighborFlags {
         }
     }
 
+    /// As [`NeighborFlags::wait`], but guarded: returns
+    /// [`SyncError::DeadlineExceeded`] (attributed to `site`/`pid`)
+    /// instead of hanging when the neighbor's post never lands, and
+    /// bails out on region poison.
+    pub fn wait_until(
+        &self,
+        other: isize,
+        epoch: u64,
+        wd: &Watchdog,
+        site: usize,
+        pid: usize,
+    ) -> Result<(), SyncError> {
+        if other < 0 || other as usize >= self.flags.len() {
+            return Ok(());
+        }
+        let t0 = self.stats.as_ref().map(|_| Instant::now());
+        let flag = &self.flags[other as usize];
+        wd.guarded_wait(site, pid, SyncKind::Neighbor, epoch, || {
+            let cur = flag.load(Ordering::Acquire);
+            if cur >= epoch {
+                WaitPoll::Ready
+            } else {
+                WaitPoll::Pending(cur)
+            }
+        })?;
+        if let (Some(s), Some(t0)) = (&self.stats, t0) {
+            s.neighbor_wait(t0.elapsed());
+        }
+        Ok(())
+    }
+
     /// Current epoch of a processor's flag.
     pub fn epoch(&self, pid: usize) -> u64 {
         self.flags[pid].load(Ordering::Acquire)
@@ -129,6 +161,32 @@ mod tests {
         // Processor 0 has no left neighbor; waiting on -1 returns.
         f.wait(-1, u64::MAX);
         f.wait(2, u64::MAX);
+    }
+
+    #[test]
+    fn guarded_wait_bounds_a_missing_post() {
+        use crate::fault::{SyncError, Watchdog};
+        use crate::stats::SyncKind;
+        use std::time::Duration;
+        let wd = Watchdog::new(Duration::from_millis(40));
+        let f = NeighborFlags::new(3);
+        f.post(1);
+        // Posted neighbor and out-of-range neighbors succeed.
+        assert_eq!(f.wait_until(1, 1, &wd, 4, 0), Ok(()));
+        assert_eq!(f.wait_until(-1, 99, &wd, 4, 0), Ok(()));
+        assert_eq!(f.wait_until(3, 99, &wd, 4, 2), Ok(()));
+        // A never-posting neighbor is a bounded, attributed failure.
+        let err = f.wait_until(2, 1, &wd, 4, 1).unwrap_err();
+        assert_eq!(
+            err,
+            SyncError::DeadlineExceeded {
+                site: 4,
+                pid: 1,
+                kind: SyncKind::Neighbor,
+                expected: 1,
+                observed: 0,
+            }
+        );
     }
 
     #[test]

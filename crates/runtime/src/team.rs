@@ -4,17 +4,68 @@
 //! timings exclude thread startup) and then repeatedly execute SPMD
 //! regions: `run` hands every worker the same closure, which receives its
 //! processor id.
+//!
+//! Worker bodies run under `catch_unwind`: a panicking worker counts as
+//! *completed* toward the region's join, so the master never hangs — it
+//! gets the first panic back as a [`RegionError`] (from [`Team::try_run`])
+//! or re-raised (from [`Team::run`]). The team stays usable for
+//! subsequent regions; whether the *shared data* a panicked region left
+//! behind is usable is the caller's judgment.
 
 use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 type Job = Arc<dyn Fn(usize) + Send + Sync>;
+
+/// A worker panicked inside an SPMD region.
+pub struct RegionError {
+    /// Processor id of the first worker that panicked.
+    pub pid: usize,
+    /// The panic payload, exactly as `catch_unwind` captured it.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl RegionError {
+    /// The panic message, when the payload is a string (the common
+    /// case for `panic!`/`assert!`).
+    pub fn message(&self) -> String {
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else {
+            self.payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "non-string panic payload".to_string())
+        }
+    }
+
+    /// Re-raise the worker's panic on the calling thread.
+    pub fn resume(self) -> ! {
+        resume_unwind(self.payload)
+    }
+}
+
+impl std::fmt::Debug for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker P{} panicked: {}", self.pid, self.message())
+    }
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker P{} panicked: {}", self.pid, self.message())
+    }
+}
 
 struct State {
     gen: u64,
     job: Option<Job>,
     done: usize,
     shutdown: bool,
+    /// First panic of the current region (pid, payload).
+    panic: Option<(usize, Box<dyn Any + Send>)>,
 }
 
 struct Shared {
@@ -40,6 +91,7 @@ impl Team {
                 job: None,
                 done: 0,
                 shutdown: false,
+                panic: None,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -64,8 +116,9 @@ impl Team {
 
     /// Execute `f(pid)` on every worker and block until all finish.
     ///
-    /// Panics in workers propagate on [`Team::drop`] (join); the region
-    /// closure must therefore not panic in normal operation.
+    /// A worker panic is re-raised here (never a hang: panicked workers
+    /// still count toward the join). Use [`Team::try_run`] to receive
+    /// the panic as a [`RegionError`] instead.
     pub fn run<F>(&self, f: F)
     where
         F: Fn(usize) + Send + Sync + 'static,
@@ -76,9 +129,26 @@ impl Team {
     /// As [`Team::run`] with a pre-wrapped job (avoids re-allocating when
     /// dispatching the same region repeatedly).
     pub fn run_arc(&self, job: Job) {
+        if let Err(e) = self.try_run_arc(job) {
+            e.resume();
+        }
+    }
+
+    /// Execute `f(pid)` on every worker; block until all finish or
+    /// panic. Returns the first worker panic as a [`RegionError`].
+    pub fn try_run<F>(&self, f: F) -> Result<(), RegionError>
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        self.try_run_arc(Arc::new(f))
+    }
+
+    /// As [`Team::try_run`] with a pre-wrapped job.
+    pub fn try_run_arc(&self, job: Job) -> Result<(), RegionError> {
         let mut st = self.shared.m.lock();
         st.job = Some(job);
         st.done = 0;
+        st.panic = None;
         st.gen += 1;
         let gen = st.gen;
         self.shared.work_cv.notify_all();
@@ -86,6 +156,10 @@ impl Team {
             self.shared.done_cv.wait(&mut st);
         }
         st.job = None;
+        match st.panic.take() {
+            Some((pid, payload)) => Err(RegionError { pid, payload }),
+            None => Ok(()),
+        }
     }
 }
 
@@ -103,8 +177,17 @@ fn worker_loop(pid: usize, shared: Arc<Shared>) {
             seen_gen = st.gen;
             Arc::clone(st.job.as_ref().unwrap())
         };
-        job(pid);
+        // A panicking region body must still count toward the join —
+        // otherwise `done` never reaches `n` and the master hangs
+        // forever. Capture the payload; the master re-raises or
+        // returns it.
+        let outcome = catch_unwind(AssertUnwindSafe(|| job(pid)));
         let mut st = shared.m.lock();
+        if let Err(payload) = outcome {
+            if st.panic.is_none() {
+                st.panic = Some((pid, payload));
+            }
+        }
         st.done += 1;
         if st.done == shared.n {
             shared.done_cv.notify_all();
@@ -129,6 +212,7 @@ impl Drop for Team {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
 
     #[test]
     fn all_workers_run_each_region() {
@@ -181,5 +265,64 @@ mod tests {
             vv.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(v.load(Ordering::SeqCst), 1);
+    }
+
+    /// Regression: a panicking worker used to leave `done < n` forever,
+    /// hanging the master in `run`. The join must now return promptly
+    /// with the panic's pid and payload.
+    #[test]
+    fn panicking_worker_never_hangs_the_master() {
+        let team = Team::new(4);
+        let t0 = Instant::now();
+        let err = team
+            .try_run(|pid| {
+                if pid == 2 {
+                    panic!("injected worker fault");
+                }
+            })
+            .unwrap_err();
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "join took {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(err.pid, 2);
+        assert_eq!(err.message(), "injected worker fault");
+    }
+
+    #[test]
+    fn team_survives_a_panicked_region() {
+        let team = Team::new(3);
+        assert!(team.try_run(|_| panic!("first region dies")).is_err());
+        // The team must still run later regions normally.
+        let v = Arc::new(AtomicUsize::new(0));
+        let vv = Arc::clone(&v);
+        team.try_run(move |_| {
+            vv.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert_eq!(v.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn run_reraises_worker_panics() {
+        let team = Team::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            team.run(|pid| {
+                if pid == 1 {
+                    panic!("bubbled");
+                }
+            })
+        }));
+        let payload = r.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"bubbled"));
+    }
+
+    #[test]
+    fn all_workers_panicking_reports_one_error() {
+        let team = Team::new(4);
+        let err = team.try_run(|pid| panic!("P{pid} down")).unwrap_err();
+        assert!(err.pid < 4);
+        assert!(err.message().starts_with('P'));
     }
 }

@@ -49,6 +49,7 @@ struct Args {
     explain_json: Option<String>,
     metrics_json: Option<String>,
     trace_out: Option<String>,
+    deadline_ms: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -65,7 +66,11 @@ fn usage() -> ! {
          --explain-json P    write the decision log as JSON to P (- for stdout)\n\
          --metrics-json P    with --run: execute on real threads, print the\n\
          \x20                    per-sync-site wait table, write histograms to P\n\
-         --trace-out P       write a chrome://tracing timeline JSON to P"
+         --trace-out P       write a chrome://tracing timeline JSON to P\n\
+         --deadline MS       with --run: execute on real threads under a\n\
+         \x20                    watchdog; every blocking wait is bounded by MS\n\
+         \x20                    milliseconds and a hang/panic becomes a printed\n\
+         \x20                    failure report instead of a wedged process"
     );
     std::process::exit(2);
 }
@@ -81,6 +86,7 @@ fn parse_args() -> Args {
         explain_json: None,
         metrics_json: None,
         trace_out: None,
+        deadline_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -103,6 +109,13 @@ fn parse_args() -> Args {
             "--explain-json" => args.explain_json = Some(it.next().unwrap_or_else(|| usage())),
             "--metrics-json" => args.metrics_json = Some(it.next().unwrap_or_else(|| usage())),
             "--trace-out" => args.trace_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--deadline" => {
+                args.deadline_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--help" | "-h" => usage(),
             _ if args.path.is_empty() && !a.starts_with('-') => args.path = a,
             _ => usage(),
@@ -212,6 +225,10 @@ fn main() -> ExitCode {
             eprintln!("beopt: --metrics-json needs --run");
             return ExitCode::FAILURE;
         }
+        if args.deadline_ms.is_some() {
+            eprintln!("beopt: --deadline needs --run (it guards the real-thread execution)");
+            return ExitCode::FAILURE;
+        }
         if let Some(path) = &args.trace_out {
             eprintln!("beopt: --trace-out needs --run (the timeline comes from an execution)");
             let _ = path;
@@ -263,9 +280,9 @@ fn main() -> ExitCode {
     let mut spans: Option<Vec<obs::Span>> = virt_spans;
     let mut trace_source = "virtual interleaver (1 step = 1µs logical clock)";
 
-    if let Some(path) = &args.metrics_json {
+    if args.metrics_json.is_some() || args.deadline_ms.is_some() {
         // Real-thread execution with per-site telemetry (and a timeline
-        // if one was requested).
+        // if one was requested), optionally watchdog-guarded.
         let prog_a = Arc::new(prog.clone());
         let bind_a = Arc::new(bind.clone());
         let mem_p = Arc::new(Mem::new(&prog, &bind));
@@ -279,27 +296,40 @@ fn main() -> ExitCode {
             &ObserveOptions {
                 telemetry: true,
                 trace: args.trace_out.is_some(),
+                deadline: args.deadline_ms.map(std::time::Duration::from_millis),
                 ..ObserveOptions::default()
             },
         );
+        if let Some(failure) = &out_p.failure {
+            eprint!("{}", obs::render_failure(failure));
+            eprintln!("beopt: EXECUTION FAILED: {}", failure.headline());
+            return ExitCode::FAILURE;
+        }
         let diff_p = mem_p.max_abs_diff(&oracle);
         if diff_p > 1e-9 {
             eprintln!("beopt: VERIFICATION FAILED: real-thread results diverge by {diff_p:e}");
             return ExitCode::FAILURE;
         }
         println!(
-            "threads: optimized schedule on {} real threads in {:.3} ms",
+            "threads: optimized schedule on {} real threads in {:.3} ms{}",
             args.nprocs,
-            out_p.elapsed.as_secs_f64() * 1e3
+            out_p.elapsed.as_secs_f64() * 1e3,
+            match args.deadline_ms {
+                Some(ms) => format!(" (watchdog: {ms} ms per wait)"),
+                None => String::new(),
+            }
         );
         println!();
         print!("{}", obs::render_site_table(&out_p.sites));
-        let doc = obs::metrics_json(&prog.name, args.nprocs as usize, &out_p.sites, &out_p.stats);
-        if write_output(path, "metrics JSON", &doc.to_string_pretty()).is_err() {
-            return ExitCode::FAILURE;
-        }
-        if path != "-" {
-            println!("metrics: per-sync-site telemetry written to {path}");
+        if let Some(path) = &args.metrics_json {
+            let doc =
+                obs::metrics_json(&prog.name, args.nprocs as usize, &out_p.sites, &out_p.stats);
+            if write_output(path, "metrics JSON", &doc.to_string_pretty()).is_err() {
+                return ExitCode::FAILURE;
+            }
+            if path != "-" {
+                println!("metrics: per-sync-site telemetry written to {path}");
+            }
         }
         if args.trace_out.is_some() {
             spans = Some(out_p.spans);

@@ -3,25 +3,43 @@
 //!
 //! ```text
 //! beoracle fuzz    [--count N] [--seed S] [--threads] [--nprocs 1,3,4] [--repro-dir DIR]
+//!                  [--deadline MS] [--chaos] [--chaos-seed S]
 //! beoracle mutate  [--count N] [--seed S]
 //! beoracle kernels [--threads]
+//! beoracle chaos   [--chaos-seed S] [--deadline MS] [--nprocs P] [--repro-dir DIR]
 //! ```
 //!
 //! * `fuzz` — generate `N` random programs and differentially execute
 //!   each (sequential vs fork-join vs optimized; virtual interleavings
 //!   and, with `--threads`, real threads with both barrier kinds),
-//!   validating every schedule race-free. Each failure is dumped as a
-//!   repro bundle (program text, explain-pass decision log, timeline
-//!   trace) under `--repro-dir` (default `beoracle-repro/`).
+//!   validating every schedule race-free. Real-thread runs are
+//!   deadline-guarded (`--deadline`, default 10000 ms) and can be
+//!   perturbed with benign seeded chaos (`--chaos`). Each failure is
+//!   dumped as a repro bundle (program text, explain-pass decision
+//!   log, timeline trace, structured failure reports) under
+//!   `--repro-dir` (default `beoracle-repro/`).
 //! * `mutate` — for `N` generated programs, delete each sync op of the
 //!   optimized schedule in turn and report what the race validator and
 //!   the differential oracle caught.
 //! * `kernels` — run the differential oracle over every suite kernel.
+//! * `chaos` — run the seeded fault-injection campaign over the five
+//!   shipped `.be` kernels: a benign chaos run per plan must pass, and
+//!   every droppable sync post (final counter increment, neighbor
+//!   post, barrier arrival) must be detected within the deadline with
+//!   a failure report naming the dropped site.
 //!
-//! Exits nonzero on any mismatch, race, or uncaught mutant.
+//! Exits nonzero on any mismatch, race, uncaught mutant, or missed
+//! fault.
 
+use barrier_elim::analysis::Bindings;
+use barrier_elim::ir::SymId;
 use barrier_elim::oracle::{self, DiffConfig};
+use barrier_elim::runtime::Team;
+use barrier_elim::spmd_opt::{fork_join, optimize};
 use barrier_elim::suite::{self, Scale};
+use barrier_elim::{frontend, obs};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn parse_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -56,14 +74,21 @@ fn cmd_fuzz(args: &[String]) -> i32 {
     let repro_dir = std::path::PathBuf::from(
         parse_opt(args, "--repro-dir").unwrap_or_else(|| "beoracle-repro".to_string()),
     );
+    let chaos_seed = if parse_flag(args, "--chaos") || parse_opt(args, "--chaos-seed").is_some() {
+        Some(parse_u64(args, "--chaos-seed", seed))
+    } else {
+        None
+    };
     let cfg = DiffConfig {
         nprocs: parse_nprocs(args),
-        threads: parse_flag(args, "--threads"),
+        threads: parse_flag(args, "--threads") || chaos_seed.is_some(),
+        deadline: Some(Duration::from_millis(parse_u64(args, "--deadline", 10_000))),
+        chaos_seed,
         ..DiffConfig::default()
     };
     println!(
-        "fuzzing {count} programs from seed {seed} (nprocs {:?}, threads {})",
-        cfg.nprocs, cfg.threads
+        "fuzzing {count} programs from seed {seed} (nprocs {:?}, threads {}, deadline {:?}, chaos {:?})",
+        cfg.nprocs, cfg.threads, cfg.deadline, cfg.chaos_seed
     );
     let s = oracle::fuzz_campaign(seed, count, &cfg);
     for (shape, n) in &s.shape_counts {
@@ -76,9 +101,12 @@ fn cmd_fuzz(args: &[String]) -> i32 {
             println!("  {f}");
         }
         // Bundle everything a triager needs: program text, the explain
-        // pass's decision log, and an adversarial-order timeline.
+        // pass's decision log, an adversarial-order timeline, and the
+        // structured failure reports of any faulted thread runs
+        // (re-derived here — the campaign summary keeps only strings).
         let g = oracle::generate(*seed);
-        match oracle::dump_repro(&repro_dir, &g, repro_nprocs, failures) {
+        let r = oracle::check_program(&g.prog, &|p| g.bindings(p), &cfg);
+        match oracle::dump_repro(&repro_dir, &g, repro_nprocs, failures, &r.failure_reports) {
             Ok(bundle) => println!("  repro bundle: {}", bundle.display()),
             Err(e) => eprintln!("  cannot write repro bundle: {e}"),
         }
@@ -182,15 +210,107 @@ fn cmd_kernels(args: &[String]) -> i32 {
     }
 }
 
+/// The five shipped `.be` kernels with the bindings the golden tests
+/// pin (small enough for sub-second runs, large enough to exercise
+/// every placed sync kind).
+const CHAOS_KERNELS: &[(&str, &[(&str, i64)])] = &[
+    ("broadcast.be", &[("n", 12)]),
+    ("jacobi.be", &[("n", 48), ("tmax", 4)]),
+    ("pipeline.be", &[("n", 16), ("tmax", 3)]),
+    ("private_gather.be", &[("n", 10)]),
+    ("shallow.be", &[("n", 12), ("tmax", 2)]),
+];
+
+fn bind_by_name(prog: &barrier_elim::ir::Program, nprocs: i64, sets: &[(&str, i64)]) -> Bindings {
+    let mut b = Bindings::new(nprocs);
+    for (name, v) in sets {
+        let pos = prog
+            .syms
+            .iter()
+            .position(|s| &s.name == name)
+            .unwrap_or_else(|| panic!("sym {name} missing"));
+        b.bind(SymId(pos as u32), *v);
+    }
+    b
+}
+
+fn cmd_chaos(args: &[String]) -> i32 {
+    let seed = parse_u64(args, "--chaos-seed", 0);
+    let deadline = Duration::from_millis(parse_u64(args, "--deadline", 250));
+    let nprocs = parse_u64(args, "--nprocs", 4) as i64;
+    let repro_dir = std::path::PathBuf::from(
+        parse_opt(args, "--repro-dir").unwrap_or_else(|| "beoracle-repro".to_string()),
+    );
+    println!(
+        "chaos campaign over {} kernels (seed {seed}, deadline {deadline:?}, P={nprocs})",
+        CHAOS_KERNELS.len()
+    );
+    let team = Team::new(nprocs as usize);
+    let mut failed = 0;
+    for (kernel, sets) in CHAOS_KERNELS {
+        let src = match std::fs::read_to_string(format!("kernels/{kernel}")) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("FAIL {kernel}: cannot read kernel file: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        let prog = Arc::new(frontend::parse(&src).unwrap_or_else(|e| panic!("{kernel}: {e}")));
+        let bind = Arc::new(bind_by_name(&prog, nprocs, sets));
+        for (label, plan) in [
+            ("fork-join", fork_join(&prog, &bind)),
+            ("optimized", optimize(&prog, &bind)),
+        ] {
+            let r = oracle::chaos_check(&prog, &bind, &plan, &team, seed, deadline, 1e-9);
+            if r.ok() {
+                println!(
+                    "ok   {kernel} {label}: benign passed, {} teeth bit",
+                    r.teeth.len()
+                );
+            } else {
+                failed += 1;
+                println!("FAIL {kernel} {label}:");
+                for f in r.failures() {
+                    println!("  {f}");
+                }
+                // Persist every structured report for triage.
+                let dir =
+                    repro_dir.join(format!("chaos-{}-{label}", kernel.trim_end_matches(".be")));
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("  cannot write repro bundle: {e}");
+                    continue;
+                }
+                for (k, t) in r.teeth.iter().enumerate() {
+                    if let Some(report) = &t.failure {
+                        let doc = obs::failure_json(report);
+                        let path = dir.join(format!("failure-{k}.json"));
+                        if std::fs::write(&path, doc.to_string_pretty()).is_ok() {
+                            println!("  report: {}", path.display());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if failed == 0 {
+        0
+    } else {
+        println!("{failed} kernel plans failed the chaos campaign");
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("mutate") => cmd_mutate(&args[1..]),
         Some("kernels") => cmd_kernels(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         _ => {
             eprintln!(
-                "usage: beoracle fuzz [--count N] [--seed S] [--threads] [--nprocs 1,3,4] [--repro-dir DIR]\n       beoracle mutate [--count N] [--seed S]\n       beoracle kernels [--threads]"
+                "usage: beoracle fuzz [--count N] [--seed S] [--threads] [--nprocs 1,3,4] [--repro-dir DIR] [--deadline MS] [--chaos] [--chaos-seed S]\n       beoracle mutate [--count N] [--seed S]\n       beoracle kernels [--threads]\n       beoracle chaos [--chaos-seed S] [--deadline MS] [--nprocs P] [--repro-dir DIR]"
             );
             2
         }
