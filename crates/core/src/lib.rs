@@ -56,6 +56,8 @@ pub mod sites;
 pub use build::{
     fork_join, optimize, optimize_logged, optimize_with, placed_str, Decision, OptimizeOptions,
 };
-pub use plan::{Phase, PhaseKind, RItem, Region, SpmdProgram, StaticStats, SyncOp, TopItem};
+pub use plan::{
+    demote_site, Phase, PhaseKind, RItem, Region, SpmdProgram, StaticStats, SyncOp, TopItem,
+};
 pub use report::render_plan;
 pub use sites::{node_label, slot_count_items, slot_count_top, sync_sites, SlotKind, SyncSite};

@@ -162,6 +162,77 @@ pub struct StaticStats {
     pub eliminated: usize,
 }
 
+/// Demote the sync op at canonical site `site` to a full
+/// [`SyncOp::Barrier`], returning the op it displaced (`None` when the
+/// plan has no such site). The walk mirrors
+/// [`sync_sites`](crate::sites::sync_sites) exactly — items in order, a
+/// `Seq`'s body slots before its `bottom` and `after`, a region's items
+/// before its `end` — so the id a runtime failure report attributes a
+/// fault to addresses the same slot here.
+///
+/// Demotion is the recovery layer's conservative fallback: a full
+/// barrier orders every processor at the slot, which over-synchronizes
+/// relative to any counter/neighbor placement the optimizer chose (and
+/// is exactly the fork-join baseline's behaviour at that point), so the
+/// demoted plan is correct whenever the original analysis was.
+pub fn demote_site(plan: &mut SpmdProgram, site: usize) -> Option<SyncOp> {
+    fn demote_items(items: &mut [RItem], next: &mut usize, site: usize) -> Option<SyncOp> {
+        for it in items {
+            match it {
+                RItem::Phase(p) => {
+                    if *next == site {
+                        return Some(std::mem::replace(&mut p.after, SyncOp::Barrier));
+                    }
+                    *next += 1;
+                }
+                RItem::Seq {
+                    body,
+                    bottom,
+                    after,
+                    ..
+                } => {
+                    if let Some(old) = demote_items(body, next, site) {
+                        return Some(old);
+                    }
+                    if *next == site {
+                        return Some(std::mem::replace(bottom, SyncOp::Barrier));
+                    }
+                    *next += 1;
+                    if *next == site {
+                        return Some(std::mem::replace(after, SyncOp::Barrier));
+                    }
+                    *next += 1;
+                }
+            }
+        }
+        None
+    }
+    fn demote_top(items: &mut [TopItem], next: &mut usize, site: usize) -> Option<SyncOp> {
+        for it in items {
+            match it {
+                TopItem::SerialStmt(_) => {}
+                TopItem::MasterLoop { body, .. } => {
+                    if let Some(old) = demote_top(body, next, site) {
+                        return Some(old);
+                    }
+                }
+                TopItem::Region(r) => {
+                    if let Some(old) = demote_items(&mut r.items, next, site) {
+                        return Some(old);
+                    }
+                    if *next == site {
+                        return Some(std::mem::replace(&mut r.end, SyncOp::Barrier));
+                    }
+                    *next += 1;
+                }
+            }
+        }
+        None
+    }
+    let mut next = 0usize;
+    demote_top(&mut plan.items, &mut next, site)
+}
+
 impl SpmdProgram {
     /// Count the static synchronization points of the schedule.
     pub fn static_stats(&self) -> StaticStats {
@@ -261,5 +332,83 @@ mod tests {
         assert_eq!(st.barriers, 2);
         assert_eq!(st.neighbor_syncs, 1);
         assert_eq!(st.eliminated, 0);
+    }
+
+    fn nested_plan() -> SpmdProgram {
+        // Slot walk: 0 = phase-after (Neighbor), 1 = inner phase-after
+        // (None), 2 = seq bottom (Counter), 3 = seq after (None),
+        // 4 = region end (Barrier).
+        SpmdProgram {
+            name: "t".into(),
+            items: vec![TopItem::Region(Region {
+                items: vec![
+                    RItem::Phase(Phase {
+                        node: NodeId(0),
+                        kind: PhaseKind::Master,
+                        after: SyncOp::Neighbor {
+                            fwd: true,
+                            bwd: false,
+                        },
+                    }),
+                    RItem::Seq {
+                        node: NodeId(1),
+                        body: vec![RItem::Phase(Phase {
+                            node: NodeId(2),
+                            kind: PhaseKind::Replicated,
+                            after: SyncOp::None,
+                        })],
+                        bottom: SyncOp::Counter {
+                            id: 0,
+                            producer: analysis::ProducerSpec::Master,
+                        },
+                        after: SyncOp::None,
+                    },
+                ],
+                end: SyncOp::Barrier,
+                num_counters: 1,
+            })],
+        }
+    }
+
+    #[test]
+    fn demote_site_hits_every_slot_in_walk_order() {
+        // Each id addresses the slot the canonical walk assigns it.
+        let mut p = nested_plan();
+        assert_eq!(
+            demote_site(&mut p, 0),
+            Some(SyncOp::Neighbor {
+                fwd: true,
+                bwd: false
+            })
+        );
+        let mut p = nested_plan();
+        assert_eq!(demote_site(&mut p, 1), Some(SyncOp::None));
+        let mut p = nested_plan();
+        assert_eq!(
+            demote_site(&mut p, 2),
+            Some(SyncOp::Counter {
+                id: 0,
+                producer: analysis::ProducerSpec::Master,
+            })
+        );
+        let mut p = nested_plan();
+        assert_eq!(demote_site(&mut p, 3), Some(SyncOp::None));
+        let mut p = nested_plan();
+        assert_eq!(demote_site(&mut p, 4), Some(SyncOp::Barrier));
+        // Past the walk: no slot, plan untouched.
+        let mut p = nested_plan();
+        assert_eq!(demote_site(&mut p, 5), None);
+    }
+
+    #[test]
+    fn demoted_slot_becomes_a_barrier() {
+        let mut p = nested_plan();
+        demote_site(&mut p, 2);
+        let st = p.static_stats();
+        // The counter bottom turned into a barrier (joining the region
+        // end); everything else is untouched.
+        assert_eq!(st.counter_syncs, 0);
+        assert_eq!(st.barriers, 2);
+        assert_eq!(st.neighbor_syncs, 1);
     }
 }

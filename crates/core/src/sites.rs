@@ -255,6 +255,33 @@ mod tests {
     }
 
     #[test]
+    fn demote_site_addresses_the_same_slots_as_the_walk() {
+        // For every canonical id, `demote_site` displaces exactly the op
+        // the site walk reports there — the two traversals agree.
+        let (prog, bind) = sweep();
+        for plan in [optimize(&prog, &bind), fork_join(&prog, &bind)] {
+            let sites = sync_sites(&prog, &plan);
+            for s in &sites {
+                let mut p = plan.clone();
+                let old = crate::plan::demote_site(&mut p, s.id);
+                assert_eq!(old.as_ref(), Some(&s.op), "site {}", s.id);
+                let new_sites = sync_sites(&prog, &p);
+                assert!(new_sites[s.id].op.is_barrier());
+                // Every other slot is untouched.
+                for (a, b) in sites.iter().zip(&new_sites) {
+                    if a.id != s.id {
+                        assert_eq!(a.op, b.op);
+                    }
+                }
+            }
+            assert_eq!(
+                crate::plan::demote_site(&mut plan.clone(), sites.len()),
+                None
+            );
+        }
+    }
+
+    #[test]
     fn site_walk_matches_static_stats_sync_points() {
         // Every non-None slot that static_stats counts appears among the
         // sites with the same op; sites also number the last-slot Nones.

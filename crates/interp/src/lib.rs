@@ -44,19 +44,23 @@
 //! assert_eq!(out.counts.barriers, 1);
 //! ```
 
+pub mod checkpoint;
 pub mod eval;
 pub mod events;
 pub mod mem;
 pub mod par;
+pub mod recover;
 pub mod trace;
 pub mod virt;
 
+pub use checkpoint::Checkpoint;
 pub use events::{render_events, unroll, Event};
 pub use mem::Mem;
 pub use par::{
-    run_parallel, run_parallel_observed, run_parallel_with, BarrierKind, ChaosAction,
-    ObserveOptions, ParallelOutcome, SyncChaos,
+    run_parallel, run_parallel_observed, run_parallel_observed_on, run_parallel_with, BarrierKind,
+    ChaosAction, ObserveOptions, ParallelOutcome, SyncChaos, SyncFabric,
 };
+pub use recover::{run_parallel_recovering, RecoveryOutcome};
 pub use trace::{Access, AccessKind, Target, TraceBuffer};
 pub use virt::{run_virtual, run_virtual_traced, ScheduleOrder, VirtualOutcome};
 

@@ -79,6 +79,12 @@ impl ArrayStore {
     pub fn get_linear(&self, k: usize) -> f64 {
         f64::from_bits(self.data[k].load(Ordering::Relaxed))
     }
+
+    /// Linear write (checkpoint rollback restores pre-images by flat
+    /// offset, bit-exact).
+    pub fn set_linear(&self, k: usize, v: f64) {
+        self.data[k].store(v.to_bits(), Ordering::Relaxed);
+    }
 }
 
 enum Slot {

@@ -65,6 +65,92 @@ impl AnyBarrier {
             AnyBarrier::Tree(b) => b.wait_until(pid, &mut local.epoch, wd, site),
         }
     }
+
+    fn reset(&self) {
+        match self {
+            AnyBarrier::Central(b) => b.reset(),
+            AnyBarrier::Tree(b) => b.reset(),
+        }
+    }
+}
+
+/// The shared synchronization state of one execution (or one recovery
+/// session): barrier, counter bank, neighbor flags, the dispatch
+/// counter, and the aggregate [`SyncStats`] they report into.
+///
+/// [`run_parallel_observed`] builds a fresh fabric per call; the
+/// recovery supervisor ([`crate::recover`]) instead builds one fabric,
+/// runs an attempt with [`run_parallel_observed_on`], and re-arms it
+/// with [`SyncFabric::reset`] between attempts — a failed attempt
+/// leaves barriers mid-episode and counters part-way through their
+/// visit sequence, so the reset restores every primitive to pristine
+/// (bumping the counter generation stamp; see `Counters::reset`).
+pub struct SyncFabric {
+    barrier: Arc<AnyBarrier>,
+    counters: Arc<Counters>,
+    flags: Arc<NeighborFlags>,
+    dispatch: Arc<Counters>,
+    stats: Arc<SyncStats>,
+}
+
+impl SyncFabric {
+    /// A fabric for `nprocs` processors with a bank of `num_counters`
+    /// sync counters.
+    pub fn new(kind: BarrierKind, nprocs: usize, num_counters: usize) -> Self {
+        let stats = Arc::new(SyncStats::new());
+        let barrier = Arc::new(match kind {
+            BarrierKind::Central => {
+                AnyBarrier::Central(CentralBarrier::new(nprocs).with_stats(Arc::clone(&stats)))
+            }
+            BarrierKind::Tree => {
+                AnyBarrier::Tree(TreeBarrier::new(nprocs).with_stats(Arc::clone(&stats)))
+            }
+        });
+        SyncFabric {
+            barrier,
+            counters: Arc::new(Counters::new(num_counters).with_stats(Arc::clone(&stats))),
+            flags: Arc::new(NeighborFlags::new(nprocs).with_stats(Arc::clone(&stats))),
+            dispatch: Arc::new(Counters::new(1)),
+            stats,
+        }
+    }
+
+    /// A fabric sized for `plan`'s unrolled events.
+    pub fn for_plan(
+        kind: BarrierKind,
+        prog: &Program,
+        bind: &Bindings,
+        plan: &SpmdProgram,
+    ) -> Self {
+        let events = unroll(prog, bind, plan);
+        SyncFabric::new(kind, bind.nprocs as usize, max_counter_id(&events))
+    }
+
+    /// Re-arm every primitive for a fresh attempt. Only legal once all
+    /// workers of the previous attempt have been joined (the team run
+    /// returned): barriers and flags are zeroed, the counter banks are
+    /// reset (stamping a new generation), and the aggregate stats are
+    /// cleared so the next attempt's numbers are not conflated with an
+    /// abandoned attempt's.
+    pub fn reset(&self) {
+        self.barrier.reset();
+        self.counters.reset();
+        self.flags.reset();
+        self.dispatch.reset();
+        self.stats.reset();
+    }
+
+    /// Snapshot the aggregate sync stats accumulated since the last
+    /// reset.
+    pub fn stats_snapshot(&self) -> runtime::stats::StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Generation stamp of the sync-counter bank (bumped by every
+    /// [`SyncFabric::reset`]).
+    pub fn counter_generation(&self) -> u64 {
+        self.counters.generation()
+    }
 }
 
 /// What a chaos injector may do to one sync event (see
@@ -123,6 +209,12 @@ pub struct ParallelOutcome {
     /// poisoned, or lost a worker to a panic. `None` means the region
     /// completed; results in `mem` are only meaningful then.
     pub failure: Option<FailureReport>,
+    /// Each processor's terminal [`SyncError`], in pid order (`None`
+    /// for processors that finished or panicked). Unlike the report's
+    /// headline — which only names whichever fault won the race to be
+    /// recorded first — this lists *every* faulting processor, so the
+    /// recovery supervisor can demote all implicated sites at once.
+    pub proc_errors: Vec<Option<SyncError>>,
 }
 
 impl ParallelOutcome {
@@ -289,14 +381,37 @@ pub fn run_parallel_observed(
     team: &Team,
     opts: &ObserveOptions,
 ) -> ParallelOutcome {
+    let fabric = SyncFabric::for_plan(opts.barrier, prog, bind, plan);
+    run_parallel_observed_on(prog, bind, plan, mem, team, opts, &fabric)
+}
+
+/// As [`run_parallel_observed`], but executing on a caller-owned
+/// [`SyncFabric`] instead of a fresh one. The recovery supervisor uses
+/// this to reuse one fabric across retry attempts (resetting it between
+/// them); the fabric must be sized for at least the plan's counter bank
+/// and must be pristine (fresh or [`SyncFabric::reset`]) on entry.
+/// `opts.barrier` is ignored — the fabric already chose its barrier.
+pub fn run_parallel_observed_on(
+    prog: &Arc<Program>,
+    bind: &Arc<Bindings>,
+    plan: &SpmdProgram,
+    mem: &Arc<Mem>,
+    team: &Team,
+    opts: &ObserveOptions,
+    fabric: &SyncFabric,
+) -> ParallelOutcome {
     let nprocs = team.nprocs();
     assert_eq!(
         nprocs as i64, bind.nprocs,
         "team size must match the bindings' processor count"
     );
     let events = Arc::new(unroll(prog, bind, plan));
+    assert!(
+        max_counter_id(&events) <= fabric.counters.len(),
+        "fabric counter bank too small for this plan"
+    );
     let counts = DynCounts::from_events(&events, nprocs);
-    let stats = Arc::new(SyncStats::new());
+    let stats = Arc::clone(&fabric.stats);
     let watchdog = opts.deadline.map(|d| Arc::new(Watchdog::new(d)));
     let telemetry = (opts.telemetry || watchdog.is_some())
         .then(|| Arc::new(SiteTelemetry::new(obs::site_metas(prog, plan), nprocs)));
@@ -312,17 +427,11 @@ pub fn run_parallel_observed(
         .unwrap_or(0);
     let failure_slot = Arc::new(Mutex::new(None::<SyncError>));
     let proc_state = Arc::new(Mutex::new(vec!["ok".to_string(); nprocs]));
-    let barrier = Arc::new(match opts.barrier {
-        BarrierKind::Central => {
-            AnyBarrier::Central(CentralBarrier::new(nprocs).with_stats(Arc::clone(&stats)))
-        }
-        BarrierKind::Tree => {
-            AnyBarrier::Tree(TreeBarrier::new(nprocs).with_stats(Arc::clone(&stats)))
-        }
-    });
-    let counters = Arc::new(Counters::new(max_counter_id(&events)).with_stats(Arc::clone(&stats)));
-    let flags = Arc::new(NeighborFlags::new(nprocs).with_stats(Arc::clone(&stats)));
-    let dispatch = Arc::new(Counters::new(1));
+    let proc_errors = Arc::new(Mutex::new(vec![None::<SyncError>; nprocs]));
+    let barrier = Arc::clone(&fabric.barrier);
+    let counters = Arc::clone(&fabric.counters);
+    let flags = Arc::clone(&fabric.flags);
+    let dispatch = Arc::clone(&fabric.dispatch);
 
     let prog2 = Arc::clone(prog);
     let bind2 = Arc::clone(bind);
@@ -338,6 +447,7 @@ pub fn run_parallel_observed(
     let chaos2 = opts.chaos.clone();
     let failure2 = Arc::clone(&failure_slot);
     let proc_state2 = Arc::clone(&proc_state);
+    let proc_errors2 = Arc::clone(&proc_errors);
 
     let t0 = Instant::now();
     let team_result = team.try_run(move |pid| {
@@ -504,6 +614,7 @@ pub fn run_parallel_observed(
                 // poison the region so peers parked in guarded waits
                 // tear down instead of waiting out their own deadline.
                 proc_state2.lock().unwrap()[pid] = e.to_string();
+                proc_errors2.lock().unwrap()[pid] = Some(e.clone());
                 record_failure(&failure2, &e);
                 if e.is_primary() {
                     if let Some(wd) = wd {
@@ -570,6 +681,7 @@ pub fn run_parallel_observed(
         }
     };
 
+    let errors = proc_errors.lock().unwrap().clone();
     ParallelOutcome {
         stats: stats.snapshot(),
         counts,
@@ -583,6 +695,7 @@ pub fn run_parallel_observed(
         },
         spans: spans.map(|s| s.drain()).unwrap_or_default(),
         failure,
+        proc_errors: errors,
     }
 }
 

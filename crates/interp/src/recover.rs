@@ -1,0 +1,476 @@
+//! Self-healing execution: checkpoint, bounded retry, and per-site
+//! barrier fallback.
+//!
+//! [`run_parallel_recovering`] wraps the guarded executor
+//! ([`crate::par::run_parallel_observed_on`]) in a supervisor loop that
+//! turns a detected region failure (deadline, stale generation, panic
+//! poison) into a bounded, observable retry instead of a terminal
+//! report:
+//!
+//! 1. before the first attempt, the live-in memory is checkpointed
+//!    ([`crate::checkpoint`]) — pre-images of exactly the schedule's
+//!    write set — and one [`SyncFabric`] is built for the whole
+//!    session;
+//! 2. each failed attempt rolls memory back to the checkpoint, re-arms
+//!    the fabric ([`SyncFabric::reset`] — barriers re-zeroed, counter
+//!    generations bumped, stats cleared so attempts never conflate),
+//!    sleeps a deterministic exponential backoff, and re-executes;
+//! 3. every *implicated* sync site (all primary per-processor faults,
+//!    not just whichever one won the race into the headline) climbs the
+//!    escalation ladder of [`runtime::recovery::Quarantine`]: first
+//!    fault *demotes* the site's optimized sync op to a full barrier
+//!    (`spmd_opt::demote_site` — the paper's conservative fork-join
+//!    placement), a second fault *quarantines* it, which additionally
+//!    masks injected dropped posts there ([`SiteMaskedChaos`]) so a
+//!    deterministic injector cannot re-kill every retry, and a third
+//!    fault *isolates* the run (masks every injected drop — a fault
+//!    that survives quarantine is barrier aliasing from another site);
+//!    faults with no attributable site (worker panics, dispatch
+//!    timeouts) are plainly retried.
+//!
+//! The loop is bounded by [`RetryPolicy::max_attempts`]; when the
+//! budget runs out the last failure is returned as the residual. The
+//! whole timeline is summarized by [`RecoveryOutcome::report`] as a
+//! deterministic [`obs::RecoveryReport`] (planned backoffs, no
+//! wall-clock).
+
+use crate::checkpoint::Checkpoint;
+use crate::events::unroll;
+use crate::mem::Mem;
+use crate::par::{
+    run_parallel_observed_on, ChaosAction, ObserveOptions, ParallelOutcome, SyncChaos, SyncFabric,
+};
+use analysis::Bindings;
+use ir::Program;
+use obs::{AttemptReport, RecoveryReport, SiteActionReport};
+use runtime::fault::DISPATCH_SITE;
+use runtime::recovery::{FaultDisposition, Quarantine, RetryPolicy};
+use runtime::Team;
+use spmd_opt::{demote_site, sync_sites, SpmdProgram};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Chaos pass-through that masks [`ChaosAction::Drop`] at quarantined
+/// sites (benign perturbations — delays, stalls, spurious wakes — still
+/// flow). Without this, a deterministic injector that drops every visit
+/// of a site would defeat any finite retry budget.
+struct SiteMaskedChaos {
+    inner: Arc<dyn SyncChaos>,
+    masked: Mutex<BTreeSet<usize>>,
+    isolated: AtomicBool,
+}
+
+impl SiteMaskedChaos {
+    fn new(inner: Arc<dyn SyncChaos>) -> Self {
+        SiteMaskedChaos {
+            inner,
+            masked: Mutex::new(BTreeSet::new()),
+            isolated: AtomicBool::new(false),
+        }
+    }
+
+    /// Mask drops at `site` for every later attempt. Only called
+    /// between attempts (no workers running).
+    fn mask(&self, site: usize) {
+        self.masked.lock().unwrap().insert(site);
+    }
+
+    /// Mask drops everywhere (the ladder's last rung before giving
+    /// up — a fault that survives per-site quarantine is aliasing from
+    /// somewhere else).
+    fn isolate(&self) {
+        self.isolated.store(true, Ordering::Release);
+    }
+}
+
+impl SyncChaos for SiteMaskedChaos {
+    fn at_sync(&self, site: usize, pid: usize, visit: u64) -> ChaosAction {
+        let action = self.inner.at_sync(site, pid, visit);
+        if matches!(action, ChaosAction::Drop)
+            && (self.isolated.load(Ordering::Acquire)
+                || self.masked.lock().unwrap().contains(&site))
+        {
+            ChaosAction::None
+        } else {
+            action
+        }
+    }
+}
+
+/// What a supervised execution produced: the final attempt's outcome
+/// plus the full recovery timeline.
+pub struct RecoveryOutcome {
+    /// The final attempt (success, or the residual failure when the
+    /// budget ran out). Its stats/telemetry cover that attempt only —
+    /// the fabric is reset between attempts.
+    pub outcome: ParallelOutcome,
+    /// The failed-and-retried attempts, in order.
+    pub attempts: Vec<AttemptReport>,
+    /// Total executions spent (1 = clean first run).
+    pub attempts_used: u32,
+    /// Sites demoted to a full barrier, with labels, in demotion order.
+    pub demoted: Vec<(usize, String)>,
+    /// Sites quarantined after demotion did not help.
+    pub quarantined: Vec<usize>,
+    /// Fault count per site, sorted by site.
+    pub fault_counts: Vec<(usize, u32)>,
+    /// The plan the final attempt ran (demotions applied).
+    pub final_plan: SpmdProgram,
+    /// Array cells in the write-set checkpoint.
+    pub checkpoint_cells: usize,
+    program: String,
+    nprocs: usize,
+    deadline_ms: f64,
+    max_attempts: u32,
+}
+
+impl RecoveryOutcome {
+    /// True when the final attempt completed.
+    pub fn ok(&self) -> bool {
+        self.outcome.ok()
+    }
+
+    /// True when completion took at least one retry.
+    pub fn recovered(&self) -> bool {
+        self.ok() && !self.attempts.is_empty()
+    }
+
+    /// The deterministic recovery report (pass the chaos seed when a
+    /// seeded injector was active, so repro bundles carry it).
+    pub fn report(&self, chaos_seed: Option<u64>) -> RecoveryReport {
+        RecoveryReport {
+            program: self.program.clone(),
+            nprocs: self.nprocs,
+            deadline_ms: self.deadline_ms,
+            max_attempts: self.max_attempts,
+            attempts_used: self.attempts_used,
+            recovered: self.recovered(),
+            ok: self.ok(),
+            attempts: self.attempts.clone(),
+            demoted: self.demoted.clone(),
+            quarantined: self.quarantined.clone(),
+            fault_counts: self.fault_counts.clone(),
+            checkpoint_cells: self.checkpoint_cells,
+            chaos_seed,
+            residual: self.outcome.failure.clone(),
+        }
+    }
+}
+
+/// Execute `plan` under the recovery supervisor (see the module docs).
+///
+/// `opts.deadline` must be armed — without a watchdog a fault is a hang,
+/// not a detected, retryable failure. Memory is rolled back to the
+/// entry checkpoint before every retry, so on success `mem` holds a
+/// result indistinguishable from a clean run.
+pub fn run_parallel_recovering(
+    prog: &Arc<Program>,
+    bind: &Arc<Bindings>,
+    plan: &SpmdProgram,
+    mem: &Arc<Mem>,
+    team: &Team,
+    opts: &ObserveOptions,
+    policy: &RetryPolicy,
+) -> RecoveryOutcome {
+    let deadline = opts
+        .deadline
+        .expect("run_parallel_recovering needs an armed deadline (opts.deadline)");
+    let site_labels: Vec<String> = sync_sites(prog, plan)
+        .into_iter()
+        .map(|s| s.label)
+        .collect();
+    let events = unroll(prog, bind, plan);
+    let checkpoint = Checkpoint::capture(prog, bind, &events, mem);
+    let fabric = SyncFabric::for_plan(opts.barrier, prog, bind, plan);
+    let mut working = plan.clone();
+    let masked = opts
+        .chaos
+        .as_ref()
+        .map(|c| Arc::new(SiteMaskedChaos::new(Arc::clone(c))));
+    let mut ledger = Quarantine::new();
+    let mut attempts: Vec<AttemptReport> = Vec::new();
+    let mut demoted: Vec<(usize, String)> = Vec::new();
+    let max_attempts = policy.max_attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let mut aopts = opts.clone();
+        if let Some(m) = &masked {
+            aopts.chaos = Some(Arc::clone(m) as Arc<dyn SyncChaos>);
+        }
+        let out = run_parallel_observed_on(prog, bind, &working, mem, team, &aopts, &fabric);
+        let failed = out.failure.is_some();
+        if !failed || attempt >= max_attempts {
+            return RecoveryOutcome {
+                outcome: out,
+                attempts,
+                attempts_used: attempt,
+                demoted,
+                quarantined: ledger.quarantined().to_vec(),
+                fault_counts: ledger.fault_counts(),
+                final_plan: working,
+                checkpoint_cells: checkpoint.elem_cells(),
+                program: prog.name.clone(),
+                nprocs: bind.nprocs as usize,
+                deadline_ms: deadline.as_secs_f64() * 1e3,
+                max_attempts,
+            };
+        }
+        let failure = out.failure.as_ref().unwrap();
+        // Every implicated site: the headline plus all primary
+        // per-processor faults (poison observations are victims, not
+        // causes; the dispatch sentinel is outside the site walk).
+        let mut sites_hit = BTreeSet::new();
+        if let Some(s) = failure.cause.site() {
+            if s != DISPATCH_SITE {
+                sites_hit.insert(s);
+            }
+        }
+        for e in out.proc_errors.iter().flatten() {
+            if e.is_primary() && e.site() != DISPATCH_SITE {
+                sites_hit.insert(e.site());
+            }
+        }
+        let mut actions = Vec::new();
+        for &site in &sites_hit {
+            let label = site_labels
+                .get(site)
+                .cloned()
+                .unwrap_or_else(|| format!("s{site}"));
+            let action = match ledger.record_fault(site) {
+                FaultDisposition::Demote => {
+                    demote_site(&mut working, site);
+                    demoted.push((site, label.clone()));
+                    "demote"
+                }
+                FaultDisposition::Quarantine => {
+                    if let Some(m) = &masked {
+                        m.mask(site);
+                    }
+                    "quarantine"
+                }
+                FaultDisposition::Isolate => {
+                    if let Some(m) = &masked {
+                        m.isolate();
+                    }
+                    "isolate"
+                }
+                FaultDisposition::Retry => "retry",
+            };
+            actions.push(SiteActionReport {
+                site,
+                label,
+                action: action.to_string(),
+            });
+        }
+        let backoff = policy.backoff_before(attempt);
+        attempts.push(AttemptReport {
+            attempt,
+            headline: failure.headline(),
+            actions,
+            backoff_ms: backoff.as_millis() as u64,
+            barrier_episodes: out.stats.barrier_episodes,
+            counter_increments: out.stats.counter_increments,
+            neighbor_posts: out.stats.neighbor_posts,
+        });
+        checkpoint.rollback(mem);
+        fabric.reset();
+        std::thread::sleep(backoff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::BarrierKind;
+    use crate::run_sequential;
+    use ir::build::*;
+    use spmd_opt::{fork_join, optimize};
+    use std::time::Duration;
+
+    fn sweep(n_val: i64, steps: i64, nprocs: i64) -> (Arc<Program>, Arc<Bindings>) {
+        let mut pb = ProgramBuilder::new("sweep");
+        let n = pb.sym("n");
+        let a = pb.array("A", &[sym(n)], dist_block());
+        let b = pb.array("B", &[sym(n)], dist_block());
+        let _t = pb.begin_seq("t", con(0), con(steps - 1));
+        let i = pb.begin_par("i", con(1), sym(n) - 2);
+        pb.assign(
+            elem(b, [idx(i)]),
+            ex(0.5) * (arr(a, [idx(i) - 1]) + arr(a, [idx(i) + 1])),
+        );
+        pb.end();
+        let j = pb.begin_par("j", con(1), sym(n) - 2);
+        pb.assign(elem(a, [idx(j)]), arr(b, [idx(j)]));
+        pb.end();
+        pb.end();
+        let prog = Arc::new(pb.finish());
+        let bind = Arc::new(Bindings::new(nprocs).set(n, n_val));
+        (prog, bind)
+    }
+
+    fn guarded(chaos: Option<Arc<dyn SyncChaos>>) -> ObserveOptions {
+        ObserveOptions {
+            barrier: BarrierKind::Central,
+            deadline: Some(Duration::from_millis(120)),
+            chaos,
+            ..ObserveOptions::default()
+        }
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 7,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+        }
+    }
+
+    /// Drops every visit of one (site, pid) — a persistent fault a
+    /// single retry cannot outrun; only the full ladder converges.
+    ///
+    /// The site must be one whose dropped post actually wedges the
+    /// region: with one shared barrier across sites, a skipped arrival
+    /// mid-run is backfilled by the dropper's *next* arrival (episode
+    /// aliasing), so the tests drop at the run's final barrier site,
+    /// where no later arrival can paper over the hole.
+    struct DropAt {
+        site: usize,
+        pid: usize,
+    }
+
+    impl SyncChaos for DropAt {
+        fn at_sync(&self, site: usize, pid: usize, _visit: u64) -> ChaosAction {
+            if site == self.site && pid == self.pid {
+                ChaosAction::Drop
+            } else {
+                ChaosAction::None
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_dropped_arrival_converges_via_the_ladder() {
+        let (prog, bind) = sweep(32, 3, 4);
+        let team = Team::new(4);
+        let oracle = Mem::new(&prog, &bind);
+        oracle.fill(ir::ArrayId(0), |s| (s[0] % 5) as f64);
+        run_sequential(&prog, &bind, &oracle);
+
+        let plan = fork_join(&prog, &bind);
+        let last = sync_sites(&prog, &plan).len() - 1;
+        let mem = Arc::new(Mem::new(&prog, &bind));
+        mem.fill(ir::ArrayId(0), |s| (s[0] % 5) as f64);
+        let chaos: Arc<dyn SyncChaos> = Arc::new(DropAt { site: last, pid: 0 });
+        let r = run_parallel_recovering(
+            &prog,
+            &bind,
+            &plan,
+            &mem,
+            &team,
+            &guarded(Some(chaos)),
+            &fast_policy(),
+        );
+        assert!(r.ok(), "must converge: {:?}", r.outcome.failure);
+        assert!(r.recovered());
+        // Fault 1 → demote s0, fault 2 → quarantine s0, attempt 3 is
+        // clean: exactly two failed attempts.
+        assert_eq!(r.attempts.len(), 2);
+        assert_eq!(r.attempts_used, 3);
+        assert_eq!(r.attempts[0].actions[0].action, "demote");
+        assert_eq!(r.attempts[0].actions[0].site, last);
+        assert_eq!(r.attempts[1].actions[0].action, "quarantine");
+        assert!(r.quarantined.contains(&last));
+        assert_eq!(r.demoted[0].0, last);
+        // Rolled-back retries leave no trace in memory: the recovered
+        // result is bit-identical to the sequential oracle.
+        assert_eq!(mem.max_abs_diff(&oracle), 0.0);
+        // Backoffs in the report are the planned policy values.
+        assert_eq!(r.attempts[0].backoff_ms, 1);
+        assert_eq!(r.attempts[1].backoff_ms, 2);
+    }
+
+    #[test]
+    fn clean_run_spends_one_attempt_and_is_not_a_recovery() {
+        let (prog, bind) = sweep(32, 3, 4);
+        let team = Team::new(4);
+        let plan = optimize(&prog, &bind);
+        let mem = Arc::new(Mem::new(&prog, &bind));
+        let r = run_parallel_recovering(
+            &prog,
+            &bind,
+            &plan,
+            &mem,
+            &team,
+            &guarded(None),
+            &fast_policy(),
+        );
+        assert!(r.ok() && !r.recovered());
+        assert_eq!(r.attempts_used, 1);
+        assert!(r.attempts.is_empty() && r.demoted.is_empty());
+        let rep = r.report(None);
+        assert!(rep.ok && !rep.recovered);
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_the_residual_failure() {
+        let (prog, bind) = sweep(32, 2, 4);
+        let team = Team::new(4);
+        let plan = fork_join(&prog, &bind);
+        let last = sync_sites(&prog, &plan).len() - 1;
+        let mem = Arc::new(Mem::new(&prog, &bind));
+        let chaos: Arc<dyn SyncChaos> = Arc::new(DropAt { site: last, pid: 0 });
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            ..fast_policy()
+        };
+        let r = run_parallel_recovering(
+            &prog,
+            &bind,
+            &plan,
+            &mem,
+            &team,
+            &guarded(Some(chaos)),
+            &policy,
+        );
+        assert!(!r.ok());
+        assert_eq!(r.attempts_used, 1);
+        let rep = r.report(Some(9));
+        assert!(!rep.ok && rep.residual.is_some());
+        assert_eq!(rep.chaos_seed, Some(9));
+    }
+
+    /// Satellite: per-attempt telemetry isolation. The final outcome's
+    /// stats must equal the final attempt's schedule-derived counts —
+    /// nothing from the abandoned attempts leaks through the reset.
+    #[test]
+    fn final_attempt_stats_are_not_conflated_with_retries() {
+        let (prog, bind) = sweep(32, 3, 4);
+        let team = Team::new(4);
+        let plan = fork_join(&prog, &bind);
+        let last = sync_sites(&prog, &plan).len() - 1;
+        let mem = Arc::new(Mem::new(&prog, &bind));
+        let chaos: Arc<dyn SyncChaos> = Arc::new(DropAt { site: last, pid: 0 });
+        let r = run_parallel_recovering(
+            &prog,
+            &bind,
+            &plan,
+            &mem,
+            &team,
+            &guarded(Some(chaos)),
+            &fast_policy(),
+        );
+        assert!(r.ok());
+        assert_eq!(r.outcome.stats.barrier_episodes, r.outcome.counts.barriers);
+        assert_eq!(
+            r.outcome.stats.counter_increments,
+            r.outcome.counts.counter_increments
+        );
+        // Each failed attempt recorded its own (partial) numbers; a
+        // doubled-up count would exceed one schedule's worth.
+        for a in &r.attempts {
+            assert!(a.barrier_episodes <= r.outcome.counts.barriers);
+        }
+    }
+}

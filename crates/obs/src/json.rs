@@ -82,6 +82,14 @@ impl Json {
         }
     }
 
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Serialize compactly (no whitespace).
     pub fn to_string_compact(&self) -> String {
         let mut out = String::new();
@@ -193,6 +201,11 @@ impl From<f64> for Json {
 }
 impl From<u64> for Json {
     fn from(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
         Json::Num(n as f64)
     }
 }

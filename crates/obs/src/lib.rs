@@ -23,12 +23,16 @@ pub mod explain;
 pub mod failure;
 pub mod json;
 pub mod metrics;
+pub mod recovery;
 pub mod trace;
 
 pub use explain::{explain_json, producer_str, render_decisions};
 pub use failure::{failure_json, render_failure, FailureCause, FailureReport};
 pub use json::{parse, Json};
 pub use metrics::{metrics_json, render_site_table};
+pub use recovery::{
+    recovery_json, render_recovery, AttemptReport, RecoveryReport, SiteActionReport,
+};
 pub use trace::{Span, SpanCat, TraceBuilder};
 
 use spmd_opt::{sync_sites, SpmdProgram};

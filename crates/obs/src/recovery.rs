@@ -1,0 +1,334 @@
+//! Structured reports for self-healed executions.
+//!
+//! The recovery supervisor (in the `interp` crate — this module is
+//! plain data so `obs` stays below `interp` in the crate DAG) retries a
+//! failed region after rolling memory back to a checkpoint, demoting
+//! the faulting sync site to a full barrier, and — on repeated faults —
+//! quarantining the site. A [`RecoveryReport`] records that whole
+//! timeline: every failed attempt with its headline and the ladder
+//! actions taken, the sites left demoted or quarantined, and the
+//! residual [`FailureReport`] when the retry budget ran out.
+//!
+//! Rendering is deterministic: backoffs are the *planned* values from
+//! the retry policy (`base * 2^(retry-1)`, capped), never measured
+//! wall-clock, so two runs with the same seed produce byte-identical
+//! reports.
+
+use crate::failure::{failure_json, FailureReport};
+use crate::json::Json;
+
+/// One escalation-ladder action applied to a sync site after a failed
+/// attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SiteActionReport {
+    /// Canonical sync-site id.
+    pub site: usize,
+    /// The site's label in the canonical walk.
+    pub label: String,
+    /// `"demote"`, `"quarantine"`, or `"retry"`.
+    pub action: String,
+}
+
+/// One failed execution attempt and what the supervisor did about it.
+#[derive(Clone, Debug)]
+pub struct AttemptReport {
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// The failure headline of this attempt.
+    pub headline: String,
+    /// Ladder actions taken per implicated site (empty when the fault
+    /// had no attributable site — a panic or dispatch timeout — and the
+    /// attempt was plainly retried).
+    pub actions: Vec<SiteActionReport>,
+    /// Planned backoff before the next attempt, in milliseconds.
+    pub backoff_ms: u64,
+    /// Barrier episodes counted during *this* attempt only (the fabric
+    /// stats are reset between attempts, so retries never double-count).
+    pub barrier_episodes: u64,
+    /// Counter increments during this attempt only.
+    pub counter_increments: u64,
+    /// Neighbor posts during this attempt only.
+    pub neighbor_posts: u64,
+}
+
+/// The full recovery timeline of one supervised execution.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Program whose schedule was supervised.
+    pub program: String,
+    /// Team size.
+    pub nprocs: usize,
+    /// The armed per-wait deadline, in milliseconds.
+    pub deadline_ms: f64,
+    /// The retry budget (total executions allowed).
+    pub max_attempts: u32,
+    /// Executions actually spent (1 = clean first run).
+    pub attempts_used: u32,
+    /// True when the run completed only thanks to at least one retry.
+    pub recovered: bool,
+    /// True when the final attempt completed (clean or recovered).
+    pub ok: bool,
+    /// The failed attempts, in order (a clean first run has none).
+    pub attempts: Vec<AttemptReport>,
+    /// Sites demoted to a full barrier, with their labels, in demotion
+    /// order.
+    pub demoted: Vec<(usize, String)>,
+    /// Sites quarantined after demotion failed to help, in escalation
+    /// order.
+    pub quarantined: Vec<usize>,
+    /// Fault count per site (site → faults), sorted by site.
+    pub fault_counts: Vec<(usize, u32)>,
+    /// Array cells in the region checkpoint (how small the write-set
+    /// snapshot was).
+    pub checkpoint_cells: usize,
+    /// Chaos seed, when a fault injector was active.
+    pub chaos_seed: Option<u64>,
+    /// The terminal failure, when the budget ran out without a
+    /// completed attempt.
+    pub residual: Option<FailureReport>,
+}
+
+/// The recovery document (deterministic member order).
+pub fn recovery_json(r: &RecoveryReport) -> Json {
+    let attempts: Vec<Json> = r
+        .attempts
+        .iter()
+        .map(|a| {
+            Json::obj()
+                .set("attempt", a.attempt)
+                .set("headline", a.headline.as_str())
+                .set(
+                    "actions",
+                    Json::Arr(
+                        a.actions
+                            .iter()
+                            .map(|x| {
+                                Json::obj()
+                                    .set("site", x.site)
+                                    .set("label", x.label.as_str())
+                                    .set("action", x.action.as_str())
+                            })
+                            .collect(),
+                    ),
+                )
+                .set("backoff_ms", a.backoff_ms)
+                .set("barrier_episodes", a.barrier_episodes)
+                .set("counter_increments", a.counter_increments)
+                .set("neighbor_posts", a.neighbor_posts)
+        })
+        .collect();
+    let mut doc = Json::obj()
+        .set("program", r.program.as_str())
+        .set("nprocs", r.nprocs)
+        .set("deadline_ms", r.deadline_ms)
+        .set("max_attempts", r.max_attempts)
+        .set("attempts_used", r.attempts_used)
+        .set("recovered", r.recovered)
+        .set("ok", r.ok)
+        .set("attempts", Json::Arr(attempts))
+        .set(
+            "demoted",
+            Json::Arr(
+                r.demoted
+                    .iter()
+                    .map(|(s, l)| Json::obj().set("site", *s).set("label", l.as_str()))
+                    .collect(),
+            ),
+        )
+        .set(
+            "quarantined",
+            Json::Arr(r.quarantined.iter().map(|&s| Json::Num(s as f64)).collect()),
+        )
+        .set(
+            "fault_counts",
+            Json::Arr(
+                r.fault_counts
+                    .iter()
+                    .map(|&(s, n)| Json::obj().set("site", s).set("faults", n))
+                    .collect(),
+            ),
+        )
+        .set("checkpoint_cells", r.checkpoint_cells);
+    if let Some(seed) = r.chaos_seed {
+        doc = doc.set("chaos_seed", seed);
+    }
+    if let Some(f) = &r.residual {
+        doc = doc.set("residual", failure_json(f));
+    }
+    doc
+}
+
+/// Human-readable recovery timeline (what `beopt --run --recover`
+/// prints). Deterministic for a fixed seed: backoffs are the planned
+/// policy values, and no wall-clock figures appear.
+pub fn render_recovery(r: &RecoveryReport) -> String {
+    let mut out = String::new();
+    out.push_str("--- recovery report ---\n");
+    out.push_str(&format!("program : {} (P={})\n", r.program, r.nprocs));
+    out.push_str(&format!(
+        "budget  : {} attempt(s), deadline {:.0}ms/wait\n",
+        r.max_attempts, r.deadline_ms
+    ));
+    if let Some(seed) = r.chaos_seed {
+        out.push_str(&format!("chaos   : seed {seed}\n"));
+    }
+    for a in &r.attempts {
+        out.push_str(&format!("attempt {}: FAILED — {}\n", a.attempt, a.headline));
+        for x in &a.actions {
+            out.push_str(&format!(
+                "  ladder : {} s{} ({})\n",
+                x.action, x.site, x.label
+            ));
+        }
+        if a.actions.is_empty() {
+            out.push_str("  ladder : plain retry (no attributable site)\n");
+        }
+        out.push_str(&format!(
+            "  rollback to checkpoint ({} cells), backoff {}ms\n",
+            r.checkpoint_cells, a.backoff_ms
+        ));
+    }
+    if r.ok {
+        if r.recovered {
+            out.push_str(&format!(
+                "attempt {}: OK — recovered after {} failed attempt(s)\n",
+                r.attempts_used,
+                r.attempts.len()
+            ));
+        } else {
+            out.push_str("attempt 1: OK — no recovery needed\n");
+        }
+    } else {
+        out.push_str(&format!(
+            "attempt {}: budget exhausted — giving up\n",
+            r.attempts_used
+        ));
+    }
+    if !r.demoted.is_empty() {
+        let list: Vec<String> = r
+            .demoted
+            .iter()
+            .map(|(s, l)| format!("s{s} ({l})"))
+            .collect();
+        out.push_str(&format!("demoted : {}\n", list.join(", ")));
+    }
+    if !r.quarantined.is_empty() {
+        let list: Vec<String> = r.quarantined.iter().map(|s| format!("s{s}")).collect();
+        out.push_str(&format!("quarantined : {}\n", list.join(", ")));
+    }
+    if let Some(f) = &r.residual {
+        out.push_str(&crate::failure::render_failure(f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RecoveryReport {
+        RecoveryReport {
+            program: "jacobi".to_string(),
+            nprocs: 4,
+            deadline_ms: 120.0,
+            max_attempts: 7,
+            attempts_used: 3,
+            recovered: true,
+            ok: true,
+            attempts: vec![
+                AttemptReport {
+                    attempt: 1,
+                    headline: "deadline exceeded after 120ms at s2 (after DOALL i) on P1: \
+                               counter wait needed 2, observed 1"
+                        .to_string(),
+                    actions: vec![SiteActionReport {
+                        site: 2,
+                        label: "after DOALL i".to_string(),
+                        action: "demote".to_string(),
+                    }],
+                    backoff_ms: 5,
+                    barrier_episodes: 1,
+                    counter_increments: 3,
+                    neighbor_posts: 0,
+                },
+                AttemptReport {
+                    attempt: 2,
+                    headline: "deadline exceeded after 120ms at s2 (after DOALL i) on P1: \
+                               barrier wait needed 4, observed 3"
+                        .to_string(),
+                    actions: vec![SiteActionReport {
+                        site: 2,
+                        label: "after DOALL i".to_string(),
+                        action: "quarantine".to_string(),
+                    }],
+                    backoff_ms: 10,
+                    barrier_episodes: 2,
+                    counter_increments: 0,
+                    neighbor_posts: 0,
+                },
+            ],
+            demoted: vec![(2, "after DOALL i".to_string())],
+            quarantined: vec![2],
+            fault_counts: vec![(2, 2)],
+            checkpoint_cells: 46,
+            chaos_seed: Some(7),
+            residual: None,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_and_names_the_ladder() {
+        let doc = recovery_json(&sample());
+        assert_eq!(doc.get("recovered").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("attempts_used").unwrap().as_u64(), Some(3));
+        let attempts = doc.get("attempts").unwrap().as_arr().unwrap();
+        assert_eq!(attempts.len(), 2);
+        let a0 = &attempts[0];
+        let act = &a0.get("actions").unwrap().as_arr().unwrap()[0];
+        assert_eq!(act.get("action").unwrap().as_str(), Some("demote"));
+        assert_eq!(act.get("site").unwrap().as_u64(), Some(2));
+        assert_eq!(a0.get("backoff_ms").unwrap().as_u64(), Some(5));
+        let txt = doc.to_string_pretty();
+        assert_eq!(crate::json::parse(&txt).unwrap(), doc);
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_tells_the_story() {
+        let r = sample();
+        let t1 = render_recovery(&r);
+        let t2 = render_recovery(&r);
+        assert_eq!(t1, t2);
+        assert!(t1.contains("attempt 1: FAILED"));
+        assert!(t1.contains("demote s2"));
+        assert!(t1.contains("quarantine s2"));
+        assert!(t1.contains("backoff 5ms"));
+        assert!(t1.contains("recovered after 2 failed attempt(s)"));
+        assert!(!t1.to_lowercase().contains("elapsed"), "no wall-clock");
+    }
+
+    #[test]
+    fn exhausted_budget_reports_residual_failure() {
+        let mut r = sample();
+        r.ok = false;
+        r.recovered = false;
+        r.residual = Some(crate::failure::FailureReport {
+            program: "jacobi".to_string(),
+            nprocs: 4,
+            deadline_ms: 120.0,
+            cause: crate::failure::FailureCause::Panic {
+                pid: 0,
+                message: "boom".to_string(),
+            },
+            site_label: String::new(),
+            per_proc: vec!["ok".to_string(); 4],
+            chaos_seed: None,
+            sites: Vec::new(),
+        });
+        let txt = render_recovery(&r);
+        assert!(txt.contains("budget exhausted"));
+        assert!(txt.contains("sync failure report"));
+        let doc = recovery_json(&r);
+        assert!(doc.get("residual").is_some());
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    }
+}

@@ -437,6 +437,168 @@ pub fn chaos_check(
     }
 }
 
+/// One tooth's verdict under the *recovering* executor: the dropped
+/// post must be absorbed (demote → quarantine → isolate) within the
+/// retry budget, with results matching the sequential oracle.
+#[derive(Debug)]
+pub struct RecoveredTooth {
+    /// What was dropped.
+    pub spec: DropSpec,
+    /// Primitive kind at the dropped site.
+    pub kind: &'static str,
+    /// The supervised run completed within the budget.
+    pub converged: bool,
+    /// Completion took at least one retry (a persistent drop absorbed
+    /// silently would mean the tooth never bit).
+    pub recovered: bool,
+    /// Divergence of the recovered memory from the sequential oracle.
+    pub diff: f64,
+    /// Executions spent.
+    pub attempts_used: u32,
+    /// The full recovery timeline (for `recovery.json` bundles).
+    pub report: obs::RecoveryReport,
+}
+
+/// Recovery campaign verdict for one (program, plan).
+#[derive(Debug)]
+pub struct RecoveryCheckReport {
+    /// Program name.
+    pub program: String,
+    /// Chaos seed used throughout.
+    pub seed: u64,
+    /// Tolerance the diffs were checked against.
+    pub tol: f64,
+    /// The benign seeded run completed (retries allowed — self-healing
+    /// may absorb an unlucky stall) and matched the oracle.
+    pub benign_ok: bool,
+    /// Divergence of the benign run from the sequential oracle.
+    pub benign_diff: f64,
+    /// One verdict per droppable post.
+    pub teeth: Vec<RecoveredTooth>,
+}
+
+impl RecoveryCheckReport {
+    /// True when the benign run passed and every tooth was absorbed by
+    /// recovery with oracle-exact results.
+    pub fn ok(&self) -> bool {
+        self.benign_ok
+            && self
+                .teeth
+                .iter()
+                .all(|t| t.converged && t.recovered && t.diff <= self.tol)
+    }
+
+    /// Human-readable failure lines (empty when [`RecoveryCheckReport::ok`]).
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if !self.benign_ok {
+            out.push(format!(
+                "benign recovering run failed (seed {}, diff {:e})",
+                self.seed, self.benign_diff
+            ));
+        }
+        for t in &self.teeth {
+            if !t.converged {
+                out.push(format!(
+                    "dropped {} post at s{} (P{}) exhausted the retry budget ({} attempts)",
+                    t.kind, t.spec.site, t.spec.pid, t.attempts_used
+                ));
+            } else if !t.recovered {
+                out.push(format!(
+                    "dropped {} post at s{} (P{}) was absorbed without any retry (tooth never bit)",
+                    t.kind, t.spec.site, t.spec.pid
+                ));
+            } else if t.diff > self.tol {
+                out.push(format!(
+                    "recovered run for dropped {} post at s{} diverged from the oracle by {:e}",
+                    t.kind, t.spec.site, t.diff
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Run the chaos campaign under the self-healing executor: a benign
+/// seeded run, then one targeted persistent drop per droppable post —
+/// each must *converge via recovery* (per-site barrier fallback,
+/// quarantine, isolation) with memory matching the sequential oracle,
+/// instead of merely being detected as [`chaos_check`] demands.
+#[allow(clippy::too_many_arguments)]
+pub fn recovery_check(
+    prog: &Arc<Program>,
+    bind: &Arc<Bindings>,
+    plan: &SpmdProgram,
+    team: &Team,
+    seed: u64,
+    deadline: Duration,
+    tol: f64,
+    policy: &runtime::RetryPolicy,
+) -> RecoveryCheckReport {
+    let oracle = Mem::new(prog, bind);
+    run_sequential(prog, bind, &oracle);
+
+    let mem = Arc::new(Mem::new(prog, bind));
+    let benign = interp::run_parallel_recovering(
+        prog,
+        bind,
+        plan,
+        &mem,
+        team,
+        &ObserveOptions {
+            deadline: Some(deadline),
+            chaos: Some(Arc::new(ChaosInjector::new(seed))),
+            ..ObserveOptions::default()
+        },
+        policy,
+    );
+    let benign_diff = mem.max_abs_diff(&oracle);
+    let benign_ok = benign.ok() && benign_diff <= tol;
+
+    let mut teeth = Vec::new();
+    for cand in droppable_posts(prog, bind, plan) {
+        let inj = ChaosInjector::with_config(
+            seed,
+            ChaosConfig {
+                drop: Some(cand.spec),
+                ..ChaosConfig::default()
+            },
+        );
+        let mem = Arc::new(Mem::new(prog, bind));
+        let r = interp::run_parallel_recovering(
+            prog,
+            bind,
+            plan,
+            &mem,
+            team,
+            &ObserveOptions {
+                deadline: Some(deadline),
+                chaos: Some(Arc::new(inj)),
+                ..ObserveOptions::default()
+            },
+            policy,
+        );
+        teeth.push(RecoveredTooth {
+            spec: cand.spec,
+            kind: cand.kind,
+            converged: r.ok(),
+            recovered: r.recovered(),
+            diff: mem.max_abs_diff(&oracle),
+            attempts_used: r.attempts_used,
+            report: r.report(Some(seed)),
+        });
+    }
+
+    RecoveryCheckReport {
+        program: prog.name.clone(),
+        seed,
+        tol,
+        benign_ok,
+        benign_diff,
+        teeth,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,6 +634,38 @@ mod tests {
         assert_eq!(inj.at_sync(2, 1, 9), ChaosAction::Drop);
         assert_ne!(inj.at_sync(2, 1, 3), ChaosAction::Drop);
         assert_ne!(inj.at_sync(2, 0, 4), ChaosAction::Drop);
+    }
+
+    #[test]
+    fn generated_program_recovers_from_every_tooth() {
+        use spmd_opt::optimize;
+        let g = gen::generate(5);
+        let bind = Arc::new(g.bindings(4));
+        let prog = Arc::new(g.prog.clone());
+        let plan = optimize(&prog, &bind);
+        let team = Team::new(4);
+        let policy = runtime::RetryPolicy {
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            ..runtime::RetryPolicy::default()
+        };
+        let r = recovery_check(
+            &prog,
+            &bind,
+            &plan,
+            &team,
+            11,
+            Duration::from_millis(150),
+            0.0,
+            &policy,
+        );
+        assert!(r.ok(), "recovery check failed: {:?}", r.failures());
+        for t in &r.teeth {
+            assert!(t.attempts_used <= policy.max_attempts);
+            assert!(t.report.recovered);
+            // The ladder actually engaged: something was demoted.
+            assert!(!t.report.demoted.is_empty());
+        }
     }
 
     #[test]

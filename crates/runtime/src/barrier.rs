@@ -77,11 +77,23 @@ impl CentralBarrier {
         }
     }
 
+    /// Re-arm the barrier for a fresh region attempt: zero the arrival
+    /// count and restore the initial sense. A failed episode leaves the
+    /// state mid-flight (partial count, flipped sense on some threads),
+    /// so the recovery supervisor calls this between attempts — only
+    /// after every worker has been joined, with callers starting from a
+    /// fresh `false` local sense.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Release);
+        self.sense.store(false, Ordering::Release);
+    }
+
     /// As [`CentralBarrier::wait`], but guarded: returns
     /// [`SyncError::DeadlineExceeded`] (attributed to `site`/`pid`)
     /// instead of hanging when a peer never arrives, and bails out on
     /// region poison. A failed episode leaves the barrier state
-    /// unusable — the region must be torn down, never retried.
+    /// unusable for further waits — the region must be torn down and
+    /// the barrier [`reset`](CentralBarrier::reset) before any retry.
     pub fn wait_until(
         &self,
         local_sense: &mut bool,
@@ -201,11 +213,23 @@ impl TreeBarrier {
         }
     }
 
+    /// Re-arm the barrier for a fresh region attempt: zero every
+    /// dissemination flag. Only legal after all workers have been
+    /// joined; callers must restart from a fresh zero epoch.
+    pub fn reset(&self) {
+        for round in &self.flags {
+            for f in round {
+                f.store(0, Ordering::Release);
+            }
+        }
+    }
+
     /// As [`TreeBarrier::wait`], but guarded: each dissemination round
     /// is deadline-bounded, returning [`SyncError::DeadlineExceeded`]
     /// (attributed to `site`/`pid`) instead of hanging, and bailing out
     /// on region poison. A failed episode leaves the barrier state
-    /// unusable — the region must be torn down, never retried.
+    /// unusable for further waits — the region must be torn down and
+    /// the barrier [`reset`](TreeBarrier::reset) before any retry.
     pub fn wait_until(
         &self,
         pid: usize,
@@ -365,6 +389,59 @@ mod tests {
             for h in handles {
                 h.join().unwrap();
             }
+        }
+    }
+
+    #[test]
+    fn reset_rearms_a_failed_central_episode() {
+        use crate::fault::Watchdog;
+        use std::time::Duration;
+        // One of two processors times out, leaving a stranded arrival
+        // in the count; after reset (and fresh local senses) the
+        // barrier completes episodes again.
+        let wd = Watchdog::new(Duration::from_millis(30));
+        let b = Arc::new(CentralBarrier::new(2));
+        let mut sense = false;
+        assert!(b.wait_until(&mut sense, &wd, 0, 0).is_err());
+        b.reset();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let mut sense = false;
+                    for _ in 0..20 {
+                        b.wait(&mut sense);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn reset_rearms_a_failed_tree_episode() {
+        use crate::fault::Watchdog;
+        use std::time::Duration;
+        let wd = Watchdog::new(Duration::from_millis(30));
+        let t = Arc::new(TreeBarrier::new(3));
+        let mut epoch = 0;
+        assert!(t.wait_until(0, &mut epoch, &wd, 0).is_err());
+        t.reset();
+        let handles: Vec<_> = (0..3)
+            .map(|pid| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    let mut epoch = 0;
+                    for _ in 0..20 {
+                        t.wait(pid, &mut epoch);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
         }
     }
 

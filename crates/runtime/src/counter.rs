@@ -279,6 +279,40 @@ mod tests {
         }
     }
 
+    /// The recovery loop's contract: each retry attempt resets the bank
+    /// between attempts (bumping the generation), and waits issued
+    /// *after* the reset run against the fresh generation — they must
+    /// succeed normally, never trip [`SyncError::StaleGeneration`] on
+    /// their own attempt's stamp.
+    #[test]
+    fn reset_generations_do_not_go_stale_for_fresh_waits() {
+        use crate::fault::Watchdog;
+        use std::time::Duration;
+        let c = Arc::new(Counters::new(2));
+        for attempt in 0..4u64 {
+            assert_eq!(c.generation(), attempt);
+            // Fresh watchdog per attempt, like the executor's guarded
+            // runs re-armed by the recovery supervisor.
+            let wd = Arc::new(Watchdog::new(Duration::from_secs(30)));
+            let waiter = {
+                let (wd, c) = (Arc::clone(&wd), Arc::clone(&c));
+                std::thread::spawn(move || c.wait_ge_until(0, 3, &wd, 1, 1))
+            };
+            for _ in 0..3 {
+                c.increment(0);
+            }
+            assert_eq!(waiter.join().unwrap(), Ok(()), "attempt {attempt}");
+            // Counter values from the abandoned attempt must not leak
+            // into the next: reset zeroes them and stamps a new
+            // generation.
+            c.increment(1);
+            c.reset();
+            assert_eq!(c.value(0), 0);
+            assert_eq!(c.value(1), 0);
+        }
+        assert_eq!(c.generation(), 4);
+    }
+
     #[test]
     fn guarded_wait_detects_stale_generation() {
         use crate::fault::{SyncError, Watchdog};

@@ -19,7 +19,11 @@
 //!   blocking wait (spin → yield → park), a team-level [`Watchdog`] with
 //!   region poisoning, and panic-safe joins ([`Team::try_run`]), so a
 //!   miscompiled schedule or a panicking worker is a diagnosed error
-//!   instead of a hang.
+//!   instead of a hang;
+//! * **recovery policy** ([`recovery`]) — the retry budget, deterministic
+//!   exponential backoff, and per-site quarantine ledger the executor's
+//!   self-healing loop consults when a detected fault is retried instead
+//!   of reported terminally.
 
 //! ```
 //! use runtime::{Team, Counters};
@@ -45,6 +49,7 @@ pub mod barrier;
 pub mod counter;
 pub mod fault;
 pub mod neighbor;
+pub mod recovery;
 pub mod stats;
 pub mod team;
 pub mod telemetry;
@@ -53,6 +58,7 @@ pub use barrier::{CentralBarrier, TreeBarrier};
 pub use counter::Counters;
 pub use fault::{SyncError, WaitPoll, Watchdog, DISPATCH_SITE};
 pub use neighbor::NeighborFlags;
+pub use recovery::{FaultDisposition, Quarantine, RetryPolicy};
 pub use stats::{SyncKind, SyncStats};
 pub use team::{RegionError, Team};
 pub use telemetry::{

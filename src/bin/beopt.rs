@@ -29,12 +29,13 @@
 use barrier_elim::analysis::Bindings;
 use barrier_elim::frontend;
 use barrier_elim::interp::{
-    run_parallel_observed, run_sequential, run_virtual, run_virtual_traced, Mem, ObserveOptions,
-    ScheduleOrder,
+    run_parallel_observed, run_parallel_recovering, run_sequential, run_virtual,
+    run_virtual_traced, Mem, ObserveOptions, ScheduleOrder, SyncChaos,
 };
 use barrier_elim::ir::Program;
 use barrier_elim::obs::{self, TraceBuilder};
-use barrier_elim::runtime::Team;
+use barrier_elim::oracle::{ChaosConfig, ChaosInjector, DropSpec};
+use barrier_elim::runtime::{RetryPolicy, Team};
 use barrier_elim::spmd_opt::{fork_join, optimize_logged, render_plan};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -50,6 +51,10 @@ struct Args {
     metrics_json: Option<String>,
     trace_out: Option<String>,
     deadline_ms: Option<u64>,
+    recover: bool,
+    max_attempts: Option<u32>,
+    chaos_seed: Option<u64>,
+    chaos_drop: Option<DropSpec>,
 }
 
 fn usage() -> ! {
@@ -70,7 +75,20 @@ fn usage() -> ! {
          --deadline MS       with --run: execute on real threads under a\n\
          \x20                    watchdog; every blocking wait is bounded by MS\n\
          \x20                    milliseconds and a hang/panic becomes a printed\n\
-         \x20                    failure report instead of a wedged process"
+         \x20                    failure report instead of a wedged process\n\
+         --recover           with --run: execute under the self-healing\n\
+         \x20                    supervisor — on a detected fault, roll back to\n\
+         \x20                    the region checkpoint, demote the faulting site\n\
+         \x20                    to a barrier, and retry with backoff; prints a\n\
+         \x20                    recovery report and exits 0 when the run\n\
+         \x20                    completes (even after retries)\n\
+         --max-attempts N    with --recover: retry budget (default 9)\n\
+         --chaos-seed S      with --run + --deadline: perturb every sync event\n\
+         \x20                    with seeded benign chaos\n\
+         --chaos-drop S:P:V  with --run + --deadline: drop processor P's posts\n\
+         \x20                    at sync site S from dynamic visit V on (a\n\
+         \x20                    persistent fault; without --recover this run\n\
+         \x20                    fails, with it the supervisor absorbs it)"
     );
     std::process::exit(2);
 }
@@ -87,6 +105,10 @@ fn parse_args() -> Args {
         metrics_json: None,
         trace_out: None,
         deadline_ms: None,
+        recover: false,
+        max_attempts: None,
+        chaos_seed: None,
+        chaos_drop: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -115,6 +137,36 @@ fn parse_args() -> Args {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
                 );
+            }
+            "--recover" => args.recover = true,
+            "--max-attempts" => {
+                args.max_attempts = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--chaos-seed" => {
+                args.chaos_seed = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--chaos-drop" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let parts: Vec<_> = spec.split(':').collect();
+                let parse3 = || -> Option<DropSpec> {
+                    let [s, p, v] = parts.as_slice() else {
+                        return None;
+                    };
+                    Some(DropSpec {
+                        site: s.parse().ok()?,
+                        pid: p.parse().ok()?,
+                        from_visit: v.parse().ok()?,
+                    })
+                };
+                args.chaos_drop = Some(parse3().unwrap_or_else(|| usage()));
             }
             "--help" | "-h" => usage(),
             _ if args.path.is_empty() && !a.starts_with('-') => args.path = a,
@@ -229,6 +281,14 @@ fn main() -> ExitCode {
             eprintln!("beopt: --deadline needs --run (it guards the real-thread execution)");
             return ExitCode::FAILURE;
         }
+        if args.recover {
+            eprintln!("beopt: --recover needs --run (it supervises the real-thread execution)");
+            return ExitCode::FAILURE;
+        }
+        if args.chaos_seed.is_some() || args.chaos_drop.is_some() {
+            eprintln!("beopt: --chaos-seed/--chaos-drop need --run");
+            return ExitCode::FAILURE;
+        }
         if let Some(path) = &args.trace_out {
             eprintln!("beopt: --trace-out needs --run (the timeline comes from an execution)");
             let _ = path;
@@ -280,50 +340,118 @@ fn main() -> ExitCode {
     let mut spans: Option<Vec<obs::Span>> = virt_spans;
     let mut trace_source = "virtual interleaver (1 step = 1µs logical clock)";
 
-    if args.metrics_json.is_some() || args.deadline_ms.is_some() {
+    if args.metrics_json.is_some() || args.deadline_ms.is_some() || args.recover {
         // Real-thread execution with per-site telemetry (and a timeline
-        // if one was requested), optionally watchdog-guarded.
+        // if one was requested), optionally watchdog-guarded and/or
+        // supervised by the self-healing recovery loop.
         let prog_a = Arc::new(prog.clone());
         let bind_a = Arc::new(bind.clone());
         let mem_p = Arc::new(Mem::new(&prog, &bind));
         let team = Team::new(args.nprocs as usize);
-        let out_p = run_parallel_observed(
-            &prog_a,
-            &bind_a,
-            &plan,
-            &mem_p,
-            &team,
-            &ObserveOptions {
-                telemetry: true,
-                trace: args.trace_out.is_some(),
-                deadline: args.deadline_ms.map(std::time::Duration::from_millis),
-                ..ObserveOptions::default()
-            },
-        );
-        if let Some(failure) = &out_p.failure {
-            eprint!("{}", obs::render_failure(failure));
-            eprintln!("beopt: EXECUTION FAILED: {}", failure.headline());
+        let chaos: Option<Arc<dyn SyncChaos>> =
+            if args.chaos_seed.is_some() || args.chaos_drop.is_some() {
+                Some(Arc::new(ChaosInjector::with_config(
+                    args.chaos_seed.unwrap_or(0),
+                    ChaosConfig {
+                        drop: args.chaos_drop.clone(),
+                        ..ChaosConfig::default()
+                    },
+                )))
+            } else {
+                None
+            };
+        if chaos.is_some() && args.deadline_ms.is_none() && !args.recover {
+            eprintln!("beopt: chaos injection needs --deadline (or --recover), else a dropped post wedges the run");
             return ExitCode::FAILURE;
         }
+        // Recovery needs bounded waits to detect faults at all: default
+        // the watchdog when --recover is given without --deadline.
+        let deadline_ms = match (args.deadline_ms, args.recover) {
+            (Some(ms), _) => Some(ms),
+            (None, true) => Some(250),
+            (None, false) => None,
+        };
+        let opts = ObserveOptions {
+            telemetry: true,
+            trace: args.trace_out.is_some(),
+            deadline: deadline_ms.map(std::time::Duration::from_millis),
+            chaos,
+            ..ObserveOptions::default()
+        };
+        let mut ledger: Option<(Vec<usize>, Vec<usize>)> = None;
+        let (out_p, attempts_used) = if args.recover {
+            let policy = RetryPolicy {
+                max_attempts: args
+                    .max_attempts
+                    .unwrap_or(RetryPolicy::default().max_attempts),
+                ..RetryPolicy::default()
+            };
+            let r = run_parallel_recovering(&prog_a, &bind_a, &plan, &mem_p, &team, &opts, &policy);
+            print!("{}", obs::render_recovery(&r.report(args.chaos_seed)));
+            if !r.ok() {
+                eprintln!(
+                    "beopt: EXECUTION FAILED: recovery budget exhausted after {} attempt(s)",
+                    r.attempts_used
+                );
+                return ExitCode::FAILURE;
+            }
+            let n = r.attempts_used;
+            ledger = Some((
+                r.demoted.iter().map(|(s, _)| *s).collect(),
+                r.quarantined.clone(),
+            ));
+            (r.outcome, n)
+        } else {
+            let out_p = run_parallel_observed(&prog_a, &bind_a, &plan, &mem_p, &team, &opts);
+            if let Some(failure) = &out_p.failure {
+                eprint!("{}", obs::render_failure(failure));
+                eprintln!("beopt: EXECUTION FAILED: {}", failure.headline());
+                return ExitCode::FAILURE;
+            }
+            (out_p, 1)
+        };
         let diff_p = mem_p.max_abs_diff(&oracle);
         if diff_p > 1e-9 {
             eprintln!("beopt: VERIFICATION FAILED: real-thread results diverge by {diff_p:e}");
             return ExitCode::FAILURE;
         }
         println!(
-            "threads: optimized schedule on {} real threads in {:.3} ms{}",
+            "threads: optimized schedule on {} real threads in {:.3} ms{}{}",
             args.nprocs,
             out_p.elapsed.as_secs_f64() * 1e3,
-            match args.deadline_ms {
+            match deadline_ms {
                 Some(ms) => format!(" (watchdog: {ms} ms per wait)"),
                 None => String::new(),
+            },
+            if attempts_used > 1 {
+                format!(" (attempt {attempts_used})")
+            } else {
+                String::new()
             }
         );
         println!();
         print!("{}", obs::render_site_table(&out_p.sites));
         if let Some(path) = &args.metrics_json {
-            let doc =
-                obs::metrics_json(&prog.name, args.nprocs as usize, &out_p.sites, &out_p.stats);
+            let mut doc =
+                obs::metrics_json(&prog.name, args.nprocs as usize, &out_p.sites, &out_p.stats)
+                    .set("attempt", attempts_used);
+            if let Some((demoted, quarantined)) = &ledger {
+                doc = doc
+                    .set(
+                        "demoted",
+                        demoted
+                            .iter()
+                            .map(|&s| obs::Json::from(s))
+                            .collect::<Vec<_>>(),
+                    )
+                    .set(
+                        "quarantined",
+                        quarantined
+                            .iter()
+                            .map(|&s| obs::Json::from(s))
+                            .collect::<Vec<_>>(),
+                    );
+            }
             if write_output(path, "metrics JSON", &doc.to_string_pretty()).is_err() {
                 return ExitCode::FAILURE;
             }

@@ -7,6 +7,7 @@
 //! beoracle mutate  [--count N] [--seed S]
 //! beoracle kernels [--threads]
 //! beoracle chaos   [--chaos-seed S] [--deadline MS] [--nprocs P] [--repro-dir DIR]
+//!                  [--no-recover] [--recovery-json PATH]
 //! ```
 //!
 //! * `fuzz` — generate `N` random programs and differentially execute
@@ -23,10 +24,17 @@
 //!   the differential oracle caught.
 //! * `kernels` — run the differential oracle over every suite kernel.
 //! * `chaos` — run the seeded fault-injection campaign over the five
-//!   shipped `.be` kernels: a benign chaos run per plan must pass, and
-//!   every droppable sync post (final counter increment, neighbor
-//!   post, barrier arrival) must be detected within the deadline with
-//!   a failure report naming the dropped site.
+//!   shipped `.be` kernels. By default every droppable sync post
+//!   (final counter increment, neighbor post, barrier arrival) is
+//!   injected as a *persistent* fault and the self-healing supervisor
+//!   must absorb it — rolling back to the region checkpoint, demoting
+//!   the blamed site, retrying within the budget — with recovered
+//!   memory matching the sequential oracle; the aggregated recovery
+//!   timelines are written to `--recovery-json` (default
+//!   `recovery.json`). With `--no-recover`, the older detect-only
+//!   campaign runs instead: every dropped post must be detected
+//!   within the deadline with a failure report naming the dropped
+//!   site.
 //!
 //! Exits nonzero on any mismatch, race, uncaught mutant, or missed
 //! fault.
@@ -238,14 +246,24 @@ fn cmd_chaos(args: &[String]) -> i32 {
     let seed = parse_u64(args, "--chaos-seed", 0);
     let deadline = Duration::from_millis(parse_u64(args, "--deadline", 250));
     let nprocs = parse_u64(args, "--nprocs", 4) as i64;
+    let no_recover = parse_flag(args, "--no-recover");
     let repro_dir = std::path::PathBuf::from(
         parse_opt(args, "--repro-dir").unwrap_or_else(|| "beoracle-repro".to_string()),
     );
+    let recovery_json =
+        parse_opt(args, "--recovery-json").unwrap_or_else(|| "recovery.json".to_string());
     println!(
-        "chaos campaign over {} kernels (seed {seed}, deadline {deadline:?}, P={nprocs})",
-        CHAOS_KERNELS.len()
+        "chaos campaign over {} kernels (seed {seed}, deadline {deadline:?}, P={nprocs}, mode {})",
+        CHAOS_KERNELS.len(),
+        if no_recover {
+            "detect-only"
+        } else {
+            "self-healing"
+        }
     );
     let team = Team::new(nprocs as usize);
+    let policy = barrier_elim::runtime::RetryPolicy::default();
+    let mut runs: Vec<obs::Json> = Vec::new();
     let mut failed = 0;
     for (kernel, sets) in CHAOS_KERNELS {
         let src = match std::fs::read_to_string(format!("kernels/{kernel}")) {
@@ -262,10 +280,49 @@ fn cmd_chaos(args: &[String]) -> i32 {
             ("fork-join", fork_join(&prog, &bind)),
             ("optimized", optimize(&prog, &bind)),
         ] {
-            let r = oracle::chaos_check(&prog, &bind, &plan, &team, seed, deadline, 1e-9);
+            if no_recover {
+                // Detection-only: every dropped post must surface as a
+                // failure report naming the dropped site.
+                let r = oracle::chaos_check(&prog, &bind, &plan, &team, seed, deadline, 1e-9);
+                if r.ok() {
+                    println!(
+                        "ok   {kernel} {label}: benign passed, {} teeth bit",
+                        r.teeth.len()
+                    );
+                } else {
+                    failed += 1;
+                    println!("FAIL {kernel} {label}:");
+                    for f in r.failures() {
+                        println!("  {f}");
+                    }
+                    // Persist every structured report for triage.
+                    let dir =
+                        repro_dir.join(format!("chaos-{}-{label}", kernel.trim_end_matches(".be")));
+                    if let Err(e) = std::fs::create_dir_all(&dir) {
+                        eprintln!("  cannot write repro bundle: {e}");
+                        continue;
+                    }
+                    for (k, t) in r.teeth.iter().enumerate() {
+                        if let Some(report) = &t.failure {
+                            let doc = obs::failure_json(report);
+                            let path = dir.join(format!("failure-{k}.json"));
+                            if std::fs::write(&path, doc.to_string_pretty()).is_ok() {
+                                println!("  report: {}", path.display());
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            // Self-healing (default): every dropped post must be
+            // absorbed by the recovery supervisor within its retry
+            // budget, with memory matching the sequential oracle.
+            let r =
+                oracle::recovery_check(&prog, &bind, &plan, &team, seed, deadline, 1e-9, &policy);
+            let worst = r.teeth.iter().map(|t| t.attempts_used).max().unwrap_or(1);
             if r.ok() {
                 println!(
-                    "ok   {kernel} {label}: benign passed, {} teeth bit",
+                    "ok   {kernel} {label}: benign passed, {} teeth absorbed (worst case {worst} attempts)",
                     r.teeth.len()
                 );
             } else {
@@ -274,22 +331,53 @@ fn cmd_chaos(args: &[String]) -> i32 {
                 for f in r.failures() {
                     println!("  {f}");
                 }
-                // Persist every structured report for triage.
-                let dir =
-                    repro_dir.join(format!("chaos-{}-{label}", kernel.trim_end_matches(".be")));
-                if let Err(e) = std::fs::create_dir_all(&dir) {
-                    eprintln!("  cannot write repro bundle: {e}");
-                    continue;
-                }
-                for (k, t) in r.teeth.iter().enumerate() {
-                    if let Some(report) = &t.failure {
-                        let doc = obs::failure_json(report);
-                        let path = dir.join(format!("failure-{k}.json"));
-                        if std::fs::write(&path, doc.to_string_pretty()).is_ok() {
-                            println!("  report: {}", path.display());
-                        }
+                for t in &r.teeth {
+                    if !(t.converged && t.recovered && t.diff <= 1e-9) {
+                        print!("{}", obs::render_recovery(&t.report));
                     }
                 }
+            }
+            let teeth: Vec<obs::Json> = r
+                .teeth
+                .iter()
+                .map(|t| {
+                    obs::Json::obj()
+                        .set("site", t.spec.site)
+                        .set("pid", t.spec.pid)
+                        .set("from_visit", t.spec.from_visit)
+                        .set("kind", t.kind)
+                        .set("converged", t.converged)
+                        .set("recovered", t.recovered)
+                        .set("diff", t.diff)
+                        .set("attempts", t.attempts_used)
+                        .set("report", obs::recovery_json(&t.report))
+                })
+                .collect();
+            runs.push(
+                obs::Json::obj()
+                    .set("kernel", *kernel)
+                    .set("plan", label)
+                    .set("ok", r.ok())
+                    .set("benign_ok", r.benign_ok)
+                    .set("benign_diff", r.benign_diff)
+                    .set("teeth", teeth),
+            );
+        }
+    }
+    if !no_recover {
+        let doc = obs::Json::obj()
+            .set("campaign", "chaos-recovery")
+            .set("seed", seed)
+            .set("deadline_ms", deadline.as_millis() as u64)
+            .set("nprocs", nprocs)
+            .set("max_attempts", policy.max_attempts)
+            .set("ok", failed == 0)
+            .set("runs", runs);
+        match std::fs::write(&recovery_json, doc.to_string_pretty()) {
+            Ok(()) => println!("recovery: aggregated timelines written to {recovery_json}"),
+            Err(e) => {
+                eprintln!("beoracle: cannot write {recovery_json}: {e}");
+                failed += 1;
             }
         }
     }
@@ -310,7 +398,7 @@ fn main() {
         Some("chaos") => cmd_chaos(&args[1..]),
         _ => {
             eprintln!(
-                "usage: beoracle fuzz [--count N] [--seed S] [--threads] [--nprocs 1,3,4] [--repro-dir DIR] [--deadline MS] [--chaos] [--chaos-seed S]\n       beoracle mutate [--count N] [--seed S]\n       beoracle kernels [--threads]\n       beoracle chaos [--chaos-seed S] [--deadline MS] [--nprocs P] [--repro-dir DIR]"
+                "usage: beoracle fuzz [--count N] [--seed S] [--threads] [--nprocs 1,3,4] [--repro-dir DIR] [--deadline MS] [--chaos] [--chaos-seed S]\n       beoracle mutate [--count N] [--seed S]\n       beoracle kernels [--threads]\n       beoracle chaos [--chaos-seed S] [--deadline MS] [--nprocs P] [--repro-dir DIR] [--no-recover] [--recovery-json PATH]"
             );
             2
         }

@@ -1,0 +1,315 @@
+//! End-to-end self-healing tests: the recovery supervisor on the
+//! shipped `.be` kernels and on random generated programs, plus the
+//! `beopt --run --recover` exit-code contract.
+//!
+//! The unit tests in `runtime::recovery` and `interp::recover` cover
+//! the ladder and the loop; these tests cover the tool-level promise —
+//! a *persistent* dropped sync post on any kernel is absorbed by
+//! checkpoint rollback + demotion + retry, the recovered memory is
+//! exactly what the sequential oracle computes, and the CLI reports
+//! success (exit 0) for a recovered run but failure (nonzero) when
+//! recovery is off or the budget is exhausted.
+
+use barrier_elim::analysis::Bindings;
+use barrier_elim::frontend;
+use barrier_elim::interp::{run_parallel_recovering, run_sequential, Mem, ObserveOptions};
+use barrier_elim::ir::SymId;
+use barrier_elim::obs::render_recovery;
+use barrier_elim::oracle::{
+    self, droppable_posts, recovery_check, ChaosConfig, ChaosInjector, DropSpec,
+};
+use barrier_elim::runtime::{RetryPolicy, Team};
+use barrier_elim::spmd_opt::{fork_join, optimize};
+use std::sync::Arc;
+use std::time::Duration;
+
+const KERNELS: &[(&str, &[(&str, i64)])] = &[
+    ("broadcast.be", &[("n", 12)]),
+    ("jacobi.be", &[("n", 48), ("tmax", 4)]),
+    ("pipeline.be", &[("n", 16), ("tmax", 3)]),
+    ("private_gather.be", &[("n", 10)]),
+    ("shallow.be", &[("n", 12), ("tmax", 2)]),
+];
+
+fn load(
+    kernel: &str,
+    sets: &[(&str, i64)],
+    nprocs: i64,
+) -> (Arc<barrier_elim::ir::Program>, Arc<Bindings>) {
+    let src = std::fs::read_to_string(format!("kernels/{kernel}")).unwrap();
+    let prog = frontend::parse(&src).unwrap_or_else(|e| panic!("{kernel}: {e}"));
+    let mut bind = Bindings::new(nprocs);
+    for (name, v) in sets {
+        let pos = prog
+            .syms
+            .iter()
+            .position(|s| &s.name == name)
+            .unwrap_or_else(|| panic!("sym {name} missing"));
+        bind.bind(SymId(pos as u32), *v);
+    }
+    (Arc::new(prog), Arc::new(bind))
+}
+
+/// Short backoffs keep the multi-retry campaigns fast; the budget is
+/// the shipping default.
+fn fast_policy() -> RetryPolicy {
+    RetryPolicy {
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        ..RetryPolicy::default()
+    }
+}
+
+/// The acceptance property of the tentpole: on every shipped kernel,
+/// under both the fork-join and the optimized plan, every precisely
+/// attributable persistent drop is absorbed by the supervisor within
+/// its budget, took at least one retry (the tooth actually bit), and
+/// left memory matching the sequential oracle.
+#[test]
+fn every_kernel_absorbs_every_persistent_drop_under_both_plans() {
+    let team = Team::new(4);
+    for (kernel, sets) in KERNELS {
+        let (prog, bind) = load(kernel, sets, 4);
+        for (label, plan) in [
+            ("fork-join", fork_join(&prog, &bind)),
+            ("optimized", optimize(&prog, &bind)),
+        ] {
+            let r = recovery_check(
+                &prog,
+                &bind,
+                &plan,
+                &team,
+                0xC0FFEE,
+                Duration::from_millis(150),
+                1e-9,
+                &fast_policy(),
+            );
+            assert!(
+                r.benign_ok,
+                "{kernel} {label}: benign recovering run failed (diff {:e})",
+                r.benign_diff
+            );
+            assert!(!r.teeth.is_empty(), "{kernel} {label}: no droppable posts");
+            for t in &r.teeth {
+                assert!(
+                    t.converged,
+                    "{kernel} {label}: {} drop at s{} exhausted the budget:\n{}",
+                    t.kind,
+                    t.spec.site,
+                    render_recovery(&t.report)
+                );
+                assert!(
+                    t.recovered,
+                    "{kernel} {label}: {} drop at s{} was absorbed silently — the tooth never bit",
+                    t.kind, t.spec.site
+                );
+                assert!(
+                    t.diff <= 1e-9,
+                    "{kernel} {label}: recovered memory diverges by {:e}",
+                    t.diff
+                );
+                // The timeline is renderable and names the machinery.
+                let text = render_recovery(&t.report);
+                assert!(text.contains("--- recovery report ---"), "{text}");
+                assert!(text.contains("rollback to checkpoint"), "{text}");
+                assert!(text.contains("demote s"), "{text}");
+                assert!(
+                    text.contains(&format!(
+                        "recovered after {} failed attempt(s)",
+                        t.attempts_used - 1
+                    )),
+                    "{text}"
+                );
+            }
+        }
+    }
+}
+
+/// The planned backoff timeline in a report is the policy's exact
+/// exponential — never wall-clock noise.
+#[test]
+fn reported_backoffs_follow_the_policy_exponential() {
+    let team = Team::new(4);
+    let (prog, bind) = load("jacobi.be", &[("n", 48), ("tmax", 4)], 4);
+    let plan = optimize(&prog, &bind);
+    let policy = fast_policy();
+    let r = recovery_check(
+        &prog,
+        &bind,
+        &plan,
+        &team,
+        7,
+        Duration::from_millis(150),
+        1e-9,
+        &policy,
+    );
+    for t in &r.teeth {
+        for (k, a) in t.report.attempts.iter().enumerate() {
+            assert_eq!(
+                a.backoff_ms,
+                policy.backoff_before(k as u32 + 1).as_millis() as u64,
+                "attempt {} of {} tooth",
+                a.attempt,
+                t.kind
+            );
+        }
+    }
+}
+
+mod cli {
+    use super::*;
+    use std::process::Command;
+
+    /// A drop spec the current optimized jacobi plan is guaranteed to
+    /// wedge on: the last precisely-attributable post (a barrier
+    /// arrival — counter teeth can sit earlier in the schedule).
+    fn jacobi_drop() -> (Vec<String>, DropSpec) {
+        let (prog, bind) = load("jacobi.be", &[("n", 48), ("tmax", 4)], 4);
+        let plan = optimize(&prog, &bind);
+        let cand = droppable_posts(&prog, &bind, &plan)
+            .pop()
+            .expect("jacobi has droppable posts");
+        let base = vec![
+            "kernels/jacobi.be".to_string(),
+            "--nprocs".into(),
+            "4".into(),
+            "--set".into(),
+            "n=48".into(),
+            "--set".into(),
+            "tmax=4".into(),
+            "--run".into(),
+            "--chaos-drop".into(),
+            format!(
+                "{}:{}:{}",
+                cand.spec.site, cand.spec.pid, cand.spec.from_visit
+            ),
+        ];
+        (base, cand.spec)
+    }
+
+    fn beopt(args: &[String]) -> std::process::Output {
+        Command::new(env!("CARGO_BIN_EXE_beopt"))
+            .args(args)
+            .output()
+            .expect("spawn beopt")
+    }
+
+    /// Satellite: a recovered run is a *successful* run — exit 0, with
+    /// the recovery report on stdout.
+    #[test]
+    fn recover_flag_turns_a_persistent_drop_into_exit_zero() {
+        let (mut args, spec) = jacobi_drop();
+        args.push("--recover".into());
+        let out = beopt(&args);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "beopt --recover failed:\n{stdout}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(stdout.contains("--- recovery report ---"), "{stdout}");
+        assert!(
+            stdout.contains(&format!("demote s{}", spec.site)),
+            "report does not demote the dropped site s{}:\n{stdout}",
+            spec.site
+        );
+        assert!(stdout.contains("recovered after"), "{stdout}");
+    }
+
+    /// Satellite: without `--recover` the same fault is a hard failure
+    /// — nonzero exit and a failure report.
+    #[test]
+    fn without_recover_the_same_drop_exits_nonzero() {
+        let (mut args, _) = jacobi_drop();
+        args.push("--deadline".into());
+        args.push("150".into());
+        let out = beopt(&args);
+        assert!(
+            !out.status.success(),
+            "beopt without --recover should fail under a persistent drop:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("EXECUTION FAILED"), "{stderr}");
+    }
+
+    /// An exhausted budget is still a failure: `--max-attempts 1`
+    /// forbids retries, so the drop surfaces as a nonzero exit even
+    /// under `--recover`.
+    #[test]
+    fn exhausted_recovery_budget_exits_nonzero() {
+        let (mut args, _) = jacobi_drop();
+        args.push("--recover".into());
+        args.push("--max-attempts".into());
+        args.push("1".into());
+        let out = beopt(&args);
+        assert!(
+            !out.status.success(),
+            "budget of 1 cannot absorb a persistent drop:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("recovery budget exhausted"), "{stderr}");
+    }
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One supervised run of a generated program under a persistent
+    /// drop; returns (converged, max_abs_diff vs sequential oracle).
+    fn recover_generated(gen_seed: u64, chaos_seed: u64) -> Option<(bool, f64)> {
+        let g = oracle::generate(gen_seed);
+        let prog = Arc::new(g.prog.clone());
+        let bind = Arc::new(g.bindings(4));
+        let plan = optimize(&prog, &bind);
+        let cand = droppable_posts(&prog, &bind, &plan).pop()?;
+        let oracle_mem = Mem::new(&prog, &bind);
+        run_sequential(&prog, &bind, &oracle_mem);
+        let mem = Arc::new(Mem::new(&prog, &bind));
+        let team = Team::new(4);
+        let r = run_parallel_recovering(
+            &prog,
+            &bind,
+            &plan,
+            &mem,
+            &team,
+            &ObserveOptions {
+                deadline: Some(Duration::from_millis(120)),
+                chaos: Some(Arc::new(ChaosInjector::with_config(
+                    chaos_seed,
+                    ChaosConfig {
+                        drop: Some(cand.spec),
+                        ..ChaosConfig::default()
+                    },
+                ))),
+                ..ObserveOptions::default()
+            },
+            &fast_policy(),
+        );
+        Some((r.ok(), mem.max_abs_diff(&oracle_mem)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Satellite: for any generated program and any absorbable
+        /// chaos seed, the recovered memory is *bitwise* equal to the
+        /// fork-join-free sequential reference — recovery never trades
+        /// correctness for progress.
+        #[test]
+        fn recovered_memory_is_bitwise_equal_to_the_reference(
+            gen_seed in 0u64..24,
+            chaos_seed in 0u64..8,
+        ) {
+            if let Some((converged, diff)) = recover_generated(gen_seed, chaos_seed) {
+                prop_assert!(converged, "seed {gen_seed}/{chaos_seed}: budget exhausted");
+                prop_assert!(
+                    diff == 0.0,
+                    "seed {gen_seed}/{chaos_seed}: recovered memory off by {diff:e}"
+                );
+            }
+        }
+    }
+}
