@@ -20,8 +20,96 @@
 use crate::bindings::Bindings;
 use crate::partition::{stmt_partition, LoopPartition, StmtPartition};
 use crate::translate::{build_pair_system, SharedLoopMode};
-use ineq::LinExpr;
+use ineq::{FmeCache, FmeCacheStats, LinExpr};
 use ir::{Affine, ArrayId, LhsRef, NodeId, Program, ScalarId, StmtPath};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Tuning knobs for the communication analysis.
+///
+/// The defaults (shared memoization on, one worker per core) change only
+/// how fast the answers arrive — never the answers themselves: verdicts
+/// are pure functions of each query's canonical inequality system, and
+/// group queries fold pair outcomes in the same sequential order
+/// regardless of how many threads warmed the cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AnalysisConfig {
+    /// Memoize FME feasibility verdicts and statement-pair outcomes in
+    /// caches shared across the whole pass.
+    pub cache: bool,
+    /// Worker threads for group queries: `0` picks one per available
+    /// core; `1` keeps the pass fully sequential (no threads spawned).
+    pub threads: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            cache: true,
+            threads: 0,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// The pre-caching behavior: sequential and uncached. This is the
+    /// reference configuration differential tests compare against.
+    pub fn sequential_uncached() -> Self {
+        AnalysisConfig {
+            cache: false,
+            threads: 1,
+        }
+    }
+
+    /// Resolved worker count (always at least 1).
+    pub fn worker_count(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+/// Counter snapshot for one analysis pass: statement-pair memo traffic
+/// plus the shared FME cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Statement-pair queries answered from the pair memo.
+    pub pair_hits: u64,
+    /// Statement-pair queries that ran the full access-pair analysis.
+    pub pair_misses: u64,
+    /// Shared Fourier-Motzkin cache counters.
+    pub fme: FmeCacheStats,
+}
+
+impl AnalysisStats {
+    /// Hit rate over all statement-pair queries, in `[0, 1]`.
+    pub fn pair_hit_rate(&self) -> f64 {
+        let total = self.pair_hits + self.pair_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pair_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memo key for a statement-pair query. Statement and loop nodes occur
+/// exactly once in the program tree, so the node ids identify the full
+/// [`StmtPath`]s and the mode's carried loop.
+type PairKey = (u32, u32, u8, u32);
+
+fn pair_key(s1: &StmtPath, s2: &StmtPath, mode: CommMode) -> PairKey {
+    let (tag, at) = match mode {
+        CommMode::LoopIndependent => (0u8, 0u32),
+        CommMode::CarriedBy(n) => (1, n.0),
+        CommMode::CarriedExactlyOne(n) => (2, n.0),
+    };
+    (s1.node.0, s2.node.0, tag, at)
+}
 
 /// The shape of the communication between two groups (join over all
 /// dependent access pairs).
@@ -317,18 +405,68 @@ pub fn stmt_accesses(prog: &Program, stmt: NodeId) -> (Vec<ArrayAccess>, Vec<Sca
     (arrays, scalars)
 }
 
-/// The communication analyzer: a program plus concrete bindings.
+/// The communication analyzer: a program plus concrete bindings, with
+/// optional pass-wide memoization and a worker pool for group queries.
 pub struct CommQuery<'p> {
     /// The program under analysis.
     pub prog: &'p Program,
     /// Symbol values and processor count.
     pub bind: Bindings,
+    config: AnalysisConfig,
+    fme: Option<Arc<FmeCache>>,
+    pair_memo: Mutex<HashMap<PairKey, CommOutcome>>,
+    pair_hits: AtomicU64,
+    pair_misses: AtomicU64,
 }
 
 impl<'p> CommQuery<'p> {
-    /// Create an analyzer.
+    /// Create an analyzer with the default configuration.
     pub fn new(prog: &'p Program, bind: Bindings) -> Self {
-        CommQuery { prog, bind }
+        CommQuery::with_config(prog, bind, AnalysisConfig::default())
+    }
+
+    /// Create an analyzer with explicit cache / parallelism settings.
+    pub fn with_config(prog: &'p Program, bind: Bindings, config: AnalysisConfig) -> Self {
+        let fme = config.cache.then(|| Arc::new(FmeCache::new()));
+        Self::with_fme_cache(prog, bind, config, fme)
+    }
+
+    /// As [`CommQuery::with_config`], but reusing an externally owned
+    /// FME memo — e.g. one shared across every procedure of a
+    /// compilation session. Canonical keys are variable-table
+    /// independent, so sharing is sound across programs. Ignored (no
+    /// cache at all) when `config.cache` is false.
+    pub fn with_fme_cache(
+        prog: &'p Program,
+        bind: Bindings,
+        config: AnalysisConfig,
+        fme: Option<Arc<FmeCache>>,
+    ) -> Self {
+        CommQuery {
+            prog,
+            bind,
+            config,
+            fme: if config.cache { fme } else { None },
+            pair_memo: Mutex::new(HashMap::new()),
+            pair_hits: AtomicU64::new(0),
+            pair_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this analyzer runs with.
+    pub fn config(&self) -> AnalysisConfig {
+        self.config
+    }
+
+    /// Counter snapshot (pair memo + shared FME cache). Counters are
+    /// diagnostics only: they depend on thread interleaving and must not
+    /// flow into deterministic outputs like decision logs.
+    pub fn stats(&self) -> AnalysisStats {
+        AnalysisStats {
+            pair_hits: self.pair_hits.load(Ordering::Relaxed),
+            pair_misses: self.pair_misses.load(Ordering::Relaxed),
+            fme: self.fme.as_ref().map(|c| c.stats()).unwrap_or_default(),
+        }
     }
 
     /// Communication pattern between two statements (all dependent access
@@ -339,6 +477,68 @@ impl<'p> CommQuery<'p> {
 
     /// As [`comm_stmts`](Self::comm_stmts) but carrying producer identity.
     pub fn comm_stmts_detailed(&self, s1: &StmtPath, s2: &StmtPath, mode: CommMode) -> CommOutcome {
+        if self.fme.is_none() {
+            return self.comm_stmts_fresh(s1, s2, mode);
+        }
+        let key = pair_key(s1, s2, mode);
+        if let Some(hit) = self.pair_memo.lock().unwrap().get(&key) {
+            self.pair_hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        let out = self.comm_stmts_fresh(s1, s2, mode);
+        self.pair_misses.fetch_add(1, Ordering::Relaxed);
+        self.pair_memo.lock().unwrap().insert(key, out.clone());
+        out
+    }
+
+    /// True when [`CommQuery::warm`] can actually run jobs concurrently:
+    /// caching is on and more than one worker is configured. Callers use
+    /// this to skip building job lists that warm() would discard.
+    pub fn warm_enabled(&self) -> bool {
+        self.fme.is_some() && self.config.worker_count() >= 2
+    }
+
+    /// Evaluate the given statement-pair queries concurrently, filling
+    /// the shared memo; results are discarded. Callers then rerun their
+    /// exact sequential fold over the warm cache, so every output is
+    /// byte-identical to a single-threaded pass. No-op when caching is
+    /// off or only one worker is configured.
+    pub fn warm(&self, jobs: &[(StmtPath, StmtPath, CommMode)]) {
+        if !self.warm_enabled() {
+            return;
+        }
+        // Spawning a worker pool costs more than a small batch of
+        // memo hits: drop already-answered jobs first and only spin up
+        // threads when real work remains.
+        let pending: Vec<&(StmtPath, StmtPath, CommMode)> = {
+            let memo = self.pair_memo.lock().unwrap();
+            jobs.iter()
+                .filter(|(s1, s2, m)| !memo.contains_key(&pair_key(s1, s2, *m)))
+                .collect()
+        };
+        if pending.len() < 2 {
+            return;
+        }
+        let workers = self.config.worker_count().min(pending.len()).min(16);
+        if workers < 2 {
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((s1, s2, mode)) = pending.get(k) else {
+                        break;
+                    };
+                    let _ = self.comm_stmts_detailed(s1, s2, *mode);
+                });
+            }
+        });
+    }
+
+    /// The full (memo-free) statement-pair analysis.
+    fn comm_stmts_fresh(&self, s1: &StmtPath, s2: &StmtPath, mode: CommMode) -> CommOutcome {
         let (arr1, sc1) = stmt_accesses(self.prog, s1.node);
         let (arr2, sc2) = stmt_accesses(self.prog, s2.node);
         let mut out = CommOutcome::none();
@@ -383,6 +583,13 @@ impl<'p> CommQuery<'p> {
         g2: &[StmtPath],
         mode: CommMode,
     ) -> CommOutcome {
+        if g1.len() * g2.len() > 1 {
+            let jobs: Vec<(StmtPath, StmtPath, CommMode)> = g1
+                .iter()
+                .flat_map(|s1| g2.iter().map(|s2| (s1.clone(), s2.clone(), mode)))
+                .collect();
+            self.warm(&jobs);
+        }
         let mut out = CommOutcome::none();
         for s1 in g1 {
             for s2 in g2 {
@@ -458,6 +665,7 @@ impl<'p> CommQuery<'p> {
         }
 
         let mut ps = build_pair_system(self.prog, &self.bind, s1, s2, mode.shared_mode());
+        ps.set_cache(self.fme.clone());
         ps.add_elem_equality(&self.bind, &a1.subs, &a2.subs);
         let (p, q) = (ps.p, ps.q);
 
@@ -832,5 +1040,55 @@ mod tests {
 
     fn p_assign_double(pb: &mut ProgramBuilder, a: ir::ArrayId, i: ir::LoopId) {
         pb.assign(elem(a, [idx(i)]), ex(2.0) * arr(a, [idx(i)]));
+    }
+
+    /// Two loops with two statements each: a 2x2 group query exercises
+    /// the parallel warm pool; the cached analyzer must agree with the
+    /// sequential uncached reference and must register memo traffic.
+    #[test]
+    fn cached_parallel_matches_sequential_uncached() {
+        let mut pb = ProgramBuilder::new("groups");
+        let n = pb.sym("n");
+        let a = pb.array("A", &[sym(n)], dist_block());
+        let b = pb.array("B", &[sym(n)], dist_block());
+        let c = pb.array("C", &[sym(n)], dist_block());
+        let d = pb.array("D", &[sym(n)], dist_block());
+        let i = pb.begin_par("i", con(1), sym(n) - 2);
+        pb.assign(elem(a, [idx(i)]), ival(idx(i)));
+        pb.assign(elem(b, [idx(i)]), ival(idx(i)) * ex(2.0));
+        pb.end();
+        let j = pb.begin_par("j", con(1), sym(n) - 2);
+        pb.assign(elem(c, [idx(j)]), arr(a, [idx(j) - 1]));
+        pb.assign(elem(d, [idx(j)]), arr(b, [idx(j)]) + arr(a, [idx(j) + 1]));
+        pb.end();
+        let prog = pb.finish();
+        let bind = Bindings::new(4).set(n, 64);
+
+        let reference =
+            CommQuery::with_config(&prog, bind.clone(), AnalysisConfig::sequential_uncached());
+        let cached = CommQuery::with_config(
+            &prog,
+            bind,
+            AnalysisConfig {
+                cache: true,
+                threads: 4,
+            },
+        );
+        let st = prog.all_statements();
+        let g1 = vec![st[0].clone(), st[1].clone()];
+        let g2 = vec![st[2].clone(), st[3].clone()];
+        let want = reference.comm_groups_detailed(&g1, &g2, CommMode::LoopIndependent);
+        let got = cached.comm_groups_detailed(&g1, &g2, CommMode::LoopIndependent);
+        assert_eq!(want, got);
+
+        // The second identical query is answered entirely from the memo.
+        let again = cached.comm_groups_detailed(&g1, &g2, CommMode::LoopIndependent);
+        assert_eq!(want, again);
+        let stats = cached.stats();
+        assert!(stats.pair_hits > 0, "{stats:?}");
+        assert!(stats.pair_misses > 0, "{stats:?}");
+        assert!(stats.fme.feas_misses > 0, "{stats:?}");
+        let ref_stats = reference.stats();
+        assert_eq!(ref_stats.pair_hits + ref_stats.pair_misses, 0);
     }
 }

@@ -54,7 +54,9 @@ pub mod translate;
 
 pub use bindings::Bindings;
 pub use codegen::{scan_owned_range, ScannedBounds};
-pub use comm::{CommMode, CommOutcome, CommPattern, CommQuery, ProducerSpec};
+pub use comm::{
+    AnalysisConfig, AnalysisStats, CommMode, CommOutcome, CommPattern, CommQuery, ProducerSpec,
+};
 pub use dep::{check_parallel_loops, loop_carries_dependence};
 pub use partition::{
     loop_is_replicated, loop_partition, stmt_partition, LoopPartition, StmtPartition,

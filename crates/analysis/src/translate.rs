@@ -44,6 +44,7 @@ pub struct PairSystem {
     sym_vars: BTreeMap<SymId, VarId>,
     free_loops: BTreeMap<LoopId, VarId>,
     aux: u32,
+    cache: Option<std::sync::Arc<ineq::FmeCache>>,
 }
 
 impl PairSystem {
@@ -100,12 +101,25 @@ impl PairSystem {
         }
     }
 
+    /// Route feasibility queries through a shared memo cache. Sound
+    /// because the verdict is a pure function of the canonical form of
+    /// the queried system (see `ineq::cache`).
+    pub fn set_cache(&mut self, cache: Option<std::sync::Arc<ineq::FmeCache>>) {
+        self.cache = cache;
+    }
+
     /// Feasibility of the base system with extra constraints installed by
     /// `extra` (the system is cloned, so queries are independent).
+    ///
+    /// An `Unknown` verdict (arithmetic overflow or constraint blow-up in
+    /// the scan) counts as feasible: the caller keeps the barrier.
     pub fn feasible_with(&self, extra: impl FnOnce(&mut System)) -> bool {
         let mut sys = self.sys.clone();
         extra(&mut sys);
-        sys.is_consistent(&self.vt)
+        match &self.cache {
+            Some(c) => c.feasibility(&sys, &self.vt).may_hold(),
+            None => sys.feasibility(&self.vt).may_hold(),
+        }
     }
 }
 
@@ -129,6 +143,7 @@ pub fn build_pair_system(
         sym_vars: BTreeMap::new(),
         free_loops: BTreeMap::new(),
         aux: 0,
+        cache: None,
     };
     ps.p = ps.vt.fresh("p", VarKind::Processor);
     ps.q = ps.vt.fresh("q", VarKind::Processor);

@@ -1,0 +1,115 @@
+//! Differential property tests: the memoized, parallel analysis is a
+//! pure speed knob. For every suite kernel and a population of
+//! oracle-generated programs, the cached/parallel configuration (and
+//! the cross-program shared-cache entry point) must produce a plan and
+//! decision log bitwise identical to the sequential uncached reference.
+
+use spmd_opt::{
+    optimize_explained, optimize_explained_shared, render_plan, AnalysisConfig, AnalysisStats,
+    OptimizeOptions,
+};
+use std::sync::Arc;
+use suite::Scale;
+
+fn opts(analysis: AnalysisConfig) -> OptimizeOptions {
+    OptimizeOptions {
+        analysis,
+        ..Default::default()
+    }
+}
+
+/// Render the (plan, decision log) fingerprint for one configuration.
+fn fingerprint(
+    prog: &ir::Program,
+    bind: &analysis::Bindings,
+    cfg: AnalysisConfig,
+) -> (String, String, AnalysisStats) {
+    let (plan, log, stats) = optimize_explained(prog, bind, opts(cfg));
+    let log = log
+        .iter()
+        .map(|d| format!("{d:?}\n"))
+        .collect::<Vec<_>>()
+        .concat();
+    (render_plan(prog, &plan), log, stats)
+}
+
+#[test]
+fn suite_kernels_cached_parallel_match_sequential_uncached() {
+    let shared = Arc::new(ineq::FmeCache::new());
+    for def in suite::all() {
+        let (built, bind) = spmd_bench::instance(&def, Scale::Test, 4);
+        let (ref_plan, ref_log, _) =
+            fingerprint(&built.prog, &bind, AnalysisConfig::sequential_uncached());
+        let (plan, log, stats) = fingerprint(&built.prog, &bind, AnalysisConfig::default());
+        assert_eq!(ref_plan, plan, "cached plan diverged on {}", def.name);
+        assert_eq!(ref_log, log, "cached log diverged on {}", def.name);
+        // The guarded scan never grew past its constraint budget.
+        assert!(
+            stats.fme.peak_constraints <= ineq::MAX_FEAS_CONSTRAINTS,
+            "{}: peak {} over budget",
+            def.name,
+            stats.fme.peak_constraints
+        );
+
+        // Same program under a memo shared across every kernel in this
+        // loop: cross-program replay must not leak one kernel's
+        // verdicts into another's decisions.
+        let (plan, log, _) =
+            optimize_explained_shared(&built.prog, &bind, opts(AnalysisConfig::default()), &shared);
+        let log = log
+            .iter()
+            .map(|d| format!("{d:?}\n"))
+            .collect::<Vec<_>>()
+            .concat();
+        assert_eq!(
+            ref_plan,
+            render_plan(&built.prog, &plan),
+            "shared-cache plan diverged on {}",
+            def.name
+        );
+        assert_eq!(ref_log, log, "shared-cache log diverged on {}", def.name);
+    }
+    let st = shared.stats();
+    assert!(st.feas_hits > 0, "shared memo never hit across the suite");
+}
+
+#[test]
+fn oracle_programs_cached_parallel_match_sequential_uncached() {
+    for seed in 0..48 {
+        let g = oracle::generate(seed);
+        let bind = g.bindings(4);
+        let (ref_plan, ref_log, _) =
+            fingerprint(&g.prog, &bind, AnalysisConfig::sequential_uncached());
+        let (plan, log, _) = fingerprint(&g.prog, &bind, AnalysisConfig::default());
+        assert_eq!(
+            ref_plan, plan,
+            "cached plan diverged on seed {seed} ({:?})",
+            g.shape
+        );
+        assert_eq!(
+            ref_log, log,
+            "cached log diverged on seed {seed} ({:?})",
+            g.shape
+        );
+    }
+}
+
+#[test]
+fn extreme_bindings_keep_barriers_instead_of_panicking() {
+    // Near-i64 loop bounds push the exact arithmetic inside the
+    // Fourier-Motzkin scans toward overflow. The analysis must finish
+    // (no panic), and any overflow must surface as an Unknown verdict —
+    // which keeps the barrier — with identical answers cached and not.
+    for def in suite::all().into_iter().take(6) {
+        let (built, _) = spmd_bench::instance(&def, Scale::Test, 4);
+        let mut huge = analysis::Bindings::new(4);
+        for &(s, _) in &built.values {
+            huge.bind(s, i64::MAX / 4);
+        }
+        let (ref_plan, ref_log, _) =
+            fingerprint(&built.prog, &huge, AnalysisConfig::sequential_uncached());
+        let (plan, log, _) = fingerprint(&built.prog, &huge, AnalysisConfig::default());
+        assert_eq!(ref_plan, plan, "plan diverged on {} (huge)", def.name);
+        assert_eq!(ref_log, log, "log diverged on {} (huge)", def.name);
+    }
+}

@@ -6,8 +6,8 @@ use crate::sites::{
     loop_after_label, loop_bottom_label, phase_after_label, region_end_label, SlotKind,
 };
 use analysis::{
-    loop_is_replicated, loop_partition, Bindings, CommMode, CommOutcome, CommPattern, CommQuery,
-    ProducerSpec,
+    loop_is_replicated, loop_partition, AnalysisConfig, AnalysisStats, Bindings, CommMode,
+    CommOutcome, CommPattern, CommQuery, ProducerSpec,
 };
 use ir::{LhsRef, LoopKind, Node, NodeId, Program, StmtPath};
 
@@ -60,6 +60,9 @@ pub struct OptimizeOptions {
     pub use_neighbor: bool,
     /// Replace unique-producer communication with counters.
     pub use_counters: bool,
+    /// Communication-analysis tuning (memoization + worker threads).
+    /// Changes analysis speed only, never the plan or the decision log.
+    pub analysis: AnalysisConfig,
 }
 
 impl Default for OptimizeOptions {
@@ -68,6 +71,7 @@ impl Default for OptimizeOptions {
             eliminate: true,
             use_neighbor: true,
             use_counters: true,
+            analysis: AnalysisConfig::default(),
         }
     }
 }
@@ -357,6 +361,26 @@ impl<'p> Optimizer<'p> {
             .filter(|(_, it)| it.after().is_barrier())
             .map(|(k, _)| k)
             .collect();
+        // The fold below joins item pairs sequentially and can stop at
+        // the first General verdict; warming every needed statement pair
+        // upfront lets the workers fill the cache while keeping the fold
+        // (and hence the log) identical to the single-threaded pass.
+        if self.query.warm_enabled() {
+            let mut jobs: Vec<(StmtPath, StmtPath, CommMode)> = Vec::new();
+            for (ia, g1) in per_item.iter().enumerate() {
+                for (ib, g2) in per_item.iter().enumerate() {
+                    if crossings.iter().any(|&c| c >= ia || c + 1 <= ib) {
+                        continue;
+                    }
+                    for s1 in g1 {
+                        for s2 in g2 {
+                            jobs.push((s1.clone(), s2.clone(), CommMode::CarriedBy(loop_node)));
+                        }
+                    }
+                }
+            }
+            self.query.warm(&jobs);
+        }
         let mut outcome = CommOutcome::none();
         for (ia, g1) in per_item.iter().enumerate() {
             for (ib, g2) in per_item.iter().enumerate() {
@@ -414,6 +438,27 @@ impl<'p> Optimizer<'p> {
 
     fn build_region(&mut self, nodes: &[NodeId]) -> Region {
         self.next_counter = 0;
+        // Every loop-independent pair the greedy fold can possibly query
+        // within this region is a cross-item (earlier, later) statement
+        // pair; warm them all in one parallel batch so the sequential
+        // scheduling below runs against a hot cache.
+        if self.query.warm_enabled() {
+            let per_item: Vec<Vec<StmtPath>> = nodes
+                .iter()
+                .map(|&n| self.prog.statements_under(n, &[]))
+                .collect();
+            let mut jobs: Vec<(StmtPath, StmtPath, CommMode)> = Vec::new();
+            for (ia, g1) in per_item.iter().enumerate() {
+                for g2 in per_item.iter().skip(ia + 1) {
+                    for s1 in g1 {
+                        for s2 in g2 {
+                            jobs.push((s1.clone(), s2.clone(), CommMode::LoopIndependent));
+                        }
+                    }
+                }
+            }
+            self.query.warm(&jobs);
+        }
         let lr = self.schedule_level(nodes, &[]);
         let end_id = self.next_slot;
         self.next_slot += 1;
@@ -486,23 +531,61 @@ pub fn optimize(prog: &Program, bind: &Bindings) -> SpmdProgram {
 
 /// As [`optimize`] with explicit mechanism switches (for the ablations).
 pub fn optimize_with(prog: &Program, bind: &Bindings, opts: OptimizeOptions) -> SpmdProgram {
-    optimize_impl(prog, bind, opts).0
+    let (plan, _, _) = optimize_impl(prog, bind, opts, None);
+    plan
 }
 
 /// As [`optimize`] but also returning the greedy algorithm's decision
 /// log (one entry per sync slot examined — for reports and debugging).
 pub fn optimize_logged(prog: &Program, bind: &Bindings) -> (SpmdProgram, Vec<Decision>) {
-    optimize_impl(prog, bind, OptimizeOptions::default())
+    let (plan, log, _) = optimize_impl(prog, bind, OptimizeOptions::default(), None);
+    (plan, log)
+}
+
+/// The full instrumented entry point: plan, decision log, and the
+/// communication-analysis cache statistics.
+///
+/// The plan and log are deterministic functions of the program and
+/// bindings — identical under every [`AnalysisConfig`]. The stats are
+/// diagnostics only (hit counts depend on thread interleaving) and must
+/// never flow into deterministic artifacts like the explain JSON.
+pub fn optimize_explained(
+    prog: &Program,
+    bind: &Bindings,
+    opts: OptimizeOptions,
+) -> (SpmdProgram, Vec<Decision>, AnalysisStats) {
+    optimize_impl(prog, bind, opts, None)
+}
+
+/// As [`optimize_explained`], but reusing a caller-owned FME memo so a
+/// compilation session can share one cache across every program it
+/// optimizes. Canonical cache keys are variable-table independent, so
+/// cross-program sharing is sound; the plan and log for each program
+/// are still identical to an uncached run. The returned stats count
+/// the shared cache's cumulative traffic.
+pub fn optimize_explained_shared(
+    prog: &Program,
+    bind: &Bindings,
+    opts: OptimizeOptions,
+    fme: &std::sync::Arc<ineq::FmeCache>,
+) -> (SpmdProgram, Vec<Decision>, AnalysisStats) {
+    optimize_impl(prog, bind, opts, Some(fme.clone()))
 }
 
 fn optimize_impl(
     prog: &Program,
     bind: &Bindings,
     opts: OptimizeOptions,
-) -> (SpmdProgram, Vec<Decision>) {
+    fme: Option<std::sync::Arc<ineq::FmeCache>>,
+) -> (SpmdProgram, Vec<Decision>, AnalysisStats) {
+    let fme = fme.or_else(|| {
+        opts.analysis
+            .cache
+            .then(|| std::sync::Arc::new(ineq::FmeCache::new()))
+    });
     let mut opt = Optimizer {
         prog,
-        query: CommQuery::new(prog, bind.clone()),
+        query: CommQuery::with_fme_cache(prog, bind.clone(), opts.analysis, fme),
         next_counter: 0,
         next_slot: 0,
         next_region: 0,
@@ -514,7 +597,8 @@ fn optimize_impl(
         name: prog.name.clone(),
         items: opt.lower_top(&body),
     };
-    (plan, opt.log)
+    let stats = opt.query.stats();
+    (plan, opt.log, stats)
 }
 
 /// Lower to the traditional fork-join schedule: every parallel loop is

@@ -53,8 +53,10 @@ pub mod plan;
 pub mod report;
 pub mod sites;
 
+pub use analysis::{AnalysisConfig, AnalysisStats};
 pub use build::{
-    fork_join, optimize, optimize_logged, optimize_with, placed_str, Decision, OptimizeOptions,
+    fork_join, optimize, optimize_explained, optimize_explained_shared, optimize_logged,
+    optimize_with, placed_str, Decision, OptimizeOptions,
 };
 pub use plan::{
     demote_site, Phase, PhaseKind, RItem, Region, SpmdProgram, StaticStats, SyncOp, TopItem,

@@ -3,7 +3,7 @@
 
 use analysis::Bindings;
 use ir::build::*;
-use spmd_opt::{optimize, optimize_with, OptimizeOptions};
+use spmd_opt::{optimize, optimize_explained, optimize_with, AnalysisConfig, OptimizeOptions};
 
 fn stencil_and_broadcast() -> (ir::Program, Bindings) {
     // A stencil pair (neighbor) plus a master-produced scalar (counter).
@@ -36,6 +36,43 @@ fn full_options_match_default_optimize() {
     let a = optimize(&prog, &bind).static_stats();
     let b = optimize_with(&prog, &bind, OptimizeOptions::default()).static_stats();
     assert_eq!(a, b);
+}
+
+/// The analysis configuration (caching / worker threads) tunes speed
+/// only: plan and decision log must match the sequential uncached pass
+/// exactly, entry for entry.
+#[test]
+fn analysis_config_never_changes_plan_or_log() {
+    let (prog, bind) = stencil_and_broadcast();
+    let reference = OptimizeOptions {
+        analysis: AnalysisConfig::sequential_uncached(),
+        ..Default::default()
+    };
+    let (ref_plan, ref_log, ref_stats) = optimize_explained(&prog, &bind, reference);
+    assert_eq!(ref_stats.pair_hits + ref_stats.pair_misses, 0);
+    for threads in [0, 1, 4] {
+        let opts = OptimizeOptions {
+            analysis: AnalysisConfig {
+                cache: true,
+                threads,
+            },
+            ..Default::default()
+        };
+        let (plan, log, stats) = optimize_explained(&prog, &bind, opts);
+        assert_eq!(
+            spmd_opt::render_plan(&prog, &plan),
+            spmd_opt::render_plan(&prog, &ref_plan),
+            "threads={threads}"
+        );
+        assert_eq!(log.len(), ref_log.len());
+        for (a, b) in log.iter().zip(&ref_log) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "threads={threads}");
+        }
+        assert!(
+            stats.pair_misses > 0,
+            "cached run records memo traffic: {stats:?}"
+        );
+    }
 }
 
 #[test]
@@ -88,6 +125,7 @@ fn disabling_elimination_keeps_every_slot_synchronized() {
             eliminate: false,
             use_neighbor: false,
             use_counters: false,
+            ..Default::default()
         },
     )
     .static_stats();
@@ -105,23 +143,21 @@ fn degraded_plans_stay_sound() {
     for opts in [
         OptimizeOptions {
             eliminate: false,
-            use_neighbor: true,
-            use_counters: true,
+            ..Default::default()
         },
         OptimizeOptions {
-            eliminate: true,
             use_neighbor: false,
-            use_counters: true,
+            ..Default::default()
         },
         OptimizeOptions {
-            eliminate: true,
-            use_neighbor: true,
             use_counters: false,
+            ..Default::default()
         },
         OptimizeOptions {
             eliminate: false,
             use_neighbor: false,
             use_counters: false,
+            ..Default::default()
         },
     ] {
         let plan = optimize_with(&prog, &bind, opts);

@@ -1,0 +1,540 @@
+//! Canonicalization and memoization of FME queries.
+//!
+//! Communication analysis asks the same structural questions over and
+//! over: statement pairs produced from structurally identical code (copy
+//! chains, initialization loops, stencil sweeps) translate to `System`s
+//! that differ only in which `VarId`s the pair-translation happened to
+//! allocate. This module maps a `System` to a *canonical form* — sorted
+//! constraints, gcd-normalized coefficients (already guaranteed by
+//! normalization on `push`), and variables renamed to `(scan_rank,
+//! ordinal)` — so isomorphic systems share one cache entry.
+//!
+//! Keys are exact structural values, not 64-bit digests: a hash collision
+//! in a feasibility cache would silently flip a verdict, and "never
+//! unsound" is the contract of this whole crate.
+//!
+//! The cached verdict is exactly what [`System::feasibility`] would
+//! compute, because that scan re-sorts into the same canonical constraint
+//! order before every elimination step and breaks every pivot tie by that
+//! order; two systems with equal canonical forms therefore take identical
+//! elimination paths. Cached and uncached runs are bitwise
+//! indistinguishable (the differential suite in `tests/` holds this).
+
+use crate::constraint::{Constraint, ConstraintKind};
+use crate::linexpr::LinExpr;
+use crate::rational::Overflow;
+use crate::system::{Feasibility, System};
+use crate::var::{VarId, VarTable};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Fast non-cryptographic hasher (the rustc `FxHash` recurrence) for
+/// memo keys. Canonical keys are long `i128` buffers; the default
+/// SipHash costs enough per query to erase the memoization win on
+/// small systems, and these tables never face adversarial keys.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Integer slices (the canonical key buffers) arrive as one raw
+        // byte slice; consume a word at a time, not a byte at a time.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut last = 0u64;
+            for &b in rem {
+                last = (last << 8) | b as u64;
+            }
+            self.add(last);
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// The table-independent canonical form of a [`System`].
+///
+/// Two systems have equal canonical forms iff one can be renamed onto the
+/// other by a bijection that preserves each variable's scan rank and the
+/// relative id order within a rank — exactly the invariance under which
+/// the guarded feasibility scan is deterministic.
+///
+/// The form is a single flat `i128` buffer (constraints sorted, each as
+/// `[nterms << 8 | kind, constant, (rank << 32 | ordinal, coeff)...]`) so
+/// key construction, hashing, and equality touch one contiguous
+/// allocation — this sits on the hot path of every memoized query.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CanonicalSystem {
+    contradictory: bool,
+    count: u32,
+    flat: Vec<i128>,
+}
+
+impl CanonicalSystem {
+    /// Number of constraints in the canonical form.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// True if the form has no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// `(variable id, rank << 32 | ordinal)` rows sorted by id, so term
+/// encoding is one binary search with no [`VarTable`] access.
+fn ord_table(used: &[VarId], vt: &VarTable) -> Vec<(u32, i128)> {
+    let mut t: Vec<(u32, i128)> = used
+        .iter()
+        .enumerate()
+        .map(|(k, v)| (v.0, ((vt.kind(*v).scan_rank() as i128) << 32) | k as i128))
+        .collect();
+    t.sort_unstable_by_key(|e| e.0);
+    t
+}
+
+/// Encode `sys` into the flat canonical buffer, numbering variables via
+/// `table` (from [`ord_table`] over a `(scan_rank, id)`-sorted var list
+/// that contains every variable of `sys`).
+fn encode_flat(sys: &System, table: &[(u32, i128)]) -> (u32, Vec<i128>) {
+    let ord = |v: VarId| -> i128 {
+        let k = table
+            .binary_search_by_key(&v.0, |e| e.0)
+            .expect("encode_flat: variable missing from the ordinal map");
+        table[k].1
+    };
+    let cons = sys.constraints();
+    let mut buf: Vec<i128> = Vec::with_capacity(cons.len() * 8);
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(cons.len());
+    let mut terms: Vec<(i128, i128)> = Vec::new();
+    for c in cons {
+        terms.clear();
+        for (v, k) in c.expr.terms() {
+            terms.push((ord(v), k));
+        }
+        terms.sort_unstable();
+        let kind = match c.kind {
+            ConstraintKind::GeZero => 0i128,
+            ConstraintKind::EqZero => 1i128,
+        };
+        let start = buf.len();
+        buf.push(((terms.len() as i128) << 8) | kind);
+        buf.push(c.expr.constant_term());
+        for &(p, k) in &terms {
+            buf.push(p);
+            buf.push(k);
+        }
+        spans.push((start, buf.len() - start));
+    }
+    spans.sort_by(|&(s1, l1), &(s2, l2)| buf[s1..s1 + l1].cmp(&buf[s2..s2 + l2]));
+    let mut flat = Vec::with_capacity(buf.len());
+    for &(s, l) in &spans {
+        flat.extend_from_slice(&buf[s..s + l]);
+    }
+    (spans.len() as u32, flat)
+}
+
+/// Canonicalize `sys`: returns the canonical form plus the variable map
+/// (`map[ordinal]` is the original [`VarId`] with that canonical number).
+pub fn canonicalize(sys: &System, vt: &VarTable) -> (CanonicalSystem, Vec<VarId>) {
+    let mut used: Vec<VarId> = Vec::new();
+    for c in sys.constraints() {
+        for (v, _) in c.expr.terms() {
+            used.push(v);
+        }
+    }
+    used.sort_unstable_by_key(|v| (vt.kind(*v).scan_rank(), v.0));
+    used.dedup();
+    let (count, flat) = encode_flat(sys, &ord_table(&used, vt));
+    (
+        CanonicalSystem {
+            contradictory: sys.is_contradictory(),
+            count,
+            flat,
+        },
+        used,
+    )
+}
+
+/// Rebuild a concrete [`System`] from a flat canonical buffer using
+/// `map` to translate ordinals back to this query's [`VarId`]s.
+fn decode(flat: &[i128], map: &[VarId]) -> System {
+    let mut sys = System::new();
+    let mut i = 0;
+    while i < flat.len() {
+        let head = flat[i];
+        let kind = (head & 0xff) as u8;
+        let n = (head >> 8) as usize;
+        let mut e = LinExpr::constant(flat[i + 1]);
+        for t in 0..n {
+            let packed = flat[i + 2 + 2 * t];
+            let coef = flat[i + 3 + 2 * t];
+            e.set_coeff(map[(packed & 0xffff_ffff) as usize], coef);
+        }
+        i += 2 + 2 * n;
+        let c = match kind {
+            0 => Constraint::ge_zero(e),
+            _ => Constraint::eq_zero(e),
+        };
+        sys.push(c);
+    }
+    sys
+}
+
+/// Snapshot of an [`FmeCache`]'s counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FmeCacheStats {
+    /// Feasibility queries answered from the cache.
+    pub feas_hits: u64,
+    /// Feasibility queries that ran the full FME scan.
+    pub feas_misses: u64,
+    /// Elimination queries answered from the cache.
+    pub elim_hits: u64,
+    /// Elimination queries computed fresh.
+    pub elim_misses: u64,
+    /// Scans that gave up (overflow / budget) and answered `Unknown`.
+    pub unknown_verdicts: u64,
+    /// Largest live constraint count any scan reached.
+    pub peak_constraints: usize,
+    /// Distinct canonical systems currently memoized.
+    pub entries: usize,
+    /// Nanoseconds spent building canonical keys (cache overhead).
+    pub canon_ns: u64,
+    /// Nanoseconds spent in actual feasibility scans (cache misses).
+    pub scan_ns: u64,
+    /// Nanoseconds of scan work skipped by hits (each hit credits the
+    /// cost its class's original scan paid).
+    pub saved_ns: u64,
+    /// Total nanoseconds spent inside cached feasibility queries.
+    pub query_ns: u64,
+}
+
+impl FmeCacheStats {
+    /// Hit rate over all feasibility queries, in `[0, 1]`.
+    pub fn feas_hit_rate(&self) -> f64 {
+        let total = self.feas_hits + self.feas_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.feas_hits as f64 / total as f64
+        }
+    }
+}
+
+const FEAS_MEMO_CAP: usize = 1 << 20;
+const ELIM_MEMO_CAP: usize = 1 << 12;
+
+/// A shared, thread-safe memo for FME feasibility and elimination
+/// queries, keyed on [`CanonicalSystem`]s.
+///
+/// Counters are atomics so parallel workers can record hits without
+/// serializing; note they are *not* deterministic across runs when
+/// workers race for the same key, which is why they surface through
+/// stdout/bench telemetry and never through the byte-stable explain
+/// document.
+#[derive(Default)]
+pub struct FmeCache {
+    feas: Mutex<FxMap<CanonicalSystem, (Feasibility, u64)>>,
+    elim: Mutex<FxMap<(CanonicalSystem, u8, u32), Vec<i128>>>,
+    feas_hits: AtomicU64,
+    feas_misses: AtomicU64,
+    elim_hits: AtomicU64,
+    elim_misses: AtomicU64,
+    unknown_verdicts: AtomicU64,
+    peak_constraints: AtomicUsize,
+    canon_ns: AtomicU64,
+    scan_ns: AtomicU64,
+    saved_ns: AtomicU64,
+    query_ns: AtomicU64,
+}
+
+impl FmeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoized [`System::feasibility`]. Answers from the cache when an
+    /// isomorphic system has been scanned before; otherwise runs the
+    /// guarded scan and records the verdict.
+    pub fn feasibility(&self, sys: &System, vt: &VarTable) -> Feasibility {
+        if sys.is_contradictory() {
+            return Feasibility::Infeasible;
+        }
+        let tq = std::time::Instant::now();
+        let f = self.feasibility_timed(sys, vt);
+        self.query_ns
+            .fetch_add(tq.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        f
+    }
+
+    fn feasibility_timed(&self, sys: &System, vt: &VarTable) -> Feasibility {
+        // Level 1: key on the raw system — cheapest possible hit.
+        let t0 = std::time::Instant::now();
+        let (key, _) = canonicalize(sys, vt);
+        self.canon_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if let Some(&(f, cost)) = self.feas.lock().unwrap().get(&key) {
+            self.feas_hits.fetch_add(1, Ordering::Relaxed);
+            self.saved_ns.fetch_add(cost, Ordering::Relaxed);
+            return f;
+        }
+        // Level 2: key on the scan's own reduced normal form. Distinct
+        // raw systems frequently collapse to one reduced form (unit
+        // equalities substituted away, duplicates and dominated rows
+        // dropped), and the verdict is a pure function of it — so this
+        // catches hits level 1 cannot, at reduce (not scan) cost.
+        let t1 = std::time::Instant::now();
+        let mut reduced = sys.clone();
+        let peak0 = reduced.len();
+        if reduced.reduce_for_scan(vt).is_err() {
+            self.feas_misses.fetch_add(1, Ordering::Relaxed);
+            let cost = t1.elapsed().as_nanos() as u64;
+            self.scan_ns.fetch_add(cost, Ordering::Relaxed);
+            self.peak_constraints.fetch_max(peak0, Ordering::Relaxed);
+            self.unknown_verdicts.fetch_add(1, Ordering::Relaxed);
+            let mut memo = self.feas.lock().unwrap();
+            if memo.len() < FEAS_MEMO_CAP {
+                memo.insert(key, (Feasibility::Unknown, cost));
+            }
+            return Feasibility::Unknown;
+        }
+        let t2 = std::time::Instant::now();
+        let (rkey, _) = canonicalize(&reduced, vt);
+        self.canon_ns
+            .fetch_add(t2.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        {
+            let mut memo = self.feas.lock().unwrap();
+            if let Some(&(f, cost)) = memo.get(&rkey) {
+                // Remember the raw key too so the next identical query
+                // hits at level 1. The recorded cost stays the loop-only
+                // cost this hit actually saved.
+                if memo.len() < FEAS_MEMO_CAP {
+                    memo.insert(key, (f, cost));
+                }
+                drop(memo);
+                self.feas_hits.fetch_add(1, Ordering::Relaxed);
+                self.saved_ns.fetch_add(cost, Ordering::Relaxed);
+                return f;
+            }
+        }
+        self.feas_misses.fetch_add(1, Ordering::Relaxed);
+        let t3 = std::time::Instant::now();
+        let (f, loop_peak) = reduced.scan_reduced(vt);
+        let loop_cost = t3.elapsed().as_nanos() as u64;
+        let full_cost = t1.elapsed().as_nanos() as u64;
+        self.scan_ns.fetch_add(full_cost, Ordering::Relaxed);
+        self.peak_constraints
+            .fetch_max(peak0.max(loop_peak), Ordering::Relaxed);
+        if f == Feasibility::Unknown {
+            self.unknown_verdicts.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut memo = self.feas.lock().unwrap();
+        if memo.len() < FEAS_MEMO_CAP {
+            memo.insert(key, (f, full_cost));
+            memo.insert(rkey, (f, loop_cost));
+        }
+        f
+    }
+
+    /// Memoized single-variable elimination. The system is brought into
+    /// canonical constraint order first, so the projected result is a
+    /// pure function of the canonical form and can be replayed for any
+    /// isomorphic system.
+    pub fn eliminate(&self, sys: &System, vt: &VarTable, v: VarId) -> Result<System, Overflow> {
+        if sys.is_contradictory() {
+            return Ok(System::contradiction());
+        }
+        let (key, map) = canonicalize(sys, vt);
+        let Some(ord) = map.iter().position(|x| *x == v) else {
+            // `v` does not occur: elimination is the identity.
+            return Ok(decode(&key.flat, &map));
+        };
+        let ekey = (key, vt.kind(v).scan_rank(), ord as u32);
+        if let Some(stored) = self.elim.lock().unwrap().get(&ekey) {
+            self.elim_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(decode(stored, &map));
+        }
+        self.elim_misses.fetch_add(1, Ordering::Relaxed);
+        let mut sorted = sys.clone();
+        sorted.canonical_sort(vt);
+        let out = sorted.try_eliminate_owned(v)?;
+        if out.is_contradictory() {
+            return Ok(System::contradiction());
+        }
+        let (_, encoded) = encode_flat(&out, &ord_table(&map, vt));
+        let result = decode(&encoded, &map);
+        let mut memo = self.elim.lock().unwrap();
+        if memo.len() < ELIM_MEMO_CAP {
+            memo.insert(ekey, encoded);
+        }
+        Ok(result)
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> FmeCacheStats {
+        FmeCacheStats {
+            feas_hits: self.feas_hits.load(Ordering::Relaxed),
+            feas_misses: self.feas_misses.load(Ordering::Relaxed),
+            elim_hits: self.elim_hits.load(Ordering::Relaxed),
+            elim_misses: self.elim_misses.load(Ordering::Relaxed),
+            unknown_verdicts: self.unknown_verdicts.load(Ordering::Relaxed),
+            peak_constraints: self.peak_constraints.load(Ordering::Relaxed),
+            entries: self.feas.lock().unwrap().len(),
+            canon_ns: self.canon_ns.load(Ordering::Relaxed),
+            scan_ns: self.scan_ns.load(Ordering::Relaxed),
+            saved_ns: self.saved_ns.load(Ordering::Relaxed),
+            query_ns: self.query_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarKind;
+
+    fn chain(vt: &mut VarTable, tag: &str) -> (System, VarId) {
+        // 0 <= i <= 5, j == i + 10, j <= 12  (feasible)
+        let i = vt.fresh(format!("i{tag}"), VarKind::LoopIndex);
+        let j = vt.fresh(format!("j{tag}"), VarKind::LoopIndex);
+        let mut s = System::new();
+        s.add_range(LinExpr::var(i), LinExpr::constant(0), LinExpr::constant(5));
+        s.add_eq(LinExpr::var(j) - LinExpr::var(i) - LinExpr::constant(10));
+        s.add_ge(LinExpr::constant(12) - LinExpr::var(j));
+        (s, j)
+    }
+
+    #[test]
+    fn isomorphic_systems_share_a_canonical_form() {
+        let mut vt = VarTable::new();
+        let (a, _) = chain(&mut vt, "a");
+        let (b, _) = chain(&mut vt, "b");
+        let (ka, ma) = canonicalize(&a, &vt);
+        let (kb, mb) = canonicalize(&b, &vt);
+        assert_eq!(ka, kb);
+        assert_ne!(ma, mb, "distinct vars, same shape");
+    }
+
+    #[test]
+    fn different_ranks_do_not_collide() {
+        let mut vt = VarTable::new();
+        let i = vt.fresh("i", VarKind::LoopIndex);
+        let p = vt.fresh("p", VarKind::Processor);
+        let mut a = System::new();
+        a.add_ge(LinExpr::var(i) - LinExpr::constant(1));
+        let mut b = System::new();
+        b.add_ge(LinExpr::var(p) - LinExpr::constant(1));
+        assert_ne!(canonicalize(&a, &vt).0, canonicalize(&b, &vt).0);
+    }
+
+    #[test]
+    fn cache_hits_on_isomorphic_queries_and_agrees_with_direct_scan() {
+        let mut vt = VarTable::new();
+        let (a, _) = chain(&mut vt, "a");
+        let (b, _) = chain(&mut vt, "b");
+        let cache = FmeCache::new();
+        let fa = cache.feasibility(&a, &vt);
+        let fb = cache.feasibility(&b, &vt);
+        assert_eq!(fa, a.feasibility(&vt));
+        assert_eq!(fb, b.feasibility(&vt));
+        assert_eq!(fa, fb);
+        let st = cache.stats();
+        assert_eq!(st.feas_misses, 1);
+        assert_eq!(st.feas_hits, 1);
+        // The single scan memoizes the raw form and its reduced normal
+        // form (distinct here: the unit equality substitutes away).
+        assert_eq!(st.entries, 2);
+        assert!(st.feas_hit_rate() > 0.49 && st.feas_hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn memoized_eliminate_replays_for_isomorphic_systems() {
+        let mut vt = VarTable::new();
+        let (a, ja) = chain(&mut vt, "a");
+        let (b, jb) = chain(&mut vt, "b");
+        let cache = FmeCache::new();
+        let ea = cache.eliminate(&a, &vt, ja).unwrap();
+        let eb = cache.eliminate(&b, &vt, jb).unwrap();
+        assert_eq!(cache.stats().elim_misses, 1);
+        assert_eq!(cache.stats().elim_hits, 1);
+        // The replayed projection is the renamed image of the computed one.
+        assert_eq!(
+            canonicalize(&ea, &vt).0,
+            canonicalize(&eb, &vt).0,
+            "replayed elimination must match"
+        );
+        // And it matches what the unmemoized (canonically sorted)
+        // elimination produces.
+        let mut direct = a.clone();
+        direct.canonical_sort(&vt);
+        let direct = direct.try_eliminate_owned(ja).unwrap();
+        assert_eq!(canonicalize(&ea, &vt).0, canonicalize(&direct, &vt).0);
+    }
+
+    #[test]
+    fn unknown_verdicts_are_counted() {
+        let mut vt = VarTable::new();
+        let vs: Vec<VarId> = (0..6)
+            .map(|k| vt.fresh(format!("x{k}"), VarKind::LoopIndex))
+            .collect();
+        let big: Vec<i128> = (0..6).map(|k| (1i128 << 64) + 2 * k + 1).collect();
+        let mut s = System::new();
+        for w in 0..5 {
+            s.add_ge(LinExpr::term(vs[w], big[w]) - LinExpr::term(vs[w + 1], big[w + 1]));
+            s.add_ge(
+                LinExpr::term(vs[w + 1], big[w + 1] + 2) - LinExpr::term(vs[w], big[w] + 2)
+                    + LinExpr::constant(1),
+            );
+        }
+        let cache = FmeCache::new();
+        assert_eq!(cache.feasibility(&s, &vt), Feasibility::Unknown);
+        assert_eq!(cache.stats().unknown_verdicts, 1);
+        // Cached replay gives the same (conservative) answer.
+        assert_eq!(cache.feasibility(&s, &vt), Feasibility::Unknown);
+        assert_eq!(cache.stats().feas_hits, 1);
+    }
+}

@@ -31,6 +31,7 @@
 //! assert!(!sys.is_consistent(&vt));
 //! ```
 
+pub mod cache;
 pub mod constraint;
 pub mod linexpr;
 pub mod rational;
@@ -39,9 +40,10 @@ pub mod simplify;
 pub mod system;
 pub mod var;
 
+pub use cache::{canonicalize, CanonicalSystem, FmeCache, FmeCacheStats};
 pub use constraint::{Constraint, ConstraintKind};
 pub use linexpr::LinExpr;
-pub use rational::Rational;
+pub use rational::{Overflow, Rational};
 pub use scan::{BoundExpr, VarBounds};
-pub use system::System;
+pub use system::{Feasibility, IntSearch, System, MAX_FEAS_CONSTRAINTS};
 pub use var::{VarId, VarKind, VarTable};

@@ -1,6 +1,6 @@
 //! Affine (linear + constant) integer expressions over [`VarId`]s.
 
-use crate::rational::{gcd, Rational};
+use crate::rational::{gcd, Overflow, Rational};
 use crate::var::{VarId, VarTable};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -101,6 +101,54 @@ impl LinExpr {
         out
     }
 
+    /// Add `c·v`, or `Err(Overflow)`.
+    pub fn try_add_term(&mut self, v: VarId, c: i128) -> Result<(), Overflow> {
+        let nc = self.coeff(v).checked_add(c).ok_or(Overflow)?;
+        self.set_coeff(v, nc);
+        Ok(())
+    }
+
+    /// `k · self`, or `Err(Overflow)`.
+    pub fn try_scaled(&self, k: i128) -> Result<LinExpr, Overflow> {
+        if k == 0 {
+            return Ok(LinExpr::zero());
+        }
+        let mut out = LinExpr::constant(self.constant.checked_mul(k).ok_or(Overflow)?);
+        for (v, c) in self.terms() {
+            out.set_coeff(v, c.checked_mul(k).ok_or(Overflow)?);
+        }
+        Ok(out)
+    }
+
+    /// `self + rhs`, or `Err(Overflow)`.
+    pub fn try_add(mut self, rhs: &LinExpr) -> Result<LinExpr, Overflow> {
+        self.constant = self.constant.checked_add(rhs.constant).ok_or(Overflow)?;
+        for (v, c) in rhs.terms() {
+            self.try_add_term(v, c)?;
+        }
+        Ok(self)
+    }
+
+    /// The FME cross-combination `ka·a + kb·b`, or `Err(Overflow)`.
+    ///
+    /// This is the single operation where elimination chains blow up
+    /// coefficients multiplicatively; everything in it is checked.
+    pub fn try_combine(a: &LinExpr, ka: i128, b: &LinExpr, kb: i128) -> Result<LinExpr, Overflow> {
+        a.try_scaled(ka)?.try_add(&b.try_scaled(kb)?)
+    }
+
+    /// `self` with `v` replaced by `replacement`, or `Err(Overflow)`.
+    pub fn try_substituted(&self, v: VarId, replacement: &LinExpr) -> Result<LinExpr, Overflow> {
+        debug_assert_eq!(replacement.coeff(v), 0, "substitution must eliminate var");
+        let c = self.coeff(v);
+        if c == 0 {
+            return Ok(self.clone());
+        }
+        let mut out = self.clone();
+        out.set_coeff(v, 0);
+        out.try_add(&replacement.try_scaled(c)?)
+    }
+
     /// gcd of all variable coefficients (0 if there are none).
     pub fn coeff_gcd(&self) -> i128 {
         let mut g = 0;
@@ -135,13 +183,19 @@ impl LinExpr {
         acc
     }
 
-    /// Evaluate with a rational assignment.
-    pub fn eval_rat(&self, assign: &dyn Fn(VarId) -> Rational) -> Rational {
+    /// Evaluate with a rational assignment, or `Err(Overflow)`.
+    pub fn try_eval_rat(&self, assign: &dyn Fn(VarId) -> Rational) -> Result<Rational, Overflow> {
         let mut acc = Rational::int(self.constant);
         for (v, c) in self.terms() {
-            acc = acc + Rational::int(c) * assign(v);
+            acc = acc.checked_add(Rational::int(c).checked_mul(assign(v))?)?;
         }
-        acc
+        Ok(acc)
+    }
+
+    /// Evaluate with a rational assignment. Panics on overflow — used
+    /// only by test oracles, never on the analysis path.
+    pub fn eval_rat(&self, assign: &dyn Fn(VarId) -> Rational) -> Rational {
+        self.try_eval_rat(assign).expect("eval overflow")
     }
 
     /// Render with variable names from `vt`.

@@ -4,28 +4,57 @@
 //! expressions exactly (sample points, bound expressions with divisors,
 //! verification oracles). The Fourier-Motzkin core itself works on integer
 //! coefficients and never leaves `i128`.
+//!
+//! Nothing in this module panics on overflow: every operation that can
+//! exceed `i128` returns `Result<_, Overflow>` (or `Option`), and
+//! comparison is computed exactly in 256 bits so `Ord` is total. Callers
+//! on the analysis hot path map [`Overflow`] to the conservative
+//! `Unknown` feasibility verdict (keep the barrier); callers on oracle
+//! paths may `expect` it, which turns a pathological *test input* into a
+//! loud failure without ever aborting optimization of a real program.
 
 use std::cmp::Ordering;
 use std::fmt;
-use std::ops::{Add, Div, Mul, Neg, Sub};
+use std::ops::Neg;
 
-/// Greatest common divisor of two non-negative integers.
+/// Marker for arithmetic overflow in exact integer/rational computation.
+///
+/// The FME elimination chain multiplies coefficients pairwise, so deep
+/// chains can exceed `i128` even for modest inputs. Overflow is not an
+/// error in the analysis: it propagates outward as the `Unknown`
+/// feasibility verdict, which keeps the barrier (always sound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Overflow;
+
+impl fmt::Display for Overflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exact-arithmetic overflow")
+    }
+}
+
+/// Greatest common divisor of two integers (always non-negative).
 pub fn gcd(a: i128, b: i128) -> i128 {
-    let (mut a, mut b) = (a.abs(), b.abs());
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
     while b != 0 {
         let t = a % b;
         a = b;
         b = t;
     }
-    a
+    // The only input whose |.| does not fit in i128 is i128::MIN, and
+    // gcd(MIN, 0) = |MIN| which would overflow; clamp that single case.
+    i128::try_from(a).unwrap_or(i128::MAX)
 }
 
-/// Least common multiple. Panics on overflow.
-pub fn lcm(a: i128, b: i128) -> i128 {
+/// Least common multiple, or `None` on overflow.
+pub fn checked_lcm(a: i128, b: i128) -> Option<i128> {
     if a == 0 || b == 0 {
-        return 0;
+        return Some(0);
     }
-    (a / gcd(a, b)).checked_mul(b).expect("lcm overflow").abs()
+    (a / gcd(a, b))
+        .checked_mul(b)
+        .map(|m| m.unsigned_abs())?
+        .try_into()
+        .ok()
 }
 
 /// Floor division that rounds toward negative infinity.
@@ -50,12 +79,41 @@ pub fn div_ceil(a: i128, b: i128) -> i128 {
     }
 }
 
+/// Unsigned 128×128 → 256-bit multiply: returns `(hi, lo)`.
+fn umul256(a: u128, b: u128) -> (u128, u128) {
+    const M: u128 = (1u128 << 64) - 1;
+    let (a0, a1) = (a & M, a >> 64);
+    let (b0, b1) = (b & M, b >> 64);
+    let ll = a0 * b0;
+    let hl = a1 * b0;
+    let lh = a0 * b1;
+    let hh = a1 * b1;
+    let mid = (ll >> 64) + (hl & M) + (lh & M);
+    let lo = (mid << 64) | (ll & M);
+    let hi = hh + (hl >> 64) + (lh >> 64) + (mid >> 64);
+    (hi, lo)
+}
+
+/// Signed 128×128 → 256-bit multiply: `(hi, lo)` in two's complement.
+fn imul256(a: i128, b: i128) -> (i128, u128) {
+    let neg = (a < 0) != (b < 0) && a != 0 && b != 0;
+    let (hi, lo) = umul256(a.unsigned_abs(), b.unsigned_abs());
+    if neg {
+        let nlo = lo.wrapping_neg();
+        let nhi = (!hi).wrapping_add((lo == 0) as u128);
+        (nhi as i128, nlo)
+    } else {
+        (hi as i128, lo)
+    }
+}
+
 /// An exact rational number with `i128` numerator and denominator.
 ///
 /// Invariants: denominator is strictly positive and `gcd(num, den) == 1`.
-/// Arithmetic panics on overflow — in this crate overflow indicates a
-/// pathological system, and a loud failure is preferred over silently
-/// wrong feasibility answers.
+/// Arithmetic never panics on overflow: the `checked_*` methods return
+/// `Err(Overflow)` instead, and `Ord::cmp` is computed exactly in 256
+/// bits. (`new` still asserts a nonzero denominator — that is a logic
+/// error, not a magnitude problem.)
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rational {
     num: i128,
@@ -135,6 +193,44 @@ impl Rational {
         assert!(self.num != 0, "reciprocal of zero");
         Rational::new(self.den, self.num)
     }
+
+    /// `self + rhs`, or `Err(Overflow)`.
+    pub fn checked_add(self, rhs: Rational) -> Result<Rational, Overflow> {
+        // Use the lcm of the denominators, not their product, so sums of
+        // same-denominator values never grow the representation.
+        let den = checked_lcm(self.den, rhs.den).ok_or(Overflow)?;
+        let a = self.num.checked_mul(den / self.den).ok_or(Overflow)?;
+        let b = rhs.num.checked_mul(den / rhs.den).ok_or(Overflow)?;
+        Ok(Rational::new(a.checked_add(b).ok_or(Overflow)?, den))
+    }
+
+    /// `self - rhs`, or `Err(Overflow)`.
+    pub fn checked_sub(self, rhs: Rational) -> Result<Rational, Overflow> {
+        self.checked_add(rhs.checked_neg()?)
+    }
+
+    /// `self * rhs`, or `Err(Overflow)`.
+    pub fn checked_mul(self, rhs: Rational) -> Result<Rational, Overflow> {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        let num = (self.num / g1).checked_mul(rhs.num / g2).ok_or(Overflow)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1).ok_or(Overflow)?;
+        Ok(Rational::new(num, den))
+    }
+
+    /// `self / rhs`, or `Err(Overflow)`. Panics if `rhs` is zero.
+    pub fn checked_div(self, rhs: Rational) -> Result<Rational, Overflow> {
+        self.checked_mul(rhs.recip())
+    }
+
+    /// `-self`, or `Err(Overflow)` (only `i128::MIN` numerators overflow).
+    pub fn checked_neg(self) -> Result<Rational, Overflow> {
+        Ok(Rational {
+            num: self.num.checked_neg().ok_or(Overflow)?,
+            den: self.den,
+        })
+    }
 }
 
 impl fmt::Debug for Rational {
@@ -165,59 +261,10 @@ impl From<i64> for Rational {
     }
 }
 
-impl Add for Rational {
-    type Output = Rational;
-    fn add(self, rhs: Rational) -> Rational {
-        let num = self
-            .num
-            .checked_mul(rhs.den)
-            .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
-            .expect("rational add overflow");
-        let den = self
-            .den
-            .checked_mul(rhs.den)
-            .expect("rational add overflow");
-        Rational::new(num, den)
-    }
-}
-
-impl Sub for Rational {
-    type Output = Rational;
-    fn sub(self, rhs: Rational) -> Rational {
-        self + (-rhs)
-    }
-}
-
-impl Mul for Rational {
-    type Output = Rational;
-    fn mul(self, rhs: Rational) -> Rational {
-        // Cross-reduce before multiplying to keep intermediates small.
-        let g1 = gcd(self.num, rhs.den).max(1);
-        let g2 = gcd(rhs.num, self.den).max(1);
-        let num = (self.num / g1)
-            .checked_mul(rhs.num / g2)
-            .expect("rational mul overflow");
-        let den = (self.den / g2)
-            .checked_mul(rhs.den / g1)
-            .expect("rational mul overflow");
-        Rational::new(num, den)
-    }
-}
-
-impl Div for Rational {
-    type Output = Rational;
-    fn div(self, rhs: Rational) -> Rational {
-        self * rhs.recip()
-    }
-}
-
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational {
-            num: -self.num,
-            den: self.den,
-        }
+        self.checked_neg().expect("negating i128::MIN rational")
     }
 }
 
@@ -229,16 +276,11 @@ impl PartialOrd for Rational {
 
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
-        // a/b vs c/d with b,d > 0  <=>  a*d vs c*b
-        let lhs = self
-            .num
-            .checked_mul(other.den)
-            .expect("rational cmp overflow");
-        let rhs = other
-            .num
-            .checked_mul(self.den)
-            .expect("rational cmp overflow");
-        lhs.cmp(&rhs)
+        // a/b vs c/d with b,d > 0  <=>  a*d vs c*b, computed exactly in
+        // 256 bits so no coefficient magnitude can panic here.
+        let (lh, ll) = imul256(self.num, other.den);
+        let (rh, rl) = imul256(other.num, self.den);
+        lh.cmp(&rh).then(ll.cmp(&rl))
     }
 }
 
@@ -253,13 +295,15 @@ mod tests {
         assert_eq!(gcd(5, 0), 5);
         assert_eq!(gcd(-12, 18), 6);
         assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(i128::MIN, 2), 2);
     }
 
     #[test]
     fn lcm_basics() {
-        assert_eq!(lcm(4, 6), 12);
-        assert_eq!(lcm(0, 6), 0);
-        assert_eq!(lcm(-4, 6), 12);
+        assert_eq!(checked_lcm(4, 6), Some(12));
+        assert_eq!(checked_lcm(0, 6), Some(0));
+        assert_eq!(checked_lcm(-4, 6), Some(12));
+        assert_eq!(checked_lcm(i128::MAX, i128::MAX - 1), None);
     }
 
     #[test]
@@ -286,11 +330,36 @@ mod tests {
     fn arithmetic() {
         let a = Rational::new(1, 2);
         let b = Rational::new(1, 3);
-        assert_eq!(a + b, Rational::new(5, 6));
-        assert_eq!(a - b, Rational::new(1, 6));
-        assert_eq!(a * b, Rational::new(1, 6));
-        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(a.checked_add(b), Ok(Rational::new(5, 6)));
+        assert_eq!(a.checked_sub(b), Ok(Rational::new(1, 6)));
+        assert_eq!(a.checked_mul(b), Ok(Rational::new(1, 6)));
+        assert_eq!(a.checked_div(b), Ok(Rational::new(3, 2)));
         assert_eq!(-a, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn overflow_is_reported_not_panicked() {
+        let big = Rational::int(i128::MAX);
+        assert_eq!(big.checked_add(Rational::one()), Err(Overflow));
+        assert_eq!(big.checked_mul(Rational::int(2)), Err(Overflow));
+        // Huge coprime denominators: the sum itself overflows.
+        let a = Rational::new(1, i128::MAX);
+        let b = Rational::new(1, i128::MAX - 1);
+        assert_eq!(a.checked_add(b), Err(Overflow));
+    }
+
+    #[test]
+    fn cmp_is_exact_at_extreme_magnitudes() {
+        // Cross-multiplication here exceeds i128; the 256-bit compare
+        // must still order these correctly instead of panicking.
+        let a = Rational::new(i128::MAX, i128::MAX - 1); // slightly > 1
+        let b = Rational::new(i128::MAX - 2, i128::MAX - 1); // slightly < 1
+        assert!(a > b);
+        assert!(a > Rational::one());
+        assert!(b < Rational::one());
+        let c = Rational::new(-i128::MAX, 3);
+        assert!(c < b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
     }
 
     #[test]

@@ -75,6 +75,9 @@ impl System {
     /// The point is a witness for the rational relaxation — FME's
     /// "feasible" verdicts — and is what diagnostic output shows when a
     /// communication test fires.
+    ///
+    /// Also returns `None` if exact arithmetic overflows while
+    /// back-substituting — no witness rather than a panic.
     pub fn sample_point(&self, vt: &VarTable) -> Option<Vec<(VarId, Rational)>> {
         if self.is_contradictory() {
             return None;
@@ -119,8 +122,11 @@ impl System {
                 let mut rest = c.expr.clone();
                 rest.set_coeff(v, 0);
                 let val = rest
-                    .eval_rat(&|x| lookup(x).expect("inner variable leaked into projected system"));
-                let bound = -val / Rational::int(a as i128);
+                    .try_eval_rat(&|x| {
+                        lookup(x).expect("inner variable leaked into projected system")
+                    })
+                    .ok()?;
+                let bound = val.checked_neg().ok()?.checked_div(Rational::int(a)).ok()?;
                 match (c.kind, a > 0) {
                     (ConstraintKind::GeZero, true) => {
                         lo = Some(lo.map_or(bound, |l| if bound > l { bound } else { l }));
@@ -145,7 +151,7 @@ impl System {
                     if Rational::int(li) <= h {
                         Rational::int(li)
                     } else {
-                        (l + h) / Rational::int(2)
+                        l.checked_add(h).ok()?.checked_div(Rational::int(2)).ok()?
                     }
                 }
                 (Some(l), None) => Rational::int(l.ceil()),

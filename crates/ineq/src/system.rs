@@ -3,9 +3,57 @@
 
 use crate::constraint::{Constraint, ConstraintKind};
 use crate::linexpr::LinExpr;
+use crate::rational::Overflow;
 use crate::var::{VarId, VarTable};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+/// Ceiling on the live constraint count during a guarded feasibility
+/// scan; exceeding it yields [`Feasibility::Unknown`] instead of letting
+/// FME's quadratic blow-up run away.
+pub const MAX_FEAS_CONSTRAINTS: usize = 4096;
+
+/// Default node budget for [`System::find_integer_solution`].
+pub const DEFAULT_SEARCH_FUEL: u64 = 1 << 22;
+
+/// Maximum recursion depth for the integer box search; deeper boxes
+/// return [`IntSearch::Unknown`] instead of risking the stack.
+pub const MAX_SEARCH_DEPTH: usize = 64;
+
+/// Tri-state answer of the guarded feasibility test.
+///
+/// `Infeasible` is a proof (no integer solution exists); `Feasible`
+/// means the FME relaxation admits a solution; `Unknown` means the scan
+/// was abandoned (coefficient overflow or budget exhaustion) and the
+/// caller must assume communication may exist — i.e. keep the barrier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Feasibility {
+    /// The relaxation admits a solution (or the test was conclusive-feasible).
+    Feasible,
+    /// Proven to have no integer solution.
+    Infeasible,
+    /// The scan overflowed or exceeded its budget; treat as feasible.
+    Unknown,
+}
+
+impl Feasibility {
+    /// `true` unless the system is *proven* infeasible — the conservative
+    /// reading used by communication analysis.
+    pub fn may_hold(self) -> bool {
+        self != Feasibility::Infeasible
+    }
+}
+
+/// Outcome of the fueled integer box search.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IntSearch {
+    /// A satisfying assignment.
+    Found(Vec<(VarId, i128)>),
+    /// The whole box was scanned; no assignment satisfies the system.
+    Absent,
+    /// Fuel or depth budget ran out before the box was covered.
+    Unknown,
+}
 
 /// A conjunction of affine constraints.
 ///
@@ -30,6 +78,11 @@ impl System {
             constraints: Vec::new(),
             contradictory: true,
         }
+    }
+
+    fn mark_contradictory(&mut self) {
+        self.contradictory = true;
+        self.constraints.clear();
     }
 
     /// Add `expr >= 0`.
@@ -59,8 +112,7 @@ impl System {
             return;
         }
         if !c.normalize() {
-            self.contradictory = true;
-            self.constraints.clear();
+            self.mark_contradictory();
             return;
         }
         if !c.is_trivially_true() {
@@ -71,12 +123,22 @@ impl System {
     /// Conjoin all constraints of `other` into `self`.
     pub fn conjoin(&mut self, other: &System) {
         if other.contradictory {
-            self.contradictory = true;
-            self.constraints.clear();
+            self.mark_contradictory();
             return;
         }
         for c in &other.constraints {
             self.push(c.clone());
+        }
+    }
+
+    /// Conjoin, consuming `other` (no per-constraint clones).
+    pub fn conjoin_owned(&mut self, other: System) {
+        if other.contradictory {
+            self.mark_contradictory();
+            return;
+        }
+        for c in other.constraints {
+            self.push(c);
         }
     }
 
@@ -113,14 +175,22 @@ impl System {
 
     /// Substitute `replacement` for `v` in every constraint.
     pub fn substitute(&mut self, v: VarId, replacement: &LinExpr) {
+        self.try_substitute(v, replacement)
+            .expect("substitution overflow outside the guarded analysis path")
+    }
+
+    /// Substitute, or `Err(Overflow)` with the system left contradictory-free
+    /// but unspecified (callers on the guarded path discard it).
+    pub fn try_substitute(&mut self, v: VarId, replacement: &LinExpr) -> Result<(), Overflow> {
         if self.contradictory {
-            return;
+            return Ok(());
         }
         let old = std::mem::take(&mut self.constraints);
         for c in old {
-            let expr = c.expr.substituted(v, replacement);
+            let expr = c.expr.try_substituted(v, replacement)?;
             self.push(Constraint { expr, kind: c.kind });
         }
+        Ok(())
     }
 
     /// Remove exact duplicates (after normalization they compare equal).
@@ -139,34 +209,128 @@ impl System {
         });
     }
 
+    /// Drop constraints dominated by another constraint over the same
+    /// term vector: of several `T + c >= 0` only the smallest `c` binds,
+    /// two equalities `T + c == 0` with different `c` contradict, and an
+    /// inequality sharing terms with an equality is either implied or
+    /// contradictory. Runs before each elimination step so FME never
+    /// cross-multiplies constraints that a cheaper pass can discharge.
+    pub fn remove_dominated(&mut self) {
+        if self.contradictory || self.constraints.len() < 2 {
+            return;
+        }
+        type Terms = Vec<(VarId, i128)>;
+        let mut eq_c: BTreeMap<Terms, i128> = BTreeMap::new();
+        let mut ge_c: BTreeMap<Terms, i128> = BTreeMap::new();
+        for c in &self.constraints {
+            let t: Terms = c.expr.terms().collect();
+            let k = c.expr.constant_term();
+            match c.kind {
+                ConstraintKind::EqZero => {
+                    if let Some(prev) = eq_c.insert(t, k) {
+                        if prev != k {
+                            self.mark_contradictory();
+                            return;
+                        }
+                    }
+                }
+                ConstraintKind::GeZero => {
+                    ge_c.entry(t).and_modify(|m| *m = (*m).min(k)).or_insert(k);
+                }
+            }
+        }
+        // T + ke == 0 forces T = -ke, so T + kg >= 0 iff kg >= ke.
+        for (t, ke) in &eq_c {
+            if let Some(kg) = ge_c.get(t) {
+                if kg < ke {
+                    self.mark_contradictory();
+                    return;
+                }
+                ge_c.remove(&t.clone());
+            }
+        }
+        let mut taken: BTreeSet<(u8, Terms)> = BTreeSet::new();
+        self.constraints.retain(|c| {
+            let t: Terms = c.expr.terms().collect();
+            let k = c.expr.constant_term();
+            let (tag, keep) = match c.kind {
+                ConstraintKind::EqZero => (1u8, eq_c.get(&t) == Some(&k)),
+                ConstraintKind::GeZero => (0u8, ge_c.get(&t) == Some(&k)),
+            };
+            keep && taken.insert((tag, t))
+        });
+    }
+
+    /// Sort constraints into a canonical content order: by kind, then by
+    /// the term vector keyed on `(scan_rank, var id)`, then constant.
+    ///
+    /// FME's pivot tie-breaks and output ordering depend on constraint
+    /// order, so the guarded feasibility scan re-sorts before every
+    /// elimination step. The key uses the scan *rank* before the raw id,
+    /// which makes the order invariant under the rank-preserving variable
+    /// renaming used by the query cache — two structurally isomorphic
+    /// systems take identical elimination paths and reach identical
+    /// verdicts.
+    pub fn canonical_sort(&mut self, vt: &VarTable) {
+        self.constraints.sort_by_cached_key(|c| {
+            let kind = match c.kind {
+                ConstraintKind::GeZero => 0u8,
+                ConstraintKind::EqZero => 1u8,
+            };
+            let mut terms: Vec<(u8, u32, i128)> = c
+                .expr
+                .terms()
+                .map(|(v, k)| (vt.kind(v).scan_rank(), v.0, k))
+                .collect();
+            terms.sort_unstable();
+            (kind, terms, c.expr.constant_term())
+        });
+    }
+
     /// Use equalities with a ±1 coefficient to substitute variables away.
     /// This is exact over the integers and keeps FME cheap.
-    pub fn propagate_unit_equalities(&mut self) {
+    pub fn propagate_unit_equalities(&mut self, vt: &VarTable) {
+        self.try_propagate_unit_equalities(vt)
+            .expect("unit-equality propagation overflow outside the guarded analysis path")
+    }
+
+    /// Fallible unit-equality propagation for the guarded path.
+    pub fn try_propagate_unit_equalities(&mut self, vt: &VarTable) -> Result<(), Overflow> {
         loop {
             if self.contradictory {
-                return;
+                return Ok(());
             }
             let mut target: Option<(usize, VarId, LinExpr)> = None;
-            'outer: for (idx, c) in self.constraints.iter().enumerate() {
+            for (idx, c) in self.constraints.iter().enumerate() {
                 if c.kind != ConstraintKind::EqZero {
                     continue;
                 }
+                // Substitute away the innermost (highest scan rank) unit
+                // variable: a rule stated in rank + relative-id terms so
+                // canonically-renamed systems make the same choice.
+                let mut best: Option<(u8, u32, VarId, i128)> = None;
                 for (v, coef) in c.expr.terms() {
                     if coef == 1 || coef == -1 {
-                        // coef*v + rest == 0  =>  v = -rest/coef = -coef*rest
-                        let mut rest = c.expr.clone();
-                        rest.set_coeff(v, 0);
-                        let replacement = rest.scaled(-coef);
-                        target = Some((idx, v, replacement));
-                        break 'outer;
+                        let key = (vt.kind(v).scan_rank(), v.0);
+                        if best.map_or(true, |(r, id, ..)| key > (r, id)) {
+                            best = Some((key.0, key.1, v, coef));
+                        }
                     }
+                }
+                if let Some((_, _, v, coef)) = best {
+                    // coef*v + rest == 0  =>  v = -rest/coef = -coef*rest
+                    let mut rest = c.expr.clone();
+                    rest.set_coeff(v, 0);
+                    let replacement = rest.try_scaled(-coef)?;
+                    target = Some((idx, v, replacement));
+                    break;
                 }
             }
             match target {
-                None => return,
+                None => return Ok(()),
                 Some((idx, v, replacement)) => {
                     self.constraints.remove(idx);
-                    self.substitute(v, &replacement);
+                    self.try_substitute(v, &replacement)?;
                 }
             }
         }
@@ -179,11 +343,25 @@ impl System {
     /// cross-combined. With gcd+floor normalization the result
     /// over-approximates the integer projection, which is the safe
     /// direction for communication tests (never misses communication).
+    ///
+    /// Panics on coefficient overflow — the guarded analysis path uses
+    /// [`System::try_eliminate_owned`] instead, which reports it.
     pub fn eliminate(&self, v: VarId) -> System {
+        self.clone()
+            .try_eliminate_owned(v)
+            .expect("FME coefficient overflow outside the guarded analysis path")
+    }
+
+    /// Fourier-Motzkin elimination that consumes the system (unaffected
+    /// constraints are moved, not cloned) and reports coefficient
+    /// overflow instead of panicking.
+    pub fn try_eliminate_owned(self, v: VarId) -> Result<System, Overflow> {
         if self.contradictory {
-            return System::contradiction();
+            return Ok(System::contradiction());
         }
-        // Prefer an equality pivot with the smallest |coefficient|.
+        // Prefer an equality pivot with the smallest |coefficient|; ties
+        // go to the earliest constraint, which is canonical after
+        // `canonical_sort`.
         let mut pivot: Option<(usize, i128)> = None;
         for (idx, c) in self.constraints.iter().enumerate() {
             if c.kind == ConstraintKind::EqZero {
@@ -196,31 +374,31 @@ impl System {
         let mut out = System::new();
         if let Some((pidx, b)) = pivot {
             let eq = self.constraints[pidx].expr.clone();
-            for (idx, c) in self.constraints.iter().enumerate() {
+            for (idx, c) in self.constraints.into_iter().enumerate() {
                 if idx == pidx {
                     continue;
                 }
                 let a = c.expr.coeff(v);
                 if a == 0 {
-                    out.push(c.clone());
+                    out.push(c);
                     continue;
                 }
                 // t*|b| + eq*(-a*sign(b)) cancels v exactly and preserves
                 // the comparison direction since |b| > 0.
-                let expr = c.expr.scaled(b.abs()) + eq.scaled(-a * b.signum());
+                let expr = LinExpr::try_combine(&c.expr, b.abs(), &eq, -a * b.signum())?;
                 debug_assert_eq!(expr.coeff(v), 0);
                 out.push(Constraint { expr, kind: c.kind });
             }
             out.dedup();
-            return out;
+            return Ok(out);
         }
         // No equality pivot: classic lower/upper pairing.
-        let mut lowers: Vec<&Constraint> = Vec::new();
-        let mut uppers: Vec<&Constraint> = Vec::new();
-        for c in &self.constraints {
+        let mut lowers: Vec<Constraint> = Vec::new();
+        let mut uppers: Vec<Constraint> = Vec::new();
+        for c in self.constraints {
             let coef = c.expr.coeff(v);
             if coef == 0 {
-                out.push(c.clone());
+                out.push(c);
             } else if coef > 0 {
                 lowers.push(c);
             } else {
@@ -233,13 +411,36 @@ impl System {
                 let b = -u.expr.coeff(v);
                 debug_assert!(a > 0 && b > 0);
                 // a*v + e >= 0 and -b*v + f >= 0  =>  b*e + a*f >= 0
-                let expr = l.expr.scaled(b) + u.expr.scaled(a);
+                let expr = LinExpr::try_combine(&l.expr, b, &u.expr, a)?;
                 debug_assert_eq!(expr.coeff(v), 0);
                 out.push(Constraint::ge_zero(expr));
             }
         }
         out.dedup();
-        out
+        Ok(out)
+    }
+
+    /// Number of lower/upper cross-pairs eliminating `v` would create
+    /// (0 when an exact equality pivot is available).
+    fn elimination_pairs(&self, v: VarId) -> usize {
+        if self
+            .constraints
+            .iter()
+            .any(|c| c.kind == ConstraintKind::EqZero && c.expr.coeff(v) != 0)
+        {
+            return 0;
+        }
+        let mut lo = 0usize;
+        let mut up = 0usize;
+        for c in &self.constraints {
+            let coef = c.expr.coeff(v);
+            if coef > 0 {
+                lo += 1;
+            } else if coef < 0 {
+                up += 1;
+            }
+        }
+        lo.saturating_mul(up)
     }
 
     /// Project the system onto `keep`, eliminating every other variable
@@ -252,7 +453,9 @@ impl System {
                 continue;
             }
             if sys.vars().contains(&v) {
-                sys = sys.eliminate(v);
+                sys = sys
+                    .try_eliminate_owned(v)
+                    .expect("FME coefficient overflow outside the guarded analysis path");
                 if sys.contradictory {
                     return System::contradiction();
                 }
@@ -261,55 +464,131 @@ impl System {
         sys
     }
 
-    /// Feasibility test: eliminate every variable in the paper's scan
-    /// order (array indices first, symbolics last) and check what remains.
+    /// Guarded feasibility test: eliminate every variable in the paper's
+    /// scan order (array indices first, symbolics last) under checked
+    /// arithmetic and explicit budgets.
     ///
-    /// Returns `false` only when the system has **no** integer solution;
-    /// `true` means a rational solution exists (and usually an integer
-    /// one) — the conservative answer for communication analysis.
-    pub fn is_consistent(&self, vt: &VarTable) -> bool {
+    /// [`Feasibility::Infeasible`] is definitive; [`Feasibility::Unknown`]
+    /// (overflow / budget) must be treated as feasible by callers — for
+    /// communication analysis that means *keep the barrier*.
+    pub fn feasibility(&self, vt: &VarTable) -> Feasibility {
+        self.feasibility_with_peak(vt).0
+    }
+
+    /// [`System::feasibility`] plus the peak live constraint count the
+    /// scan reached (for cache/bench telemetry).
+    pub fn feasibility_with_peak(&self, vt: &VarTable) -> (Feasibility, usize) {
         if self.contradictory {
-            return false;
+            return (Feasibility::Infeasible, 0);
         }
         let mut sys = self.clone();
-        sys.propagate_unit_equalities();
-        sys.dedup();
+        let peak = sys.len();
+        if sys.reduce_for_scan(vt).is_err() {
+            return (Feasibility::Unknown, peak);
+        }
+        let (f, loop_peak) = sys.scan_reduced(vt);
+        (f, peak.max(loop_peak))
+    }
+
+    /// The guarded scan's preamble: exact unit-equality propagation
+    /// followed by normalization (canonical sort, dedup, dominated-
+    /// constraint removal). The result is the deterministic reduced
+    /// form the elimination loop starts from; the overall verdict is a
+    /// pure function of it.
+    pub fn reduce_for_scan(&mut self, vt: &VarTable) -> Result<(), Overflow> {
+        self.try_propagate_unit_equalities(vt)?;
+        self.canonical_sort(vt);
+        self.dedup();
+        self.remove_dominated();
+        Ok(())
+    }
+
+    /// The guarded scan's elimination loop, starting from a system
+    /// already normalized by [`System::reduce_for_scan`].
+    pub fn scan_reduced(mut self, vt: &VarTable) -> (Feasibility, usize) {
+        let mut peak = self.len();
         for v in vt.elimination_order() {
-            if sys.contradictory {
-                return false;
+            if self.contradictory {
+                return (Feasibility::Infeasible, peak);
             }
-            if sys.constraints.is_empty() {
-                return true;
+            if self.constraints.is_empty() {
+                return (Feasibility::Feasible, peak);
             }
-            if sys.vars().contains(&v) {
-                sys = sys.eliminate(v);
+            if !self.vars().contains(&v) {
+                continue;
+            }
+            if self.elimination_pairs(v) > MAX_FEAS_CONSTRAINTS {
+                return (Feasibility::Unknown, peak);
+            }
+            self = match self.try_eliminate_owned(v) {
+                Ok(s) => s,
+                Err(Overflow) => return (Feasibility::Unknown, peak),
+            };
+            peak = peak.max(self.len());
+            self.canonical_sort(vt);
+            self.dedup();
+            self.remove_dominated();
+            if self.len() > MAX_FEAS_CONSTRAINTS {
+                return (Feasibility::Unknown, peak);
             }
         }
-        if sys.contradictory {
-            return false;
+        if self.contradictory || !self.constraints.is_empty() {
+            (Feasibility::Infeasible, peak)
+        } else {
+            (Feasibility::Feasible, peak)
         }
-        // Whatever is left mentions no variables; push() has already
-        // filtered trivially-true constraints and flagged false ones.
-        sys.constraints.is_empty()
+    }
+
+    /// Feasibility test collapsed to a boolean: `false` only when the
+    /// system is *proven* to have no integer solution; `true` otherwise
+    /// (including `Unknown` — the conservative answer for communication
+    /// analysis).
+    pub fn is_consistent(&self, vt: &VarTable) -> bool {
+        self.feasibility(vt).may_hold()
     }
 
     /// Exhaustively search an integer box for a satisfying assignment —
     /// exponential, only for tests and oracles. `bounds` pairs each
     /// variable with an inclusive range; variables outside `bounds` must
-    /// not occur in the system.
+    /// not occur in the system. Runs with [`DEFAULT_SEARCH_FUEL`];
+    /// `None` means "no assignment found within the budget".
     pub fn find_integer_solution(
         &self,
         bounds: &[(VarId, i128, i128)],
     ) -> Option<Vec<(VarId, i128)>> {
+        match self.find_integer_solution_bounded(bounds, DEFAULT_SEARCH_FUEL) {
+            IntSearch::Found(a) => Some(a),
+            IntSearch::Absent | IntSearch::Unknown => None,
+        }
+    }
+
+    /// [`System::find_integer_solution`] with an explicit fuel budget:
+    /// every partial-assignment node costs one unit of fuel, and boxes
+    /// deeper than [`MAX_SEARCH_DEPTH`] variables are rejected outright,
+    /// so pathological generated systems return [`IntSearch::Unknown`]
+    /// instead of hanging or blowing the stack.
+    pub fn find_integer_solution_bounded(
+        &self,
+        bounds: &[(VarId, i128, i128)],
+        fuel: u64,
+    ) -> IntSearch {
         if self.contradictory {
-            return None;
+            return IntSearch::Absent;
+        }
+        if bounds.len() > MAX_SEARCH_DEPTH {
+            return IntSearch::Unknown;
         }
         fn rec(
             sys: &System,
             bounds: &[(VarId, i128, i128)],
             idx: usize,
             assign: &mut Vec<(VarId, i128)>,
-        ) -> bool {
+            fuel: &mut u64,
+        ) -> Option<bool> {
+            if *fuel == 0 {
+                return None;
+            }
+            *fuel -= 1;
             if idx == bounds.len() {
                 let lookup = |v: VarId| -> i128 {
                     assign
@@ -318,23 +597,31 @@ impl System {
                         .map(|(_, x)| *x)
                         .expect("unbound variable in system")
                 };
-                return sys.constraints.iter().all(|c| c.holds_int(&lookup));
+                return Some(sys.constraints.iter().all(|c| c.holds_int(&lookup)));
             }
             let (v, lo, hi) = bounds[idx];
-            for x in lo..=hi {
+            let mut x = lo;
+            while x <= hi {
                 assign.push((v, x));
-                if rec(sys, bounds, idx + 1, assign) {
-                    return true;
+                match rec(sys, bounds, idx + 1, assign, fuel) {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => return None,
                 }
                 assign.pop();
+                if x == hi {
+                    break;
+                }
+                x += 1;
             }
-            false
+            Some(false)
         }
         let mut assign = Vec::new();
-        if rec(self, bounds, 0, &mut assign) {
-            Some(assign)
-        } else {
-            None
+        let mut fuel = fuel;
+        match rec(self, bounds, 0, &mut assign, &mut fuel) {
+            Some(true) => IntSearch::Found(assign),
+            Some(false) => IntSearch::Absent,
+            None => IntSearch::Unknown,
         }
     }
 
@@ -387,6 +674,7 @@ mod tests {
     fn empty_system_is_consistent() {
         let (vt, ..) = table();
         assert!(System::new().is_consistent(&vt));
+        assert_eq!(System::new().feasibility(&vt), Feasibility::Feasible);
     }
 
     #[test]
@@ -396,6 +684,7 @@ mod tests {
         let mut s = System::new();
         s.add_ge(LinExpr::constant(-1));
         assert!(!s.is_consistent(&vt));
+        assert_eq!(s.feasibility(&vt), Feasibility::Infeasible);
     }
 
     #[test]
@@ -469,7 +758,7 @@ mod tests {
         s.add_eq(LinExpr::var(j) - LinExpr::var(i) - LinExpr::constant(1)); // j = i+1
         s.add_range(LinExpr::var(i), LinExpr::constant(0), LinExpr::constant(3));
         s.add_eq(LinExpr::var(j) - LinExpr::constant(10)); // j = 10 -> i = 9, out of range
-        s.propagate_unit_equalities();
+        s.propagate_unit_equalities(&vt);
         assert!(!s.is_consistent(&vt));
     }
 
@@ -485,6 +774,41 @@ mod tests {
         let get = |v: VarId| sol.iter().find(|(a, _)| *a == v).unwrap().1;
         assert_eq!(get(i) + get(j), 5);
         assert!(get(i) >= get(j));
+    }
+
+    #[test]
+    fn integer_search_respects_fuel_and_depth() {
+        let (_, _, i, j) = table();
+        let mut s = System::new();
+        s.add_eq(LinExpr::var(i) - LinExpr::var(j));
+        // One unit of fuel cannot even finish the first assignment.
+        assert_eq!(
+            s.find_integer_solution_bounded(&[(i, 0, 1000), (j, 0, 1000)], 1),
+            IntSearch::Unknown
+        );
+        // A generous budget finds the solution.
+        assert!(matches!(
+            s.find_integer_solution_bounded(&[(i, 0, 1000), (j, 0, 1000)], 1 << 20),
+            IntSearch::Found(_)
+        ));
+        // An exhaustive scan of an empty region reports Absent.
+        let mut none = System::new();
+        none.add_ge(LinExpr::var(i) - LinExpr::constant(5));
+        none.add_ge(LinExpr::constant(2) - LinExpr::var(i));
+        assert_eq!(
+            none.find_integer_solution_bounded(&[(i, 0, 10)], 1 << 20),
+            IntSearch::Absent
+        );
+        // Boxes deeper than the recursion cap refuse to run.
+        let mut vt = VarTable::new();
+        let deep: Vec<_> = (0..MAX_SEARCH_DEPTH + 1)
+            .map(|k| (vt.fresh(format!("x{k}"), VarKind::LoopIndex), 0, 1))
+            .map(|(v, a, b)| (v, a as i128, b as i128))
+            .collect();
+        assert_eq!(
+            System::new().find_integer_solution_bounded(&deep, u64::MAX),
+            IntSearch::Unknown
+        );
     }
 
     #[test]
@@ -511,5 +835,78 @@ mod tests {
         s.add_ge(LinExpr::var(i));
         s.dedup();
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn dominated_bounds_are_dropped() {
+        let (_, _, i, _) = table();
+        let mut s = System::new();
+        s.add_ge(LinExpr::var(i) - LinExpr::constant(5)); // i >= 5 (binding)
+        s.add_ge(LinExpr::var(i) - LinExpr::constant(3)); // i >= 3 (dominated)
+        s.remove_dominated();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.constraints()[0].expr.constant_term(), -5);
+        // Two equalities over the same terms with different constants.
+        let mut c = System::new();
+        c.add_eq(LinExpr::var(i) - LinExpr::constant(1));
+        c.add_eq(LinExpr::var(i) - LinExpr::constant(2));
+        c.remove_dominated();
+        assert!(c.is_contradictory());
+        // Equality vs violated inequality over the same terms.
+        let mut e = System::new();
+        e.add_eq(LinExpr::var(i) - LinExpr::constant(1)); // i == 1
+        e.add_ge(LinExpr::var(i) - LinExpr::constant(2)); // i >= 2
+        e.remove_dominated();
+        assert!(e.is_contradictory());
+    }
+
+    #[test]
+    fn overflowing_chain_reports_unknown_not_panic() {
+        // A chain of inequalities with huge mutually-coprime coefficients:
+        // each elimination step multiplies them together until they leave
+        // i128. The guarded scan must answer Unknown (treated as
+        // feasible) instead of panicking.
+        let mut vt = VarTable::new();
+        let vs: Vec<VarId> = (0..6)
+            .map(|k| vt.fresh(format!("x{k}"), VarKind::LoopIndex))
+            .collect();
+        // Large odd multipliers near 2^64: cross-combining two such
+        // coefficients needs ~2^128 intermediate products, past i128.
+        let big: Vec<i128> = (0..6).map(|k| (1i128 << 64) + 2 * k + 1).collect();
+        let mut s = System::new();
+        for w in 0..5 {
+            // big[w]*x_w - big[w+1]*x_{w+1} >= 0 and the reverse with an
+            // offset, giving both lower and upper occurrences of each var.
+            s.add_ge(LinExpr::term(vs[w], big[w]) - LinExpr::term(vs[w + 1], big[w + 1]));
+            s.add_ge(
+                LinExpr::term(vs[w + 1], big[w + 1] + 2) - LinExpr::term(vs[w], big[w] + 2)
+                    + LinExpr::constant(1),
+            );
+        }
+        let (f, peak) = s.feasibility_with_peak(&vt);
+        assert_eq!(f, Feasibility::Unknown);
+        assert!(peak >= s.len());
+        // The boolean view is conservative: Unknown counts as consistent.
+        assert!(s.is_consistent(&vt));
+    }
+
+    #[test]
+    fn canonical_sort_orders_by_content() {
+        let (vt, _, i, j) = table();
+        let mut a = System::new();
+        a.add_ge(LinExpr::var(j) - LinExpr::constant(2));
+        a.add_ge(LinExpr::var(i) - LinExpr::constant(1));
+        let mut b = System::new();
+        b.add_ge(LinExpr::var(i) - LinExpr::constant(1));
+        b.add_ge(LinExpr::var(j) - LinExpr::constant(2));
+        a.canonical_sort(&vt);
+        b.canonical_sort(&vt);
+        let key = |s: &System| {
+            s.constraints()
+                .iter()
+                .map(|c| format!("{c:?}"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b));
     }
 }

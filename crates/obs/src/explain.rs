@@ -9,7 +9,7 @@
 //! so two runs over the same program produce byte-identical documents.
 
 use crate::json::Json;
-use analysis::{CommPattern, ProducerSpec};
+use analysis::{AnalysisStats, CommPattern, ProducerSpec};
 use ir::Program;
 use spmd_opt::{sync_sites, Decision, SpmdProgram, SyncOp};
 
@@ -149,6 +149,34 @@ pub fn render_decisions(prog: &Program, decisions: &[Decision]) -> String {
     out
 }
 
+/// Human-readable footer for the analysis cache counters.
+///
+/// This stays out of [`explain_json`]: hit counts depend on thread
+/// interleaving, and the JSON document must remain byte-identical
+/// across runs and configurations.
+pub fn render_analysis_stats(stats: &AnalysisStats) -> String {
+    let mut out = String::new();
+    out.push_str("--- analysis cache (diagnostics; never affects decisions) ---\n");
+    out.push_str(&format!(
+        "statement pairs: {} memoized hits, {} analyzed ({:.0}% hit rate)\n",
+        stats.pair_hits,
+        stats.pair_misses,
+        stats.pair_hit_rate() * 100.0
+    ));
+    out.push_str(&format!(
+        "FME feasibility: {} hits, {} scans ({:.0}% hit rate), {} memo entries\n",
+        stats.fme.feas_hits,
+        stats.fme.feas_misses,
+        stats.fme.feas_hit_rate() * 100.0,
+        stats.fme.entries
+    ));
+    out.push_str(&format!(
+        "scan health: peak {} constraints, {} unknown verdict(s) (overflow/budget -> barrier kept)\n",
+        stats.fme.peak_constraints, stats.fme.unknown_verdicts
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +243,33 @@ mod tests {
             assert!(text.contains(&d.label), "missing {}", d.label);
             assert!(text.contains(&d.reason));
         }
+    }
+
+    /// Cache counters live in their own human-readable footer — and the
+    /// deterministic explain JSON is byte-identical whether the analysis
+    /// ran cached+parallel or sequential+uncached.
+    #[test]
+    fn stats_footer_renders_and_json_ignores_analysis_config() {
+        use spmd_opt::{optimize_explained, AnalysisConfig, OptimizeOptions};
+        let prog = two_loop_chain();
+        let bind = Bindings::new(4).set(ir::SymId(0), 64);
+        let render = |cfg: AnalysisConfig| {
+            let opts = OptimizeOptions {
+                analysis: cfg,
+                ..Default::default()
+            };
+            let (plan, log, stats) = optimize_explained(&prog, &bind, opts);
+            let base = fork_join(&prog, &bind);
+            let doc = explain_json(&prog, 4, &plan, &base, &log).to_string_pretty();
+            (doc, stats)
+        };
+        let (ref_doc, _) = render(AnalysisConfig::sequential_uncached());
+        let (cached_doc, stats) = render(AnalysisConfig::default());
+        assert_eq!(ref_doc, cached_doc);
+        let footer = render_analysis_stats(&stats);
+        assert!(footer.contains("statement pairs"), "{footer}");
+        assert!(footer.contains("FME feasibility"), "{footer}");
+        // The JSON document must not carry interleaving-dependent counters.
+        assert!(!ref_doc.contains("hit"), "{ref_doc}");
     }
 }

@@ -26,7 +26,7 @@ pub mod metrics;
 pub mod recovery;
 pub mod trace;
 
-pub use explain::{explain_json, producer_str, render_decisions};
+pub use explain::{explain_json, producer_str, render_analysis_stats, render_decisions};
 pub use failure::{failure_json, render_failure, FailureCause, FailureReport};
 pub use json::{parse, Json};
 pub use metrics::{metrics_json, render_site_table};

@@ -36,7 +36,7 @@ use barrier_elim::ir::Program;
 use barrier_elim::obs::{self, TraceBuilder};
 use barrier_elim::oracle::{ChaosConfig, ChaosInjector, DropSpec};
 use barrier_elim::runtime::{RetryPolicy, Team};
-use barrier_elim::spmd_opt::{fork_join, optimize_logged, render_plan};
+use barrier_elim::spmd_opt::{fork_join, optimize_explained, render_plan, OptimizeOptions};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -241,7 +241,7 @@ fn main() -> ExitCode {
         eprintln!("beopt: warning: {w}");
     }
 
-    let (plan, log) = optimize_logged(&prog, &bind);
+    let (plan, log, stats) = optimize_explained(&prog, &bind, OptimizeOptions::default());
     let base = fork_join(&prog, &bind);
 
     if !args.quiet {
@@ -252,6 +252,8 @@ fn main() -> ExitCode {
 
     if args.explain {
         print!("{}", obs::render_decisions(&prog, &log));
+        println!();
+        print!("{}", obs::render_analysis_stats(&stats));
         println!();
     }
 
