@@ -3,7 +3,7 @@
 //! counter handoff, neighbor post/wait, at several team sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use runtime::{CentralBarrier, Counters, NeighborFlags, Team, TreeBarrier};
+use runtime::{BarrierEpoch, CentralBarrier, Counters, NeighborFlags, Team, TreeBarrier};
 use std::sync::Arc;
 
 const ROUNDS: u64 = 1000;
@@ -20,7 +20,7 @@ fn bench_barriers(c: &mut Criterion) {
             b.iter(|| {
                 let bb = Arc::clone(&central);
                 team.run(move |_| {
-                    let mut sense = false;
+                    let mut sense = BarrierEpoch::default();
                     for _ in 0..ROUNDS {
                         bb.wait(&mut sense);
                     }

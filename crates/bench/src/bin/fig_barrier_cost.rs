@@ -4,7 +4,7 @@
 //! sense-reversing barrier, the dissemination tree barrier, and, for
 //! contrast, a counter handoff, on real threads.
 
-use runtime::{CentralBarrier, Counters, Team, TreeBarrier};
+use runtime::{BarrierEpoch, CentralBarrier, Counters, Team, TreeBarrier};
 use spmd_bench::Table;
 use std::sync::Arc;
 use std::time::Instant;
@@ -17,7 +17,7 @@ fn time_central(p: usize) -> f64 {
     let t0 = Instant::now();
     let bb = Arc::clone(&b);
     team.run(move |_pid| {
-        let mut sense = false;
+        let mut sense = BarrierEpoch::default();
         for _ in 0..ITERS {
             bb.wait(&mut sense);
         }

@@ -94,6 +94,168 @@ fn oracle_programs_cached_parallel_match_sequential_uncached() {
     }
 }
 
+/// The fault path is a pure robustness knob: every suite kernel under
+/// both plans must compute bitwise-identical memory — and drive the
+/// exact same dynamic sync schedule, site for site — whether its waits
+/// run on the pure-atomic fast path or through the deadline-guarded
+/// watchdog. Timing may differ; decisions and data may not.
+#[test]
+fn guarded_and_pure_latency_paths_are_observationally_identical() {
+    use interp::{run_parallel_observed, run_sequential, Mem, ObserveOptions};
+    use runtime::Team;
+    use std::time::Duration;
+
+    let nprocs = 4;
+    let team = Team::new(nprocs);
+    for def in suite::all() {
+        let (built, bind) = spmd_bench::instance(&def, Scale::Test, nprocs as i64);
+        let prog = Arc::new(built.prog);
+        let bind = Arc::new(bind);
+        let oracle_mem = Mem::new(&prog, &bind);
+        oracle_mem.fill(ir::ArrayId(0), |s| (s[0] % 7) as f64);
+        run_sequential(&prog, &bind, &oracle_mem);
+
+        for (label, plan) in [
+            ("fork-join", spmd_opt::fork_join(&prog, &bind)),
+            ("optimized", spmd_opt::optimize(&prog, &bind)),
+        ] {
+            let run = |deadline: Option<Duration>| {
+                let mem = Arc::new(Mem::new(&prog, &bind));
+                mem.fill(ir::ArrayId(0), |s| (s[0] % 7) as f64);
+                let out = run_parallel_observed(
+                    &prog,
+                    &bind,
+                    &plan,
+                    &mem,
+                    &team,
+                    &ObserveOptions {
+                        telemetry: true,
+                        deadline,
+                        ..ObserveOptions::default()
+                    },
+                );
+                (mem, out)
+            };
+            let (pure_mem, pure) = run(None);
+            let (pure_mem2, _) = run(None);
+            let (guarded_mem, guarded) = run(Some(Duration::from_secs(30)));
+
+            assert!(
+                guarded.ok(),
+                "{} ({label}): clean guarded run reported {:?}",
+                def.name,
+                guarded.failure
+            );
+            // Bitwise-identical memory — calibrated against the kernel's
+            // own reproducibility: a kernel whose parallel reduction
+            // order is timing-dependent (two *pure* runs already differ
+            // in the last ulp) can only be held to tolerance; every
+            // reproducible kernel must match the guarded path bit for
+            // bit.
+            if pure_mem.max_abs_diff(&pure_mem2) == 0.0 {
+                assert_eq!(
+                    pure_mem.max_abs_diff(&guarded_mem),
+                    0.0,
+                    "{} ({label}): guarded path changed the data",
+                    def.name
+                );
+                assert_eq!(
+                    pure_mem.checksum(),
+                    guarded_mem.checksum(),
+                    "{} ({label}): checksum mismatch",
+                    def.name
+                );
+            } else {
+                assert!(
+                    pure_mem.max_abs_diff(&guarded_mem) <= 1e-9,
+                    "{} ({label}): guarded path diverged beyond reduction noise",
+                    def.name
+                );
+            }
+            // Against the *sequential* oracle only tolerance-equality
+            // holds (parallel reductions reassociate); bitwise equality
+            // is the pure-vs-guarded contract above.
+            assert!(
+                pure_mem.max_abs_diff(&oracle_mem) <= 1e-9,
+                "{} ({label}): parallel run diverged from sequential oracle",
+                def.name
+            );
+            // Identical dynamic sync schedule...
+            assert_eq!(
+                pure.counts, guarded.counts,
+                "{} ({label}): dynamic counts diverged",
+                def.name
+            );
+            // ...and identical per-kind operation totals from the live
+            // primitives (wait *times* legitimately differ).
+            for (what, a, b) in [
+                (
+                    "barrier episodes",
+                    pure.stats.barrier_episodes,
+                    guarded.stats.barrier_episodes,
+                ),
+                (
+                    "barrier arrivals",
+                    pure.stats.barrier_arrivals,
+                    guarded.stats.barrier_arrivals,
+                ),
+                (
+                    "counter increments",
+                    pure.stats.counter_increments,
+                    guarded.stats.counter_increments,
+                ),
+                (
+                    "counter waits",
+                    pure.stats.counter_waits,
+                    guarded.stats.counter_waits,
+                ),
+                (
+                    "neighbor posts",
+                    pure.stats.neighbor_posts,
+                    guarded.stats.neighbor_posts,
+                ),
+                (
+                    "neighbor waits",
+                    pure.stats.neighbor_waits,
+                    guarded.stats.neighbor_waits,
+                ),
+            ] {
+                assert_eq!(a, b, "{} ({label}): {what} diverged", def.name);
+            }
+            // Site-for-site decision log: same sites, same labels, same
+            // per-processor op and wait counts at every site.
+            assert_eq!(
+                pure.sites.len(),
+                guarded.sites.len(),
+                "{} ({label}): site list diverged",
+                def.name
+            );
+            for (p, g) in pure.sites.iter().zip(&guarded.sites) {
+                assert_eq!(p.meta.id, g.meta.id);
+                assert_eq!(p.meta.label, g.meta.label, "{} ({label})", def.name);
+                assert_eq!(p.meta.op, g.meta.op, "{} ({label})", def.name);
+                assert_eq!(
+                    p.total.ops, g.total.ops,
+                    "{} ({label}) site {}: op count diverged",
+                    def.name, p.meta.id
+                );
+                for (pid, (pc, gc)) in p.per_proc.iter().zip(&g.per_proc).enumerate() {
+                    assert_eq!(
+                        pc.ops, gc.ops,
+                        "{} ({label}) site {} P{pid}: ops diverged",
+                        def.name, p.meta.id
+                    );
+                    assert_eq!(
+                        pc.waits, gc.waits,
+                        "{} ({label}) site {} P{pid}: waits diverged",
+                        def.name, p.meta.id
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn extreme_bindings_keep_barriers_instead_of_panicking() {
     // Near-i64 loop bounds push the exact arithmetic inside the

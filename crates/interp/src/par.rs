@@ -17,7 +17,9 @@ use ir::Program;
 use obs::{FailureCause, FailureReport, Span, SpanCat};
 use runtime::fault::{SyncError, Watchdog, DISPATCH_SITE};
 use runtime::telemetry::{SiteSnapshot, SiteTelemetry};
-use runtime::{CentralBarrier, Counters, NeighborFlags, SyncStats, Team, TreeBarrier};
+use runtime::{
+    BarrierEpoch, CentralBarrier, Counters, NeighborFlags, SpinPolicy, SyncStats, Team, TreeBarrier,
+};
 use spmd_opt::{SpmdProgram, SyncOp};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
@@ -41,15 +43,15 @@ enum AnyBarrier {
 /// Per-thread barrier state.
 #[derive(Default)]
 struct BarrierLocal {
-    sense: bool,
-    epoch: usize,
+    central: BarrierEpoch,
+    tree: usize,
 }
 
 impl AnyBarrier {
     fn wait(&self, pid: usize, local: &mut BarrierLocal) {
         match self {
-            AnyBarrier::Central(b) => b.wait(&mut local.sense),
-            AnyBarrier::Tree(b) => b.wait(pid, &mut local.epoch),
+            AnyBarrier::Central(b) => b.wait(&mut local.central),
+            AnyBarrier::Tree(b) => b.wait(pid, &mut local.tree),
         }
     }
 
@@ -61,8 +63,8 @@ impl AnyBarrier {
         site: usize,
     ) -> Result<(), SyncError> {
         match self {
-            AnyBarrier::Central(b) => b.wait_until(&mut local.sense, wd, site, pid),
-            AnyBarrier::Tree(b) => b.wait_until(pid, &mut local.epoch, wd, site),
+            AnyBarrier::Central(b) => b.wait_until(&mut local.central, wd, site, pid),
+            AnyBarrier::Tree(b) => b.wait_until(pid, &mut local.tree, wd, site),
         }
     }
 
@@ -95,22 +97,50 @@ pub struct SyncFabric {
 
 impl SyncFabric {
     /// A fabric for `nprocs` processors with a bank of `num_counters`
-    /// sync counters.
+    /// sync counters, default spin policy and tree fan-in.
     pub fn new(kind: BarrierKind, nprocs: usize, num_counters: usize) -> Self {
+        Self::tuned(kind, nprocs, num_counters, SpinPolicy::auto(), None)
+    }
+
+    /// A fabric with an explicit spin → yield → park escalation policy
+    /// for every primitive and (for [`BarrierKind::Tree`]) an explicit
+    /// fan-in; `tree_radix: None` keeps the topology-aware default.
+    pub fn tuned(
+        kind: BarrierKind,
+        nprocs: usize,
+        num_counters: usize,
+        spin: SpinPolicy,
+        tree_radix: Option<usize>,
+    ) -> Self {
         let stats = Arc::new(SyncStats::new());
         let barrier = Arc::new(match kind {
-            BarrierKind::Central => {
-                AnyBarrier::Central(CentralBarrier::new(nprocs).with_stats(Arc::clone(&stats)))
-            }
+            BarrierKind::Central => AnyBarrier::Central(
+                CentralBarrier::new(nprocs)
+                    .with_policy(spin)
+                    .with_stats(Arc::clone(&stats)),
+            ),
             BarrierKind::Tree => {
-                AnyBarrier::Tree(TreeBarrier::new(nprocs).with_stats(Arc::clone(&stats)))
+                let radix = tree_radix.unwrap_or_else(|| TreeBarrier::default_radix(nprocs));
+                AnyBarrier::Tree(
+                    TreeBarrier::with_radix(nprocs, radix)
+                        .with_policy(spin)
+                        .with_stats(Arc::clone(&stats)),
+                )
             }
         });
         SyncFabric {
             barrier,
-            counters: Arc::new(Counters::new(num_counters).with_stats(Arc::clone(&stats))),
-            flags: Arc::new(NeighborFlags::new(nprocs).with_stats(Arc::clone(&stats))),
-            dispatch: Arc::new(Counters::new(1)),
+            counters: Arc::new(
+                Counters::new(num_counters)
+                    .with_policy(spin)
+                    .with_stats(Arc::clone(&stats)),
+            ),
+            flags: Arc::new(
+                NeighborFlags::new(nprocs)
+                    .with_policy(spin)
+                    .with_stats(Arc::clone(&stats)),
+            ),
+            dispatch: Arc::new(Counters::new(1).with_policy(spin)),
             stats,
         }
     }
@@ -124,6 +154,25 @@ impl SyncFabric {
     ) -> Self {
         let events = unroll(prog, bind, plan);
         SyncFabric::new(kind, bind.nprocs as usize, max_counter_id(&events))
+    }
+
+    /// A fabric sized for `plan`'s unrolled events, honoring the full
+    /// tuning surface of `opts` (barrier kind, spin policy, tree
+    /// fan-in).
+    pub fn for_plan_with(
+        opts: &ObserveOptions,
+        prog: &Program,
+        bind: &Bindings,
+        plan: &SpmdProgram,
+    ) -> Self {
+        let events = unroll(prog, bind, plan);
+        SyncFabric::tuned(
+            opts.barrier,
+            bind.nprocs as usize,
+            max_counter_id(&events),
+            opts.spin.unwrap_or_default(),
+            opts.tree_radix,
+        )
     }
 
     /// Re-arm every primitive for a fresh attempt. Only legal once all
@@ -245,6 +294,12 @@ pub struct ObserveOptions {
     /// ([`ChaosAction::Drop`]) without an armed deadline hangs by
     /// design — always pair chaos with [`ObserveOptions::deadline`].
     pub chaos: Option<Arc<dyn SyncChaos>>,
+    /// Spin → yield → park escalation policy for every primitive
+    /// (`None` = topology-aware [`SpinPolicy::auto`]).
+    pub spin: Option<SpinPolicy>,
+    /// Fan-in for [`BarrierKind::Tree`] (`None` = topology-aware
+    /// default; ignored for the central barrier).
+    pub tree_radix: Option<usize>,
 }
 
 impl std::fmt::Debug for ObserveOptions {
@@ -255,6 +310,8 @@ impl std::fmt::Debug for ObserveOptions {
             .field("trace", &self.trace)
             .field("deadline", &self.deadline)
             .field("chaos", &self.chaos.as_ref().map(|_| "<injector>"))
+            .field("spin", &self.spin)
+            .field("tree_radix", &self.tree_radix)
             .finish()
     }
 }
@@ -381,7 +438,7 @@ pub fn run_parallel_observed(
     team: &Team,
     opts: &ObserveOptions,
 ) -> ParallelOutcome {
-    let fabric = SyncFabric::for_plan(opts.barrier, prog, bind, plan);
+    let fabric = SyncFabric::for_plan_with(opts, prog, bind, plan);
     run_parallel_observed_on(prog, bind, plan, mem, team, opts, &fabric)
 }
 

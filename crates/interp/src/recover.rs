@@ -182,7 +182,7 @@ pub fn run_parallel_recovering(
         .collect();
     let events = unroll(prog, bind, plan);
     let checkpoint = Checkpoint::capture(prog, bind, &events, mem);
-    let fabric = SyncFabric::for_plan(opts.barrier, prog, bind, plan);
+    let fabric = SyncFabric::for_plan_with(opts, prog, bind, plan);
     let mut working = plan.clone();
     let masked = opts
         .chaos

@@ -52,6 +52,13 @@ fn totals_json(s: &StatsSnapshot) -> Json {
                 .set("wait_ns", s.neighbor_wait_ns)
                 .set("max_wait_ns", s.neighbor_max_wait_ns),
         )
+        .set(
+            "escalation",
+            Json::obj()
+                .set("spin_rounds", s.spin_rounds)
+                .set("yield_rounds", s.yield_rounds)
+                .set("parks", s.parks),
+        )
 }
 
 /// The metrics document: per-site per-processor wait telemetry plus the
@@ -162,6 +169,21 @@ mod tests {
         assert_eq!(pp.len(), 2);
         assert_eq!(pp[0].get("waits").unwrap().as_u64(), Some(1));
         assert_eq!(pp[1].get("waits").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn totals_carry_escalation_counters() {
+        let totals = StatsSnapshot {
+            spin_rounds: 12,
+            yield_rounds: 3,
+            parks: 1,
+            ..StatsSnapshot::default()
+        };
+        let doc = metrics_json("jacobi", 2, &[], &totals);
+        let esc = doc.get("totals").unwrap().get("escalation").unwrap();
+        assert_eq!(esc.get("spin_rounds").unwrap().as_u64(), Some(12));
+        assert_eq!(esc.get("yield_rounds").unwrap().as_u64(), Some(3));
+        assert_eq!(esc.get("parks").unwrap().as_u64(), Some(1));
     }
 
     #[test]

@@ -535,6 +535,36 @@ pub fn recovery_check(
     tol: f64,
     policy: &runtime::RetryPolicy,
 ) -> RecoveryCheckReport {
+    recovery_check_with(
+        prog,
+        bind,
+        plan,
+        team,
+        seed,
+        deadline,
+        tol,
+        policy,
+        &ObserveOptions::default(),
+    )
+}
+
+/// As [`recovery_check`], but layering the drop campaign on top of a
+/// caller-provided [`ObserveOptions`] base — so the same drop matrix
+/// can be replayed against tuned fabrics (tree barriers of any fan-in,
+/// eager-park spin policies, …). The base's `deadline` and `chaos`
+/// fields are overwritten by the campaign; everything else is honored.
+#[allow(clippy::too_many_arguments)]
+pub fn recovery_check_with(
+    prog: &Arc<Program>,
+    bind: &Arc<Bindings>,
+    plan: &SpmdProgram,
+    team: &Team,
+    seed: u64,
+    deadline: Duration,
+    tol: f64,
+    policy: &runtime::RetryPolicy,
+    base: &ObserveOptions,
+) -> RecoveryCheckReport {
     let oracle = Mem::new(prog, bind);
     run_sequential(prog, bind, &oracle);
 
@@ -548,7 +578,7 @@ pub fn recovery_check(
         &ObserveOptions {
             deadline: Some(deadline),
             chaos: Some(Arc::new(ChaosInjector::new(seed))),
-            ..ObserveOptions::default()
+            ..base.clone()
         },
         policy,
     );
@@ -574,7 +604,7 @@ pub fn recovery_check(
             &ObserveOptions {
                 deadline: Some(deadline),
                 chaos: Some(Arc::new(inj)),
-                ..ObserveOptions::default()
+                ..base.clone()
             },
             policy,
         );

@@ -1,27 +1,74 @@
 //! Barrier implementations: sense-reversing central barrier and a
-//! combining-tree barrier.
+//! k-ary dissemination barrier.
 //!
 //! The central barrier is the classic shared-memory barrier whose cost
 //! grows with the processor count (the motivation figure of the paper,
-//! after Chen/Su/Yew); the tree barrier trades single-atomic contention
-//! for logarithmic depth.
+//! after Chen/Su/Yew); the dissemination barrier trades single-atomic
+//! contention for logarithmic depth, with the fan-in (radix)
+//! configurable between 2 and 8 — wider trees are shallower but put
+//! more arrivals on each flag, the trade-off the 1024-core RISC-V
+//! barrier study measures.
+//!
+//! Both barriers are pure-atomic on their fast path: a wait is a CAS
+//! or fetch-add plus a [`SpinWait`] poll loop, with no clock reads, no
+//! locks, and no watchdog traffic. The `*_until` variants layer the
+//! sampled watchdog of [`crate::fault`] on top for fault detection.
 
 use crate::fault::{SyncError, WaitPoll, Watchdog};
+use crate::spin::{SpinPolicy, SpinWait};
 use crate::stats::{SyncKind, SyncStats};
-use crossbeam::utils::{Backoff, CachePadded};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Bits of the central barrier's packed state word holding the arrival
+/// count; the remaining (upper) bits hold the episode epoch.
+const COUNT_BITS: u32 = 16;
+const COUNT_MASK: u64 = (1 << COUNT_BITS) - 1;
+
+/// Epoch distance [`CentralBarrier::reset`] jumps. Any straggler from
+/// the abandoned episode carries an epoch within one of the old value,
+/// so after the jump its compare-exchange can never match the live
+/// word — the arrival is rejected as stale instead of landing in the
+/// fresh episode as a phantom.
+const RESET_STRIDE: u64 = 1 << 20;
+
+/// Thread-local episode stamp for [`CentralBarrier::wait`]. Start from
+/// [`Default`] (a fresh stamp adopts the barrier's current epoch on
+/// first use) and pass the same variable to every wait; after a
+/// [`CentralBarrier::reset`], start again from a fresh stamp.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BarrierEpoch(Option<u64>);
+
+/// How one arrival at the central barrier resolved.
+enum Arrival {
+    /// This was the last arrival: the episode is complete.
+    Released,
+    /// Arrived early; wait until the epoch moves past the payload.
+    Wait(u64),
+    /// The caller's episode no longer exists (a reset or teardown
+    /// discarded it); the arrival was *not* counted.
+    Stale,
+}
+
 /// Sense-reversing centralized barrier.
 ///
-/// Each processor keeps a thread-local sense; `wait` flips it. The last
-/// arriving processor resets the count and releases everyone by flipping
-/// the global sense.
+/// The entire barrier is one atomic word packing `(epoch, arrivals)`.
+/// The epoch is the generalized sense: each processor keeps a
+/// thread-local [`BarrierEpoch`] and an episode completes when the last
+/// arrival advances the epoch (implicitly zeroing the count in the same
+/// compare-exchange). Packing count and epoch together is what closes
+/// the classic reset race: an arrival is a compare-exchange that only
+/// succeeds against the exact episode the caller belongs to, so a
+/// straggler racing [`CentralBarrier::reset`] is rejected as stale
+/// instead of contaminating the fresh episode's count and releasing a
+/// later barrier early.
 pub struct CentralBarrier {
     n: usize,
-    count: CachePadded<AtomicUsize>,
-    sense: CachePadded<AtomicBool>,
+    /// Packed `(epoch << COUNT_BITS) | arrivals`.
+    state: CachePadded<AtomicU64>,
+    policy: SpinPolicy,
     stats: Option<Arc<SyncStats>>,
 }
 
@@ -29,10 +76,15 @@ impl CentralBarrier {
     /// A barrier for `n` processors.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1);
+        assert!(
+            (n as u64) < COUNT_MASK,
+            "central barrier supports at most {} processors",
+            COUNT_MASK - 1
+        );
         CentralBarrier {
             n,
-            count: CachePadded::new(AtomicUsize::new(0)),
-            sense: CachePadded::new(AtomicBool::new(false)),
+            state: CachePadded::new(AtomicU64::new(0)),
+            policy: SpinPolicy::auto(),
             stats: None,
         }
     }
@@ -43,32 +95,84 @@ impl CentralBarrier {
         self
     }
 
+    /// Override the spin → yield → park escalation policy.
+    pub fn with_policy(mut self, policy: SpinPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// Number of participating processors.
     pub fn nprocs(&self) -> usize {
         self.n
     }
 
-    /// Block until all `n` processors have arrived. `local_sense` is the
-    /// caller's thread-local sense flag (start with `false`, pass the
-    /// same variable every time).
-    pub fn wait(&self, local_sense: &mut bool) {
-        let t0 = self.stats.as_ref().map(|_| Instant::now());
-        let my_sense = !*local_sense;
-        *local_sense = my_sense;
-        if self.count.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
-            // Last arrival: reset and release.
-            self.count.store(0, Ordering::Release);
-            if let Some(s) = &self.stats {
-                s.barrier_episode();
+    /// The barrier's current episode epoch (diagnostics and tests).
+    pub fn epoch(&self) -> u64 {
+        self.state.load(Ordering::Acquire) >> COUNT_BITS
+    }
+
+    /// Register one arrival for the episode `local` belongs to.
+    fn arrive(&self, local: &mut BarrierEpoch) -> Arrival {
+        let mut s = self.state.load(Ordering::Acquire);
+        loop {
+            let epoch = s >> COUNT_BITS;
+            let count = s & COUNT_MASK;
+            let e = local.0.unwrap_or(epoch);
+            if e != epoch {
+                // The episode this stamp belongs to is gone (reset or
+                // completed without us — only possible mid-teardown).
+                // Re-sync so the caller's next wait joins the live
+                // episode, and reject the arrival.
+                local.0 = Some(epoch);
+                return Arrival::Stale;
             }
-            self.sense.store(my_sense, Ordering::Release);
-        } else {
-            let backoff = Backoff::new();
-            while self.sense.load(Ordering::Acquire) != my_sense {
-                if backoff.is_completed() {
-                    std::thread::yield_now();
-                } else {
-                    backoff.snooze();
+            let last = count + 1 == self.n as u64;
+            let next = if last {
+                epoch.wrapping_add(1) << COUNT_BITS
+            } else {
+                s + 1
+            };
+            match self
+                .state
+                .compare_exchange_weak(s, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    local.0 = Some(epoch.wrapping_add(1));
+                    return if last {
+                        Arrival::Released
+                    } else {
+                        Arrival::Wait(epoch)
+                    };
+                }
+                Err(cur) => s = cur,
+            }
+        }
+    }
+
+    /// Block until all `n` processors have arrived. `local` is the
+    /// caller's thread-local episode stamp (start from `Default`, pass
+    /// the same variable every time).
+    ///
+    /// If the caller's episode was discarded by a concurrent
+    /// [`CentralBarrier::reset`] (region teardown), the wait returns
+    /// immediately without contributing an arrival — the guarded
+    /// variant reports this as [`SyncError::StaleGeneration`].
+    pub fn wait(&self, local: &mut BarrierEpoch) {
+        let t0 = self.stats.as_ref().map(|_| Instant::now());
+        match self.arrive(local) {
+            Arrival::Released => {
+                if let Some(s) = &self.stats {
+                    s.barrier_episode();
+                }
+            }
+            Arrival::Stale => return,
+            Arrival::Wait(e) => {
+                let mut sw = SpinWait::new(self.policy);
+                while self.state.load(Ordering::Acquire) >> COUNT_BITS == e {
+                    sw.snooze();
+                }
+                if let Some(s) = &self.stats {
+                    s.escalation(sw.effort());
                 }
             }
         }
@@ -77,51 +181,69 @@ impl CentralBarrier {
         }
     }
 
-    /// Re-arm the barrier for a fresh region attempt: zero the arrival
-    /// count and restore the initial sense. A failed episode leaves the
-    /// state mid-flight (partial count, flipped sense on some threads),
-    /// so the recovery supervisor calls this between attempts — only
-    /// after every worker has been joined, with callers starting from a
-    /// fresh `false` local sense.
+    /// Re-arm the barrier for a fresh region attempt by jumping the
+    /// epoch [`RESET_STRIDE`] episodes forward with a zero count. A
+    /// failed episode leaves stragglers holding stale local stamps; the
+    /// jump guarantees their late arrivals can never match the live
+    /// word, so they resolve as stale no-ops instead of phantom
+    /// arrivals that would release a post-reset episode early. The
+    /// recovery supervisor calls this between attempts — only after
+    /// every worker has been joined, with callers starting from fresh
+    /// `Default` stamps.
     pub fn reset(&self) {
-        self.count.store(0, Ordering::Release);
-        self.sense.store(false, Ordering::Release);
+        let epoch = self.state.load(Ordering::Acquire) >> COUNT_BITS;
+        self.state.store(
+            epoch.wrapping_add(RESET_STRIDE) << COUNT_BITS,
+            Ordering::Release,
+        );
     }
 
     /// As [`CentralBarrier::wait`], but guarded: returns
     /// [`SyncError::DeadlineExceeded`] (attributed to `site`/`pid`)
-    /// instead of hanging when a peer never arrives, and bails out on
-    /// region poison. A failed episode leaves the barrier state
-    /// unusable for further waits — the region must be torn down and
-    /// the barrier [`reset`](CentralBarrier::reset) before any retry.
+    /// instead of hanging when a peer never arrives, bails out on
+    /// region poison, and reports a reset-discarded episode as
+    /// [`SyncError::StaleGeneration`]. A failed episode leaves the
+    /// barrier state unusable for further waits — the region must be
+    /// torn down and the barrier [`reset`](CentralBarrier::reset)
+    /// before any retry.
     pub fn wait_until(
         &self,
-        local_sense: &mut bool,
+        local: &mut BarrierEpoch,
         wd: &Watchdog,
         site: usize,
         pid: usize,
     ) -> Result<(), SyncError> {
         let t0 = self.stats.as_ref().map(|_| Instant::now());
-        let my_sense = !*local_sense;
-        *local_sense = my_sense;
-        if self.count.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
-            self.count.store(0, Ordering::Release);
-            if let Some(s) = &self.stats {
-                s.barrier_episode();
-            }
-            self.sense.store(my_sense, Ordering::Release);
-        } else {
-            // Progress is the arrival count: `expected` is full
-            // attendance, `observed` how many had arrived (the release
-            // may reset it to 0 concurrently; the sense check is the
-            // real exit condition).
-            wd.guarded_wait(site, pid, SyncKind::Barrier, self.n as u64, || {
-                if self.sense.load(Ordering::Acquire) == my_sense {
-                    WaitPoll::Ready
-                } else {
-                    WaitPoll::Pending(self.count.load(Ordering::Acquire) as u64)
+        match self.arrive(local) {
+            Arrival::Released => {
+                if let Some(s) = &self.stats {
+                    s.barrier_episode();
                 }
-            })?;
+            }
+            Arrival::Stale => return Err(SyncError::StaleGeneration { site, pid }),
+            Arrival::Wait(e) => {
+                // Progress is the arrival count: `expected` is full
+                // attendance, `observed` how many had arrived (the
+                // epoch advancing is the real exit condition).
+                let effort = wd.guarded_wait(
+                    site,
+                    pid,
+                    SyncKind::Barrier,
+                    self.n as u64,
+                    self.policy,
+                    || {
+                        let s = self.state.load(Ordering::Acquire);
+                        if s >> COUNT_BITS != e {
+                            WaitPoll::Ready
+                        } else {
+                            WaitPoll::Pending(s & COUNT_MASK)
+                        }
+                    },
+                )?;
+                if let Some(s) = &self.stats {
+                    s.escalation(effort);
+                }
+            }
         }
         if let (Some(s), Some(t0)) = (&self.stats, t0) {
             s.barrier_arrival(t0.elapsed());
@@ -130,39 +252,78 @@ impl CentralBarrier {
     }
 }
 
-/// A combining-tree barrier built from two-party sense barriers.
+/// A k-ary dissemination barrier.
 ///
-/// Arrival propagates up a binary tree; release propagates down. Depth is
-/// `ceil(log2 n)`, so hot-spot contention on a single cache line is
-/// avoided at large `n`.
+/// In round `r` processor `p` signals its `radix - 1` partners at
+/// distances `j * radix^r` (mod `n`, for `j` in `1..radix`) and waits
+/// until it has received all of round `r`'s signals; after
+/// `ceil(log_radix n)` rounds every processor has transitively heard
+/// from every other. Radix 2 is the classic dissemination barrier
+/// (most rounds, one flag update each); radix 8 flattens the tree to a
+/// third of the depth at 8× the per-round fan-out. [`TreeBarrier::new`]
+/// picks a topology-aware default.
 pub struct TreeBarrier {
     n: usize,
-    // One flag per (round, processor): processor p in round r waits for
-    // partner p + 2^r.
-    flags: Vec<Vec<CachePadded<AtomicUsize>>>,
+    radix: usize,
     rounds: usize,
+    // One flag per (round, processor), counting signals received. Each
+    // episode adds exactly `radix - 1` signals per flag, so the wait
+    // target for episode `e` is `e * (radix - 1)`.
+    flags: Vec<Vec<CachePadded<AtomicU64>>>,
+    policy: SpinPolicy,
     stats: Option<Arc<SyncStats>>,
 }
 
 impl TreeBarrier {
-    /// A tree barrier for `n` processors.
+    /// A dissemination barrier for `n` processors with the
+    /// topology-aware default fan-in (see [`TreeBarrier::default_radix`]).
     pub fn new(n: usize) -> Self {
+        Self::with_radix(n, Self::default_radix(n))
+    }
+
+    /// The default fan-in for a team of `n`: a wide (4-ary) tree when
+    /// the team fits the machine — fewer rounds, and the extra flag
+    /// traffic lands on cores that would otherwise idle — and the
+    /// classic binary dissemination when the team oversubscribes the
+    /// host (each round's waits already cost a reschedule; keep them
+    /// cheap).
+    pub fn default_radix(n: usize) -> usize {
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        if n > 2 && n <= cores {
+            4
+        } else {
+            2
+        }
+    }
+
+    /// A dissemination barrier with an explicit fan-in (`2..=8`).
+    pub fn with_radix(n: usize, radix: usize) -> Self {
         assert!(n >= 1);
-        let mut rounds = 0;
-        while (1usize << rounds) < n {
+        assert!(
+            (2..=8).contains(&radix),
+            "tree barrier radix must be in 2..=8, got {radix}"
+        );
+        let mut rounds = 0usize;
+        let mut span = 1usize;
+        while span < n {
+            span = span.saturating_mul(radix);
             rounds += 1;
         }
         let flags = (0..rounds)
             .map(|_| {
                 (0..n)
-                    .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                    .map(|_| CachePadded::new(AtomicU64::new(0)))
                     .collect()
             })
             .collect();
         TreeBarrier {
             n,
-            flags,
+            radix,
             rounds,
+            flags,
+            policy: SpinPolicy::auto(),
             stats: None,
         }
     }
@@ -173,34 +334,55 @@ impl TreeBarrier {
         self
     }
 
+    /// Override the spin → yield → park escalation policy.
+    pub fn with_policy(mut self, policy: SpinPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// Number of participating processors.
     pub fn nprocs(&self) -> usize {
         self.n
     }
 
+    /// The configured fan-in.
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// Number of dissemination rounds (`ceil(log_radix n)`).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Send round `r`'s signals from `pid` (each partner's flag gains
+    /// one; by symmetry every processor also receives `radix - 1`).
+    fn signal_round(&self, r: usize, pid: usize) {
+        let mut dist = 1usize;
+        for _ in 0..r {
+            dist *= self.radix;
+        }
+        for j in 1..self.radix {
+            let to = (pid + j * dist) % self.n;
+            self.flags[r][to].fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
     /// Block processor `pid` until all processors arrive. `epoch` is the
     /// caller's thread-local episode counter (start at 0, pass the same
     /// variable every time).
-    ///
-    /// This is a dissemination-style barrier: in round `r` processor `p`
-    /// signals `(p + 2^r) mod n` and waits for a signal from
-    /// `(p - 2^r) mod n`; after all rounds every processor has
-    /// transitively heard from every other.
     pub fn wait(&self, pid: usize, epoch: &mut usize) {
         let t0 = self.stats.as_ref().map(|_| Instant::now());
         *epoch += 1;
-        let target = *epoch;
+        let target = (*epoch as u64) * (self.radix as u64 - 1);
         for r in 0..self.rounds {
-            let dist = 1usize << r;
-            let to = (pid + dist) % self.n;
-            self.flags[r][to].fetch_add(1, Ordering::AcqRel);
-            let backoff = Backoff::new();
+            self.signal_round(r, pid);
+            let mut sw = SpinWait::new(self.policy);
             while self.flags[r][pid].load(Ordering::Acquire) < target {
-                if backoff.is_completed() {
-                    std::thread::yield_now();
-                } else {
-                    backoff.snooze();
-                }
+                sw.snooze();
+            }
+            if let Some(s) = &self.stats {
+                s.escalation(sw.effort());
             }
         }
         if let Some(s) = &self.stats {
@@ -239,20 +421,22 @@ impl TreeBarrier {
     ) -> Result<(), SyncError> {
         let t0 = self.stats.as_ref().map(|_| Instant::now());
         *epoch += 1;
-        let target = *epoch as u64;
+        let target = (*epoch as u64) * (self.radix as u64 - 1);
         for r in 0..self.rounds {
-            let dist = 1usize << r;
-            let to = (pid + dist) % self.n;
-            self.flags[r][to].fetch_add(1, Ordering::AcqRel);
+            self.signal_round(r, pid);
             let flag = &self.flags[r][pid];
-            wd.guarded_wait(site, pid, SyncKind::Barrier, target, || {
-                let cur = flag.load(Ordering::Acquire) as u64;
-                if cur >= target {
-                    WaitPoll::Ready
-                } else {
-                    WaitPoll::Pending(cur)
-                }
-            })?;
+            let effort =
+                wd.guarded_wait(site, pid, SyncKind::Barrier, target, self.policy, || {
+                    let cur = flag.load(Ordering::Acquire);
+                    if cur >= target {
+                        WaitPoll::Ready
+                    } else {
+                        WaitPoll::Pending(cur)
+                    }
+                })?;
+            if let Some(s) = &self.stats {
+                s.escalation(effort);
+            }
         }
         if let Some(s) = &self.stats {
             if pid == 0 {
@@ -279,15 +463,15 @@ mod tests {
                 let b = Arc::clone(&b);
                 let phase = Arc::clone(&phase);
                 std::thread::spawn(move || {
-                    let mut sense = false;
+                    let mut local = BarrierEpoch::default();
                     for k in 0..iters {
                         // Everyone must observe the same phase before and
                         // after each barrier.
                         let before = phase.load(Ordering::SeqCst);
                         assert!(before >= k as u64);
-                        b.wait(&mut sense);
+                        b.wait(&mut local);
                         phase.fetch_max(k as u64 + 1, Ordering::SeqCst);
-                        b.wait(&mut sense);
+                        b.wait(&mut local);
                     }
                 })
             })
@@ -306,10 +490,11 @@ mod tests {
     #[test]
     fn central_barrier_single_processor() {
         let b = CentralBarrier::new(1);
-        let mut sense = false;
+        let mut local = BarrierEpoch::default();
         for _ in 0..10 {
-            b.wait(&mut sense);
+            b.wait(&mut local);
         }
+        assert_eq!(b.epoch(), 10);
     }
 
     #[test]
@@ -320,9 +505,9 @@ mod tests {
             .map(|_| {
                 let b = Arc::clone(&b);
                 std::thread::spawn(move || {
-                    let mut sense = false;
+                    let mut local = BarrierEpoch::default();
                     for _ in 0..50 {
-                        b.wait(&mut sense);
+                        b.wait(&mut local);
                     }
                 })
             })
@@ -342,8 +527,8 @@ mod tests {
         // report a deadline at the right site instead of hanging.
         let wd = Watchdog::new(Duration::from_millis(40));
         let b = CentralBarrier::new(2);
-        let mut sense = false;
-        match b.wait_until(&mut sense, &wd, 9, 0).unwrap_err() {
+        let mut local = BarrierEpoch::default();
+        match b.wait_until(&mut local, &wd, 9, 0).unwrap_err() {
             SyncError::DeadlineExceeded {
                 site: 9,
                 pid: 0,
@@ -377,10 +562,10 @@ mod tests {
                 .map(|pid| {
                     let (b, t, wd) = (Arc::clone(&b), Arc::clone(&t), Arc::clone(&wd));
                     std::thread::spawn(move || {
-                        let mut sense = false;
+                        let mut local = BarrierEpoch::default();
                         let mut epoch = 0;
                         for _ in 0..50 {
-                            b.wait_until(&mut sense, &wd, 0, pid).unwrap();
+                            b.wait_until(&mut local, &wd, 0, pid).unwrap();
                             t.wait_until(pid, &mut epoch, &wd, 1).unwrap();
                         }
                     })
@@ -397,20 +582,20 @@ mod tests {
         use crate::fault::Watchdog;
         use std::time::Duration;
         // One of two processors times out, leaving a stranded arrival
-        // in the count; after reset (and fresh local senses) the
+        // in the count; after reset (and fresh local stamps) the
         // barrier completes episodes again.
         let wd = Watchdog::new(Duration::from_millis(30));
         let b = Arc::new(CentralBarrier::new(2));
-        let mut sense = false;
-        assert!(b.wait_until(&mut sense, &wd, 0, 0).is_err());
+        let mut local = BarrierEpoch::default();
+        assert!(b.wait_until(&mut local, &wd, 0, 0).is_err());
         b.reset();
         let handles: Vec<_> = (0..2)
             .map(|_| {
                 let b = Arc::clone(&b);
                 std::thread::spawn(move || {
-                    let mut sense = false;
+                    let mut local = BarrierEpoch::default();
                     for _ in 0..20 {
-                        b.wait(&mut sense);
+                        b.wait(&mut local);
                     }
                 })
             })
@@ -445,32 +630,168 @@ mod tests {
         }
     }
 
+    /// The mid-flight reset hazard (satellite of ISSUE 6): a straggler
+    /// from a wedged episode whose final arrival races the supervisor's
+    /// reset must never land in the fresh episode — the classic
+    /// count-based barrier counted it as a phantom arrival, releasing
+    /// the next episode one processor early with a stale sense.
     #[test]
-    fn tree_barrier_synchronizes() {
-        for n in [1usize, 2, 3, 5, 8] {
-            let b = Arc::new(TreeBarrier::new(n));
-            let counter = Arc::new(AtomicU64::new(0));
-            let handles: Vec<_> = (0..n)
-                .map(|pid| {
-                    let b = Arc::clone(&b);
-                    let counter = Arc::clone(&counter);
-                    std::thread::spawn(move || {
-                        let mut epoch = 0;
-                        for k in 0..100u64 {
-                            counter.fetch_add(1, Ordering::SeqCst);
-                            b.wait(pid, &mut epoch);
-                            // After the barrier all n increments of this
-                            // round are visible.
-                            assert!(counter.load(Ordering::SeqCst) >= (k + 1) * n as u64);
-                            b.wait(pid, &mut epoch);
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                h.join().unwrap();
+    fn reset_racing_a_stragglers_final_arrival_is_rejected() {
+        use crate::fault::{SyncError, Watchdog};
+        use std::time::Duration;
+        let wd = Watchdog::new(Duration::from_millis(30));
+        let b = Arc::new(CentralBarrier::new(2));
+
+        // A completed warm-up episode gives both processors stamps for
+        // epoch 1.
+        {
+            let b2 = Arc::clone(&b);
+            let peer = std::thread::spawn(move || {
+                let mut l = BarrierEpoch::default();
+                b2.wait(&mut l);
+                l
+            });
+            let mut l0 = BarrierEpoch::default();
+            b.wait(&mut l0);
+            let l1 = peer.join().unwrap();
+
+            // Episode 1 wedges: P0 arrives and times out; P1 is the
+            // straggler that has not arrived yet.
+            let mut l0 = l0;
+            assert!(b.wait_until(&mut l0, &wd, 7, 0).is_err());
+            let epoch_before = b.epoch();
+
+            // The supervisor resets while the straggler's arrival is
+            // still in flight; the arrival lands only now.
+            b.reset();
+            let mut l1 = l1;
+            b.wait(&mut l1); // must return immediately, contributing nothing
+
+            // No phantom arrival: the fresh epoch's count is still
+            // zero, so a lone arrival in the fresh episode must time
+            // out rather than be released by the straggler's ghost.
+            assert_eq!(b.epoch(), epoch_before + RESET_STRIDE);
+            let mut f0 = BarrierEpoch::default();
+            assert!(
+                b.wait_until(&mut f0, &wd, 8, 0).is_err(),
+                "stale straggler arrival pre-armed the fresh episode"
+            );
+
+            // And a stale *guarded* arrival is a diagnosed error, not a
+            // silent no-op.
+            b.reset();
+            let mut stale = f0; // stamped for the pre-reset epoch
+            match b.wait_until(&mut stale, &wd, 9, 1).unwrap_err() {
+                SyncError::StaleGeneration { site: 9, pid: 1 } => {}
+                other => panic!("expected StaleGeneration, got {other:?}"),
             }
-            assert_eq!(counter.load(Ordering::SeqCst), 100 * n as u64);
         }
+
+        // After the dust settles the barrier still completes clean
+        // episodes with full attendance.
+        b.reset();
+        let phase = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let phase = Arc::clone(&phase);
+                std::thread::spawn(move || {
+                    let mut l = BarrierEpoch::default();
+                    for k in 0..50u64 {
+                        assert!(phase.load(Ordering::SeqCst) >= k);
+                        b.wait(&mut l);
+                        phase.fetch_max(k + 1, Ordering::SeqCst);
+                        b.wait(&mut l);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(phase.load(Ordering::SeqCst), 50);
+    }
+
+    /// Probabilistic companion to the deterministic reset-race test:
+    /// hammer arrivals against concurrent resets and assert the barrier
+    /// is always cleanly re-armable afterwards.
+    #[test]
+    fn concurrent_resets_never_corrupt_the_count() {
+        use crate::fault::Watchdog;
+        use std::time::Duration;
+        let b = Arc::new(CentralBarrier::new(2));
+        let wd = Watchdog::new(Duration::from_millis(25));
+        for round in 0..200 {
+            let straggler = {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let mut l = BarrierEpoch::default();
+                    // Arrival races the reset below; stale or counted,
+                    // never blocking (episode n=2 cannot complete, but a
+                    // wait on a discarded episode returns).
+                    b.arrive(&mut l);
+                })
+            };
+            if round % 2 == 0 {
+                std::thread::yield_now();
+            }
+            b.reset();
+            straggler.join().unwrap();
+            b.reset();
+            // Invariant: after reset the fresh episode needs BOTH
+            // arrivals — one alone must time out.
+            let mut l = BarrierEpoch::default();
+            assert!(
+                b.wait_until(&mut l, &wd, 0, 0).is_err(),
+                "round {round}: a racing arrival leaked into the fresh episode"
+            );
+            b.reset();
+        }
+    }
+
+    #[test]
+    fn tree_barrier_synchronizes_across_radices() {
+        for radix in [2usize, 3, 4, 8] {
+            for n in [1usize, 2, 3, 5, 8] {
+                let b = Arc::new(TreeBarrier::with_radix(n, radix));
+                let counter = Arc::new(AtomicU64::new(0));
+                let handles: Vec<_> = (0..n)
+                    .map(|pid| {
+                        let b = Arc::clone(&b);
+                        let counter = Arc::clone(&counter);
+                        std::thread::spawn(move || {
+                            let mut epoch = 0;
+                            for k in 0..100u64 {
+                                counter.fetch_add(1, Ordering::SeqCst);
+                                b.wait(pid, &mut epoch);
+                                // After the barrier all n increments of
+                                // this round are visible.
+                                assert!(counter.load(Ordering::SeqCst) >= (k + 1) * n as u64);
+                                b.wait(pid, &mut epoch);
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(
+                    counter.load(Ordering::SeqCst),
+                    100 * n as u64,
+                    "radix {radix}, n {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_rounds_shrink_with_radix() {
+        assert_eq!(TreeBarrier::with_radix(8, 2).rounds(), 3);
+        assert_eq!(TreeBarrier::with_radix(8, 4).rounds(), 2);
+        assert_eq!(TreeBarrier::with_radix(8, 8).rounds(), 1);
+        assert_eq!(TreeBarrier::with_radix(1, 2).rounds(), 0);
+        assert_eq!(TreeBarrier::with_radix(9, 8).rounds(), 2);
+        let b = TreeBarrier::new(4);
+        assert!((2..=8).contains(&b.radix()));
     }
 }

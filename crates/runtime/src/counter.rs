@@ -8,8 +8,9 @@
 //! communicating processors.
 
 use crate::fault::{SyncError, WaitPoll, Watchdog};
+use crate::spin::{SpinPolicy, SpinWait};
 use crate::stats::{SyncKind, SyncStats};
-use crossbeam::utils::{Backoff, CachePadded};
+use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -17,6 +18,7 @@ use std::time::Instant;
 /// A bank of monotonically increasing synchronization counters.
 pub struct Counters {
     c: Vec<CachePadded<AtomicU64>>,
+    policy: SpinPolicy,
     stats: Option<Arc<SyncStats>>,
     /// Bumped by every [`Counters::reset`]; guarded waits capture it on
     /// entry and fail if it moves mid-wait (a reset raced the wait).
@@ -50,6 +52,7 @@ impl Counters {
             c: (0..n)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
+            policy: SpinPolicy::auto(),
             stats: None,
             generation: CachePadded::new(AtomicU64::new(0)),
             waiting: CachePadded::new(AtomicUsize::new(0)),
@@ -59,6 +62,12 @@ impl Counters {
     /// Attach instrumentation.
     pub fn with_stats(mut self, stats: Arc<SyncStats>) -> Self {
         self.stats = Some(stats);
+        self
+    }
+
+    /// Override the spin → yield → park escalation policy.
+    pub fn with_policy(mut self, policy: SpinPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -86,16 +95,15 @@ impl Counters {
     pub fn wait_ge(&self, id: usize, v: u64) {
         let t0 = self.stats.as_ref().map(|_| Instant::now());
         let _w = WaitingGuard::enter(&self.waiting);
-        let backoff = Backoff::new();
+        let mut sw = SpinWait::new(self.policy);
         while self.c[id].load(Ordering::Acquire) < v {
-            if backoff.is_completed() {
-                std::thread::yield_now();
-            } else {
-                backoff.snooze();
-            }
+            sw.snooze();
         }
-        if let (Some(s), Some(t0)) = (&self.stats, t0) {
-            s.counter_wait(t0.elapsed());
+        if let Some(s) = &self.stats {
+            s.escalation(sw.effort());
+            if let Some(t0) = t0 {
+                s.counter_wait(t0.elapsed());
+            }
         }
     }
 
@@ -116,7 +124,7 @@ impl Counters {
         let t0 = self.stats.as_ref().map(|_| Instant::now());
         let _w = WaitingGuard::enter(&self.waiting);
         let gen0 = self.generation.load(Ordering::Acquire);
-        let r = wd.guarded_wait(site, pid, SyncKind::Counter, v, || {
+        let r = wd.guarded_wait(site, pid, SyncKind::Counter, v, self.policy, || {
             if self.generation.load(Ordering::Acquire) != gen0 {
                 return WaitPoll::Failed(SyncError::StaleGeneration { site, pid });
             }
@@ -127,12 +135,18 @@ impl Counters {
                 WaitPoll::Pending(cur)
             }
         });
-        if r.is_ok() {
-            if let (Some(s), Some(t0)) = (&self.stats, t0) {
-                s.counter_wait(t0.elapsed());
+        match r {
+            Ok(effort) => {
+                if let Some(s) = &self.stats {
+                    s.escalation(effort);
+                    if let Some(t0) = t0 {
+                        s.counter_wait(t0.elapsed());
+                    }
+                }
+                Ok(())
             }
+            Err(e) => Err(e),
         }
-        r
     }
 
     /// Current value of counter `id`.

@@ -8,28 +8,49 @@
 //! hangs into *detected* failures:
 //!
 //! * a [`Watchdog`] holds the team-wide wait deadline and the region's
-//!   poison flag;
+//!   poison state;
 //! * [`Watchdog::guarded_wait`] is the single escalating wait loop
-//!   (spin → yield → park in bounded slices) every `*_until` primitive
-//!   variant delegates to, returning [`SyncError::DeadlineExceeded`]
-//!   with the sync site, processor, and expected/observed progress
-//!   instead of hanging;
+//!   (spin → yield → park under a [`SpinPolicy`]) every `*_until`
+//!   primitive variant delegates to, returning
+//!   [`SyncError::DeadlineExceeded`] with the sync site, processor, and
+//!   expected/observed progress instead of hanging;
 //! * [`Watchdog::poison`] marks the region failed (first cause wins)
 //!   and unparks every guarded waiter, so one processor's panic or
 //!   timeout tears the whole region down within one park slice instead
 //!   of leaving peers wedged at the next barrier.
 //!
+//! # The sampled-watchdog contract
+//!
+//! The fault machinery stays off the per-poll fast path. A guarded
+//! wait's poll loop touches only the caller's condition atomics; the
+//! watchdog side-channel — one epoch-stamped status word
+//! ([`Watchdog::status`]-internal: poison bit plus a wake epoch) and
+//! one `Instant::now()` — is sampled only
+//!
+//! * on every park transition (the wait is already ≥ many OS quanta
+//!   long, so a clock read is noise), and
+//! * every [`DEADLINE_SAMPLE`] polls during the spin/yield phases
+//!   (bounding detection latency while a waiter that never escalates
+//!   pays at most one sample per `DEADLINE_SAMPLE` cheap polls).
+//!
+//! Consequently deadline and poison detection are *sampled*, not
+//! instantaneous: an armed deadline fires within one sample period or
+//! one park slice of the true expiry, never later than
+//! `deadline + park_slice + ε`. The poison *cause* string lives behind
+//! a mutex that is only touched when poisoning or when a waiter is
+//! already failing — never on a healthy wait's path.
+//!
 //! Producers never touch the watchdog (increments stay two atomic
 //! instructions), so parked waiters re-check their condition on a
-//! bounded slice (≤ [`PARK_SLICE`]) rather than being woken eagerly —
-//! progress latency degrades to at most one slice once a wait
-//! escalates past spinning, which only happens on waits that are
-//! already multiple OS quanta long.
+//! bounded slice rather than being woken eagerly — progress latency
+//! degrades to at most one slice once a wait escalates past spinning,
+//! which only happens on waits that are already multiple OS quanta
+//! long.
 
+use crate::spin::{SpinPhase, SpinPolicy, SpinWait, WaitEffort};
 use crate::stats::SyncKind;
-use crossbeam::utils::Backoff;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread::Thread;
 use std::time::{Duration, Instant};
 
@@ -37,12 +58,18 @@ use std::time::{Duration, Instant};
 /// part of the canonical sync-site walk.
 pub const DISPATCH_SITE: usize = usize::MAX;
 
-/// Longest interval a guarded waiter stays parked before re-checking
-/// its condition, the deadline, and the poison flag.
+/// Compatibility bound on how long a guarded waiter stays parked
+/// before re-checking its condition. Policies may park in shorter
+/// slices; none park longer.
 pub const PARK_SLICE: Duration = Duration::from_millis(1);
 
-/// Yield-phase length between pure spinning and parking.
-const YIELD_ROUNDS: u32 = 64;
+/// Spin/yield polls between two watchdog samples (see the module docs
+/// for the sampled-watchdog contract).
+pub const DEADLINE_SAMPLE: u32 = 256;
+
+/// Poison flag inside the status word; the remaining bits are the wake
+/// epoch, bumped by every poison or spurious wake.
+const POISON_BIT: u64 = 1;
 
 /// Why a guarded wait returned without its condition becoming true.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -73,8 +100,9 @@ pub enum SyncError {
         /// First poison cause, as recorded by [`Watchdog::poison`].
         cause: String,
     },
-    /// A counter bank was reset out from under this waiter (the
-    /// generation guard of `Counters::reset` fired).
+    /// A primitive was reset out from under this waiter: a counter
+    /// bank's generation moved mid-wait, or a barrier episode the
+    /// waiter belonged to was discarded by `CentralBarrier::reset`.
     StaleGeneration {
         /// Site the waiter was blocked at.
         site: usize,
@@ -165,7 +193,12 @@ pub enum WaitPoll {
 /// blocks longer than its slowest peer's work chunk.
 pub struct Watchdog {
     deadline: Duration,
-    poisoned: AtomicBool,
+    /// The epoch-stamped poison word: bit 0 is the poison flag, the
+    /// upper bits count wake events (poisons and spurious wakes). One
+    /// acquire load tells a waiter both whether the region died and
+    /// whether any wake landed since it last looked — the entire fault
+    /// side-channel a healthy wait ever samples.
+    status: AtomicU64,
     cause: Mutex<Option<String>>,
     parked: Mutex<Vec<Thread>>,
 }
@@ -175,7 +208,7 @@ impl Watchdog {
     pub fn new(deadline: Duration) -> Self {
         Watchdog {
             deadline,
-            poisoned: AtomicBool::new(false),
+            status: AtomicU64::new(0),
             cause: Mutex::new(None),
             parked: Mutex::new(Vec::new()),
         }
@@ -188,7 +221,13 @@ impl Watchdog {
 
     /// True once any processor poisoned the region.
     pub fn is_poisoned(&self) -> bool {
-        self.poisoned.load(Ordering::Acquire)
+        self.status.load(Ordering::Acquire) & POISON_BIT != 0
+    }
+
+    /// The wake epoch: bumped by every [`Watchdog::poison`] and
+    /// [`Watchdog::spurious_wake`].
+    pub fn wake_epoch(&self) -> u64 {
+        self.status.load(Ordering::Acquire) >> 1
     }
 
     /// The first recorded poison cause, if any.
@@ -205,7 +244,10 @@ impl Watchdog {
                 *c = Some(cause.into());
             }
         }
-        self.poisoned.store(true, Ordering::Release);
+        // Set the flag and bump the wake epoch in one visible step
+        // each: waiters racing towards a park compare the whole word.
+        self.status.fetch_add(2, Ordering::AcqRel);
+        self.status.fetch_or(POISON_BIT, Ordering::AcqRel);
         for t in self.parked.lock().drain(..) {
             t.unpark();
         }
@@ -215,78 +257,99 @@ impl Watchdog {
     /// chaos layer to inject spurious wakeups — a correct waiter must
     /// re-check its condition and go back to sleep).
     pub fn spurious_wake(&self) {
+        self.status.fetch_add(2, Ordering::AcqRel);
         for t in self.parked.lock().drain(..) {
             t.unpark();
         }
     }
 
     /// The escalating guarded wait every `*_until` primitive delegates
-    /// to: poll `observe`, spinning briefly, then yielding, then
-    /// parking in [`PARK_SLICE`] slices until `Ready`, poison, a
-    /// `Failed` poll, or the deadline.
+    /// to: poll `observe` under `policy`'s spin → yield → park ladder
+    /// until `Ready`, poison, a `Failed` poll, or the deadline. Returns
+    /// the wait's escalation counts on success so callers can feed
+    /// their stats.
+    ///
+    /// Deadline and poison are checked on the sampled side-channel
+    /// only (every park transition, else every [`DEADLINE_SAMPLE`]
+    /// polls) — see the module docs for the precision this trades.
     pub fn guarded_wait(
         &self,
         site: usize,
         pid: usize,
         kind: SyncKind,
         expected: u64,
+        policy: SpinPolicy,
         mut observe: impl FnMut() -> WaitPoll,
-    ) -> Result<(), SyncError> {
+    ) -> Result<WaitEffort, SyncError> {
+        // Fast path: a satisfied wait costs one poll — no clock read,
+        // no status load, no allocation.
+        match observe() {
+            WaitPoll::Ready => return Ok(WaitEffort::default()),
+            WaitPoll::Failed(e) => return Err(e),
+            WaitPoll::Pending(_) => {}
+        }
         let deadline = Instant::now() + self.deadline;
-        let backoff = Backoff::new();
-        let mut yields = 0u32;
+        let mut sw = SpinWait::new(policy);
+        let mut polls: u32 = 0;
         loop {
             match observe() {
-                WaitPoll::Ready => return Ok(()),
+                WaitPoll::Ready => return Ok(sw.effort()),
                 WaitPoll::Pending(_) => {}
                 WaitPoll::Failed(e) => return Err(e),
             }
-            if self.is_poisoned() {
-                return Err(SyncError::Poisoned {
-                    site,
-                    pid,
-                    cause: self.poison_cause().unwrap_or_default(),
-                });
+            let phase = sw.advise();
+            polls += 1;
+            let mut now = None;
+            if phase == SpinPhase::Park || polls >= DEADLINE_SAMPLE {
+                polls = 0;
+                if self.is_poisoned() {
+                    return Err(SyncError::Poisoned {
+                        site,
+                        pid,
+                        cause: self.poison_cause().unwrap_or_default(),
+                    });
+                }
+                let t = Instant::now();
+                if t >= deadline {
+                    // One final check: the condition may have become
+                    // true between the poll above and here.
+                    let observed = match observe() {
+                        WaitPoll::Ready => return Ok(sw.effort()),
+                        WaitPoll::Pending(v) => v,
+                        WaitPoll::Failed(e) => return Err(e),
+                    };
+                    return Err(SyncError::DeadlineExceeded {
+                        site,
+                        pid,
+                        kind,
+                        expected,
+                        observed,
+                    });
+                }
+                now = Some(t);
             }
-            let now = Instant::now();
-            if now >= deadline {
-                // One final check: the condition may have become true
-                // between the poll above and here.
-                let observed = match observe() {
-                    WaitPoll::Ready => return Ok(()),
-                    WaitPoll::Pending(v) => v,
-                    WaitPoll::Failed(e) => return Err(e),
-                };
-                return Err(SyncError::DeadlineExceeded {
-                    site,
-                    pid,
-                    kind,
-                    expected,
-                    observed,
-                });
-            }
-            if !backoff.is_completed() {
-                backoff.snooze();
-            } else if yields < YIELD_ROUNDS {
-                yields += 1;
-                std::thread::yield_now();
-            } else {
-                // Park phase: register, re-check (a poison between the
-                // check above and parking would otherwise be a lost
-                // wakeup), then sleep one bounded slice.
-                self.parked.lock().push(std::thread::current());
-                let recheck_ready = matches!(observe(), WaitPoll::Ready);
-                if recheck_ready || self.is_poisoned() {
+            match phase {
+                SpinPhase::Spin => std::hint::spin_loop(),
+                SpinPhase::Yield => std::thread::yield_now(),
+                SpinPhase::Park => {
+                    // Register, then re-check condition and status: a
+                    // poison or wake landing between the sample above
+                    // and the park would otherwise be a lost wakeup.
+                    self.parked.lock().push(std::thread::current());
+                    let recheck_ready = matches!(observe(), WaitPoll::Ready);
+                    if recheck_ready || self.is_poisoned() {
+                        let me = std::thread::current().id();
+                        self.parked.lock().retain(|t| t.id() != me);
+                        if recheck_ready {
+                            return Ok(sw.effort());
+                        }
+                        continue;
+                    }
+                    let slice = policy.park_slice.min(PARK_SLICE);
+                    std::thread::park_timeout(slice.min(deadline - now.unwrap()));
                     let me = std::thread::current().id();
                     self.parked.lock().retain(|t| t.id() != me);
-                    if recheck_ready {
-                        return Ok(());
-                    }
-                    continue;
                 }
-                std::thread::park_timeout(PARK_SLICE.min(deadline - now));
-                let me = std::thread::current().id();
-                self.parked.lock().retain(|t| t.id() != me);
             }
         }
     }
@@ -304,22 +367,29 @@ mod tests {
         target: u64,
         site: usize,
         pid: usize,
-    ) -> Result<(), SyncError> {
-        wd.guarded_wait(site, pid, SyncKind::Counter, target, || {
-            let v = c.load(Ordering::Acquire);
-            if v >= target {
-                WaitPoll::Ready
-            } else {
-                WaitPoll::Pending(v)
-            }
-        })
+    ) -> Result<WaitEffort, SyncError> {
+        wd.guarded_wait(
+            site,
+            pid,
+            SyncKind::Counter,
+            target,
+            SpinPolicy::auto(),
+            || {
+                let v = c.load(Ordering::Acquire);
+                if v >= target {
+                    WaitPoll::Ready
+                } else {
+                    WaitPoll::Pending(v)
+                }
+            },
+        )
     }
 
     #[test]
-    fn satisfied_wait_returns_ok() {
+    fn satisfied_wait_returns_ok_with_zero_effort() {
         let wd = Watchdog::new(Duration::from_secs(5));
         let c = AtomicU64::new(3);
-        assert_eq!(wait_on(&wd, &c, 3, 0, 0), Ok(()));
+        assert_eq!(wait_on(&wd, &c, 3, 0, 0), Ok(WaitEffort::default()));
     }
 
     #[test]
@@ -338,6 +408,24 @@ mod tests {
                 expected: 4,
                 observed: 1,
             }
+        );
+    }
+
+    #[test]
+    fn blocked_wait_reports_its_escalation_effort() {
+        let wd = Arc::new(Watchdog::new(Duration::from_secs(30)));
+        let c = Arc::new(AtomicU64::new(0));
+        let h = {
+            let wd = Arc::clone(&wd);
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || wait_on(&wd, &c, 1, 0, 0))
+        };
+        std::thread::sleep(Duration::from_millis(15));
+        c.store(1, Ordering::Release);
+        let effort = h.join().unwrap().unwrap();
+        assert!(
+            effort.spins + effort.yields + effort.parks > 0,
+            "a 15ms block must have escalated: {effort:?}"
         );
     }
 
@@ -381,6 +469,22 @@ mod tests {
     }
 
     #[test]
+    fn status_word_stamps_epochs_and_poison() {
+        let wd = Watchdog::new(Duration::from_secs(1));
+        assert_eq!(wd.wake_epoch(), 0);
+        assert!(!wd.is_poisoned());
+        wd.spurious_wake();
+        assert_eq!(wd.wake_epoch(), 1);
+        assert!(!wd.is_poisoned());
+        wd.poison("x");
+        assert_eq!(wd.wake_epoch(), 2);
+        assert!(wd.is_poisoned());
+        wd.spurious_wake();
+        assert_eq!(wd.wake_epoch(), 3);
+        assert!(wd.is_poisoned(), "wakes never clear poison");
+    }
+
+    #[test]
     fn spurious_wake_does_not_fail_the_wait() {
         let wd = Arc::new(Watchdog::new(Duration::from_secs(30)));
         let c = Arc::new(AtomicU64::new(0));
@@ -393,6 +497,27 @@ mod tests {
         wd.spurious_wake();
         std::thread::sleep(Duration::from_millis(10));
         c.store(1, Ordering::Release);
-        assert_eq!(h.join().unwrap(), Ok(()));
+        assert!(h.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn eager_park_policy_still_meets_the_deadline_contract() {
+        let wd = Watchdog::new(Duration::from_millis(30));
+        let c = AtomicU64::new(0);
+        let t0 = Instant::now();
+        let err = wd
+            .guarded_wait(1, 0, SyncKind::Counter, 1, SpinPolicy::eager_park(), || {
+                let v = c.load(Ordering::Acquire);
+                if v >= 1 {
+                    WaitPoll::Ready
+                } else {
+                    WaitPoll::Pending(v)
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, SyncError::DeadlineExceeded { .. }));
+        // Sampled contract: fires within deadline + slice + scheduling
+        // noise, never unbounded.
+        assert!(t0.elapsed() < Duration::from_secs(5));
     }
 }

@@ -4,8 +4,9 @@
 //! that the SUIF-generated code of Tseng (PPoPP'95) ran on. It provides
 //! exactly the synchronization repertoire the paper's optimizer targets:
 //!
-//! * **barriers** — a sense-reversing central barrier and a combining
-//!   tree barrier ([`barrier`]);
+//! * **barriers** — an epoch-stamped sense-reversing central barrier and
+//!   a k-ary dissemination tree barrier with configurable fan-in
+//!   ([`barrier`]);
 //! * **counters** — the paper's flexible event synchronization: producers
 //!   increment, consumers wait for a value ([`counter`]);
 //! * **neighbor flags** — post/wait between adjacent processors for
@@ -15,11 +16,16 @@
 //! * **instrumentation** counting every dynamic synchronization event and
 //!   the time spent waiting ([`stats`]) — the source of the "barriers
 //!   executed at run time" numbers in the reproduction of Table 3;
+//! * a tunable **spin → `pause` → park escalation ladder** ([`spin`])
+//!   shared by every blocking wait, keeping the common case a
+//!   pure-atomic poll loop with no locks or clock reads;
 //! * **fault detection** ([`fault`]) — deadline-guarded variants of every
-//!   blocking wait (spin → yield → park), a team-level [`Watchdog`] with
-//!   region poisoning, and panic-safe joins ([`Team::try_run`]), so a
-//!   miscompiled schedule or a panicking worker is a diagnosed error
-//!   instead of a hang;
+//!   blocking wait with the watchdog sampled off the hot loop (poison
+//!   via one epoch-stamped atomic, deadline checked only on park
+//!   transitions or every [`fault::DEADLINE_SAMPLE`] polls), a
+//!   team-level [`Watchdog`] with region poisoning, and panic-safe
+//!   joins ([`Team::try_run`]), so a miscompiled schedule or a
+//!   panicking worker is a diagnosed error instead of a hang;
 //! * **recovery policy** ([`recovery`]) — the retry budget, deterministic
 //!   exponential backoff, and per-site quarantine ledger the executor's
 //!   self-healing loop consults when a detected fault is retried instead
@@ -50,15 +56,17 @@ pub mod counter;
 pub mod fault;
 pub mod neighbor;
 pub mod recovery;
+pub mod spin;
 pub mod stats;
 pub mod team;
 pub mod telemetry;
 
-pub use barrier::{CentralBarrier, TreeBarrier};
+pub use barrier::{BarrierEpoch, CentralBarrier, TreeBarrier};
 pub use counter::Counters;
-pub use fault::{SyncError, WaitPoll, Watchdog, DISPATCH_SITE};
+pub use fault::{SyncError, WaitPoll, Watchdog, DEADLINE_SAMPLE, DISPATCH_SITE};
 pub use neighbor::NeighborFlags;
 pub use recovery::{FaultDisposition, Quarantine, RetryPolicy};
+pub use spin::{SpinPhase, SpinPolicy, SpinWait, WaitEffort};
 pub use stats::{SyncKind, SyncStats};
 pub use team::{RegionError, Team};
 pub use telemetry::{

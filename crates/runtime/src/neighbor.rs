@@ -8,8 +8,9 @@
 //! is independent of the team size — the property the paper exploits.
 
 use crate::fault::{SyncError, WaitPoll, Watchdog};
+use crate::spin::{SpinPolicy, SpinWait};
 use crate::stats::{SyncKind, SyncStats};
-use crossbeam::utils::{Backoff, CachePadded};
+use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -17,6 +18,7 @@ use std::time::Instant;
 /// Per-processor epoch flags for neighbor synchronization.
 pub struct NeighborFlags {
     flags: Vec<CachePadded<AtomicU64>>,
+    policy: SpinPolicy,
     stats: Option<Arc<SyncStats>>,
 }
 
@@ -27,6 +29,7 @@ impl NeighborFlags {
             flags: (0..n)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
+            policy: SpinPolicy::auto(),
             stats: None,
         }
     }
@@ -34,6 +37,12 @@ impl NeighborFlags {
     /// Attach instrumentation.
     pub fn with_stats(mut self, stats: Arc<SyncStats>) -> Self {
         self.stats = Some(stats);
+        self
+    }
+
+    /// Override the spin → yield → park escalation policy.
+    pub fn with_policy(mut self, policy: SpinPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -59,16 +68,15 @@ impl NeighborFlags {
             return;
         }
         let t0 = self.stats.as_ref().map(|_| Instant::now());
-        let backoff = Backoff::new();
+        let mut sw = SpinWait::new(self.policy);
         while self.flags[other as usize].load(Ordering::Acquire) < epoch {
-            if backoff.is_completed() {
-                std::thread::yield_now();
-            } else {
-                backoff.snooze();
-            }
+            sw.snooze();
         }
-        if let (Some(s), Some(t0)) = (&self.stats, t0) {
-            s.neighbor_wait(t0.elapsed());
+        if let Some(s) = &self.stats {
+            s.escalation(sw.effort());
+            if let Some(t0) = t0 {
+                s.neighbor_wait(t0.elapsed());
+            }
         }
     }
 
@@ -89,7 +97,7 @@ impl NeighborFlags {
         }
         let t0 = self.stats.as_ref().map(|_| Instant::now());
         let flag = &self.flags[other as usize];
-        wd.guarded_wait(site, pid, SyncKind::Neighbor, epoch, || {
+        let effort = wd.guarded_wait(site, pid, SyncKind::Neighbor, epoch, self.policy, || {
             let cur = flag.load(Ordering::Acquire);
             if cur >= epoch {
                 WaitPoll::Ready
@@ -97,8 +105,11 @@ impl NeighborFlags {
                 WaitPoll::Pending(cur)
             }
         })?;
-        if let (Some(s), Some(t0)) = (&self.stats, t0) {
-            s.neighbor_wait(t0.elapsed());
+        if let Some(s) = &self.stats {
+            s.escalation(effort);
+            if let Some(t0) = t0 {
+                s.neighbor_wait(t0.elapsed());
+            }
         }
         Ok(())
     }

@@ -1,5 +1,6 @@
 //! Dynamic synchronization instrumentation.
 
+use crate::spin::WaitEffort;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -64,6 +65,12 @@ impl KindCell {
 #[derive(Debug, Default)]
 pub struct SyncStats {
     cells: [KindCell; 3],
+    /// Aggregate wait-escalation counters (spin → yield → park phase
+    /// rounds across every blocked wait of any kind): how often waits
+    /// left the pure-atomic fast path.
+    spin_rounds: AtomicU64,
+    yield_rounds: AtomicU64,
+    parks: AtomicU64,
 }
 
 impl SyncStats {
@@ -112,6 +119,35 @@ impl SyncStats {
         self.cell(SyncKind::Neighbor).wait(waited);
     }
 
+    /// Record one wait's escalation counts (no-op for a wait that
+    /// never blocked — the all-zero effort costs nothing to fold in).
+    pub fn escalation(&self, e: WaitEffort) {
+        if e.spins != 0 {
+            self.spin_rounds.fetch_add(e.spins, Ordering::Relaxed);
+        }
+        if e.yields != 0 {
+            self.yield_rounds.fetch_add(e.yields, Ordering::Relaxed);
+        }
+        if e.parks != 0 {
+            self.parks.fetch_add(e.parks, Ordering::Relaxed);
+        }
+    }
+
+    /// Total `spin_loop` rounds across all blocked waits.
+    pub fn spin_rounds_count(&self) -> u64 {
+        self.spin_rounds.load(Ordering::Relaxed)
+    }
+
+    /// Total `yield_now` rounds across all blocked waits.
+    pub fn yield_rounds_count(&self) -> u64 {
+        self.yield_rounds.load(Ordering::Relaxed)
+    }
+
+    /// Total bounded parks across all blocked waits.
+    pub fn parks_count(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+
     /// Completed barrier episodes.
     pub fn barrier_episodes_count(&self) -> u64 {
         self.cell(SyncKind::Barrier).ops.load(Ordering::Relaxed)
@@ -157,6 +193,9 @@ impl SyncStats {
         for c in &self.cells {
             c.reset();
         }
+        for a in [&self.spin_rounds, &self.yield_rounds, &self.parks] {
+            a.store(0, Ordering::Relaxed);
+        }
     }
 
     /// Snapshot as a plain struct (for reports).
@@ -174,6 +213,9 @@ impl SyncStats {
             neighbor_waits: self.neighbor_waits_count(),
             neighbor_wait_ns: self.wait_ns(SyncKind::Neighbor),
             neighbor_max_wait_ns: self.max_wait_ns(SyncKind::Neighbor),
+            spin_rounds: self.spin_rounds_count(),
+            yield_rounds: self.yield_rounds_count(),
+            parks: self.parks_count(),
         }
     }
 }
@@ -205,6 +247,12 @@ pub struct StatsSnapshot {
     pub neighbor_wait_ns: u64,
     /// Longest single neighbor wait in nanoseconds.
     pub neighbor_max_wait_ns: u64,
+    /// `spin_loop` rounds across all blocked waits (escalation phase 1).
+    pub spin_rounds: u64,
+    /// `yield_now` rounds across all blocked waits (escalation phase 2).
+    pub yield_rounds: u64,
+    /// Bounded parks across all blocked waits (escalation phase 3).
+    pub parks: u64,
 }
 
 impl StatsSnapshot {
@@ -243,6 +291,28 @@ mod tests {
         assert_eq!(snap.neighbor_posts, 1);
         assert_eq!(snap.neighbor_waits, 1);
         assert_eq!(snap.total_sync_ops(), 5);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn escalation_counters_accumulate_and_reset() {
+        let s = SyncStats::new();
+        s.escalation(WaitEffort {
+            spins: 10,
+            yields: 2,
+            parks: 0,
+        });
+        s.escalation(WaitEffort {
+            spins: 5,
+            yields: 0,
+            parks: 3,
+        });
+        s.escalation(WaitEffort::default()); // fast-path wait: no-op
+        let snap = s.snapshot();
+        assert_eq!(snap.spin_rounds, 15);
+        assert_eq!(snap.yield_rounds, 2);
+        assert_eq!(snap.parks, 3);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }

@@ -11,6 +11,16 @@
 //! or re-raised (from [`Team::run`]). The team stays usable for
 //! subsequent regions; whether the *shared data* a panicked region left
 //! behind is usable is the caller's judgment.
+//!
+//! Dispatch is intentionally *outside* the lock-free fast-path split
+//! that governs the sync primitives (see `crate::spin`): regions
+//! amortize one condvar round trip over their whole body, workers
+//! should sleep (not burn a core) between regions, and the blocking
+//! join is what lets a panicked worker wake the master unconditionally.
+//! The `SpinPolicy` escalation ladder applies to the per-episode waits
+//! *inside* a region — barriers, counters, neighbor flags — where the
+//! round trip is hundreds of nanoseconds, not to the per-region
+//! dispatch, where it would be pure waste.
 
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;

@@ -1,7 +1,7 @@
 //! Stress tests for the synchronization primitives under oversubscription
 //! (more workers than cores) and rapid reuse.
 
-use runtime::{CentralBarrier, Counters, NeighborFlags, Team, TreeBarrier};
+use runtime::{BarrierEpoch, CentralBarrier, Counters, NeighborFlags, Team, TreeBarrier};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -35,7 +35,7 @@ fn interleaved_barrier_and_counter_protocol() {
         let cell = Arc::clone(&cell);
         let bad = Arc::clone(&bad);
         team.run(move |pid| {
-            let mut sense = false;
+            let mut sense = BarrierEpoch::default();
             for round in 1..=200u64 {
                 let producer = (round as usize) % 4;
                 if pid == producer {
@@ -67,7 +67,7 @@ fn tree_and_central_barriers_agree_under_oversubscription() {
         let seq = Arc::new(AtomicU64::new(0));
         let seq2 = Arc::clone(&seq);
         team.run(move |pid| {
-            let mut sense = false;
+            let mut sense = BarrierEpoch::default();
             let mut epoch = 0usize;
             for round in 0..100u64 {
                 // Everyone must observe at least `round * p` increments

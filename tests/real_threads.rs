@@ -108,7 +108,9 @@ fn virtual_and_real_dynamic_counts_agree() {
 // ---------------------------------------------------------------------------
 
 mod hammer {
-    use barrier_elim::runtime::{CentralBarrier, Counters, NeighborFlags, TreeBarrier};
+    use barrier_elim::runtime::{
+        BarrierEpoch, CentralBarrier, Counters, NeighborFlags, TreeBarrier,
+    };
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
@@ -117,7 +119,10 @@ mod hammer {
     /// Every thread bumps its own slot, crosses the barrier, and then
     /// observes everyone else's slot at the same epoch. A second barrier
     /// keeps fast threads from bumping again while slow ones still read.
-    fn barrier_hammer(n: usize, wait: impl Fn(usize, &mut (bool, usize)) + Send + Sync + 'static) {
+    fn barrier_hammer(
+        n: usize,
+        wait: impl Fn(usize, &mut (BarrierEpoch, usize)) + Send + Sync + 'static,
+    ) {
         let wait = Arc::new(wait);
         let slots: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
         let handles: Vec<_> = (0..n)
@@ -125,7 +130,7 @@ mod hammer {
                 let wait = Arc::clone(&wait);
                 let slots = Arc::clone(&slots);
                 std::thread::spawn(move || {
-                    let mut state = (false, 0usize);
+                    let mut state = (BarrierEpoch::default(), 0usize);
                     for k in 1..=EPOCHS {
                         slots[pid].store(k, Ordering::Release);
                         wait(pid, &mut state);
@@ -308,6 +313,165 @@ mod hammer {
                     .collect();
                 assert_eq!(order, (0..n).collect::<Vec<_>>(), "n={n}, step {step}");
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule exploration: drive the primitives through seeded random arrival
+// orders. A turnstile forces each episode's waiters to *enter* their blocking
+// call in a chosen permutation, so over many seeds every arrival interleaving
+// (first-arriver releases, last-arriver releases, producer-last, …) is
+// exercised. Any lost wakeup or stale-sense hang fails the run; the harness
+// also checks generation monotonicity across `Counters::reset`.
+// ---------------------------------------------------------------------------
+
+mod schedule_exploration {
+    use barrier_elim::runtime::{BarrierEpoch, CentralBarrier, Counters, TreeBarrier};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Barrier as StdBarrier};
+
+    fn xorshift64(mut x: u64) -> u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    }
+
+    /// Seeded Fisher–Yates permutation of `0..n`.
+    fn permutation(seed: u64, n: usize) -> Vec<usize> {
+        let mut s = xorshift64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1));
+        let mut p: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            s = xorshift64(s);
+            p.swap(i, (s as usize) % (i + 1));
+        }
+        p
+    }
+
+    /// Spin (yielding) until it is `rank`'s turn at the turnstile, then
+    /// pass it on. Callers bump the turnstile *before* their blocking
+    /// wait, so the turnstile orders arrival entry without deadlocking
+    /// on the wait itself.
+    fn turnstile(turn: &AtomicU64, target: u64) {
+        while turn.load(Ordering::Acquire) != target {
+            std::thread::yield_now();
+        }
+        turn.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn seed_count() -> u64 {
+        std::env::var("BE_SCHED_SEEDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1500)
+    }
+
+    #[test]
+    fn randomized_arrival_orders_never_lose_a_wakeup() {
+        let n = 4usize;
+        let seeds = seed_count();
+        let central = Arc::new(CentralBarrier::new(n));
+        let tree = Arc::new(TreeBarrier::with_radix(n, 4));
+        let counters = Arc::new(Counters::new(n));
+        let turn = Arc::new(AtomicU64::new(0));
+        let slots: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let data: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        // Workers and the coordinator rendezvous here between seeds so
+        // the coordinator can reset the primitives safely.
+        let fence = Arc::new(StdBarrier::new(n + 1));
+
+        let workers: Vec<_> = (0..n)
+            .map(|pid| {
+                let central = Arc::clone(&central);
+                let tree = Arc::clone(&tree);
+                let counters = Arc::clone(&counters);
+                let turn = Arc::clone(&turn);
+                let slots = Arc::clone(&slots);
+                let data = Arc::clone(&data);
+                let fence = Arc::clone(&fence);
+                std::thread::spawn(move || {
+                    for seed in 0..seeds {
+                        fence.wait();
+                        // Fresh local stamps each seed: the coordinator
+                        // reset the barriers at the end of the last one.
+                        let mut bl = BarrierEpoch::default();
+                        let mut tl = 0usize;
+                        let tag = seed + 1;
+
+                        // Episode 0: central barrier, seeded entry order.
+                        let perm = permutation(seed * 3, n);
+                        let rank = perm.iter().position(|&q| q == pid).unwrap() as u64;
+                        slots[pid].store(tag, Ordering::Release);
+                        turnstile(&turn, seed * 3 * n as u64 + rank);
+                        central.wait(&mut bl);
+                        for (q, s) in slots.iter().enumerate() {
+                            let v = s.load(Ordering::Acquire);
+                            assert_eq!(
+                                v, tag,
+                                "seed {seed}: central released pid {pid} while slot {q} = {v}"
+                            );
+                        }
+                        central.wait(&mut bl);
+
+                        // Episode 1: 4-ary tree barrier, fresh order.
+                        let perm = permutation(seed * 3 + 1, n);
+                        let rank = perm.iter().position(|&q| q == pid).unwrap() as u64;
+                        slots[pid].store(tag + seeds, Ordering::Release);
+                        turnstile(&turn, (seed * 3 + 1) * n as u64 + rank);
+                        tree.wait(pid, &mut tl);
+                        for (q, s) in slots.iter().enumerate() {
+                            let v = s.load(Ordering::Acquire);
+                            assert_eq!(
+                                v,
+                                tag + seeds,
+                                "seed {seed}: tree released pid {pid} while slot {q} = {v}"
+                            );
+                        }
+                        tree.wait(pid, &mut tl);
+
+                        // Episode 2: counter handoff; the producer's slot
+                        // in the entry order varies per seed, so waiters
+                        // both pre-block (producer last) and fast-path
+                        // (producer first).
+                        let perm = permutation(seed * 3 + 2, n);
+                        let producer = (seed as usize) % n;
+                        let rank = perm.iter().position(|&q| q == pid).unwrap() as u64;
+                        turnstile(&turn, (seed * 3 + 2) * n as u64 + rank);
+                        if pid == producer {
+                            data[producer].store(tag, Ordering::Relaxed);
+                            counters.increment(producer);
+                        } else {
+                            counters.wait_ge(producer, 1);
+                            // Release/acquire on the counter publishes
+                            // the producer's data.
+                            let v = data[producer].load(Ordering::Relaxed);
+                            assert_eq!(v, tag, "seed {seed}: pid {pid} woke before the post");
+                        }
+
+                        fence.wait();
+                    }
+                })
+            })
+            .collect();
+
+        // Coordinator: reset between seeds and check generation
+        // monotonicity on `Counters::reset`.
+        for seed in 0..seeds {
+            assert_eq!(
+                counters.generation(),
+                seed,
+                "generation must move by exactly 1 per reset"
+            );
+            fence.wait(); // release the workers into seed `seed`
+            fence.wait(); // wait for them to finish it
+            central.reset();
+            tree.reset();
+            counters.reset();
+        }
+        assert_eq!(counters.generation(), seeds);
+        for w in workers {
+            w.join().unwrap();
         }
     }
 }

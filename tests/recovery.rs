@@ -12,13 +12,16 @@
 
 use barrier_elim::analysis::Bindings;
 use barrier_elim::frontend;
-use barrier_elim::interp::{run_parallel_recovering, run_sequential, Mem, ObserveOptions};
+use barrier_elim::interp::{
+    run_parallel_recovering, run_sequential, BarrierKind, Mem, ObserveOptions,
+};
 use barrier_elim::ir::SymId;
 use barrier_elim::obs::render_recovery;
 use barrier_elim::oracle::{
-    self, droppable_posts, recovery_check, ChaosConfig, ChaosInjector, DropSpec,
+    self, droppable_posts, recovery_check, recovery_check_with, ChaosConfig, ChaosInjector,
+    DropSpec,
 };
-use barrier_elim::runtime::{RetryPolicy, Team};
+use barrier_elim::runtime::{RetryPolicy, SpinPolicy, Team};
 use barrier_elim::spmd_opt::{fork_join, optimize};
 use std::sync::Arc;
 use std::time::Duration;
@@ -119,6 +122,76 @@ fn every_kernel_absorbs_every_persistent_drop_under_both_plans() {
                         t.attempts_used - 1
                     )),
                     "{text}"
+                );
+            }
+        }
+    }
+}
+
+/// Chaos regression sweep over the tuned fast-path primitives: the full
+/// drop matrix must still be absorbed by the demote → quarantine →
+/// isolate ladder when the fabric runs k-ary tree barriers (every
+/// supported fan-in) or the eager-park spin policy (every guarded wait
+/// escalates to parking, the configuration most exposed to lost-wakeup
+/// bugs in the watchdog's park registration).
+#[test]
+fn drop_matrix_is_absorbed_across_radices_and_spin_policies() {
+    let team = Team::new(4);
+    let variants: Vec<(String, ObserveOptions)> = [2usize, 4, 8]
+        .iter()
+        .map(|&radix| {
+            (
+                format!("tree radix {radix}"),
+                ObserveOptions {
+                    barrier: BarrierKind::Tree,
+                    tree_radix: Some(radix),
+                    ..ObserveOptions::default()
+                },
+            )
+        })
+        .chain(std::iter::once((
+            "central + eager park".to_string(),
+            ObserveOptions {
+                spin: Some(SpinPolicy::eager_park()),
+                ..ObserveOptions::default()
+            },
+        )))
+        .collect();
+    for (kernel, sets) in [("jacobi.be", KERNELS[1].1), ("pipeline.be", KERNELS[2].1)] {
+        let (prog, bind) = load(kernel, sets, 4);
+        let plan = optimize(&prog, &bind);
+        for (label, base) in &variants {
+            let r = recovery_check_with(
+                &prog,
+                &bind,
+                &plan,
+                &team,
+                0xC0FFEE,
+                Duration::from_millis(150),
+                1e-9,
+                &fast_policy(),
+                base,
+            );
+            assert!(
+                r.benign_ok,
+                "{kernel} [{label}]: benign recovering run failed (diff {:e})",
+                r.benign_diff
+            );
+            assert!(
+                !r.teeth.is_empty(),
+                "{kernel} [{label}]: no droppable posts"
+            );
+            for t in &r.teeth {
+                assert!(
+                    t.converged && t.recovered && t.diff <= 1e-9,
+                    "{kernel} [{label}]: {} drop at s{} not absorbed \
+                     (converged {}, recovered {}, diff {:e}):\n{}",
+                    t.kind,
+                    t.spec.site,
+                    t.converged,
+                    t.recovered,
+                    t.diff,
+                    render_recovery(&t.report)
                 );
             }
         }
