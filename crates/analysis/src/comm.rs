@@ -23,8 +23,58 @@ use crate::translate::{build_pair_system, SharedLoopMode};
 use ineq::{FmeCache, FmeCacheStats, LinExpr};
 use ir::{Affine, ArrayId, LhsRef, NodeId, Program, ScalarId, StmtPath};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// One statement-pair query observation delivered to the installed
+/// probe (see [`set_pair_probe`]).
+#[derive(Clone, Copy, Debug)]
+pub struct PairProbe {
+    /// True when the pass-wide pair memo answered the query without
+    /// running a fresh Fourier-Motzkin scan.
+    pub memo_hit: bool,
+    /// Wall time the query took, in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+static PROBE_ARMED: AtomicBool = AtomicBool::new(false);
+#[allow(clippy::type_complexity)]
+static PAIR_PROBE: RwLock<Option<Arc<dyn Fn(PairProbe) + Send + Sync>>> = RwLock::new(None);
+
+/// Install (`Some`) or clear (`None`) the process-wide pair-query
+/// probe. This is the profiler's window into the analysis without
+/// `analysis` depending on any runtime crate: the driver forwards each
+/// observation onto its own event ring. Queries pay a single relaxed
+/// atomic load when no probe is installed. Install a probe only while
+/// analysis runs single-threaded if the sink is single-writer.
+pub fn set_pair_probe(hook: Option<Arc<dyn Fn(PairProbe) + Send + Sync>>) {
+    // Order matters on both edges: arm only after the hook is in place,
+    // and disarm before it is removed, so `probe_fire` never reads None
+    // while armed.
+    if hook.is_none() {
+        PROBE_ARMED.store(false, Ordering::Release);
+    }
+    *PAIR_PROBE.write().unwrap() = hook;
+    if PAIR_PROBE.read().unwrap().is_some() {
+        PROBE_ARMED.store(true, Ordering::Release);
+    }
+}
+
+fn probe_start() -> Option<Instant> {
+    PROBE_ARMED.load(Ordering::Acquire).then(Instant::now)
+}
+
+fn probe_fire(t0: Option<Instant>, memo_hit: bool) {
+    if let Some(t0) = t0 {
+        if let Some(h) = PAIR_PROBE.read().unwrap().as_ref() {
+            h(PairProbe {
+                memo_hit,
+                elapsed_ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+}
 
 /// Tuning knobs for the communication analysis.
 ///
@@ -477,17 +527,23 @@ impl<'p> CommQuery<'p> {
 
     /// As [`comm_stmts`](Self::comm_stmts) but carrying producer identity.
     pub fn comm_stmts_detailed(&self, s1: &StmtPath, s2: &StmtPath, mode: CommMode) -> CommOutcome {
+        let t0 = probe_start();
         if self.fme.is_none() {
-            return self.comm_stmts_fresh(s1, s2, mode);
+            let out = self.comm_stmts_fresh(s1, s2, mode);
+            probe_fire(t0, false);
+            return out;
         }
         let key = pair_key(s1, s2, mode);
         if let Some(hit) = self.pair_memo.lock().unwrap().get(&key) {
             self.pair_hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+            let out = hit.clone();
+            probe_fire(t0, true);
+            return out;
         }
         let out = self.comm_stmts_fresh(s1, s2, mode);
         self.pair_misses.fetch_add(1, Ordering::Relaxed);
         self.pair_memo.lock().unwrap().insert(key, out.clone());
+        probe_fire(t0, false);
         out
     }
 

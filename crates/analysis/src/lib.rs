@@ -55,7 +55,8 @@ pub mod translate;
 pub use bindings::Bindings;
 pub use codegen::{scan_owned_range, ScannedBounds};
 pub use comm::{
-    AnalysisConfig, AnalysisStats, CommMode, CommOutcome, CommPattern, CommQuery, ProducerSpec,
+    set_pair_probe, AnalysisConfig, AnalysisStats, CommMode, CommOutcome, CommPattern, CommQuery,
+    PairProbe, ProducerSpec,
 };
 pub use dep::{check_parallel_loops, loop_carries_dependence};
 pub use partition::{

@@ -11,9 +11,11 @@
 //! every kernel. Any divergence is printed and the process exits 1 —
 //! caching and parallelism are required to be pure speed knobs.
 //!
-//! Usage: `bench5 [--quick] [--out PATH] [--nprocs P]`
+//! Usage: `bench5 [--quick] [--out PATH] [--baseline PATH] [--nprocs P]`
 //!   --quick    Test-scale kernels and fewer repetitions (CI smoke mode)
 //!   --out      output path (default BENCH_5.json; `-` for stdout)
+//!   --baseline prior BENCH_5.json to compare against; refused unless
+//!              its `schema_version` matches this binary's
 //!   --nprocs   processor count for the analysis bindings (default 8)
 
 use obs::Json;
@@ -71,11 +73,13 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut out_path = "BENCH_5.json".to_string();
     let mut nprocs: i64 = 8;
+    let mut baseline_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => out_path = it.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = Some(it.next().expect("--baseline needs a path")),
             "--nprocs" => {
                 nprocs = it
                     .next()
@@ -84,11 +88,23 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!("bench5: unknown argument {other}");
-                eprintln!("usage: bench5 [--quick] [--out PATH] [--nprocs P]");
+                eprintln!("usage: bench5 [--quick] [--out PATH] [--baseline PATH] [--nprocs P]");
                 return ExitCode::from(2);
             }
         }
     }
+    // Resolve (and, on schema mismatch, refuse) the baseline up front,
+    // before spending minutes measuring.
+    let baseline = match &baseline_path {
+        Some(p) => match spmd_bench::load_baseline(p, "analysis-cache-regression") {
+            Ok(doc) => Some(doc),
+            Err(e) => {
+                eprintln!("bench5: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let (scale, reps) = if quick {
         (Scale::Test, 1)
     } else {
@@ -343,6 +359,7 @@ fn main() -> ExitCode {
                 .set("fme_hit_rate", warm_stats.fme.feas_hit_rate()),
         )
         .set("diverged", diverged);
+    let doc = spmd_bench::stamp_schema(doc);
     let rendered = doc.to_string_pretty();
     if out_path == "-" {
         println!("{rendered}");
@@ -351,6 +368,18 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     } else {
         println!("bench5: wrote {out_path}");
+    }
+
+    if let Some(base) = &baseline {
+        let prev = base
+            .get("total")
+            .and_then(|t| t.get("speedup"))
+            .and_then(|s| s.as_num())
+            .unwrap_or(0.0);
+        println!(
+            "baseline {}: total cache speedup {prev:.2}x then, {speedup:.2}x now",
+            baseline_path.as_deref().unwrap_or("-"),
+        );
     }
 
     if diverged {

@@ -21,9 +21,11 @@
 //! floor and cancels scheduler noise (essential on small hosts where the
 //! team oversubscribes the cores).
 //!
-//! Usage: `bench6 [--quick] [--out PATH]`
-//!   --quick  fewer episodes/reps and no 16-thread column (CI smoke mode)
-//!   --out    output path (default BENCH_6.json; `-` for stdout)
+//! Usage: `bench6 [--quick] [--out PATH] [--baseline PATH]`
+//!   --quick     fewer episodes/reps and no 16-thread column (CI smoke mode)
+//!   --out       output path (default BENCH_6.json; `-` for stdout)
+//!   --baseline  prior BENCH_6.json to compare against; refused unless
+//!               its `schema_version` matches this binary's
 
 use criterion::black_box;
 use obs::Json;
@@ -145,18 +147,30 @@ impl Cell {
 fn main() -> ExitCode {
     let mut quick = false;
     let mut out_path = "BENCH_6.json".to_string();
+    let mut baseline_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => out_path = it.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = Some(it.next().expect("--baseline needs a path")),
             other => {
                 eprintln!("bench6: unknown argument {other}");
-                eprintln!("usage: bench6 [--quick] [--out PATH]");
+                eprintln!("usage: bench6 [--quick] [--out PATH] [--baseline PATH]");
                 return ExitCode::from(2);
             }
         }
     }
+    let baseline = match &baseline_path {
+        Some(p) => match spmd_bench::load_baseline(p, "sync-primitive-latency") {
+            Ok(doc) => Some(doc),
+            Err(e) => {
+                eprintln!("bench6: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let (episodes, reps, procs): (u64, usize, &[usize]) = if quick {
         (300, 5, &[2, 4, 8])
     } else {
@@ -269,6 +283,7 @@ fn main() -> ExitCode {
                 .set("within_factor", within_factor)
                 .set("ok", gate_ok),
         );
+    let doc = spmd_bench::stamp_schema(doc);
     let rendered = doc.to_string_pretty();
     if out_path == "-" {
         println!("{rendered}");
@@ -277,6 +292,19 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     } else {
         println!("bench6: wrote {out_path}");
+    }
+
+    if let Some(base) = &baseline {
+        let prev = base
+            .get("gate")
+            .and_then(|g| g.get("pure_ns"))
+            .and_then(|v| v.as_num())
+            .unwrap_or(0.0);
+        println!(
+            "baseline {}: gate pure path {prev:.0} ns then, {:.0} ns now",
+            baseline_path.as_deref().unwrap_or("-"),
+            gate.pure_ns
+        );
     }
 
     if !gate_ok {

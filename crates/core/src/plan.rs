@@ -233,6 +233,16 @@ pub fn demote_site(plan: &mut SpmdProgram, site: usize) -> Option<SyncOp> {
     demote_top(&mut plan.items, &mut next, site)
 }
 
+/// Demote every listed canonical site to a full barrier, returning the
+/// displaced ops in input order (`None` entries for sites the plan does
+/// not have). This is how the profiler builds its observed-vs-predicted
+/// *baseline*: start from the optimized plan and put a barrier back at
+/// exactly the decision-log sites, so both runs share one canonical site
+/// walk and every per-site measurement joins cleanly.
+pub fn demote_sites(plan: &mut SpmdProgram, sites: &[usize]) -> Vec<Option<SyncOp>> {
+    sites.iter().map(|&s| demote_site(plan, s)).collect()
+}
+
 impl SpmdProgram {
     /// Count the static synchronization points of the schedule.
     pub fn static_stats(&self) -> StaticStats {
@@ -410,5 +420,32 @@ mod tests {
         assert_eq!(st.counter_syncs, 0);
         assert_eq!(st.barriers, 2);
         assert_eq!(st.neighbor_syncs, 1);
+    }
+
+    #[test]
+    fn demote_sites_restores_barriers_at_each_listed_slot() {
+        let mut p = nested_plan();
+        let displaced = demote_sites(&mut p, &[0, 2, 9]);
+        assert_eq!(displaced.len(), 3);
+        assert_eq!(
+            displaced[0],
+            Some(SyncOp::Neighbor {
+                fwd: true,
+                bwd: false
+            })
+        );
+        assert_eq!(
+            displaced[1],
+            Some(SyncOp::Counter {
+                id: 0,
+                producer: analysis::ProducerSpec::Master,
+            })
+        );
+        assert_eq!(displaced[2], None, "site past the walk is reported back");
+        let st = p.static_stats();
+        assert_eq!(st.neighbor_syncs, 0);
+        assert_eq!(st.counter_syncs, 0);
+        // neighbor slot + counter bottom + untouched region end.
+        assert_eq!(st.barriers, 3);
     }
 }

@@ -15,6 +15,7 @@ use crate::mem::Mem;
 use analysis::Bindings;
 use ir::Program;
 use obs::{FailureCause, FailureReport, Span, SpanCat};
+use runtime::events::{self, EventKind, ProfileData, ProfileOptions, Profiler, NO_SITE};
 use runtime::fault::{SyncError, Watchdog, DISPATCH_SITE};
 use runtime::telemetry::{SiteSnapshot, SiteTelemetry};
 use runtime::{
@@ -93,6 +94,9 @@ pub struct SyncFabric {
     flags: Arc<NeighborFlags>,
     dispatch: Arc<Counters>,
     stats: Arc<SyncStats>,
+    /// Event-ring profiler shared by every attempt run on this fabric
+    /// (`None` unless [`ObserveOptions::profile`] asked for one).
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl SyncFabric {
@@ -142,7 +146,20 @@ impl SyncFabric {
             ),
             dispatch: Arc::new(Counters::new(1).with_policy(spin)),
             stats,
+            profiler: None,
         }
+    }
+
+    /// Attach an event-ring profiler: one track per worker plus a
+    /// supervisor track ([`Profiler::supervisor_track`]).
+    pub fn with_profiler(mut self, nprocs: usize, opts: ProfileOptions) -> Self {
+        self.profiler = Some(Arc::new(Profiler::new(nprocs + 1, opts)));
+        self
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&Arc<Profiler>> {
+        self.profiler.as_ref()
     }
 
     /// A fabric sized for `plan`'s unrolled events.
@@ -166,13 +183,17 @@ impl SyncFabric {
         plan: &SpmdProgram,
     ) -> Self {
         let events = unroll(prog, bind, plan);
-        SyncFabric::tuned(
+        let fabric = SyncFabric::tuned(
             opts.barrier,
             bind.nprocs as usize,
             max_counter_id(&events),
             opts.spin.unwrap_or_default(),
             opts.tree_radix,
-        )
+        );
+        match opts.profile {
+            Some(po) => fabric.with_profiler(bind.nprocs as usize, po),
+            None => fabric,
+        }
     }
 
     /// Re-arm every primitive for a fresh attempt. Only legal once all
@@ -187,6 +208,11 @@ impl SyncFabric {
         self.flags.reset();
         self.dispatch.reset();
         self.stats.reset();
+        // The profiler is *not* cleared: its rings span the whole
+        // recovery session, with each attempt stamped by the next epoch.
+        if let Some(p) = &self.profiler {
+            p.bump_epoch();
+        }
     }
 
     /// Snapshot the aggregate sync stats accumulated since the last
@@ -264,6 +290,11 @@ pub struct ParallelOutcome {
     /// recorded first — this lists *every* faulting processor, so the
     /// recovery supervisor can demote all implicated sites at once.
     pub proc_errors: Vec<Option<SyncError>>,
+    /// The merged profile-event stream (present iff
+    /// [`ObserveOptions::profile`] was set, or the caller's fabric
+    /// carried a profiler). Under the recovery supervisor the stream
+    /// spans *every* attempt so far, epoch-stamped per attempt.
+    pub profile: Option<ProfileData>,
 }
 
 impl ParallelOutcome {
@@ -300,6 +331,12 @@ pub struct ObserveOptions {
     /// Fan-in for [`BarrierKind::Tree`] (`None` = topology-aware
     /// default; ignored for the central barrier).
     pub tree_radix: Option<usize>,
+    /// Record per-thread event rings (sync arrivals/releases, region
+    /// markers, escalation transitions, recovery marks) and return the
+    /// merged stream in [`ParallelOutcome::profile`]. Recording is
+    /// lock-free and never blocks; ring overflow drops the oldest
+    /// events and is counted in [`runtime::events::ProfileData`].
+    pub profile: Option<ProfileOptions>,
 }
 
 impl std::fmt::Debug for ObserveOptions {
@@ -312,6 +349,7 @@ impl std::fmt::Debug for ObserveOptions {
             .field("chaos", &self.chaos.as_ref().map(|_| "<injector>"))
             .field("spin", &self.spin)
             .field("tree_radix", &self.tree_radix)
+            .field("profile", &self.profile)
             .finish()
     }
 }
@@ -505,13 +543,30 @@ pub fn run_parallel_observed_on(
     let failure2 = Arc::clone(&failure_slot);
     let proc_state2 = Arc::clone(&proc_state);
     let proc_errors2 = Arc::clone(&proc_errors);
+    let profiler2 = fabric.profiler.clone();
 
+    // Align the profile clock with this run's t0 — but only if no
+    // attempt has written to the rings yet (a recovery fabric keeps one
+    // monotonic clock across attempts so epochs stay ordered).
+    if let Some(p) = &fabric.profiler {
+        p.rebase_if_unused();
+    }
     let t0 = Instant::now();
     let team_result = team.try_run(move |pid| {
         let prog = &prog2;
         let bind = &bind2;
         let mem = &mem2;
         let wd = watchdog2.as_deref();
+        // Ambient recorder: primitives deep in the runtime (spin
+        // escalation) emit onto this worker's track without knowing
+        // their site; the analyzer attributes them by enclosing
+        // arrive/release interval.
+        let _recorder = profiler2
+            .as_ref()
+            .map(|p| events::install(Arc::clone(p), pid));
+        if let Some(p) = &profiler2 {
+            p.record(pid, EventKind::RegionBegin, NO_SITE, 0);
+        }
         let traverse = || -> Result<(), SyncError> {
             let mut blocal = BarrierLocal::default();
             let mut nposts = 0u64;
@@ -542,10 +597,19 @@ pub fn run_parallel_observed_on(
                     }
                     Event::Sync { op, site, env } => {
                         let mut dropped = false;
+                        // Chaos and the profiler share one per-site
+                        // visit counter, so a SyncArrive's `arg` is the
+                        // same episode index chaos schedules against.
+                        let live = !matches!(op, SyncOp::None);
+                        let visit = if live && (chaos2.is_some() || profiler2.is_some()) {
+                            let v = site_visits[*site];
+                            site_visits[*site] += 1;
+                            v
+                        } else {
+                            0
+                        };
                         if let Some(ch) = &chaos2 {
-                            if !matches!(op, SyncOp::None) {
-                                let visit = site_visits[*site];
-                                site_visits[*site] += 1;
+                            if live {
                                 match ch.at_sync(*site, pid, visit) {
                                     ChaosAction::None => {}
                                     ChaosAction::Delay(d) | ChaosAction::Stall(d) => {
@@ -560,6 +624,14 @@ pub fn run_parallel_observed_on(
                                 }
                             }
                         }
+                        let t_arrive = match (&profiler2, live) {
+                            (Some(p), true) => {
+                                let t = p.now_ns();
+                                p.record_at(pid, EventKind::SyncArrive, *site as u32, visit, t);
+                                Some(t)
+                            }
+                            _ => None,
+                        };
                         let r: Result<(), SyncError> = match op {
                             SyncOp::None => Ok(()),
                             SyncOp::Barrier => {
@@ -626,6 +698,19 @@ pub fn run_parallel_observed_on(
                                 }
                             }
                         };
+                        if let (Some(p), Some(ta)) = (&profiler2, t_arrive) {
+                            // Record the release even on a failing wait
+                            // so the faulty episode's block shows up
+                            // with its full (deadline-length) duration.
+                            let now = p.now_ns();
+                            p.record_at(
+                                pid,
+                                EventKind::SyncRelease,
+                                *site as u32,
+                                now.saturating_sub(ta),
+                                now,
+                            );
+                        }
                         if let Some(t) = &telemetry2 {
                             // Record even a failing wait: the report's
                             // telemetry then shows the deadline-length
@@ -664,7 +749,12 @@ pub fn run_parallel_observed_on(
             }
             Ok(())
         };
-        match catch_unwind(AssertUnwindSafe(traverse)) {
+        let outcome = catch_unwind(AssertUnwindSafe(traverse));
+        if let Some(p) = &profiler2 {
+            let ok = matches!(outcome, Ok(Ok(()))) as u64;
+            p.record(pid, EventKind::RegionEnd, NO_SITE, ok);
+        }
+        match outcome {
             Ok(Ok(())) => {}
             Ok(Err(e)) => {
                 // A sync fault: remember it, mark this processor, and
@@ -753,6 +843,9 @@ pub fn run_parallel_observed_on(
         spans: spans.map(|s| s.drain()).unwrap_or_default(),
         failure,
         proc_errors: errors,
+        // Workers have joined, so the single-writer rings are quiescent
+        // and the merged snapshot is complete for every attempt so far.
+        profile: fabric.profiler.as_ref().map(|p| p.snapshot()),
     }
 }
 

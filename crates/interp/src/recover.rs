@@ -43,8 +43,10 @@ use crate::par::{
 use analysis::Bindings;
 use ir::Program;
 use obs::{AttemptReport, RecoveryReport, SiteActionReport};
+use runtime::events::{EventKind, NO_SITE};
 use runtime::fault::DISPATCH_SITE;
 use runtime::recovery::{FaultDisposition, Quarantine, RetryPolicy};
+use runtime::stats::StatsSnapshot;
 use runtime::Team;
 use spmd_opt::{demote_site, sync_sites, SpmdProgram};
 use std::collections::BTreeSet;
@@ -119,6 +121,10 @@ pub struct RecoveryOutcome {
     pub final_plan: SpmdProgram,
     /// Array cells in the write-set checkpoint.
     pub checkpoint_cells: usize,
+    /// Sync stats summed over *every* attempt (the fabric clears its
+    /// counters on reset, so [`RecoveryOutcome::outcome`] covers only
+    /// the final attempt; metrics totals must use this field).
+    pub total_stats: StatsSnapshot,
     program: String,
     nprocs: usize,
     deadline_ms: f64,
@@ -183,6 +189,16 @@ pub fn run_parallel_recovering(
     let events = unroll(prog, bind, plan);
     let checkpoint = Checkpoint::capture(prog, bind, &events, mem);
     let fabric = SyncFabric::for_plan_with(opts, prog, bind, plan);
+    // Supervisor-side profile marks go on the extra track past the
+    // workers' (index `nprocs`), so they never race a worker's ring.
+    if let Some(p) = fabric.profiler() {
+        p.record(
+            p.supervisor_track(),
+            EventKind::Checkpoint,
+            NO_SITE,
+            checkpoint.elem_cells() as u64,
+        );
+    }
     let mut working = plan.clone();
     let masked = opts
         .chaos
@@ -193,6 +209,7 @@ pub fn run_parallel_recovering(
     let mut demoted: Vec<(usize, String)> = Vec::new();
     let max_attempts = policy.max_attempts.max(1);
     let mut attempt = 0u32;
+    let mut total_stats = StatsSnapshot::default();
     loop {
         attempt += 1;
         let mut aopts = opts.clone();
@@ -200,6 +217,7 @@ pub fn run_parallel_recovering(
             aopts.chaos = Some(Arc::clone(m) as Arc<dyn SyncChaos>);
         }
         let out = run_parallel_observed_on(prog, bind, &working, mem, team, &aopts, &fabric);
+        total_stats.merge(&out.stats);
         let failed = out.failure.is_some();
         if !failed || attempt >= max_attempts {
             return RecoveryOutcome {
@@ -211,6 +229,7 @@ pub fn run_parallel_recovering(
                 fault_counts: ledger.fault_counts(),
                 final_plan: working,
                 checkpoint_cells: checkpoint.elem_cells(),
+                total_stats,
                 program: prog.name.clone(),
                 nprocs: bind.nprocs as usize,
                 deadline_ms: deadline.as_secs_f64() * 1e3,
@@ -273,8 +292,21 @@ pub fn run_parallel_recovering(
             barrier_episodes: out.stats.barrier_episodes,
             counter_increments: out.stats.counter_increments,
             neighbor_posts: out.stats.neighbor_posts,
+            spin_rounds: out.stats.spin_rounds,
+            yield_rounds: out.stats.yield_rounds,
+            parks: out.stats.parks,
         });
         checkpoint.rollback(mem);
+        if let Some(p) = fabric.profiler() {
+            let track = p.supervisor_track();
+            p.record(
+                track,
+                EventKind::Rollback,
+                NO_SITE,
+                checkpoint.elem_cells() as u64,
+            );
+            p.record(track, EventKind::Retry, NO_SITE, attempt as u64);
+        }
         fabric.reset();
         std::thread::sleep(backoff);
     }

@@ -23,6 +23,7 @@ pub mod explain;
 pub mod failure;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod recovery;
 pub mod trace;
 
@@ -30,6 +31,10 @@ pub use explain::{explain_json, producer_str, render_analysis_stats, render_deci
 pub use failure::{failure_json, render_failure, FailureCause, FailureReport};
 pub use json::{parse, Json};
 pub use metrics::{metrics_json, render_site_table};
+pub use profile::{
+    analyze, observed_vs_predicted, profile_json, render_profile, render_saved_wait, OvpRow,
+    ProfileMarks, ProfileReport, SiteProfile,
+};
 pub use recovery::{
     recovery_json, render_recovery, AttemptReport, RecoveryReport, SiteActionReport,
 };

@@ -1,0 +1,837 @@
+//! Profile analysis: critical path, imbalance, and the
+//! observed-vs-predicted explain loop.
+//!
+//! The executor returns a merged [`ProfileData`] stream (see
+//! [`runtime::events`]); this module turns it into per-site facts:
+//!
+//! * **critical-path contribution** — sync episodes are aligned across
+//!   processors by their dynamic visit number (`SyncArrive.arg`), so
+//!   episode *k* at site *s* is every processor's *k*-th arrival there.
+//!   The last arriver gated the episode; the gap between the last and
+//!   second-last arrival is the slice of wall-clock only that site's
+//!   imbalance can explain, and it is attributed to the last arriver.
+//! * **load imbalance** — per-site last-arriver counts per processor,
+//!   per-processor wait totals, and a log₂ histogram of per-arrival
+//!   *slack* (how far before the last arriver each processor showed
+//!   up), reusing the bucket layout of [`runtime::telemetry`].
+//! * **observed vs predicted** — [`observed_vs_predicted`] joins two
+//!   profiled runs against the optimizer's decision log: the *baseline*
+//!   is the optimized plan with every decision site demoted back to a
+//!   barrier (`spmd_opt::demote_sites`), so both runs share one
+//!   canonical site walk and the per-site wait delta is exactly the
+//!   wait the optimizer's placement saved (or did not).
+//!
+//! Ring overflow never invalidates a report: drops are counted per
+//! [`ProfileData::dropped`] and surfaced in every rendering, and the
+//! accounting identity `attempted == events + dropped` is checkable by
+//! consumers ("zero *unreported* drops", not "zero drops").
+
+use crate::json::Json;
+use runtime::events::{EventKind, ProfileData, NO_SITE};
+use runtime::telemetry::{SiteMeta, WaitHistogram, HIST_BUCKETS};
+
+/// Aggregated profile facts for one canonical sync site.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SiteProfile {
+    /// Canonical site id.
+    pub site: usize,
+    /// Slot label from the canonical walk (empty when the stream holds
+    /// a site the meta list does not know).
+    pub label: String,
+    /// The placed sync op's short name ("barrier", "neighbor flags",
+    /// "counter", "eliminated").
+    pub op: String,
+    /// Complete episodes (all `nprocs` arrivals observed).
+    pub episodes: u64,
+    /// Arrivals that could not be matched into a complete episode
+    /// (faulted attempts, ring drops).
+    pub partial_arrivals: u64,
+    /// Per-processor blocked time at this site, from release records.
+    pub wait_ns_by_pid: Vec<u64>,
+    /// Longest single wait seen at this site.
+    pub max_wait_ns: u64,
+    /// Critical-path contribution: Σ over episodes of
+    /// (last − second-last arrival).
+    pub crit_ns: u64,
+    /// Total arrival spread: Σ over episodes of (last − first arrival).
+    pub spread_ns: u64,
+    /// How often each processor was the episode's last arriver.
+    pub last_count_by_pid: Vec<u64>,
+    /// Critical-path nanoseconds attributed to each processor (summed
+    /// over the episodes it arrived last in).
+    pub crit_ns_by_pid: Vec<u64>,
+    /// Log₂ histogram of per-arrival slack (last arrival − this
+    /// arrival), bucket layout of [`WaitHistogram`].
+    pub slack_hist: [u64; HIST_BUCKETS],
+    /// Spin→yield escalations inside this site's waits.
+    pub yields: u64,
+    /// Yield→park escalations inside this site's waits.
+    pub parks: u64,
+}
+
+impl SiteProfile {
+    fn new(site: usize, nprocs: usize) -> Self {
+        SiteProfile {
+            site,
+            label: String::new(),
+            op: String::new(),
+            episodes: 0,
+            partial_arrivals: 0,
+            wait_ns_by_pid: vec![0; nprocs],
+            max_wait_ns: 0,
+            crit_ns: 0,
+            spread_ns: 0,
+            last_count_by_pid: vec![0; nprocs],
+            crit_ns_by_pid: vec![0; nprocs],
+            slack_hist: [0; HIST_BUCKETS],
+            yields: 0,
+            parks: 0,
+        }
+    }
+
+    /// Total blocked time across processors.
+    pub fn wait_ns(&self) -> u64 {
+        self.wait_ns_by_pid.iter().sum()
+    }
+
+    /// The processor most often last to arrive (`None` when the site
+    /// had no complete episode).
+    pub fn worst_pid(&self) -> Option<usize> {
+        let (pid, &n) = self
+            .last_count_by_pid
+            .iter()
+            .enumerate()
+            .max_by_key(|&(pid, &n)| (n, std::cmp::Reverse(pid)))?;
+        (n > 0).then_some(pid)
+    }
+}
+
+/// Supervisor / ambient event totals of one profiled execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProfileMarks {
+    /// Write-set checkpoints captured.
+    pub checkpoints: u64,
+    /// Rollbacks to the checkpoint.
+    pub rollbacks: u64,
+    /// Retries launched after a failed attempt.
+    pub retries: u64,
+    /// Spin→yield escalations (all, including outside sync waits).
+    pub yields: u64,
+    /// Yield→park escalations.
+    pub parks: u64,
+    /// Optimizer pair queries answered warm (memo hit).
+    pub fme_hits: u64,
+    /// Optimizer pair queries that ran fresh FME scans.
+    pub fme_misses: u64,
+    /// Nanoseconds inside warm pair queries.
+    pub fme_hit_ns: u64,
+    /// Nanoseconds inside fresh pair queries.
+    pub fme_miss_ns: u64,
+}
+
+/// The analyzed profile of one execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileReport {
+    /// Worker count the stream was recorded with.
+    pub nprocs: usize,
+    /// Writer tracks (workers + supervisor).
+    pub tracks: usize,
+    /// Ring capacity per track.
+    pub capacity: usize,
+    /// Events overwritten by ring overflow (reported, never silent).
+    pub dropped: u64,
+    /// Live events analyzed.
+    pub events: u64,
+    /// Recovery epochs spanned (1 = single clean attempt).
+    pub epochs: u64,
+    /// Per-site facts, sorted by site id.
+    pub sites: Vec<SiteProfile>,
+    /// Per-processor region wall-clock (Σ RegionEnd − RegionBegin).
+    pub region_ns_by_pid: Vec<u64>,
+    /// Supervisor and ambient totals.
+    pub marks: ProfileMarks,
+}
+
+impl ProfileReport {
+    /// Total critical-path nanoseconds across sites.
+    pub fn total_crit_ns(&self) -> u64 {
+        self.sites.iter().map(|s| s.crit_ns).sum()
+    }
+
+    /// Total blocked nanoseconds across sites and processors.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.sites.iter().map(|s| s.wait_ns()).sum()
+    }
+
+    /// The site facts for `site`, if the stream saw it.
+    pub fn site(&self, site: usize) -> Option<&SiteProfile> {
+        self.sites.iter().find(|s| s.site == site)
+    }
+}
+
+/// Analyze a merged event stream against the plan's site walk.
+///
+/// `metas` is the canonical site list ([`crate::site_metas`]) of the
+/// plan the run executed; sites present in the stream but not in
+/// `metas` (possible after a plan mutation) keep empty labels rather
+/// than being dropped.
+pub fn analyze(data: &ProfileData, metas: &[SiteMeta], nprocs: usize) -> ProfileReport {
+    let nprocs = nprocs.max(1);
+    let mut sites: Vec<SiteProfile> = Vec::new();
+    let site_ix = |sites: &mut Vec<SiteProfile>, id: usize| -> usize {
+        match sites.binary_search_by_key(&id, |s| s.site) {
+            Ok(k) => k,
+            Err(k) => {
+                sites.insert(k, SiteProfile::new(id, nprocs));
+                k
+            }
+        }
+    };
+
+    // Pass 1: waits, escalation attribution, region spans, marks.
+    // Per-track state is enough: events within one track are in
+    // recording order after the (t_ns, track) merge sort, because each
+    // single-writer track's timestamps are monotone.
+    let mut open_site: Vec<Option<usize>> = vec![None; data.tracks.max(1)];
+    let mut region_begin: Vec<Option<u64>> = vec![None; data.tracks.max(1)];
+    let mut region_ns_by_pid = vec![0u64; nprocs];
+    let mut marks = ProfileMarks::default();
+    let mut max_epoch = 0u8;
+    for e in &data.events {
+        max_epoch = max_epoch.max(e.epoch);
+        let track = (e.track as usize).min(open_site.len() - 1);
+        match e.kind {
+            EventKind::SyncArrive => open_site[track] = Some(e.site as usize),
+            EventKind::SyncRelease => {
+                let k = site_ix(&mut sites, e.site as usize);
+                if (track) < nprocs {
+                    sites[k].wait_ns_by_pid[track] += e.arg;
+                }
+                sites[k].max_wait_ns = sites[k].max_wait_ns.max(e.arg);
+                open_site[track] = None;
+            }
+            EventKind::RegionBegin => region_begin[track] = Some(e.t_ns),
+            EventKind::RegionEnd => {
+                if let (Some(t0), true) = (region_begin[track].take(), track < nprocs) {
+                    region_ns_by_pid[track] += e.t_ns.saturating_sub(t0);
+                }
+            }
+            EventKind::EscalateYield => {
+                marks.yields += 1;
+                if let Some(s) = open_site[track] {
+                    let k = site_ix(&mut sites, s);
+                    sites[k].yields += 1;
+                }
+            }
+            EventKind::EscalatePark => {
+                marks.parks += 1;
+                if let Some(s) = open_site[track] {
+                    let k = site_ix(&mut sites, s);
+                    sites[k].parks += 1;
+                }
+            }
+            EventKind::Checkpoint => marks.checkpoints += 1,
+            EventKind::Rollback => marks.rollbacks += 1,
+            EventKind::Retry => marks.retries += 1,
+            EventKind::FmeHit => {
+                marks.fme_hits += 1;
+                marks.fme_hit_ns += e.arg;
+            }
+            EventKind::FmeMiss => {
+                marks.fme_misses += 1;
+                marks.fme_miss_ns += e.arg;
+            }
+        }
+    }
+
+    // Pass 2: episode alignment. Key = (epoch, site, visit); an episode
+    // is complete when all nprocs arrivals are present.
+    use std::collections::HashMap;
+    let mut episodes: HashMap<(u8, u32, u64), Vec<u64>> = HashMap::new();
+    for e in &data.events {
+        if e.kind == EventKind::SyncArrive && e.site != NO_SITE {
+            episodes
+                .entry((e.epoch, e.site, e.arg))
+                .or_default()
+                .push(e.t_ns);
+        }
+    }
+    for ((_, site, _), mut arrivals) in episodes {
+        let k = site_ix(&mut sites, site as usize);
+        if arrivals.len() != nprocs {
+            sites[k].partial_arrivals += arrivals.len() as u64;
+            continue;
+        }
+        // Arrival order: who showed up when. The merge sorted the
+        // stream globally but this vector collects per-pid times in
+        // track order, so sort by time while remembering the pid.
+        let mut by_pid: Vec<(u64, usize)> = arrivals
+            .drain(..)
+            .enumerate()
+            .map(|(p, t)| (t, p))
+            .collect();
+        by_pid.sort();
+        let (t_first, _) = by_pid[0];
+        let (t_last, last_pid) = by_pid[nprocs - 1];
+        let crit = if nprocs >= 2 {
+            t_last - by_pid[nprocs - 2].0
+        } else {
+            0
+        };
+        sites[k].episodes += 1;
+        sites[k].crit_ns += crit;
+        sites[k].spread_ns += t_last - t_first;
+        sites[k].last_count_by_pid[last_pid] += 1;
+        sites[k].crit_ns_by_pid[last_pid] += crit;
+        for &(t, _) in &by_pid {
+            sites[k].slack_hist[WaitHistogram::bucket_of(t_last - t)] += 1;
+        }
+    }
+
+    for s in &mut sites {
+        if let Some(m) = metas.iter().find(|m| m.id == s.site) {
+            s.label = m.label.clone();
+            s.op = m.op.clone();
+        }
+    }
+
+    ProfileReport {
+        nprocs,
+        tracks: data.tracks,
+        capacity: data.capacity,
+        dropped: data.dropped,
+        events: data.events.len() as u64,
+        epochs: max_epoch as u64 + 1,
+        sites,
+        region_ns_by_pid,
+        marks,
+    }
+}
+
+/// One row of the observed-vs-predicted join: what the optimizer did at
+/// a site, and what the wait delta between the barrier baseline and the
+/// optimized run actually was.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OvpRow {
+    /// Canonical site id (same walk in both plans).
+    pub site: usize,
+    /// Slot label.
+    pub label: String,
+    /// What the optimizer placed ("eliminated", "neighbor flags",
+    /// "counter").
+    pub placed: String,
+    /// The optimizer's reason string from the decision log.
+    pub reason: String,
+    /// Blocked time at this site in the all-barrier baseline run.
+    pub baseline_wait_ns: u64,
+    /// Blocked time at this site in the optimized run (0 for an
+    /// eliminated site — there is nothing to wait on).
+    pub observed_wait_ns: u64,
+    /// Baseline − observed (negative when the replacement waited
+    /// *longer* than the barrier it replaced).
+    pub saved_wait_ns: i64,
+    /// Critical-path contribution in the baseline run.
+    pub baseline_crit_ns: u64,
+    /// Critical-path contribution in the optimized run.
+    pub observed_crit_ns: u64,
+    /// True when the placement saved wall-wait as predicted.
+    pub realized: bool,
+}
+
+/// Join the decision log against a baseline and an optimized profile.
+///
+/// Emits one row per decision whose placement differs from a kept
+/// barrier — exactly the sites where the optimizer claimed a win. The
+/// baseline profile must come from the optimized plan with those same
+/// sites demoted (`spmd_opt::demote_sites`), which keeps the canonical
+/// walk — and therefore every site id — identical between the runs.
+pub fn observed_vs_predicted(
+    decisions: &[spmd_opt::Decision],
+    baseline: &ProfileReport,
+    optimized: &ProfileReport,
+) -> Vec<OvpRow> {
+    decisions
+        .iter()
+        .filter(|d| !matches!(d.placed, spmd_opt::SyncOp::Barrier))
+        .map(|d| {
+            let base = baseline.site(d.site);
+            let opt = optimized.site(d.site);
+            let baseline_wait_ns = base.map(|s| s.wait_ns()).unwrap_or(0);
+            let observed_wait_ns = opt.map(|s| s.wait_ns()).unwrap_or(0);
+            let saved = baseline_wait_ns as i64 - observed_wait_ns as i64;
+            OvpRow {
+                site: d.site,
+                label: d.label.clone(),
+                placed: d.placed_str().to_string(),
+                reason: d.reason.clone(),
+                baseline_wait_ns,
+                observed_wait_ns,
+                saved_wait_ns: saved,
+                baseline_crit_ns: base.map(|s| s.crit_ns).unwrap_or(0),
+                observed_crit_ns: opt.map(|s| s.crit_ns).unwrap_or(0),
+                realized: saved > 0,
+            }
+        })
+        .collect()
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn fmt_ns_i(ns: i64) -> String {
+    if ns < 0 {
+        format!("-{}", fmt_ns(ns.unsigned_abs()))
+    } else {
+        fmt_ns(ns as u64)
+    }
+}
+
+/// The human-readable critical-path and imbalance table (what
+/// `beopt --run --profile` prints).
+pub fn render_profile(r: &ProfileReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "--- sync profile (P={}, {} epoch(s), {} events, {} dropped) ---\n",
+        r.nprocs, r.epochs, r.events, r.dropped
+    ));
+    let total_crit = r.total_crit_ns();
+    out.push_str(&format!(
+        "{:<5} {:<14} {:<30} {:>6} {:>10} {:>6} {:>10} {:>10} {:>9}\n",
+        "site", "sync", "label", "eps", "crit", "%crit", "spread", "wait", "last-most"
+    ));
+    for s in &r.sites {
+        let pct = if total_crit > 0 {
+            format!("{:.1}%", s.crit_ns as f64 * 100.0 / total_crit as f64)
+        } else {
+            "-".to_string()
+        };
+        let worst = match s.worst_pid() {
+            Some(p) => format!("P{p}×{}", s.last_count_by_pid[p]),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "s{:<4} {:<14} {:<30} {:>6} {:>10} {:>6} {:>10} {:>10} {:>9}\n",
+            s.site,
+            s.op,
+            s.label,
+            s.episodes,
+            fmt_ns(s.crit_ns),
+            pct,
+            fmt_ns(s.spread_ns),
+            fmt_ns(s.wait_ns()),
+            worst,
+        ));
+    }
+    out.push_str(&format!(
+        "critical path {} | wait {} | escalations {}y/{}p",
+        fmt_ns(total_crit),
+        fmt_ns(r.total_wait_ns()),
+        r.marks.yields,
+        r.marks.parks
+    ));
+    if r.marks.retries > 0 || r.marks.rollbacks > 0 {
+        out.push_str(&format!(
+            " | recovery {}ckpt/{}rb/{}retry",
+            r.marks.checkpoints, r.marks.rollbacks, r.marks.retries
+        ));
+    }
+    if r.marks.fme_hits + r.marks.fme_misses > 0 {
+        out.push_str(&format!(
+            " | fme {}h/{}m {}",
+            r.marks.fme_hits,
+            r.marks.fme_misses,
+            fmt_ns(r.marks.fme_hit_ns + r.marks.fme_miss_ns)
+        ));
+    }
+    out.push('\n');
+    if r.dropped > 0 {
+        out.push_str(&format!(
+            "note: ring overflow dropped {} oldest events (capacity {}/track); totals under-count\n",
+            r.dropped, r.capacity
+        ));
+    }
+    out
+}
+
+/// The observed-vs-predicted table: per eliminated/replaced site, what
+/// the barrier baseline waited there vs what the optimized run did.
+pub fn render_saved_wait(rows: &[OvpRow]) -> String {
+    let mut out = String::new();
+    out.push_str("--- observed vs predicted ---\n");
+    if rows.is_empty() {
+        out.push_str("(the optimizer kept every barrier — nothing to compare)\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "{:<5} {:<30} {:<15} {:>12} {:>12} {:>12} {:>9}\n",
+        "site", "label", "placed", "base-wait", "obs-wait", "saved", "realized"
+    ));
+    let mut total_saved = 0i64;
+    for row in rows {
+        total_saved += row.saved_wait_ns;
+        out.push_str(&format!(
+            "s{:<4} {:<30} {:<15} {:>12} {:>12} {:>12} {:>9}\n",
+            row.site,
+            row.label,
+            row.placed,
+            fmt_ns(row.baseline_wait_ns),
+            fmt_ns(row.observed_wait_ns),
+            fmt_ns_i(row.saved_wait_ns),
+            if row.realized { "yes" } else { "no" },
+        ));
+    }
+    let realized = rows.iter().filter(|r| r.realized).count();
+    out.push_str(&format!(
+        "saved {} across {} site(s); {}/{} realized the predicted win\n",
+        fmt_ns_i(total_saved),
+        rows.len(),
+        realized,
+        rows.len()
+    ));
+    out
+}
+
+fn hist_json(hist: &[u64; HIST_BUCKETS]) -> Json {
+    let mut j = Json::obj();
+    for (k, &c) in hist.iter().enumerate() {
+        if c > 0 {
+            j = j.set(&WaitHistogram::bucket_floor(k).to_string(), c);
+        }
+    }
+    j
+}
+
+fn u64s(v: &[u64]) -> Json {
+    Json::Arr(v.iter().map(|&x| Json::Num(x as f64)).collect())
+}
+
+/// The profile document (what `--profile-json` writes). Deterministic
+/// member order; round-trips through [`crate::json::parse`].
+pub fn profile_json(program: &str, r: &ProfileReport, ovp: Option<&[OvpRow]>) -> Json {
+    let sites: Vec<Json> = r
+        .sites
+        .iter()
+        .map(|s| {
+            Json::obj()
+                .set("site", s.site)
+                .set("label", s.label.as_str())
+                .set("sync", s.op.as_str())
+                .set("episodes", s.episodes)
+                .set("partial_arrivals", s.partial_arrivals)
+                .set("crit_ns", s.crit_ns)
+                .set("spread_ns", s.spread_ns)
+                .set("wait_ns", s.wait_ns())
+                .set("max_wait_ns", s.max_wait_ns)
+                .set("wait_ns_by_pid", u64s(&s.wait_ns_by_pid))
+                .set("last_count_by_pid", u64s(&s.last_count_by_pid))
+                .set("crit_ns_by_pid", u64s(&s.crit_ns_by_pid))
+                .set("slack_hist", hist_json(&s.slack_hist))
+                .set("yields", s.yields)
+                .set("parks", s.parks)
+        })
+        .collect();
+    let mut doc = Json::obj()
+        .set("program", program)
+        .set("nprocs", r.nprocs)
+        .set("tracks", r.tracks)
+        .set("capacity", r.capacity)
+        .set("events", r.events)
+        .set("dropped", r.dropped)
+        .set("attempted", r.events + r.dropped)
+        .set("epochs", r.epochs)
+        .set("total_crit_ns", r.total_crit_ns())
+        .set("total_wait_ns", r.total_wait_ns())
+        .set("region_ns_by_pid", u64s(&r.region_ns_by_pid))
+        .set(
+            "marks",
+            Json::obj()
+                .set("checkpoints", r.marks.checkpoints)
+                .set("rollbacks", r.marks.rollbacks)
+                .set("retries", r.marks.retries)
+                .set("yields", r.marks.yields)
+                .set("parks", r.marks.parks)
+                .set("fme_hits", r.marks.fme_hits)
+                .set("fme_misses", r.marks.fme_misses)
+                .set("fme_hit_ns", r.marks.fme_hit_ns)
+                .set("fme_miss_ns", r.marks.fme_miss_ns),
+        )
+        .set("sites", Json::Arr(sites));
+    if let Some(rows) = ovp {
+        doc = doc.set(
+            "observed_vs_predicted",
+            Json::Arr(
+                rows.iter()
+                    .map(|row| {
+                        Json::obj()
+                            .set("site", row.site)
+                            .set("label", row.label.as_str())
+                            .set("placed", row.placed.as_str())
+                            .set("reason", row.reason.as_str())
+                            .set("baseline_wait_ns", row.baseline_wait_ns)
+                            .set("observed_wait_ns", row.observed_wait_ns)
+                            .set("saved_wait_ns", Json::Num(row.saved_wait_ns as f64))
+                            .set("baseline_crit_ns", row.baseline_crit_ns)
+                            .set("observed_crit_ns", row.observed_crit_ns)
+                            .set("realized", row.realized)
+                    })
+                    .collect(),
+            ),
+        );
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use runtime::events::{ProfileEvent, ProfileOptions, Profiler};
+
+    fn meta(id: usize, label: &str, op: &str) -> SiteMeta {
+        SiteMeta {
+            id,
+            kind: "phase-after".into(),
+            label: label.into(),
+            op: op.into(),
+        }
+    }
+
+    fn ev(kind: EventKind, site: u32, track: u16, arg: u64, t_ns: u64) -> ProfileEvent {
+        ProfileEvent {
+            t_ns,
+            arg,
+            site,
+            track,
+            epoch: 0,
+            kind,
+        }
+    }
+
+    /// Two processors, two episodes at site 0. P1 arrives last both
+    /// times, 100ns and 50ns after P0.
+    fn two_episode_data() -> ProfileData {
+        let p = Profiler::new(2, ProfileOptions { capacity: 64 });
+        p.record_at(0, EventKind::RegionBegin, NO_SITE, 0, 0);
+        p.record_at(1, EventKind::RegionBegin, NO_SITE, 0, 5);
+        p.record_at(0, EventKind::SyncArrive, 0, 0, 100);
+        p.record_at(1, EventKind::SyncArrive, 0, 0, 200);
+        p.record_at(0, EventKind::SyncRelease, 0, 110, 210);
+        p.record_at(1, EventKind::SyncRelease, 0, 10, 210);
+        p.record_at(0, EventKind::SyncArrive, 0, 1, 300);
+        p.record_at(1, EventKind::SyncArrive, 0, 1, 350);
+        p.record_at(0, EventKind::SyncRelease, 0, 60, 360);
+        p.record_at(1, EventKind::SyncRelease, 0, 10, 360);
+        p.record_at(0, EventKind::RegionEnd, NO_SITE, 1, 400);
+        p.record_at(1, EventKind::RegionEnd, NO_SITE, 1, 405);
+        p.snapshot()
+    }
+
+    #[test]
+    fn last_arriver_attribution_finds_the_straggler() {
+        let data = two_episode_data();
+        let r = analyze(&data, &[meta(0, "after DOALL i", "barrier")], 2);
+        assert_eq!(r.sites.len(), 1);
+        let s = &r.sites[0];
+        assert_eq!(s.episodes, 2);
+        assert_eq!(s.partial_arrivals, 0);
+        // Episode 0: last−second-last = 200−100 = 100; episode 1: 50.
+        assert_eq!(s.crit_ns, 150);
+        assert_eq!(s.spread_ns, 150);
+        assert_eq!(s.last_count_by_pid, vec![0, 2]);
+        assert_eq!(s.crit_ns_by_pid, vec![0, 150]);
+        assert_eq!(s.worst_pid(), Some(1));
+        assert_eq!(s.wait_ns_by_pid, vec![170, 20]);
+        assert_eq!(s.max_wait_ns, 110);
+        assert_eq!(s.label, "after DOALL i");
+        assert_eq!(r.region_ns_by_pid, vec![400, 400]);
+        assert_eq!(r.total_crit_ns(), 150);
+        // Slack histogram: 2 last-arrivals at slack 0 (bucket 0), one
+        // at 100 (bucket 6: [64,128)), one at 50 (bucket 5: [32,64)).
+        assert_eq!(s.slack_hist[0], 2);
+        assert_eq!(s.slack_hist[6], 1);
+        assert_eq!(s.slack_hist[5], 1);
+    }
+
+    #[test]
+    fn incomplete_episodes_are_counted_not_attributed() {
+        let p = Profiler::new(3, ProfileOptions { capacity: 16 });
+        // Only 2 of 3 arrivals: the faulted attempt's torn episode.
+        p.record_at(0, EventKind::SyncArrive, 4, 0, 10);
+        p.record_at(1, EventKind::SyncArrive, 4, 0, 20);
+        let r = analyze(&p.snapshot(), &[], 3);
+        let s = r.site(4).unwrap();
+        assert_eq!(s.episodes, 0);
+        assert_eq!(s.crit_ns, 0);
+        assert_eq!(s.partial_arrivals, 2);
+    }
+
+    #[test]
+    fn escalations_attribute_to_the_enclosing_wait() {
+        let evs = vec![
+            ev(EventKind::SyncArrive, 2, 0, 0, 100),
+            ev(EventKind::EscalateYield, NO_SITE, 0, 64, 150),
+            ev(EventKind::EscalatePark, NO_SITE, 0, 256, 180),
+            ev(EventKind::SyncRelease, 2, 0, 120, 220),
+            // Outside any wait: counted globally, not per-site.
+            ev(EventKind::EscalateYield, NO_SITE, 0, 4, 300),
+        ];
+        let data = ProfileData {
+            tracks: 1,
+            capacity: 16,
+            dropped: 0,
+            events: evs,
+        };
+        let r = analyze(&data, &[], 1);
+        let s = r.site(2).unwrap();
+        assert_eq!((s.yields, s.parks), (1, 1));
+        assert_eq!((r.marks.yields, r.marks.parks), (2, 1));
+    }
+
+    #[test]
+    fn supervisor_marks_and_fme_totals_roll_up() {
+        let evs = vec![
+            ev(EventKind::FmeMiss, NO_SITE, 0, 1000, 1),
+            ev(EventKind::FmeHit, NO_SITE, 0, 10, 2),
+            ev(EventKind::Checkpoint, NO_SITE, 1, 46, 3),
+            ev(EventKind::Rollback, NO_SITE, 1, 46, 4),
+            ev(EventKind::Retry, NO_SITE, 1, 1, 5),
+        ];
+        let data = ProfileData {
+            tracks: 2,
+            capacity: 16,
+            dropped: 0,
+            events: evs,
+        };
+        let r = analyze(&data, &[], 1);
+        assert_eq!(r.marks.fme_hits, 1);
+        assert_eq!(r.marks.fme_misses, 1);
+        assert_eq!(r.marks.fme_hit_ns, 10);
+        assert_eq!(r.marks.fme_miss_ns, 1000);
+        assert_eq!(r.marks.checkpoints, 1);
+        assert_eq!(r.marks.rollbacks, 1);
+        assert_eq!(r.marks.retries, 1);
+    }
+
+    fn decision(site: usize, label: &str, placed: spmd_opt::SyncOp) -> spmd_opt::Decision {
+        spmd_opt::Decision {
+            site,
+            label: label.into(),
+            kind: spmd_opt::SlotKind::PhaseAfter,
+            outcome: None,
+            producer: None,
+            placed,
+            src_stmts: 1,
+            dst_stmts: 1,
+            reason: "test".into(),
+        }
+    }
+
+    #[test]
+    fn observed_vs_predicted_joins_on_site_id() {
+        let mk = |crit: u64, wait: u64| {
+            let mut s = SiteProfile::new(1, 2);
+            s.crit_ns = crit;
+            s.wait_ns_by_pid = vec![wait / 2; 2];
+            ProfileReport {
+                nprocs: 2,
+                tracks: 2,
+                capacity: 64,
+                dropped: 0,
+                events: 4,
+                epochs: 1,
+                sites: vec![s],
+                region_ns_by_pid: vec![0, 0],
+                marks: ProfileMarks::default(),
+            }
+        };
+        let base = mk(500, 10_000);
+        let opt = mk(100, 2_000);
+        let decisions = vec![
+            decision(1, "after DOALL i", spmd_opt::SyncOp::None),
+            decision(3, "end of region r0", spmd_opt::SyncOp::Barrier),
+        ];
+        let rows = observed_vs_predicted(&decisions, &base, &opt);
+        // The kept barrier produces no row; the eliminated site joins.
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.site, 1);
+        assert_eq!(row.placed, "eliminated");
+        assert_eq!(row.baseline_wait_ns, 10_000);
+        assert_eq!(row.observed_wait_ns, 2_000);
+        assert_eq!(row.saved_wait_ns, 8_000);
+        assert!(row.realized);
+        // A site missing from the optimized profile (truly eliminated —
+        // no events at all) observes zero wait.
+        let empty = ProfileReport {
+            sites: Vec::new(),
+            ..opt.clone()
+        };
+        let rows = observed_vs_predicted(&decisions, &base, &empty);
+        assert_eq!(rows[0].observed_wait_ns, 0);
+        assert_eq!(rows[0].saved_wait_ns, 10_000);
+    }
+
+    #[test]
+    fn negative_savings_render_and_report_unrealized() {
+        let row = OvpRow {
+            site: 2,
+            label: "bottom of DO t".into(),
+            placed: "counter".into(),
+            reason: "replaced".into(),
+            baseline_wait_ns: 1_000,
+            observed_wait_ns: 3_000,
+            saved_wait_ns: -2_000,
+            baseline_crit_ns: 0,
+            observed_crit_ns: 0,
+            realized: false,
+        };
+        let txt = render_saved_wait(&[row]);
+        assert!(txt.contains("-2.00us"));
+        assert!(txt.contains("0/1 realized"));
+    }
+
+    #[test]
+    fn rendering_flags_ring_drops() {
+        let data = two_episode_data();
+        let mut r = analyze(&data, &[meta(0, "after DOALL i", "barrier")], 2);
+        let txt = render_profile(&r);
+        assert!(txt.contains("0 dropped"));
+        assert!(!txt.contains("ring overflow"));
+        r.dropped = 7;
+        let txt = render_profile(&r);
+        assert!(txt.contains("ring overflow dropped 7"));
+    }
+
+    #[test]
+    fn profile_json_round_trips() {
+        let data = two_episode_data();
+        let r = analyze(&data, &[meta(0, "after DOALL i", "barrier")], 2);
+        let rows = vec![OvpRow {
+            site: 0,
+            label: "after DOALL i".into(),
+            placed: "neighbor flags".into(),
+            reason: "replaced".into(),
+            baseline_wait_ns: 190,
+            observed_wait_ns: 20,
+            saved_wait_ns: 170,
+            baseline_crit_ns: 150,
+            observed_crit_ns: 10,
+            realized: true,
+        }];
+        let doc = profile_json("jacobi", &r, Some(&rows));
+        assert_eq!(doc.get("attempted").unwrap().as_u64(), Some(r.events));
+        assert_eq!(doc.get("dropped").unwrap().as_u64(), Some(0));
+        let sites = doc.get("sites").unwrap().as_arr().unwrap();
+        assert_eq!(sites[0].get("crit_ns").unwrap().as_u64(), Some(150));
+        let ovp = doc.get("observed_vs_predicted").unwrap().as_arr().unwrap();
+        assert_eq!(ovp[0].get("saved_wait_ns").unwrap().as_num(), Some(170.0));
+        let txt = doc.to_string_pretty();
+        assert_eq!(crate::json::parse(&txt).unwrap(), doc);
+    }
+}

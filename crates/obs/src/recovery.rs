@@ -49,6 +49,12 @@ pub struct AttemptReport {
     pub counter_increments: u64,
     /// Neighbor posts during this attempt only.
     pub neighbor_posts: u64,
+    /// Spin-loop rounds during this attempt only.
+    pub spin_rounds: u64,
+    /// Yield rounds during this attempt only.
+    pub yield_rounds: u64,
+    /// Bounded parks during this attempt only.
+    pub parks: u64,
 }
 
 /// The full recovery timeline of one supervised execution.
@@ -115,6 +121,9 @@ pub fn recovery_json(r: &RecoveryReport) -> Json {
                 .set("barrier_episodes", a.barrier_episodes)
                 .set("counter_increments", a.counter_increments)
                 .set("neighbor_posts", a.neighbor_posts)
+                .set("spin_rounds", a.spin_rounds)
+                .set("yield_rounds", a.yield_rounds)
+                .set("parks", a.parks)
         })
         .collect();
     let mut doc = Json::obj()
@@ -250,6 +259,9 @@ mod tests {
                     barrier_episodes: 1,
                     counter_increments: 3,
                     neighbor_posts: 0,
+                    spin_rounds: 40,
+                    yield_rounds: 6,
+                    parks: 1,
                 },
                 AttemptReport {
                     attempt: 2,
@@ -265,6 +277,9 @@ mod tests {
                     barrier_episodes: 2,
                     counter_increments: 0,
                     neighbor_posts: 0,
+                    spin_rounds: 12,
+                    yield_rounds: 0,
+                    parks: 0,
                 },
             ],
             demoted: vec![(2, "after DOALL i".to_string())],
@@ -288,6 +303,9 @@ mod tests {
         assert_eq!(act.get("action").unwrap().as_str(), Some("demote"));
         assert_eq!(act.get("site").unwrap().as_u64(), Some(2));
         assert_eq!(a0.get("backoff_ms").unwrap().as_u64(), Some(5));
+        assert_eq!(a0.get("spin_rounds").unwrap().as_u64(), Some(40));
+        assert_eq!(a0.get("yield_rounds").unwrap().as_u64(), Some(6));
+        assert_eq!(a0.get("parks").unwrap().as_u64(), Some(1));
         let txt = doc.to_string_pretty();
         assert_eq!(crate::json::parse(&txt).unwrap(), doc);
     }

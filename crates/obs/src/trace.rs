@@ -9,8 +9,18 @@
 //! Within one track, events are emitted in timestamp order with `E`
 //! before `B` at equal timestamps, so adjacent spans (a wait ending
 //! exactly where the next phase begins) nest correctly.
+//!
+//! Beyond plain duration events the writer knows three more classes,
+//! used by the profiler ([`TraceBuilder::extend_with_profile`]):
+//! instants (`ph:"i"` — escalation transitions, recovery marks), async
+//! spans (`ph:"b"`/`"e"` — FME pair-query spans, which may interleave
+//! and so cannot nest as B/E), and flow arrows (`ph:"s"`/`"f"` — one
+//! per site pointing from the first arriver of the site's worst
+//! episode to the straggler that gated it).
 
 use crate::json::Json;
+use runtime::events::{EventKind, ProfileData, NO_SITE};
+use runtime::telemetry::SiteMeta;
 
 /// Span categories (the trace viewer colors by category).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -50,12 +60,30 @@ pub struct Span {
     pub end_us: u64,
 }
 
+/// A non-duration trace point (instant, async endpoint, or flow
+/// endpoint) on any track, including named extra tracks past the
+/// processor range.
+#[derive(Clone, Debug)]
+struct ExtraEvent {
+    tid: usize,
+    name: String,
+    cat: &'static str,
+    ts_us: u64,
+    /// Trace phase: `"i"`, `"b"`, `"e"`, `"s"`, or `"f"`.
+    ph: &'static str,
+    /// Correlation id for async (`b`/`e`) and flow (`s`/`f`) pairs.
+    id: Option<u64>,
+}
+
 /// Collects spans and emits the Chrome-trace JSON document.
 #[derive(Debug)]
 pub struct TraceBuilder {
     process_name: String,
     nprocs: usize,
     spans: Vec<Span>,
+    extras: Vec<ExtraEvent>,
+    named_tracks: Vec<(usize, String)>,
+    next_id: u64,
 }
 
 impl TraceBuilder {
@@ -65,6 +93,9 @@ impl TraceBuilder {
             process_name: process_name.into(),
             nprocs,
             spans: Vec::new(),
+            extras: Vec::new(),
+            named_tracks: Vec::new(),
+            next_id: 1,
         }
     }
 
@@ -99,6 +130,201 @@ impl TraceBuilder {
         self.spans.extend(spans);
     }
 
+    /// Label an extra track past the processor range (supervisor,
+    /// compile). Processor tracks `0..nprocs` are named automatically.
+    pub fn named_track(&mut self, tid: usize, name: impl Into<String>) {
+        let name = name.into();
+        if !self.named_tracks.iter().any(|(t, _)| *t == tid) {
+            self.named_tracks.push((tid, name));
+        }
+    }
+
+    /// Record a thread-scoped instant (`ph:"i"`).
+    pub fn instant(&mut self, tid: usize, name: impl Into<String>, cat: &'static str, ts_us: u64) {
+        self.extras.push(ExtraEvent {
+            tid,
+            name: name.into(),
+            cat,
+            ts_us,
+            ph: "i",
+            id: None,
+        });
+    }
+
+    /// Record an async span (`ph:"b"`/`"e"`): a duration that may
+    /// interleave with others on the same track, so it cannot be a
+    /// nested B/E pair.
+    pub fn async_span(
+        &mut self,
+        tid: usize,
+        name: impl Into<String>,
+        cat: &'static str,
+        start_us: u64,
+        end_us: u64,
+    ) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let name = name.into();
+        self.extras.push(ExtraEvent {
+            tid,
+            name: name.clone(),
+            cat,
+            ts_us: start_us,
+            ph: "b",
+            id: Some(id),
+        });
+        self.extras.push(ExtraEvent {
+            tid,
+            name,
+            cat,
+            ts_us: end_us.max(start_us),
+            ph: "e",
+            id: Some(id),
+        });
+    }
+
+    /// Record a flow arrow (`ph:"s"` → `"f"`) from one track/time to
+    /// another; the viewer draws it between the enclosing slices.
+    pub fn flow(
+        &mut self,
+        name: impl Into<String>,
+        cat: &'static str,
+        from: (usize, u64),
+        to: (usize, u64),
+    ) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let name = name.into();
+        self.extras.push(ExtraEvent {
+            tid: from.0,
+            name: name.clone(),
+            cat,
+            ts_us: from.1,
+            ph: "s",
+            id: Some(id),
+        });
+        self.extras.push(ExtraEvent {
+            tid: to.0,
+            name,
+            cat,
+            ts_us: to.1.max(from.1 + 1),
+            ph: "f",
+            id: Some(id),
+        });
+    }
+
+    /// Lower a merged profile-event stream onto this trace: escalation
+    /// transitions and recovery marks become instants, FME pair-query
+    /// spans become async spans, and each site's *worst* episode (the
+    /// one with the largest last-minus-second-last arrival gap) becomes
+    /// a flow arrow from its first arriver to the straggler. `tid_base`
+    /// offsets the stream's tracks — 0 maps run data onto the processor
+    /// tracks (the track past `nprocs` is named "supervisor"), while a
+    /// compile-time stream passes `nprocs + 1` and gets tracks named
+    /// from `label_prefix`.
+    pub fn extend_with_profile(
+        &mut self,
+        data: &ProfileData,
+        metas: &[SiteMeta],
+        nprocs: usize,
+        tid_base: usize,
+        label_prefix: &str,
+    ) {
+        for t in 0..data.tracks {
+            let tid = tid_base + t;
+            if tid_base == 0 && t >= nprocs {
+                self.named_track(tid, "supervisor");
+            } else if tid_base > 0 {
+                self.named_track(tid, format!("{label_prefix}{t}"));
+            }
+        }
+        let us = |ns: u64| ns / 1_000;
+        let label_of = |site: u32| {
+            metas
+                .iter()
+                .find(|m| m.id == site as usize)
+                .map(|m| m.label.clone())
+                .unwrap_or_else(|| format!("s{site}"))
+        };
+        // Per-(epoch, site, visit) arrivals for the flow pass.
+        use std::collections::HashMap;
+        let mut arrivals: HashMap<(u8, u32, u64), Vec<(u64, usize)>> = HashMap::new();
+        for e in &data.events {
+            let tid = tid_base + e.track as usize;
+            match e.kind {
+                EventKind::EscalateYield => {
+                    self.instant(tid, "escalate: spin\u{2192}yield", "escalation", us(e.t_ns))
+                }
+                EventKind::EscalatePark => {
+                    self.instant(tid, "escalate: yield\u{2192}park", "escalation", us(e.t_ns))
+                }
+                EventKind::Checkpoint => self.instant(
+                    tid,
+                    format!("checkpoint ({} cells)", e.arg),
+                    "recovery",
+                    us(e.t_ns),
+                ),
+                EventKind::Rollback => self.instant(
+                    tid,
+                    format!("rollback ({} cells)", e.arg),
+                    "recovery",
+                    us(e.t_ns),
+                ),
+                EventKind::Retry => self.instant(
+                    tid,
+                    format!("retry after attempt {}", e.arg),
+                    "recovery",
+                    us(e.t_ns),
+                ),
+                EventKind::FmeHit | EventKind::FmeMiss => {
+                    // The probe records at query end with arg = elapsed
+                    // ns: the span is [t_ns − arg, t_ns].
+                    let name = if e.kind == EventKind::FmeHit {
+                        "pair query (memo hit)"
+                    } else {
+                        "pair query (fme scan)"
+                    };
+                    self.async_span(
+                        tid,
+                        name,
+                        "fme",
+                        us(e.t_ns.saturating_sub(e.arg)),
+                        us(e.t_ns),
+                    );
+                }
+                EventKind::SyncArrive if e.site != NO_SITE => arrivals
+                    .entry((e.epoch, e.site, e.arg))
+                    .or_default()
+                    .push((e.t_ns, e.track as usize)),
+                _ => {}
+            }
+        }
+        // One flow per site: its worst complete episode only, so the
+        // timeline stays readable at any episode count.
+        let mut worst: HashMap<u32, (u64, (u64, usize), (u64, usize))> = HashMap::new();
+        for ((_, site, _), mut eps) in arrivals {
+            if eps.len() != nprocs || nprocs < 2 {
+                continue;
+            }
+            eps.sort();
+            let crit = eps[nprocs - 1].0 - eps[nprocs - 2].0;
+            let entry = worst.entry(site).or_insert((crit, eps[0], eps[nprocs - 1]));
+            if crit > entry.0 {
+                *entry = (crit, eps[0], eps[nprocs - 1]);
+            }
+        }
+        let mut worst: Vec<_> = worst.into_iter().collect();
+        worst.sort_by_key(|&(site, _)| site);
+        for (site, (_, first, last)) in worst {
+            self.flow(
+                format!("last arriver @{}", label_of(site)),
+                "crit-path",
+                (tid_base + first.1, us(first.0)),
+                (tid_base + last.1, us(last.0)),
+            );
+        }
+    }
+
     /// Number of recorded spans.
     pub fn len(&self) -> usize {
         self.spans.len()
@@ -122,26 +348,66 @@ impl TraceBuilder {
                     .set("args", Json::obj().set("name", format!("proc {pid}"))),
             );
         }
-        // (tid, ts, is_begin, insertion index): E sorts before B at equal
-        // timestamps so back-to-back spans close before the next opens.
-        let mut points: Vec<(usize, u64, bool, usize)> = Vec::new();
+        let mut named = self.named_tracks.clone();
+        named.sort();
+        for (tid, name) in &named {
+            events.push(
+                Json::obj()
+                    .set("name", "thread_name")
+                    .set("ph", "M")
+                    .set("pid", 1u64)
+                    .set("tid", *tid)
+                    .set("args", Json::obj().set("name", name.as_str())),
+            );
+        }
+        // Unified sort key (tid, ts, rank, insertion index). Rank E=0,
+        // B=1, everything else=2: at one timestamp a span closes before
+        // the next opens, and instants/async/flow points land inside
+        // whatever slice encloses them.
+        let mut points: Vec<(usize, u64, u8, usize)> = Vec::new();
         for (k, s) in self.spans.iter().enumerate() {
             let end = s.end_us.max(s.start_us + 1);
-            points.push((s.pid, s.start_us, true, k));
-            points.push((s.pid, end, false, k));
+            points.push((s.pid, s.start_us, 1, k));
+            points.push((s.pid, end, 0, k));
         }
-        points.sort_by_key(|&(tid, ts, is_begin, k)| (tid, ts, is_begin, k));
-        for (tid, ts, is_begin, k) in points {
-            let s = &self.spans[k];
-            events.push(
+        for (k, x) in self.extras.iter().enumerate() {
+            points.push((x.tid, x.ts_us, 2, self.spans.len() + k));
+        }
+        points.sort_by_key(|&(tid, ts, rank, k)| (tid, ts, rank, k));
+        for (tid, ts, rank, k) in points {
+            let ev = if rank < 2 {
+                let s = &self.spans[k];
                 Json::obj()
                     .set("name", s.name.as_str())
                     .set("cat", s.cat.as_str())
-                    .set("ph", if is_begin { "B" } else { "E" })
+                    .set("ph", if rank == 1 { "B" } else { "E" })
                     .set("ts", ts)
                     .set("pid", 1u64)
-                    .set("tid", tid),
-            );
+                    .set("tid", tid)
+            } else {
+                let x = &self.extras[k - self.spans.len()];
+                let mut ev = Json::obj()
+                    .set("name", x.name.as_str())
+                    .set("cat", x.cat)
+                    .set("ph", x.ph)
+                    .set("ts", ts)
+                    .set("pid", 1u64)
+                    .set("tid", tid);
+                if let Some(id) = x.id {
+                    ev = ev.set("id", id);
+                }
+                if x.ph == "i" {
+                    ev = ev.set("s", "t");
+                }
+                if x.ph == "f" {
+                    // Bind the arrowhead to the enclosing slice even
+                    // when the finish timestamp sits exactly on its
+                    // boundary.
+                    ev = ev.set("bp", "e");
+                }
+                ev
+            };
+            events.push(ev);
         }
         Json::obj()
             .set("traceEvents", Json::Arr(events))
@@ -210,5 +476,126 @@ mod tests {
         for (tid, d) in depth {
             assert_eq!(d, 0, "unbalanced spans on track {tid}");
         }
+    }
+
+    #[test]
+    fn instants_async_and_flows_carry_their_phases() {
+        let mut tb = TraceBuilder::new("test", 2);
+        tb.span(0, "work", SpanCat::Work, 0, 10);
+        tb.instant(0, "escalate", "escalation", 5);
+        tb.async_span(1, "pair query", "fme", 2, 8);
+        tb.flow("crit", "crit-path", (0, 3), (1, 6));
+        tb.named_track(2, "supervisor");
+        let doc = tb.to_json();
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let phase = |ph: &str| {
+            evs.iter()
+                .filter(|e| e.get("ph").unwrap().as_str() == Some(ph))
+                .count()
+        };
+        assert_eq!(phase("i"), 1);
+        assert_eq!(phase("b"), 1);
+        assert_eq!(phase("e"), 1);
+        assert_eq!(phase("s"), 1);
+        assert_eq!(phase("f"), 1);
+        // The supervisor track got thread_name metadata beside the two
+        // processor tracks.
+        assert_eq!(phase("M"), 3);
+        // Async b/e and flow s/f pairs share a correlation id.
+        let id_of = |ph: &str| {
+            evs.iter()
+                .find(|e| e.get("ph").unwrap().as_str() == Some(ph))
+                .and_then(|e| e.get("id"))
+                .and_then(Json::as_u64)
+                .unwrap()
+        };
+        assert_eq!(id_of("b"), id_of("e"));
+        assert_eq!(id_of("s"), id_of("f"));
+        assert_ne!(id_of("b"), id_of("s"));
+        // The instant is thread-scoped.
+        let inst = evs
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("i"))
+            .unwrap();
+        assert_eq!(inst.get("s").unwrap().as_str(), Some("t"));
+    }
+
+    #[test]
+    fn profile_stream_lowers_to_all_three_classes() {
+        use runtime::events::{ProfileOptions, Profiler};
+        let p = Profiler::new(3, ProfileOptions { capacity: 64 });
+        // Two procs, one episode at site 0: P0 first, P1 the straggler.
+        p.record_at(0, EventKind::SyncArrive, 0, 0, 1_000);
+        p.record_at(1, EventKind::SyncArrive, 0, 0, 9_000);
+        p.record_at(0, EventKind::EscalateYield, NO_SITE, 64, 5_000);
+        p.record_at(0, EventKind::SyncRelease, 0, 8_000, 9_000);
+        p.record_at(1, EventKind::SyncRelease, 0, 0, 9_000);
+        // Supervisor mark + a compile-side FME span.
+        p.record_at(2, EventKind::Checkpoint, NO_SITE, 46, 0);
+        p.record_at(2, EventKind::FmeMiss, NO_SITE, 3_000, 20_000);
+        let data = p.snapshot();
+        let metas = vec![SiteMeta {
+            id: 0,
+            kind: "phase-after".into(),
+            label: "after DOALL i".into(),
+            op: "barrier".into(),
+        }];
+        let mut tb = TraceBuilder::new("test", 2);
+        tb.extend_with_profile(&data, &metas, 2, 0, "");
+        let doc = tb.to_json();
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let names: Vec<&str> = evs
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"escalate: spin\u{2192}yield"));
+        assert!(names.contains(&"checkpoint (46 cells)"));
+        assert!(names.contains(&"pair query (fme scan)"));
+        assert!(names.contains(&"last arriver @after DOALL i"));
+        // The supervisor track (tid 2) was named.
+        assert!(evs.iter().any(|e| {
+            e.get("ph").unwrap().as_str() == Some("M")
+                && e.get("tid").unwrap().as_u64() == Some(2)
+                && e.get("args").unwrap().get("name").unwrap().as_str() == Some("supervisor")
+        }));
+        // The flow points from P0's early arrival to P1's late one.
+        let s = evs
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("s"))
+            .unwrap();
+        let f = evs
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("f"))
+            .unwrap();
+        assert_eq!(s.get("tid").unwrap().as_u64(), Some(0));
+        assert_eq!(s.get("ts").unwrap().as_u64(), Some(1));
+        assert_eq!(f.get("tid").unwrap().as_u64(), Some(1));
+        assert_eq!(f.get("ts").unwrap().as_u64(), Some(9));
+        // The FME async span recovered its start from arg: [17us, 20us].
+        let b = evs
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("b"))
+            .unwrap();
+        assert_eq!(b.get("ts").unwrap().as_u64(), Some(17));
+    }
+
+    #[test]
+    fn compile_stream_maps_past_the_processor_tracks() {
+        use runtime::events::{ProfileOptions, Profiler};
+        let p = Profiler::new(1, ProfileOptions { capacity: 16 });
+        p.record_at(0, EventKind::FmeHit, NO_SITE, 100, 2_000);
+        let mut tb = TraceBuilder::new("test", 2);
+        tb.extend_with_profile(&p.snapshot(), &[], 2, 3, "compile ");
+        let doc = tb.to_json();
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(evs.iter().any(|e| {
+            e.get("ph").unwrap().as_str() == Some("M")
+                && e.get("tid").unwrap().as_u64() == Some(3)
+                && e.get("args").unwrap().get("name").unwrap().as_str() == Some("compile 0")
+        }));
+        assert!(evs
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("b"))
+            .all(|e| e.get("tid").unwrap().as_u64() == Some(3)));
     }
 }

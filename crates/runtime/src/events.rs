@@ -1,0 +1,475 @@
+//! Always-on sync profiler: per-thread lock-free event rings.
+//!
+//! Every profiled execution carries one [`Profiler`] whose tracks are
+//! single-writer ring buffers of compact fixed-size [`ProfileEvent`]s:
+//! sync arrivals/releases per canonical site, region begin/end,
+//! checkpoint/rollback/retry marks from the recovery supervisor,
+//! spin → yield → park escalation transitions, and FME-cache hit/miss
+//! spans from the optimizer. The rings never block and never allocate
+//! on the hot path: a writer stamps a monotonic `Instant`-derived
+//! nanosecond timestamp, stores the event at `head & mask`, and bumps
+//! `head` — when the ring is full the oldest event is overwritten and
+//! counted as a drop, so the profiler's cost is bounded no matter how
+//! long a run is.
+//!
+//! The single-writer contract: track `t` is written only by the thread
+//! that owns it (worker `pid` writes track `pid`; the recovery
+//! supervisor writes the extra track [`Profiler::supervisor_track`]).
+//! Reads ([`Profiler::snapshot`]) happen only while writers are
+//! quiescent — after the team run returned — which is what makes the
+//! unsynchronized slot accesses sound.
+//!
+//! Events are *epoch-stamped*: the recovery supervisor bumps
+//! [`Profiler::bump_epoch`] when it re-arms the fabric between retry
+//! attempts, so the merged stream can separate the final attempt's
+//! episodes from the abandoned ones without clearing anything.
+
+use std::cell::{RefCell, UnsafeCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Site value for events that have no canonical sync site (region
+/// markers, escalation transitions, supervisor marks, FME spans).
+pub const NO_SITE: u32 = u32::MAX;
+
+/// What one [`ProfileEvent`] records.
+#[repr(u8)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A processor reached a sync site (`arg` = 0-based dynamic visit).
+    SyncArrive,
+    /// The same processor was released from the site (`arg` = wait ns).
+    SyncRelease,
+    /// A processor entered its region traversal.
+    RegionBegin,
+    /// A processor left its region traversal (completed or faulted).
+    RegionEnd,
+    /// The supervisor captured the write-set checkpoint (`arg` = cells).
+    Checkpoint,
+    /// The supervisor rolled memory back to the checkpoint (`arg` =
+    /// cells restored).
+    Rollback,
+    /// The supervisor launched a retry (`arg` = 1-based attempt number
+    /// of the attempt that failed).
+    Retry,
+    /// A blocked wait escalated from spinning to its first `yield_now`
+    /// (`arg` = spin rounds burned before the transition).
+    EscalateYield,
+    /// A blocked wait escalated to its first bounded park (`arg` =
+    /// yield rounds burned before the transition).
+    EscalatePark,
+    /// One optimizer pair query served from warm memo/FME state
+    /// (`arg` = query duration ns; recorded at query end, so the span
+    /// is `[t_ns - arg, t_ns]`).
+    FmeHit,
+    /// One optimizer pair query that ran fresh FME eliminations
+    /// (`arg` = query duration ns, recorded at query end).
+    FmeMiss,
+}
+
+impl EventKind {
+    /// Stable lowercase name (used by JSON and trace output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SyncArrive => "sync-arrive",
+            EventKind::SyncRelease => "sync-release",
+            EventKind::RegionBegin => "region-begin",
+            EventKind::RegionEnd => "region-end",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::Rollback => "rollback",
+            EventKind::Retry => "retry",
+            EventKind::EscalateYield => "escalate-yield",
+            EventKind::EscalatePark => "escalate-park",
+            EventKind::FmeHit => "fme-hit",
+            EventKind::FmeMiss => "fme-miss",
+        }
+    }
+}
+
+/// One compact fixed-size profile record (24 bytes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProfileEvent {
+    /// Nanoseconds since the profiler's base instant.
+    pub t_ns: u64,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub arg: u64,
+    /// Canonical sync-site id, or [`NO_SITE`].
+    pub site: u32,
+    /// Writer track (worker pid, or the supervisor track).
+    pub track: u16,
+    /// Recovery attempt epoch (0 on the first attempt).
+    pub epoch: u8,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Profiling knobs threaded through the executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProfileOptions {
+    /// Ring capacity per track, rounded up to a power of two. When a
+    /// track records more events than this, the oldest are overwritten
+    /// and counted as drops — recording never blocks.
+    pub capacity: usize,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        // 16Ki events × 24B = 384KiB per track: enough for every
+        // shipped kernel at its default scale with zero drops.
+        ProfileOptions { capacity: 1 << 14 }
+    }
+}
+
+/// One single-writer ring. `head` counts every push ever made; the live
+/// window is the last `min(head, capacity)` events.
+struct EventRing {
+    mask: usize,
+    slots: Box<[UnsafeCell<ProfileEvent>]>,
+    head: AtomicU64,
+}
+
+// Sound under the module's single-writer + quiescent-reader contract:
+// a slot is written by exactly one thread, and read only after that
+// thread's writes were published by the Release store of `head` (and,
+// transitively, by the team join).
+unsafe impl Sync for EventRing {}
+
+const ZERO_EVENT: ProfileEvent = ProfileEvent {
+    t_ns: 0,
+    arg: 0,
+    site: NO_SITE,
+    track: 0,
+    epoch: 0,
+    kind: EventKind::RegionBegin,
+};
+
+impl EventRing {
+    fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        EventRing {
+            mask: cap - 1,
+            slots: (0..cap).map(|_| UnsafeCell::new(ZERO_EVENT)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn push(&self, ev: ProfileEvent) {
+        let h = self.head.load(Ordering::Relaxed);
+        // Single writer: no other thread stores to this slot or head.
+        unsafe { *self.slots[(h as usize) & self.mask].get() = ev };
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Copy out the live window (oldest-first) and the drop count.
+    /// Caller must guarantee the writer is quiescent.
+    fn drain(&self) -> (Vec<ProfileEvent>, u64) {
+        let h = self.head.load(Ordering::Acquire) as usize;
+        let cap = self.mask + 1;
+        let kept = h.min(cap);
+        let mut out = Vec::with_capacity(kept);
+        for i in (h - kept)..h {
+            out.push(unsafe { *self.slots[i & self.mask].get() });
+        }
+        (out, (h - kept) as u64)
+    }
+}
+
+/// The merged, analysis-ready result of one profiled execution.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileData {
+    /// Writer tracks (workers + supervisor).
+    pub tracks: usize,
+    /// Ring capacity per track (after power-of-two rounding).
+    pub capacity: usize,
+    /// Events overwritten across all tracks (0 on a well-sized ring).
+    pub dropped: u64,
+    /// Every live event, sorted by `(t_ns, track)`.
+    pub events: Vec<ProfileEvent>,
+}
+
+impl ProfileData {
+    /// Total events ever recorded (live + dropped) — the accounting
+    /// identity `attempted == events.len() + dropped` always holds.
+    pub fn attempted(&self) -> u64 {
+        self.events.len() as u64 + self.dropped
+    }
+}
+
+/// A profiled execution's clock, epoch, and per-track rings.
+pub struct Profiler {
+    base: Instant,
+    /// Nanoseconds subtracted from every timestamp (see
+    /// [`Profiler::rebase_if_unused`]).
+    offset_ns: AtomicU64,
+    epoch: AtomicU64,
+    rings: Vec<EventRing>,
+    capacity: usize,
+}
+
+impl Profiler {
+    /// A profiler with `tracks` single-writer rings (workers 0..P-1
+    /// plus, by convention, one supervisor track at index P).
+    pub fn new(tracks: usize, opts: ProfileOptions) -> Self {
+        let capacity = opts.capacity.max(2).next_power_of_two();
+        Profiler {
+            base: Instant::now(),
+            offset_ns: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            rings: (0..tracks.max(1))
+                .map(|_| EventRing::new(capacity))
+                .collect(),
+            capacity,
+        }
+    }
+
+    /// Number of tracks.
+    pub fn tracks(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// The conventional supervisor track (last ring).
+    pub fn supervisor_track(&self) -> usize {
+        self.rings.len() - 1
+    }
+
+    /// Nanoseconds on the profiler clock right now.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        (self.base.elapsed().as_nanos() as u64)
+            .saturating_sub(self.offset_ns.load(Ordering::Relaxed))
+    }
+
+    /// Zero the clock at the current instant — but only when nothing
+    /// was recorded yet. The executor calls this at its run `t0` so
+    /// profile timestamps share the trace timeline's origin on the
+    /// first attempt, while a reused fabric (recovery retries) keeps
+    /// its monotonic clock.
+    pub fn rebase_if_unused(&self) {
+        if self
+            .rings
+            .iter()
+            .all(|r| r.head.load(Ordering::Relaxed) == 0)
+        {
+            self.offset_ns
+                .store(self.base.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Current recovery epoch.
+    pub fn epoch(&self) -> u8 {
+        self.epoch.load(Ordering::Relaxed).min(u8::MAX as u64) as u8
+    }
+
+    /// Stamp all later events with the next epoch (called by the
+    /// recovery supervisor between attempts; rings are kept).
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an event stamped with the current time.
+    #[inline]
+    pub fn record(&self, track: usize, kind: EventKind, site: u32, arg: u64) {
+        let t = self.now_ns();
+        self.record_at(track, kind, site, arg, t);
+    }
+
+    /// Record an event with an explicit timestamp (taken from
+    /// [`Profiler::now_ns`] by the caller, e.g. to reuse one clock read
+    /// for both the event and a wait-duration computation).
+    #[inline]
+    pub fn record_at(&self, track: usize, kind: EventKind, site: u32, arg: u64, t_ns: u64) {
+        self.rings[track].push(ProfileEvent {
+            t_ns,
+            arg,
+            site,
+            track: track as u16,
+            epoch: self.epoch(),
+            kind,
+        });
+    }
+
+    /// Merge every track's live window into one time-sorted stream.
+    /// Only sound while all writers are quiescent (the team run has
+    /// returned); non-destructive — rings keep accumulating afterwards,
+    /// so the recovery supervisor can snapshot once at the very end and
+    /// see all attempts.
+    pub fn snapshot(&self) -> ProfileData {
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        for ring in &self.rings {
+            let (evs, d) = ring.drain();
+            events.extend(evs);
+            dropped += d;
+        }
+        events.sort_by_key(|e| (e.t_ns, e.track, e.site));
+        ProfileData {
+            tracks: self.rings.len(),
+            capacity: self.capacity,
+            dropped,
+            events,
+        }
+    }
+}
+
+thread_local! {
+    /// The recorder the current thread emits ambient events into
+    /// (escalation transitions from deep inside the primitives, FME
+    /// spans from the analysis hook). Installed by the executor per
+    /// worker, and by the driver around a profiled compile.
+    static CURRENT: RefCell<Option<(Arc<Profiler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// RAII handle for a thread-local recorder installation; restores the
+/// previous recorder (usually none) on drop.
+pub struct RecorderGuard {
+    prev: Option<(Arc<Profiler>, usize)>,
+}
+
+impl Drop for RecorderGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Install `profiler`/`track` as the current thread's ambient recorder.
+pub fn install(profiler: Arc<Profiler>, track: usize) -> RecorderGuard {
+    CURRENT.with(|c| RecorderGuard {
+        prev: c.borrow_mut().replace((profiler, track)),
+    })
+}
+
+/// Emit an ambient event through the thread-local recorder; a no-op
+/// (one thread-local read) when no recorder is installed.
+#[inline]
+pub fn emit(kind: EventKind, site: u32, arg: u64) {
+    CURRENT.with(|c| {
+        if let Some((p, track)) = &*c.borrow() {
+            p.record(*track, kind, site, arg);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        let p = Profiler::new(1, ProfileOptions { capacity: 100 });
+        assert_eq!(p.capacity, 128);
+        let p = Profiler::new(1, ProfileOptions { capacity: 0 });
+        assert_eq!(p.capacity, 2);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_accounts_exactly() {
+        let p = Profiler::new(1, ProfileOptions { capacity: 8 });
+        for k in 0..20u64 {
+            p.record(0, EventKind::SyncArrive, 3, k);
+        }
+        let d = p.snapshot();
+        assert_eq!(d.events.len(), 8);
+        assert_eq!(d.dropped, 12);
+        assert_eq!(d.attempted(), 20);
+        // The live window is the newest events, oldest-first.
+        let args: Vec<u64> = d.events.iter().map(|e| e.arg).collect();
+        assert_eq!(args, (12..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn snapshot_merges_tracks_in_time_order() {
+        let p = Profiler::new(3, ProfileOptions::default());
+        p.record_at(2, EventKind::SyncArrive, 0, 0, 30);
+        p.record_at(0, EventKind::SyncArrive, 0, 0, 10);
+        p.record_at(1, EventKind::SyncRelease, 0, 5, 20);
+        let d = p.snapshot();
+        let ts: Vec<u64> = d.events.iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+        assert_eq!(d.dropped, 0);
+        assert_eq!(d.tracks, 3);
+    }
+
+    #[test]
+    fn epoch_stamps_later_events() {
+        let p = Profiler::new(2, ProfileOptions::default());
+        p.record(0, EventKind::SyncArrive, 0, 0);
+        p.bump_epoch();
+        p.record(0, EventKind::SyncArrive, 0, 1);
+        let d = p.snapshot();
+        assert_eq!(d.events[0].epoch, 0);
+        assert_eq!(d.events[1].epoch, 1);
+        assert_eq!(p.supervisor_track(), 1);
+    }
+
+    #[test]
+    fn concurrent_single_writer_tracks_lose_nothing() {
+        let p = Arc::new(Profiler::new(4, ProfileOptions { capacity: 1 << 12 }));
+        let n = 1000u64;
+        let handles: Vec<_> = (0..4usize)
+            .map(|t| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    for k in 0..n {
+                        p.record(t, EventKind::SyncArrive, t as u32, k);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let d = p.snapshot();
+        assert_eq!(d.events.len(), 4 * n as usize);
+        assert_eq!(d.dropped, 0);
+        for t in 0..4u16 {
+            let mine: Vec<u64> = d
+                .events
+                .iter()
+                .filter(|e| e.track == t)
+                .map(|e| e.arg)
+                .collect();
+            assert_eq!(mine.len(), n as usize);
+            // Per-track order survives the time-sorted merge (timestamps
+            // are monotone per writer).
+            assert!(mine.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn ambient_recorder_installs_and_restores() {
+        let p = Arc::new(Profiler::new(2, ProfileOptions::default()));
+        emit(EventKind::EscalateYield, NO_SITE, 1); // no recorder: no-op
+        {
+            let _g = install(Arc::clone(&p), 1);
+            emit(EventKind::EscalateYield, NO_SITE, 7);
+        }
+        emit(EventKind::EscalatePark, NO_SITE, 2); // uninstalled again
+        let d = p.snapshot();
+        assert_eq!(d.events.len(), 1);
+        assert_eq!(d.events[0].kind, EventKind::EscalateYield);
+        assert_eq!(d.events[0].track, 1);
+        assert_eq!(d.events[0].arg, 7);
+    }
+
+    #[test]
+    fn rebase_only_applies_to_unused_profilers() {
+        let p = Profiler::new(1, ProfileOptions::default());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        p.rebase_if_unused();
+        let t = p.now_ns();
+        assert!(t < 2_000_000, "clock rebased to ~0, got {t}");
+        p.record(0, EventKind::RegionBegin, NO_SITE, 0);
+        let before = p.snapshot().events[0].t_ns;
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        p.rebase_if_unused(); // no-op: events exist
+        assert_eq!(p.snapshot().events[0].t_ns, before);
+        assert!(p.now_ns() > before);
+    }
+
+    #[test]
+    fn event_is_compact() {
+        assert!(std::mem::size_of::<ProfileEvent>() <= 24);
+    }
+}

@@ -53,6 +53,7 @@
 
 pub mod barrier;
 pub mod counter;
+pub mod events;
 pub mod fault;
 pub mod neighbor;
 pub mod recovery;
@@ -63,6 +64,7 @@ pub mod telemetry;
 
 pub use barrier::{BarrierEpoch, CentralBarrier, TreeBarrier};
 pub use counter::Counters;
+pub use events::{EventKind, ProfileData, ProfileEvent, ProfileOptions, Profiler, NO_SITE};
 pub use fault::{SyncError, WaitPoll, Watchdog, DEADLINE_SAMPLE, DISPATCH_SITE};
 pub use neighbor::NeighborFlags;
 pub use recovery::{FaultDisposition, Quarantine, RetryPolicy};

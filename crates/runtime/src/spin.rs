@@ -132,9 +132,26 @@ impl SpinWait {
             SpinPhase::Spin
         } else if self.effort.yields < self.policy.yield_limit as u64 {
             self.effort.yields += 1;
+            // Emit the escalation transition only when this wait first
+            // leaves the spin phase — the spin fast path stays free of
+            // thread-local reads.
+            if self.effort.yields == 1 {
+                crate::events::emit(
+                    crate::events::EventKind::EscalateYield,
+                    crate::events::NO_SITE,
+                    self.effort.spins,
+                );
+            }
             SpinPhase::Yield
         } else {
             self.effort.parks += 1;
+            if self.effort.parks == 1 {
+                crate::events::emit(
+                    crate::events::EventKind::EscalatePark,
+                    crate::events::NO_SITE,
+                    self.effort.yields,
+                );
+            }
             SpinPhase::Park
         }
     }

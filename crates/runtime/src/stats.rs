@@ -266,6 +266,29 @@ impl StatsSnapshot {
             + self.neighbor_posts
             + self.neighbor_waits
     }
+
+    /// Fold another snapshot into this one: counts and wait totals add,
+    /// maxima take the max. The recovery supervisor uses this to
+    /// aggregate per-attempt snapshots into run totals (the fabric's
+    /// live stats are reset between attempts, so without merging the
+    /// final report would only cover the last attempt).
+    pub fn merge(&mut self, o: &StatsSnapshot) {
+        self.barrier_episodes += o.barrier_episodes;
+        self.barrier_arrivals += o.barrier_arrivals;
+        self.barrier_wait_ns += o.barrier_wait_ns;
+        self.barrier_max_wait_ns = self.barrier_max_wait_ns.max(o.barrier_max_wait_ns);
+        self.counter_increments += o.counter_increments;
+        self.counter_waits += o.counter_waits;
+        self.counter_wait_ns += o.counter_wait_ns;
+        self.counter_max_wait_ns = self.counter_max_wait_ns.max(o.counter_max_wait_ns);
+        self.neighbor_posts += o.neighbor_posts;
+        self.neighbor_waits += o.neighbor_waits;
+        self.neighbor_wait_ns += o.neighbor_wait_ns;
+        self.neighbor_max_wait_ns = self.neighbor_max_wait_ns.max(o.neighbor_max_wait_ns);
+        self.spin_rounds += o.spin_rounds;
+        self.yield_rounds += o.yield_rounds;
+        self.parks += o.parks;
+    }
 }
 
 #[cfg(test)]
@@ -328,5 +351,32 @@ mod tests {
         assert_eq!(s.max_wait_ns(SyncKind::Counter), 0);
         let snap = s.snapshot();
         assert_eq!(snap.barrier_max_wait_ns, 700);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_keeps_maxima() {
+        let mut a = StatsSnapshot {
+            barrier_episodes: 3,
+            barrier_wait_ns: 100,
+            barrier_max_wait_ns: 60,
+            spin_rounds: 7,
+            parks: 1,
+            ..StatsSnapshot::default()
+        };
+        let b = StatsSnapshot {
+            barrier_episodes: 2,
+            barrier_wait_ns: 50,
+            barrier_max_wait_ns: 90,
+            spin_rounds: 4,
+            yield_rounds: 5,
+            ..StatsSnapshot::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.barrier_episodes, 5);
+        assert_eq!(a.barrier_wait_ns, 150);
+        assert_eq!(a.barrier_max_wait_ns, 90);
+        assert_eq!(a.spin_rounds, 11);
+        assert_eq!(a.yield_rounds, 5);
+        assert_eq!(a.parks, 1);
     }
 }

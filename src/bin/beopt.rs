@@ -35,8 +35,11 @@ use barrier_elim::interp::{
 use barrier_elim::ir::Program;
 use barrier_elim::obs::{self, TraceBuilder};
 use barrier_elim::oracle::{ChaosConfig, ChaosInjector, DropSpec};
-use barrier_elim::runtime::{RetryPolicy, Team};
-use barrier_elim::spmd_opt::{fork_join, optimize_explained, render_plan, OptimizeOptions};
+use barrier_elim::runtime::events::{self, EventKind, ProfileData, ProfileOptions, Profiler};
+use barrier_elim::runtime::{RetryPolicy, Team, NO_SITE};
+use barrier_elim::spmd_opt::{
+    demote_sites, fork_join, optimize_explained, render_plan, OptimizeOptions, SyncOp,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -55,6 +58,8 @@ struct Args {
     max_attempts: Option<u32>,
     chaos_seed: Option<u64>,
     chaos_drop: Option<DropSpec>,
+    profile: bool,
+    profile_json: Option<String>,
 }
 
 fn usage() -> ! {
@@ -88,7 +93,13 @@ fn usage() -> ! {
          --chaos-drop S:P:V  with --run + --deadline: drop processor P's posts\n\
          \x20                    at sync site S from dynamic visit V on (a\n\
          \x20                    persistent fault; without --recover this run\n\
-         \x20                    fails, with it the supervisor absorbs it)"
+         \x20                    fails, with it the supervisor absorbs it)\n\
+         --profile           with --run: record lock-free event rings during\n\
+         \x20                    the real-thread run (and the compile), run an\n\
+         \x20                    all-barrier baseline, and print the per-site\n\
+         \x20                    critical-path and observed-vs-predicted tables\n\
+         --profile-json P    write the analyzed profile as JSON to P (- for\n\
+         \x20                    stdout); implies --profile"
     );
     std::process::exit(2);
 }
@@ -109,6 +120,8 @@ fn parse_args() -> Args {
         max_attempts: None,
         chaos_seed: None,
         chaos_drop: None,
+        profile: false,
+        profile_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -167,6 +180,11 @@ fn parse_args() -> Args {
                     })
                 };
                 args.chaos_drop = Some(parse3().unwrap_or_else(|| usage()));
+            }
+            "--profile" => args.profile = true,
+            "--profile-json" => {
+                args.profile = true;
+                args.profile_json = Some(it.next().unwrap_or_else(|| usage()));
             }
             "--help" | "-h" => usage(),
             _ if args.path.is_empty() && !a.starts_with('-') => args.path = a,
@@ -241,7 +259,36 @@ fn main() -> ExitCode {
         eprintln!("beopt: warning: {w}");
     }
 
-    let (plan, log, stats) = optimize_explained(&prog, &bind, OptimizeOptions::default());
+    let mut oo = OptimizeOptions::default();
+    let compile_profiler = if args.profile {
+        // The ambient recorder is single-writer per track: pin analysis
+        // to this thread so the pair probe never fires from a warming
+        // worker. Decisions are config-invariant, so the plan and log
+        // are unchanged — only compile wall-clock pays.
+        oo.analysis.threads = 1;
+        Some(Arc::new(Profiler::new(1, ProfileOptions::default())))
+    } else {
+        None
+    };
+    let guard = compile_profiler
+        .as_ref()
+        .map(|p| events::install(Arc::clone(p), 0));
+    if guard.is_some() {
+        barrier_elim::analysis::set_pair_probe(Some(Arc::new(|pr| {
+            let kind = if pr.memo_hit {
+                EventKind::FmeHit
+            } else {
+                EventKind::FmeMiss
+            };
+            events::emit(kind, NO_SITE, pr.elapsed_ns);
+        })));
+    }
+    let (plan, log, stats) = optimize_explained(&prog, &bind, oo);
+    if guard.is_some() {
+        barrier_elim::analysis::set_pair_probe(None);
+    }
+    drop(guard);
+    let compile_data: Option<ProfileData> = compile_profiler.as_ref().map(|p| p.snapshot());
     let base = fork_join(&prog, &bind);
 
     if !args.quiet {
@@ -289,6 +336,10 @@ fn main() -> ExitCode {
         }
         if args.chaos_seed.is_some() || args.chaos_drop.is_some() {
             eprintln!("beopt: --chaos-seed/--chaos-drop need --run");
+            return ExitCode::FAILURE;
+        }
+        if args.profile {
+            eprintln!("beopt: --profile needs --run (it measures the real-thread execution)");
             return ExitCode::FAILURE;
         }
         if let Some(path) = &args.trace_out {
@@ -341,8 +392,9 @@ fn main() -> ExitCode {
 
     let mut spans: Option<Vec<obs::Span>> = virt_spans;
     let mut trace_source = "virtual interleaver (1 step = 1µs logical clock)";
+    let mut run_profile: Option<(ProfileData, Vec<barrier_elim::runtime::SiteMeta>)> = None;
 
-    if args.metrics_json.is_some() || args.deadline_ms.is_some() || args.recover {
+    if args.metrics_json.is_some() || args.deadline_ms.is_some() || args.recover || args.profile {
         // Real-thread execution with per-site telemetry (and a timeline
         // if one was requested), optionally watchdog-guarded and/or
         // supervised by the self-healing recovery loop.
@@ -378,9 +430,11 @@ fn main() -> ExitCode {
             trace: args.trace_out.is_some(),
             deadline: deadline_ms.map(std::time::Duration::from_millis),
             chaos,
+            profile: args.profile.then(ProfileOptions::default),
             ..ObserveOptions::default()
         };
         let mut ledger: Option<(Vec<usize>, Vec<usize>)> = None;
+        let mut stats_totals = None;
         let (out_p, attempts_used) = if args.recover {
             let policy = RetryPolicy {
                 max_attempts: args
@@ -402,6 +456,11 @@ fn main() -> ExitCode {
                 r.demoted.iter().map(|(s, _)| *s).collect(),
                 r.quarantined.clone(),
             ));
+            // The fabric resets stats between attempts: the final
+            // outcome covers only the last attempt, so metrics totals
+            // (including escalation counters) come from the
+            // across-attempts accumulator.
+            stats_totals = Some(r.total_stats);
             (r.outcome, n)
         } else {
             let out_p = run_parallel_observed(&prog_a, &bind_a, &plan, &mem_p, &team, &opts);
@@ -434,9 +493,9 @@ fn main() -> ExitCode {
         println!();
         print!("{}", obs::render_site_table(&out_p.sites));
         if let Some(path) = &args.metrics_json {
-            let mut doc =
-                obs::metrics_json(&prog.name, args.nprocs as usize, &out_p.sites, &out_p.stats)
-                    .set("attempt", attempts_used);
+            let totals = stats_totals.as_ref().unwrap_or(&out_p.stats);
+            let mut doc = obs::metrics_json(&prog.name, args.nprocs as usize, &out_p.sites, totals)
+                .set("attempt", attempts_used);
             if let Some((demoted, quarantined)) = &ledger {
                 doc = doc
                     .set(
@@ -461,6 +520,77 @@ fn main() -> ExitCode {
                 println!("metrics: per-sync-site telemetry written to {path}");
             }
         }
+        if args.profile {
+            let data = out_p
+                .profile
+                .clone()
+                .expect("profiled run always returns its event stream");
+            let metas = obs::site_metas(&prog, &plan);
+            let report = obs::analyze(&data, &metas, args.nprocs as usize);
+
+            // The observed-vs-predicted baseline: the *optimized* plan
+            // with every decision-log site the optimizer changed put
+            // back to a barrier. Same canonical walk, so every site id
+            // joins 1:1 against the optimized run's profile.
+            let changed: Vec<usize> = log
+                .iter()
+                .filter(|d| !matches!(d.placed, SyncOp::Barrier))
+                .map(|d| d.site)
+                .collect();
+            let mut base_plan = plan.clone();
+            demote_sites(&mut base_plan, &changed);
+            let mem_base = Arc::new(Mem::new(&prog, &bind));
+            let bopts = ObserveOptions {
+                profile: Some(ProfileOptions::default()),
+                ..ObserveOptions::default()
+            };
+            let out_base =
+                run_parallel_observed(&prog_a, &bind_a, &base_plan, &mem_base, &team, &bopts);
+            let base_report = out_base.profile.as_ref().map(|d| {
+                obs::analyze(d, &obs::site_metas(&prog, &base_plan), args.nprocs as usize)
+            });
+
+            println!();
+            print!("{}", obs::render_profile(&report));
+            let rows = base_report
+                .as_ref()
+                .map(|br| obs::observed_vs_predicted(&log, br, &report));
+            if let Some(rows) = &rows {
+                println!();
+                print!("{}", obs::render_saved_wait(rows));
+            }
+            if let Some(cd) = &compile_data {
+                let cm = obs::analyze(cd, &[], 1).marks;
+                println!(
+                    "compile: {} pair queries ({} warm, {} fresh), {:.2} ms in analysis probes",
+                    cm.fme_hits + cm.fme_misses,
+                    cm.fme_hits,
+                    cm.fme_misses,
+                    (cm.fme_hit_ns + cm.fme_miss_ns) as f64 / 1e6
+                );
+            }
+            if let Some(path) = &args.profile_json {
+                let mut doc = obs::profile_json(&prog.name, &report, rows.as_deref());
+                if let Some(cd) = &compile_data {
+                    let cm = obs::analyze(cd, &[], 1).marks;
+                    doc = doc.set(
+                        "compile",
+                        obs::Json::obj()
+                            .set("fme_hits", cm.fme_hits)
+                            .set("fme_misses", cm.fme_misses)
+                            .set("fme_hit_ns", cm.fme_hit_ns)
+                            .set("fme_miss_ns", cm.fme_miss_ns),
+                    );
+                }
+                if write_output(path, "profile JSON", &doc.to_string_pretty()).is_err() {
+                    return ExitCode::FAILURE;
+                }
+                if path != "-" {
+                    println!("profile: analyzed event stream written to {path}");
+                }
+            }
+            run_profile = Some((data, metas));
+        }
         if args.trace_out.is_some() {
             spans = Some(out_p.spans);
             trace_source = "real threads (wall-clock µs)";
@@ -470,6 +600,18 @@ fn main() -> ExitCode {
     if let Some(path) = &args.trace_out {
         let mut tb = TraceBuilder::new(&prog.name, args.nprocs as usize);
         tb.extend(spans.unwrap_or_default());
+        if let Some((data, metas)) = &run_profile {
+            tb.extend_with_profile(data, metas, args.nprocs as usize, 0, "");
+        }
+        if let Some(cd) = &compile_data {
+            tb.extend_with_profile(
+                cd,
+                &[],
+                args.nprocs as usize,
+                args.nprocs as usize + 1,
+                "compile ",
+            );
+        }
         if write_output(path, "trace JSON", &tb.to_json().to_string_compact()).is_err() {
             return ExitCode::FAILURE;
         }

@@ -7,7 +7,7 @@
 //! beoracle mutate  [--count N] [--seed S]
 //! beoracle kernels [--threads]
 //! beoracle chaos   [--chaos-seed S] [--deadline MS] [--nprocs P] [--repro-dir DIR]
-//!                  [--no-recover] [--recovery-json PATH]
+//!                  [--no-recover] [--recovery-json PATH] [--profile]
 //! ```
 //!
 //! * `fuzz` — generate `N` random programs and differentially execute
@@ -34,7 +34,9 @@
 //!   `recovery.json`). With `--no-recover`, the older detect-only
 //!   campaign runs instead: every dropped post must be detected
 //!   within the deadline with a failure report naming the dropped
-//!   site.
+//!   site. With `--profile`, each kernel x plan additionally does one
+//!   profiled benign run and its event-ring accounting (`events +
+//!   dropped == attempted`) is checked and embedded in the JSON.
 //!
 //! Exits nonzero on any mismatch, race, uncaught mutant, or missed
 //! fault.
@@ -242,11 +244,33 @@ fn bind_by_name(prog: &barrier_elim::ir::Program, nprocs: i64, sets: &[(&str, i6
     b
 }
 
+/// One profiled benign run of `plan`; returns the ring-accounting
+/// summary `(events, dropped, attempted)` for the campaign report.
+fn profile_benign(
+    prog: &Arc<barrier_elim::ir::Program>,
+    bind: &Arc<Bindings>,
+    plan: &barrier_elim::spmd_opt::SpmdProgram,
+    team: &Team,
+) -> (usize, u64, u64) {
+    use barrier_elim::interp::{run_parallel_observed, Mem, ObserveOptions};
+    let mem = Arc::new(Mem::new(prog, bind));
+    let opts = ObserveOptions {
+        profile: Some(barrier_elim::runtime::events::ProfileOptions::default()),
+        ..ObserveOptions::default()
+    };
+    let out = run_parallel_observed(prog, bind, plan, &mem, team, &opts);
+    match out.profile {
+        Some(d) => (d.events.len(), d.dropped, d.attempted()),
+        None => (0, 0, 0),
+    }
+}
+
 fn cmd_chaos(args: &[String]) -> i32 {
     let seed = parse_u64(args, "--chaos-seed", 0);
     let deadline = Duration::from_millis(parse_u64(args, "--deadline", 250));
     let nprocs = parse_u64(args, "--nprocs", 4) as i64;
     let no_recover = parse_flag(args, "--no-recover");
+    let profile = parse_flag(args, "--profile");
     let repro_dir = std::path::PathBuf::from(
         parse_opt(args, "--repro-dir").unwrap_or_else(|| "beoracle-repro".to_string()),
     );
@@ -353,15 +377,32 @@ fn cmd_chaos(args: &[String]) -> i32 {
                         .set("report", obs::recovery_json(&t.report))
                 })
                 .collect();
-            runs.push(
-                obs::Json::obj()
-                    .set("kernel", *kernel)
-                    .set("plan", label)
-                    .set("ok", r.ok())
-                    .set("benign_ok", r.benign_ok)
-                    .set("benign_diff", r.benign_diff)
-                    .set("teeth", teeth),
-            );
+            let mut run = obs::Json::obj()
+                .set("kernel", *kernel)
+                .set("plan", label)
+                .set("ok", r.ok())
+                .set("benign_ok", r.benign_ok)
+                .set("benign_diff", r.benign_diff)
+                .set("teeth", teeth);
+            if profile {
+                let (events, dropped, attempted) = profile_benign(&prog, &bind, &plan, &team);
+                println!(
+                    "  profile {kernel} {label}: {events} events, {dropped} dropped \
+                     (attempted {attempted})"
+                );
+                if events as u64 + dropped != attempted {
+                    failed += 1;
+                    println!("FAIL {kernel} {label}: ring accounting broken");
+                }
+                run = run.set(
+                    "profile",
+                    obs::Json::obj()
+                        .set("events", events as u64)
+                        .set("dropped", dropped)
+                        .set("attempted", attempted),
+                );
+            }
+            runs.push(run);
         }
     }
     if !no_recover {
@@ -398,7 +439,7 @@ fn main() {
         Some("chaos") => cmd_chaos(&args[1..]),
         _ => {
             eprintln!(
-                "usage: beoracle fuzz [--count N] [--seed S] [--threads] [--nprocs 1,3,4] [--repro-dir DIR] [--deadline MS] [--chaos] [--chaos-seed S]\n       beoracle mutate [--count N] [--seed S]\n       beoracle kernels [--threads]\n       beoracle chaos [--chaos-seed S] [--deadline MS] [--nprocs P] [--repro-dir DIR] [--no-recover] [--recovery-json PATH]"
+                "usage: beoracle fuzz [--count N] [--seed S] [--threads] [--nprocs 1,3,4] [--repro-dir DIR] [--deadline MS] [--chaos] [--chaos-seed S]\n       beoracle mutate [--count N] [--seed S]\n       beoracle kernels [--threads]\n       beoracle chaos [--chaos-seed S] [--deadline MS] [--nprocs P] [--repro-dir DIR] [--no-recover] [--recovery-json PATH] [--profile]"
             );
             2
         }
