@@ -144,6 +144,11 @@ pub struct ProfileReport {
     pub events: u64,
     /// Recovery epochs spanned (1 = single clean attempt).
     pub epochs: u64,
+    /// True when the stream reached the saturated epoch stamp (255):
+    /// the recovery supervisor retried ≥ 255 times, so later attempts
+    /// all share epoch 255 and their episode keys may collide (those
+    /// episodes surface as `partial_arrivals`, never as bogus episodes).
+    pub epoch_clamp: bool,
     /// Per-site facts, sorted by site id.
     pub sites: Vec<SiteProfile>,
     /// Per-processor region wall-clock (Σ RegionEnd − RegionBegin).
@@ -245,31 +250,27 @@ pub fn analyze(data: &ProfileData, metas: &[SiteMeta], nprocs: usize) -> Profile
     }
 
     // Pass 2: episode alignment. Key = (epoch, site, visit); an episode
-    // is complete when all nprocs arrivals are present.
+    // is complete when all nprocs arrivals are present. Each arrival
+    // carries its writer track — SyncArrive is only ever recorded by
+    // worker `pid` on track `pid` — so attribution uses real processor
+    // ids, not the arrival's position in the time-sorted merge.
     use std::collections::HashMap;
-    let mut episodes: HashMap<(u8, u32, u64), Vec<u64>> = HashMap::new();
+    let mut episodes: HashMap<(u8, u32, u64), Vec<(u64, usize)>> = HashMap::new();
     for e in &data.events {
         if e.kind == EventKind::SyncArrive && e.site != NO_SITE {
             episodes
                 .entry((e.epoch, e.site, e.arg))
                 .or_default()
-                .push(e.t_ns);
+                .push((e.t_ns, e.track as usize));
         }
     }
-    for ((_, site, _), mut arrivals) in episodes {
+    for ((_, site, _), mut by_pid) in episodes {
         let k = site_ix(&mut sites, site as usize);
-        if arrivals.len() != nprocs {
-            sites[k].partial_arrivals += arrivals.len() as u64;
+        if by_pid.len() != nprocs || by_pid.iter().any(|&(_, p)| p >= nprocs) {
+            sites[k].partial_arrivals += by_pid.len() as u64;
             continue;
         }
-        // Arrival order: who showed up when. The merge sorted the
-        // stream globally but this vector collects per-pid times in
-        // track order, so sort by time while remembering the pid.
-        let mut by_pid: Vec<(u64, usize)> = arrivals
-            .drain(..)
-            .enumerate()
-            .map(|(p, t)| (t, p))
-            .collect();
+        // Sort by arrival time; the pid rides along with each entry.
         by_pid.sort();
         let (t_first, _) = by_pid[0];
         let (t_last, last_pid) = by_pid[nprocs - 1];
@@ -302,6 +303,7 @@ pub fn analyze(data: &ProfileData, metas: &[SiteMeta], nprocs: usize) -> Profile
         dropped: data.dropped,
         events: data.events.len() as u64,
         epochs: max_epoch as u64 + 1,
+        epoch_clamp: max_epoch == u8::MAX,
         sites,
         region_ns_by_pid,
         marks,
@@ -457,6 +459,11 @@ pub fn render_profile(r: &ProfileReport) -> String {
             r.dropped, r.capacity
         ));
     }
+    if r.epoch_clamp {
+        out.push_str(
+            "note: recovery epoch stamp saturated at 255; attempts past the 255th share an epoch and their episodes count as partial\n",
+        );
+    }
     out
 }
 
@@ -546,6 +553,7 @@ pub fn profile_json(program: &str, r: &ProfileReport, ovp: Option<&[OvpRow]>) ->
         .set("dropped", r.dropped)
         .set("attempted", r.events + r.dropped)
         .set("epochs", r.epochs)
+        .set("epoch_clamp", r.epoch_clamp)
         .set("total_crit_ns", r.total_crit_ns())
         .set("total_wait_ns", r.total_wait_ns())
         .set("region_ns_by_pid", u64s(&r.region_ns_by_pid))
@@ -658,6 +666,60 @@ mod tests {
         assert_eq!(s.slack_hist[5], 1);
     }
 
+    /// The straggler is pid 0 — regression for conflating arrival rank
+    /// in the time-sorted merge with processor id: the merged stream is
+    /// sorted by time, so rank-as-pid always blamed the last index.
+    #[test]
+    fn straggler_pid_zero_is_blamed() {
+        let p = Profiler::new(2, ProfileOptions { capacity: 64 });
+        p.record_at(1, EventKind::SyncArrive, 0, 0, 100);
+        p.record_at(0, EventKind::SyncArrive, 0, 0, 250);
+        p.record_at(1, EventKind::SyncRelease, 0, 150, 260);
+        p.record_at(0, EventKind::SyncRelease, 0, 10, 260);
+        let r = analyze(&p.snapshot(), &[], 2);
+        let s = r.site(0).unwrap();
+        assert_eq!(s.episodes, 1);
+        assert_eq!(s.crit_ns, 150);
+        assert_eq!(s.last_count_by_pid, vec![1, 0]);
+        assert_eq!(s.crit_ns_by_pid, vec![150, 0]);
+        assert_eq!(s.worst_pid(), Some(0));
+        assert_eq!(s.wait_ns_by_pid, vec![10, 150]);
+    }
+
+    /// An arrival from a track past the worker range (malformed stream)
+    /// can never index the per-pid arrays; the episode counts as
+    /// partial instead.
+    #[test]
+    fn out_of_range_track_arrivals_are_partial() {
+        let p = Profiler::new(3, ProfileOptions { capacity: 16 });
+        p.record_at(0, EventKind::SyncArrive, 1, 0, 10);
+        p.record_at(2, EventKind::SyncArrive, 1, 0, 20); // supervisor track
+        let r = analyze(&p.snapshot(), &[], 2);
+        let s = r.site(1).unwrap();
+        assert_eq!(s.episodes, 0);
+        assert_eq!(s.partial_arrivals, 2);
+    }
+
+    #[test]
+    fn epoch_clamp_is_flagged_and_rendered() {
+        let mut e = ev(EventKind::SyncArrive, 0, 0, 0, 1);
+        e.epoch = u8::MAX;
+        let data = ProfileData {
+            tracks: 1,
+            capacity: 16,
+            dropped: 0,
+            events: vec![e],
+        };
+        let r = analyze(&data, &[], 1);
+        assert!(r.epoch_clamp);
+        assert_eq!(r.epochs, 256);
+        assert!(render_profile(&r).contains("saturated at 255"));
+        let doc = profile_json("x", &r, None);
+        assert_eq!(doc.get("epoch_clamp").unwrap().as_bool(), Some(true));
+        let clean = analyze(&two_episode_data(), &[], 2);
+        assert!(!clean.epoch_clamp);
+    }
+
     #[test]
     fn incomplete_episodes_are_counted_not_attributed() {
         let p = Profiler::new(3, ProfileOptions { capacity: 16 });
@@ -745,6 +807,7 @@ mod tests {
                 dropped: 0,
                 events: 4,
                 epochs: 1,
+                epoch_clamp: false,
                 sites: vec![s],
                 region_ns_by_pid: vec![0, 0],
                 marks: ProfileMarks::default(),

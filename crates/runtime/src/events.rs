@@ -15,16 +15,19 @@
 //! The single-writer contract: track `t` is written only by the thread
 //! that owns it (worker `pid` writes track `pid`; the recovery
 //! supervisor writes the extra track [`Profiler::supervisor_track`]).
-//! Reads ([`Profiler::snapshot`]) happen only while writers are
-//! quiescent — after the team run returned — which is what makes the
-//! unsynchronized slot accesses sound.
+//! Slots are stored as relaxed atomic words, so the API is sound from
+//! safe code unconditionally: a [`Profiler::snapshot`] that races an
+//! active writer is memory-safe, it can merely observe a torn event
+//! (fields mixed from two pushes into the same slot). Callers who need
+//! an *exact* stream — the executor, the recovery supervisor — read
+//! only while writers are quiescent (after the team run returned).
 //!
 //! Events are *epoch-stamped*: the recovery supervisor bumps
 //! [`Profiler::bump_epoch`] when it re-arms the fabric between retry
 //! attempts, so the merged stream can separate the final attempt's
 //! episodes from the abandoned ones without clearing anything.
 
-use std::cell::{RefCell, UnsafeCell};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -69,6 +72,26 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// Every kind, indexed by its `#[repr(u8)]` discriminant (the slot
+    /// encoding round-trips through this table).
+    const ALL: [EventKind; 11] = [
+        EventKind::SyncArrive,
+        EventKind::SyncRelease,
+        EventKind::RegionBegin,
+        EventKind::RegionEnd,
+        EventKind::Checkpoint,
+        EventKind::Rollback,
+        EventKind::Retry,
+        EventKind::EscalateYield,
+        EventKind::EscalatePark,
+        EventKind::FmeHit,
+        EventKind::FmeMiss,
+    ];
+
+    fn from_u8(v: u8) -> EventKind {
+        *Self::ALL.get(v as usize).unwrap_or(&EventKind::RegionBegin)
+    }
+
     /// Stable lowercase name (used by JSON and trace output).
     pub fn as_str(self) -> &'static str {
         match self {
@@ -121,56 +144,82 @@ impl Default for ProfileOptions {
     }
 }
 
+/// One slot: a [`ProfileEvent`] as three relaxed atomic words, so a
+/// reader racing the writer can never invoke undefined behavior from
+/// safe code — the worst a race yields is a torn (mixed-field) event.
+/// The meta word packs `site | track << 32 | epoch << 48 | kind << 56`.
+struct Slot {
+    t_ns: AtomicU64,
+    arg: AtomicU64,
+    meta: AtomicU64,
+}
+
+impl Slot {
+    fn store(&self, ev: &ProfileEvent) {
+        self.t_ns.store(ev.t_ns, Ordering::Relaxed);
+        self.arg.store(ev.arg, Ordering::Relaxed);
+        let meta = ev.site as u64
+            | (ev.track as u64) << 32
+            | (ev.epoch as u64) << 48
+            | (ev.kind as u64) << 56;
+        self.meta.store(meta, Ordering::Relaxed);
+    }
+
+    fn load(&self) -> ProfileEvent {
+        let meta = self.meta.load(Ordering::Relaxed);
+        ProfileEvent {
+            t_ns: self.t_ns.load(Ordering::Relaxed),
+            arg: self.arg.load(Ordering::Relaxed),
+            site: meta as u32,
+            track: (meta >> 32) as u16,
+            epoch: (meta >> 48) as u8,
+            kind: EventKind::from_u8((meta >> 56) as u8),
+        }
+    }
+}
+
 /// One single-writer ring. `head` counts every push ever made; the live
 /// window is the last `min(head, capacity)` events.
 struct EventRing {
     mask: usize,
-    slots: Box<[UnsafeCell<ProfileEvent>]>,
+    slots: Box<[Slot]>,
     head: AtomicU64,
 }
-
-// Sound under the module's single-writer + quiescent-reader contract:
-// a slot is written by exactly one thread, and read only after that
-// thread's writes were published by the Release store of `head` (and,
-// transitively, by the team join).
-unsafe impl Sync for EventRing {}
-
-const ZERO_EVENT: ProfileEvent = ProfileEvent {
-    t_ns: 0,
-    arg: 0,
-    site: NO_SITE,
-    track: 0,
-    epoch: 0,
-    kind: EventKind::RegionBegin,
-};
 
 impl EventRing {
     fn new(capacity: usize) -> Self {
         let cap = capacity.max(2).next_power_of_two();
         EventRing {
             mask: cap - 1,
-            slots: (0..cap).map(|_| UnsafeCell::new(ZERO_EVENT)).collect(),
+            slots: (0..cap)
+                .map(|_| Slot {
+                    t_ns: AtomicU64::new(0),
+                    arg: AtomicU64::new(0),
+                    meta: AtomicU64::new(0),
+                })
+                .collect(),
             head: AtomicU64::new(0),
         }
     }
 
     #[inline]
     fn push(&self, ev: ProfileEvent) {
+        // Single writer: no other thread stores to these slots or head.
         let h = self.head.load(Ordering::Relaxed);
-        // Single writer: no other thread stores to this slot or head.
-        unsafe { *self.slots[(h as usize) & self.mask].get() = ev };
+        self.slots[(h as usize) & self.mask].store(&ev);
         self.head.store(h + 1, Ordering::Release);
     }
 
     /// Copy out the live window (oldest-first) and the drop count.
-    /// Caller must guarantee the writer is quiescent.
+    /// Exact only while the writer is quiescent; a racing drain is
+    /// memory-safe but may return torn events (see module docs).
     fn drain(&self) -> (Vec<ProfileEvent>, u64) {
         let h = self.head.load(Ordering::Acquire) as usize;
         let cap = self.mask + 1;
         let kept = h.min(cap);
         let mut out = Vec::with_capacity(kept);
         for i in (h - kept)..h {
-            out.push(unsafe { *self.slots[i & self.mask].get() });
+            out.push(self.slots[i & self.mask].load());
         }
         (out, (h - kept) as u64)
     }
@@ -257,7 +306,11 @@ impl Profiler {
         }
     }
 
-    /// Current recovery epoch.
+    /// Current recovery epoch. Saturates at 255: a run that retries
+    /// more than 255 times stamps every later event with epoch 255, so
+    /// episode keys from those attempts can collide — the analyzer
+    /// detects the saturated stamp and flags it (`epoch_clamp`) instead
+    /// of reporting bogus episodes.
     pub fn epoch(&self) -> u8 {
         self.epoch.load(Ordering::Relaxed).min(u8::MAX as u64) as u8
     }
@@ -291,10 +344,11 @@ impl Profiler {
     }
 
     /// Merge every track's live window into one time-sorted stream.
-    /// Only sound while all writers are quiescent (the team run has
-    /// returned); non-destructive — rings keep accumulating afterwards,
-    /// so the recovery supervisor can snapshot once at the very end and
-    /// see all attempts.
+    /// Always memory-safe; *exact* only while all writers are quiescent
+    /// (the team run has returned), else racing pushes can surface as
+    /// torn events. Non-destructive — rings keep accumulating
+    /// afterwards, so the recovery supervisor can snapshot once at the
+    /// very end and see all attempts.
     pub fn snapshot(&self) -> ProfileData {
         let mut events = Vec::new();
         let mut dropped = 0u64;
@@ -471,5 +525,25 @@ mod tests {
     #[test]
     fn event_is_compact() {
         assert!(std::mem::size_of::<ProfileEvent>() <= 24);
+    }
+
+    #[test]
+    fn slot_encoding_round_trips_every_field() {
+        for &kind in EventKind::ALL.iter() {
+            let want = ProfileEvent {
+                t_ns: u64::MAX - 1,
+                arg: 7,
+                site: 1_234_567,
+                track: 513,
+                epoch: 200,
+                kind,
+            };
+            let ring = EventRing::new(2);
+            ring.push(want);
+            let (evs, dropped) = ring.drain();
+            assert_eq!(dropped, 0);
+            assert_eq!(evs, vec![want]);
+            assert_eq!(EventKind::from_u8(kind as u8), kind);
+        }
     }
 }

@@ -598,9 +598,27 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &args.trace_out {
+        // The compile profiler's clock starts at its own construction
+        // while the run stream (and the run spans) are rebased to the
+        // run's t0, so both begin near 0. Shift the run-side content
+        // past the compile stream's last event so the merged timeline
+        // reads compile-then-run instead of overlapping.
+        let shift_ns = compile_data
+            .as_ref()
+            .and_then(|cd| cd.events.iter().map(|e| e.t_ns).max())
+            .map(|last| last + 1_000)
+            .unwrap_or(0);
+        let mut run_spans = spans.unwrap_or_default();
+        for s in &mut run_spans {
+            s.start_us += shift_ns / 1_000;
+            s.end_us += shift_ns / 1_000;
+        }
         let mut tb = TraceBuilder::new(&prog.name, args.nprocs as usize);
-        tb.extend(spans.unwrap_or_default());
-        if let Some((data, metas)) = &run_profile {
+        tb.extend(run_spans);
+        if let Some((data, metas)) = &mut run_profile {
+            for e in &mut data.events {
+                e.t_ns += shift_ns;
+            }
             tb.extend_with_profile(data, metas, args.nprocs as usize, 0, "");
         }
         if let Some(cd) = &compile_data {
