@@ -1,0 +1,371 @@
+//! Compile-service latency and load-shedding gate: `BENCH_8.json`.
+//!
+//! Drives an in-process `beoptd` service (same code path as the
+//! daemon: TCP, shard pool, snapshots off) over the five shipped `.be`
+//! kernels and measures:
+//!
+//! * **warm latency** — per-request round-trip p50/p99 at 1, 4, and 16
+//!   concurrent clients, after one cold warm-up pass per kernel, plus
+//!   the fraction of replies served from a warm FME memo;
+//! * **shed rate at 2× overload** — a burst of `2 × queue_cap`
+//!   simultaneous single-attempt requests against one deliberately
+//!   slowed shard: the service must answer *every* request structurally
+//!   (a plan or an `overloaded` + retry-after), shedding the overflow
+//!   instead of queueing it unboundedly.
+//!
+//! The regression gate ties the service to the PR-5 analysis-cache
+//! numbers: warm p99 at one client must stay within [`GATE_FACTOR`]×
+//! the per-kernel warm-recompile average recorded in `BENCH_5.json`
+//! (the factor absorbs the TCP transport, JSON codec, and host
+//! variance on small machines). If `BENCH_5.json` is absent the gate
+//! is skipped with a logged reason.
+//!
+//! Usage: `bench8 [--quick] [--out PATH] [--bench5 PATH] [--baseline PATH]`
+//!   --quick     fewer requests and no 16-client column (CI smoke mode)
+//!   --out       output path (default BENCH_8.json; `-` for stdout)
+//!   --bench5    warm-recompile reference (default BENCH_5.json)
+//!   --baseline  prior BENCH_8.json; refused unless its schema matches
+
+use obs::Json;
+use served::{
+    OptimizeRequest, PlanKind, Service, ServiceChaos, ServiceClient, ServiceConfig, ServiceFault,
+};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Warm service p99 (1 client) may cost at most this many times the
+/// BENCH_5 per-kernel warm-recompile average. Generous: it gates the
+/// order of magnitude (a cold-path or lock regression), not the
+/// transport's microseconds.
+const GATE_FACTOR: f64 = 50.0;
+
+const KERNELS: &[(&str, &[(&str, i64)])] = &[
+    ("broadcast.be", &[("n", 12)]),
+    ("jacobi.be", &[("n", 48), ("tmax", 4)]),
+    ("pipeline.be", &[("n", 16), ("tmax", 3)]),
+    ("private_gather.be", &[("n", 10)]),
+    ("shallow.be", &[("n", 12), ("tmax", 2)]),
+];
+
+fn load_kernels() -> Vec<(String, String, Vec<(String, i64)>)> {
+    KERNELS
+        .iter()
+        .map(|(name, sets)| {
+            let src = std::fs::read_to_string(format!("kernels/{name}")).unwrap_or_else(|e| {
+                panic!("cannot read kernels/{name}: {e} (run from the repo root)")
+            });
+            (
+                name.to_string(),
+                src,
+                sets.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+            )
+        })
+        .collect()
+}
+
+fn request(id: u64, kernel: &(String, String, Vec<(String, i64)>)) -> OptimizeRequest {
+    OptimizeRequest {
+        id,
+        program: kernel.1.clone(),
+        nprocs: 4,
+        binds: kernel.2.clone(),
+        plan: PlanKind::Optimized,
+        deadline_ms: None,
+    }
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// One warm measurement: `clients` threads, each making `passes` full
+/// passes over the kernel set. Returns (latencies µs, warm replies,
+/// total replies).
+fn measure_warm(
+    addr: &str,
+    kernels: &[(String, String, Vec<(String, i64)>)],
+    clients: usize,
+    passes: usize,
+) -> (Vec<f64>, u64, u64) {
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            let kernels = kernels.to_vec();
+            std::thread::spawn(move || {
+                let client = ServiceClient::new(addr);
+                let mut lat = Vec::new();
+                let mut warm = 0u64;
+                let mut total = 0u64;
+                for pass in 0..passes {
+                    for (k, kernel) in kernels.iter().enumerate() {
+                        let id = ((c * passes + pass) * kernels.len() + k) as u64;
+                        let t0 = Instant::now();
+                        let reply = client
+                            .optimize(&request(id, kernel))
+                            .unwrap_or_else(|e| panic!("{}: {e}", kernel.0));
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        total += 1;
+                        if reply.warm_hint {
+                            warm += 1;
+                        }
+                    }
+                }
+                (lat, warm, total)
+            })
+        })
+        .collect();
+    let mut lat = Vec::new();
+    let mut warm = 0;
+    let mut total = 0;
+    for h in handles {
+        let (l, w, t) = h.join().expect("warm client");
+        lat.extend(l);
+        warm += w;
+        total += t;
+    }
+    (lat, warm, total)
+}
+
+/// Slows every request so a small queue saturates under a burst.
+struct SlowCompile(Duration);
+
+impl ServiceChaos for SlowCompile {
+    fn at_request(&self, _shard: usize, _seq: u64) -> Option<ServiceFault> {
+        Some(ServiceFault::Delay(self.0))
+    }
+}
+
+/// The 2× overload burst: offered = 2 × queue_cap simultaneous
+/// single-attempt requests against one slowed shard. Returns
+/// (offered, served, shed) — every request must be one or the other.
+fn measure_overload(
+    kernels: &[(String, String, Vec<(String, i64)>)],
+    queue_cap: usize,
+) -> (u64, u64, u64) {
+    let service = Service::start(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        nshards: 1,
+        queue_cap,
+        snapshot_dir: None,
+        chaos: Some(Arc::new(SlowCompile(Duration::from_millis(40)))),
+        ..Default::default()
+    })
+    .expect("start overload service");
+    let addr = service.addr.to_string();
+    let offered = 2 * queue_cap as u64;
+    let handles: Vec<_> = (0..offered)
+        .map(|i| {
+            let addr = addr.clone();
+            let kernel = kernels[i as usize % kernels.len()].clone();
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::new(addr);
+                client.policy.max_attempts = 1; // no retries: expose the shed
+                match client.optimize(&request(i, &kernel)) {
+                    Ok(_) => (1u64, 0u64),
+                    Err(served::ClientError::Exhausted { last: Some(e), .. })
+                        if e.code == served::ErrorCode::Overloaded =>
+                    {
+                        assert!(e.retry_after_ms.is_some(), "shed must carry a hint");
+                        (0, 1)
+                    }
+                    Err(other) => panic!("unstructured overload outcome: {other}"),
+                }
+            })
+        })
+        .collect();
+    let mut served_n = 0;
+    let mut shed = 0;
+    for h in handles {
+        let (s, d) = h.join().expect("overload client");
+        served_n += s;
+        shed += d;
+    }
+    service.stop();
+    service.wait();
+    (offered, served_n, shed)
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = "BENCH_8.json".to_string();
+    let mut bench5_path = "BENCH_5.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = it.next().expect("--out needs a path"),
+            "--bench5" => bench5_path = it.next().expect("--bench5 needs a path"),
+            "--baseline" => baseline_path = Some(it.next().expect("--baseline needs a path")),
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: bench8 [--quick] [--out PATH] [--bench5 PATH] [--baseline PATH]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(p) = &baseline_path {
+        match spmd_bench::load_baseline(p, "service-latency") {
+            Ok(_) => println!("baseline {p}: schema ok"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let kernels = load_kernels();
+    let (client_levels, passes): (&[usize], usize) = if quick {
+        (&[1, 4], 2)
+    } else {
+        (&[1, 4, 16], 4)
+    };
+
+    let service = Service::start(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        nshards: 2,
+        queue_cap: 128,
+        snapshot_dir: None,
+        ..Default::default()
+    })
+    .expect("start warm service");
+    let addr = service.addr.to_string();
+
+    // Cold pass: route every kernel to its shard once so the memo is
+    // populated before any timed request.
+    let warmup = ServiceClient::new(addr.clone());
+    for (i, k) in kernels.iter().enumerate() {
+        warmup
+            .optimize(&request(i as u64, k))
+            .unwrap_or_else(|e| panic!("warm-up {}: {e}", k.0));
+    }
+
+    let mut warm_rows: Vec<Json> = Vec::new();
+    let mut p99_one_client = 0.0f64;
+    for &clients in client_levels {
+        let (mut lat, warm, total) = measure_warm(&addr, &kernels, clients, passes);
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = percentile(&lat, 0.50);
+        let p99 = percentile(&lat, 0.99);
+        let warm_rate = warm as f64 / total.max(1) as f64;
+        if clients == 1 {
+            p99_one_client = p99;
+        }
+        println!(
+            "warm @ {clients:>2} client(s): {total:>3} requests, p50 {p50:>9.1} us, \
+             p99 {p99:>9.1} us, warm rate {:.0}%",
+            warm_rate * 100.0
+        );
+        warm_rows.push(
+            Json::obj()
+                .set("clients", clients)
+                .set("requests", total)
+                .set("p50_us", p50)
+                .set("p99_us", p99)
+                .set("warm_rate", warm_rate),
+        );
+    }
+    service.stop();
+    service.wait();
+
+    let queue_cap = if quick { 3 } else { 6 };
+    let (offered, served_n, shed) = measure_overload(&kernels, queue_cap);
+    let shed_rate = shed as f64 / offered.max(1) as f64;
+    println!(
+        "overload 2x: offered {offered}, served {served_n}, shed {shed} \
+         (shed rate {:.0}%)",
+        shed_rate * 100.0
+    );
+    let overload_ok = shed > 0 && served_n > 0 && served_n + shed == offered;
+    if !overload_ok {
+        println!(
+            "overload FAILED: every request must be served or structurally shed, \
+             with both outcomes present at 2x"
+        );
+    }
+
+    // The warm-latency gate against the PR-5 recompile numbers.
+    let (gate_doc, gate_ok) =
+        match spmd_bench::load_baseline(&bench5_path, "analysis-cache-regression") {
+            Ok(b5) => {
+                let warm_total_us = b5
+                    .get("warm_recompile")
+                    .and_then(|w| w.get("warm_us"))
+                    .and_then(Json::as_num)
+                    .unwrap_or(0.0);
+                let nkernels = b5
+                    .get("kernels")
+                    .and_then(Json::as_arr)
+                    .map(|k| k.len())
+                    .unwrap_or(1)
+                    .max(1);
+                let per_kernel_us = warm_total_us / nkernels as f64;
+                let bound_us = GATE_FACTOR * per_kernel_us;
+                let ok = per_kernel_us > 0.0 && p99_one_client <= bound_us;
+                println!(
+                    "gate: warm p99 @ 1 client {p99_one_client:.1} us vs {GATE_FACTOR}x \
+                 BENCH_5 warm-recompile avg {per_kernel_us:.1} us = {bound_us:.1} us -> {}",
+                    if ok { "OK" } else { "FAILED" }
+                );
+                (
+                    Json::obj()
+                        .set("bench5_warm_avg_us", per_kernel_us)
+                        .set("factor", GATE_FACTOR)
+                        .set("warm_p99_us", p99_one_client)
+                        .set("ok", ok),
+                    ok,
+                )
+            }
+            Err(e) => {
+                println!("gate skipped: {e}");
+                (Json::obj().set("skipped", e.as_str()).set("ok", true), true)
+            }
+        };
+
+    let doc = spmd_bench::stamp_schema(
+        Json::obj()
+            .set("bench", "service-latency")
+            .set("mode", if quick { "quick" } else { "full" })
+            .set("nshards", 2u64)
+            .set(
+                "kernels",
+                Json::Arr(
+                    kernels
+                        .iter()
+                        .map(|(n, _, _)| Json::from(n.as_str()))
+                        .collect(),
+                ),
+            )
+            .set("warm", Json::Arr(warm_rows))
+            .set(
+                "overload",
+                Json::obj()
+                    .set("offered", offered)
+                    .set("queue_cap", queue_cap)
+                    .set("served", served_n)
+                    .set("shed", shed)
+                    .set("shed_rate", shed_rate)
+                    .set("ok", overload_ok),
+            )
+            .set("gate", gate_doc),
+    );
+    let rendered = doc.to_string_pretty();
+    if out_path == "-" {
+        println!("{rendered}");
+    } else if let Err(e) = std::fs::write(&out_path, rendered) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    } else {
+        println!("wrote {out_path}");
+    }
+    if gate_ok && overload_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

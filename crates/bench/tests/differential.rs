@@ -152,7 +152,27 @@ fn guarded_and_pure_latency_paths_are_observationally_identical() {
             // in the last ulp) can only be held to tolerance; every
             // reproducible kernel must match the guarded path bit for
             // bit.
-            if pure_mem.max_abs_diff(&pure_mem2) == 0.0 {
+            //
+            // The two-probe calibration is only meaningful when probes
+            // can actually interleave. On a 1-core host the OS
+            // serializes the team, so two pure probes land on the same
+            // schedule by accident even for kernels whose reduction
+            // order is timing-dependent (tred2's fork-join row
+            // broadcasts) — and the guarded run, whose watchdog shifts
+            // the serialization points, then differs in the last ulp.
+            // Fall back to tolerance there, with the reason logged.
+            let one_core = std::thread::available_parallelism()
+                .map(|n| n.get() == 1)
+                .unwrap_or(false);
+            if one_core {
+                eprintln!(
+                    "{} ({label}): 1-core host — two-probe reproducibility \
+                     calibration is vacuous, holding guarded-vs-pure to \
+                     tolerance instead of bitwise",
+                    def.name
+                );
+            }
+            if !one_core && pure_mem.max_abs_diff(&pure_mem2) == 0.0 {
                 assert_eq!(
                     pure_mem.max_abs_diff(&guarded_mem),
                     0.0,

@@ -122,6 +122,24 @@ impl CanonicalSystem {
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
+
+    /// Decompose into raw parts for the snapshot codec.
+    pub(crate) fn parts(&self) -> (bool, u32, &[i128]) {
+        (self.contradictory, self.count, &self.flat)
+    }
+
+    /// Reassemble from snapshot parts. The codec validates the buffer's
+    /// structural integrity before calling this; a corrupted buffer
+    /// that slips through yields a key that simply never matches a live
+    /// query (wrong flat encoding), never an unsound verdict for a
+    /// *different* system.
+    pub(crate) fn from_parts(contradictory: bool, count: u32, flat: Vec<i128>) -> Self {
+        CanonicalSystem {
+            contradictory,
+            count,
+            flat,
+        }
+    }
 }
 
 /// `(variable id, rank << 32 | ordinal)` rows sorted by id, so term
@@ -250,6 +268,11 @@ pub struct FmeCacheStats {
     pub saved_ns: u64,
     /// Total nanoseconds spent inside cached feasibility queries.
     pub query_ns: u64,
+    /// Feasibility memo entries evicted by the second-chance clock.
+    pub feas_evictions: u64,
+    /// Feasibility memo capacity (entries are evicted, not refused,
+    /// once the table is full).
+    pub feas_capacity: usize,
 }
 
 impl FmeCacheStats {
@@ -264,8 +287,94 @@ impl FmeCacheStats {
     }
 }
 
-const FEAS_MEMO_CAP: usize = 1 << 20;
+/// Default feasibility-memo capacity (entries; evicted beyond this).
+pub const FEAS_MEMO_CAP: usize = 1 << 20;
 const ELIM_MEMO_CAP: usize = 1 << 12;
+
+/// One memoized feasibility verdict with its second-chance bit.
+struct FeasSlot {
+    f: Feasibility,
+    cost: u64,
+    referenced: bool,
+}
+
+/// The bounded feasibility memo: a hash map for lookups plus a clock
+/// ring over the same (shared) keys for second-chance eviction. A hit
+/// sets the entry's `referenced` bit; when the table is full, the clock
+/// hand sweeps forward clearing bits and evicts the first entry it
+/// finds unreferenced — so the working set of a long-lived compile
+/// service survives one-off queries instead of the table silently
+/// refusing new entries.
+#[derive(Default)]
+struct FeasTable {
+    map: FxMap<std::sync::Arc<CanonicalSystem>, FeasSlot>,
+    ring: Vec<std::sync::Arc<CanonicalSystem>>,
+    hand: usize,
+    cap: usize,
+    evictions: u64,
+}
+
+impl FeasTable {
+    fn with_capacity(cap: usize) -> Self {
+        FeasTable {
+            cap,
+            ..Default::default()
+        }
+    }
+
+    fn get(&mut self, key: &CanonicalSystem) -> Option<(Feasibility, u64)> {
+        let slot = self.map.get_mut(key)?;
+        slot.referenced = true;
+        Some((slot.f, slot.cost))
+    }
+
+    /// Advance the clock hand to a victim slot: clear `referenced` bits
+    /// as it sweeps, evict the first unreferenced entry. Terminates
+    /// within two laps (the first lap clears every bit).
+    fn evict_one(&mut self) -> usize {
+        loop {
+            self.hand = (self.hand + 1) % self.ring.len();
+            let key = self.ring[self.hand].clone();
+            let slot = self.map.get_mut(&*key).expect("clock ring key not in map");
+            if slot.referenced {
+                slot.referenced = false;
+            } else {
+                self.map.remove(&*key);
+                self.evictions += 1;
+                return self.hand;
+            }
+        }
+    }
+
+    fn insert(&mut self, key: CanonicalSystem, f: Feasibility, cost: u64) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(slot) = self.map.get_mut(&key) {
+            slot.f = f;
+            slot.cost = cost;
+            slot.referenced = true;
+            return;
+        }
+        let key = std::sync::Arc::new(key);
+        if self.map.len() >= self.cap {
+            let victim = self.evict_one();
+            self.ring[victim] = key.clone();
+        } else {
+            self.ring.push(key.clone());
+        }
+        // A fresh entry enters referenced, buying one full clock lap
+        // before it becomes an eviction candidate.
+        self.map.insert(
+            key,
+            FeasSlot {
+                f,
+                cost,
+                referenced: true,
+            },
+        );
+    }
+}
 
 /// A shared, thread-safe memo for FME feasibility and elimination
 /// queries, keyed on [`CanonicalSystem`]s.
@@ -275,9 +384,8 @@ const ELIM_MEMO_CAP: usize = 1 << 12;
 /// workers race for the same key, which is why they surface through
 /// stdout/bench telemetry and never through the byte-stable explain
 /// document.
-#[derive(Default)]
 pub struct FmeCache {
-    feas: Mutex<FxMap<CanonicalSystem, (Feasibility, u64)>>,
+    feas: Mutex<FeasTable>,
     elim: Mutex<FxMap<(CanonicalSystem, u8, u32), Vec<i128>>>,
     feas_hits: AtomicU64,
     feas_misses: AtomicU64,
@@ -291,10 +399,64 @@ pub struct FmeCache {
     query_ns: AtomicU64,
 }
 
+impl Default for FmeCache {
+    fn default() -> Self {
+        Self::with_feas_capacity(FEAS_MEMO_CAP)
+    }
+}
+
 impl FmeCache {
-    /// An empty cache.
+    /// An empty cache with the default feasibility-memo capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache whose feasibility memo holds at most `cap`
+    /// entries, evicting second-chance victims beyond that. `cap == 0`
+    /// disables feasibility memoization entirely (every query scans).
+    pub fn with_feas_capacity(cap: usize) -> Self {
+        FmeCache {
+            feas: Mutex::new(FeasTable::with_capacity(cap)),
+            elim: Mutex::new(FxMap::default()),
+            feas_hits: AtomicU64::new(0),
+            feas_misses: AtomicU64::new(0),
+            elim_hits: AtomicU64::new(0),
+            elim_misses: AtomicU64::new(0),
+            unknown_verdicts: AtomicU64::new(0),
+            peak_constraints: AtomicUsize::new(0),
+            canon_ns: AtomicU64::new(0),
+            scan_ns: AtomicU64::new(0),
+            saved_ns: AtomicU64::new(0),
+            query_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Clone out every memoized feasibility entry `(canonical form,
+    /// verdict, original scan cost in ns)` — the payload a persistent
+    /// snapshot carries across process restarts.
+    pub fn export_feas(&self) -> Vec<(CanonicalSystem, Feasibility, u64)> {
+        let memo = self.feas.lock().unwrap();
+        memo.ring
+            .iter()
+            .filter_map(|k| {
+                let slot = memo.map.get(k)?;
+                Some(((**k).clone(), slot.f, slot.cost))
+            })
+            .collect()
+    }
+
+    /// Seed the feasibility memo from previously exported entries (a
+    /// restarted shard rejoining from its persisted snapshot). Entries
+    /// beyond capacity evict as usual; preloading counts toward neither
+    /// hits nor misses.
+    pub fn preload_feas(
+        &self,
+        entries: impl IntoIterator<Item = (CanonicalSystem, Feasibility, u64)>,
+    ) {
+        let mut memo = self.feas.lock().unwrap();
+        for (key, f, cost) in entries {
+            memo.insert(key, f, cost);
+        }
     }
 
     /// Memoized [`System::feasibility`]. Answers from the cache when an
@@ -317,7 +479,7 @@ impl FmeCache {
         let (key, _) = canonicalize(sys, vt);
         self.canon_ns
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        if let Some(&(f, cost)) = self.feas.lock().unwrap().get(&key) {
+        if let Some((f, cost)) = self.feas.lock().unwrap().get(&key) {
             self.feas_hits.fetch_add(1, Ordering::Relaxed);
             self.saved_ns.fetch_add(cost, Ordering::Relaxed);
             return f;
@@ -336,10 +498,10 @@ impl FmeCache {
             self.scan_ns.fetch_add(cost, Ordering::Relaxed);
             self.peak_constraints.fetch_max(peak0, Ordering::Relaxed);
             self.unknown_verdicts.fetch_add(1, Ordering::Relaxed);
-            let mut memo = self.feas.lock().unwrap();
-            if memo.len() < FEAS_MEMO_CAP {
-                memo.insert(key, (Feasibility::Unknown, cost));
-            }
+            self.feas
+                .lock()
+                .unwrap()
+                .insert(key, Feasibility::Unknown, cost);
             return Feasibility::Unknown;
         }
         let t2 = std::time::Instant::now();
@@ -348,13 +510,11 @@ impl FmeCache {
             .fetch_add(t2.elapsed().as_nanos() as u64, Ordering::Relaxed);
         {
             let mut memo = self.feas.lock().unwrap();
-            if let Some(&(f, cost)) = memo.get(&rkey) {
+            if let Some((f, cost)) = memo.get(&rkey) {
                 // Remember the raw key too so the next identical query
                 // hits at level 1. The recorded cost stays the loop-only
                 // cost this hit actually saved.
-                if memo.len() < FEAS_MEMO_CAP {
-                    memo.insert(key, (f, cost));
-                }
+                memo.insert(key, f, cost);
                 drop(memo);
                 self.feas_hits.fetch_add(1, Ordering::Relaxed);
                 self.saved_ns.fetch_add(cost, Ordering::Relaxed);
@@ -373,10 +533,8 @@ impl FmeCache {
             self.unknown_verdicts.fetch_add(1, Ordering::Relaxed);
         }
         let mut memo = self.feas.lock().unwrap();
-        if memo.len() < FEAS_MEMO_CAP {
-            memo.insert(key, (f, full_cost));
-            memo.insert(rkey, (f, loop_cost));
-        }
+        memo.insert(key, f, full_cost);
+        memo.insert(rkey, f, loop_cost);
         f
     }
 
@@ -416,6 +574,10 @@ impl FmeCache {
 
     /// Current counter snapshot.
     pub fn stats(&self) -> FmeCacheStats {
+        let (entries, feas_evictions, feas_capacity) = {
+            let memo = self.feas.lock().unwrap();
+            (memo.map.len(), memo.evictions, memo.cap)
+        };
         FmeCacheStats {
             feas_hits: self.feas_hits.load(Ordering::Relaxed),
             feas_misses: self.feas_misses.load(Ordering::Relaxed),
@@ -423,11 +585,13 @@ impl FmeCache {
             elim_misses: self.elim_misses.load(Ordering::Relaxed),
             unknown_verdicts: self.unknown_verdicts.load(Ordering::Relaxed),
             peak_constraints: self.peak_constraints.load(Ordering::Relaxed),
-            entries: self.feas.lock().unwrap().len(),
+            entries,
             canon_ns: self.canon_ns.load(Ordering::Relaxed),
             scan_ns: self.scan_ns.load(Ordering::Relaxed),
             saved_ns: self.saved_ns.load(Ordering::Relaxed),
             query_ns: self.query_ns.load(Ordering::Relaxed),
+            feas_evictions,
+            feas_capacity,
         }
     }
 }
@@ -513,6 +677,98 @@ mod tests {
         direct.canonical_sort(&vt);
         let direct = direct.try_eliminate_owned(ja).unwrap();
         assert_eq!(canonicalize(&ea, &vt).0, canonicalize(&direct, &vt).0);
+    }
+
+    /// Distinct (non-isomorphic) systems to fill the memo with: each
+    /// tag gets a different constant bound, which survives
+    /// canonicalization.
+    fn distinct_system(vt: &mut VarTable, tag: i128) -> System {
+        let i = vt.fresh(format!("e{tag}"), VarKind::LoopIndex);
+        let mut s = System::new();
+        s.add_range(
+            LinExpr::var(i),
+            LinExpr::constant(0),
+            LinExpr::constant(100 + tag),
+        );
+        s
+    }
+
+    #[test]
+    fn capacity_is_enforced_by_eviction_not_refusal() {
+        let mut vt = VarTable::new();
+        let cache = FmeCache::with_feas_capacity(8);
+        for t in 0..40 {
+            cache.feasibility(&distinct_system(&mut vt, t), &vt);
+        }
+        let st = cache.stats();
+        assert!(st.entries <= 8, "capacity exceeded: {}", st.entries);
+        assert_eq!(st.feas_capacity, 8);
+        assert!(st.feas_evictions > 0, "nothing was evicted: {st:?}");
+        // Entries keep being admitted after the table first filled: the
+        // *latest* system must be resident (a refuse-at-cap policy
+        // would have dropped it).
+        let last = distinct_system(&mut vt, 39);
+        let hits0 = cache.stats().feas_hits;
+        cache.feasibility(&last, &vt);
+        assert_eq!(
+            cache.stats().feas_hits,
+            hits0 + 1,
+            "latest entry not resident"
+        );
+    }
+
+    #[test]
+    fn second_chance_protects_the_hot_entry() {
+        let mut vt = VarTable::new();
+        let cache = FmeCache::with_feas_capacity(4);
+        let hot = distinct_system(&mut vt, 1000);
+        cache.feasibility(&hot, &vt); // miss: resident + referenced
+        for t in 0..32 {
+            cache.feasibility(&distinct_system(&mut vt, t), &vt);
+            // Re-touch the hot entry so its referenced bit survives
+            // every clock sweep.
+            cache.feasibility(&hot, &vt);
+        }
+        let st = cache.stats();
+        assert!(st.feas_evictions >= 28, "{st:?}");
+        let hits0 = st.feas_hits;
+        cache.feasibility(&hot, &vt);
+        assert_eq!(
+            cache.stats().feas_hits,
+            hits0 + 1,
+            "hot entry was evicted despite constant touches"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization_without_breaking_queries() {
+        let mut vt = VarTable::new();
+        let cache = FmeCache::with_feas_capacity(0);
+        let s = distinct_system(&mut vt, 7);
+        let direct = s.feasibility(&vt);
+        assert_eq!(cache.feasibility(&s, &vt), direct);
+        assert_eq!(cache.feasibility(&s, &vt), direct);
+        let st = cache.stats();
+        assert_eq!(st.feas_hits, 0);
+        assert_eq!(st.feas_misses, 2);
+        assert_eq!(st.entries, 0);
+    }
+
+    #[test]
+    fn export_and_preload_round_trip_preserves_verdicts() {
+        let mut vt = VarTable::new();
+        let cache = FmeCache::new();
+        let (a, _) = chain(&mut vt, "a");
+        let fa = cache.feasibility(&a, &vt);
+        let entries = cache.export_feas();
+        assert!(!entries.is_empty());
+        let fresh = FmeCache::new();
+        fresh.preload_feas(entries);
+        assert_eq!(fresh.stats().entries, cache.stats().entries);
+        assert_eq!(fresh.feasibility(&a, &vt), fa);
+        let st = fresh.stats();
+        assert_eq!(st.feas_hits, 1, "preloaded verdict must hit: {st:?}");
+        assert_eq!(st.feas_misses, 0);
     }
 
     #[test]

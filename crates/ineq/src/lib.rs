@@ -37,6 +37,7 @@ pub mod linexpr;
 pub mod rational;
 pub mod scan;
 pub mod simplify;
+pub mod snapshot;
 pub mod system;
 pub mod var;
 
@@ -45,5 +46,9 @@ pub use constraint::{Constraint, ConstraintKind};
 pub use linexpr::LinExpr;
 pub use rational::{Overflow, Rational};
 pub use scan::{BoundExpr, VarBounds};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, load_snapshot, write_snapshot, SnapshotCorrupt, SnapshotLoad,
+    SNAPSHOT_MAGIC, SNAPSHOT_SCHEMA_VERSION,
+};
 pub use system::{Feasibility, IntSearch, System, MAX_FEAS_CONSTRAINTS};
 pub use var::{VarId, VarKind, VarTable};

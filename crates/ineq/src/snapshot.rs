@@ -1,0 +1,415 @@
+//! Crash-safe persistence for [`FmeCache`] feasibility memos.
+//!
+//! A snapshot is a single versioned, checksummed binary file holding
+//! every memoized `(canonical system, verdict, scan cost)` triple. The
+//! durability contract is *cold-start, never crash*:
+//!
+//! * **Writes are atomic.** The snapshot is written to a temp file in
+//!   the same directory and `rename`d over the target, so a reader (or
+//!   a restarted process) only ever sees the previous complete snapshot
+//!   or the new complete snapshot — never a torn write. A process
+//!   killed mid-write leaves a stale temp file that later writers sweep
+//!   and loaders ignore.
+//! * **Loads validate everything before trusting anything.** Magic,
+//!   schema version, entry count, per-entry structure, and a trailing
+//!   whole-file checksum are checked; any mismatch (truncation,
+//!   bit-flip, stale schema, zero-length file) yields a structured
+//!   [`SnapshotLoad::Rejected`] — the caller cold-starts with an empty
+//!   memo and reports the reason. Loading never panics and never
+//!   partially applies a bad snapshot.
+//!
+//! Soundness note: a bit-flip that survived the checksum *and* decoded
+//! to a structurally valid entry could at worst seed a key whose flat
+//! encoding matches no live query (the canonical form is self-
+//! delimiting), so a corrupt snapshot can cost hits, not correctness —
+//! but the checksum rejects it long before that.
+
+use crate::cache::{CanonicalSystem, FmeCache};
+use crate::system::Feasibility;
+use std::hash::Hasher;
+use std::io::Write;
+use std::path::Path;
+
+/// Bump when the byte layout below changes; loaders refuse (and
+/// cold-start on) every other version.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// File magic: identifies an FME feasibility snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"BEFMESNP";
+
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = crate::cache::FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Serialize feasibility-memo entries into the snapshot byte format:
+/// `magic | schema_version | entry_count | entries... | checksum`,
+/// all integers little-endian, the checksum covering every preceding
+/// byte.
+pub fn encode_snapshot(entries: &[(CanonicalSystem, Feasibility, u64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + entries.len() * 64);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_SCHEMA_VERSION.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for (key, f, cost) in entries {
+        let (contradictory, count, flat) = key.parts();
+        out.push(contradictory as u8);
+        out.extend_from_slice(&count.to_le_bytes());
+        out.extend_from_slice(&(flat.len() as u32).to_le_bytes());
+        for w in flat {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.push(match f {
+            Feasibility::Feasible => 0,
+            Feasibility::Infeasible => 1,
+            Feasibility::Unknown => 2,
+        });
+        out.extend_from_slice(&cost.to_le_bytes());
+    }
+    let sum = checksum(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Why a snapshot failed to decode. The message names the first
+/// integrity violation found (for reports and logs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotCorrupt(pub String);
+
+impl std::fmt::Display for SnapshotCorrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot rejected: {}", self.0)
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], SnapshotCorrupt> {
+        if self.bytes.len() - self.at < n {
+            return Err(SnapshotCorrupt(format!(
+                "truncated: need {n} byte(s) for {what} at offset {}, have {}",
+                self.at,
+                self.bytes.len() - self.at
+            )));
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, SnapshotCorrupt> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, SnapshotCorrupt> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, SnapshotCorrupt> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn i128(&mut self, what: &str) -> Result<i128, SnapshotCorrupt> {
+        Ok(i128::from_le_bytes(
+            self.take(16, what)?.try_into().unwrap(),
+        ))
+    }
+}
+
+/// Decode and fully validate a snapshot byte buffer. Every integrity
+/// violation — wrong magic, wrong schema version, truncation anywhere,
+/// checksum mismatch, trailing garbage, out-of-range enum bytes —
+/// returns `Err` with the reason; nothing is applied partially.
+pub fn decode_snapshot(
+    bytes: &[u8],
+) -> Result<Vec<(CanonicalSystem, Feasibility, u64)>, SnapshotCorrupt> {
+    if bytes.is_empty() {
+        return Err(SnapshotCorrupt("zero-length file".to_string()));
+    }
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 + 8 + 8 {
+        return Err(SnapshotCorrupt(format!(
+            "file too short for a snapshot header ({} byte(s))",
+            bytes.len()
+        )));
+    }
+    // Checksum first: it covers every other field, so a bit-flip
+    // anywhere (header or body) is caught here with one message.
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    let computed = checksum(body);
+    let mut r = Reader { bytes: body, at: 0 };
+    let magic = r.take(SNAPSHOT_MAGIC.len(), "magic")?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(SnapshotCorrupt(
+            "bad magic (not an FME snapshot)".to_string(),
+        ));
+    }
+    let version = r.u32("schema_version")?;
+    if version != SNAPSHOT_SCHEMA_VERSION {
+        return Err(SnapshotCorrupt(format!(
+            "schema_version {version} does not match this build's {SNAPSHOT_SCHEMA_VERSION}"
+        )));
+    }
+    if computed != stored {
+        return Err(SnapshotCorrupt(format!(
+            "checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+        )));
+    }
+    let n = r.u64("entry_count")?;
+    let mut out = Vec::new();
+    for k in 0..n {
+        let contradictory = match r.u8("contradictory flag")? {
+            0 => false,
+            1 => true,
+            b => {
+                return Err(SnapshotCorrupt(format!(
+                    "entry {k}: contradictory flag {b} out of range"
+                )))
+            }
+        };
+        let count = r.u32("constraint count")?;
+        let flat_len = r.u32("flat length")? as usize;
+        let mut flat = Vec::with_capacity(flat_len.min(1 << 16));
+        for _ in 0..flat_len {
+            flat.push(r.i128("flat word")?);
+        }
+        let f = match r.u8("feasibility verdict")? {
+            0 => Feasibility::Feasible,
+            1 => Feasibility::Infeasible,
+            2 => Feasibility::Unknown,
+            b => {
+                return Err(SnapshotCorrupt(format!(
+                    "entry {k}: feasibility byte {b} out of range"
+                )))
+            }
+        };
+        let cost = r.u64("scan cost")?;
+        out.push((
+            CanonicalSystem::from_parts(contradictory, count, flat),
+            f,
+            cost,
+        ));
+    }
+    if r.at != body.len() {
+        return Err(SnapshotCorrupt(format!(
+            "{} trailing byte(s) after the last entry",
+            body.len() - r.at
+        )));
+    }
+    Ok(out)
+}
+
+/// Sweep stale temp files left by writers killed mid-snapshot. Best
+/// effort: I/O errors are ignored (the files are ignored by loaders
+/// either way).
+fn sweep_stale_temps(path: &Path) {
+    let (Some(dir), Some(name)) = (path.parent(), path.file_name().and_then(|n| n.to_str())) else {
+        return;
+    };
+    let prefix = format!("{name}.tmp.");
+    let Ok(rd) = std::fs::read_dir(if dir.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        dir
+    }) else {
+        return;
+    };
+    for e in rd.flatten() {
+        if let Some(n) = e.file_name().to_str() {
+            if n.starts_with(&prefix) {
+                let _ = std::fs::remove_file(e.path());
+            }
+        }
+    }
+}
+
+/// Persist `cache`'s feasibility memo to `path` atomically: encode,
+/// write to a same-directory temp file, fsync, rename. Returns the
+/// number of entries written. A crash at any point leaves either the
+/// previous snapshot or the new one at `path`, never a torn file.
+pub fn write_snapshot(cache: &FmeCache, path: &Path) -> std::io::Result<usize> {
+    let entries = cache.export_feas();
+    let bytes = encode_snapshot(&entries);
+    sweep_stale_temps(path);
+    let tmp = path.with_file_name(format!(
+        "{}.tmp.{}",
+        path.file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("fme-snapshot"),
+        std::process::id()
+    ));
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(&bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    Ok(entries.len())
+}
+
+/// The outcome of [`load_snapshot`] — never an error, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotLoad {
+    /// A valid snapshot was applied.
+    Loaded {
+        /// Entries preloaded into the memo.
+        entries: usize,
+        /// Size of the snapshot file.
+        bytes: usize,
+    },
+    /// No snapshot file exists (first boot): cold start.
+    Missing,
+    /// The file exists but failed validation (truncated, bit-flipped,
+    /// stale schema, zero-length, unreadable): cold start, with the
+    /// reason for reports.
+    Rejected {
+        /// First integrity violation found.
+        reason: String,
+    },
+}
+
+impl SnapshotLoad {
+    /// Entries applied (0 unless `Loaded`).
+    pub fn entries(&self) -> usize {
+        match self {
+            SnapshotLoad::Loaded { entries, .. } => *entries,
+            _ => 0,
+        }
+    }
+}
+
+/// Load `path` into `cache` under the cold-start-never-crash policy:
+/// a valid snapshot preloads the memo, a missing file is a cold start,
+/// and *any* invalid file is a reported cold start. Stale temp files
+/// from writers killed mid-snapshot are never read (they live under a
+/// different name) and are swept on the next write.
+pub fn load_snapshot(cache: &FmeCache, path: &Path) -> SnapshotLoad {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return SnapshotLoad::Missing,
+        Err(e) => {
+            return SnapshotLoad::Rejected {
+                reason: format!("unreadable: {e}"),
+            }
+        }
+    };
+    match decode_snapshot(&bytes) {
+        Ok(entries) => {
+            let n = entries.len();
+            cache.preload_feas(entries);
+            SnapshotLoad::Loaded {
+                entries: n,
+                bytes: bytes.len(),
+            }
+        }
+        Err(e) => SnapshotLoad::Rejected { reason: e.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::LinExpr;
+    use crate::system::System;
+    use crate::var::{VarKind, VarTable};
+
+    fn warmed_cache(tags: usize) -> (FmeCache, VarTable) {
+        let mut vt = VarTable::new();
+        let cache = FmeCache::new();
+        for t in 0..tags {
+            let i = vt.fresh(format!("i{t}"), VarKind::LoopIndex);
+            let j = vt.fresh(format!("j{t}"), VarKind::LoopIndex);
+            let mut s = System::new();
+            s.add_range(
+                LinExpr::var(i),
+                LinExpr::constant(0),
+                LinExpr::constant(3 + t as i128),
+            );
+            s.add_eq(LinExpr::var(j) - LinExpr::var(i) - LinExpr::constant(2 * t as i128));
+            cache.feasibility(&s, &vt);
+        }
+        (cache, vt)
+    }
+
+    #[test]
+    fn snapshot_round_trips_exactly() {
+        let (cache, _) = warmed_cache(5);
+        let entries = cache.export_feas();
+        assert!(!entries.is_empty());
+        let bytes = encode_snapshot(&entries);
+        let back = decode_snapshot(&bytes).unwrap();
+        assert_eq!(entries, back);
+    }
+
+    #[test]
+    fn preloaded_cache_hits_where_the_original_hit() {
+        let (cache, vt) = warmed_cache(3);
+        let restarted = FmeCache::new();
+        restarted.preload_feas(decode_snapshot(&encode_snapshot(&cache.export_feas())).unwrap());
+        // Re-ask one of the warmed questions: pure hit, no scan.
+        let mut vt2 = vt;
+        let i = vt2.fresh("fresh_i", VarKind::LoopIndex);
+        let j = vt2.fresh("fresh_j", VarKind::LoopIndex);
+        let mut s = System::new();
+        s.add_range(LinExpr::var(i), LinExpr::constant(0), LinExpr::constant(3));
+        s.add_eq(LinExpr::var(j) - LinExpr::var(i));
+        let direct = s.feasibility(&vt2);
+        assert_eq!(restarted.feasibility(&s, &vt2), direct);
+        let st = restarted.stats();
+        assert_eq!(st.feas_hits, 1, "preloaded entry must hit: {st:?}");
+        assert_eq!(st.feas_misses, 0);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected_or_harmless() {
+        // Exhaustive single-bit-flip matrix over a small snapshot:
+        // every flip must either be rejected by validation or decode to
+        // the identical entry set (impossible for a single flip — the
+        // checksum covers every byte, so all flips must be rejected).
+        let (cache, _) = warmed_cache(2);
+        let bytes = encode_snapshot(&cache.export_feas());
+        for k in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[k] ^= 0x40;
+            assert!(
+                decode_snapshot(&bad).is_err(),
+                "flip at byte {k}/{} was not detected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_zero_length_and_schema_mismatch_are_rejected() {
+        let (cache, _) = warmed_cache(2);
+        let bytes = encode_snapshot(&cache.export_feas());
+        assert!(decode_snapshot(&[]).is_err(), "zero-length accepted");
+        for cut in [1, 8, 19, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_snapshot(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes accepted"
+            );
+        }
+        let mut stale = bytes.clone();
+        stale[8..12].copy_from_slice(&(SNAPSHOT_SCHEMA_VERSION + 1).to_le_bytes());
+        let err = decode_snapshot(&stale).unwrap_err();
+        assert!(err.0.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let (cache, _) = warmed_cache(1);
+        let mut bytes = encode_snapshot(&cache.export_feas());
+        bytes.extend_from_slice(&[0u8; 5]);
+        assert!(decode_snapshot(&bytes).is_err());
+    }
+}

@@ -171,6 +171,10 @@ pub fn render_analysis_stats(stats: &AnalysisStats) -> String {
         stats.fme.entries
     ));
     out.push_str(&format!(
+        "FME memo bound: {} of {} entry capacity, {} second-chance eviction(s)\n",
+        stats.fme.entries, stats.fme.feas_capacity, stats.fme.feas_evictions
+    ));
+    out.push_str(&format!(
         "scan health: peak {} constraints, {} unknown verdict(s) (overflow/budget -> barrier kept)\n",
         stats.fme.peak_constraints, stats.fme.unknown_verdicts
     ));

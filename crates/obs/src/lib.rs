@@ -25,6 +25,7 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod recovery;
+pub mod service;
 pub mod trace;
 
 pub use explain::{explain_json, producer_str, render_analysis_stats, render_decisions};
@@ -38,6 +39,7 @@ pub use profile::{
 pub use recovery::{
     recovery_json, render_recovery, AttemptReport, RecoveryReport, SiteActionReport,
 };
+pub use service::{render_service_stats, service_stats_json, ServiceStats, ShardStats};
 pub use trace::{Span, SpanCat, TraceBuilder};
 
 use spmd_opt::{sync_sites, SpmdProgram};

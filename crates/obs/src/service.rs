@@ -1,0 +1,208 @@
+//! Service-plane observability: per-shard and whole-service counter
+//! reports for the `beoptd` compile service.
+//!
+//! The structs here are plain data (the `served` crate fills them from
+//! its atomics) so the JSON shape and the human rendering live next to
+//! the other report formats. Counter values are interleaving-dependent
+//! diagnostics — they belong in `stats` documents and never inside the
+//! deterministic explain payload.
+
+use crate::json::Json;
+
+/// Point-in-time counters for one shard.
+#[derive(Clone, Debug, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests answered with a plan.
+    pub served: u64,
+    /// Requests answered with `bad_request`.
+    pub failed: u64,
+    /// Requests refused at admission (queue full).
+    pub shed: u64,
+    /// Requests answered with `deadline_exceeded`.
+    pub deadline_miss: u64,
+    /// Worker panics (each is fail-stop for the shard).
+    pub panics: u64,
+    /// Supervisor restarts of this shard's worker.
+    pub restarts: u64,
+    /// Requests served with feasibility-memo hits.
+    pub warm_hits: u64,
+    /// Requests currently queued.
+    pub backlog: u64,
+    /// Admission queue capacity.
+    pub queue_cap: u64,
+    /// Snapshots successfully persisted.
+    pub snapshots_written: u64,
+    /// Memo entries rejoined from snapshots across restarts.
+    pub entries_loaded: u64,
+    /// Worker starts with an empty memo.
+    pub cold_starts: u64,
+    /// Snapshot loads rejected by validation.
+    pub snapshot_rejects: u64,
+    /// Why the last load cold-started, if it did.
+    pub last_reject: Option<String>,
+    /// Live feasibility-memo entries.
+    pub memo_entries: u64,
+    /// Second-chance evictions performed by the memo.
+    pub memo_evictions: u64,
+}
+
+/// Whole-service counters plus every shard's.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Shard count.
+    pub nshards: usize,
+    /// Optimize requests admitted by the listener.
+    pub accepted: u64,
+    /// Connections dropped by injected transport faults.
+    pub dropped_connections: u64,
+    /// Per-shard counters.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServiceStats {
+    /// Sum of a per-shard counter.
+    fn total(&self, f: impl Fn(&ShardStats) -> u64) -> u64 {
+        self.shards.iter().map(f).sum()
+    }
+}
+
+fn shard_json(s: &ShardStats) -> Json {
+    let mut j = Json::obj()
+        .set("shard", s.shard)
+        .set("served", s.served)
+        .set("failed", s.failed)
+        .set("shed", s.shed)
+        .set("deadline_miss", s.deadline_miss)
+        .set("panics", s.panics)
+        .set("restarts", s.restarts)
+        .set("warm_hits", s.warm_hits)
+        .set("backlog", s.backlog)
+        .set("queue_cap", s.queue_cap)
+        .set("snapshots_written", s.snapshots_written)
+        .set("entries_loaded", s.entries_loaded)
+        .set("cold_starts", s.cold_starts)
+        .set("snapshot_rejects", s.snapshot_rejects)
+        .set("memo_entries", s.memo_entries)
+        .set("memo_evictions", s.memo_evictions);
+    if let Some(r) = &s.last_reject {
+        j = j.set("last_reject", r.as_str());
+    }
+    j
+}
+
+/// The `stats` reply document: service totals and per-shard detail.
+pub fn service_stats_json(st: &ServiceStats) -> Json {
+    Json::obj()
+        .set("nshards", st.nshards)
+        .set("accepted", st.accepted)
+        .set("dropped_connections", st.dropped_connections)
+        .set(
+            "totals",
+            Json::obj()
+                .set("served", st.total(|s| s.served))
+                .set("failed", st.total(|s| s.failed))
+                .set("shed", st.total(|s| s.shed))
+                .set("deadline_miss", st.total(|s| s.deadline_miss))
+                .set("panics", st.total(|s| s.panics))
+                .set("restarts", st.total(|s| s.restarts))
+                .set("warm_hits", st.total(|s| s.warm_hits))
+                .set("snapshots_written", st.total(|s| s.snapshots_written))
+                .set("entries_loaded", st.total(|s| s.entries_loaded))
+                .set("cold_starts", st.total(|s| s.cold_starts))
+                .set("snapshot_rejects", st.total(|s| s.snapshot_rejects)),
+        )
+        .set(
+            "shards",
+            Json::Arr(st.shards.iter().map(shard_json).collect()),
+        )
+}
+
+/// Human-readable service table (what `beoptd` prints on shutdown).
+pub fn render_service_stats(st: &ServiceStats) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "--- beoptd service ({} shard(s), {} admitted, {} conn drop(s)) ---\n",
+        st.nshards, st.accepted, st.dropped_connections
+    ));
+    out.push_str(
+        "shard  served  failed  shed  miss  panic  restart  warm  memo  evict  snap  loaded\n",
+    );
+    for s in &st.shards {
+        out.push_str(&format!(
+            "{:>5}  {:>6}  {:>6}  {:>4}  {:>4}  {:>5}  {:>7}  {:>4}  {:>4}  {:>5}  {:>4}  {:>6}\n",
+            s.shard,
+            s.served,
+            s.failed,
+            s.shed,
+            s.deadline_miss,
+            s.panics,
+            s.restarts,
+            s.warm_hits,
+            s.memo_entries,
+            s.memo_evictions,
+            s.snapshots_written,
+            s.entries_loaded,
+        ));
+        if let Some(r) = &s.last_reject {
+            out.push_str(&format!("       last cold-start reason: {r}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServiceStats {
+        ServiceStats {
+            nshards: 2,
+            accepted: 10,
+            dropped_connections: 1,
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    served: 4,
+                    warm_hits: 2,
+                    snapshots_written: 1,
+                    ..Default::default()
+                },
+                ShardStats {
+                    shard: 1,
+                    served: 5,
+                    restarts: 1,
+                    panics: 1,
+                    snapshot_rejects: 1,
+                    last_reject: Some("checksum mismatch".to_string()),
+                    ..Default::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_sum_across_shards() {
+        let doc = service_stats_json(&sample());
+        let totals = doc.get("totals").unwrap();
+        assert_eq!(totals.get("served").unwrap().as_u64(), Some(9));
+        assert_eq!(totals.get("restarts").unwrap().as_u64(), Some(1));
+        assert_eq!(totals.get("snapshot_rejects").unwrap().as_u64(), Some(1));
+        let shards = doc.get("shards").unwrap().as_arr().unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(
+            shards[1].get("last_reject").unwrap().as_str(),
+            Some("checksum mismatch")
+        );
+        // Healthy shard omits the reject reason entirely.
+        assert!(shards[0].get("last_reject").is_none());
+    }
+
+    #[test]
+    fn rendering_names_the_cold_start_reason() {
+        let text = render_service_stats(&sample());
+        assert!(text.contains("2 shard(s)"), "{text}");
+        assert!(text.contains("checksum mismatch"), "{text}");
+    }
+}

@@ -22,6 +22,7 @@ pub mod diff;
 pub mod gen;
 pub mod mutate;
 pub mod repro;
+pub mod service_chaos;
 pub mod validate;
 
 pub use chaos::{
@@ -33,6 +34,10 @@ pub use diff::{check_program, plan_diverges, CaseResult, DiffConfig};
 pub use gen::{generate, GenProgram, Shape};
 pub use mutate::{delete, mutation_teeth, sites, MutationSite, TeethReport};
 pub use repro::dump_repro;
+pub use service_chaos::{
+    service_chaos_check, service_chaos_json, SeededServiceChaos, ServiceChaosCase,
+    ServiceChaosConfig, ServiceChaosReport,
+};
 pub use validate::{validate, Race, RaceReport};
 
 /// Outcome of a seeded fuzz campaign.

@@ -1,0 +1,424 @@
+//! Seeded service-plane chaos: the `beoracle service-chaos` campaign.
+//!
+//! The execution-plane injector ([`crate::chaos`]) attacks sync
+//! primitives inside a running plan; this module attacks the *compile
+//! service* around them, through the hook points `served` exposes:
+//! shard kills mid-request, corrupted snapshot files, delayed and
+//! dropped connections. Every fault is a pure function of
+//! `(seed, hook, shard, seq)` via the same splitmix64 mixing, so a
+//! seed reproduces the exact fault schedule.
+//!
+//! The campaign's correctness bar is absolute: a client with the
+//! standard retry ladder must get an answer for every request, and
+//! every answer's explain document (plan sites + decision log) must be
+//! **byte-identical** to a clean single-process
+//! `optimize_explained_shared` run of the same request. Faults may
+//! cost latency and cache warmth — never a different plan, and never
+//! an error surfacing past the retry budget.
+
+use served::{
+    OptimizeRequest, PlanKind, Service, ServiceChaos, ServiceClient, ServiceConfig, ServiceFault,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One draw per (seed, hook, shard, seq) coordinate.
+fn mix(seed: u64, hook: u64, shard: u64, seq: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(hook.wrapping_mul(0x9E37) ^ splitmix64((shard << 40) ^ seq)))
+}
+
+/// Injection rates for the seeded service-plane schedule. Rates are
+/// per-mille per hook firing; request-hook rates (`kill`, `delay`)
+/// partition one draw and must sum to at most 1000, as must the
+/// transport-hook rates (`drop`, `delay`).
+#[derive(Clone, Debug)]
+pub struct ServiceChaosConfig {
+    /// Fault-schedule seed.
+    pub seed: u64,
+    /// Rate of shard kills mid-request.
+    pub kill_permille: u64,
+    /// Rate of pre-compile delays.
+    pub delay_permille: u64,
+    /// Rate of dropped connections at the transport hook.
+    pub drop_permille: u64,
+    /// Rate of snapshot corruption (per snapshot write).
+    pub corrupt_permille: u64,
+    /// Rate of shard kills mid-snapshot (leaves torn temp files).
+    pub kill_snap_permille: u64,
+    /// Upper bound on injected delays, in milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl Default for ServiceChaosConfig {
+    fn default() -> Self {
+        ServiceChaosConfig {
+            seed: 0,
+            kill_permille: 60,
+            delay_permille: 120,
+            drop_permille: 80,
+            corrupt_permille: 250,
+            kill_snap_permille: 120,
+            max_delay_ms: 15,
+        }
+    }
+}
+
+/// The seeded deterministic schedule implementing the service hooks.
+pub struct SeededServiceChaos {
+    cfg: ServiceChaosConfig,
+}
+
+impl SeededServiceChaos {
+    /// A schedule drawing from `cfg`'s rates under `cfg.seed`.
+    pub fn new(cfg: ServiceChaosConfig) -> Self {
+        SeededServiceChaos { cfg }
+    }
+
+    fn delay(&self, draw: u64) -> ServiceFault {
+        ServiceFault::Delay(Duration::from_millis(
+            splitmix64(draw) % self.cfg.max_delay_ms.max(1) + 1,
+        ))
+    }
+}
+
+impl ServiceChaos for SeededServiceChaos {
+    fn at_request(&self, shard: usize, seq: u64) -> Option<ServiceFault> {
+        let draw = mix(self.cfg.seed, 1, shard as u64, seq) % 1000;
+        if draw < self.cfg.kill_permille {
+            Some(ServiceFault::KillShard)
+        } else if draw < self.cfg.kill_permille + self.cfg.delay_permille {
+            Some(self.delay(draw))
+        } else {
+            None
+        }
+    }
+
+    fn at_snapshot(&self, shard: usize, snap_seq: u64) -> Option<ServiceFault> {
+        let draw = mix(self.cfg.seed, 2, shard as u64, snap_seq) % 1000;
+        if draw < self.cfg.kill_snap_permille {
+            Some(ServiceFault::KillShard)
+        } else if draw < self.cfg.kill_snap_permille + self.cfg.corrupt_permille {
+            Some(ServiceFault::CorruptSnapshot)
+        } else {
+            None
+        }
+    }
+
+    fn at_transport(&self, seq: u64) -> Option<ServiceFault> {
+        let draw = mix(self.cfg.seed, 3, 0, seq) % 1000;
+        if draw < self.cfg.drop_permille {
+            Some(ServiceFault::DropConnection)
+        } else if draw < self.cfg.drop_permille + self.cfg.delay_permille {
+            Some(self.delay(draw))
+        } else {
+            None
+        }
+    }
+}
+
+/// One campaign input: a program and its symbol bindings.
+#[derive(Clone, Debug)]
+pub struct ServiceChaosCase {
+    /// Display name (the kernel file name).
+    pub name: String,
+    /// `.be` source text.
+    pub src: String,
+    /// Symbol bindings by name.
+    pub binds: Vec<(String, i64)>,
+}
+
+/// Campaign outcome: per-request verdicts plus the service's own
+/// fault accounting.
+#[derive(Debug)]
+pub struct ServiceChaosReport {
+    /// Chaos seed the schedule was drawn from.
+    pub seed: u64,
+    /// Campaign rounds over the case list.
+    pub rounds: u32,
+    /// Requests answered by the service.
+    pub requests: u64,
+    /// Answers byte-identical to the clean single-process reference.
+    pub matched: u64,
+    /// Every divergence or unabsorbed fault, described.
+    pub failures: Vec<String>,
+    /// Final service counters (panics, restarts, sheds, rejects...).
+    pub stats: obs::ServiceStats,
+}
+
+impl ServiceChaosReport {
+    /// True when every request was answered bitwise-identically.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Total faults the service absorbed (from its own counters).
+    pub fn faults_absorbed(&self) -> u64 {
+        let t = |f: fn(&obs::ShardStats) -> u64| -> u64 { self.stats.shards.iter().map(f).sum() };
+        self.stats.dropped_connections + t(|s| s.panics) + t(|s| s.shed) + t(|s| s.snapshot_rejects)
+    }
+}
+
+/// The structured campaign document (what `service.json` holds).
+pub fn service_chaos_json(r: &ServiceChaosReport) -> obs::Json {
+    obs::Json::obj()
+        .set("campaign", "service-chaos")
+        .set("seed", r.seed)
+        .set("rounds", r.rounds)
+        .set("requests", r.requests)
+        .set("matched", r.matched)
+        .set("ok", r.ok())
+        .set("faults_absorbed", r.faults_absorbed())
+        .set(
+            "failures",
+            obs::Json::Arr(
+                r.failures
+                    .iter()
+                    .map(|f| obs::Json::from(f.as_str()))
+                    .collect(),
+            ),
+        )
+        .set("service", obs::service_stats_json(&r.stats))
+}
+
+/// Clean single-process reference: the compact explain document a
+/// fault-free `optimize_explained_shared` (or fork-join) run emits.
+fn reference_explain(
+    case: &ServiceChaosCase,
+    nprocs: i64,
+    plan: PlanKind,
+) -> Result<String, String> {
+    let prog = frontend::parse(&case.src).map_err(|e| format!("{}: parse: {e}", case.name))?;
+    let mut bind = analysis::Bindings::new(nprocs);
+    for (name, v) in &case.binds {
+        let pos = prog
+            .syms
+            .iter()
+            .position(|s| &s.name == name)
+            .ok_or_else(|| format!("{}: unknown sym {name}", case.name))?;
+        bind.bind(ir::SymId(pos as u32), *v);
+    }
+    let baseline = spmd_opt::fork_join(&prog, &bind);
+    let doc = match plan {
+        PlanKind::ForkJoin => obs::explain_json(&prog, nprocs, &baseline, &baseline, &[]),
+        PlanKind::Optimized => {
+            let fme = Arc::new(ineq::FmeCache::new());
+            let (planned, decisions, _) = spmd_opt::optimize_explained_shared(
+                &prog,
+                &bind,
+                spmd_opt::OptimizeOptions::default(),
+                &fme,
+            );
+            obs::explain_json(&prog, nprocs, &planned, &baseline, &decisions)
+        }
+    };
+    Ok(doc.to_string_compact())
+}
+
+/// Run the service-plane chaos campaign: start an in-process `beoptd`
+/// service under the seeded fault schedule, drive every case × plan
+/// for `rounds` rounds through a retrying client, and require every
+/// answer byte-identical to the clean single-process reference.
+pub fn service_chaos_check(
+    cases: &[ServiceChaosCase],
+    nprocs: i64,
+    cfg: ServiceChaosConfig,
+    rounds: u32,
+    snapshot_dir: Option<PathBuf>,
+) -> ServiceChaosReport {
+    let seed = cfg.seed;
+    let mut failures: Vec<String> = Vec::new();
+
+    // Clean references first (also validates the cases themselves).
+    let plans = [PlanKind::ForkJoin, PlanKind::Optimized];
+    let mut refs: Vec<Vec<String>> = Vec::new();
+    for case in cases {
+        let mut per_plan = Vec::new();
+        for plan in plans {
+            match reference_explain(case, nprocs, plan) {
+                Ok(s) => per_plan.push(s),
+                Err(e) => {
+                    failures.push(e);
+                    per_plan.push(String::new());
+                }
+            }
+        }
+        refs.push(per_plan);
+    }
+
+    let service = match Service::start(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        nshards: 2,
+        queue_cap: 32,
+        snapshot_dir,
+        snapshot_every: 3,
+        default_deadline: Duration::from_secs(30),
+        supervisor_poll: Duration::from_millis(5),
+        chaos: Some(Arc::new(SeededServiceChaos::new(cfg))),
+        ..Default::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            failures.push(format!("service failed to start: {e}"));
+            return ServiceChaosReport {
+                seed,
+                rounds,
+                requests: 0,
+                matched: 0,
+                failures,
+                stats: obs::ServiceStats::default(),
+            };
+        }
+    };
+
+    let client = ServiceClient::new(service.addr.to_string());
+    let mut requests = 0u64;
+    let mut matched = 0u64;
+    let mut id = 0u64;
+    for round in 0..rounds {
+        for (ci, case) in cases.iter().enumerate() {
+            for (pi, plan) in plans.into_iter().enumerate() {
+                if refs[ci][pi].is_empty() {
+                    continue; // reference itself failed; already reported
+                }
+                id += 1;
+                let req = OptimizeRequest {
+                    id,
+                    program: case.src.clone(),
+                    nprocs,
+                    binds: case.binds.clone(),
+                    plan,
+                    deadline_ms: None,
+                };
+                match client.optimize(&req) {
+                    Ok(reply) => {
+                        requests += 1;
+                        let got = reply.explain.to_string_compact();
+                        if got == refs[ci][pi] {
+                            matched += 1;
+                        } else {
+                            failures.push(format!(
+                                "round {round} {} [{}]: explain document diverged from the \
+                                 clean single-process reference ({} vs {} bytes)",
+                                case.name,
+                                plan.as_str(),
+                                got.len(),
+                                refs[ci][pi].len()
+                            ));
+                        }
+                    }
+                    Err(e) => failures.push(format!(
+                        "round {round} {} [{}]: fault not absorbed: {e}",
+                        case.name,
+                        plan.as_str()
+                    )),
+                }
+            }
+        }
+        // Force snapshots between rounds so kills land on warm state
+        // and corruption faults have files to chew on.
+        let _ = client.snapshot_now();
+    }
+    service.stop();
+    service.wait();
+    ServiceChaosReport {
+        seed,
+        rounds,
+        requests,
+        matched,
+        failures,
+        stats: service.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_case() -> ServiceChaosCase {
+        // Two dependent parallel loops: one eliminable boundary, one
+        // real decision — enough to make the explain doc non-trivial.
+        ServiceChaosCase {
+            name: "tiny".to_string(),
+            src: "program tiny\n\
+                  sym n\n\
+                  array A(n) block\n\
+                  array B(n) block\n\
+                  doall i = 0, n-1\n\
+                  \x20 B(i) = A(i) * 2.0\n\
+                  end\n\
+                  doall j = 0, n-1\n\
+                  \x20 A(j) = B(j) + 1.0\n\
+                  end\n"
+                .to_string(),
+            binds: vec![("n".to_string(), 24)],
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_in_the_seed() {
+        let cfg = ServiceChaosConfig {
+            seed: 7,
+            ..Default::default()
+        };
+        let a = SeededServiceChaos::new(cfg.clone());
+        let b = SeededServiceChaos::new(cfg);
+        for seq in 0..200 {
+            assert_eq!(a.at_request(0, seq), b.at_request(0, seq));
+            assert_eq!(a.at_snapshot(1, seq), b.at_snapshot(1, seq));
+            assert_eq!(a.at_transport(seq), b.at_transport(seq));
+        }
+    }
+
+    #[test]
+    fn quiet_schedule_campaign_matches_reference_exactly() {
+        // All rates zero: the service must match the reference on
+        // every request with zero faults absorbed.
+        let cfg = ServiceChaosConfig {
+            seed: 1,
+            kill_permille: 0,
+            delay_permille: 0,
+            drop_permille: 0,
+            corrupt_permille: 0,
+            kill_snap_permille: 0,
+            ..Default::default()
+        };
+        let r = service_chaos_check(&[tiny_case()], 4, cfg, 2, None);
+        assert!(r.ok(), "failures: {:?}", r.failures);
+        assert_eq!(r.requests, 4);
+        assert_eq!(r.matched, 4);
+        assert_eq!(r.faults_absorbed(), 0);
+    }
+
+    #[test]
+    fn faulted_campaign_absorbs_and_still_matches() {
+        let dir = std::env::temp_dir().join(format!("be-svc-chaos-{}", std::process::id()));
+        // High rates so a short campaign still sees faults.
+        let cfg = ServiceChaosConfig {
+            seed: 3,
+            kill_permille: 200,
+            delay_permille: 100,
+            drop_permille: 200,
+            corrupt_permille: 400,
+            kill_snap_permille: 200,
+            max_delay_ms: 3,
+        };
+        let r = service_chaos_check(&[tiny_case()], 4, cfg, 4, Some(dir.clone()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(r.ok(), "failures: {:?}", r.failures);
+        assert_eq!(r.requests, 8);
+        assert_eq!(r.matched, 8);
+        assert!(
+            r.faults_absorbed() > 0,
+            "expected injected faults at these rates: {:?}",
+            obs::service_stats_json(&r.stats).to_string_pretty()
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! `beoptd` — the barrier-elimination optimization daemon.
+//!
+//! Serves `optimize` / `fork-join` plan requests over newline-delimited
+//! JSON on TCP, with a supervised shard pool, persistent checksummed
+//! FME-memo snapshots, per-request deadlines, and load shedding.
+//!
+//! ```text
+//! beoptd [--addr HOST:PORT] [--shards N] [--queue-cap N]
+//!        [--snapshot-dir DIR] [--snapshot-every N] [--feas-cap N]
+//!        [--deadline-ms N]
+//! ```
+
+use served::{Service, ServiceConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: beoptd [--addr HOST:PORT] [--shards N] [--queue-cap N]\n\
+         \x20             [--snapshot-dir DIR] [--snapshot-every N] [--feas-cap N]\n\
+         \x20             [--deadline-ms N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut cfg = ServiceConfig {
+        addr: "127.0.0.1:7345".to_string(),
+        ..Default::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("beoptd: {flag} needs {what}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = val("an address"),
+            "--shards" => cfg.nshards = val("a count").parse().unwrap_or_else(|_| usage()),
+            "--queue-cap" => cfg.queue_cap = val("a count").parse().unwrap_or_else(|_| usage()),
+            "--snapshot-dir" => cfg.snapshot_dir = Some(val("a directory").into()),
+            "--snapshot-every" => {
+                cfg.snapshot_every = val("a count").parse().unwrap_or_else(|_| usage())
+            }
+            "--feas-cap" => cfg.feas_capacity = val("a count").parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => {
+                cfg.default_deadline =
+                    Duration::from_millis(val("milliseconds").parse().unwrap_or_else(|_| usage()))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("beoptd: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    let service = match Service::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("beoptd: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Tests and scripts scrape this exact line for the bound port.
+    // Writes to stdout tolerate a closed pipe: a supervisor that reads
+    // the banner and walks away must not bring the daemon down.
+    use std::io::Write as _;
+    let mut out = std::io::stdout();
+    let _ = writeln!(out, "beoptd listening on {}", service.addr);
+    let _ = out.flush();
+    // Run until a wire `shutdown` op flips the flag; then drain.
+    while !service.is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    service.wait();
+    let _ = write!(out, "{}", obs::render_service_stats(&service.stats()));
+}

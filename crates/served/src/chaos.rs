@@ -1,0 +1,65 @@
+//! Service-plane fault injection hooks.
+//!
+//! The execution-plane chaos harness (`oracle::chaos`) perturbs sync
+//! primitives *inside* a running plan; this module is its service-plane
+//! counterpart: faults aimed at the compile service itself — shard
+//! crashes mid-request, corrupted snapshots, delayed or dropped
+//! connections. `served` defines only the hook points; the seeded
+//! deterministic injector lives in `oracle` (which depends on this
+//! crate), keeping the dependency graph acyclic.
+//!
+//! Hooks fire at three points, each identified by deterministic
+//! coordinates so a seeded injector reproduces the same fault schedule
+//! on every run:
+//!
+//! * `at_request(shard, seq)` — just before shard `shard` compiles its
+//!   `seq`-th admitted request.
+//! * `at_snapshot(shard, snap_seq)` — just before shard `shard` writes
+//!   its `snap_seq`-th snapshot.
+//! * `at_transport(seq)` — when the listener admits its `seq`-th
+//!   optimize request, before it is queued.
+
+use std::time::Duration;
+
+/// A fault the injector may demand at a hook point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceFault {
+    /// Kill the owning shard's worker thread (panic mid-request). The
+    /// supervisor must restart it and rejoin from the last snapshot.
+    KillShard,
+    /// Stall for the given duration before proceeding (exercises
+    /// deadlines and queue backpressure).
+    Delay(Duration),
+    /// Drop the client connection without a reply (client must retry).
+    DropConnection,
+    /// Corrupt the snapshot file after it is written (the next load
+    /// must reject it and cold-start).
+    CorruptSnapshot,
+}
+
+/// A deterministic service-plane fault schedule. All methods default
+/// to "no fault": implementors override only the hooks they target.
+pub trait ServiceChaos: Send + Sync {
+    /// Fault before shard `shard` compiles its `seq`-th request.
+    fn at_request(&self, shard: usize, seq: u64) -> Option<ServiceFault> {
+        let _ = (shard, seq);
+        None
+    }
+
+    /// Fault around shard `shard`'s `snap_seq`-th snapshot write.
+    fn at_snapshot(&self, shard: usize, snap_seq: u64) -> Option<ServiceFault> {
+        let _ = (shard, snap_seq);
+        None
+    }
+
+    /// Fault when the listener admits its `seq`-th optimize request.
+    fn at_transport(&self, seq: u64) -> Option<ServiceFault> {
+        let _ = seq;
+        None
+    }
+}
+
+/// The quiet schedule: no faults anywhere.
+pub struct NoChaos;
+
+impl ServiceChaos for NoChaos {}

@@ -1,0 +1,188 @@
+//! A resilient `beoptd` client: capped-exponential backoff on the
+//! retryable failure classes, honoring server `retry_after_ms` hints.
+//!
+//! The retry schedule reuses [`runtime::RetryPolicy`] — the same
+//! deterministic capped-exponential ladder the execution plane uses
+//! for dropped sync posts — so client behavior under faults is as
+//! reproducible as the server's. Retryable: connection failures,
+//! `overloaded`, `shard_crashed`, `shutting_down`, and dropped
+//! connections (no reply line). Not retryable: `bad_request` and
+//! `deadline_exceeded` (the caller's deadline is spent either way).
+
+use crate::proto::{
+    decode_reply, encode_request, ErrorCode, ErrorReply, OptimizeReply, OptimizeRequest, Reply,
+    Request,
+};
+use obs::Json;
+use runtime::RetryPolicy;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Why a client call ultimately failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure on the final attempt.
+    Io(std::io::Error),
+    /// The server refused the request as malformed (not retried).
+    Bad(ErrorReply),
+    /// The request missed its deadline (not retried).
+    Deadline(ErrorReply),
+    /// Every attempt in the retry budget was shed or crashed away.
+    Exhausted {
+        /// Attempts made (== the policy's budget).
+        attempts: u32,
+        /// The last structured error, if the server sent one.
+        last: Option<ErrorReply>,
+    },
+    /// The server's reply did not decode.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Bad(e) => write!(f, "bad request: {}", e.message),
+            ClientError::Deadline(e) => write!(f, "deadline exceeded: {}", e.message),
+            ClientError::Exhausted { attempts, last } => match last {
+                Some(e) => write!(
+                    f,
+                    "retry budget exhausted after {attempts} attempt(s); last: {} ({})",
+                    e.code.as_str(),
+                    e.message
+                ),
+                None => write!(f, "retry budget exhausted after {attempts} attempt(s)"),
+            },
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A `beoptd` client bound to one server address.
+pub struct ServiceClient {
+    addr: String,
+    /// Retry schedule for retryable failures.
+    pub policy: RetryPolicy,
+    /// Per-attempt socket read timeout.
+    pub read_timeout: Duration,
+}
+
+impl ServiceClient {
+    /// A client with the default retry policy (9 attempts, 5 ms base,
+    /// 200 ms cap — the execution plane's recovery ladder).
+    pub fn new(addr: impl Into<String>) -> Self {
+        ServiceClient {
+            addr: addr.into(),
+            policy: RetryPolicy::default(),
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// One request/reply exchange on a fresh connection.
+    fn exchange(&self, req: &Request) -> Result<Reply, ClientError> {
+        let mut stream = TcpStream::connect(&self.addr).map_err(ClientError::Io)?;
+        stream
+            .set_read_timeout(Some(self.read_timeout))
+            .map_err(ClientError::Io)?;
+        let _ = stream.set_nodelay(true);
+        let line = encode_request(req);
+        stream.write_all(line.as_bytes()).map_err(ClientError::Io)?;
+        stream.write_all(b"\n").map_err(ClientError::Io)?;
+        let mut reader = BufReader::new(stream);
+        let mut reply_line = String::new();
+        let n = reader.read_line(&mut reply_line).map_err(ClientError::Io)?;
+        if n == 0 {
+            // Connection dropped without a reply (server death or an
+            // injected transport fault): retryable.
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before reply",
+            )));
+        }
+        decode_reply(reply_line.trim_end()).map_err(ClientError::Protocol)
+    }
+
+    /// Compile a request, retrying retryable failures under the
+    /// policy's capped-exponential schedule. The sleep before retry
+    /// `k` is `max(policy backoff, server retry_after hint)`.
+    pub fn optimize(&self, req: &OptimizeRequest) -> Result<OptimizeReply, ClientError> {
+        let mut last: Option<ErrorReply> = None;
+        let mut last_io: Option<std::io::Error> = None;
+        for attempt in 1..=self.policy.max_attempts {
+            if attempt > 1 {
+                let mut pause = self.policy.backoff_before(attempt - 1);
+                if let Some(hint) = last.as_ref().and_then(|e| e.retry_after_ms) {
+                    pause = pause.max(Duration::from_millis(hint));
+                }
+                std::thread::sleep(pause);
+            }
+            match self.exchange(&Request::Optimize(req.clone())) {
+                Ok(Reply::Optimized(r)) => return Ok(r),
+                Ok(Reply::Error(e)) => match e.code {
+                    ErrorCode::BadRequest => return Err(ClientError::Bad(e)),
+                    ErrorCode::DeadlineExceeded => return Err(ClientError::Deadline(e)),
+                    ErrorCode::Overloaded | ErrorCode::ShardCrashed | ErrorCode::ShuttingDown => {
+                        last = Some(e);
+                        last_io = None;
+                    }
+                },
+                Ok(_) => {
+                    return Err(ClientError::Protocol(
+                        "unexpected reply kind for optimize".to_string(),
+                    ))
+                }
+                Err(ClientError::Io(e)) => {
+                    last_io = Some(e);
+                    last = None;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        match (last, last_io) {
+            (None, Some(e)) => Err(ClientError::Io(e)),
+            (last, _) => Err(ClientError::Exhausted {
+                attempts: self.policy.max_attempts,
+                last,
+            }),
+        }
+    }
+
+    /// Liveness probe (single attempt).
+    pub fn ping(&self) -> Result<(), ClientError> {
+        match self.exchange(&Request::Ping)? {
+            Reply::Ok(_) => Ok(()),
+            _ => Err(ClientError::Protocol("unexpected ping reply".to_string())),
+        }
+    }
+
+    /// Fetch the service stats document (single attempt).
+    pub fn stats(&self) -> Result<Json, ClientError> {
+        match self.exchange(&Request::Stats)? {
+            Reply::Stats(doc) => Ok(doc),
+            _ => Err(ClientError::Protocol("unexpected stats reply".to_string())),
+        }
+    }
+
+    /// Force every shard to snapshot now (single attempt).
+    pub fn snapshot_now(&self) -> Result<(), ClientError> {
+        match self.exchange(&Request::Snapshot)? {
+            Reply::Ok(_) => Ok(()),
+            _ => Err(ClientError::Protocol(
+                "unexpected snapshot reply".to_string(),
+            )),
+        }
+    }
+
+    /// Ask the service to drain and exit (single attempt).
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        match self.exchange(&Request::Shutdown)? {
+            Reply::Ok(_) => Ok(()),
+            _ => Err(ClientError::Protocol(
+                "unexpected shutdown reply".to_string(),
+            )),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! `served` — the crash-safe multi-tenant optimization service.
+//!
+//! The paper's compiler is a pure function; this crate wraps it in a
+//! process boundary that stays useful when things go wrong. `beoptd`
+//! serves `optimize`/`fork-join` plan requests over newline-delimited
+//! JSON on TCP, built from four pieces:
+//!
+//! * **[`shard`]** — a supervised pool of worker shards, each owning a
+//!   slice of the shared FME feasibility memo. Worker panics are
+//!   fail-stop for the shard only: the supervisor restarts it with a
+//!   cache *rejoined* from the last good snapshot
+//!   ([`ineq::load_snapshot`]), so a crash costs warmth bounded by the
+//!   snapshot cadence, never correctness — plans are pure functions of
+//!   the request and the explain documents they return are
+//!   byte-identical to a single-process run.
+//! * **[`queue`]** — bounded admission per shard. Overload is an
+//!   immediate structured `overloaded` reply with a retry-after hint,
+//!   not a growing backlog.
+//! * **[`proto`]/[`client`]** — the wire format and a client that
+//!   retries retryable failures (sheds, crashes, drops) under the
+//!   execution plane's deterministic [`runtime::RetryPolicy`] ladder.
+//! * **[`chaos`]** — service-plane fault hooks (shard kills, snapshot
+//!   corruption, transport delays/drops); the seeded injector and the
+//!   `beoracle service-chaos` campaign live in `oracle`.
+
+pub mod chaos;
+pub mod client;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod shard;
+
+pub use chaos::{NoChaos, ServiceChaos, ServiceFault};
+pub use client::{ClientError, ServiceClient};
+pub use proto::{
+    decode_reply, decode_request, encode_reply, encode_request, ErrorCode, ErrorReply,
+    OptimizeReply, OptimizeRequest, PlanKind, Reply, Request, PROTO_VERSION,
+};
+pub use server::{Service, ServiceConfig};
+pub use shard::{route, Shard, ShardConfig};

@@ -1,0 +1,158 @@
+//! Bounded MPMC work queue for shard admission.
+//!
+//! A deliberately boring `Mutex<VecDeque>` + `Condvar`: the queue is
+//! the *admission control* point, not a throughput bottleneck — each
+//! entry is one compile request that costs orders of magnitude more
+//! than the lock. What matters here is the overload contract:
+//! [`BoundedQueue::try_push`] never blocks and reports fullness so the
+//! caller can shed with a retry-after hint, and the receiving side
+//! survives its consumer crashing (the queue is owned by the shard,
+//! not the worker thread, so a restarted worker resumes the backlog).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why [`BoundedQueue::try_push`] refused an item.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; shed the request.
+    Full(T),
+    /// The queue is closed (service shutting down).
+    Closed(T),
+}
+
+/// What [`BoundedQueue::pop_timeout`] produced.
+#[derive(Debug)]
+pub enum Pop<T> {
+    /// An item.
+    Item(T),
+    /// Nothing arrived within the timeout (queue still open).
+    TimedOut,
+    /// The queue is closed and fully drained: the consumer should exit.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `cap` waiting items (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Items currently waiting.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking enqueue: `Err(Full)` at capacity (the load-shedding
+    /// signal), `Err(Closed)` after [`BoundedQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.items.len() >= self.cap {
+            return Err(PushError::Full(item));
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking dequeue with a bounded wait. After `close()`, drains
+    /// the backlog before reporting [`Pop::Closed`] — a restarted
+    /// worker picks up exactly where the crashed one left off.
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if g.closed {
+                return Pop::Closed;
+            }
+            let (next, res) = self.not_empty.wait_timeout(g, timeout).unwrap();
+            g = next;
+            if res.timed_out() {
+                return match g.items.pop_front() {
+                    Some(item) => Pop::Item(item),
+                    None if g.closed => Pop::Closed,
+                    None => Pop::TimedOut,
+                };
+            }
+        }
+    }
+
+    /// Close the queue: producers are refused from now on; consumers
+    /// drain the backlog and then observe [`Pop::Closed`].
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheds_at_capacity_and_drains_after_close() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        q.close();
+        assert!(matches!(q.try_push(4), Err(PushError::Closed(4))));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Pop::Item(1)
+        ));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Pop::Item(2)
+        ));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Pop::Closed
+        ));
+    }
+
+    #[test]
+    fn pop_times_out_on_an_open_empty_queue() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(5)),
+            Pop::TimedOut
+        ));
+    }
+}

@@ -1,0 +1,379 @@
+//! The `beoptd` TCP front end: accept loop, per-connection handlers,
+//! admission control, and the shard supervisor.
+//!
+//! Connection handling is deliberately thread-per-connection over
+//! blocking sockets — client counts are small (build farms, not web
+//! traffic) and the compile work dominates. The interesting parts are
+//! the contracts:
+//!
+//! * **Admission is non-blocking.** A full shard queue means an
+//!   immediate `overloaded` reply with a `retry_after_ms` hint sized
+//!   to the backlog, never a stalled socket. Saturation degrades into
+//!   fast sheds instead of timeouts.
+//! * **Every request carries a deadline.** Expired work is answered
+//!   (`deadline_exceeded`), not silently compiled late.
+//! * **Crashes are answered too.** If the owning shard dies
+//!   mid-request the reply channel drops and the handler answers
+//!   `shard_crashed` — a retryable error the client backs off on,
+//!   while the supervisor restarts the shard from its last snapshot.
+
+use crate::chaos::{ServiceChaos, ServiceFault};
+use crate::proto::{
+    decode_request, encode_reply, ErrorCode, ErrorReply, Reply, Request, PROTO_VERSION,
+};
+use crate::queue::PushError;
+use crate::shard::{route, Job, Shard, ShardConfig};
+use obs::{service_stats_json, Json, ServiceStats};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service-wide configuration.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Bind address (use port 0 for an ephemeral test port).
+    pub addr: String,
+    /// Worker shard count.
+    pub nshards: usize,
+    /// Per-shard admission queue bound.
+    pub queue_cap: usize,
+    /// Per-shard feasibility-memo capacity.
+    pub feas_capacity: usize,
+    /// Snapshot directory; `None` disables persistence.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Snapshot after this many served requests per shard (0 = only
+    /// explicit/shutdown snapshots).
+    pub snapshot_every: u64,
+    /// Deadline applied when a request does not carry one.
+    pub default_deadline: Duration,
+    /// How often the supervisor checks for dead workers.
+    pub supervisor_poll: Duration,
+    /// Service-plane fault schedule (None = quiet).
+    pub chaos: Option<Arc<dyn ServiceChaos>>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            nshards: 2,
+            queue_cap: 64,
+            feas_capacity: ineq::cache::FEAS_MEMO_CAP,
+            snapshot_dir: None,
+            snapshot_every: 8,
+            default_deadline: Duration::from_secs(10),
+            supervisor_poll: Duration::from_millis(20),
+            chaos: None,
+        }
+    }
+}
+
+struct Inner {
+    shards: Vec<Arc<Shard>>,
+    shutdown: AtomicBool,
+    accepted: AtomicU64,
+    dropped_connections: AtomicU64,
+    transport_seq: AtomicU64,
+    default_deadline: Duration,
+    chaos: Option<Arc<dyn ServiceChaos>>,
+}
+
+impl Inner {
+    fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            nshards: self.shards.len(),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            dropped_connections: self.dropped_connections.load(Ordering::Relaxed),
+            shards: self.shards.iter().map(|s| s.stats()).collect(),
+        }
+    }
+}
+
+/// A running service instance.
+pub struct Service {
+    inner: Arc<Inner>,
+    /// The actually bound address (resolves port 0).
+    pub addr: SocketAddr,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    supervisor_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Bind, start the shard pool, the supervisor, and the accept
+    /// loop. Returns once the listener is live.
+    pub fn start(cfg: ServiceConfig) -> std::io::Result<Service> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shard_cfg = ShardConfig {
+            queue_cap: cfg.queue_cap,
+            feas_capacity: cfg.feas_capacity,
+            snapshot_dir: cfg.snapshot_dir.clone(),
+            snapshot_every: cfg.snapshot_every,
+            chaos: cfg.chaos.clone(),
+        };
+        let shards: Vec<Arc<Shard>> = (0..cfg.nshards.max(1))
+            .map(|id| Shard::start(id, shard_cfg.clone()))
+            .collect();
+        let inner = Arc::new(Inner {
+            shards,
+            shutdown: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            dropped_connections: AtomicU64::new(0),
+            transport_seq: AtomicU64::new(0),
+            default_deadline: cfg.default_deadline,
+            chaos: cfg.chaos.clone(),
+        });
+        let supervisor = {
+            let inner = inner.clone();
+            let poll = cfg.supervisor_poll;
+            std::thread::Builder::new()
+                .name("beoptd-supervisor".to_string())
+                .spawn(move || supervisor_main(inner, poll))
+                .expect("spawn supervisor")
+        };
+        let acceptor = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("beoptd-accept".to_string())
+                .spawn(move || accept_main(inner, listener))
+                .expect("spawn acceptor")
+        };
+        Ok(Service {
+            inner,
+            addr,
+            accept_thread: Mutex::new(Some(acceptor)),
+            supervisor_thread: Mutex::new(Some(supervisor)),
+        })
+    }
+
+    /// Point-in-time service stats.
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.stats()
+    }
+
+    /// True once a shutdown has been requested (by [`Service::stop`]
+    /// or a wire `shutdown` op).
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Request a graceful shutdown: refuse new work, drain queues,
+    /// snapshot every shard, stop the threads.
+    pub fn stop(&self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        for s in &self.inner.shards {
+            s.close();
+        }
+    }
+
+    /// Block until the service has fully stopped (threads joined,
+    /// final snapshots written). Call after [`Service::stop`] — or
+    /// alone, to wait for a wire-initiated shutdown.
+    pub fn wait(&self) {
+        if let Some(h) = self.accept_thread.lock().unwrap().take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.supervisor_thread.lock().unwrap().take() {
+            let _ = h.join();
+        }
+        for s in &self.inner.shards {
+            s.join();
+        }
+    }
+}
+
+/// Restart dead shard workers until shutdown; then stop supervising
+/// (the workers exit through their drain path, not through us).
+fn supervisor_main(inner: Arc<Inner>, poll: Duration) {
+    while !inner.shutdown.load(Ordering::Relaxed) {
+        for s in &inner.shards {
+            if s.restart_if_dead() {
+                eprintln!(
+                    "beoptd: shard {} worker died; restarted from snapshot",
+                    s.id
+                );
+            }
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+fn accept_main(inner: Arc<Inner>, listener: TcpListener) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !inner.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let inner = inner.clone();
+                let h = std::thread::Builder::new()
+                    .name("beoptd-conn".to_string())
+                    .spawn(move || handle_connection(inner, stream))
+                    .expect("spawn connection handler");
+                handlers.push(h);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn send_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+fn error_reply(id: u64, code: ErrorCode, message: String, retry_after_ms: Option<u64>) -> Reply {
+    Reply::Error(ErrorReply {
+        id,
+        code,
+        message,
+        retry_after_ms,
+    })
+}
+
+fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_nodelay(true);
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match decode_request(&line) {
+            Ok(r) => r,
+            Err(msg) => {
+                let reply = error_reply(0, ErrorCode::BadRequest, msg, None);
+                let _ = send_line(&mut stream, &encode_reply(&reply));
+                continue;
+            }
+        };
+        let reply = match req {
+            Request::Ping => Reply::Ok(Json::obj().set("op", "ping").set("v", PROTO_VERSION)),
+            Request::Stats => Reply::Stats(service_stats_json(&inner.stats())),
+            Request::Snapshot => {
+                let mut entries = 0u64;
+                let mut errors = 0u64;
+                for s in &inner.shards {
+                    match s.snapshot_now() {
+                        Ok(n) => entries += n as u64,
+                        Err(_) => errors += 1,
+                    }
+                }
+                Reply::Ok(
+                    Json::obj()
+                        .set("op", "snapshot")
+                        .set("entries", entries)
+                        .set("errors", errors),
+                )
+            }
+            Request::Shutdown => {
+                inner.shutdown.store(true, Ordering::Relaxed);
+                for s in &inner.shards {
+                    s.close();
+                }
+                let reply = Reply::Ok(Json::obj().set("op", "shutdown"));
+                let _ = send_line(&mut stream, &encode_reply(&reply));
+                return;
+            }
+            Request::Optimize(opt) => {
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    let reply = error_reply(
+                        opt.id,
+                        ErrorCode::ShuttingDown,
+                        "service is draining".to_string(),
+                        Some(50),
+                    );
+                    let _ = send_line(&mut stream, &encode_reply(&reply));
+                    continue;
+                }
+                let seq = inner.transport_seq.fetch_add(1, Ordering::Relaxed);
+                match inner.chaos.as_ref().and_then(|c| c.at_transport(seq)) {
+                    Some(ServiceFault::DropConnection) => {
+                        inner.dropped_connections.fetch_add(1, Ordering::Relaxed);
+                        return; // no reply: the client's read fails and it retries
+                    }
+                    Some(ServiceFault::Delay(d)) => std::thread::sleep(d),
+                    _ => {}
+                }
+                inner.accepted.fetch_add(1, Ordering::Relaxed);
+                let shard = &inner.shards[route(&opt.program, inner.shards.len())];
+                let deadline_in = opt
+                    .deadline_ms
+                    .map(Duration::from_millis)
+                    .unwrap_or(inner.default_deadline);
+                let accepted = Instant::now();
+                let deadline = accepted + deadline_in;
+                let (tx, rx) = mpsc::channel();
+                let id = opt.id;
+                let job = Job {
+                    req: opt,
+                    accepted,
+                    deadline,
+                    reply: tx,
+                };
+                match shard.admit(job) {
+                    Ok(()) => {
+                        // Wait past the deadline by a grace period so the
+                        // worker's structured deadline_exceeded wins when
+                        // it is merely late, not stuck.
+                        let wait = deadline_in + Duration::from_millis(250);
+                        match rx.recv_timeout(wait) {
+                            Ok(reply) => reply,
+                            Err(mpsc::RecvTimeoutError::Timeout) => error_reply(
+                                id,
+                                ErrorCode::DeadlineExceeded,
+                                "no reply within deadline".to_string(),
+                                Some(5),
+                            ),
+                            // Sender dropped: the worker died mid-request.
+                            Err(mpsc::RecvTimeoutError::Disconnected) => error_reply(
+                                id,
+                                ErrorCode::ShardCrashed,
+                                format!("shard {} crashed mid-request", shard.id),
+                                Some(10),
+                            ),
+                        }
+                    }
+                    Err(PushError::Full(_)) => {
+                        // Hint scales with the backlog: a saturated queue
+                        // pushes retries further out.
+                        let hint = 5 + 2 * shard.backlog() as u64;
+                        error_reply(
+                            id,
+                            ErrorCode::Overloaded,
+                            format!(
+                                "shard {} queue full ({} waiting)",
+                                shard.id,
+                                shard.backlog()
+                            ),
+                            Some(hint),
+                        )
+                    }
+                    Err(PushError::Closed(_)) => error_reply(
+                        id,
+                        ErrorCode::ShuttingDown,
+                        "service is draining".to_string(),
+                        Some(50),
+                    ),
+                }
+            }
+        };
+        if send_line(&mut stream, &encode_reply(&reply)).is_err() {
+            return;
+        }
+    }
+}

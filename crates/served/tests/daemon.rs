@@ -1,0 +1,162 @@
+//! Whole-daemon crash tests against the real `beoptd` binary: SIGKILL
+//! the process and prove a restart rejoins from the last good snapshot
+//! with the warm path intact (the PR's ">=80% warm hit-rate after
+//! rejoin" acceptance bar).
+
+use served::{OptimizeRequest, PlanKind, ServiceClient};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const TINY: &str = "program tiny\n\
+sym n\n\
+array A(n) block\n\
+array B(n) block\n\
+doall i = 0, n-1\n\
+  B(i) = A(i) * 2.0\n\
+end\n\
+doall j = 0, n-1\n\
+  A(j) = B(j) + 1.0\n\
+end\n";
+
+fn tiny_request(id: u64) -> OptimizeRequest {
+    OptimizeRequest {
+        id,
+        program: TINY.to_string(),
+        nprocs: 4,
+        binds: vec![("n".to_string(), 24)],
+        plan: PlanKind::Optimized,
+        deadline_ms: None,
+    }
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Start `beoptd` on an ephemeral port and scrape the bound
+    /// address from its banner line.
+    fn start(snapshot_dir: &std::path::Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_beoptd"))
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--shards",
+                "1",
+                "--snapshot-every",
+                "1",
+                "--snapshot-dir",
+            ])
+            .arg(snapshot_dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn beoptd");
+        let stdout = child.stdout.take().expect("beoptd stdout");
+        let mut banner = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut banner)
+            .expect("read beoptd banner");
+        let addr = banner
+            .trim()
+            .strip_prefix("beoptd listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn client(&self) -> ServiceClient {
+        ServiceClient::new(self.addr.clone())
+    }
+
+    /// SIGKILL: no drain, no final snapshot, no goodbye.
+    fn kill9(&mut self) {
+        self.child.kill().expect("kill -9 beoptd");
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn sigkilled_daemon_restarts_warm_from_the_last_good_snapshot() {
+    let dir = std::env::temp_dir().join(format!("beoptd-kill9-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Warm phase: --snapshot-every 1 persists after every request, so
+    // by the end a good snapshot is on disk regardless of kill timing.
+    let mut daemon = Daemon::start(&dir);
+    let client = daemon.client();
+    client.ping().expect("daemon must answer pings");
+    for id in 0..4 {
+        client.optimize(&tiny_request(id)).unwrap();
+    }
+    daemon.kill9();
+
+    // Restart over the same directory: the shard must rejoin from the
+    // last good snapshot and serve the same program warm.
+    let mut daemon = Daemon::start(&dir);
+    let client = daemon.client();
+    let probes = 5u64;
+    let mut warm = 0u64;
+    for id in 0..probes {
+        if client.optimize(&tiny_request(100 + id)).unwrap().warm_hint {
+            warm += 1;
+        }
+    }
+    let stats = client.stats().expect("stats after rejoin");
+    daemon.kill9();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(
+        warm * 100 >= probes * 80,
+        "post-rejoin warm hit-rate {warm}/{probes} below the 80% bar"
+    );
+    let shard = &stats.get("shards").unwrap().as_arr().unwrap()[0];
+    assert!(
+        shard.get("entries_loaded").unwrap().as_u64().unwrap() > 0,
+        "restart must have loaded snapshot entries: {}",
+        stats.to_string_pretty()
+    );
+    assert_eq!(
+        shard.get("snapshot_rejects").unwrap().as_u64(),
+        Some(0),
+        "the surviving snapshot must be the last *good* one"
+    );
+}
+
+#[test]
+fn wire_shutdown_drains_and_exits() {
+    let dir = std::env::temp_dir().join(format!("beoptd-shutdown-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut daemon = Daemon::start(&dir);
+    let client = daemon.client();
+    client.optimize(&tiny_request(1)).unwrap();
+    client.shutdown().expect("shutdown ack");
+    // The process must exit on its own (drain + final snapshot).
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        match daemon.child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "clean exit after drain: {status:?}");
+                break;
+            }
+            None if std::time::Instant::now() > deadline => {
+                panic!("beoptd did not exit after wire shutdown")
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    assert!(
+        dir.join("shard-0.fme").is_file(),
+        "graceful exit leaves a final snapshot"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,264 @@
+//! In-process service integration tests: admission control, deadlines,
+//! crash isolation with snapshot rejoin, and graceful drain.
+
+use served::{
+    ClientError, ErrorCode, OptimizeRequest, PlanKind, Service, ServiceChaos, ServiceClient,
+    ServiceConfig, ServiceFault,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const TINY: &str = "program tiny\n\
+sym n\n\
+array A(n) block\n\
+array B(n) block\n\
+doall i = 0, n-1\n\
+  B(i) = A(i) * 2.0\n\
+end\n\
+doall j = 0, n-1\n\
+  A(j) = B(j) + 1.0\n\
+end\n";
+
+fn tiny_request(id: u64, plan: PlanKind) -> OptimizeRequest {
+    OptimizeRequest {
+        id,
+        program: TINY.to_string(),
+        nprocs: 4,
+        binds: vec![("n".to_string(), 24)],
+        plan,
+        deadline_ms: None,
+    }
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("beoptd-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn quiet_config() -> ServiceConfig {
+    ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        nshards: 1,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn serves_plans_and_answers_bad_requests_structurally() {
+    let service = Service::start(quiet_config()).unwrap();
+    let client = ServiceClient::new(service.addr.to_string());
+    client.ping().unwrap();
+
+    let a = client
+        .optimize(&tiny_request(1, PlanKind::Optimized))
+        .unwrap();
+    let b = client
+        .optimize(&tiny_request(2, PlanKind::Optimized))
+        .unwrap();
+    assert_eq!(
+        a.explain.to_string_compact(),
+        b.explain.to_string_compact(),
+        "same request must yield byte-identical explain documents"
+    );
+    assert!(!a.warm_hint, "first compile is cold");
+    assert!(b.warm_hint, "repeat compile must hit the warm memo");
+
+    // Unknown symbol: structured bad_request, never retried.
+    let mut bad = tiny_request(3, PlanKind::Optimized);
+    bad.binds = vec![("nope".to_string(), 1)];
+    match client.optimize(&bad) {
+        Err(ClientError::Bad(e)) => {
+            assert_eq!(e.code, ErrorCode::BadRequest);
+            assert!(e.message.contains("nope"), "{}", e.message);
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    // Parse error too.
+    let mut garbled = tiny_request(4, PlanKind::Optimized);
+    garbled.program = "this is not a program".to_string();
+    assert!(matches!(
+        client.optimize(&garbled),
+        Err(ClientError::Bad(_))
+    ));
+
+    service.stop();
+    service.wait();
+    let st = service.stats();
+    assert_eq!(st.shards[0].served, 2);
+    assert_eq!(st.shards[0].failed, 2);
+}
+
+/// Delays every request long enough that a 1-deep queue saturates
+/// under a concurrent burst: the extra clients must be shed with
+/// `overloaded` (and single-attempt clients surface that), while
+/// retrying clients eventually all succeed.
+struct SlowWorker;
+
+impl ServiceChaos for SlowWorker {
+    fn at_request(&self, _shard: usize, _seq: u64) -> Option<ServiceFault> {
+        Some(ServiceFault::Delay(Duration::from_millis(120)))
+    }
+}
+
+#[test]
+fn overload_sheds_with_retry_after_and_retries_recover() {
+    let service = Service::start(ServiceConfig {
+        nshards: 1,
+        queue_cap: 1,
+        chaos: Some(Arc::new(SlowWorker)),
+        ..quiet_config()
+    })
+    .unwrap();
+    let addr = service.addr.to_string();
+
+    // Burst of 5 single-attempt clients against a queue of depth 1
+    // with a 120 ms service time: some must be shed.
+    let sheds = Arc::new(AtomicU64::new(0));
+    let okd = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..5)
+        .map(|i| {
+            let addr = addr.clone();
+            let sheds = sheds.clone();
+            let okd = okd.clone();
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::new(addr);
+                client.policy.max_attempts = 1;
+                match client.optimize(&tiny_request(i, PlanKind::ForkJoin)) {
+                    Ok(_) => {
+                        okd.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(ClientError::Exhausted { last: Some(e), .. }) => {
+                        assert_eq!(e.code, ErrorCode::Overloaded);
+                        assert!(e.retry_after_ms.is_some(), "shed must carry a hint");
+                        sheds.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(other) => panic!("unexpected failure: {other}"),
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(
+        sheds.load(Ordering::Relaxed) > 0,
+        "a 5-deep burst into a 1-deep queue must shed"
+    );
+    assert!(okd.load(Ordering::Relaxed) >= 1);
+    assert!(service.stats().shards[0].shed > 0);
+
+    // A client with the full backoff ladder absorbs the same overload.
+    let client = ServiceClient::new(addr);
+    client
+        .optimize(&tiny_request(99, PlanKind::ForkJoin))
+        .unwrap();
+
+    service.stop();
+    service.wait();
+}
+
+#[test]
+fn expired_deadlines_are_answered_not_compiled() {
+    let service = Service::start(ServiceConfig {
+        nshards: 1,
+        chaos: Some(Arc::new(SlowWorker)), // 120 ms injected stall
+        ..quiet_config()
+    })
+    .unwrap();
+    let client = ServiceClient::new(service.addr.to_string());
+    let mut req = tiny_request(1, PlanKind::ForkJoin);
+    req.deadline_ms = Some(10);
+    match client.optimize(&req) {
+        Err(ClientError::Deadline(e)) => assert_eq!(e.code, ErrorCode::DeadlineExceeded),
+        other => panic!("expected deadline_exceeded, got {other:?}"),
+    }
+    service.stop();
+    service.wait();
+    assert_eq!(service.stats().shards[0].deadline_miss, 1);
+    assert_eq!(service.stats().shards[0].served, 0);
+}
+
+/// Kills the worker on exactly one request sequence number.
+struct KillOnce {
+    at: u64,
+}
+
+impl ServiceChaos for KillOnce {
+    fn at_request(&self, _shard: usize, seq: u64) -> Option<ServiceFault> {
+        (seq == self.at).then_some(ServiceFault::KillShard)
+    }
+}
+
+#[test]
+fn shard_crash_is_answered_retried_and_rejoined_from_snapshot() {
+    let dir = tmp_dir("crash-rejoin");
+    let service = Service::start(ServiceConfig {
+        nshards: 1,
+        snapshot_dir: Some(dir.clone()),
+        snapshot_every: 1, // snapshot after every served request
+        supervisor_poll: Duration::from_millis(5),
+        chaos: Some(Arc::new(KillOnce { at: 2 })),
+        ..quiet_config()
+    })
+    .unwrap();
+    let client = ServiceClient::new(service.addr.to_string());
+
+    // Requests 0 and 1 warm the memo and persist it.
+    client
+        .optimize(&tiny_request(0, PlanKind::Optimized))
+        .unwrap();
+    client
+        .optimize(&tiny_request(1, PlanKind::Optimized))
+        .unwrap();
+    // Request seq 2 kills the worker mid-request; the client's retry
+    // ladder must absorb the crash (the retry is seq 3).
+    let r = client
+        .optimize(&tiny_request(2, PlanKind::Optimized))
+        .unwrap();
+    assert!(
+        r.warm_hint,
+        "post-crash compile must be warm: the restarted worker rejoined from the snapshot"
+    );
+
+    service.stop();
+    service.wait();
+    let st = &service.stats().shards[0];
+    assert_eq!(st.panics, 1);
+    assert_eq!(st.restarts, 1);
+    assert!(
+        st.entries_loaded > 0,
+        "restart must rejoin entries from the snapshot"
+    );
+    assert_eq!(st.snapshot_rejects, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_drain_answers_queued_work_and_snapshots() {
+    let dir = tmp_dir("drain");
+    let service = Service::start(ServiceConfig {
+        nshards: 1,
+        snapshot_dir: Some(dir.clone()),
+        snapshot_every: 0, // only the shutdown snapshot
+        ..quiet_config()
+    })
+    .unwrap();
+    let client = ServiceClient::new(service.addr.to_string());
+    client
+        .optimize(&tiny_request(1, PlanKind::Optimized))
+        .unwrap();
+    client.shutdown().unwrap();
+    service.wait();
+    // New work is refused once draining.
+    assert!(client.ping().is_err() || service.is_shutting_down());
+    let snap = dir.join("shard-0.fme");
+    assert!(snap.is_file(), "drain must leave a final snapshot");
+    let cache = ineq::FmeCache::new();
+    assert!(matches!(
+        ineq::load_snapshot(&cache, &snap),
+        ineq::SnapshotLoad::Loaded { entries, .. } if entries > 0
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""CI smoke for the beoptd daemon, driven from outside the Rust tree.
+
+Speaks the newline-delimited JSON wire protocol directly (no served
+client library), so it doubles as a protocol-compatibility check:
+ping, a burst of concurrent optimize requests that must all come back
+identical, stats, an explicit snapshot, and a graceful wire shutdown.
+
+usage: beoptd_smoke.py HOST PORT [KERNEL]
+"""
+
+import json
+import socket
+import sys
+import threading
+
+HOST = sys.argv[1]
+PORT = int(sys.argv[2])
+KERNEL = sys.argv[3] if len(sys.argv) > 3 else "kernels/jacobi.be"
+CLIENTS = 8
+
+with open(KERNEL) as f:
+    SRC = f.read()
+
+
+def rpc(req):
+    with socket.create_connection((HOST, PORT), timeout=30) as s:
+        f = s.makefile("rw", encoding="utf-8", newline="\n")
+        f.write(json.dumps(req, separators=(",", ":")) + "\n")
+        f.flush()
+        line = f.readline()
+        if not line:
+            raise RuntimeError("daemon closed the connection without a reply")
+        return json.loads(line)
+
+
+def optimize(i, out):
+    out[i] = rpc(
+        {
+            "v": 1,
+            "op": "optimize",
+            "id": i,
+            "plan": "optimized",
+            "nprocs": 4,
+            "binds": [["n", 48], ["tmax", 4]],
+            "program": SRC,
+        }
+    )
+
+
+ping = rpc({"v": 1, "op": "ping"})
+assert ping.get("ok") is True, ping
+
+out = {}
+threads = [threading.Thread(target=optimize, args=(i, out)) for i in range(CLIENTS)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+
+docs = set()
+for i in range(CLIENTS):
+    reply = out.get(i)
+    assert reply is not None, f"client {i} got no reply"
+    assert reply.get("ok") is True, (i, reply)
+    docs.add(json.dumps(reply["explain"], sort_keys=True))
+assert len(docs) == 1, "explain documents diverged across concurrent clients"
+
+stats = rpc({"v": 1, "op": "stats"})
+assert stats.get("ok") is True, stats
+served = stats["stats"]["totals"]["served"]
+assert served >= CLIENTS, stats
+
+snap = rpc({"v": 1, "op": "snapshot"})
+assert snap.get("ok") is True, snap
+
+bye = rpc({"v": 1, "op": "shutdown"})
+assert bye.get("ok") is True, bye
+
+print(
+    f"beoptd smoke ok: {served} served, {CLIENTS} concurrent clients, "
+    "explain documents byte-identical"
+)

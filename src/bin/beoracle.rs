@@ -8,6 +8,8 @@
 //! beoracle kernels [--threads]
 //! beoracle chaos   [--chaos-seed S] [--deadline MS] [--nprocs P] [--repro-dir DIR]
 //!                  [--no-recover] [--recovery-json PATH] [--profile]
+//! beoracle service-chaos [--chaos-seed S] [--rounds N] [--nprocs P] [--json PATH]
+//!                  [--snapshot-dir DIR]
 //! ```
 //!
 //! * `fuzz` — generate `N` random programs and differentially execute
@@ -37,6 +39,14 @@
 //!   site. With `--profile`, each kernel x plan additionally does one
 //!   profiled benign run and its event-ring accounting (`events +
 //!   dropped == attempted`) is checked and embedded in the JSON.
+//! * `service-chaos` — run the *service-plane* chaos campaign: start an
+//!   in-process `beoptd` service under a seeded fault schedule (shard
+//!   kills mid-request and mid-snapshot, snapshot corruption, dropped
+//!   and delayed connections) and drive every kernel x both plans for
+//!   `--rounds` rounds through a retrying client. Every answer's
+//!   explain document must be byte-identical to a clean
+//!   single-process run; the report (verdicts + service fault
+//!   counters) is written to `--json` (default `service.json`).
 //!
 //! Exits nonzero on any mismatch, race, uncaught mutant, or missed
 //! fault.
@@ -430,6 +440,64 @@ fn cmd_chaos(args: &[String]) -> i32 {
     }
 }
 
+fn cmd_service_chaos(args: &[String]) -> i32 {
+    let seed = parse_u64(args, "--chaos-seed", 0);
+    let rounds = parse_u64(args, "--rounds", 3) as u32;
+    let nprocs = parse_u64(args, "--nprocs", 4) as i64;
+    let json_path = parse_opt(args, "--json").unwrap_or_else(|| "service.json".to_string());
+    let snapshot_dir = std::path::PathBuf::from(
+        parse_opt(args, "--snapshot-dir")
+            .unwrap_or_else(|| format!("beoptd-snapshots-{}", std::process::id())),
+    );
+    let mut cases = Vec::new();
+    for (kernel, sets) in CHAOS_KERNELS {
+        let src = match std::fs::read_to_string(format!("kernels/{kernel}")) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("FAIL {kernel}: cannot read kernel file: {e}");
+                return 1;
+            }
+        };
+        cases.push(oracle::ServiceChaosCase {
+            name: kernel.to_string(),
+            src,
+            binds: sets.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+        });
+    }
+    println!(
+        "service-chaos campaign: {} kernels x 2 plans x {rounds} rounds (seed {seed}, P={nprocs})",
+        cases.len()
+    );
+    let cfg = oracle::ServiceChaosConfig {
+        seed,
+        ..Default::default()
+    };
+    let r = oracle::service_chaos_check(&cases, nprocs, cfg, rounds, Some(snapshot_dir.clone()));
+    let _ = std::fs::remove_dir_all(&snapshot_dir);
+    println!(
+        "service-chaos: {}/{} answers bitwise-identical to the clean reference, {} fault(s) absorbed",
+        r.matched,
+        r.requests,
+        r.faults_absorbed()
+    );
+    for f in &r.failures {
+        println!("FAIL {f}");
+    }
+    let doc = oracle::service_chaos_json(&r);
+    match std::fs::write(&json_path, doc.to_string_pretty()) {
+        Ok(()) => println!("service-chaos: report written to {json_path}"),
+        Err(e) => {
+            eprintln!("beoracle: cannot write {json_path}: {e}");
+            return 1;
+        }
+    }
+    if r.ok() {
+        0
+    } else {
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
@@ -437,9 +505,10 @@ fn main() {
         Some("mutate") => cmd_mutate(&args[1..]),
         Some("kernels") => cmd_kernels(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("service-chaos") => cmd_service_chaos(&args[1..]),
         _ => {
             eprintln!(
-                "usage: beoracle fuzz [--count N] [--seed S] [--threads] [--nprocs 1,3,4] [--repro-dir DIR] [--deadline MS] [--chaos] [--chaos-seed S]\n       beoracle mutate [--count N] [--seed S]\n       beoracle kernels [--threads]\n       beoracle chaos [--chaos-seed S] [--deadline MS] [--nprocs P] [--repro-dir DIR] [--no-recover] [--recovery-json PATH] [--profile]"
+                "usage: beoracle fuzz [--count N] [--seed S] [--threads] [--nprocs 1,3,4] [--repro-dir DIR] [--deadline MS] [--chaos] [--chaos-seed S]\n       beoracle mutate [--count N] [--seed S]\n       beoracle kernels [--threads]\n       beoracle chaos [--chaos-seed S] [--deadline MS] [--nprocs P] [--repro-dir DIR] [--no-recover] [--recovery-json PATH] [--profile]\n       beoracle service-chaos [--chaos-seed S] [--rounds N] [--nprocs P] [--json PATH] [--snapshot-dir DIR]"
             );
             2
         }

@@ -12,5 +12,6 @@ pub use ir;
 pub use obs;
 pub use oracle;
 pub use runtime;
+pub use served;
 pub use spmd_opt;
 pub use suite;
