@@ -59,8 +59,8 @@ pub use build::{
     optimize_with, placed_str, Decision, OptimizeOptions,
 };
 pub use plan::{
-    demote_site, demote_sites, Phase, PhaseKind, RItem, Region, SpmdProgram, StaticStats, SyncOp,
-    TopItem,
+    demote_site, demote_sites, set_site_op, Phase, PhaseKind, RItem, Region, SpmdProgram,
+    StaticStats, SyncOp, TopItem,
 };
 pub use report::render_plan;
 pub use sites::{node_label, slot_count_items, slot_count_top, sync_sites, SlotKind, SyncSite};

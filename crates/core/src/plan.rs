@@ -176,12 +176,27 @@ pub struct StaticStats {
 /// is exactly the fork-join baseline's behaviour at that point), so the
 /// demoted plan is correct whenever the original analysis was.
 pub fn demote_site(plan: &mut SpmdProgram, site: usize) -> Option<SyncOp> {
-    fn demote_items(items: &mut [RItem], next: &mut usize, site: usize) -> Option<SyncOp> {
+    set_site_op(plan, site, SyncOp::Barrier)
+}
+
+/// Replace the sync op at canonical site `site` with `op`, returning
+/// the op it displaced (`None` when the plan has no such site). The
+/// walk is the same canonical numbering as [`demote_site`] — which is
+/// this function specialized to [`SyncOp::Barrier`]. The recovery
+/// layer's probation uses the general form to *restore* a previously
+/// demoted site's optimized op once the site has proven itself clean.
+pub fn set_site_op(plan: &mut SpmdProgram, site: usize, op: SyncOp) -> Option<SyncOp> {
+    fn set_items(
+        items: &mut [RItem],
+        next: &mut usize,
+        site: usize,
+        op: &SyncOp,
+    ) -> Option<SyncOp> {
         for it in items {
             match it {
                 RItem::Phase(p) => {
                     if *next == site {
-                        return Some(std::mem::replace(&mut p.after, SyncOp::Barrier));
+                        return Some(std::mem::replace(&mut p.after, op.clone()));
                     }
                     *next += 1;
                 }
@@ -191,15 +206,15 @@ pub fn demote_site(plan: &mut SpmdProgram, site: usize) -> Option<SyncOp> {
                     after,
                     ..
                 } => {
-                    if let Some(old) = demote_items(body, next, site) {
+                    if let Some(old) = set_items(body, next, site, op) {
                         return Some(old);
                     }
                     if *next == site {
-                        return Some(std::mem::replace(bottom, SyncOp::Barrier));
+                        return Some(std::mem::replace(bottom, op.clone()));
                     }
                     *next += 1;
                     if *next == site {
-                        return Some(std::mem::replace(after, SyncOp::Barrier));
+                        return Some(std::mem::replace(after, op.clone()));
                     }
                     *next += 1;
                 }
@@ -207,21 +222,26 @@ pub fn demote_site(plan: &mut SpmdProgram, site: usize) -> Option<SyncOp> {
         }
         None
     }
-    fn demote_top(items: &mut [TopItem], next: &mut usize, site: usize) -> Option<SyncOp> {
+    fn set_top(
+        items: &mut [TopItem],
+        next: &mut usize,
+        site: usize,
+        op: &SyncOp,
+    ) -> Option<SyncOp> {
         for it in items {
             match it {
                 TopItem::SerialStmt(_) => {}
                 TopItem::MasterLoop { body, .. } => {
-                    if let Some(old) = demote_top(body, next, site) {
+                    if let Some(old) = set_top(body, next, site, op) {
                         return Some(old);
                     }
                 }
                 TopItem::Region(r) => {
-                    if let Some(old) = demote_items(&mut r.items, next, site) {
+                    if let Some(old) = set_items(&mut r.items, next, site, op) {
                         return Some(old);
                     }
                     if *next == site {
-                        return Some(std::mem::replace(&mut r.end, SyncOp::Barrier));
+                        return Some(std::mem::replace(&mut r.end, op.clone()));
                     }
                     *next += 1;
                 }
@@ -230,7 +250,7 @@ pub fn demote_site(plan: &mut SpmdProgram, site: usize) -> Option<SyncOp> {
         None
     }
     let mut next = 0usize;
-    demote_top(&mut plan.items, &mut next, site)
+    set_top(&mut plan.items, &mut next, site, &op)
 }
 
 /// Demote every listed canonical site to a full barrier, returning the
@@ -420,6 +440,37 @@ mod tests {
         assert_eq!(st.counter_syncs, 0);
         assert_eq!(st.barriers, 2);
         assert_eq!(st.neighbor_syncs, 1);
+    }
+
+    #[test]
+    fn set_site_op_round_trips_a_demotion() {
+        // Demote the neighbor slot, then restore the displaced op with
+        // `set_site_op` — the probation path in the recovery supervisor.
+        let mut p = nested_plan();
+        let displaced = demote_site(&mut p, 0).unwrap();
+        assert_eq!(
+            displaced,
+            SyncOp::Neighbor {
+                fwd: true,
+                bwd: false
+            }
+        );
+        assert_eq!(
+            set_site_op(&mut p, 0, displaced),
+            Some(SyncOp::Barrier),
+            "restore displaces the demotion barrier"
+        );
+        assert_eq!(p.static_stats().neighbor_syncs, 1);
+        // Counter slots round-trip too (producer spec preserved).
+        let mut p = nested_plan();
+        let displaced = demote_site(&mut p, 2).unwrap();
+        set_site_op(&mut p, 2, displaced);
+        let st = p.static_stats();
+        assert_eq!(st.counter_syncs, 1);
+        assert_eq!(st.barriers, 1);
+        // Past the walk: no slot, nothing changes.
+        let mut p = nested_plan();
+        assert_eq!(set_site_op(&mut p, 9, SyncOp::Barrier), None);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod degrade;
 pub mod eval;
 pub mod events;
 pub mod mem;
@@ -54,6 +55,7 @@ pub mod trace;
 pub mod virt;
 
 pub use checkpoint::Checkpoint;
+pub use degrade::{run_parallel_degrading, DegradeOutcome, DegradeRound, DegradeRung};
 pub use events::{render_events, unroll, Event};
 pub use mem::Mem;
 pub use par::{

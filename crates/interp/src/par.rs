@@ -23,6 +23,7 @@ use runtime::{
 };
 use spmd_opt::{SpmdProgram, SyncOp};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -259,6 +260,16 @@ pub trait SyncChaos: Send + Sync {
     /// Decide the action for dynamic visit `visit` (0-based, counted
     /// per processor) of sync site `site` on processor `pid`.
     fn at_sync(&self, site: usize, pid: usize, visit: u64) -> ChaosAction;
+
+    /// Whether the recovery supervisor may *mask* this policy's drops
+    /// when a site is quarantined or the run isolated. Site-flake
+    /// injectors return the default `true` (quarantine absorbs the
+    /// flake); permanent-loss policies (a killed core) return `false` —
+    /// no amount of site masking revives dead hardware, and the
+    /// supervisor must instead classify the pid as lost and degrade.
+    fn maskable(&self) -> bool {
+        true
+    }
 }
 
 /// Result of a parallel run.
@@ -290,6 +301,14 @@ pub struct ParallelOutcome {
     /// recorded first — this lists *every* faulting processor, so the
     /// recovery supervisor can demote all implicated sites at once.
     pub proc_errors: Vec<Option<SyncError>>,
+    /// Per-processor neighbor-post deficit: how many neighbor posts
+    /// the processor's traversal *claimed* (sync events it passed)
+    /// minus how many actually landed in the shared flag cells. A
+    /// healthy worker's deficit is always 0 — the post precedes the
+    /// claim — so a positive entry is direct physical evidence that
+    /// this pid's posts are being dropped (a silently dead core), no
+    /// matter where the resulting wedge surfaces in the site walk.
+    pub post_deficits: Vec<u64>,
     /// The merged profile-event stream (present iff
     /// [`ObserveOptions::profile`] was set, or the caller's fabric
     /// carried a profiler). Under the recovery supervisor the stream
@@ -521,6 +540,11 @@ pub fn run_parallel_observed_on(
         .max()
         .unwrap_or(0);
     let failure_slot = Arc::new(Mutex::new(None::<SyncError>));
+    // Each worker publishes how many neighbor posts it has *passed*
+    // (dropped or not); compared against the flag cells after the join,
+    // this pins dropped posts on the pid that owed them.
+    let claimed_posts: Arc<Vec<AtomicU64>> =
+        Arc::new((0..nprocs).map(|_| AtomicU64::new(0)).collect());
     let proc_state = Arc::new(Mutex::new(vec!["ok".to_string(); nprocs]));
     let proc_errors = Arc::new(Mutex::new(vec![None::<SyncError>; nprocs]));
     let barrier = Arc::clone(&fabric.barrier);
@@ -543,6 +567,7 @@ pub fn run_parallel_observed_on(
     let failure2 = Arc::clone(&failure_slot);
     let proc_state2 = Arc::clone(&proc_state);
     let proc_errors2 = Arc::clone(&proc_errors);
+    let claimed2 = Arc::clone(&claimed_posts);
     let profiler2 = fabric.profiler.clone();
 
     // Align the profile clock with this run's t0 — but only if no
@@ -649,6 +674,7 @@ pub fn run_parallel_observed_on(
                                     flags2.post(pid);
                                 }
                                 nposts += 1;
+                                claimed2[pid].store(nposts, Ordering::Relaxed);
                                 let mut r = Ok(());
                                 if *fwd {
                                     r = match wd {
@@ -843,6 +869,14 @@ pub fn run_parallel_observed_on(
         spans: spans.map(|s| s.drain()).unwrap_or_default(),
         failure,
         proc_errors: errors,
+        // Workers have joined: claims and flag cells are both final.
+        post_deficits: (0..nprocs)
+            .map(|p| {
+                claimed_posts[p]
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(flags.epoch(p))
+            })
+            .collect(),
         // Workers have joined, so the single-writer rings are quiescent
         // and the merged snapshot is complete for every attempt so far.
         profile: fabric.profiler.as_ref().map(|p| p.snapshot()),

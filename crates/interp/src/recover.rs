@@ -48,8 +48,8 @@ use runtime::fault::DISPATCH_SITE;
 use runtime::recovery::{FaultDisposition, Quarantine, RetryPolicy};
 use runtime::stats::StatsSnapshot;
 use runtime::Team;
-use spmd_opt::{demote_site, sync_sites, SpmdProgram};
-use std::collections::BTreeSet;
+use spmd_opt::{demote_site, set_site_op, sync_sites, SpmdProgram, SyncOp};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -78,6 +78,13 @@ impl SiteMaskedChaos {
         self.masked.lock().unwrap().insert(site);
     }
 
+    /// Lift a site's mask again (probation served: the site is trusted
+    /// with its optimized op, so injected faults there must count
+    /// again). Only called between attempts.
+    fn unmask(&self, site: usize) {
+        self.masked.lock().unwrap().remove(&site);
+    }
+
     /// Mask drops everywhere (the ladder's last rung before giving
     /// up — a fault that survives per-site quarantine is aliasing from
     /// somewhere else).
@@ -89,7 +96,12 @@ impl SiteMaskedChaos {
 impl SyncChaos for SiteMaskedChaos {
     fn at_sync(&self, site: usize, pid: usize, visit: u64) -> ChaosAction {
         let action = self.inner.at_sync(site, pid, visit);
+        // A non-maskable policy models permanent hardware loss: its
+        // drops flow through quarantine and isolation untouched, so
+        // the sticky-fault classifier (not the site ladder) has to
+        // resolve it.
         if matches!(action, ChaosAction::Drop)
+            && self.inner.maskable()
             && (self.isolated.load(Ordering::Acquire)
                 || self.masked.lock().unwrap().contains(&site))
         {
@@ -98,6 +110,91 @@ impl SyncChaos for SiteMaskedChaos {
             action
         }
     }
+
+    fn maskable(&self) -> bool {
+        self.inner.maskable()
+    }
+}
+
+/// Infer which processor a failed attempt implicates, if any.
+///
+/// Four signals, checked in order:
+/// 1. exactly one worker *panicked* — its pid (peers that observed the
+///    poison are victims, and a poison-derived headline carries the
+///    observer's pid, so the per-processor states are authoritative);
+/// 2. exactly one worker owes neighbor posts — its traversal passed
+///    more neighbor sync events than its shared flag cell recorded
+///    ([`ParallelOutcome::post_deficits`]). This is physical evidence,
+///    not positional inference: a healthy worker can never claim a
+///    post that did not land. It is the only signal that survives
+///    neighbor-chained plans, where the wedge cascades pid-to-pid and
+///    the dead processor is as likely to be *waiting* (on a victim of
+///    its own dropped posts) as it is to be ahead of the pack;
+/// 3. exactly one worker finished `"ok"` while at least one peer holds
+///    a primary sync fault — a silently-dead processor skips its own
+///    waits and sails through while everyone else times out waiting
+///    for its posts, so the lone survivor is the suspect;
+/// 4. exactly one worker's terminal wait is at the *dispatch/join
+///    gate* while at least one peer holds a primary fault at a real
+///    sync site — under a barrier-only plan a dead pid posts nothing
+///    and waits for nothing, so it outruns the region its whole team
+///    is still wedged inside and parks at the gate.
+///
+/// Anything else (multiple panics, several survivors, a wedge with no
+/// survivors) returns `None`: the attempt breaks any sticky streak and
+/// is handled by the site ladder alone.
+fn infer_suspect(out: &ParallelOutcome) -> Option<usize> {
+    let failure = out.failure.as_ref()?;
+    let panicked: Vec<usize> = failure
+        .per_proc
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.starts_with("panicked"))
+        .map(|(p, _)| p)
+        .collect();
+    if panicked.len() == 1 {
+        return Some(panicked[0]);
+    }
+    if !panicked.is_empty() {
+        return None;
+    }
+    let owing: Vec<usize> = out
+        .post_deficits
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d > 0)
+        .map(|(p, _)| p)
+        .collect();
+    if owing.len() == 1 {
+        return Some(owing[0]);
+    }
+    let finished: Vec<usize> = failure
+        .per_proc
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.as_str() == "ok")
+        .map(|(p, _)| p)
+        .collect();
+    let primary_real = out
+        .proc_errors
+        .iter()
+        .flatten()
+        .filter(|e| e.is_primary() && e.site() != DISPATCH_SITE)
+        .count();
+    if finished.len() == 1 && primary_real >= 1 {
+        return Some(finished[0]);
+    }
+    let at_dispatch: Vec<usize> = out
+        .proc_errors
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.as_ref().is_some_and(|e| e.site() == DISPATCH_SITE))
+        .map(|(p, _)| p)
+        .collect();
+    if finished.is_empty() && at_dispatch.len() == 1 && primary_real >= 1 {
+        return Some(at_dispatch[0]);
+    }
+    None
 }
 
 /// What a supervised execution produced: the final attempt's outcome
@@ -115,8 +212,20 @@ pub struct RecoveryOutcome {
     pub demoted: Vec<(usize, String)>,
     /// Sites quarantined after demotion did not help.
     pub quarantined: Vec<usize>,
+    /// Sites restored to their optimized op after serving probation
+    /// ([`RetryPolicy::probation_k`] consecutive clean episodes), with
+    /// labels, in restoration order.
+    pub restored: Vec<(usize, String)>,
     /// Fault count per site, sorted by site.
     pub fault_counts: Vec<(usize, u32)>,
+    /// Fault count per processor, sorted by pid.
+    pub pid_fault_counts: Vec<(usize, u32)>,
+    /// The processor the sticky-fault rule classified as permanently
+    /// lost ([`RetryPolicy::sticky_pid_k`] consecutive attempts with
+    /// the same primary suspect). When set, the supervisor aborted
+    /// early with memory rolled back to the region checkpoint so a
+    /// degrading caller can re-dispatch on a smaller team.
+    pub lost_pid: Option<usize>,
     /// The plan the final attempt ran (demotions applied).
     pub final_plan: SpmdProgram,
     /// Array cells in the write-set checkpoint.
@@ -157,6 +266,9 @@ impl RecoveryOutcome {
             demoted: self.demoted.clone(),
             quarantined: self.quarantined.clone(),
             fault_counts: self.fault_counts.clone(),
+            pid_fault_counts: self.pid_fault_counts.clone(),
+            restored: self.restored.clone(),
+            lost_pid: self.lost_pid,
             checkpoint_cells: self.checkpoint_cells,
             chaos_seed,
             residual: self.outcome.failure.clone(),
@@ -207,6 +319,9 @@ pub fn run_parallel_recovering(
     let mut ledger = Quarantine::new();
     let mut attempts: Vec<AttemptReport> = Vec::new();
     let mut demoted: Vec<(usize, String)> = Vec::new();
+    let mut restored: Vec<(usize, String)> = Vec::new();
+    // Ops displaced by demotion, kept so probation can restore them.
+    let mut displaced: BTreeMap<usize, SyncOp> = BTreeMap::new();
     let max_attempts = policy.max_attempts.max(1);
     let mut attempt = 0u32;
     let mut total_stats = StatsSnapshot::default();
@@ -219,14 +334,55 @@ pub fn run_parallel_recovering(
         let out = run_parallel_observed_on(prog, bind, &working, mem, team, &aopts, &fabric);
         total_stats.merge(&out.stats);
         let failed = out.failure.is_some();
-        if !failed || attempt >= max_attempts {
+        let suspect = if failed { infer_suspect(&out) } else { None };
+        let streak = if failed {
+            ledger.record_attempt_suspect(suspect)
+        } else {
+            0
+        };
+        // Sticky-fault classification: the same pid implicated across
+        // K consecutive failed attempts is a permanent processor loss,
+        // not a flaky site — stop burning the retry budget and hand
+        // the decision up (the degrading executor shrinks the team).
+        let sticky = policy.sticky_pid_k > 0 && suspect.is_some() && streak >= policy.sticky_pid_k;
+        if !failed || sticky || attempt >= max_attempts {
+            if sticky {
+                let failure = out.failure.as_ref().unwrap();
+                attempts.push(AttemptReport {
+                    attempt,
+                    headline: failure.headline(),
+                    actions: Vec::new(),
+                    backoff_ms: 0,
+                    barrier_episodes: out.stats.barrier_episodes,
+                    counter_increments: out.stats.counter_increments,
+                    neighbor_posts: out.stats.neighbor_posts,
+                    spin_rounds: out.stats.spin_rounds,
+                    yield_rounds: out.stats.yield_rounds,
+                    parks: out.stats.parks,
+                    suspect_pid: suspect,
+                });
+                // Leave memory at the region entry state so the caller
+                // can re-dispatch on a smaller team immediately.
+                checkpoint.rollback(mem);
+                if let Some(p) = fabric.profiler() {
+                    p.record(
+                        p.supervisor_track(),
+                        EventKind::Rollback,
+                        NO_SITE,
+                        checkpoint.elem_cells() as u64,
+                    );
+                }
+            }
             return RecoveryOutcome {
                 outcome: out,
                 attempts,
                 attempts_used: attempt,
                 demoted,
                 quarantined: ledger.quarantined().to_vec(),
+                restored,
                 fault_counts: ledger.fault_counts(),
+                pid_fault_counts: ledger.pid_fault_counts(),
+                lost_pid: if sticky { suspect } else { None },
                 final_plan: working,
                 checkpoint_cells: checkpoint.elem_cells(),
                 total_stats,
@@ -259,7 +415,9 @@ pub fn run_parallel_recovering(
                 .unwrap_or_else(|| format!("s{site}"));
             let action = match ledger.record_fault(site) {
                 FaultDisposition::Demote => {
-                    demote_site(&mut working, site);
+                    if let Some(old) = demote_site(&mut working, site) {
+                        displaced.insert(site, old);
+                    }
                     demoted.push((site, label.clone()));
                     "demote"
                 }
@@ -283,6 +441,37 @@ pub fn run_parallel_recovering(
                 action: action.to_string(),
             });
         }
+        // Probation: every site in the fault ledger that was *not*
+        // implicated by this failed attempt earns a clean episode; a
+        // site clean for `probation_k` consecutive episodes is
+        // forgiven — quarantine mask lifted and the optimized sync op
+        // it was demoted from put back in the working plan.
+        if policy.probation_k > 0 {
+            let on_ledger: Vec<usize> = ledger.fault_counts().iter().map(|&(s, _)| s).collect();
+            for site in on_ledger {
+                if sites_hit.contains(&site) {
+                    continue;
+                }
+                if ledger.record_clean(site, policy.probation_k) {
+                    if let Some(op) = displaced.remove(&site) {
+                        set_site_op(&mut working, site, op);
+                    }
+                    if let Some(m) = &masked {
+                        m.unmask(site);
+                    }
+                    let label = site_labels
+                        .get(site)
+                        .cloned()
+                        .unwrap_or_else(|| format!("s{site}"));
+                    restored.push((site, label.clone()));
+                    actions.push(SiteActionReport {
+                        site,
+                        label,
+                        action: "restore".to_string(),
+                    });
+                }
+            }
+        }
         let backoff = policy.backoff_before(attempt);
         attempts.push(AttemptReport {
             attempt,
@@ -295,6 +484,7 @@ pub fn run_parallel_recovering(
             spin_rounds: out.stats.spin_rounds,
             yield_rounds: out.stats.yield_rounds,
             parks: out.stats.parks,
+            suspect_pid: suspect,
         });
         checkpoint.rollback(mem);
         if let Some(p) = fabric.profiler() {
@@ -356,6 +546,7 @@ mod tests {
             max_attempts: 7,
             backoff_base: Duration::from_millis(1),
             backoff_cap: Duration::from_millis(4),
+            ..RetryPolicy::default()
         }
     }
 
@@ -471,6 +662,217 @@ mod tests {
         let rep = r.report(Some(9));
         assert!(!rep.ok && rep.residual.is_some());
         assert_eq!(rep.chaos_seed, Some(9));
+    }
+
+    /// A permanently dead core: drops every post on one pid, at every
+    /// site, forever — and not maskable, because quarantining a site
+    /// cannot revive hardware.
+    struct SilentKill {
+        pid: usize,
+    }
+
+    impl SyncChaos for SilentKill {
+        fn at_sync(&self, _site: usize, pid: usize, _visit: u64) -> ChaosAction {
+            if pid == self.pid {
+                ChaosAction::Drop
+            } else {
+                ChaosAction::None
+            }
+        }
+
+        fn maskable(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn sticky_fault_classifies_a_dead_pid_instead_of_burning_the_budget() {
+        let (prog, bind) = sweep(32, 3, 4);
+        let team = Team::new(4);
+        let plan = fork_join(&prog, &bind);
+        let mem = Arc::new(Mem::new(&prog, &bind));
+        mem.fill(ir::ArrayId(0), |s| (s[0] % 5) as f64);
+        let pristine = Mem::new(&prog, &bind);
+        pristine.fill(ir::ArrayId(0), |s| (s[0] % 5) as f64);
+        let chaos: Arc<dyn SyncChaos> = Arc::new(SilentKill { pid: 0 });
+        let policy = RetryPolicy {
+            sticky_pid_k: 2,
+            ..fast_policy()
+        };
+        let r = run_parallel_recovering(
+            &prog,
+            &bind,
+            &plan,
+            &mem,
+            &team,
+            &guarded(Some(chaos)),
+            &policy,
+        );
+        // The dead pid finishes "ok" (its waits are all skipped) while
+        // every peer wedges: two consecutive attempts with the same
+        // lone survivor classify it as a permanent loss, well inside
+        // the 7-attempt budget the site ladder would have burned.
+        assert!(!r.ok());
+        assert_eq!(r.lost_pid, Some(0));
+        assert_eq!(r.attempts_used, 2);
+        assert_eq!(r.attempts.len(), 2);
+        assert_eq!(r.attempts[0].suspect_pid, Some(0));
+        assert_eq!(r.attempts[1].suspect_pid, Some(0));
+        assert_eq!(r.pid_fault_counts, vec![(0, 2)]);
+        // The early abort leaves memory at the region entry state so a
+        // degrading caller can re-dispatch immediately.
+        assert_eq!(mem.max_abs_diff(&pristine), 0.0);
+        let rep = r.report(None);
+        assert_eq!(rep.lost_pid, Some(0));
+    }
+
+    /// The canonical sync-op sequence of a plan (mirrors the walk of
+    /// `spmd_opt::set_site_op`), so tests can compare a site's op
+    /// before demotion and after probation restores it.
+    fn site_ops(plan: &SpmdProgram) -> Vec<SyncOp> {
+        use spmd_opt::{RItem, TopItem};
+        fn items(list: &[RItem], out: &mut Vec<SyncOp>) {
+            for it in list {
+                match it {
+                    RItem::Phase(p) => out.push(p.after.clone()),
+                    RItem::Seq {
+                        body,
+                        bottom,
+                        after,
+                        ..
+                    } => {
+                        items(body, out);
+                        out.push(bottom.clone());
+                        out.push(after.clone());
+                    }
+                }
+            }
+        }
+        fn top(list: &[TopItem], out: &mut Vec<SyncOp>) {
+            for it in list {
+                match it {
+                    TopItem::SerialStmt(_) => {}
+                    TopItem::MasterLoop { body, .. } => top(body, out),
+                    TopItem::Region(r) => {
+                        items(&r.items, out);
+                        out.push(r.end.clone());
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        top(&plan.items, &mut out);
+        out
+    }
+
+    /// Stateful injector for the probation scenario: P1 drops its
+    /// neighbor posts at `site` during attempt 1 only (a transient
+    /// flake that wedges the flag consumers at a neighbor site right
+    /// away — no later post backfills), and P2 panics during attempts
+    /// 2 and 3 (an unrelated siteless fault streak, during which the
+    /// flaked site stays clean and must be forgiven). Attempts are
+    /// counted per pid at `visit == 0` of `site`, which each pid
+    /// reaches exactly once per attempt (visit counters reset between
+    /// attempts) before anything can wedge it.
+    struct TransientThenElsewhere {
+        site: usize,
+        p1_attempts: std::sync::atomic::AtomicU32,
+        p2_attempts: std::sync::atomic::AtomicU32,
+    }
+
+    impl SyncChaos for TransientThenElsewhere {
+        fn at_sync(&self, site: usize, pid: usize, visit: u64) -> ChaosAction {
+            use std::sync::atomic::Ordering::SeqCst;
+            if site == self.site && visit == 0 {
+                if pid == 1 {
+                    self.p1_attempts.fetch_add(1, SeqCst);
+                }
+                if pid == 2 {
+                    let a = self.p2_attempts.fetch_add(1, SeqCst) + 1;
+                    if a == 2 || a == 3 {
+                        panic!("injected: unrelated worker fault");
+                    }
+                }
+            }
+            if site == self.site && pid == 1 && self.p1_attempts.load(SeqCst) == 1 {
+                return ChaosAction::Drop;
+            }
+            ChaosAction::None
+        }
+    }
+
+    /// Satellite: probation. A transiently-flaky site is demoted on
+    /// its one fault, stays clean while later failures land elsewhere,
+    /// and after `probation_k` clean episodes gets its optimized sync
+    /// op back — the run does not pay the barrier tax forever.
+    #[test]
+    fn transient_flake_serves_probation_and_returns_to_its_optimized_op() {
+        let (prog, bind) = sweep(32, 3, 4);
+        let team = Team::new(4);
+        let oracle = Mem::new(&prog, &bind);
+        oracle.fill(ir::ArrayId(0), |s| (s[0] % 5) as f64);
+        run_sequential(&prog, &bind, &oracle);
+
+        let plan = optimize(&prog, &bind);
+        let ops = site_ops(&plan);
+        let site = ops
+            .iter()
+            .position(|op| matches!(op, SyncOp::Neighbor { .. }))
+            .expect("optimized sweep must place a neighbor sync");
+        let mem = Arc::new(Mem::new(&prog, &bind));
+        mem.fill(ir::ArrayId(0), |s| (s[0] % 5) as f64);
+        let chaos: Arc<dyn SyncChaos> = Arc::new(TransientThenElsewhere {
+            site,
+            p1_attempts: Default::default(),
+            p2_attempts: Default::default(),
+        });
+        let policy = RetryPolicy {
+            probation_k: 2,
+            ..fast_policy()
+        };
+        let r = run_parallel_recovering(
+            &prog,
+            &bind,
+            &plan,
+            &mem,
+            &team,
+            &guarded(Some(chaos)),
+            &policy,
+        );
+        assert!(r.ok(), "must converge: {:?}", r.outcome.failure);
+        assert!(r.recovered());
+        // Attempt 1 flakes: P1's dropped posts wedge the flag consumers
+        // at a neighbor site (which of the two neighbor sites wins the
+        // deadline race is timing-dependent, but a barrier site cannot
+        // — nobody reaches the region end). Attempts 2-3 fail elsewhere
+        // (sitelessly) while the demoted site serves probation; attempt
+        // 4 is clean.
+        assert_eq!(r.attempts_used, 4);
+        assert!(!r.demoted.is_empty());
+        for &(s, _) in &r.demoted {
+            assert!(
+                matches!(ops[s], SyncOp::Neighbor { .. }),
+                "attempt 1 must wedge at a neighbor site, demoted s{s} ({:?})",
+                ops[s]
+            );
+            assert!(
+                r.restored.iter().any(|&(rs, _)| rs == s),
+                "probation must lift s{s}: restored={:?}",
+                r.restored
+            );
+            assert!(r
+                .attempts
+                .iter()
+                .flat_map(|a| a.actions.iter())
+                .any(|x| x.site == s && x.action == "restore"));
+            // And the forgiven site's fault ledger is clean again.
+            assert!(!r.fault_counts.iter().any(|&(fs, _)| fs == s));
+            assert!(!r.quarantined.contains(&s));
+        }
+        // The restored plan carries the original optimized ops
+        // everywhere — no demotion barrier survives probation.
+        assert_eq!(site_ops(&r.final_plan), ops);
+        assert_eq!(mem.max_abs_diff(&oracle), 0.0);
     }
 
     /// Satellite: per-attempt telemetry isolation. The final outcome's

@@ -1,0 +1,254 @@
+//! Structured reports for degraded executions.
+//!
+//! The degradation supervisor (in the `interp` crate — like
+//! [`crate::recovery`], this module is plain data so `obs` stays below
+//! `interp` in the crate DAG) completes a run under permanent
+//! processor loss by shrinking the team and, in the worst case,
+//! finishing serially. A [`DegradationReport`] records which rung of
+//! the ladder completed the run (`"clean"`, `"recovered"`, `"shrunk"`,
+//! or `"serial"`), how many processors were classified as lost, and
+//! the full shrink timeline: one [`RoundReport`] per team width tried,
+//! each embedding that round's complete [`RecoveryReport`].
+//!
+//! Rendering is deterministic for a fixed seed, like every other
+//! report in this crate: planned backoffs, no wall-clock figures.
+
+use crate::json::Json;
+use crate::recovery::{recovery_json, render_recovery, RecoveryReport};
+
+/// One team-width episode of the degradation ladder.
+#[derive(Clone, Debug)]
+pub struct RoundReport {
+    /// Team width the round ran at.
+    pub nprocs: usize,
+    /// The processor classified as permanently lost by this round
+    /// (`None` for the completing round, or when the round failed
+    /// without a classifiable pid and fell through to serial).
+    pub lost_pid: Option<usize>,
+    /// The round's full recovery timeline.
+    pub recovery: RecoveryReport,
+}
+
+/// The full degradation timeline of one supervised execution.
+#[derive(Clone, Debug)]
+pub struct DegradationReport {
+    /// Program whose schedule was supervised.
+    pub program: String,
+    /// Team width of the first round.
+    pub nprocs_initial: usize,
+    /// Width the run completed at (1 for the serial fallback).
+    pub nprocs_final: usize,
+    /// Permanent processor losses classified along the way.
+    pub procs_lost: usize,
+    /// The rung that completed the run: `"clean"`, `"recovered"`,
+    /// `"shrunk"`, or `"serial"`.
+    pub rung: String,
+    /// True when the serial tail finished the job.
+    pub serial_fallback: bool,
+    /// True when the run completed (always, by the availability
+    /// guarantee — recorded so the report is self-describing).
+    pub completed: bool,
+    /// The armed per-wait deadline, in milliseconds.
+    pub deadline_ms: f64,
+    /// Every round, widest first.
+    pub rounds: Vec<RoundReport>,
+    /// Array cells in the shared entry checkpoint.
+    pub checkpoint_cells: usize,
+    /// Chaos seed, when a fault injector was active.
+    pub chaos_seed: Option<u64>,
+}
+
+/// The degradation document (deterministic member order).
+pub fn degradation_json(r: &DegradationReport) -> Json {
+    let rounds: Vec<Json> = r
+        .rounds
+        .iter()
+        .map(|rd| {
+            let mut doc = Json::obj().set("nprocs", rd.nprocs);
+            if let Some(pid) = rd.lost_pid {
+                doc = doc.set("lost_pid", pid);
+            }
+            doc.set("recovery", recovery_json(&rd.recovery))
+        })
+        .collect();
+    let mut doc = Json::obj()
+        .set("program", r.program.as_str())
+        .set("nprocs_initial", r.nprocs_initial)
+        .set("nprocs_final", r.nprocs_final)
+        .set("procs_lost", r.procs_lost)
+        .set("rung", r.rung.as_str())
+        .set("serial_fallback", r.serial_fallback)
+        .set("completed", r.completed)
+        .set("deadline_ms", r.deadline_ms)
+        .set("rounds", Json::Arr(rounds))
+        .set("checkpoint_cells", r.checkpoint_cells);
+    if let Some(seed) = r.chaos_seed {
+        doc = doc.set("chaos_seed", seed);
+    }
+    doc
+}
+
+/// Human-readable degradation timeline (what `beopt --run --degrade`
+/// prints). Deterministic for a fixed seed.
+pub fn render_degradation(r: &DegradationReport) -> String {
+    let mut out = String::new();
+    out.push_str("--- degradation report ---\n");
+    out.push_str(&format!(
+        "program : {} (P={} -> {})\n",
+        r.program, r.nprocs_initial, r.nprocs_final
+    ));
+    out.push_str(&format!(
+        "rung    : {}{}\n",
+        r.rung,
+        if r.serial_fallback {
+            " (sequential tail, no sync primitives)"
+        } else {
+            ""
+        }
+    ));
+    out.push_str(&format!("lost    : {} processor(s)\n", r.procs_lost));
+    if let Some(seed) = r.chaos_seed {
+        out.push_str(&format!("chaos   : seed {seed}\n"));
+    }
+    for rd in &r.rounds {
+        match rd.lost_pid {
+            Some(pid) => out.push_str(&format!(
+                "round P={}: P{} classified as permanent loss — shrinking\n",
+                rd.nprocs, pid
+            )),
+            None if rd.recovery.ok => out.push_str(&format!("round P={}: completed\n", rd.nprocs)),
+            None => out.push_str(&format!(
+                "round P={}: failed without a classifiable pid — serial fallback\n",
+                rd.nprocs
+            )),
+        }
+        for line in render_recovery(&rd.recovery).lines() {
+            out.push_str(&format!("  {line}\n"));
+        }
+    }
+    if r.serial_fallback {
+        out.push_str("serial tail: rolled back to entry checkpoint, completed sequentially\n");
+    }
+    out.push_str(&format!(
+        "availability: {}\n",
+        if r.completed {
+            "run completed with oracle-exact memory"
+        } else {
+            "RUN DID NOT COMPLETE (guarantee violated)"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recovery::{AttemptReport, SiteActionReport};
+
+    fn round(nprocs: usize, ok: bool, lost: Option<usize>) -> RoundReport {
+        RoundReport {
+            nprocs,
+            lost_pid: lost,
+            recovery: RecoveryReport {
+                program: "jacobi".to_string(),
+                nprocs,
+                deadline_ms: 120.0,
+                max_attempts: 5,
+                attempts_used: if ok { 1 } else { 2 },
+                recovered: false,
+                ok,
+                attempts: if ok {
+                    Vec::new()
+                } else {
+                    vec![AttemptReport {
+                        attempt: 1,
+                        headline: "deadline exceeded at s0 on P1".to_string(),
+                        actions: vec![SiteActionReport {
+                            site: 0,
+                            label: "after DOALL i".to_string(),
+                            action: "demote".to_string(),
+                        }],
+                        backoff_ms: 1,
+                        barrier_episodes: 1,
+                        counter_increments: 0,
+                        neighbor_posts: 0,
+                        spin_rounds: 10,
+                        yield_rounds: 0,
+                        parks: 1,
+                        suspect_pid: Some(3),
+                    }]
+                },
+                demoted: Vec::new(),
+                quarantined: Vec::new(),
+                fault_counts: Vec::new(),
+                pid_fault_counts: if ok { Vec::new() } else { vec![(3, 2)] },
+                restored: Vec::new(),
+                lost_pid: lost,
+                checkpoint_cells: 46,
+                chaos_seed: Some(7),
+                residual: None,
+            },
+        }
+    }
+
+    fn sample() -> DegradationReport {
+        DegradationReport {
+            program: "jacobi".to_string(),
+            nprocs_initial: 4,
+            nprocs_final: 3,
+            procs_lost: 1,
+            rung: "shrunk".to_string(),
+            serial_fallback: false,
+            completed: true,
+            deadline_ms: 120.0,
+            rounds: vec![round(4, false, Some(3)), round(3, true, None)],
+            checkpoint_cells: 46,
+            chaos_seed: Some(7),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_and_records_the_rung() {
+        let doc = degradation_json(&sample());
+        assert_eq!(doc.get("rung").unwrap().as_str(), Some("shrunk"));
+        assert_eq!(doc.get("nprocs_initial").unwrap().as_u64(), Some(4));
+        assert_eq!(doc.get("nprocs_final").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("procs_lost").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("completed").and_then(Json::as_bool), Some(true));
+        let rounds = doc.get("rounds").unwrap().as_arr().unwrap();
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].get("lost_pid").unwrap().as_u64(), Some(3));
+        assert!(rounds[1].get("lost_pid").is_none());
+        assert!(rounds[0].get("recovery").unwrap().get("attempts").is_some());
+        let txt = doc.to_string_pretty();
+        assert_eq!(crate::json::parse(&txt).unwrap(), doc);
+    }
+
+    #[test]
+    fn rendering_tells_the_shrink_story() {
+        let txt = render_degradation(&sample());
+        let again = render_degradation(&sample());
+        assert_eq!(txt, again, "deterministic");
+        assert!(txt.contains("rung    : shrunk"));
+        assert!(txt.contains("P3 classified as permanent loss"));
+        assert!(txt.contains("round P=3: completed"));
+        assert!(txt.contains("run completed with oracle-exact memory"));
+        assert!(!txt.to_lowercase().contains("elapsed"), "no wall-clock");
+    }
+
+    #[test]
+    fn serial_fallback_is_called_out() {
+        let mut r = sample();
+        r.rung = "serial".to_string();
+        r.serial_fallback = true;
+        r.nprocs_final = 1;
+        let txt = render_degradation(&r);
+        assert!(txt.contains("sequential tail"));
+        assert!(txt.contains("serial tail: rolled back to entry checkpoint"));
+        let doc = degradation_json(&r);
+        assert_eq!(
+            doc.get("serial_fallback").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+}

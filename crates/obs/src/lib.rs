@@ -19,6 +19,7 @@
 //! [`spmd_opt::sync_sites`], so decisions, runtime telemetry, and
 //! timeline spans all cross-reference the same sites.
 
+pub mod degrade;
 pub mod explain;
 pub mod failure;
 pub mod json;
@@ -28,6 +29,7 @@ pub mod recovery;
 pub mod service;
 pub mod trace;
 
+pub use degrade::{degradation_json, render_degradation, DegradationReport, RoundReport};
 pub use explain::{explain_json, producer_str, render_analysis_stats, render_decisions};
 pub use failure::{failure_json, render_failure, FailureCause, FailureReport};
 pub use json::{parse, Json};

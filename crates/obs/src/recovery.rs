@@ -25,7 +25,9 @@ pub struct SiteActionReport {
     pub site: usize,
     /// The site's label in the canonical walk.
     pub label: String,
-    /// `"demote"`, `"quarantine"`, or `"retry"`.
+    /// `"demote"`, `"quarantine"`, `"isolate"`, `"retry"`, or
+    /// `"restore"` (probation served — the site's optimized op is
+    /// back).
     pub action: String,
 }
 
@@ -55,6 +57,10 @@ pub struct AttemptReport {
     pub yield_rounds: u64,
     /// Bounded parks during this attempt only.
     pub parks: u64,
+    /// The processor the supervisor suspects caused this attempt's
+    /// failure (`None` when the fault could not be attributed to a
+    /// single pid). Feeds the sticky-fault permanent-loss classifier.
+    pub suspect_pid: Option<usize>,
 }
 
 /// The full recovery timeline of one supervised execution.
@@ -84,6 +90,16 @@ pub struct RecoveryReport {
     pub quarantined: Vec<usize>,
     /// Fault count per site (site → faults), sorted by site.
     pub fault_counts: Vec<(usize, u32)>,
+    /// Fault count per processor (pid → faults), sorted by pid.
+    pub pid_fault_counts: Vec<(usize, u32)>,
+    /// Sites whose probation was served: quarantine lifted and the
+    /// original optimized sync op restored, with labels, in order.
+    pub restored: Vec<(usize, String)>,
+    /// The processor classified as a permanent loss by the sticky-fault
+    /// rule (same pid as primary suspect across K consecutive failed
+    /// attempts). When set, the supervisor aborted early so a degrading
+    /// caller can shrink the team instead of burning the retry budget.
+    pub lost_pid: Option<usize>,
     /// Array cells in the region checkpoint (how small the write-set
     /// snapshot was).
     pub checkpoint_cells: usize,
@@ -100,7 +116,7 @@ pub fn recovery_json(r: &RecoveryReport) -> Json {
         .attempts
         .iter()
         .map(|a| {
-            Json::obj()
+            let mut doc = Json::obj()
                 .set("attempt", a.attempt)
                 .set("headline", a.headline.as_str())
                 .set(
@@ -123,7 +139,11 @@ pub fn recovery_json(r: &RecoveryReport) -> Json {
                 .set("neighbor_posts", a.neighbor_posts)
                 .set("spin_rounds", a.spin_rounds)
                 .set("yield_rounds", a.yield_rounds)
-                .set("parks", a.parks)
+                .set("parks", a.parks);
+            if let Some(pid) = a.suspect_pid {
+                doc = doc.set("suspect_pid", pid);
+            }
+            doc
         })
         .collect();
     let mut doc = Json::obj()
@@ -157,7 +177,28 @@ pub fn recovery_json(r: &RecoveryReport) -> Json {
                     .collect(),
             ),
         )
+        .set(
+            "pid_fault_counts",
+            Json::Arr(
+                r.pid_fault_counts
+                    .iter()
+                    .map(|&(p, n)| Json::obj().set("pid", p).set("faults", n))
+                    .collect(),
+            ),
+        )
+        .set(
+            "restored",
+            Json::Arr(
+                r.restored
+                    .iter()
+                    .map(|(s, l)| Json::obj().set("site", *s).set("label", l.as_str()))
+                    .collect(),
+            ),
+        )
         .set("checkpoint_cells", r.checkpoint_cells);
+    if let Some(pid) = r.lost_pid {
+        doc = doc.set("lost_pid", pid);
+    }
     if let Some(seed) = r.chaos_seed {
         doc = doc.set("chaos_seed", seed);
     }
@@ -183,6 +224,9 @@ pub fn render_recovery(r: &RecoveryReport) -> String {
     }
     for a in &r.attempts {
         out.push_str(&format!("attempt {}: FAILED — {}\n", a.attempt, a.headline));
+        if let Some(pid) = a.suspect_pid {
+            out.push_str(&format!("  suspect: P{pid}\n"));
+        }
         for x in &a.actions {
             out.push_str(&format!(
                 "  ladder : {} s{} ({})\n",
@@ -207,6 +251,11 @@ pub fn render_recovery(r: &RecoveryReport) -> String {
         } else {
             out.push_str("attempt 1: OK — no recovery needed\n");
         }
+    } else if let Some(pid) = r.lost_pid {
+        out.push_str(&format!(
+            "attempt {}: P{pid} classified as permanent processor loss — degrading\n",
+            r.attempts_used
+        ));
     } else {
         out.push_str(&format!(
             "attempt {}: budget exhausted — giving up\n",
@@ -224,6 +273,14 @@ pub fn render_recovery(r: &RecoveryReport) -> String {
     if !r.quarantined.is_empty() {
         let list: Vec<String> = r.quarantined.iter().map(|s| format!("s{s}")).collect();
         out.push_str(&format!("quarantined : {}\n", list.join(", ")));
+    }
+    if !r.restored.is_empty() {
+        let list: Vec<String> = r
+            .restored
+            .iter()
+            .map(|(s, l)| format!("s{s} ({l})"))
+            .collect();
+        out.push_str(&format!("restored : {}\n", list.join(", ")));
     }
     if let Some(f) = &r.residual {
         out.push_str(&crate::failure::render_failure(f));
@@ -262,6 +319,7 @@ mod tests {
                     spin_rounds: 40,
                     yield_rounds: 6,
                     parks: 1,
+                    suspect_pid: Some(1),
                 },
                 AttemptReport {
                     attempt: 2,
@@ -280,11 +338,15 @@ mod tests {
                     spin_rounds: 12,
                     yield_rounds: 0,
                     parks: 0,
+                    suspect_pid: None,
                 },
             ],
             demoted: vec![(2, "after DOALL i".to_string())],
             quarantined: vec![2],
             fault_counts: vec![(2, 2)],
+            pid_fault_counts: vec![(1, 1)],
+            restored: Vec::new(),
+            lost_pid: None,
             checkpoint_cells: 46,
             chaos_seed: Some(7),
             residual: None,
@@ -306,8 +368,33 @@ mod tests {
         assert_eq!(a0.get("spin_rounds").unwrap().as_u64(), Some(40));
         assert_eq!(a0.get("yield_rounds").unwrap().as_u64(), Some(6));
         assert_eq!(a0.get("parks").unwrap().as_u64(), Some(1));
+        assert_eq!(a0.get("suspect_pid").unwrap().as_u64(), Some(1));
+        assert!(attempts[1].get("suspect_pid").is_none());
+        let pf = &doc.get("pid_fault_counts").unwrap().as_arr().unwrap()[0];
+        assert_eq!(pf.get("pid").unwrap().as_u64(), Some(1));
+        assert_eq!(pf.get("faults").unwrap().as_u64(), Some(1));
+        assert!(doc.get("lost_pid").is_none());
         let txt = doc.to_string_pretty();
         assert_eq!(crate::json::parse(&txt).unwrap(), doc);
+    }
+
+    #[test]
+    fn sticky_loss_and_probation_show_up_in_both_forms() {
+        let mut r = sample();
+        r.ok = false;
+        r.recovered = false;
+        r.lost_pid = Some(1);
+        r.restored = vec![(2, "after DOALL i".to_string())];
+        let txt = render_recovery(&r);
+        assert!(txt.contains("suspect: P1"));
+        assert!(txt.contains("P1 classified as permanent processor loss"));
+        assert!(txt.contains("restored : s2 (after DOALL i)"));
+        let doc = recovery_json(&r);
+        assert_eq!(doc.get("lost_pid").unwrap().as_u64(), Some(1));
+        let rest = &doc.get("restored").unwrap().as_arr().unwrap()[0];
+        assert_eq!(rest.get("site").unwrap().as_u64(), Some(2));
+        let txt2 = doc.to_string_pretty();
+        assert_eq!(crate::json::parse(&txt2).unwrap(), doc);
     }
 
     #[test]

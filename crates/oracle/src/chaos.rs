@@ -629,6 +629,203 @@ pub fn recovery_check_with(
     }
 }
 
+/// How a permanently lost processor dies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KillMode {
+    /// The pid silently drops the post half of *every* sync event it
+    /// reaches, at every site, forever — a stuck or fenced-off core.
+    /// Peers wedge waiting for arrivals that never come.
+    Silent,
+    /// The pid panics at its first sync event, every attempt — a core
+    /// that reliably faults.
+    Panic,
+}
+
+impl KillMode {
+    /// Stable lower-case name (report vocabulary).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            KillMode::Silent => "silent",
+            KillMode::Panic => "panic",
+        }
+    }
+}
+
+/// Permanent kill-pid chaos policy: processor `pid` is dead for the
+/// whole campaign, in the chosen [`KillMode`]. Unlike [`DropSpec`]
+/// this is not a per-site fault, so it reports itself *unmaskable*
+/// ([`SyncChaos::maskable`]): quarantining a sync site cannot revive
+/// hardware, and the recovery ladder must not be fooled into thinking
+/// it absorbed the fault.
+pub struct KillPidChaos {
+    /// The dead processor.
+    pub pid: usize,
+    /// How it dies.
+    pub mode: KillMode,
+}
+
+impl SyncChaos for KillPidChaos {
+    fn at_sync(&self, _site: usize, pid: usize, _visit: u64) -> ChaosAction {
+        if pid == self.pid {
+            match self.mode {
+                KillMode::Silent => return ChaosAction::Drop,
+                KillMode::Panic => panic!("injected: permanent processor fault on P{pid}"),
+            }
+        }
+        ChaosAction::None
+    }
+
+    fn maskable(&self) -> bool {
+        false
+    }
+}
+
+/// One kill-pid run's verdict under the *degrading* executor.
+#[derive(Debug)]
+pub struct DegradedRun {
+    /// The processor that was killed.
+    pub pid: usize,
+    /// How it was killed.
+    pub mode: KillMode,
+    /// The run completed (the availability guarantee held).
+    pub completed: bool,
+    /// Completion needed something beyond a clean first attempt (a
+    /// kill that was absorbed silently would mean the policy never
+    /// bit).
+    pub degraded: bool,
+    /// The rung that completed the run (`"recovered"`, `"shrunk"`, or
+    /// `"serial"` — `"clean"` would fail the check).
+    pub rung: String,
+    /// Width the run completed at.
+    pub nprocs_final: usize,
+    /// Permanent losses classified along the way.
+    pub procs_lost: usize,
+    /// Divergence of the final memory from the sequential oracle.
+    pub diff: f64,
+    /// The full degradation timeline (for `degrade.json` bundles).
+    pub report: obs::DegradationReport,
+}
+
+/// Degradation campaign verdict for one (program, plan): every pid
+/// killed silently, plus pid 0 killed by panic (the forced worst case
+/// — it exists at every width, so the run must descend to the serial
+/// tail).
+#[derive(Debug)]
+pub struct DegradeCheckReport {
+    /// Program name.
+    pub program: String,
+    /// Tolerance the diffs were checked against.
+    pub tol: f64,
+    /// One verdict per kill.
+    pub runs: Vec<DegradedRun>,
+}
+
+impl DegradeCheckReport {
+    /// True when every kill completed, degraded, and matched the
+    /// oracle.
+    pub fn ok(&self) -> bool {
+        !self.runs.is_empty()
+            && self
+                .runs
+                .iter()
+                .all(|r| r.completed && r.degraded && r.diff <= self.tol)
+    }
+
+    /// Human-readable failure lines (empty when [`DegradeCheckReport::ok`]).
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.runs.is_empty() {
+            out.push("degrade campaign ran no kills".to_string());
+        }
+        for r in &self.runs {
+            if !r.completed {
+                out.push(format!(
+                    "{} kill of P{} did not complete (availability guarantee violated)",
+                    r.mode.as_str(),
+                    r.pid
+                ));
+            } else if !r.degraded {
+                out.push(format!(
+                    "{} kill of P{} was absorbed without degrading (policy never bit)",
+                    r.mode.as_str(),
+                    r.pid
+                ));
+            } else if r.diff > self.tol {
+                out.push(format!(
+                    "{} kill of P{} completed on rung '{}' but diverged from the oracle by {:e}",
+                    r.mode.as_str(),
+                    r.pid,
+                    r.rung,
+                    r.diff
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Run the total-availability campaign for one program and plan: for
+/// every pid a run with that processor permanently silent-killed, plus
+/// one run with pid 0 panic-killed (which survives every shrink and
+/// forces the serial tail). Each run must *complete with oracle-exact
+/// memory* via the degradation ladder — shrink rounds re-plan through
+/// `replan`, so pass the same plan family that produced `plan`.
+#[allow(clippy::too_many_arguments)]
+pub fn degrade_check(
+    prog: &Arc<Program>,
+    bind: &Arc<Bindings>,
+    plan: &SpmdProgram,
+    team: &Team,
+    deadline: Duration,
+    tol: f64,
+    policy: &runtime::RetryPolicy,
+    replan: &dyn Fn(&Program, &Bindings) -> SpmdProgram,
+) -> DegradeCheckReport {
+    let oracle = Mem::new(prog, bind);
+    run_sequential(prog, bind, &oracle);
+
+    let nprocs = bind.nprocs.max(0) as usize;
+    let mut kills: Vec<(usize, KillMode)> =
+        (0..nprocs).map(|pid| (pid, KillMode::Silent)).collect();
+    kills.push((0, KillMode::Panic));
+
+    let mut runs = Vec::new();
+    for (pid, mode) in kills {
+        let mem = Arc::new(Mem::new(prog, bind));
+        let d = interp::run_parallel_degrading(
+            prog,
+            bind,
+            plan,
+            &mem,
+            team,
+            &ObserveOptions {
+                deadline: Some(deadline),
+                chaos: Some(Arc::new(KillPidChaos { pid, mode })),
+                ..ObserveOptions::default()
+            },
+            policy,
+            replan,
+        );
+        runs.push(DegradedRun {
+            pid,
+            mode,
+            completed: d.completed(),
+            degraded: d.degraded(),
+            rung: d.rung.name().to_string(),
+            nprocs_final: d.nprocs_final,
+            procs_lost: d.procs_lost,
+            diff: mem.max_abs_diff(&oracle),
+            report: d.report(None),
+        });
+    }
+
+    DegradeCheckReport {
+        program: prog.name.clone(),
+        tol,
+        runs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -695,6 +892,44 @@ mod tests {
             assert!(t.report.recovered);
             // The ladder actually engaged: something was demoted.
             assert!(!t.report.demoted.is_empty());
+        }
+    }
+
+    #[test]
+    fn generated_program_survives_every_kill_pid_policy() {
+        use spmd_opt::optimize;
+        let g = gen::generate(5);
+        let bind = Arc::new(g.bindings(3));
+        let prog = Arc::new(g.prog.clone());
+        let plan = optimize(&prog, &bind);
+        let team = Team::new(3);
+        let policy = runtime::RetryPolicy {
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            sticky_pid_k: 2,
+            ..runtime::RetryPolicy::default()
+        };
+        let r = degrade_check(
+            &prog,
+            &bind,
+            &plan,
+            &team,
+            Duration::from_millis(150),
+            0.0,
+            &policy,
+            &|p, b| optimize(p, b),
+        );
+        assert!(r.ok(), "degrade check failed: {:?}", r.failures());
+        // 3 silent kills + the forced-serial panic kill of P0.
+        assert_eq!(r.runs.len(), 4);
+        let worst = r.runs.last().unwrap();
+        assert_eq!((worst.pid, worst.mode), (0, KillMode::Panic));
+        assert_eq!(worst.rung, "serial", "P0 exists at every width");
+        assert_eq!(worst.nprocs_final, 1);
+        for run in &r.runs {
+            assert_eq!(run.diff, 0.0, "bitwise availability guarantee");
+            assert_eq!(run.report.rung, run.rung);
         }
     }
 

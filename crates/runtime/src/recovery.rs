@@ -49,6 +49,18 @@ pub struct RetryPolicy {
     pub backoff_base: Duration,
     /// Upper bound on any single backoff interval.
     pub backoff_cap: Duration,
+    /// Sticky-fault classification threshold: when the same processor
+    /// is the primary faulter across this many *consecutive* failed
+    /// attempts, the supervisor classifies it as a permanent processor
+    /// loss instead of a flaky sync site (`0` disables classification —
+    /// the pid ledger is still kept for reports).
+    pub sticky_pid_k: u32,
+    /// Probation threshold: a demoted/quarantined site that stays clean
+    /// across this many consecutive failed attempts (faults landing
+    /// elsewhere) is forgiven — quarantine lifted, its optimized sync
+    /// op restored (`0` disables probation; sites stay demoted for the
+    /// life of the run).
+    pub probation_k: u32,
 }
 
 impl Default for RetryPolicy {
@@ -60,6 +72,8 @@ impl Default for RetryPolicy {
             max_attempts: 9,
             backoff_base: Duration::from_millis(5),
             backoff_cap: Duration::from_millis(200),
+            sticky_pid_k: 0,
+            probation_k: 0,
         }
     }
 }
@@ -97,12 +111,23 @@ pub enum FaultDisposition {
     Retry,
 }
 
-/// Per-run ledger of faulting canonical sync sites: how often each
-/// faulted and which are quarantined.
+/// Per-run ledger of faulting canonical sync sites *and* processors:
+/// how often each site faulted, which sites are quarantined, each
+/// site's clean streak (for probation), and the per-pid fault history
+/// the sticky-fault classifier reads.
 #[derive(Clone, Debug, Default)]
 pub struct Quarantine {
     faults: BTreeMap<usize, u32>,
     quarantined: Vec<usize>,
+    /// Consecutive failed attempts in which a known-faulty site was
+    /// *not* implicated (reset on every new fault at the site).
+    clean_streaks: BTreeMap<usize, u32>,
+    /// Total faults attributed to each processor.
+    pid_faults: BTreeMap<usize, u32>,
+    /// The pid implicated by the most recent attempts and for how many
+    /// consecutive attempts it has been the primary suspect.
+    streak_pid: Option<usize>,
+    streak: u32,
 }
 
 impl Quarantine {
@@ -112,10 +137,11 @@ impl Quarantine {
     }
 
     /// Record one fault attributed to `site` and return the ladder's
-    /// disposition for it.
+    /// disposition for it. Resets the site's probation streak.
     pub fn record_fault(&mut self, site: usize) -> FaultDisposition {
         let n = self.faults.entry(site).or_insert(0);
         *n += 1;
+        self.clean_streaks.insert(site, 0);
         match *n {
             1 => FaultDisposition::Demote,
             2 => {
@@ -127,7 +153,57 @@ impl Quarantine {
         }
     }
 
-    /// Sites placed under quarantine, in the order they escalated.
+    /// Record one *clean episode* for `site` — a failed attempt in
+    /// which a previously-faulty site was not implicated. Returns true
+    /// when the site has now been clean `probation_k` consecutive
+    /// episodes (probation served): the caller should lift quarantine
+    /// and restore the site's original sync op. `probation_k == 0`
+    /// disables probation. Serving probation resets the site's fault
+    /// ladder so a relapse starts from a fresh demotion.
+    pub fn record_clean(&mut self, site: usize, probation_k: u32) -> bool {
+        if probation_k == 0 || !self.faults.contains_key(&site) {
+            return false;
+        }
+        let n = self.clean_streaks.entry(site).or_insert(0);
+        *n += 1;
+        if *n >= probation_k {
+            self.faults.remove(&site);
+            self.clean_streaks.remove(&site);
+            self.quarantined.retain(|&s| s != site);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record the suspect processor of one failed attempt (`None` when
+    /// the attempt had no attributable pid) and return the length of
+    /// the suspect's current consecutive-attempt streak (0 when no
+    /// suspect). This feeds the sticky-fault classifier: a streak
+    /// reaching [`RetryPolicy::sticky_pid_k`] means the pid is a
+    /// permanent processor loss, not a flaky site.
+    pub fn record_attempt_suspect(&mut self, pid: Option<usize>) -> u32 {
+        match pid {
+            Some(p) => {
+                *self.pid_faults.entry(p).or_insert(0) += 1;
+                if self.streak_pid == Some(p) {
+                    self.streak += 1;
+                } else {
+                    self.streak_pid = Some(p);
+                    self.streak = 1;
+                }
+                self.streak
+            }
+            None => {
+                self.streak_pid = None;
+                self.streak = 0;
+                0
+            }
+        }
+    }
+
+    /// Sites placed under quarantine, in the order they escalated
+    /// (sites forgiven by probation no longer appear).
     pub fn quarantined(&self) -> &[usize] {
         &self.quarantined
     }
@@ -141,6 +217,12 @@ impl Quarantine {
     pub fn fault_counts(&self) -> Vec<(usize, u32)> {
         self.faults.iter().map(|(&s, &n)| (s, n)).collect()
     }
+
+    /// Recorded fault count per processor (pid → faults), sorted by
+    /// pid.
+    pub fn pid_fault_counts(&self) -> Vec<(usize, u32)> {
+        self.pid_faults.iter().map(|(&p, &n)| (p, n)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +235,7 @@ mod tests {
             max_attempts: 10,
             backoff_base: Duration::from_millis(5),
             backoff_cap: Duration::from_millis(40),
+            ..RetryPolicy::default()
         };
         assert_eq!(p.backoff_before(0), Duration::ZERO);
         assert_eq!(p.backoff_before(1), Duration::from_millis(5));
@@ -177,5 +260,55 @@ mod tests {
         assert_eq!(q.record_fault(7), FaultDisposition::Demote);
         assert_eq!(q.quarantined(), &[3]);
         assert_eq!(q.fault_counts(), vec![(3, 4), (7, 1)]);
+    }
+
+    #[test]
+    fn probation_lifts_quarantine_after_k_clean_episodes() {
+        let mut q = Quarantine::new();
+        q.record_fault(3);
+        q.record_fault(3);
+        assert!(q.is_quarantined(3));
+        // Two clean episodes at K=3: not yet.
+        assert!(!q.record_clean(3, 3));
+        assert!(!q.record_clean(3, 3));
+        assert!(q.is_quarantined(3));
+        // Third consecutive clean episode serves the probation.
+        assert!(q.record_clean(3, 3));
+        assert!(!q.is_quarantined(3));
+        // The ladder is forgiven too: a relapse demotes afresh.
+        assert!(q.fault_counts().is_empty());
+        assert_eq!(q.record_fault(3), FaultDisposition::Demote);
+    }
+
+    #[test]
+    fn a_fault_resets_the_probation_streak() {
+        let mut q = Quarantine::new();
+        q.record_fault(5);
+        assert!(!q.record_clean(5, 2));
+        q.record_fault(5); // relapse: streak back to zero
+        assert!(!q.record_clean(5, 2));
+        assert!(q.record_clean(5, 2));
+    }
+
+    #[test]
+    fn probation_is_inert_when_disabled_or_site_unknown() {
+        let mut q = Quarantine::new();
+        q.record_fault(1);
+        assert!(!q.record_clean(1, 0), "K=0 disables probation");
+        assert!(!q.record_clean(9, 4), "never-faulty site has no ledger");
+    }
+
+    #[test]
+    fn suspect_streak_counts_consecutive_attempts_only() {
+        let mut q = Quarantine::new();
+        assert_eq!(q.record_attempt_suspect(Some(2)), 1);
+        assert_eq!(q.record_attempt_suspect(Some(2)), 2);
+        // A different suspect restarts the streak.
+        assert_eq!(q.record_attempt_suspect(Some(0)), 1);
+        // An unattributable attempt breaks any streak.
+        assert_eq!(q.record_attempt_suspect(None), 0);
+        assert_eq!(q.record_attempt_suspect(Some(0)), 1);
+        // Totals survive streak resets.
+        assert_eq!(q.pid_fault_counts(), vec![(0, 2), (2, 2)]);
     }
 }

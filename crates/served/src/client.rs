@@ -8,6 +8,14 @@
 //! `overloaded`, `shard_crashed`, `shutting_down`, and dropped
 //! connections (no reply line). Not retryable: `bad_request` and
 //! `deadline_exceeded` (the caller's deadline is spent either way).
+//!
+//! An optional *total deadline* ([`ServiceClient::total_deadline`])
+//! bounds the whole call, not just one attempt: cumulative backoff is
+//! capped to the remaining budget, the per-attempt socket timeout
+//! shrinks with it, and the remainder is propagated to the server as
+//! the request's `deadline_ms` — so a permanently-crashing shard
+//! yields a terminal [`ClientError::BudgetSpent`] in bounded time
+//! instead of sleeping through the full retry ladder.
 
 use crate::proto::{
     decode_reply, encode_request, ErrorCode, ErrorReply, OptimizeReply, OptimizeRequest, Reply,
@@ -37,6 +45,14 @@ pub enum ClientError {
     },
     /// The server's reply did not decode.
     Protocol(String),
+    /// The client-side total deadline was spent before any attempt
+    /// succeeded (terminal — no further retries).
+    BudgetSpent {
+        /// Attempts made before the budget ran out.
+        attempts: u32,
+        /// The last structured error, if the server sent one.
+        last: Option<ErrorReply>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -55,6 +71,15 @@ impl std::fmt::Display for ClientError {
                 None => write!(f, "retry budget exhausted after {attempts} attempt(s)"),
             },
             ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::BudgetSpent { attempts, last } => match last {
+                Some(e) => write!(
+                    f,
+                    "client deadline spent after {attempts} attempt(s); last: {} ({})",
+                    e.code.as_str(),
+                    e.message
+                ),
+                None => write!(f, "client deadline spent after {attempts} attempt(s)"),
+            },
         }
     }
 }
@@ -68,6 +93,12 @@ pub struct ServiceClient {
     pub policy: RetryPolicy,
     /// Per-attempt socket read timeout.
     pub read_timeout: Duration,
+    /// Whole-call budget. When set, backoff sleeps are capped to the
+    /// remaining budget, the per-attempt socket timeout shrinks with
+    /// it, and each attempt carries the remainder to the server as the
+    /// request `deadline_ms` (never loosening a tighter one already on
+    /// the request).
+    pub total_deadline: Option<Duration>,
 }
 
 impl ServiceClient {
@@ -78,14 +109,19 @@ impl ServiceClient {
             addr: addr.into(),
             policy: RetryPolicy::default(),
             read_timeout: Duration::from_secs(30),
+            total_deadline: None,
         }
     }
 
     /// One request/reply exchange on a fresh connection.
     fn exchange(&self, req: &Request) -> Result<Reply, ClientError> {
+        self.exchange_timed(req, self.read_timeout)
+    }
+
+    fn exchange_timed(&self, req: &Request, read_timeout: Duration) -> Result<Reply, ClientError> {
         let mut stream = TcpStream::connect(&self.addr).map_err(ClientError::Io)?;
         stream
-            .set_read_timeout(Some(self.read_timeout))
+            .set_read_timeout(Some(read_timeout))
             .map_err(ClientError::Io)?;
         let _ = stream.set_nodelay(true);
         let line = encode_request(req);
@@ -107,8 +143,11 @@ impl ServiceClient {
 
     /// Compile a request, retrying retryable failures under the
     /// policy's capped-exponential schedule. The sleep before retry
-    /// `k` is `max(policy backoff, server retry_after hint)`.
+    /// `k` is `max(policy backoff, server retry_after hint)` — capped,
+    /// like everything else, by the remaining
+    /// [`ServiceClient::total_deadline`] budget when one is set.
     pub fn optimize(&self, req: &OptimizeRequest) -> Result<OptimizeReply, ClientError> {
+        let t0 = std::time::Instant::now();
         let mut last: Option<ErrorReply> = None;
         let mut last_io: Option<std::io::Error> = None;
         for attempt in 1..=self.policy.max_attempts {
@@ -117,9 +156,42 @@ impl ServiceClient {
                 if let Some(hint) = last.as_ref().and_then(|e| e.retry_after_ms) {
                     pause = pause.max(Duration::from_millis(hint));
                 }
+                if let Some(budget) = self.total_deadline {
+                    // Never sleep past the budget; if it is already
+                    // spent, fail now instead of burning the rest of
+                    // the retry ladder.
+                    let remaining = budget.saturating_sub(t0.elapsed());
+                    if remaining.is_zero() {
+                        return Err(ClientError::BudgetSpent {
+                            attempts: attempt - 1,
+                            last,
+                        });
+                    }
+                    pause = pause.min(remaining);
+                }
                 std::thread::sleep(pause);
             }
-            match self.exchange(&Request::Optimize(req.clone())) {
+            // Propagate what is left of the budget: the socket timeout
+            // shrinks with it, and the server sees it as the request
+            // deadline (keeping a tighter one the caller already set).
+            let mut this_req = req.clone();
+            let mut read_timeout = self.read_timeout;
+            if let Some(budget) = self.total_deadline {
+                let remaining = budget.saturating_sub(t0.elapsed());
+                if remaining.is_zero() {
+                    return Err(ClientError::BudgetSpent {
+                        attempts: attempt - 1,
+                        last,
+                    });
+                }
+                read_timeout = read_timeout.min(remaining);
+                let remaining_ms = (remaining.as_millis() as u64).max(1);
+                this_req.deadline_ms = Some(match this_req.deadline_ms {
+                    Some(ms) => ms.min(remaining_ms),
+                    None => remaining_ms,
+                });
+            }
+            match self.exchange_timed(&Request::Optimize(this_req), read_timeout) {
                 Ok(Reply::Optimized(r)) => return Ok(r),
                 Ok(Reply::Error(e)) => match e.code {
                     ErrorCode::BadRequest => return Err(ClientError::Bad(e)),

@@ -262,3 +262,70 @@ fn graceful_drain_answers_queued_work_and_snapshots() {
     ));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn client_deadline_bounds_a_permanently_crashing_shard() {
+    use served::{encode_reply, ErrorReply, Reply, Request};
+    use std::io::{BufRead, BufReader, Write};
+
+    // A bare listener standing in for a service whose shard crashes on
+    // every request: each exchange is answered with a retryable
+    // `shard_crashed` plus a retry_after hint. Without a client-side
+    // budget, the default ladder would retry 9 times and sleep through
+    // every max(backoff, hint) pause.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let seen: Arc<std::sync::Mutex<Vec<Option<u64>>>> = Arc::default();
+    let seen_srv = Arc::clone(&seen);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                continue;
+            }
+            if let Ok(Request::Optimize(r)) = served::decode_request(line.trim_end()) {
+                seen_srv.lock().unwrap().push(r.deadline_ms);
+            }
+            let reply = encode_reply(&Reply::Error(ErrorReply {
+                id: 1,
+                code: ErrorCode::ShardCrashed,
+                message: "injected: shard crashes on every request".to_string(),
+                retry_after_ms: Some(40),
+            }));
+            let mut w = stream;
+            let _ = w.write_all(reply.as_bytes());
+            let _ = w.write_all(b"\n");
+        }
+    });
+
+    let mut client = ServiceClient::new(addr.to_string());
+    client.total_deadline = Some(Duration::from_millis(150));
+    let t0 = std::time::Instant::now();
+    let err = client
+        .optimize(&tiny_request(1, PlanKind::Optimized))
+        .unwrap_err();
+    let elapsed = t0.elapsed();
+
+    // Terminal in bounded time: the budget, not the 9-attempt ladder
+    // (whose pauses alone exceed 700 ms), decides when to stop.
+    assert!(
+        matches!(err, ClientError::BudgetSpent { attempts, .. } if attempts >= 1),
+        "expected BudgetSpent, got: {err}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(700),
+        "crashing shard must fail within the budget, took {elapsed:?}"
+    );
+    // Every attempt carried the remaining budget to the server, and
+    // the propagated deadline only ever shrinks.
+    let seen = seen.lock().unwrap();
+    assert!(!seen.is_empty());
+    let deadlines: Vec<u64> = seen
+        .iter()
+        .map(|d| d.expect("deadline propagated"))
+        .collect();
+    assert!(deadlines.iter().all(|&ms| ms <= 150));
+    assert!(deadlines.windows(2).all(|w| w[1] <= w[0]), "{deadlines:?}");
+}

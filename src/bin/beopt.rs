@@ -29,8 +29,8 @@
 use barrier_elim::analysis::Bindings;
 use barrier_elim::frontend;
 use barrier_elim::interp::{
-    run_parallel_observed, run_parallel_recovering, run_sequential, run_virtual,
-    run_virtual_traced, Mem, ObserveOptions, ScheduleOrder, SyncChaos,
+    run_parallel_degrading, run_parallel_observed, run_parallel_recovering, run_sequential,
+    run_virtual, run_virtual_traced, Mem, ObserveOptions, ScheduleOrder, SyncChaos,
 };
 use barrier_elim::ir::Program;
 use barrier_elim::obs::{self, TraceBuilder};
@@ -55,6 +55,7 @@ struct Args {
     trace_out: Option<String>,
     deadline_ms: Option<u64>,
     recover: bool,
+    degrade: bool,
     max_attempts: Option<u32>,
     chaos_seed: Option<u64>,
     chaos_drop: Option<DropSpec>,
@@ -87,7 +88,14 @@ fn usage() -> ! {
          \x20                    to a barrier, and retry with backoff; prints a\n\
          \x20                    recovery report and exits 0 when the run\n\
          \x20                    completes (even after retries)\n\
-         --max-attempts N    with --recover: retry budget (default 9)\n\
+         --degrade           with --run: execute under the total-availability\n\
+         \x20                    supervisor — recovery plus permanent-loss\n\
+         \x20                    classification, elastic team shrink, and the\n\
+         \x20                    sequential fallback; prints a degradation\n\
+         \x20                    report and exits 0 whenever the run completes\n\
+         \x20                    with verified results, even on a lower rung\n\
+         --max-attempts N    with --recover/--degrade: per-round retry budget\n\
+         \x20                    (default 9)\n\
          --chaos-seed S      with --run + --deadline: perturb every sync event\n\
          \x20                    with seeded benign chaos\n\
          --chaos-drop S:P:V  with --run + --deadline: drop processor P's posts\n\
@@ -117,6 +125,7 @@ fn parse_args() -> Args {
         trace_out: None,
         deadline_ms: None,
         recover: false,
+        degrade: false,
         max_attempts: None,
         chaos_seed: None,
         chaos_drop: None,
@@ -152,6 +161,7 @@ fn parse_args() -> Args {
                 );
             }
             "--recover" => args.recover = true,
+            "--degrade" => args.degrade = true,
             "--max-attempts" => {
                 args.max_attempts = Some(
                     it.next()
@@ -334,6 +344,10 @@ fn main() -> ExitCode {
             eprintln!("beopt: --recover needs --run (it supervises the real-thread execution)");
             return ExitCode::FAILURE;
         }
+        if args.degrade {
+            eprintln!("beopt: --degrade needs --run (it supervises the real-thread execution)");
+            return ExitCode::FAILURE;
+        }
         if args.chaos_seed.is_some() || args.chaos_drop.is_some() {
             eprintln!("beopt: --chaos-seed/--chaos-drop need --run");
             return ExitCode::FAILURE;
@@ -394,7 +408,12 @@ fn main() -> ExitCode {
     let mut trace_source = "virtual interleaver (1 step = 1µs logical clock)";
     let mut run_profile: Option<(ProfileData, Vec<barrier_elim::runtime::SiteMeta>)> = None;
 
-    if args.metrics_json.is_some() || args.deadline_ms.is_some() || args.recover || args.profile {
+    if args.metrics_json.is_some()
+        || args.deadline_ms.is_some()
+        || args.recover
+        || args.degrade
+        || args.profile
+    {
         // Real-thread execution with per-site telemetry (and a timeline
         // if one was requested), optionally watchdog-guarded and/or
         // supervised by the self-healing recovery loop.
@@ -414,13 +433,14 @@ fn main() -> ExitCode {
             } else {
                 None
             };
-        if chaos.is_some() && args.deadline_ms.is_none() && !args.recover {
-            eprintln!("beopt: chaos injection needs --deadline (or --recover), else a dropped post wedges the run");
+        if chaos.is_some() && args.deadline_ms.is_none() && !args.recover && !args.degrade {
+            eprintln!("beopt: chaos injection needs --deadline (or --recover/--degrade), else a dropped post wedges the run");
             return ExitCode::FAILURE;
         }
         // Recovery needs bounded waits to detect faults at all: default
-        // the watchdog when --recover is given without --deadline.
-        let deadline_ms = match (args.deadline_ms, args.recover) {
+        // the watchdog when --recover/--degrade is given without
+        // --deadline.
+        let deadline_ms = match (args.deadline_ms, args.recover || args.degrade) {
             (Some(ms), _) => Some(ms),
             (None, true) => Some(250),
             (None, false) => None,
@@ -435,7 +455,47 @@ fn main() -> ExitCode {
         };
         let mut ledger: Option<(Vec<usize>, Vec<usize>)> = None;
         let mut stats_totals = None;
-        let (out_p, attempts_used) = if args.recover {
+        let mut degrade_summary: Option<(String, usize, usize)> = None;
+        let (out_p, attempts_used) = if args.degrade {
+            let policy = RetryPolicy {
+                max_attempts: args
+                    .max_attempts
+                    .unwrap_or(RetryPolicy::default().max_attempts),
+                ..RetryPolicy::default()
+            };
+            let mut d = run_parallel_degrading(
+                &prog_a,
+                &bind_a,
+                &plan,
+                &mem_p,
+                &team,
+                &opts,
+                &policy,
+                &|p, b| barrier_elim::spmd_opt::optimize(p, b),
+            );
+            print!("{}", obs::render_degradation(&d.report(args.chaos_seed)));
+            if !d.completed() {
+                eprintln!("beopt: EXECUTION FAILED: degradation ladder did not complete the run");
+                return ExitCode::FAILURE;
+            }
+            degrade_summary = Some((d.rung.name().to_string(), d.procs_lost, d.rounds.len()));
+            stats_totals = Some(d.total_stats);
+            let last = d
+                .rounds
+                .pop()
+                .expect("a completed degrading run has at least one round");
+            let attempts: u32 = d
+                .rounds
+                .iter()
+                .map(|r| r.recovery.attempts_used)
+                .sum::<u32>()
+                + last.recovery.attempts_used;
+            ledger = Some((
+                last.recovery.demoted.iter().map(|(s, _)| *s).collect(),
+                last.recovery.quarantined.clone(),
+            ));
+            (last.recovery.outcome, attempts)
+        } else if args.recover {
             let policy = RetryPolicy {
                 max_attempts: args
                     .max_attempts
@@ -496,6 +556,12 @@ fn main() -> ExitCode {
             let totals = stats_totals.as_ref().unwrap_or(&out_p.stats);
             let mut doc = obs::metrics_json(&prog.name, args.nprocs as usize, &out_p.sites, totals)
                 .set("attempt", attempts_used);
+            if let Some((rung, procs_lost, rounds)) = &degrade_summary {
+                doc = doc
+                    .set("rung", rung.as_str())
+                    .set("procs_lost", *procs_lost)
+                    .set("rounds", *rounds);
+            }
             if let Some((demoted, quarantined)) = &ledger {
                 doc = doc
                     .set(

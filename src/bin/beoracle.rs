@@ -8,6 +8,7 @@
 //! beoracle kernels [--threads]
 //! beoracle chaos   [--chaos-seed S] [--deadline MS] [--nprocs P] [--repro-dir DIR]
 //!                  [--no-recover] [--recovery-json PATH] [--profile]
+//!                  [--degrade] [--degrade-json PATH] [--max-attempts N]
 //! beoracle service-chaos [--chaos-seed S] [--rounds N] [--nprocs P] [--json PATH]
 //!                  [--snapshot-dir DIR]
 //! ```
@@ -39,6 +40,15 @@
 //!   site. With `--profile`, each kernel x plan additionally does one
 //!   profiled benign run and its event-ring accounting (`events +
 //!   dropped == attempted`) is checked and embedded in the JSON.
+//!   With `--degrade`, the *total-availability* campaign runs instead:
+//!   every pid of every kernel x plan is permanently killed (silent
+//!   post-drops for each pid, plus a panic kill of P0 that survives
+//!   every team shrink and forces the sequential tail) and the
+//!   degradation supervisor must complete each run — classifying the
+//!   loss, shrinking the team, re-planning, and at worst finishing
+//!   serially — with memory matching the sequential oracle; the
+//!   aggregated degradation timelines are written to `--degrade-json`
+//!   (default `degrade.json`).
 //! * `service-chaos` — run the *service-plane* chaos campaign: start an
 //!   in-process `beoptd` service under a seeded fault schedule (shard
 //!   kills mid-request and mid-snapshot, snapshot corruption, dropped
@@ -275,12 +285,134 @@ fn profile_benign(
     }
 }
 
+/// The `chaos --degrade` campaign: every pid of every kernel x plan is
+/// permanently kill-pid'ed (silent drops, plus a panic kill of P0 that
+/// forces the serial tail) and the degradation supervisor must finish
+/// each run with memory matching the sequential oracle. Writes the
+/// aggregated timelines to `degrade_json`.
+fn cmd_chaos_degrade(
+    seed: u64,
+    deadline: Duration,
+    nprocs: i64,
+    degrade_json: &str,
+    max_attempts: u32,
+) -> i32 {
+    println!(
+        "degrade campaign over {} kernels (deadline {deadline:?}, P={nprocs}, kill-pid: every pid silent + P0 panic)",
+        CHAOS_KERNELS.len()
+    );
+    let team = Team::new(nprocs as usize);
+    let policy = barrier_elim::runtime::RetryPolicy {
+        max_attempts,
+        sticky_pid_k: 2,
+        ..barrier_elim::runtime::RetryPolicy::default()
+    };
+    let mut runs: Vec<obs::Json> = Vec::new();
+    let mut failed = 0;
+    for (kernel, sets) in CHAOS_KERNELS {
+        let src = match std::fs::read_to_string(format!("kernels/{kernel}")) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("FAIL {kernel}: cannot read kernel file: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        let prog = Arc::new(frontend::parse(&src).unwrap_or_else(|e| panic!("{kernel}: {e}")));
+        let bind = Arc::new(bind_by_name(&prog, nprocs, sets));
+        type Replan =
+            fn(&barrier_elim::ir::Program, &Bindings) -> barrier_elim::spmd_opt::SpmdProgram;
+        let plans: [(&str, barrier_elim::spmd_opt::SpmdProgram, Replan); 2] = [
+            ("fork-join", fork_join(&prog, &bind), fork_join),
+            ("optimized", optimize(&prog, &bind), optimize),
+        ];
+        for (label, plan, replan) in plans {
+            let r =
+                oracle::degrade_check(&prog, &bind, &plan, &team, deadline, 1e-9, &policy, &replan);
+            if r.ok() {
+                let worst = r
+                    .runs
+                    .iter()
+                    .find(|k| k.rung == "serial")
+                    .map(|k| format!("P{} {} kill -> serial", k.pid, k.mode.as_str()))
+                    .unwrap_or_else(|| "no serial tail needed".to_string());
+                println!(
+                    "ok   {kernel} {label}: {} kills absorbed, worst case {worst}",
+                    r.runs.len()
+                );
+            } else {
+                failed += 1;
+                println!("FAIL {kernel} {label}:");
+                for f in r.failures() {
+                    println!("  {f}");
+                }
+                for k in &r.runs {
+                    if !(k.completed && k.degraded && k.diff <= 1e-9) {
+                        print!("{}", obs::render_degradation(&k.report));
+                    }
+                }
+            }
+            let kills: Vec<obs::Json> = r
+                .runs
+                .iter()
+                .map(|k| {
+                    obs::Json::obj()
+                        .set("pid", k.pid)
+                        .set("mode", k.mode.as_str())
+                        .set("completed", k.completed)
+                        .set("degraded", k.degraded)
+                        .set("rung", k.rung.as_str())
+                        .set("nprocs_final", k.nprocs_final)
+                        .set("procs_lost", k.procs_lost)
+                        .set("diff", k.diff)
+                        .set("report", obs::degradation_json(&k.report))
+                })
+                .collect();
+            runs.push(
+                obs::Json::obj()
+                    .set("kernel", *kernel)
+                    .set("plan", label)
+                    .set("ok", r.ok())
+                    .set("kills", kills),
+            );
+        }
+    }
+    let doc = obs::Json::obj()
+        .set("campaign", "chaos-degrade")
+        .set("seed", seed)
+        .set("deadline_ms", deadline.as_millis() as u64)
+        .set("nprocs", nprocs)
+        .set("max_attempts", policy.max_attempts)
+        .set("sticky_pid_k", policy.sticky_pid_k)
+        .set("ok", failed == 0)
+        .set("runs", runs);
+    match std::fs::write(degrade_json, doc.to_string_pretty()) {
+        Ok(()) => println!("degrade: aggregated timelines written to {degrade_json}"),
+        Err(e) => {
+            eprintln!("beoracle: cannot write {degrade_json}: {e}");
+            failed += 1;
+        }
+    }
+    if failed == 0 {
+        0
+    } else {
+        println!("{failed} kernel plans failed the degrade campaign");
+        1
+    }
+}
+
 fn cmd_chaos(args: &[String]) -> i32 {
     let seed = parse_u64(args, "--chaos-seed", 0);
     let deadline = Duration::from_millis(parse_u64(args, "--deadline", 250));
     let nprocs = parse_u64(args, "--nprocs", 4) as i64;
     let no_recover = parse_flag(args, "--no-recover");
     let profile = parse_flag(args, "--profile");
+    if parse_flag(args, "--degrade") {
+        let degrade_json =
+            parse_opt(args, "--degrade-json").unwrap_or_else(|| "degrade.json".to_string());
+        let max_attempts = parse_u64(args, "--max-attempts", 4) as u32;
+        return cmd_chaos_degrade(seed, deadline, nprocs, &degrade_json, max_attempts);
+    }
     let repro_dir = std::path::PathBuf::from(
         parse_opt(args, "--repro-dir").unwrap_or_else(|| "beoracle-repro".to_string()),
     );
@@ -508,7 +640,7 @@ fn main() {
         Some("service-chaos") => cmd_service_chaos(&args[1..]),
         _ => {
             eprintln!(
-                "usage: beoracle fuzz [--count N] [--seed S] [--threads] [--nprocs 1,3,4] [--repro-dir DIR] [--deadline MS] [--chaos] [--chaos-seed S]\n       beoracle mutate [--count N] [--seed S]\n       beoracle kernels [--threads]\n       beoracle chaos [--chaos-seed S] [--deadline MS] [--nprocs P] [--repro-dir DIR] [--no-recover] [--recovery-json PATH] [--profile]\n       beoracle service-chaos [--chaos-seed S] [--rounds N] [--nprocs P] [--json PATH] [--snapshot-dir DIR]"
+                "usage: beoracle fuzz [--count N] [--seed S] [--threads] [--nprocs 1,3,4] [--repro-dir DIR] [--deadline MS] [--chaos] [--chaos-seed S]\n       beoracle mutate [--count N] [--seed S]\n       beoracle kernels [--threads]\n       beoracle chaos [--chaos-seed S] [--deadline MS] [--nprocs P] [--repro-dir DIR] [--no-recover] [--recovery-json PATH] [--profile] [--degrade] [--degrade-json PATH] [--max-attempts N]\n       beoracle service-chaos [--chaos-seed S] [--rounds N] [--nprocs P] [--json PATH] [--snapshot-dir DIR]"
             );
             2
         }

@@ -365,6 +365,41 @@ mod prop {
     }
 
     proptest! {
+        /// Satellite: the backoff schedule saturates instead of
+        /// overflowing — any retry index up to `u32::MAX` yields a
+        /// well-defined pause that never exceeds the cap and never
+        /// shrinks as retries deepen. The exponent clamps at 2^16, so
+        /// far past the clamp the pause is exactly
+        /// `min(base * 2^16, cap)`.
+        #[test]
+        fn backoff_saturates_at_the_cap_near_u32_max(
+            base_ms in 0u64..5_000,
+            cap_ms in 0u64..5_000,
+            lo in 1u32..64,
+            hi in (u32::MAX - 64)..u32::MAX,
+        ) {
+            let p = RetryPolicy {
+                backoff_base: Duration::from_millis(base_ms),
+                backoff_cap: Duration::from_millis(cap_ms),
+                ..RetryPolicy::default()
+            };
+            let cap = Duration::from_millis(cap_ms);
+            prop_assert_eq!(p.backoff_before(0), Duration::ZERO);
+            for r in [lo, hi, u32::MAX - 1, u32::MAX] {
+                prop_assert!(p.backoff_before(r) <= cap);
+                // Monotone: a deeper retry never sleeps less.
+                prop_assert!(p.backoff_before(r) <= p.backoff_before(r.saturating_add(1)));
+            }
+            prop_assert!(p.backoff_before(lo) <= p.backoff_before(hi));
+            let clamped = Duration::from_millis(base_ms)
+                .saturating_mul(1 << 16)
+                .min(cap);
+            prop_assert_eq!(p.backoff_before(u32::MAX), clamped);
+            prop_assert_eq!(p.backoff_before(hi), clamped);
+        }
+    }
+
+    proptest! {
         #![proptest_config(ProptestConfig::with_cases(6))]
 
         /// Satellite: for any generated program and any absorbable
