@@ -161,6 +161,115 @@ fn pair_key(s1: &StmtPath, s2: &StmtPath, mode: CommMode) -> PairKey {
     (s1.node.0, s2.node.0, tag, at)
 }
 
+/// Largest processor distance a [`DistSet`] can represent. Distances
+/// beyond this collapse to [`CommPattern::General`].
+pub const MAX_PAIR_DIST: i64 = 64;
+
+/// Most distinct distance/producer wait targets a pairwise sync may
+/// carry before a barrier is cheaper than the fan-in of point-to-point
+/// waits.
+pub const MAX_PAIR_FANIN: usize = 4;
+
+/// A set of dependence distance vectors projected onto the processor
+/// dimension: `d` in the set means data flows from processor `p` to
+/// processor `p + d` (so a consumer `q` must wait on `q - d`).
+/// Bitmask-encoded and `Copy`, so it can ride inside [`CommPattern`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Debug)]
+pub struct DistSet {
+    /// Bit `k` set: forward distance `k + 1` (toward higher pids).
+    fwd: u64,
+    /// Bit `k` set: backward distance `-(k + 1)` (toward lower pids).
+    bwd: u64,
+}
+
+impl DistSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        DistSet::default()
+    }
+
+    /// The neighbor distances `{+1}`/`{-1}` for the given directions.
+    pub fn neighbor(fwd: bool, bwd: bool) -> Self {
+        let mut s = DistSet::empty();
+        if fwd {
+            s.insert(1);
+        }
+        if bwd {
+            s.insert(-1);
+        }
+        s
+    }
+
+    /// Insert a distance. Returns `false` (set unchanged) when `d` is
+    /// zero (local) or beyond [`MAX_PAIR_DIST`].
+    pub fn insert(&mut self, d: i64) -> bool {
+        if d == 0 || d.unsigned_abs() > MAX_PAIR_DIST as u64 {
+            return false;
+        }
+        if d > 0 {
+            self.fwd |= 1u64 << (d - 1);
+        } else {
+            self.bwd |= 1u64 << (-d - 1);
+        }
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, d: i64) -> bool {
+        if d == 0 || d.unsigned_abs() > MAX_PAIR_DIST as u64 {
+            return false;
+        }
+        if d > 0 {
+            self.fwd & (1u64 << (d - 1)) != 0
+        } else {
+            self.bwd & (1u64 << (-d - 1)) != 0
+        }
+    }
+
+    /// Set union.
+    pub fn union(self, other: DistSet) -> DistSet {
+        DistSet {
+            fwd: self.fwd | other.fwd,
+            bwd: self.bwd | other.bwd,
+        }
+    }
+
+    /// Number of distances in the set.
+    pub fn len(&self) -> usize {
+        (self.fwd.count_ones() + self.bwd.count_ones()) as usize
+    }
+
+    /// True when no distance is present.
+    pub fn is_empty(&self) -> bool {
+        self.fwd == 0 && self.bwd == 0
+    }
+
+    /// Distances in ascending order (negative first).
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        let bwd = (1..=MAX_PAIR_DIST)
+            .rev()
+            .filter(move |d| self.bwd & (1u64 << (d - 1)) != 0)
+            .map(|d| -d);
+        let fwd = (1..=MAX_PAIR_DIST).filter(move |d| self.fwd & (1u64 << (d - 1)) != 0);
+        bwd.chain(fwd)
+    }
+
+    /// Render as `{-2,+1,+3}` for reports.
+    pub fn render(&self) -> String {
+        let parts: Vec<String> = self
+            .iter()
+            .map(|d| {
+                if d > 0 {
+                    format!("+{d}")
+                } else {
+                    format!("{d}")
+                }
+            })
+            .collect();
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
 /// The shape of the communication between two groups (join over all
 /// dependent access pairs).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -175,6 +284,16 @@ pub enum CommPattern {
         /// Data flows to lower-numbered processors.
         bwd: bool,
     },
+    /// All movement follows a small set of fixed processor distances
+    /// (and/or identifiable producers recorded in the enclosing
+    /// [`CommOutcome`]): replace the barrier with point-to-point
+    /// pairwise counters — each consumer waits only on the processors
+    /// its distance vectors name, which pipelines loop-carried sweeps
+    /// into a wavefront.
+    PairWise {
+        /// The feasible processor distances.
+        dists: DistSet,
+    },
     /// A single identifiable processor produces everything consumed:
     /// replace the barrier with a counter.
     Producer1,
@@ -183,7 +302,15 @@ pub enum CommPattern {
 }
 
 impl CommPattern {
-    /// Lattice join (order: NoComm < Neighbor < Producer1 < General).
+    /// Lattice join (order: NoComm < Neighbor < PairWise < General,
+    /// with Producer1 between NoComm and PairWise on its own edge).
+    ///
+    /// `Neighbor ⊔ Producer1` and `Producer1 ⊔ Producer1`-with-distinct-
+    /// producers land on `PairWise`, not `General`: a pairwise counter
+    /// per wait target expresses both mechanisms at once. Producer
+    /// identities cannot ride in this `Copy` pattern — they are fused by
+    /// [`CommOutcome::join`]; a bare pattern-level join records the
+    /// distance part only.
     pub fn join(self, other: CommPattern) -> CommPattern {
         use CommPattern::*;
         match (self, other) {
@@ -194,9 +321,20 @@ impl CommPattern {
                 bwd: b1 || b2,
             },
             (Producer1, Producer1) => Producer1,
-            // Mixing a counter pattern with a neighbor pattern would need
-            // both mechanisms; fall back to a barrier.
-            (Neighbor { .. }, Producer1) | (Producer1, Neighbor { .. }) => General,
+            (PairWise { dists: d1 }, PairWise { dists: d2 }) => PairWise {
+                dists: d1.union(d2),
+            },
+            (PairWise { dists }, Neighbor { fwd, bwd })
+            | (Neighbor { fwd, bwd }, PairWise { dists }) => PairWise {
+                dists: dists.union(DistSet::neighbor(fwd, bwd)),
+            },
+            // A counter pattern joined with a distance pattern fuses
+            // into pairwise sync: the producer becomes one more wait
+            // target (identity carried by `CommOutcome::join`).
+            (Neighbor { fwd, bwd }, Producer1) | (Producer1, Neighbor { fwd, bwd }) => PairWise {
+                dists: DistSet::neighbor(fwd, bwd),
+            },
+            (PairWise { dists }, Producer1) | (Producer1, PairWise { dists }) => PairWise { dists },
         }
     }
 
@@ -210,6 +348,7 @@ impl CommPattern {
         match self {
             CommPattern::NoComm => "no-comm",
             CommPattern::Neighbor { .. } => "neighbor",
+            CommPattern::PairWise { .. } => "pair-wise",
             CommPattern::Producer1 => "producer-1",
             CommPattern::General => "general",
         }
@@ -228,13 +367,19 @@ impl CommPattern {
                 "every cross-processor pair stays within the reach of per-sync-point neighbor \
                  flags (|q - p| bounded by the synchronization chain)"
             }
+            CommPattern::PairWise { .. } => {
+                "every cross-processor pair follows a fixed dependence distance vector (q - p = d \
+                 proved exact by feasibility probes) or an identifiable producer; point-to-point \
+                 pairwise counters cover all of them"
+            }
             CommPattern::Producer1 => {
                 "all consumed values originate from one identifiable processor (owner subscripts \
                  fixed within a sync instance)"
             }
             CommPattern::General => {
-                "a dependent pair with |q - p| beyond neighbor reach is feasible and no unique \
-                 producer exists"
+                "a dependent pair with |q - p| beyond neighbor reach is feasible, no unique \
+                 producer exists, and the distance spectrum is unbounded or wider than the \
+                 pairwise fan-in budget"
             }
         }
     }
@@ -270,13 +415,18 @@ pub enum ProducerSpec {
 }
 
 /// A communication query result: the pattern plus, for `Producer1`, the
-/// producer's identity.
+/// producer's identity, and for `PairWise`, the producer wait set.
 #[derive(Clone, PartialEq, Debug)]
 pub struct CommOutcome {
     /// Joined communication pattern.
     pub pattern: CommPattern,
     /// Producer identity when `pattern == Producer1`.
     pub producer: Option<ProducerSpec>,
+    /// Producer wait targets when `pattern == PairWise`: every
+    /// processor additionally waits on each of these producers' posts
+    /// (the fused form of `Producer1` joined into a distance pattern,
+    /// or of two `Producer1`s naming different producers).
+    pub pair_producers: Vec<ProducerSpec>,
 }
 
 impl CommOutcome {
@@ -285,6 +435,7 @@ impl CommOutcome {
         CommOutcome {
             pattern: CommPattern::NoComm,
             producer: None,
+            pair_producers: Vec::new(),
         }
     }
 
@@ -293,28 +444,93 @@ impl CommOutcome {
         CommOutcome {
             pattern: CommPattern::General,
             producer: None,
+            pair_producers: Vec::new(),
         }
     }
 
-    /// Join two outcomes; two `Producer1`s with different producers need
-    /// different counters and degrade to `General` (one barrier is
-    /// cheaper than many counters with distinct producers).
+    /// An outcome with just a pattern (neighbor / pairwise-by-distance).
+    pub fn of(pattern: CommPattern) -> Self {
+        CommOutcome {
+            pattern,
+            producer: None,
+            pair_producers: Vec::new(),
+        }
+    }
+
+    /// Total pairwise wait fan-in (distances plus producer targets).
+    pub fn pair_fanin(&self) -> usize {
+        match self.pattern {
+            CommPattern::PairWise { dists } => dists.len() + self.pair_producers.len(),
+            _ => 0,
+        }
+    }
+
+    /// The producer wait set this outcome contributes when fused into a
+    /// pairwise sync: the `Producer1` spec, or an existing pair set.
+    fn producers_as_pair(&self) -> Vec<ProducerSpec> {
+        match self.pattern {
+            CommPattern::Producer1 => self.producer.iter().cloned().collect(),
+            CommPattern::PairWise { .. } => self.pair_producers.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Join two outcomes.
+    ///
+    /// Two `Producer1`s naming *different* producers fuse into a
+    /// two-entry pairwise producer set (one counter per pair — exactly
+    /// the pairwise primitive) instead of collapsing to `General`; the
+    /// same fusion absorbs `Producer1` into neighbor/pairwise distance
+    /// patterns. A producer without an evaluable spec, or a fused wait
+    /// set wider than [`MAX_PAIR_FANIN`], still degrades to `General`
+    /// (a barrier is cheaper than a wide point-to-point fan-in).
     pub fn join(self, other: CommOutcome) -> CommOutcome {
         use CommPattern::*;
         match (self.pattern, other.pattern) {
-            (Producer1, Producer1) => {
-                if self.producer == other.producer {
-                    self
-                } else {
-                    CommOutcome::general()
-                }
-            }
             (NoComm, _) => other,
             (_, NoComm) => self,
-            (a, b) => CommOutcome {
-                pattern: a.join(b),
-                producer: None,
+            (General, _) | (_, General) => CommOutcome::general(),
+            (Producer1, Producer1) if self.producer == other.producer => self,
+            // Distinct producers: a two-entry pairwise producer set.
+            (Producer1, Producer1) => match (self.producer, other.producer) {
+                (Some(p1), Some(p2)) => CommOutcome {
+                    pattern: PairWise {
+                        dists: DistSet::empty(),
+                    },
+                    producer: None,
+                    pair_producers: vec![p1, p2],
+                },
+                _ => CommOutcome::general(),
             },
+            // Every remaining combination that involves a Producer1 or a
+            // PairWise side fuses into a pairwise sync; pure
+            // neighbor-neighbor joins stay Neighbor via the pattern join.
+            (a, b) => {
+                let pattern = a.join(b);
+                match pattern {
+                    PairWise { dists } => {
+                        let mut producers = self.producers_as_pair();
+                        for p in other.producers_as_pair() {
+                            if !producers.contains(&p) {
+                                producers.push(p);
+                            }
+                        }
+                        // A producer the runtime cannot evaluate cannot
+                        // become a wait target.
+                        let lost_producer = matches!(a, Producer1) && self.producer.is_none()
+                            || matches!(b, Producer1) && other.producer.is_none();
+                        if lost_producer || dists.len() + producers.len() > MAX_PAIR_FANIN {
+                            return CommOutcome::general();
+                        }
+                        CommOutcome {
+                            pattern,
+                            producer: None,
+                            pair_producers: producers,
+                        }
+                    }
+                    _ => CommOutcome::of(pattern),
+                }
+            }
         }
     }
 }
@@ -682,6 +898,7 @@ impl<'p> CommQuery<'p> {
             (Master, true, _, _) => CommOutcome {
                 pattern: CommPattern::Producer1,
                 producer: Some(ProducerSpec::Master),
+                pair_producers: Vec::new(),
             },
             // Everything else (distributed writes to a shared scalar,
             // anti-dependences onto replicated writers, …) keeps the
@@ -784,10 +1001,7 @@ impl<'p> CommQuery<'p> {
                     })
                 };
                 if !viol(true) && !viol(false) {
-                    return CommOutcome {
-                        pattern: CommPattern::Neighbor { fwd, bwd },
-                        producer: None,
-                    };
+                    return CommOutcome::of(CommPattern::Neighbor { fwd, bwd });
                 }
                 return CommOutcome::general();
             }
@@ -844,10 +1058,7 @@ impl<'p> CommQuery<'p> {
             })
         };
         if !viol(true) && !viol(false) {
-            return CommOutcome {
-                pattern: CommPattern::Neighbor { fwd, bwd },
-                producer: None,
-            };
+            return CommOutcome::of(CommPattern::Neighbor { fwd, bwd });
         }
 
         // 3. Unique producer?
@@ -855,9 +1066,78 @@ impl<'p> CommQuery<'p> {
             return CommOutcome {
                 pattern: CommPattern::Producer1,
                 producer: Some(spec),
+                pair_producers: Vec::new(),
             };
         }
+
+        // 4. Distance vectors: is every feasible processor distance one
+        //    of a small fixed set? Probe `q - p == d` for each candidate
+        //    distance in the feasible direction(s). A direct wait on
+        //    `q - d` at the sync point covers a dependence at distance
+        //    `d` for *any* carried iteration gap >= 1 (the producer's
+        //    post at the bottom of its iteration happens after that
+        //    iteration's work, and the consumer passes that bottom sync
+        //    before any later iteration), so — unlike the chained
+        //    neighbor test above — no reach argument is needed: the
+        //    distance spectrum alone decides.
+        if let Some(dists) = self.distance_spectrum(&ps, fwd, bwd) {
+            return CommOutcome::of(CommPattern::PairWise { dists });
+        }
         CommOutcome::general()
+    }
+
+    /// Enumerate the exact feasible processor-distance spectrum of a
+    /// dependent access pair, or `None` when it is unbounded, wider
+    /// than [`MAX_PAIR_FANIN`], or outside [`MAX_PAIR_DIST`].
+    ///
+    /// `|q - p| <= nprocs - 1` always, so probing each candidate
+    /// distance in the directions step 1 found feasible is exhaustive:
+    /// if `q - p == d` is infeasible for every probed `d`, yet step 1
+    /// proved *some* cross-processor pair exists, the verdicts are
+    /// mutually inconsistent only under an `Unknown` (overflow/budget)
+    /// scan — which counts as feasible and lands in the `None` arm, so
+    /// the caller conservatively keeps the barrier.
+    fn distance_spectrum(
+        &self,
+        ps: &crate::translate::PairSystem,
+        fwd: bool,
+        bwd: bool,
+    ) -> Option<DistSet> {
+        let reach = (self.bind.nprocs - 1).min(MAX_PAIR_DIST);
+        if reach < 1 {
+            return None;
+        }
+        let (p, q) = (ps.p, ps.q);
+        let mut dists = DistSet::empty();
+        let mut candidates: Vec<i64> = Vec::new();
+        if fwd {
+            candidates.extend(1..=reach);
+        }
+        if bwd {
+            candidates.extend((1..=reach).map(|d| -d));
+        }
+        for d in candidates {
+            let hit = ps.feasible_with(|s| {
+                // q - p == d, as two inequalities.
+                s.add_ge(LinExpr::var(q) - LinExpr::var(p) - LinExpr::constant(d as i128));
+                s.add_ge(LinExpr::constant(d as i128) - LinExpr::var(q) + LinExpr::var(p));
+            });
+            if hit {
+                if !dists.insert(d) {
+                    return None;
+                }
+                if dists.len() > MAX_PAIR_FANIN {
+                    return None;
+                }
+            }
+        }
+        if dists.is_empty() {
+            // Step 1 saw a cross-processor pair this enumeration cannot
+            // pin to an exact distance (an Unknown verdict upstream):
+            // keep the barrier.
+            return None;
+        }
+        Some(dists)
     }
 
     /// True if the producer statement executes on a single, identifiable
@@ -1014,9 +1294,10 @@ mod tests {
         );
     }
 
-    /// Transpose-style access pattern → general communication.
+    /// Shift by exactly two blocks: the distance spectrum is the single
+    /// vector {-2}, so the former `General` cliff becomes pairwise sync.
     #[test]
-    fn long_range_shift_is_general() {
+    fn long_range_shift_is_pairwise() {
         let mut pb = ProgramBuilder::new("farshift");
         let n = pb.sym("n");
         let a = pb.array("A", &[sym(n) * 2], dist_block());
@@ -1030,10 +1311,115 @@ mod tests {
         let prog = pb.finish();
         let q = CommQuery::new(&prog, Bindings::new(4).set(n, 32));
         let st = prog.all_statements();
+        let mut want = DistSet::empty();
+        want.insert(-2);
+        assert_eq!(
+            q.comm_stmts(&st[0], &st[1], CommMode::LoopIndependent),
+            CommPattern::PairWise { dists: want }
+        );
+    }
+
+    /// Array reversal at P=8: eight distinct distances exceed the
+    /// pairwise fan-in budget, so the barrier stays.
+    #[test]
+    fn reversal_is_general() {
+        let mut pb = ProgramBuilder::new("reverse");
+        let n = pb.sym("n");
+        let a = pb.array("A", &[sym(n)], dist_block());
+        let b = pb.array("B", &[sym(n)], dist_block());
+        let i = pb.begin_par("i", con(0), sym(n) - 1);
+        pb.assign(elem(a, [idx(i)]), ival(idx(i)));
+        pb.end();
+        let j = pb.begin_par("j", con(0), sym(n) - 1);
+        pb.assign(elem(b, [idx(j)]), arr(a, [sym(n) - 1 - idx(j)]));
+        pb.end();
+        let prog = pb.finish();
+        let q = CommQuery::new(&prog, Bindings::new(8).set(n, 64));
+        let st = prog.all_statements();
         assert_eq!(
             q.comm_stmts(&st[0], &st[1], CommMode::LoopIndependent),
             CommPattern::General
         );
+    }
+
+    /// The pattern-lattice fusion bug: `Neighbor ⊔ Producer1` must land
+    /// on `PairWise`, never `General`.
+    #[test]
+    fn neighbor_join_producer1_fuses_to_pairwise() {
+        let nb = CommPattern::Neighbor {
+            fwd: true,
+            bwd: false,
+        };
+        let joined = nb.join(CommPattern::Producer1);
+        assert_eq!(
+            joined,
+            CommPattern::PairWise {
+                dists: DistSet::neighbor(true, false)
+            }
+        );
+        // Outcome-level fusion keeps the producer as a wait target.
+        let o1 = CommOutcome::of(nb);
+        let o2 = CommOutcome {
+            pattern: CommPattern::Producer1,
+            producer: Some(ProducerSpec::Master),
+            pair_producers: Vec::new(),
+        };
+        let out = o1.join(o2);
+        assert_eq!(
+            out.pattern,
+            CommPattern::PairWise {
+                dists: DistSet::neighbor(true, false)
+            }
+        );
+        assert_eq!(out.pair_producers, vec![ProducerSpec::Master]);
+        assert_eq!(out.pair_fanin(), 2);
+    }
+
+    /// Two `Producer1`s naming different producers fuse into a two-entry
+    /// pairwise producer set instead of collapsing to `General`.
+    #[test]
+    fn distinct_producers_fuse_to_pairwise() {
+        let mk = |spec: ProducerSpec| CommOutcome {
+            pattern: CommPattern::Producer1,
+            producer: Some(spec),
+            pair_producers: Vec::new(),
+        };
+        let o1 = mk(ProducerSpec::Master);
+        let o2 = mk(ProducerSpec::CyclicOwner {
+            sub: ir::Affine::constant(3),
+        });
+        let out = o1.clone().join(o2.clone());
+        assert_eq!(
+            out.pattern,
+            CommPattern::PairWise {
+                dists: DistSet::empty()
+            }
+        );
+        assert_eq!(out.pair_producers.len(), 2);
+        // Same producer twice stays Producer1.
+        let same = o1.clone().join(o1.clone());
+        assert_eq!(same.pattern, CommPattern::Producer1);
+        // A producer without an evaluable spec cannot become a wait
+        // target: degrade to General.
+        let lost = o1.join(CommOutcome::of(CommPattern::Producer1));
+        assert_eq!(lost.pattern, CommPattern::General);
+    }
+
+    /// DistSet basics: insertion bounds, ordering, rendering.
+    #[test]
+    fn distset_round_trip() {
+        let mut s = DistSet::empty();
+        assert!(s.insert(3));
+        assert!(s.insert(-2));
+        assert!(s.insert(1));
+        assert!(!s.insert(0));
+        assert!(!s.insert(MAX_PAIR_DIST + 1));
+        assert!(s.contains(3) && s.contains(-2) && !s.contains(2));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![-2, 1, 3]);
+        assert_eq!(s.render(), "{-2,+1,+3}");
+        let u = s.union(DistSet::neighbor(true, true));
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![-2, -1, 1, 3]);
     }
 
     /// Jacobi-style seq loop around two DOALLs: carried comm is neighbor

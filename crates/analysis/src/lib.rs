@@ -56,7 +56,7 @@ pub use bindings::Bindings;
 pub use codegen::{scan_owned_range, ScannedBounds};
 pub use comm::{
     set_pair_probe, AnalysisConfig, AnalysisStats, CommMode, CommOutcome, CommPattern, CommQuery,
-    PairProbe, ProducerSpec,
+    DistSet, PairProbe, ProducerSpec, MAX_PAIR_DIST, MAX_PAIR_FANIN,
 };
 pub use dep::{check_parallel_loops, loop_carries_dependence};
 pub use partition::{

@@ -1,0 +1,207 @@
+//! Distance-vector pairwise-sync gate: `BENCH_9.json`.
+//!
+//! Runs the pipelined kernel set — the programs whose communication is
+//! multi-hop, wavefront-carried, or a mixed shift/broadcast join — and
+//! enforces the three claims the distance-vector classification makes:
+//!
+//! * **dynamic barrier reduction** — the optimized plan's dynamic
+//!   barrier count under the virtual executor must be at least the
+//!   per-kernel factor below the fork-join plan's (≥10× for the
+//!   pipelined kernels; shift_bcast keeps its wide carried-spectrum
+//!   bottom barrier, so it gates on a smaller factor);
+//! * **bitwise oracle exactness** — both plans, under every scheduled
+//!   virtual order, must reproduce the sequential oracle with a
+//!   max-abs difference of exactly zero (pairwise waits never reorder
+//!   floating-point work, they only prune barriers);
+//! * **race freedom** — the vector-clock validator must certify both
+//!   plans, i.e. every wavefront schedule's pairwise wait set is
+//!   sufficient, not just fast.
+//!
+//! The optimized plan must also actually exercise pairwise counters
+//! (`pair_posts > 0`) so the gate cannot pass vacuously via barriers.
+//!
+//! Usage: `bench9 [--quick] [--out PATH] [--baseline PATH]`
+//!   --quick     fewer virtual orders (CI smoke)
+//!   --out       output path (default BENCH_9.json; `-` for stdout)
+//!   --baseline  prior BENCH_9.json; refused unless its schema matches
+
+use interp::{run_sequential, run_virtual, Mem, ScheduleOrder};
+use obs::Json;
+use spmd_opt::{fork_join, optimize};
+use std::process::ExitCode;
+use suite::Scale;
+
+/// The pipelined kernels, the minimum dynamic barrier-count reduction
+/// each must demonstrate (fork-join / optimized), and the processor
+/// count the reduction is reported at.
+const KERNELS: &[(&str, f64, i64)] = &[
+    ("wavepipe2d", 10.0, 8),
+    ("trisolve_pipe", 10.0, 8),
+    ("multihop", 10.0, 8),
+    ("pivot_shift", 10.0, 8),
+    // The broadcast's owner-distance spectrum fits the pairwise
+    // fan-in budget only at four processors (three distances); at
+    // eight it correctly degrades to a barrier. And the carried
+    // spectrum at the loop bottom always exceeds the budget, so the
+    // per-step bottom barrier stays; only the inter-phase barrier is
+    // pruned.
+    ("shift_bcast", 1.5, 4),
+];
+
+fn orders(quick: bool) -> Vec<ScheduleOrder> {
+    let mut o = vec![ScheduleOrder::RoundRobin, ScheduleOrder::Reverse];
+    if !quick {
+        o.push(ScheduleOrder::Random(0xBE9));
+        o.push(ScheduleOrder::Random(0x9BE ^ 7919));
+    }
+    o
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = "BENCH_9.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = it.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = Some(it.next().expect("--baseline needs a path")),
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: bench9 [--quick] [--out PATH] [--baseline PATH]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(p) = &baseline_path {
+        match spmd_bench::load_baseline(p, "pairwise-pipeline") {
+            Ok(_) => println!("baseline {p}: schema ok"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let nprocs: &[i64] = &[4, 8];
+    let orders = orders(quick);
+    let mut rows: Vec<Json> = Vec::new();
+    let mut all_ok = true;
+
+    for &(name, min_ratio, report_p) in KERNELS {
+        let def = suite::by_name(name).unwrap_or_else(|| panic!("unknown kernel {name}"));
+        let mut row_ok = true;
+        let mut fj_barriers = 0u64;
+        let mut opt_barriers = 0u64;
+        let mut pair_posts = 0u64;
+        let mut pair_waits = 0u64;
+        let mut exact = true;
+        let mut race_free = true;
+
+        for &p in nprocs {
+            let built = (def.build)(Scale::Small);
+            let bind = built.bindings(p);
+            let oracle_mem = Mem::new(&built.prog, &bind);
+            run_sequential(&built.prog, &bind, &oracle_mem);
+
+            for (label, plan) in [
+                ("fork-join", fork_join(&built.prog, &bind)),
+                ("optimized", optimize(&built.prog, &bind)),
+            ] {
+                let report = oracle::validate(&built.prog, &bind, &plan);
+                if !report.is_race_free() {
+                    println!(
+                        "{name} P={p} {label}: {} racing pairs — schedule is unsound",
+                        report.num_racing_pairs
+                    );
+                    race_free = false;
+                    row_ok = false;
+                }
+                let mut counts = None;
+                for &order in &orders {
+                    let mem = Mem::new(&built.prog, &bind);
+                    let vo = run_virtual(&built.prog, &bind, &plan, &mem, order);
+                    let diff = mem.max_abs_diff(&oracle_mem);
+                    if diff != 0.0 {
+                        println!("{name} P={p} {label} {order:?}: diverged by {diff:e}");
+                        exact = false;
+                        row_ok = false;
+                    }
+                    counts = Some(vo.counts);
+                }
+                let counts = counts.expect("at least one order");
+                if p == report_p {
+                    match label {
+                        "fork-join" => fj_barriers = counts.barriers,
+                        _ => {
+                            opt_barriers = counts.barriers;
+                            pair_posts = counts.pair_posts;
+                            pair_waits = counts.pair_waits;
+                        }
+                    }
+                }
+            }
+        }
+
+        let ratio = fj_barriers as f64 / opt_barriers.max(1) as f64;
+        if ratio < min_ratio {
+            println!(
+                "{name}: dynamic barrier reduction {ratio:.1}x below the {min_ratio:.1}x gate"
+            );
+            row_ok = false;
+        }
+        if pair_posts == 0 {
+            println!("{name}: optimized schedule never posted a pairwise cell");
+            row_ok = false;
+        }
+        println!(
+            "{name:>14} @ P={report_p}: barriers {fj_barriers:>5} -> {opt_barriers:>3} \
+             ({ratio:>5.1}x, gate {min_ratio:.1}x), pair posts {pair_posts:>5}, waits \
+             {pair_waits:>5}, exact {exact}, race-free {race_free} -> {}",
+            if row_ok { "OK" } else { "FAILED" }
+        );
+        all_ok &= row_ok;
+        rows.push(
+            Json::obj()
+                .set("kernel", name)
+                .set("report_nprocs", report_p as u64)
+                .set("fj_barriers", fj_barriers)
+                .set("opt_barriers", opt_barriers)
+                .set("reduction", ratio)
+                .set("gate", min_ratio)
+                .set("pair_posts", pair_posts)
+                .set("pair_waits", pair_waits)
+                .set("exact", exact)
+                .set("race_free", race_free)
+                .set("ok", row_ok),
+        );
+    }
+
+    let doc = spmd_bench::stamp_schema(
+        Json::obj()
+            .set("bench", "pairwise-pipeline")
+            .set("mode", if quick { "quick" } else { "full" })
+            .set(
+                "nprocs",
+                Json::Arr(nprocs.iter().map(|&p| Json::from(p as u64)).collect()),
+            )
+            .set("scale", "small")
+            .set("kernels", Json::Arr(rows))
+            .set("ok", all_ok),
+    );
+    let rendered = doc.to_string_pretty();
+    if out_path == "-" {
+        println!("{rendered}");
+    } else if let Err(e) = std::fs::write(&out_path, rendered) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    } else {
+        println!("wrote {out_path}");
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -27,6 +27,7 @@ fn main() {
         "barrier ms",
         "counter ms",
         "neighbor ms",
+        "pairwise ms",
         "max wait us",
         "total sync ops",
     ]);
@@ -52,12 +53,14 @@ fn main() {
                 format!("{:.2}", out.stats.barrier_wait_ns as f64 / 1e6),
                 format!("{:.2}", out.stats.counter_wait_ns as f64 / 1e6),
                 format!("{:.2}", out.stats.neighbor_wait_ns as f64 / 1e6),
+                format!("{:.2}", out.stats.pairwise_wait_ns as f64 / 1e6),
                 format!(
                     "{:.1}",
                     out.stats
                         .barrier_max_wait_ns
                         .max(out.stats.counter_max_wait_ns)
-                        .max(out.stats.neighbor_max_wait_ns) as f64
+                        .max(out.stats.neighbor_max_wait_ns)
+                        .max(out.stats.pairwise_max_wait_ns) as f64
                         / 1e3
                 ),
                 out.stats.total_sync_ops().to_string(),

@@ -12,6 +12,7 @@ fn main() {
         "eliminated",
         "neighbor",
         "counter",
+        "pairwise",
         "% barriers removed",
     ]);
     let (mut sum_base, mut sum_opt) = (0u64, 0u64);
@@ -28,6 +29,7 @@ fn main() {
             opt.eliminated.to_string(),
             opt.neighbor_syncs.to_string(),
             opt.counter_syncs.to_string(),
+            opt.pair_syncs.to_string(),
             format!(
                 "{:.0}%",
                 pct_reduction(base.barriers as u64, opt.barriers as u64)

@@ -16,6 +16,7 @@ fn main() {
         "barriers (opt)",
         "counters",
         "neighbor posts",
+        "pair posts",
         "% barriers removed",
     ]);
     let mut reductions = Vec::new();
@@ -52,6 +53,7 @@ fn main() {
             opt.barriers.to_string(),
             opt.counter_increments.to_string(),
             opt.neighbor_posts.to_string(),
+            opt.pair_posts.to_string(),
             format!("{red:.1}%"),
         ]);
     }

@@ -60,6 +60,9 @@ pub struct OptimizeOptions {
     pub use_neighbor: bool,
     /// Replace unique-producer communication with counters.
     pub use_counters: bool,
+    /// Replace fixed-distance communication with point-to-point pairwise
+    /// counters (wavefront pipelining).
+    pub use_pairwise: bool,
     /// Communication-analysis tuning (memoization + worker threads).
     /// Changes analysis speed only, never the plan or the decision log.
     pub analysis: AnalysisConfig,
@@ -71,6 +74,7 @@ impl Default for OptimizeOptions {
             eliminate: true,
             use_neighbor: true,
             use_counters: true,
+            use_pairwise: true,
             analysis: AnalysisConfig::default(),
         }
     }
@@ -120,6 +124,7 @@ pub fn placed_str(s: &SyncOp) -> &'static str {
         SyncOp::Barrier => "barrier",
         SyncOp::Neighbor { .. } => "neighbor flags",
         SyncOp::Counter { .. } => "counter",
+        SyncOp::PairCounter { .. } => "pairwise counters",
     }
 }
 
@@ -152,6 +157,20 @@ fn reason_for(outcome: Option<CommPattern>, placed: &SyncOp, opts: &OptimizeOpti
         }
         (CommPattern::Producer1, _) if !opts.use_counters => {
             format!("barrier kept: counters disabled by ablation options, though {ev}")
+        }
+        (CommPattern::PairWise { dists }, SyncOp::PairCounter { producers, .. }) => {
+            let prods = if producers.is_empty() {
+                String::new()
+            } else {
+                format!(" + {} producer target(s)", producers.len())
+            };
+            format!(
+                "replaced with pairwise counters (distances {}{prods}): {ev}",
+                dists.render()
+            )
+        }
+        (CommPattern::PairWise { .. }, _) if !opts.use_pairwise => {
+            format!("barrier kept: pairwise counters disabled by ablation options, though {ev}")
         }
         (CommPattern::General, _) => format!("barrier kept: {ev}"),
         (p, s) => format!("{} for {p:?}: {ev}", placed_str(s)),
@@ -203,6 +222,16 @@ impl<'p> Optimizer<'p> {
                     SyncOp::Counter {
                         id,
                         producer: outcome.producer.expect("Producer1 carries a producer"),
+                    }
+                } else {
+                    SyncOp::Barrier
+                }
+            }
+            CommPattern::PairWise { dists } => {
+                if self.opts.use_pairwise {
+                    SyncOp::PairCounter {
+                        dists,
+                        producers: outcome.pair_producers,
                     }
                 } else {
                     SyncOp::Barrier

@@ -1,6 +1,6 @@
 //! The optimized SPMD schedule produced by the optimizer.
 
-use analysis::{LoopPartition, ProducerSpec};
+use analysis::{DistSet, LoopPartition, ProducerSpec};
 use ir::NodeId;
 
 /// Synchronization placed at one point of the schedule.
@@ -26,6 +26,18 @@ pub enum SyncOp {
         id: usize,
         /// Who increments.
         producer: ProducerSpec,
+    },
+    /// Point-to-point pairwise counters derived from dependence distance
+    /// vectors: every processor posts its own per-pid cell, then waits
+    /// only on the processors its wait targets name — `p - d` for each
+    /// distance `d` in `dists`, plus each evaluable producer in
+    /// `producers`. Loop-carried placements pipeline into a wavefront
+    /// (processor `p` runs iteration `i` while `p - d` runs `i + 1`).
+    PairCounter {
+        /// Processor distances to wait on (consumer `q` waits on `q - d`).
+        dists: DistSet,
+        /// Additional identifiable-producer wait targets.
+        producers: Vec<ProducerSpec>,
     },
 }
 
@@ -158,6 +170,8 @@ pub struct StaticStats {
     pub neighbor_syncs: usize,
     /// Static counter sync points.
     pub counter_syncs: usize,
+    /// Static pairwise (distance-vector) sync points.
+    pub pair_syncs: usize,
     /// Sync points eliminated outright.
     pub eliminated: usize,
 }
@@ -273,6 +287,7 @@ impl SpmdProgram {
                 SyncOp::Barrier => st.barriers += 1,
                 SyncOp::Neighbor { .. } => st.neighbor_syncs += 1,
                 SyncOp::Counter { .. } => st.counter_syncs += 1,
+                SyncOp::PairCounter { .. } => st.pair_syncs += 1,
             }
         }
         fn walk_items(items: &[RItem], st: &mut StaticStats) {

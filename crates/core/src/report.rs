@@ -20,6 +20,17 @@ fn sync_str(s: &SyncOp) -> Option<String> {
             Some(format!("-- neighbor post/wait ({dir}) --"))
         }
         SyncOp::Counter { id, .. } => Some(format!("-- counter #{id} incr/wait --")),
+        SyncOp::PairCounter { dists, producers } => {
+            let prods = if producers.is_empty() {
+                String::new()
+            } else {
+                format!(" + {} producer(s)", producers.len())
+            };
+            Some(format!(
+                "-- pairwise post/wait (dists {}{prods}) --",
+                dists.render()
+            ))
+        }
     }
 }
 

@@ -412,6 +412,10 @@ pub struct DynCounts {
     pub neighbor_posts: u64,
     /// Neighbor waits executed.
     pub neighbor_waits: u64,
+    /// Pairwise posts executed.
+    pub pair_posts: u64,
+    /// Pairwise waits executed.
+    pub pair_waits: u64,
 }
 
 impl DynCounts {
@@ -447,6 +451,20 @@ impl DynCounts {
                     if *bwd {
                         c.neighbor_waits += p - 1; // everyone but pid P-1 waits on p+1
                     }
+                }
+                Event::Sync {
+                    op: SyncOp::PairCounter { dists, producers },
+                    ..
+                } => {
+                    c.pair_posts += p;
+                    for d in dists.iter() {
+                        // Every pid whose `pid - d` is a real processor
+                        // waits on it.
+                        c.pair_waits += (p as i64 - d.abs()).max(0) as u64;
+                    }
+                    // Producer-target waits: every pid except the
+                    // producer itself waits on it.
+                    c.pair_waits += producers.len() as u64 * (p - 1);
                 }
                 _ => {}
             }
@@ -491,6 +509,13 @@ pub fn render_events(prog: &Program, events: &[Event]) -> String {
                     SyncOp::Barrier => "barrier".to_string(),
                     SyncOp::Neighbor { fwd, bwd } => format!("neighbor(fwd={fwd},bwd={bwd})"),
                     SyncOp::Counter { id, .. } => format!("counter#{id}"),
+                    SyncOp::PairCounter { dists, producers } => {
+                        if producers.is_empty() {
+                            format!("pair{}", dists.render())
+                        } else {
+                            format!("pair{}+{}prod", dists.render(), producers.len())
+                        }
+                    }
                 };
                 writeln!(out, "{k:4}  sync s{site} {s}{}", env_str(env)).unwrap()
             }

@@ -19,7 +19,8 @@ use runtime::events::{self, EventKind, ProfileData, ProfileOptions, Profiler, NO
 use runtime::fault::{SyncError, Watchdog, DISPATCH_SITE};
 use runtime::telemetry::{SiteSnapshot, SiteTelemetry};
 use runtime::{
-    BarrierEpoch, CentralBarrier, Counters, NeighborFlags, SpinPolicy, SyncStats, Team, TreeBarrier,
+    BarrierEpoch, CentralBarrier, Counters, NeighborFlags, PairwiseCells, SpinPolicy, SyncStats,
+    Team, TreeBarrier,
 };
 use spmd_opt::{SpmdProgram, SyncOp};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -93,6 +94,7 @@ pub struct SyncFabric {
     barrier: Arc<AnyBarrier>,
     counters: Arc<Counters>,
     flags: Arc<NeighborFlags>,
+    pairs: Arc<PairwiseCells>,
     dispatch: Arc<Counters>,
     stats: Arc<SyncStats>,
     /// Event-ring profiler shared by every attempt run on this fabric
@@ -142,6 +144,11 @@ impl SyncFabric {
             ),
             flags: Arc::new(
                 NeighborFlags::new(nprocs)
+                    .with_policy(spin)
+                    .with_stats(Arc::clone(&stats)),
+            ),
+            pairs: Arc::new(
+                PairwiseCells::new(nprocs)
                     .with_policy(spin)
                     .with_stats(Arc::clone(&stats)),
             ),
@@ -207,6 +214,7 @@ impl SyncFabric {
         self.barrier.reset();
         self.counters.reset();
         self.flags.reset();
+        self.pairs.reset();
         self.dispatch.reset();
         self.stats.reset();
         // The profiler is *not* cleared: its rings span the whole
@@ -301,9 +309,9 @@ pub struct ParallelOutcome {
     /// recorded first — this lists *every* faulting processor, so the
     /// recovery supervisor can demote all implicated sites at once.
     pub proc_errors: Vec<Option<SyncError>>,
-    /// Per-processor neighbor-post deficit: how many neighbor posts
+    /// Per-processor post deficit: how many neighbor + pairwise posts
     /// the processor's traversal *claimed* (sync events it passed)
-    /// minus how many actually landed in the shared flag cells. A
+    /// minus how many actually landed in the shared flag/pair cells. A
     /// healthy worker's deficit is always 0 — the post precedes the
     /// claim — so a positive entry is direct physical evidence that
     /// this pid's posts are being dropped (a silently dead core), no
@@ -456,6 +464,9 @@ pub(crate) fn span_name(prog: &Program, ev: &Event) -> String {
             SyncOp::Barrier => format!("barrier wait @s{site}"),
             SyncOp::Neighbor { .. } => format!("neighbor wait @s{site}"),
             SyncOp::Counter { id, .. } => format!("counter#{id} wait @s{site}"),
+            SyncOp::PairCounter { dists, .. } => {
+                format!("pairwise{} wait @s{site}", dists.render())
+            }
         },
     }
 }
@@ -550,6 +561,7 @@ pub fn run_parallel_observed_on(
     let barrier = Arc::clone(&fabric.barrier);
     let counters = Arc::clone(&fabric.counters);
     let flags = Arc::clone(&fabric.flags);
+    let pairs = Arc::clone(&fabric.pairs);
     let dispatch = Arc::clone(&fabric.dispatch);
 
     let prog2 = Arc::clone(prog);
@@ -559,6 +571,7 @@ pub fn run_parallel_observed_on(
     let barrier2 = Arc::clone(&barrier);
     let counters2 = Arc::clone(&counters);
     let flags2 = Arc::clone(&flags);
+    let pairs2 = Arc::clone(&pairs);
     let dispatch2 = Arc::clone(&dispatch);
     let telemetry2 = telemetry.clone();
     let spans2 = spans.clone();
@@ -595,6 +608,7 @@ pub fn run_parallel_observed_on(
         let traverse = || -> Result<(), SyncError> {
             let mut blocal = BarrierLocal::default();
             let mut nposts = 0u64;
+            let mut pposts = 0u64;
             let mut visits = vec![0u64; counters2.len()];
             let mut dispatch_visits = 0u64;
             let mut site_visits = vec![0u64; n_sites];
@@ -674,7 +688,7 @@ pub fn run_parallel_observed_on(
                                     flags2.post(pid);
                                 }
                                 nposts += 1;
-                                claimed2[pid].store(nposts, Ordering::Relaxed);
+                                claimed2[pid].store(nposts + pposts, Ordering::Relaxed);
                                 let mut r = Ok(());
                                 if *fwd {
                                     r = match wd {
@@ -722,6 +736,53 @@ pub fn run_parallel_observed_on(
                                     counters2.wait_ge(*id, visits[*id]);
                                     Ok(())
                                 }
+                            }
+                            SyncOp::PairCounter { dists, producers } => {
+                                // Every processor posts its own cell
+                                // (the traversal is replicated, so
+                                // per-pid post counts stay aligned),
+                                // then waits only on the cells its
+                                // distance/producer targets name.
+                                if !dropped {
+                                    pairs2.post(pid);
+                                }
+                                pposts += 1;
+                                claimed2[pid].store(nposts + pposts, Ordering::Relaxed);
+                                let mut r = Ok(());
+                                for d in dists.iter() {
+                                    if r.is_err() {
+                                        break;
+                                    }
+                                    let target = pid as isize - d as isize;
+                                    r = match wd {
+                                        Some(wd) => {
+                                            pairs2.wait_until(target, pposts, wd, *site, pid)
+                                        }
+                                        None => {
+                                            pairs2.wait(target, pposts);
+                                            Ok(())
+                                        }
+                                    };
+                                }
+                                for spec in producers {
+                                    if r.is_err() {
+                                        break;
+                                    }
+                                    let prod = producer_pid(bind, prog, spec, env);
+                                    if prod == pid as i64 {
+                                        continue;
+                                    }
+                                    r = match wd {
+                                        Some(wd) => {
+                                            pairs2.wait_until(prod as isize, pposts, wd, *site, pid)
+                                        }
+                                        None => {
+                                            pairs2.wait(prod as isize, pposts);
+                                            Ok(())
+                                        }
+                                    };
+                                }
+                                r
                             }
                         };
                         if let (Some(p), Some(ta)) = (&profiler2, t_arrive) {
@@ -874,7 +935,7 @@ pub fn run_parallel_observed_on(
             .map(|p| {
                 claimed_posts[p]
                     .load(Ordering::Relaxed)
-                    .saturating_sub(flags.epoch(p))
+                    .saturating_sub(flags.epoch(p) + pairs.count(p))
             })
             .collect(),
         // Workers have joined, so the single-writer rings are quiescent

@@ -64,6 +64,18 @@ fn can_advance(
                 let prod = producer_pid(bind, prog, producer, env) as usize;
                 pid == prod || ptrs[prod] > i
             }
+            SyncOp::PairCounter { dists, producers } => {
+                // Crossable once every in-range distance target and
+                // every (non-self) producer target has reached this
+                // site — exactly the wavefront release condition.
+                dists.iter().all(|d| {
+                    let target = pid as i64 - d;
+                    target < 0 || target >= nprocs as i64 || ptrs[target as usize] >= i
+                }) && producers.iter().all(|spec| {
+                    let prod = producer_pid(bind, prog, spec, env) as usize;
+                    prod == pid || ptrs[prod] >= i
+                })
+            }
         },
     }
 }

@@ -44,6 +44,10 @@ fn sync_json(op: &SyncOp) -> Json {
             .set("fwd", *fwd)
             .set("bwd", *bwd),
         SyncOp::Counter { id, .. } => Json::obj().set("kind", "counter").set("id", *id),
+        SyncOp::PairCounter { dists, producers } => Json::obj()
+            .set("kind", "pair-counter")
+            .set("dists", dists.render())
+            .set("producers", producers.len()),
     }
 }
 
@@ -54,6 +58,9 @@ fn analysis_json(prog: &Program, d: &Decision) -> Json {
     let mut j = Json::obj().set("pattern", pat.as_str());
     if let CommPattern::Neighbor { fwd, bwd } = pat {
         j = j.set("fwd", fwd).set("bwd", bwd);
+    }
+    if let CommPattern::PairWise { dists } = pat {
+        j = j.set("dists", dists.render());
     }
     if let Some(p) = &d.producer {
         j = j.set("producer", producer_str(prog, p));
@@ -93,6 +100,7 @@ pub fn explain_json(
             .set("barriers", st.barriers)
             .set("neighbor_syncs", st.neighbor_syncs)
             .set("counter_syncs", st.counter_syncs)
+            .set("pair_syncs", st.pair_syncs)
             .set("eliminated", st.eliminated)
     };
     let sites: Vec<Json> = sync_sites(prog, plan)

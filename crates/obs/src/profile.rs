@@ -144,11 +144,14 @@ pub struct ProfileReport {
     pub events: u64,
     /// Recovery epochs spanned (1 = single clean attempt).
     pub epochs: u64,
-    /// True when the stream reached the saturated epoch stamp (255):
-    /// the recovery supervisor retried ≥ 255 times, so later attempts
-    /// all share epoch 255 and their episode keys may collide (those
-    /// episodes surface as `partial_arrivals`, never as bogus episodes).
-    pub epoch_clamp: bool,
+    /// Exactly how many analyzed events carry the saturated epoch
+    /// stamp (`u16::MAX`). Zero in any sane run — reaching it means
+    /// the recovery supervisor retried ≥ 65535 times, and attempts
+    /// past that all share the final epoch, so their episode keys may
+    /// collide (those episodes surface as `partial_arrivals`, never as
+    /// bogus episodes). The count makes the accounting exact: every
+    /// event is either cleanly stamped or tallied here.
+    pub epoch_clamp: u64,
     /// Per-site facts, sorted by site id.
     pub sites: Vec<SiteProfile>,
     /// Per-processor region wall-clock (Σ RegionEnd − RegionBegin).
@@ -201,9 +204,13 @@ pub fn analyze(data: &ProfileData, metas: &[SiteMeta], nprocs: usize) -> Profile
     let mut region_begin: Vec<Option<u64>> = vec![None; data.tracks.max(1)];
     let mut region_ns_by_pid = vec![0u64; nprocs];
     let mut marks = ProfileMarks::default();
-    let mut max_epoch = 0u8;
+    let mut max_epoch = 0u16;
+    let mut clamped_events = 0u64;
     for e in &data.events {
         max_epoch = max_epoch.max(e.epoch);
+        if e.epoch == u16::MAX {
+            clamped_events += 1;
+        }
         let track = (e.track as usize).min(open_site.len() - 1);
         match e.kind {
             EventKind::SyncArrive => open_site[track] = Some(e.site as usize),
@@ -255,7 +262,7 @@ pub fn analyze(data: &ProfileData, metas: &[SiteMeta], nprocs: usize) -> Profile
     // worker `pid` on track `pid` — so attribution uses real processor
     // ids, not the arrival's position in the time-sorted merge.
     use std::collections::HashMap;
-    let mut episodes: HashMap<(u8, u32, u64), Vec<(u64, usize)>> = HashMap::new();
+    let mut episodes: HashMap<(u16, u32, u64), Vec<(u64, usize)>> = HashMap::new();
     for e in &data.events {
         if e.kind == EventKind::SyncArrive && e.site != NO_SITE {
             episodes
@@ -303,7 +310,7 @@ pub fn analyze(data: &ProfileData, metas: &[SiteMeta], nprocs: usize) -> Profile
         dropped: data.dropped,
         events: data.events.len() as u64,
         epochs: max_epoch as u64 + 1,
-        epoch_clamp: max_epoch == u8::MAX,
+        epoch_clamp: clamped_events,
         sites,
         region_ns_by_pid,
         marks,
@@ -459,10 +466,12 @@ pub fn render_profile(r: &ProfileReport) -> String {
             r.dropped, r.capacity
         ));
     }
-    if r.epoch_clamp {
-        out.push_str(
-            "note: recovery epoch stamp saturated at 255; attempts past the 255th share an epoch and their episodes count as partial\n",
-        );
+    if r.epoch_clamp > 0 {
+        out.push_str(&format!(
+            "note: recovery epoch stamp saturated at {}; {} event(s) carry the saturated stamp and their episodes count as partial\n",
+            u16::MAX,
+            r.epoch_clamp
+        ));
     }
     out
 }
@@ -702,22 +711,28 @@ mod tests {
 
     #[test]
     fn epoch_clamp_is_flagged_and_rendered() {
-        let mut e = ev(EventKind::SyncArrive, 0, 0, 0, 1);
-        e.epoch = u8::MAX;
+        let mut e1 = ev(EventKind::SyncArrive, 0, 0, 0, 1);
+        e1.epoch = u16::MAX;
+        let mut e2 = ev(EventKind::SyncRelease, 0, 0, 5, 2);
+        e2.epoch = u16::MAX;
+        let mut e3 = ev(EventKind::SyncArrive, 0, 0, 1, 3);
+        e3.epoch = 9; // a normally-stamped event is *not* tallied
         let data = ProfileData {
             tracks: 1,
             capacity: 16,
             dropped: 0,
-            events: vec![e],
+            events: vec![e1, e2, e3],
         };
         let r = analyze(&data, &[], 1);
-        assert!(r.epoch_clamp);
-        assert_eq!(r.epochs, 256);
-        assert!(render_profile(&r).contains("saturated at 255"));
+        // Accounting-exact: exactly the two saturated-stamp events.
+        assert_eq!(r.epoch_clamp, 2);
+        assert_eq!(r.epochs, 65536);
+        assert!(render_profile(&r).contains("saturated at 65535"));
+        assert!(render_profile(&r).contains("2 event(s)"));
         let doc = profile_json("x", &r, None);
-        assert_eq!(doc.get("epoch_clamp").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("epoch_clamp").unwrap().as_u64(), Some(2));
         let clean = analyze(&two_episode_data(), &[], 2);
-        assert!(!clean.epoch_clamp);
+        assert_eq!(clean.epoch_clamp, 0);
     }
 
     #[test]
@@ -807,7 +822,7 @@ mod tests {
                 dropped: 0,
                 events: 4,
                 epochs: 1,
-                epoch_clamp: false,
+                epoch_clamp: 0,
                 sites: vec![s],
                 region_ns_by_pid: vec![0, 0],
                 marks: ProfileMarks::default(),

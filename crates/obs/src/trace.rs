@@ -248,7 +248,7 @@ impl TraceBuilder {
         };
         // Per-(epoch, site, visit) arrivals for the flow pass.
         use std::collections::HashMap;
-        let mut arrivals: HashMap<(u8, u32, u64), Vec<(u64, usize)>> = HashMap::new();
+        let mut arrivals: HashMap<(u16, u32, u64), Vec<(u64, usize)>> = HashMap::new();
         for e in &data.events {
             let tid = tid_base + e.track as usize;
             match e.kind {

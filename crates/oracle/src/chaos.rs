@@ -197,6 +197,7 @@ pub fn droppable_posts(prog: &Program, bind: &Bindings, plan: &SpmdProgram) -> V
     // site, and the overall-last neighbor / barrier events.
     let mut counters = Vec::<(usize, u64, i64)>::new();
     let mut last_neighbor: Option<(usize, u64, bool, bool)> = None;
+    let mut last_pair: Option<(usize, u64, analysis::DistSet, Vec<i64>)> = None;
     let mut last_barrier: Option<(usize, u64)> = None;
     for ev in &events {
         if let Event::Sync { op, site, env } = ev {
@@ -215,6 +216,13 @@ pub fn droppable_posts(prog: &Program, bind: &Bindings, plan: &SpmdProgram) -> V
                     }
                 }
                 SyncOp::Neighbor { fwd, bwd } => last_neighbor = Some((*site, this, *fwd, *bwd)),
+                SyncOp::PairCounter { dists, producers } => {
+                    let prods = producers
+                        .iter()
+                        .map(|spec| producer_pid(bind, prog, spec, env))
+                        .collect();
+                    last_pair = Some((*site, this, *dists, prods));
+                }
                 SyncOp::Barrier => last_barrier = Some((*site, this)),
                 SyncOp::None => {}
             }
@@ -251,6 +259,33 @@ pub fn droppable_posts(prog: &Program, bind: &Bindings, plan: &SpmdProgram) -> V
                     from_visit,
                 },
                 kind: "neighbor",
+            });
+        }
+    }
+    if let Some((site, from_visit, dists, prods)) = last_pair {
+        // A positive distance d means pid d waits on P0's cell, so P0's
+        // final post is awaited; with only negative distances the last
+        // processor's post is (pid nprocs-1+d waits on it). Producer
+        // targets are awaited by every other processor.
+        let mut pids: Vec<usize> = Vec::new();
+        if dists.iter().any(|d| d > 0 && d < nprocs) {
+            pids.push(0);
+        } else if dists.iter().any(|d| d < 0 && -d < nprocs) {
+            pids.push(nprocs as usize - 1);
+        }
+        for prod in prods {
+            if (0..nprocs).contains(&prod) && !pids.contains(&(prod as usize)) {
+                pids.push(prod as usize);
+            }
+        }
+        for pid in pids {
+            out.push(DropCandidate {
+                spec: DropSpec {
+                    site,
+                    pid,
+                    from_visit,
+                },
+                kind: "pairwise",
             });
         }
     }

@@ -39,6 +39,7 @@ fn op_name(op: &SyncOp) -> &'static str {
         SyncOp::Barrier => "barrier",
         SyncOp::Neighbor { .. } => "neighbor",
         SyncOp::Counter { .. } => "counter",
+        SyncOp::PairCounter { .. } => "pairwise",
     }
 }
 

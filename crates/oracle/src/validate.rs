@@ -209,6 +209,29 @@ pub fn validate(prog: &Program, bind: &Bindings, plan: &SpmdProgram) -> RaceRepo
                         }
                     }
                 }
+                SyncOp::PairCounter { dists, producers } => {
+                    // A consumer acquires each in-range distance
+                    // target's pre-sync clock (the wait is for that
+                    // processor's post at this same replicated visit)
+                    // plus every evaluable producer's.
+                    let pre = clocks.clone();
+                    for (p, c) in clocks.iter_mut().enumerate() {
+                        for d in dists.iter() {
+                            let t = p as i64 - d;
+                            if (0..nprocs as i64).contains(&t) {
+                                join(c, &pre[t as usize]);
+                            }
+                        }
+                        for spec in producers {
+                            let prod = producer_pid(bind, prog, spec, env)
+                                .clamp(0, nprocs as i64 - 1)
+                                as usize;
+                            if prod != p {
+                                join(c, &pre[prod]);
+                            }
+                        }
+                    }
+                }
             },
         }
     }

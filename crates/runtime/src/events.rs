@@ -119,10 +119,13 @@ pub struct ProfileEvent {
     pub arg: u64,
     /// Canonical sync-site id, or [`NO_SITE`].
     pub site: u32,
-    /// Writer track (worker pid, or the supervisor track).
+    /// Writer track (worker pid, or the supervisor track). The slot
+    /// encoding keeps 12 bits of it (tracks are worker pids plus one
+    /// supervisor — far below 4096).
     pub track: u16,
-    /// Recovery attempt epoch (0 on the first attempt).
-    pub epoch: u8,
+    /// Recovery attempt epoch (0 on the first attempt). Saturates at
+    /// `u16::MAX` — see [`Profiler::epoch`].
+    pub epoch: u16,
     /// What happened.
     pub kind: EventKind,
 }
@@ -147,21 +150,26 @@ impl Default for ProfileOptions {
 /// One slot: a [`ProfileEvent`] as three relaxed atomic words, so a
 /// reader racing the writer can never invoke undefined behavior from
 /// safe code — the worst a race yields is a torn (mixed-field) event.
-/// The meta word packs `site | track << 32 | epoch << 48 | kind << 56`.
+/// The meta word packs `site | track << 32 | epoch << 44 | kind << 60`
+/// (track 12 bits, epoch 16 bits, kind 4 bits — [`EventKind`] must
+/// stay within 16 variants, checked below).
 struct Slot {
     t_ns: AtomicU64,
     arg: AtomicU64,
     meta: AtomicU64,
 }
 
+// The 4-bit kind field of the slot encoding.
+const _: () = assert!(EventKind::ALL.len() <= 16);
+
 impl Slot {
     fn store(&self, ev: &ProfileEvent) {
         self.t_ns.store(ev.t_ns, Ordering::Relaxed);
         self.arg.store(ev.arg, Ordering::Relaxed);
         let meta = ev.site as u64
-            | (ev.track as u64) << 32
-            | (ev.epoch as u64) << 48
-            | (ev.kind as u64) << 56;
+            | ((ev.track & 0xFFF) as u64) << 32
+            | (ev.epoch as u64) << 44
+            | (ev.kind as u64) << 60;
         self.meta.store(meta, Ordering::Relaxed);
     }
 
@@ -171,9 +179,9 @@ impl Slot {
             t_ns: self.t_ns.load(Ordering::Relaxed),
             arg: self.arg.load(Ordering::Relaxed),
             site: meta as u32,
-            track: (meta >> 32) as u16,
-            epoch: (meta >> 48) as u8,
-            kind: EventKind::from_u8((meta >> 56) as u8),
+            track: ((meta >> 32) & 0xFFF) as u16,
+            epoch: ((meta >> 44) & 0xFFFF) as u16,
+            kind: EventKind::from_u8((meta >> 60) as u8),
         }
     }
 }
@@ -306,13 +314,14 @@ impl Profiler {
         }
     }
 
-    /// Current recovery epoch. Saturates at 255: a run that retries
-    /// more than 255 times stamps every later event with epoch 255, so
-    /// episode keys from those attempts can collide — the analyzer
-    /// detects the saturated stamp and flags it (`epoch_clamp`) instead
-    /// of reporting bogus episodes.
-    pub fn epoch(&self) -> u8 {
-        self.epoch.load(Ordering::Relaxed).min(u8::MAX as u64) as u8
+    /// Current recovery epoch. Saturates at `u16::MAX` (65535): a run
+    /// that retries more than 65535 times stamps every later event with
+    /// the saturated epoch, so episode keys from those attempts can
+    /// collide — the analyzer counts the events carrying the saturated
+    /// stamp exactly (`epoch_clamp`) instead of reporting bogus
+    /// episodes.
+    pub fn epoch(&self) -> u16 {
+        self.epoch.load(Ordering::Relaxed).min(u16::MAX as u64) as u16
     }
 
     /// Stamp all later events with the next epoch (called by the
@@ -523,8 +532,20 @@ mod tests {
     }
 
     #[test]
+    fn epoch_saturates_at_u16_max() {
+        let p = Profiler::new(1, ProfileOptions::default());
+        for _ in 0..(u16::MAX as u32 + 10) {
+            p.bump_epoch();
+        }
+        assert_eq!(p.epoch(), u16::MAX);
+        p.record(0, EventKind::SyncArrive, 0, 0);
+        assert_eq!(p.snapshot().events[0].epoch, u16::MAX);
+    }
+
+    #[test]
     fn event_is_compact() {
-        assert!(std::mem::size_of::<ProfileEvent>() <= 24);
+        // The decoded struct; ring storage is the 3-word Slot (24B).
+        assert!(std::mem::size_of::<ProfileEvent>() <= 32);
     }
 
     #[test]
@@ -535,7 +556,7 @@ mod tests {
                 arg: 7,
                 site: 1_234_567,
                 track: 513,
-                epoch: 200,
+                epoch: 40_000,
                 kind,
             };
             let ring = EventRing::new(2);

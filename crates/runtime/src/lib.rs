@@ -56,6 +56,7 @@ pub mod counter;
 pub mod events;
 pub mod fault;
 pub mod neighbor;
+pub mod pairwise;
 pub mod recovery;
 pub mod spin;
 pub mod stats;
@@ -67,6 +68,7 @@ pub use counter::Counters;
 pub use events::{EventKind, ProfileData, ProfileEvent, ProfileOptions, Profiler, NO_SITE};
 pub use fault::{SyncError, WaitPoll, Watchdog, DEADLINE_SAMPLE, DISPATCH_SITE};
 pub use neighbor::NeighborFlags;
+pub use pairwise::PairwiseCells;
 pub use recovery::{FaultDisposition, Quarantine, RetryPolicy};
 pub use spin::{SpinPhase, SpinPolicy, SpinWait, WaitEffort};
 pub use stats::{SyncKind, SyncStats};

@@ -13,6 +13,8 @@ pub enum SyncKind {
     Counter,
     /// Neighbor post / wait flags.
     Neighbor,
+    /// Pairwise (distance-vector) post / wait cells.
+    Pairwise,
 }
 
 impl SyncKind {
@@ -21,6 +23,7 @@ impl SyncKind {
             SyncKind::Barrier => 0,
             SyncKind::Counter => 1,
             SyncKind::Neighbor => 2,
+            SyncKind::Pairwise => 3,
         }
     }
 }
@@ -64,7 +67,7 @@ impl KindCell {
 /// derived and [`SyncStats::new`] simply delegates to it.
 #[derive(Debug, Default)]
 pub struct SyncStats {
-    cells: [KindCell; 3],
+    cells: [KindCell; 4],
     /// Aggregate wait-escalation counters (spin → yield → park phase
     /// rounds across every blocked wait of any kind): how often waits
     /// left the pure-atomic fast path.
@@ -117,6 +120,18 @@ impl SyncStats {
     /// Record a neighbor wait, with the time spent blocked.
     pub fn neighbor_wait(&self, waited: Duration) {
         self.cell(SyncKind::Neighbor).wait(waited);
+    }
+
+    /// Record a pairwise post.
+    pub fn pairwise_post(&self) {
+        self.cell(SyncKind::Pairwise)
+            .ops
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a pairwise wait, with the time spent blocked.
+    pub fn pairwise_wait(&self, waited: Duration) {
+        self.cell(SyncKind::Pairwise).wait(waited);
     }
 
     /// Record one wait's escalation counts (no-op for a wait that
@@ -178,6 +193,16 @@ impl SyncStats {
         self.cell(SyncKind::Neighbor).waits.load(Ordering::Relaxed)
     }
 
+    /// Pairwise posts.
+    pub fn pairwise_posts_count(&self) -> u64 {
+        self.cell(SyncKind::Pairwise).ops.load(Ordering::Relaxed)
+    }
+
+    /// Pairwise waits.
+    pub fn pairwise_waits_count(&self) -> u64 {
+        self.cell(SyncKind::Pairwise).waits.load(Ordering::Relaxed)
+    }
+
     /// Total time spent blocked, per kind.
     pub fn wait_ns(&self, kind: SyncKind) -> u64 {
         self.cell(kind).wait_ns.load(Ordering::Relaxed)
@@ -213,6 +238,10 @@ impl SyncStats {
             neighbor_waits: self.neighbor_waits_count(),
             neighbor_wait_ns: self.wait_ns(SyncKind::Neighbor),
             neighbor_max_wait_ns: self.max_wait_ns(SyncKind::Neighbor),
+            pairwise_posts: self.pairwise_posts_count(),
+            pairwise_waits: self.pairwise_waits_count(),
+            pairwise_wait_ns: self.wait_ns(SyncKind::Pairwise),
+            pairwise_max_wait_ns: self.max_wait_ns(SyncKind::Pairwise),
             spin_rounds: self.spin_rounds_count(),
             yield_rounds: self.yield_rounds_count(),
             parks: self.parks_count(),
@@ -247,6 +276,14 @@ pub struct StatsSnapshot {
     pub neighbor_wait_ns: u64,
     /// Longest single neighbor wait in nanoseconds.
     pub neighbor_max_wait_ns: u64,
+    /// Pairwise posts.
+    pub pairwise_posts: u64,
+    /// Pairwise waits.
+    pub pairwise_waits: u64,
+    /// Nanoseconds blocked on pairwise cells.
+    pub pairwise_wait_ns: u64,
+    /// Longest single pairwise wait in nanoseconds.
+    pub pairwise_max_wait_ns: u64,
     /// `spin_loop` rounds across all blocked waits (escalation phase 1).
     pub spin_rounds: u64,
     /// `yield_now` rounds across all blocked waits (escalation phase 2).
@@ -265,6 +302,8 @@ impl StatsSnapshot {
             + self.counter_waits
             + self.neighbor_posts
             + self.neighbor_waits
+            + self.pairwise_posts
+            + self.pairwise_waits
     }
 
     /// Fold another snapshot into this one: counts and wait totals add,
@@ -285,6 +324,10 @@ impl StatsSnapshot {
         self.neighbor_waits += o.neighbor_waits;
         self.neighbor_wait_ns += o.neighbor_wait_ns;
         self.neighbor_max_wait_ns = self.neighbor_max_wait_ns.max(o.neighbor_max_wait_ns);
+        self.pairwise_posts += o.pairwise_posts;
+        self.pairwise_waits += o.pairwise_waits;
+        self.pairwise_wait_ns += o.pairwise_wait_ns;
+        self.pairwise_max_wait_ns = self.pairwise_max_wait_ns.max(o.pairwise_max_wait_ns);
         self.spin_rounds += o.spin_rounds;
         self.yield_rounds += o.yield_rounds;
         self.parks += o.parks;

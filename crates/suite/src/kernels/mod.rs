@@ -11,11 +11,16 @@ pub mod livermore7;
 pub mod lu;
 pub mod matmul;
 pub mod mgrid;
+pub mod multihop;
+pub mod pivot_shift;
 pub mod redblack;
 pub mod seidel_pipe;
 pub mod shallow;
+pub mod shift_bcast;
 pub mod stencil3d;
 pub mod tomcatv_mesh;
 pub mod transpose;
 pub mod tred2;
+pub mod trisolve_pipe;
+pub mod wavepipe2d;
 pub mod workvec;

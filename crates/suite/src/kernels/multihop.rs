@@ -1,0 +1,64 @@
+//! Multi-hop shift chain: a two-phase time loop whose communication is
+//! a fixed shift by *half the array* — exactly two ownership blocks at
+//! four processors. Every cross-processor pair sits at |q - p| = 2, so
+//! neighbor flags are unsound and the pre-distance-vector optimizer
+//! fell off the cliff to `General` (kept the barrier). With the
+//! distance-vector classification both the inter-phase site (+2) and
+//! the loop bottom (-2, the anti dependence) become single-hop
+//! pairwise counters.
+
+use crate::{Built, Scale};
+use ir::build::*;
+
+/// Build at the given scale.
+pub fn build(scale: Scale) -> Built {
+    let (nv, tv) = match scale {
+        Scale::Test => (16, 3),
+        Scale::Small => (512, 10),
+        Scale::Full => (4096, 24),
+    };
+    let mut pb = ProgramBuilder::new("multihop");
+    let n = pb.sym("n");
+    let tmax = pb.sym("tmax");
+    let a = pb.array("A", &[sym(n)], dist_block());
+    let b = pb.array("B", &[sym(n)], dist_block());
+    // Shift by two ownership blocks at 4 processors.
+    let off = nv / 2;
+
+    let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
+    pb.assign(elem(a, [idx(i0)]), ival(idx(i0) * 11).sin());
+    pb.end();
+
+    let _t = pb.begin_seq("t", con(0), sym(tmax) - 1);
+    let i = pb.begin_par("i", con(0), sym(n) - 1);
+    pb.assign(elem(b, [idx(i)]), arr(a, [idx(i)]) * ex(0.5) + ex(1.0));
+    pb.end();
+    let j = pb.begin_par("j", con(off), sym(n) - 1);
+    pb.assign(elem(a, [idx(j)]), arr(b, [idx(j) - off]) * ex(0.75));
+    pb.end();
+    pb.end(); // t
+
+    Built {
+        prog: pb.finish(),
+        values: vec![(n, nv), (tmax, tv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_block_shift_is_pairwise_not_barrier() {
+        let built = build(Scale::Test);
+        let bind = built.bindings(4);
+        let st = spmd_opt::optimize(&built.prog, &bind).static_stats();
+        assert_eq!(st.regions, 1, "{st:?}");
+        // Both the inter-phase shift (+2) and the carried anti
+        // dependence (-2) are out of neighbor reach but exactly
+        // expressible as pairwise distances.
+        assert!(st.pair_syncs >= 2, "{st:?}");
+        assert_eq!(st.neighbor_syncs, 0, "{st:?}");
+        assert!(st.barriers <= 2, "{st:?}");
+    }
+}

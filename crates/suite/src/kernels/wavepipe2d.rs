@@ -1,0 +1,71 @@
+//! Skewed 2-D wavefront relaxation at processor distance 2: row `i`
+//! needs row `i - n/2` — two whole ownership blocks up at four
+//! processors — so the carried dependence of the row sweep is a fixed
+//! multi-hop distance vector, not a neighbor pattern. Barrier-only and
+//! neighbor-flag schedules cannot express it; the distance-vector
+//! classification turns the loop bottom into a pairwise counter and the
+//! sweep into a two-hop pipeline (processor `p` starts as soon as
+//! `p - 2` has passed, while `p - 1` is still mid-block).
+
+use crate::{Built, Scale};
+use ir::build::*;
+
+/// Build at the given scale.
+pub fn build(scale: Scale) -> Built {
+    let (nv, tv) = match scale {
+        Scale::Test => (16, 2),
+        Scale::Small => (64, 4),
+        Scale::Full => (256, 8),
+    };
+    let mut pb = ProgramBuilder::new("wavepipe2d");
+    let n = pb.sym("n");
+    let tmax = pb.sym("tmax");
+    let x = pb.array("X", &[sym(n), sym(n)], dist_block());
+    // The reach: half the rows = two ownership blocks at 4 processors.
+    let off = nv / 2;
+
+    let i0 = pb.begin_par("i0", con(0), sym(n) - 1);
+    let j0 = pb.begin_seq("j0", con(0), sym(n) - 1);
+    pb.assign(
+        elem(x, [idx(i0), idx(j0)]),
+        ival(idx(i0) * 17 + idx(j0)).sin(),
+    );
+    pb.end();
+    pb.end();
+
+    let _t = pb.begin_seq("t", con(0), sym(tmax) - 1);
+    // Sweep rows sequentially (the recurrence direction); each row
+    // phase belongs to owner(i) and reads a row two blocks away.
+    let i = pb.begin_seq("i", con(off), sym(n) - 1);
+    let j = pb.begin_par("j", con(1), sym(n) - 2);
+    pb.assign(
+        elem(x, [idx(i), idx(j)]),
+        ex(0.25) * (arr(x, [idx(i) - off, idx(j)]) + ex(3.0) * arr(x, [idx(i), idx(j)])),
+    );
+    pb.end();
+    pb.end();
+    pb.end(); // t
+
+    Built {
+        prog: pb.finish(),
+        values: vec![(n, nv), (tmax, tv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_sweep_pipelines_with_pairwise_counters() {
+        let built = build(Scale::Test);
+        let bind = built.bindings(4);
+        let st = spmd_opt::optimize(&built.prog, &bind).static_stats();
+        assert_eq!(st.regions, 1, "{st:?}");
+        assert!(st.pair_syncs >= 1, "{st:?}");
+        // The carried distance is 2 — out of neighbor-flag reach, so
+        // the pairwise counters are the only non-barrier option.
+        assert_eq!(st.neighbor_syncs, 0, "{st:?}");
+        assert!(st.barriers <= 2, "{st:?}");
+    }
+}

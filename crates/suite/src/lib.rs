@@ -63,6 +63,9 @@ pub enum Expectation {
     Neighbor,
     /// Barriers replaced by producer-consumer counters.
     Counters,
+    /// Barriers replaced by distance-vector pairwise counters
+    /// (multi-hop or mixed-pattern communication, wavefront-pipelined).
+    PairWise,
     /// Reductions or unstructured communication keep most barriers.
     BarrierBound,
 }
@@ -203,6 +206,41 @@ pub fn all() -> Vec<BenchDef> {
             desc: "in-place 2-D relaxation pipelined over rows",
             expect: Expectation::Neighbor,
             build: seidel_pipe::build,
+        },
+        BenchDef {
+            name: "wavepipe2d",
+            stands_in_for: "skewed wavefront solvers (SOR/line-relaxation class)",
+            desc: "2-D row sweep with a two-block reach, pipelined pairwise",
+            expect: Expectation::PairWise,
+            build: wavepipe2d::build,
+        },
+        BenchDef {
+            name: "trisolve_pipe",
+            stands_in_for: "blocked triangular solves (LU/linpackd class)",
+            desc: "forward substitution with reaches {1,2} blocks",
+            expect: Expectation::PairWise,
+            build: trisolve_pipe::build,
+        },
+        BenchDef {
+            name: "multihop",
+            stands_in_for: "long-range shift/FFT butterfly stages",
+            desc: "two-phase time loop shifting by two ownership blocks",
+            expect: Expectation::PairWise,
+            build: multihop::build,
+        },
+        BenchDef {
+            name: "shift_bcast",
+            stands_in_for: "mixed shift + broadcast phases (join-cliff regression)",
+            desc: "one-cell shift and B[0] broadcast over one sync site",
+            expect: Expectation::PairWise,
+            build: shift_bcast::build,
+        },
+        BenchDef {
+            name: "pivot_shift",
+            stands_in_for: "pivot broadcast + shift phases (Neighbor⊔Producer1 regression)",
+            desc: "per-step pivot row and one-cell shift over one sync site",
+            expect: Expectation::PairWise,
+            build: pivot_shift::build,
         },
         BenchDef {
             name: "workvec",

@@ -251,6 +251,17 @@ const CHAOS_KERNELS: &[(&str, &[(&str, i64)])] = &[
     ("shallow.be", &[("n", 12), ("tmax", 2)]),
 ];
 
+/// Suite kernels whose optimized plans place distance-vector pairwise
+/// counters — the chaos campaign includes them (at `Scale::Test`) so
+/// dropped pairwise cell posts get teeth alongside the `.be` corpus.
+const PAIRWISE_CHAOS_KERNELS: &[&str] = &[
+    "wavepipe2d",
+    "trisolve_pipe",
+    "multihop",
+    "pivot_shift",
+    "shift_bcast",
+];
+
 fn bind_by_name(prog: &barrier_elim::ir::Program, nprocs: i64, sets: &[(&str, i64)]) -> Bindings {
     let mut b = Bindings::new(nprocs);
     for (name, v) in sets {
@@ -420,7 +431,7 @@ fn cmd_chaos(args: &[String]) -> i32 {
         parse_opt(args, "--recovery-json").unwrap_or_else(|| "recovery.json".to_string());
     println!(
         "chaos campaign over {} kernels (seed {seed}, deadline {deadline:?}, P={nprocs}, mode {})",
-        CHAOS_KERNELS.len(),
+        CHAOS_KERNELS.len() + PAIRWISE_CHAOS_KERNELS.len(),
         if no_recover {
             "detect-only"
         } else {
@@ -431,6 +442,9 @@ fn cmd_chaos(args: &[String]) -> i32 {
     let policy = barrier_elim::runtime::RetryPolicy::default();
     let mut runs: Vec<obs::Json> = Vec::new();
     let mut failed = 0;
+    // The .be corpus plus the pipelined suite kernels, so the drop
+    // matrix covers every sync kind — including pairwise cell posts.
+    let mut programs: Vec<(String, Arc<barrier_elim::ir::Program>, Arc<Bindings>)> = Vec::new();
     for (kernel, sets) in CHAOS_KERNELS {
         let src = match std::fs::read_to_string(format!("kernels/{kernel}")) {
             Ok(s) => s,
@@ -442,6 +456,14 @@ fn cmd_chaos(args: &[String]) -> i32 {
         };
         let prog = Arc::new(frontend::parse(&src).unwrap_or_else(|e| panic!("{kernel}: {e}")));
         let bind = Arc::new(bind_by_name(&prog, nprocs, sets));
+        programs.push((kernel.to_string(), prog, bind));
+    }
+    for name in PAIRWISE_CHAOS_KERNELS {
+        let b = (suite::by_name(name).expect("suite kernel").build)(Scale::Test);
+        let bind = Arc::new(b.bindings(nprocs));
+        programs.push((name.to_string(), Arc::new(b.prog), bind));
+    }
+    for (kernel, prog, bind) in &programs {
         for (label, plan) in [
             ("fork-join", fork_join(&prog, &bind)),
             ("optimized", optimize(&prog, &bind)),
@@ -520,7 +542,7 @@ fn cmd_chaos(args: &[String]) -> i32 {
                 })
                 .collect();
             let mut run = obs::Json::obj()
-                .set("kernel", *kernel)
+                .set("kernel", kernel.as_str())
                 .set("plan", label)
                 .set("ok", r.ok())
                 .set("benign_ok", r.benign_ok)
