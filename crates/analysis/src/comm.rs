@@ -1090,13 +1090,18 @@ impl<'p> CommQuery<'p> {
     /// dependent access pair, or `None` when it is unbounded, wider
     /// than [`MAX_PAIR_FANIN`], or outside [`MAX_PAIR_DIST`].
     ///
-    /// `|q - p| <= nprocs - 1` always, so probing each candidate
-    /// distance in the directions step 1 found feasible is exhaustive:
-    /// if `q - p == d` is infeasible for every probed `d`, yet step 1
-    /// proved *some* cross-processor pair exists, the verdicts are
-    /// mutually inconsistent only under an `Unknown` (overflow/budget)
-    /// scan — which counts as feasible and lands in the `None` arm, so
-    /// the caller conservatively keeps the barrier.
+    /// `|q - p| <= nprocs - 1` always, so when the probe window covers
+    /// the whole machine (`nprocs - 1 <= MAX_PAIR_DIST`) probing each
+    /// candidate distance in the directions step 1 found feasible is
+    /// exhaustive. When the machine is wider than the window, a single
+    /// extra probe per direction asks whether any distance *beyond*
+    /// the window may hold; if so the enumeration is not exhaustive
+    /// and the barrier is kept. Separately, a direction step 1 found
+    /// feasible (possibly via an `Unknown` overflow/budget verdict)
+    /// whose every exact-distance probe proves infeasible cannot be
+    /// pinned to a spectrum — that direction's dependence may still be
+    /// real, so the barrier is kept rather than returning the other
+    /// direction's distances alone.
     fn distance_spectrum(
         &self,
         ps: &crate::translate::PairSystem,
@@ -1108,6 +1113,23 @@ impl<'p> CommQuery<'p> {
             return None;
         }
         let (p, q) = (ps.p, ps.q);
+        if self.bind.nprocs - 1 > MAX_PAIR_DIST {
+            // Distances in (MAX_PAIR_DIST, nprocs-1] are never probed
+            // below; if any may hold, a spectrum built from the probed
+            // window would silently drop them.
+            let tail = |hi: ineq::VarId, lo: ineq::VarId| {
+                ps.feasible_with(|s| {
+                    s.add_ge(
+                        LinExpr::var(hi)
+                            - LinExpr::var(lo)
+                            - LinExpr::constant(MAX_PAIR_DIST as i128 + 1),
+                    )
+                })
+            };
+            if (fwd && tail(q, p)) || (bwd && tail(p, q)) {
+                return None;
+            }
+        }
         let mut dists = DistSet::empty();
         let mut candidates: Vec<i64> = Vec::new();
         if fwd {
@@ -1116,6 +1138,7 @@ impl<'p> CommQuery<'p> {
         if bwd {
             candidates.extend((1..=reach).map(|d| -d));
         }
+        let (mut fwd_hits, mut bwd_hits) = (0usize, 0usize);
         for d in candidates {
             let hit = ps.feasible_with(|s| {
                 // q - p == d, as two inequalities.
@@ -1129,12 +1152,17 @@ impl<'p> CommQuery<'p> {
                 if dists.len() > MAX_PAIR_FANIN {
                     return None;
                 }
+                if d > 0 {
+                    fwd_hits += 1;
+                } else {
+                    bwd_hits += 1;
+                }
             }
         }
-        if dists.is_empty() {
-            // Step 1 saw a cross-processor pair this enumeration cannot
-            // pin to an exact distance (an Unknown verdict upstream):
-            // keep the barrier.
+        if (fwd && fwd_hits == 0) || (bwd && bwd_hits == 0) {
+            // Step 1 saw a cross-processor pair in this direction that
+            // the enumeration cannot pin to an exact distance (an
+            // Unknown verdict upstream): keep the barrier.
             return None;
         }
         Some(dists)
@@ -1340,6 +1368,70 @@ mod tests {
             q.comm_stmts(&st[0], &st[1], CommMode::LoopIndependent),
             CommPattern::General
         );
+    }
+
+    /// A dependence whose feasible distances straddle `MAX_PAIR_DIST` on
+    /// a machine wider than the probe window (P=72, distances {-64,-65}):
+    /// the in-window hit alone must not yield a spectrum that silently
+    /// drops the unprobed distance 65 — the tail probe keeps the barrier.
+    #[test]
+    fn distance_straddling_probe_window_keeps_barrier() {
+        let mut pb = ProgramBuilder::new("clampshift");
+        let n = pb.sym("n");
+        let a = pb.array("A", &[sym(n) * 72], dist_block());
+        let b = pb.array("B", &[sym(n) * 72], dist_block());
+        let i = pb.begin_par("i", con(0), sym(n) * 72 - 1);
+        pb.assign(elem(a, [idx(i)]), ival(idx(i)));
+        pb.end();
+        let j = pb.begin_par("j", con(0), sym(n) - 1);
+        pb.assign(elem(b, [idx(j)]), arr(a, [idx(j) + sym(n) * 64 + con(5)]));
+        pb.end();
+        let prog = pb.finish();
+        // block = n = 8: A[j + 64n + 5] lives on pid 64 for j < 3 and on
+        // pid 65 (beyond MAX_PAIR_DIST) for j >= 3, consumer on pid 0.
+        let q = CommQuery::new(&prog, Bindings::new(72).set(n, 8));
+        let st = prog.all_statements();
+        assert_eq!(
+            q.comm_stmts(&st[0], &st[1], CommMode::LoopIndependent),
+            CommPattern::General
+        );
+    }
+
+    /// A direction step 1 reported feasible (e.g. via an `Unknown`
+    /// overflow verdict) but with zero exact-distance hits must not
+    /// return the other direction's spectrum alone: the unpinned
+    /// direction's dependence would be left unsynchronized.
+    #[test]
+    fn unpinned_direction_keeps_barrier() {
+        let mut pb = ProgramBuilder::new("unpinned");
+        let n = pb.sym("n");
+        let a = pb.array("A", &[sym(n) * 2], dist_block());
+        let b = pb.array("B", &[sym(n) * 2], dist_block());
+        let i = pb.begin_par("i", con(0), sym(n) * 2 - 1);
+        pb.assign(elem(a, [idx(i)]), ival(idx(i)));
+        pb.end();
+        let j = pb.begin_par("j", con(0), sym(n) - 1);
+        pb.assign(elem(b, [idx(j)]), arr(a, [idx(j) + sym(n)]));
+        pb.end();
+        let prog = pb.finish();
+        let q = CommQuery::new(&prog, Bindings::new(4).set(n, 32));
+        let st = prog.all_statements();
+        let mut ps = build_pair_system(
+            &prog,
+            &q.bind,
+            &st[0],
+            &st[1],
+            CommMode::LoopIndependent.shared_mode(),
+        );
+        ps.add_elem_equality(&q.bind, &[idx(i)], &[idx(j) + sym(n)]);
+        // Truthful directions: only bwd (producer two blocks ahead).
+        let mut want = DistSet::empty();
+        want.insert(-2);
+        assert_eq!(q.distance_spectrum(&ps, false, true), Some(want));
+        // Claim fwd is also feasible, as an upstream Unknown verdict
+        // would: every exact fwd probe is infeasible, so the spectrum
+        // cannot cover the claimed direction — keep the barrier.
+        assert_eq!(q.distance_spectrum(&ps, true, true), None);
     }
 
     /// The pattern-lattice fusion bug: `Neighbor ⊔ Producer1` must land
